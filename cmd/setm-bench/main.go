@@ -1,0 +1,133 @@
+// Command setm-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index):
+//
+//	setm-bench -exp fig5      # Figure 5: size of R_i per iteration
+//	setm-bench -exp fig6      # Figure 6: cardinality of C_i per iteration
+//	setm-bench -exp times     # Section 6.2: execution time vs support
+//	setm-bench -exp analysis  # Sections 3.2 / 4.3: analytical evaluation
+//	setm-bench -exp compare   # SETM vs nested-loop vs AIS vs Apriori
+//	setm-bench -exp io        # measured paged I/O vs the 4.3 bound
+//	setm-bench -exp model     # live relation sizes vs the analytic model
+//	setm-bench -exp all
+//
+// By default experiments run on the calibrated retail stand-in at full
+// published size (46,873 transactions); -txns scales it down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"setm/internal/core"
+	"setm/internal/experiments"
+	"setm/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "setm-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: fig5, fig6, rrows, times, analysis, compare, io, or all")
+	txns := flag.Int("txns", 46873, "number of retail transactions to generate")
+	seed := flag.Int64("seed", 1, "data seed")
+	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
+	compareTxns := flag.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
+	flag.Parse()
+
+	cfg := gen.DefaultRetail(*seed)
+	cfg.NumTransactions = *txns
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	var d *core.Dataset
+	dataset := func() *core.Dataset {
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "generating retail data set (%d transactions)...\n", *txns)
+			d = gen.Retail(cfg)
+			fmt.Fprintf(os.Stderr, "|R_1| = %d rows\n", d.NumSalesRows())
+		}
+		return d
+	}
+
+	if want("analysis") {
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(experiments.AnalysisReport())
+	}
+
+	if want("fig5") || want("fig6") || want("rrows") {
+		series, err := experiments.IterationProfile(dataset(), experiments.PaperMinSupports)
+		if err != nil {
+			return err
+		}
+		if want("fig5") {
+			fmt.Println(strings.Repeat("=", 72))
+			fmt.Print(experiments.FormatFig5(series))
+			fmt.Println()
+			fmt.Print(experiments.ChartFig5(series))
+		}
+		if want("rrows") {
+			fmt.Println(strings.Repeat("=", 72))
+			fmt.Print(experiments.FormatRRows(series))
+		}
+		if want("fig6") {
+			fmt.Println(strings.Repeat("=", 72))
+			fmt.Print(experiments.FormatFig6(series))
+			fmt.Println()
+			fmt.Print(experiments.ChartFig6(series))
+		}
+	}
+
+	if want("times") {
+		rows, err := experiments.ExecTimes(dataset(), experiments.PaperMinSupports, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(experiments.FormatExecTimes(rows))
+	}
+
+	if want("compare") {
+		ccfg := gen.DefaultRetail(*seed)
+		ccfg.NumTransactions = *compareTxns
+		cd := gen.Retail(ccfg)
+		rows, err := experiments.Compare(cd, core.Options{MinSupportFrac: 0.01})
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Printf("(on %d retail transactions, 1%% support)\n", *compareTxns)
+		fmt.Print(experiments.FormatCompare(rows))
+	}
+
+	if want("model") {
+		rows, err := experiments.ModelVsMeasured(0.02, *seed) // 4,000 txns
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(experiments.FormatModelVsMeasured(rows))
+		fmt.Println("(live pages ≈ 2× model pages: live fields are 8 bytes, model's 4)")
+	}
+
+	if want("io") {
+		iocfg := gen.DefaultRetail(*seed)
+		iocfg.NumTransactions = *compareTxns
+		iod := gen.Retail(iocfg)
+		measured, bound, seqDominated, err := experiments.PagedIOCheck(iod, core.Options{MinSupportFrac: 0.01})
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Printf("Paged SETM I/O on %d retail transactions at 1%% support:\n", *compareTxns)
+		fmt.Printf("measured page accesses: %d\n", measured)
+		fmt.Printf("Section 4.3 bound (n·‖R_1‖ + 3·Σ‖R_i‖ from run footprints): %d\n", bound)
+		fmt.Printf("sequential-dominated: %v\n", seqDominated)
+	}
+
+	return nil
+}

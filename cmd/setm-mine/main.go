@@ -1,0 +1,130 @@
+// Command setm-mine finds association rules in a transaction file using
+// Algorithm SETM or one of the implemented baselines.
+//
+// Usage:
+//
+//	setm-mine -i sales.txt -minsup 0.01 -minconf 0.7
+//	setm-mine -i sales.txt -algo sql -trace       # show the SQL being run
+//	setm-mine -i sales.txt -algo apriori -patterns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setm"
+	"setm/internal/apriori"
+	"setm/internal/baseline"
+	"setm/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "setm-mine: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("i", "", "input transaction file (SALES format); required")
+	minSup := flag.Float64("minsup", 0.01, "minimum support as a fraction of transactions")
+	minSupCount := flag.Int64("minsup-count", 0, "minimum support as an absolute count (overrides -minsup)")
+	minConf := flag.Float64("minconf", 0.70, "minimum confidence factor")
+	algo := flag.String("algo", "memory", "algorithm: memory, paged, sql, nested, ais, apriori")
+	trace := flag.Bool("trace", false, "with -algo sql: print each SQL statement")
+	patterns := flag.Bool("patterns", false, "print frequent patterns, not just rules")
+	letters := flag.Bool("letters", false, "display items 1..26 as A..Z")
+	maxLen := flag.Int("maxlen", 0, "stop after patterns of this length (0 = unlimited)")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -i input file")
+	}
+	d, err := setm.LoadDatasetFile(*in)
+	if err != nil {
+		return err
+	}
+	opts := setm.Options{
+		MinSupportFrac:  *minSup,
+		MinSupportCount: *minSupCount,
+		MaxPatternLen:   *maxLen,
+	}
+
+	var res *setm.Result
+	switch *algo {
+	case "memory":
+		res, err = setm.Mine(d, opts)
+	case "paged":
+		var pr *setm.PagedResult
+		pr, err = setm.MinePaged(d, opts, setm.PagedConfig{})
+		if err == nil {
+			res = pr.Result
+			fmt.Printf("page I/O: %s\n", pr.IO.String())
+		}
+	case "sql":
+		cfg := setm.SQLConfig{}
+		if *trace {
+			cfg.TraceSQL = func(s string) { fmt.Fprintf(os.Stderr, "-- SQL:\n%s\n", s) }
+		}
+		res, err = setm.MineSQL(d, opts, cfg)
+	case "nested":
+		var nr *baseline.NestedLoopResult
+		nr, err = baseline.Mine(d, opts, baseline.Config{})
+		if err == nil {
+			res = nr.Result
+			fmt.Printf("page I/O: %s\n", nr.IO.String())
+		}
+	case "ais":
+		res, err = apriori.MineAIS(d, opts)
+	case "apriori":
+		res, err = apriori.MineApriori(d, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	var namer setm.ItemNamer
+	if *letters {
+		namer = setm.LetterNamer
+	}
+
+	fmt.Printf("%d transactions, minimum support %d transactions, elapsed %v\n",
+		res.NumTransactions, res.MinSupport, res.Elapsed)
+	for k := 1; k <= len(res.Counts); k++ {
+		fmt.Printf("|C_%d| = %d\n", k, len(res.C(k)))
+	}
+	if *patterns {
+		for k := 1; k <= len(res.Counts); k++ {
+			for _, c := range res.C(k) {
+				fmt.Printf("  %v : %d\n", formatItems(c.Items, namer), c.Count)
+			}
+		}
+	}
+
+	rs, err := setm.Rules(res, *minConf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rules at confidence >= %.0f%%:\n", len(rs), *minConf*100)
+	fmt.Print(setm.FormatRules(rs, namer))
+	return nil
+}
+
+func formatItems(items []core.Item, namer setm.ItemNamer) string {
+	out := ""
+	for i, it := range items {
+		if i > 0 {
+			out += " "
+		}
+		if namer != nil {
+			out += namer(it)
+		} else {
+			out += fmt.Sprintf("%d", it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Command setm-sql is an interactive shell for the bundled relational
+// engine: the environment in which the paper's mining queries can be typed
+// and run by hand. Statements end with ';'. EXPLAIN SELECT shows the plan
+// (merge-join selection, pushdown, grouping).
+//
+// Usage:
+//
+//	setm-sql                      # empty database
+//	setm-sql -load sales.txt      # preload a SALES table from a data file
+//
+// Example session (the paper's C_1 query):
+//
+//	sql> CREATE TABLE c1 (item1 INT, cnt INT);
+//	sql> INSERT INTO c1 SELECT s.item, COUNT(*) FROM sales s
+//	     GROUP BY s.item HAVING COUNT(*) >= 3;
+//	sql> SELECT * FROM c1 ORDER BY item1;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"setm"
+	"setm/internal/engine"
+	"setm/internal/tuple"
+)
+
+func main() {
+	load := flag.String("load", "", "transaction file to preload as table 'sales'")
+	flag.Parse()
+
+	db := engine.New()
+	if *load != "" {
+		d, err := setm.LoadDatasetFile(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "setm-sql: %v\n", err)
+			os.Exit(1)
+		}
+		rows := make([]tuple.Tuple, 0, len(d.Transactions)*3)
+		for _, r := range d.SalesRows() {
+			rows = append(rows, tuple.Ints(r[0], r[1]))
+		}
+		if err := db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
+			fmt.Fprintf(os.Stderr, "setm-sql: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d rows into sales(trans_id, item)\n", len(rows))
+	}
+
+	fmt.Println("setm-sql — statements end with ';', exit with \\q")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "exit" || trimmed == "quit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			execute(db, stmt)
+		}
+		prompt()
+	}
+}
+
+func execute(db *engine.DB, sql string) {
+	res, err := db.ExecScript(sql, nil)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if res == nil {
+		return
+	}
+	if res.Schema == nil {
+		if res.RowsAffected > 0 {
+			fmt.Printf("%d rows affected\n", res.RowsAffected)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *engine.Result) {
+	names := res.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, n := range names {
+		fmt.Printf("%-*s  ", widths[i], n)
+	}
+	fmt.Println()
+	for i := range names {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for c, s := range row {
+			fmt.Printf("%-*s  ", widths[c], s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,98 @@
+package setm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteDataset writes a dataset in the SALES text format: one
+// "trans_id item" pair per line, whitespace separated, sorted by
+// (trans_id, item). Lines starting with '#' are comments.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range d.SalesRows() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", row[0], row[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset parses the SALES text format back into a dataset. Pairs may
+// be separated by spaces, tabs, or commas; items of one transaction need
+// not be contiguous.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	byTid := make(map[int64][]Item)
+	var order []int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("setm: line %d: want \"trans_id item\", got %q", lineNo, line)
+		}
+		tid, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("setm: line %d: bad trans_id %q", lineNo, fields[0])
+		}
+		if _, ok := byTid[tid]; !ok {
+			order = append(order, tid)
+		}
+		// Accept both pair-per-line and basket-per-line forms.
+		for _, f := range fields[1:] {
+			item, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("setm: line %d: bad item %q", lineNo, f)
+			}
+			byTid[tid] = append(byTid[tid], Item(item))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("setm: no transactions in input")
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	d := &Dataset{Transactions: make([]Transaction, 0, len(order))}
+	for _, tid := range order {
+		d.Transactions = append(d.Transactions, Transaction{ID: tid, Items: byTid[tid]})
+	}
+	return d, nil
+}
+
+// LoadDatasetFile reads a dataset from a file path.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(f)
+}
+
+// SaveDatasetFile writes a dataset to a file path.
+func SaveDatasetFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDataset(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

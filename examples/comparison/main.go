@@ -1,0 +1,41 @@
+// Comparison: every implemented algorithm — SETM's three drivers, the
+// rejected nested-loop strategy, AIS, and Apriori — on a shared Quest
+// synthetic workload, with built-in cross-validation that they all find
+// the same frequent patterns. Also reports the measured page-I/O split
+// (random vs sequential) that Sections 3.2/4.3 reason about.
+//
+// Run with:
+//
+//	go run ./examples/comparison [-scale 0.03]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"setm"
+	"setm/internal/core"
+	"setm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.03, "T10.I4 data scale (1.0 = 100k transactions)")
+	minsup := flag.Float64("minsup", 0.01, "minimum support fraction")
+	flag.Parse()
+
+	d := setm.NewQuestDataset(*scale, 7)
+	fmt.Printf("T10.I4 synthetic data: %d transactions, %d sales rows\n\n",
+		d.NumTransactions(), d.NumSalesRows())
+
+	rows, err := experiments.Compare(d, core.Options{MinSupportFrac: *minsup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatCompare(rows))
+
+	fmt.Println("\nAll algorithms found identical pattern sets (validated).")
+	fmt.Println("Note the I/O columns: SETM's paged driver is sequential-dominated,")
+	fmt.Println("the nested-loop baseline random-dominated — the asymmetry that")
+	fmt.Println("drives the paper's 11-hours-vs-10-minutes analysis.")
+}

@@ -1,0 +1,332 @@
+// Package apriori implements two external baselines for SETM:
+//
+//   - AIS, the algorithm of Agrawal, Imieliński & Swami (SIGMOD 1993) —
+//     reference [4] of the paper, the tuple-oriented algorithm SETM was
+//     designed to express set-orientedly;
+//   - Apriori (Agrawal & Srikant, VLDB 1994), the candidate-pruning
+//     successor that historically superseded both.
+//
+// Both run in main memory over a core.Dataset and produce the same count
+// relations C_k as SETM, enabling cross-validation and head-to-head
+// benchmarks.
+package apriori
+
+import (
+	"sort"
+	"time"
+
+	"setm/internal/core"
+)
+
+// itemsKey encodes an itemset as a map key.
+func itemsKey(items []core.Item) string {
+	buf := make([]byte, 0, len(items)*8)
+	for _, it := range items {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(it>>s))
+		}
+	}
+	return string(buf)
+}
+
+func decodeKey(s string) []core.Item {
+	out := make([]core.Item, len(s)/8)
+	for i := range out {
+		var v int64
+		for j := 7; j >= 0; j-- {
+			v = v<<8 | int64(s[i*8+j])
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// normalize returns the sorted, deduplicated items of each transaction.
+func normalize(d *core.Dataset) [][]core.Item {
+	out := make([][]core.Item, len(d.Transactions))
+	for i, tx := range d.Transactions {
+		seen := make(map[core.Item]bool, len(tx.Items))
+		items := make([]core.Item, 0, len(tx.Items))
+		for _, it := range tx.Items {
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		out[i] = items
+	}
+	return out
+}
+
+func frequentSingles(txs [][]core.Item, minSup int64) []core.ItemsetCount {
+	counts := make(map[core.Item]int64)
+	for _, items := range txs {
+		for _, it := range items {
+			counts[it]++
+		}
+	}
+	var out []core.ItemsetCount
+	for it, n := range counts {
+		if n >= minSup {
+			out = append(out, core.ItemsetCount{Items: []core.Item{it}, Count: n})
+		}
+	}
+	sortCounts(out)
+	return out
+}
+
+func sortCounts(cs []core.ItemsetCount) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i].Items, cs[j].Items
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func newResult(d *core.Dataset, minSup int64) *core.Result {
+	return &core.Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
+}
+
+func trimTail(res *core.Result) {
+	for len(res.Counts) > 1 && len(res.Counts[len(res.Counts)-1]) == 0 {
+		res.Counts = res.Counts[:len(res.Counts)-1]
+	}
+}
+
+// MineApriori runs the Apriori algorithm: generate candidate C_k by joining
+// L_{k-1} with itself on a shared (k-2)-prefix, prune candidates with an
+// infrequent (k-1)-subset, then count candidates in one pass over the data.
+func MineApriori(d *core.Dataset, opts core.Options) (*core.Result, error) {
+	start := time.Now()
+	minSup := opts.ResolveMinSupport(d.NumTransactions())
+	res := newResult(d, minSup)
+	txs := normalize(d)
+
+	iterStart := time.Now()
+	lk := frequentSingles(txs, minSup)
+	res.Counts = append(res.Counts, lk)
+	res.Stats = append(res.Stats, core.IterationStat{K: 1, CCount: len(lk), Duration: time.Since(iterStart)})
+
+	k := 1
+	for len(lk) > 0 {
+		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
+			break
+		}
+		k++
+		iterStart = time.Now()
+
+		candidates := aprioriGen(lk)
+		counts := countCandidates(txs, candidates, k)
+		var next []core.ItemsetCount
+		for key, n := range counts {
+			if n >= minSup {
+				next = append(next, core.ItemsetCount{Items: decodeKey(key), Count: n})
+			}
+		}
+		sortCounts(next)
+		res.Counts = append(res.Counts, next)
+		res.Stats = append(res.Stats, core.IterationStat{
+			K:          k,
+			RPrimeRows: int64(len(candidates)),
+			CCount:     len(next),
+			Duration:   time.Since(iterStart),
+		})
+		lk = next
+		if len(next) == 0 {
+			break
+		}
+	}
+	trimTail(res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// aprioriGen implements the candidate generation + subset pruning of
+// Apriori: join L_{k-1} pairs sharing their first k-2 items, keep the union
+// only if every (k-1)-subset is in L_{k-1}.
+func aprioriGen(lk []core.ItemsetCount) [][]core.Item {
+	inLk := make(map[string]bool, len(lk))
+	for _, c := range lk {
+		inLk[itemsKey(c.Items)] = true
+	}
+	var out [][]core.Item
+	for i := 0; i < len(lk); i++ {
+		for j := i + 1; j < len(lk); j++ {
+			a, b := lk[i].Items, lk[j].Items
+			// lk is lexicographically sorted, so a shared prefix means
+			// a[:k-2] == b[:k-2] and a[k-2] < b[k-2].
+			share := true
+			for x := 0; x < len(a)-1; x++ {
+				if a[x] != b[x] {
+					share = false
+					break
+				}
+			}
+			if !share {
+				break // later j only diverge earlier
+			}
+			cand := make([]core.Item, len(a)+1)
+			copy(cand, a)
+			cand[len(a)] = b[len(b)-1]
+			if hasInfrequentSubset(cand, inLk) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func hasInfrequentSubset(cand []core.Item, inLk map[string]bool) bool {
+	sub := make([]core.Item, 0, len(cand)-1)
+	for drop := 0; drop < len(cand); drop++ {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if !inLk[itemsKey(sub)] {
+			return true
+		}
+	}
+	return false
+}
+
+// countCandidates counts each candidate's occurrences across transactions.
+// Candidates are held in a map keyed by encoded itemset; each transaction
+// enumerates its k-subsets only when short, and probes candidate-by-
+// candidate otherwise.
+func countCandidates(txs [][]core.Item, candidates [][]core.Item, k int) map[string]int64 {
+	counts := make(map[string]int64, len(candidates))
+	if len(candidates) == 0 {
+		return counts
+	}
+	candSet := make(map[string]bool, len(candidates))
+	for _, c := range candidates {
+		candSet[itemsKey(c)] = true
+		counts[itemsKey(c)] = 0
+	}
+	buf := make([]core.Item, k)
+	for _, items := range txs {
+		if len(items) < k {
+			continue
+		}
+		// Enumerate k-subsets of the transaction (items are sorted) and
+		// probe the candidate set.
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if depth == k {
+				key := itemsKey(buf)
+				if candSet[key] {
+					counts[key]++
+				}
+				return
+			}
+			for i := start; i <= len(items)-(k-depth); i++ {
+				buf[depth] = items[i]
+				rec(i+1, depth+1)
+			}
+		}
+		rec(0, 0)
+	}
+	for key, n := range counts {
+		if n == 0 {
+			delete(counts, key)
+		}
+	}
+	return counts
+}
+
+// MineAIS runs the AIS algorithm of reference [4]: in pass k, each
+// transaction extends the frequent (k-1)-itemsets it contains ("frontier
+// sets") with its remaining larger items, counting the extensions.
+// Candidates are thus generated *during* the data pass, without Apriori's
+// pruning — the behaviour SETM mirrors set-orientedly.
+func MineAIS(d *core.Dataset, opts core.Options) (*core.Result, error) {
+	start := time.Now()
+	minSup := opts.ResolveMinSupport(d.NumTransactions())
+	res := newResult(d, minSup)
+	txs := normalize(d)
+
+	iterStart := time.Now()
+	lk := frequentSingles(txs, minSup)
+	res.Counts = append(res.Counts, lk)
+	res.Stats = append(res.Stats, core.IterationStat{K: 1, CCount: len(lk), Duration: time.Since(iterStart)})
+
+	k := 1
+	for len(lk) > 0 {
+		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
+			break
+		}
+		k++
+		iterStart = time.Now()
+
+		inLk := make(map[string]bool, len(lk))
+		for _, c := range lk {
+			inLk[itemsKey(c.Items)] = true
+		}
+		counts := make(map[string]int64)
+		var candidates int64
+		sub := make([]core.Item, k-1)
+		ext := make([]core.Item, k)
+		for _, items := range txs {
+			if len(items) < k {
+				continue
+			}
+			// Enumerate the (k-1)-subsets of the transaction that are
+			// frequent, extend each with every larger item of the
+			// transaction.
+			var rec func(start, depth int)
+			rec = func(start, depth int) {
+				if depth == k-1 {
+					if !inLk[itemsKey(sub)] {
+						return
+					}
+					last := sub[k-2]
+					for _, it := range items {
+						if it > last {
+							copy(ext, sub)
+							ext[k-1] = it
+							counts[itemsKey(ext)]++
+							candidates++
+						}
+					}
+					return
+				}
+				for i := start; i <= len(items)-(k-1-depth); i++ {
+					sub[depth] = items[i]
+					rec(i+1, depth+1)
+				}
+			}
+			rec(0, 0)
+		}
+
+		var next []core.ItemsetCount
+		for key, n := range counts {
+			if n >= minSup {
+				next = append(next, core.ItemsetCount{Items: decodeKey(key), Count: n})
+			}
+		}
+		sortCounts(next)
+		res.Counts = append(res.Counts, next)
+		res.Stats = append(res.Stats, core.IterationStat{
+			K:          k,
+			RPrimeRows: candidates,
+			CCount:     len(next),
+			Duration:   time.Since(iterStart),
+		})
+		lk = next
+		if len(next) == 0 {
+			break
+		}
+	}
+	trimTail(res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package btree
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"setm/internal/storage"
+)
+
+func BenchmarkInsertRandom(b *testing.B) {
+	pool := storage.NewPool(storage.NewMemStore(), 1024)
+	tr, err := New(pool, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(Key{rng.Int63n(1000), rng.Int63()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	pool := storage.NewPool(storage.NewMemStore(), 1024)
+	tr, err := New(pool, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(Key{int64(i), int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrefixSeek(b *testing.B) {
+	pool := storage.NewPool(storage.NewMemStore(), 1024)
+	tr, err := New(pool, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Key{rng.Int63n(1000), int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := tr.PrefixSeek([]int64{int64(i % 1000)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := c.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	pool := storage.NewPool(storage.NewMemStore(), 1024)
+	tr, err := New(pool, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Key{int64(i % 1000), int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Contains(Key{int64(i % 1000), int64(i % n)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

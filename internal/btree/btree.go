@@ -1,0 +1,484 @@
+// Package btree implements a page-based B+-tree over composite integer
+// keys. It provides the two indexes the paper's nested-loop strategy
+// (Section 3) requires: an index on (item, trans_id) and an index on
+// (trans_id, item). As in the paper, all data is contained in the index —
+// leaf entries are the full keys, with no record pointers — so lookups never
+// touch a base table.
+//
+// The tree lives in a storage.Pool and therefore participates in the same
+// page-I/O accounting as heap files, letting experiments compare the random
+// page fetches of index-driven plans against the sequential accesses of
+// SETM's merge-scan plans.
+package btree
+
+import (
+	"fmt"
+	"io"
+
+	"setm/internal/storage"
+)
+
+// Node page layout:
+//
+//	offset 0: u16 flags (bit 0 set = leaf)
+//	offset 2: u16 entry count
+//	offset 4: u32 next-leaf page ID (leaves) / leftmost child (internal)
+//	offset 8: entries
+//
+// Leaf entry:     keyLen × 8 bytes (the key itself).
+// Internal entry: keyLen × 8 bytes key + u32 right child.
+// An internal node with n entries has n+1 children: the leftmost child at
+// offset 4 and one child per entry.
+const (
+	offFlags = 0
+	offCount = 2
+	offLink  = 4
+	offBody  = 8
+
+	flagLeaf = 1
+)
+
+// Tree is a B+-tree with fixed-arity integer keys.
+type Tree struct {
+	pool   *storage.Pool
+	keyLen int
+	root   storage.PageID
+	height int
+	count  int64
+
+	leafCap int
+	intCap  int
+}
+
+// Key is a composite integer key. All keys in a tree have the same length.
+type Key []int64
+
+// Compare orders two keys of equal arity lexicographically.
+func Compare(a, b Key) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// New creates an empty tree whose keys are keyLen integers.
+func New(pool *storage.Pool, keyLen int) (*Tree, error) {
+	if keyLen < 1 {
+		return nil, fmt.Errorf("btree: key length %d < 1", keyLen)
+	}
+	t := &Tree{
+		pool:   pool,
+		keyLen: keyLen,
+		height: 1,
+		// One entry of slack: inserts land in the page first and the node
+		// splits afterwards, so a "full" node must still have room for one
+		// physical overflow entry.
+		leafCap: (storage.PageSize-offBody)/(keyLen*8) - 1,
+		intCap:  (storage.PageSize-offBody)/(keyLen*8+4) - 1,
+	}
+	pg, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	pg.PutU16(offFlags, flagLeaf)
+	pg.PutU16(offCount, 0)
+	pg.PutU32(offLink, uint32(storage.InvalidPage))
+	pg.MarkDirty()
+	t.root = pg.ID
+	pool.Unpin(pg)
+	return t, nil
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int64 { return t.count }
+
+// Height returns the number of levels (1 = a lone leaf). This is the L of
+// the paper's Section 3.2 analysis.
+func (t *Tree) Height() int { return t.height }
+
+// KeyLen returns the key arity.
+func (t *Tree) KeyLen() int { return t.keyLen }
+
+func (t *Tree) leafEntrySize() int { return t.keyLen * 8 }
+func (t *Tree) intEntrySize() int  { return t.keyLen*8 + 4 }
+
+func (t *Tree) leafKey(pg *storage.Page, i int) Key {
+	k := make(Key, t.keyLen)
+	base := offBody + i*t.leafEntrySize()
+	for j := 0; j < t.keyLen; j++ {
+		k[j] = int64(pg.U64(base + j*8))
+	}
+	return k
+}
+
+func (t *Tree) putLeafKey(pg *storage.Page, i int, k Key) {
+	base := offBody + i*t.leafEntrySize()
+	for j := 0; j < t.keyLen; j++ {
+		pg.PutU64(base+j*8, uint64(k[j]))
+	}
+}
+
+func (t *Tree) intKey(pg *storage.Page, i int) Key {
+	k := make(Key, t.keyLen)
+	base := offBody + i*t.intEntrySize()
+	for j := 0; j < t.keyLen; j++ {
+		k[j] = int64(pg.U64(base + j*8))
+	}
+	return k
+}
+
+func (t *Tree) intChild(pg *storage.Page, i int) storage.PageID {
+	// Child i: for i == 0 the leftmost link, else the child of entry i-1.
+	if i == 0 {
+		return storage.PageID(pg.U32(offLink))
+	}
+	base := offBody + (i-1)*t.intEntrySize() + t.keyLen*8
+	return storage.PageID(pg.U32(base))
+}
+
+func (t *Tree) putIntEntry(pg *storage.Page, i int, k Key, child storage.PageID) {
+	base := offBody + i*t.intEntrySize()
+	for j := 0; j < t.keyLen; j++ {
+		pg.PutU64(base+j*8, uint64(k[j]))
+	}
+	pg.PutU32(base+t.keyLen*8, uint32(child))
+}
+
+// shift moves entries [from, count) one slot right in a node with entries of
+// size esz, making room at position from.
+func shift(pg *storage.Page, from, count, esz int) {
+	start := offBody + from*esz
+	end := offBody + count*esz
+	copy(pg.Data[start+esz:end+esz], pg.Data[start:end])
+}
+
+// Insert adds key k. Duplicate keys are stored (the SALES relation can hold
+// duplicates if a transaction lists an item twice; mining code deduplicates
+// upstream, the index stays general).
+func (t *Tree) Insert(k Key) error {
+	if len(k) != t.keyLen {
+		return fmt.Errorf("btree: key arity %d, want %d", len(k), t.keyLen)
+	}
+	sep, right, split, err := t.insertAt(t.root, k, t.height)
+	if err != nil {
+		return err
+	}
+	if split {
+		// Grow a new root.
+		pg, err := t.pool.Allocate()
+		if err != nil {
+			return err
+		}
+		pg.PutU16(offFlags, 0)
+		pg.PutU16(offCount, 1)
+		pg.PutU32(offLink, uint32(t.root))
+		t.putIntEntry(pg, 0, sep, right)
+		pg.MarkDirty()
+		t.root = pg.ID
+		t.height++
+		t.pool.Unpin(pg)
+	}
+	t.count++
+	return nil
+}
+
+// insertAt inserts into the subtree rooted at id (at the given level,
+// 1 = leaf). On split it returns the separator key and new right sibling.
+func (t *Tree) insertAt(id storage.PageID, k Key, level int) (Key, storage.PageID, bool, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer t.pool.Unpin(pg)
+
+	n := int(pg.U16(offCount))
+	if level == 1 { // leaf
+		// Position of first entry > k (upper bound keeps duplicates stable).
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if Compare(t.leafKey(pg, mid), k) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		shift(pg, lo, n, t.leafEntrySize())
+		t.putLeafKey(pg, lo, k)
+		pg.PutU16(offCount, uint16(n+1))
+		pg.MarkDirty()
+		if n+1 <= t.leafCap {
+			return nil, 0, false, nil
+		}
+		return t.splitLeaf(pg)
+	}
+
+	// Internal: find child to descend into — last entry with key <= k.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(t.intKey(pg, mid), k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	child := t.intChild(pg, lo)
+	sep, right, split, err := t.insertAt(child, k, level-1)
+	if err != nil || !split {
+		return nil, 0, false, err
+	}
+	// Insert (sep, right) at position lo.
+	shift(pg, lo, n, t.intEntrySize())
+	t.putIntEntry(pg, lo, sep, right)
+	pg.PutU16(offCount, uint16(n+1))
+	pg.MarkDirty()
+	if n+1 <= t.intCap {
+		return nil, 0, false, nil
+	}
+	return t.splitInternal(pg)
+}
+
+func (t *Tree) splitLeaf(pg *storage.Page) (Key, storage.PageID, bool, error) {
+	n := int(pg.U16(offCount))
+	mid := n / 2
+	npg, err := t.pool.Allocate()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer t.pool.Unpin(npg)
+	npg.PutU16(offFlags, flagLeaf)
+	moved := n - mid
+	esz := t.leafEntrySize()
+	copy(npg.Data[offBody:offBody+moved*esz], pg.Data[offBody+mid*esz:offBody+n*esz])
+	npg.PutU16(offCount, uint16(moved))
+	npg.PutU32(offLink, pg.U32(offLink))
+	npg.MarkDirty()
+	pg.PutU16(offCount, uint16(mid))
+	pg.PutU32(offLink, uint32(npg.ID))
+	pg.MarkDirty()
+	return t.leafKey(npg, 0), npg.ID, true, nil
+}
+
+func (t *Tree) splitInternal(pg *storage.Page) (Key, storage.PageID, bool, error) {
+	n := int(pg.U16(offCount))
+	mid := n / 2 // entry mid moves up as separator
+	sep := t.intKey(pg, mid)
+	npg, err := t.pool.Allocate()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer t.pool.Unpin(npg)
+	npg.PutU16(offFlags, 0)
+	// New node's leftmost child is the child of the separator entry.
+	npg.PutU32(offLink, uint32(t.intChild(pg, mid+1)))
+	moved := n - mid - 1
+	esz := t.intEntrySize()
+	copy(npg.Data[offBody:offBody+moved*esz], pg.Data[offBody+(mid+1)*esz:offBody+n*esz])
+	npg.PutU16(offCount, uint16(moved))
+	npg.MarkDirty()
+	pg.PutU16(offCount, uint16(mid))
+	pg.MarkDirty()
+	return sep, npg.ID, true, nil
+}
+
+// Cursor iterates keys in ascending order from a starting bound.
+type Cursor struct {
+	tree *Tree
+	page storage.PageID
+	idx  int
+	hi   Key // exclusive upper bound; nil = unbounded
+	done bool
+}
+
+// Seek returns a cursor positioned at the first key >= lo. If hi is
+// non-nil, iteration stops before the first key >= hi.
+func (t *Tree) Seek(lo, hi Key) (*Cursor, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		n := int(pg.U16(offCount))
+		// Descend into the last child whose separator <= lo... we need the
+		// first leaf that can contain keys >= lo, i.e. child of the last
+		// entry with key <= lo.
+		j, k := 0, n
+		for j < k {
+			mid := (j + k) / 2
+			if Compare(t.intKey(pg, mid), lo) <= 0 {
+				j = mid + 1
+			} else {
+				k = mid
+			}
+		}
+		next := t.intChild(pg, j)
+		t.pool.Unpin(pg)
+		id = next
+	}
+	c := &Cursor{tree: t, page: id, hi: hi}
+	// Position idx at first key >= lo within the leaf (may overflow to next).
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	n := int(pg.U16(offCount))
+	j, k := 0, n
+	for j < k {
+		mid := (j + k) / 2
+		if Compare(t.leafKey(pg, mid), lo) < 0 {
+			j = mid + 1
+		} else {
+			k = mid
+		}
+	}
+	c.idx = j
+	t.pool.Unpin(pg)
+	return c, nil
+}
+
+// Min returns a cursor over the whole tree.
+func (t *Tree) Min() (*Cursor, error) {
+	lo := make(Key, t.keyLen)
+	for i := range lo {
+		lo[i] = -1 << 63
+	}
+	return t.Seek(lo, nil)
+}
+
+// Next returns the next key, or io.EOF when the range is exhausted.
+func (c *Cursor) Next() (Key, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	for {
+		pg, err := c.tree.pool.Fetch(c.page)
+		if err != nil {
+			return nil, err
+		}
+		n := int(pg.U16(offCount))
+		if c.idx < n {
+			k := c.tree.leafKey(pg, c.idx)
+			c.tree.pool.Unpin(pg)
+			if c.hi != nil && Compare(k, c.hi) >= 0 {
+				c.done = true
+				return nil, io.EOF
+			}
+			c.idx++
+			return k, nil
+		}
+		next := storage.PageID(pg.U32(offLink))
+		c.tree.pool.Unpin(pg)
+		if next == storage.InvalidPage {
+			c.done = true
+			return nil, io.EOF
+		}
+		c.page = next
+		c.idx = 0
+	}
+}
+
+// Contains reports whether the exact key k is present.
+func (t *Tree) Contains(k Key) (bool, error) {
+	c, err := t.Seek(k, successor(k))
+	if err != nil {
+		return false, err
+	}
+	_, err = c.Next()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// successor returns the smallest key strictly greater than k for use as an
+// exclusive bound in point lookups, or nil (unbounded) when k is the
+// maximum representable key.
+func successor(k Key) Key {
+	out := make(Key, len(k))
+	copy(out, k)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 1<<63-1 {
+			out[i]++
+			return out
+		}
+		out[i] = -1 << 63
+	}
+	return nil
+}
+
+// PrefixSeek returns a cursor over all keys whose first len(prefix) columns
+// equal prefix. This is the access path of the paper's nested-loop plan:
+// "use the index on (item, trans_id) to get qualifying tuples with
+// r.item = c.item1".
+func (t *Tree) PrefixSeek(prefix []int64) (*Cursor, error) {
+	if len(prefix) > t.keyLen {
+		return nil, fmt.Errorf("btree: prefix arity %d exceeds key arity %d", len(prefix), t.keyLen)
+	}
+	lo := make(Key, t.keyLen)
+	hi := make(Key, t.keyLen)
+	copy(lo, prefix)
+	copy(hi, prefix)
+	for i := len(prefix); i < t.keyLen; i++ {
+		lo[i] = -1 << 63
+		hi[i] = -1 << 63
+	}
+	// hi = prefix successor in the prefix columns, min-filled below.
+	carry := true
+	for i := len(prefix) - 1; i >= 0 && carry; i-- {
+		if hi[i] != 1<<63-1 {
+			hi[i]++
+			carry = false
+		} else {
+			hi[i] = -1 << 63
+		}
+	}
+	if carry && len(prefix) > 0 {
+		// Prefix is the maximum possible; range is unbounded above.
+		return t.Seek(lo, nil)
+	}
+	return t.Seek(lo, hi)
+}
+
+// Pages returns the total number of pages allocated to this tree's pool
+// store; for a dedicated pool this is the tree's footprint. LeafPages and
+// related shape statistics are computed by walking the tree.
+func (t *Tree) Shape() (leaves, internals int, err error) {
+	return t.shapeAt(t.root, t.height)
+}
+
+func (t *Tree) shapeAt(id storage.PageID, level int) (int, int, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := int(pg.U16(offCount))
+	if level == 1 {
+		t.pool.Unpin(pg)
+		return 1, 0, nil
+	}
+	children := make([]storage.PageID, 0, n+1)
+	for i := 0; i <= n; i++ {
+		children = append(children, t.intChild(pg, i))
+	}
+	t.pool.Unpin(pg)
+	leaves, internals := 0, 1
+	for _, ch := range children {
+		l, in, err := t.shapeAt(ch, level-1)
+		if err != nil {
+			return 0, 0, err
+		}
+		leaves += l
+		internals += in
+	}
+	return leaves, internals, nil
+}

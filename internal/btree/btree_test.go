@@ -1,0 +1,331 @@
+package btree
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"setm/internal/storage"
+)
+
+func newTree(t *testing.T, keyLen int) *Tree {
+	t.Helper()
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	tr, err := New(pool, keyLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func collect(t *testing.T, c *Cursor) []Key {
+	t.Helper()
+	var out []Key
+	for {
+		k, err := c.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, k)
+	}
+}
+
+func TestInsertAndScanSorted(t *testing.T) {
+	tr := newTree(t, 1)
+	vals := []int64{5, 3, 9, 1, 7, 2, 8, 4, 6, 0}
+	for _, v := range vals {
+		if err := tr.Insert(Key{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, c)
+	if len(got) != len(vals) {
+		t.Fatalf("got %d keys, want %d", len(got), len(vals))
+	}
+	for i, k := range got {
+		if k[0] != int64(i) {
+			t.Errorf("key %d = %v, want %d", i, k, i)
+		}
+	}
+}
+
+func TestLargeInsertCausesSplitsAndStaysSorted(t *testing.T) {
+	tr := newTree(t, 2)
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{rng.Int63n(1000), rng.Int63n(100000)}
+	}
+	for _, k := range keys {
+		if err := tr.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Errorf("20k keys did not grow the tree: height %d", tr.Height())
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d, want %d", tr.Len(), n)
+	}
+	c, err := tr.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, c)
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(got), n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 })
+	for i := range keys {
+		if Compare(got[i], keys[i]) != 0 {
+			t.Fatalf("key %d = %v, want %v", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tr := newTree(t, 1)
+	for v := int64(0); v < 100; v += 2 { // evens 0..98
+		if err := tr.Insert(Key{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.Seek(Key{10}, Key{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, c)
+	want := []int64{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("range [10,20) returned %v", got)
+	}
+	for i, k := range got {
+		if k[0] != want[i] {
+			t.Errorf("range key %d = %v, want %d", i, k, want[i])
+		}
+	}
+	// Seek to a missing key starts at the next present one.
+	c, err = tr.Seek(Key{11}, Key{13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = collect(t, c)
+	if len(got) != 1 || got[0][0] != 12 {
+		t.Errorf("range [11,13) = %v, want [12]", got)
+	}
+}
+
+func TestPrefixSeek(t *testing.T) {
+	tr := newTree(t, 2)
+	// (item, trans) pairs: item 7 appears in transactions 1,3,5; item 8 in 2.
+	pairs := [][2]int64{{7, 3}, {8, 2}, {7, 1}, {9, 9}, {7, 5}, {6, 4}}
+	for _, p := range pairs {
+		if err := tr.Insert(Key{p[0], p[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.PrefixSeek([]int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, c)
+	want := []int64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("prefix 7 = %v", got)
+	}
+	for i, k := range got {
+		if k[0] != 7 || k[1] != want[i] {
+			t.Errorf("prefix key %d = %v, want [7 %d]", i, k, want[i])
+		}
+	}
+	// Missing prefix yields empty range.
+	c, err = tr.PrefixSeek([]int64{55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, c); len(got) != 0 {
+		t.Errorf("missing prefix returned %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	tr := newTree(t, 2)
+	if err := tr.Insert(Key{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Contains(Key{1, 2})
+	if err != nil || !ok {
+		t.Errorf("Contains existing = %v, %v", ok, err)
+	}
+	ok, err = tr.Contains(Key{1, 3})
+	if err != nil || ok {
+		t.Errorf("Contains missing = %v, %v", ok, err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 1)
+	for i := 0; i < 5; i++ {
+		if err := tr.Insert(Key{42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, c); len(got) != 5 {
+		t.Errorf("stored %d duplicates, want 5", len(got))
+	}
+}
+
+func TestShape(t *testing.T) {
+	tr := newTree(t, 1)
+	for v := int64(0); v < 10000; v++ {
+		if err := tr.Insert(Key{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves, internals, err := tr.Shape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves < 2 {
+		t.Errorf("leaves = %d", leaves)
+	}
+	if tr.Height() > 1 && internals < 1 {
+		t.Errorf("internals = %d with height %d", internals, tr.Height())
+	}
+	// Every key must still be reachable.
+	c, err := tr.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, c); len(got) != 10000 {
+		t.Errorf("scan after splits returned %d keys", len(got))
+	}
+}
+
+func TestSequentialAscendingAndDescendingInserts(t *testing.T) {
+	for name, order := range map[string]func(i int) int64{
+		"ascending":  func(i int) int64 { return int64(i) },
+		"descending": func(i int) int64 { return int64(9999 - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := newTree(t, 1)
+			for i := 0; i < 10000; i++ {
+				if err := tr.Insert(Key{order(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c, err := tr.Min()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, c)
+			if len(got) != 10000 {
+				t.Fatalf("got %d keys", len(got))
+			}
+			for i, k := range got {
+				if k[0] != int64(i) {
+					t.Fatalf("key %d = %v", i, k)
+				}
+			}
+		})
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		pool := storage.NewPool(storage.NewMemStore(), 64)
+		tr, err := New(pool, 1)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := tr.Insert(Key{v}); err != nil {
+				return false
+			}
+		}
+		c, err := tr.Min()
+		if err != nil {
+			return false
+		}
+		var got []int64
+		for {
+			k, err := c.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			got = append(got, k[0])
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyArityValidation(t *testing.T) {
+	tr := newTree(t, 2)
+	if err := tr.Insert(Key{1}); err == nil {
+		t.Error("wrong-arity insert accepted")
+	}
+	if _, err := tr.PrefixSeek([]int64{1, 2, 3}); err == nil {
+		t.Error("over-long prefix accepted")
+	}
+	pool := storage.NewPool(storage.NewMemStore(), 4)
+	if _, err := New(pool, 0); err == nil {
+		t.Error("zero key length accepted")
+	}
+}
+
+func TestExtremeKeyValues(t *testing.T) {
+	tr := newTree(t, 1)
+	vals := []int64{-1 << 63, -1, 0, 1, 1<<63 - 1}
+	for _, v := range vals {
+		if err := tr.Insert(Key{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, c)
+	if len(got) != len(vals) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range vals {
+		if got[i][0] != vals[i] {
+			t.Errorf("key %d = %d, want %d", i, got[i][0], vals[i])
+		}
+	}
+	ok, err := tr.Contains(Key{1<<63 - 1})
+	if err != nil || !ok {
+		t.Error("Contains(maxint) failed")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// classified builds a two-class dataset where class 1 is the paper example
+// and class 2 is a disjoint basket pattern.
+func classified() *ClassifiedDataset {
+	d := &ClassifiedDataset{}
+	for _, tx := range PaperExample().Transactions {
+		d.Transactions = append(d.Transactions, ClassifiedTransaction{
+			ID: tx.ID, Class: 1, Items: tx.Items,
+		})
+	}
+	// Class 2: items 20,21 always together, 5 transactions.
+	for i := 0; i < 5; i++ {
+		d.Transactions = append(d.Transactions, ClassifiedTransaction{
+			ID: int64(200 + i), Class: 2, Items: []Item{20, 21},
+		})
+	}
+	return d
+}
+
+func TestMineClassesMatchesPerClassMining(t *testing.T) {
+	// Classified mining must equal mining each class's subset separately.
+	d := classified()
+	res, err := MineClasses(d, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.ByClass()
+	for _, class := range d.Classes() {
+		want, err := MineMemory(d.Subset(class), Options{MinSupportFrac: 0.30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := per[class]
+		if !ok {
+			t.Fatalf("class %d missing from result", class)
+		}
+		if len(got.Counts) != len(want.Counts) {
+			t.Fatalf("class %d: %d iterations vs %d", class, len(got.Counts), len(want.Counts))
+		}
+		for k := 1; k <= len(want.Counts); k++ {
+			a, b := countsAsMap(got.C(k)), countsAsMap(want.C(k))
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("class %d C_%d = %v, want %v", class, k, a, b)
+			}
+		}
+	}
+}
+
+func TestMineClassesRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := &ClassifiedDataset{}
+	for i := 0; i < 120; i++ {
+		n := 1 + rng.Intn(5)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item(1 + rng.Intn(10))
+		}
+		d.Transactions = append(d.Transactions, ClassifiedTransaction{
+			ID: int64(i + 1), Class: int64(rng.Intn(3)), Items: items,
+		})
+	}
+	res, err := MineClasses(d, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.ByClass()
+	for _, class := range d.Classes() {
+		sub := d.Subset(class)
+		want, err := MineMemory(sub, Options{MinSupportFrac: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := per[class]
+		if got.TotalPatterns() != want.TotalPatterns() {
+			t.Errorf("class %d: %d patterns vs %d separate",
+				class, got.TotalPatterns(), want.TotalPatterns())
+		}
+	}
+}
+
+func TestMineClassesSeparatesClasses(t *testing.T) {
+	// The class-2 pattern {20,21} must not appear for class 1 and vice
+	// versa.
+	res, err := MineClasses(classified(), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(res.Counts); k++ {
+		for _, c := range res.Counts[k-1] {
+			for _, it := range c.Items {
+				if c.Class == 1 && it >= 20 {
+					t.Errorf("class 1 contains class-2 item: %+v", c)
+				}
+				if c.Class == 2 && it < 20 {
+					t.Errorf("class 2 contains class-1 item: %+v", c)
+				}
+			}
+		}
+	}
+	// Class 2: {20}, {21}, {20,21} all with count 5.
+	per := res.ByClass()
+	c2 := per[2]
+	if c2.Support([]Item{20, 21}) != 5 {
+		t.Errorf("class 2 pair support = %d, want 5", c2.Support([]Item{20, 21}))
+	}
+}
+
+func TestMineClassesSupportIsPerClass(t *testing.T) {
+	// 30% support: class sizes differ (10 vs 5), so the absolute
+	// thresholds differ (3 vs 1 — floor at 1).
+	res, err := MineClasses(classified(), 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.ByClass()
+	if per[1].MinSupport != 3 {
+		t.Errorf("class 1 minsup = %d, want 3", per[1].MinSupport)
+	}
+	if per[2].MinSupport != 1 {
+		t.Errorf("class 2 minsup = %d, want 1", per[2].MinSupport)
+	}
+}
+
+func TestMineClassesValidation(t *testing.T) {
+	if _, err := MineClasses(&ClassifiedDataset{}, 0.3); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := MineClasses(classified(), 0); err == nil {
+		t.Error("zero support accepted")
+	}
+	if _, err := MineClasses(classified(), 1.5); err == nil {
+		t.Error("support > 1 accepted")
+	}
+}
+
+func TestClassifiedDatasetHelpers(t *testing.T) {
+	d := classified()
+	if got := d.Classes(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Classes = %v", got)
+	}
+	counts := d.ClassCounts()
+	if counts[1] != 10 || counts[2] != 5 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+	if d.Subset(1).NumTransactions() != 10 {
+		t.Errorf("Subset(1) = %d transactions", d.Subset(1).NumTransactions())
+	}
+	if d.NumTransactions() != 15 {
+		t.Errorf("NumTransactions = %d", d.NumTransactions())
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// PaperExample is the 10-transaction data set of Figure 1 with items
+// A..H mapped to 1..8.
+func PaperExample() *Dataset {
+	const (
+		A, B, C, D, E, F, G, H = 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	tx := []Transaction{
+		{ID: 10, Items: []Item{A, B, C}},
+		{ID: 20, Items: []Item{A, B, D}},
+		{ID: 30, Items: []Item{A, B, C}},
+		{ID: 40, Items: []Item{B, C, D}},
+		{ID: 50, Items: []Item{A, C, G}},
+		{ID: 60, Items: []Item{A, D, G}},
+		{ID: 70, Items: []Item{A, E, H}},
+		{ID: 80, Items: []Item{D, E, F}},
+		{ID: 90, Items: []Item{D, E, F}},
+		{ID: 99, Items: []Item{D, E, F}},
+	}
+	return &Dataset{Transactions: tx}
+}
+
+// paperOpts is the example's 30% minimum support (3 transactions).
+var paperOpts = Options{MinSupportFrac: 0.30}
+
+func countsAsMap(cs []ItemsetCount) map[string]int64 {
+	out := make(map[string]int64, len(cs))
+	for _, c := range cs {
+		key := ""
+		for _, it := range c.Items {
+			key += string(rune('A' + it - 1))
+		}
+		out[key] = c.Count
+	}
+	return out
+}
+
+func TestPaperExampleMemory(t *testing.T) {
+	res, err := MineMemory(PaperExample(), paperOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPaperExample(t, res)
+}
+
+func TestPaperExamplePaged(t *testing.T) {
+	res, err := MinePaged(PaperExample(), paperOpts, PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPaperExample(t, res.Result)
+	if res.IO.Accesses() < 0 {
+		t.Error("negative I/O accounting")
+	}
+}
+
+func TestPaperExampleSQL(t *testing.T) {
+	res, err := MineSQL(PaperExample(), paperOpts, SQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPaperExample(t, res)
+}
+
+// checkPaperExample verifies C_1..C_3 against Figures 1–3 of the paper.
+func checkPaperExample(t *testing.T, res *Result) {
+	t.Helper()
+	if res.MinSupport != 3 {
+		t.Errorf("MinSupport = %d, want 3", res.MinSupport)
+	}
+	// C_1 (Figure 1): A:6 B:4 C:4 D:6 E:4 F:3 (G:2 and H:1 are dropped).
+	wantC1 := map[string]int64{"A": 6, "B": 4, "C": 4, "D": 6, "E": 4, "F": 3}
+	if got := countsAsMap(res.C(1)); !reflect.DeepEqual(got, wantC1) {
+		t.Errorf("C1 = %v, want %v", got, wantC1)
+	}
+	// C_2 (Figure 2): AB:3 AC:3 BC:3 DE:3 DF:3 EF:3.
+	wantC2 := map[string]int64{"AB": 3, "AC": 3, "BC": 3, "DE": 3, "DF": 3, "EF": 3}
+	if got := countsAsMap(res.C(2)); !reflect.DeepEqual(got, wantC2) {
+		t.Errorf("C2 = %v, want %v", got, wantC2)
+	}
+	// C_3 (Figure 3): DEF:3 only.
+	wantC3 := map[string]int64{"DEF": 3}
+	if got := countsAsMap(res.C(3)); !reflect.DeepEqual(got, wantC3) {
+		t.Errorf("C3 = %v, want %v", got, wantC3)
+	}
+	if res.MaxLen() != 3 {
+		t.Errorf("MaxLen = %d, want 3", res.MaxLen())
+	}
+}
+
+func TestPaperExampleR2Contents(t *testing.T) {
+	// Figure 2's R_2: the supported pairs per transaction. Transaction 10
+	// (A,B,C) contributes AB, AC, BC; transaction 80 (D,E,F) contributes
+	// DE, DF, EF; transaction 50 (A,C,G) contributes only AC.
+	res, err := MineMemory(PaperExample(), paperOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R_2 row count: tx 10,30 contribute 3 each (AB,AC,BC); 20 contributes
+	// AB only (AD:2, BD:2 unsupported); 40 contributes BC; 50 AC; 60 none
+	// (AD:2, AG, DG); 70 none; 80,90,99 contribute 3 each (DE,DF,EF).
+	// Total = 3+1+3+1+1+0+0+3+3+3 = 18.
+	if res.Stats[1].RRows != 18 {
+		t.Errorf("|R_2| = %d, want 18", res.Stats[1].RRows)
+	}
+	// R_3: tx 80,90,99 contribute DEF = 3 rows.
+	if res.Stats[2].RRows != 3 {
+		t.Errorf("|R_3| = %d, want 3", res.Stats[2].RRows)
+	}
+}
+
+func TestDriversAgreeOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		d := randomDataset(rng, 60, 8, 20)
+		opts := Options{MinSupportCount: int64(2 + trial)}
+		mem, err := MineMemory(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged, err := MinePaged(d, opts, PagedConfig{PoolFrames: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlRes, err := MineSQL(d, opts, SQLConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCounts(t, "paged", mem, paged.Result)
+		assertSameCounts(t, "sql", mem, sqlRes)
+	}
+}
+
+func TestPrefilterSalesAblationAgrees(t *testing.T) {
+	// Prefiltering SALES by C_1 must not change any C_k.
+	rng := rand.New(rand.NewSource(23))
+	d := randomDataset(rng, 80, 10, 15)
+	base, err := MineMemory(d, Options{MinSupportCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := MineMemory(d, Options{MinSupportCount: 3, PrefilterSales: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "prefilter-mem", base, pre)
+	preSQL, err := MineSQL(d, Options{MinSupportCount: 3, PrefilterSales: true}, SQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "prefilter-sql", base, preSQL)
+	prePaged, err := MinePaged(d, Options{MinSupportCount: 3, PrefilterSales: true}, PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "prefilter-paged", base, prePaged.Result)
+}
+
+func assertSameCounts(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatalf("%s: iterations %d vs %d", label, len(a.Counts), len(b.Counts))
+	}
+	for k := 1; k <= len(a.Counts); k++ {
+		ca, cb := countsAsMap(a.C(k)), countsAsMap(b.C(k))
+		if !reflect.DeepEqual(ca, cb) {
+			t.Errorf("%s: C_%d differs:\n  a=%v\n  b=%v", label, k, ca, cb)
+		}
+	}
+}
+
+// randomDataset builds n transactions with up to maxLen items drawn from
+// [1, nItems].
+func randomDataset(rng *rand.Rand, n, maxLen, nItems int) *Dataset {
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		ln := 1 + rng.Intn(maxLen)
+		items := make([]Item, ln)
+		for j := range items {
+			items[j] = Item(1 + rng.Intn(nItems))
+		}
+		d.Transactions = append(d.Transactions, Transaction{ID: int64(i + 1), Items: items})
+	}
+	return d
+}
+
+func TestSupportLookup(t *testing.T) {
+	res, err := MineMemory(PaperExample(), paperOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Support([]Item{1, 2}); got != 3 { // AB
+		t.Errorf("Support(AB) = %d, want 3", got)
+	}
+	if got := res.Support([]Item{1}); got != 6 { // A
+		t.Errorf("Support(A) = %d, want 6", got)
+	}
+	if got := res.Support([]Item{7}); got != 0 { // G infrequent
+		t.Errorf("Support(G) = %d, want 0", got)
+	}
+	if got := res.Support([]Item{4, 5, 6}); got != 3 { // DEF
+		t.Errorf("Support(DEF) = %d, want 3", got)
+	}
+	if got := res.Support([]Item{1, 2, 3, 4}); got != 0 {
+		t.Errorf("Support(len-4) = %d, want 0", got)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := MineMemory(&Dataset{}, paperOpts); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := MineMemory(PaperExample(), Options{}); err == nil {
+		t.Error("zero support accepted")
+	}
+	if _, err := MineMemory(PaperExample(), Options{MinSupportFrac: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestResolveMinSupport(t *testing.T) {
+	cases := []struct {
+		o    Options
+		n    int
+		want int64
+	}{
+		{Options{MinSupportCount: 5}, 100, 5},
+		{Options{MinSupportFrac: 0.30}, 10, 3},
+		{Options{MinSupportFrac: 0.001}, 100, 1}, // floor at 1
+		{Options{MinSupportFrac: 0.005}, 46873, 234},
+	}
+	for _, c := range cases {
+		if got := c.o.ResolveMinSupport(c.n); got != c.want {
+			t.Errorf("ResolveMinSupport(%+v, %d) = %d, want %d", c.o, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMaxPatternLenStopsEarly(t *testing.T) {
+	res, err := MineMemory(PaperExample(), Options{MinSupportFrac: 0.3, MaxPatternLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != 2 {
+		t.Errorf("Counts len = %d, want 2", len(res.Counts))
+	}
+	if res.MaxLen() != 2 {
+		t.Errorf("MaxLen = %d", res.MaxLen())
+	}
+}
+
+func TestDuplicateItemsInTransaction(t *testing.T) {
+	// An item listed twice in one transaction must count once.
+	d := &Dataset{Transactions: []Transaction{
+		{ID: 1, Items: []Item{5, 5, 5}},
+		{ID: 2, Items: []Item{5}},
+	}}
+	res, err := MineMemory(d, Options{MinSupportCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Support([]Item{5}); got != 2 {
+		t.Errorf("Support(5) = %d, want 2", got)
+	}
+	if len(res.C(1)) != 1 {
+		t.Errorf("C1 = %v", res.C(1))
+	}
+}
+
+func TestSingleItemTransactionsProduceNoPairs(t *testing.T) {
+	d := &Dataset{Transactions: []Transaction{
+		{ID: 1, Items: []Item{1}},
+		{ID: 2, Items: []Item{1}},
+		{ID: 3, Items: []Item{2}},
+	}}
+	res, err := MineMemory(d, Options{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen() != 1 {
+		t.Errorf("MaxLen = %d, want 1", res.MaxLen())
+	}
+}
+
+func TestHighSupportYieldsEmpty(t *testing.T) {
+	res, err := MineMemory(PaperExample(), Options{MinSupportCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPatterns() != 0 {
+		t.Errorf("patterns = %d, want 0", res.TotalPatterns())
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	// Property: for every iteration, |R_k| <= |R'_k| and C_k counts are >=
+	// minsup; RPaperBytes matches rows × (k+1) × 4.
+	rng := rand.New(rand.NewSource(99))
+	d := randomDataset(rng, 100, 6, 12)
+	res, err := MineMemory(d, Options{MinSupportCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Stats {
+		if st.RRows > st.RPrimeRows {
+			t.Errorf("iter %d: |R_k| %d > |R'_k| %d", i, st.RRows, st.RPrimeRows)
+		}
+		if st.RPaperBytes != st.RRows*paperTupleBytes(st.K) {
+			t.Errorf("iter %d: paper bytes inconsistent", i)
+		}
+	}
+	for k := 1; k <= len(res.Counts); k++ {
+		for _, c := range res.C(k) {
+			if c.Count < res.MinSupport {
+				t.Errorf("C_%d contains %v below support", k, c)
+			}
+			if len(c.Items) != k {
+				t.Errorf("C_%d contains pattern of length %d", k, len(c.Items))
+			}
+			for i := 1; i < len(c.Items); i++ {
+				if c.Items[i-1] >= c.Items[i] {
+					t.Errorf("C_%d pattern %v not lexicographically ordered", k, c.Items)
+				}
+			}
+		}
+	}
+}
+
+func TestMonotoneSupportProperty(t *testing.T) {
+	// Raising minimum support can only shrink the pattern sets.
+	rng := rand.New(rand.NewSource(7))
+	d := randomDataset(rng, 120, 7, 10)
+	lo, err := MineMemory(d, Options{MinSupportCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MineMemory(d, Options{MinSupportCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.TotalPatterns() > lo.TotalPatterns() {
+		t.Errorf("higher support found more patterns: %d > %d", hi.TotalPatterns(), lo.TotalPatterns())
+	}
+	// Every pattern frequent at 6 must be frequent at 3 with equal count.
+	for k := 1; k <= len(hi.Counts); k++ {
+		for _, c := range hi.C(k) {
+			if lo.Support(c.Items) != c.Count {
+				t.Errorf("pattern %v: count %d at hi, %d at lo", c.Items, c.Count, lo.Support(c.Items))
+			}
+		}
+	}
+}
+
+func TestSalesRowsNormalization(t *testing.T) {
+	d := &Dataset{Transactions: []Transaction{
+		{ID: 2, Items: []Item{3, 1, 3}},
+		{ID: 1, Items: []Item{2}},
+	}}
+	rows := d.SalesRows()
+	want := [][2]int64{{1, 2}, {2, 1}, {2, 3}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("SalesRows = %v, want %v", rows, want)
+	}
+	if d.NumSalesRows() != 3 {
+		t.Errorf("NumSalesRows = %d", d.NumSalesRows())
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"setm/internal/exec"
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+	"setm/internal/xsort"
+)
+
+// PagedConfig tunes the paged driver's substrate.
+type PagedConfig struct {
+	// PoolFrames is the buffer-pool capacity in 4 KB frames (default 256 —
+	// SETM's access pattern is sequential, so small pools suffice).
+	PoolFrames int
+	// SortMemLimit bounds the external sort's in-memory runs in bytes
+	// (default xsort.DefaultMemoryLimit).
+	SortMemLimit int
+	// Store supplies the page store (default: a fresh in-memory store).
+	// Pass a storage.FileStore to run against a real file, or a
+	// storage.FaultStore in failure-injection tests.
+	Store storage.Store
+	// UseHashJoin replaces the merge-scan extension join with an in-memory
+	// hash join (DESIGN.md ablation: it drops the sort before the join but
+	// must hold one join side in memory, surrendering the bounded-memory
+	// property the paper's formulation has).
+	UseHashJoin bool
+	// UseHashGroup replaces the sort + sequential count scan with hash
+	// aggregation when generating C_k.
+	UseHashGroup bool
+}
+
+func (c PagedConfig) withDefaults() PagedConfig {
+	if c.PoolFrames <= 0 {
+		c.PoolFrames = 256
+	}
+	return c
+}
+
+// PagedResult bundles a mining result with the storage-layer accounting
+// that the paper's Section 4.3 formula bounds.
+type PagedResult struct {
+	*Result
+	// IO is the buffer pool's page-access tally for the whole run.
+	IO storage.Stats
+	// RPages[k-1] is ‖R_k‖, the page footprint of each stored R_k (after
+	// the support filter).
+	RPages []int
+	// RPrimePages[k-1] is ‖R'_k‖, the footprint of the unfiltered
+	// candidate relation — the quantity the Section 4.3 worst-case model
+	// describes. RPrimePages[0] equals RPages[0] (R_1 has no R').
+	RPrimePages []int
+}
+
+// MinePaged runs Algorithm SETM on the paged substrate: R_k relations are
+// heap files, sorts are external merge sorts spilling to the same pool, and
+// the extension step is the exec.MergeJoin operator. The returned IO stats
+// let experiments check the Section 4.3 bound
+//
+//	(n-1)·‖R_1‖ + Σ‖R'_i‖ + 2·Σ‖R_i‖
+func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
+	if err := validate(d, opts); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	minSup := opts.ResolveMinSupport(d.NumTransactions())
+	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
+	pres := &PagedResult{Result: res}
+
+	store := cfg.Store
+	if store == nil {
+		store = storage.NewMemStore()
+	}
+	pool := storage.NewPool(store, cfg.PoolFrames)
+
+	// R_1 = SALES(trans_id, item), sorted by (trans_id, item).
+	iterStart := time.Now()
+	salesSchema := tuple.IntSchema("trans_id", "item")
+	sales, err := hp.Create(pool, salesSchema)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range d.SalesRows() {
+		if err := sales.Append(tuple.Ints(s[0], s[1])); err != nil {
+			return nil, err
+		}
+	}
+
+	// C_1: sort R_1 on item, sequential count scan (or hash aggregation
+	// under the ablation flag).
+	c1, err := countRelation(pool, sales, []int{1}, minSup, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Counts = append(res.Counts, c1)
+
+	rk := sales
+	joinSide := sales
+	if opts.PrefilterSales {
+		rk, err = filterFile(pool, sales, 1, c1)
+		if err != nil {
+			return nil, err
+		}
+		joinSide = rk
+	}
+	res.Stats = append(res.Stats, IterationStat{
+		K:           1,
+		RPrimeRows:  sales.Rows(),
+		RRows:       rk.Rows(),
+		RPaperBytes: rk.Rows() * paperTupleBytes(1),
+		CCount:      len(c1),
+		Duration:    time.Since(iterStart),
+	})
+	pres.RPages = append(pres.RPages, rk.Pages())
+	pres.RPrimePages = append(pres.RPrimePages, rk.Pages())
+
+	k := 1
+	for rk.Rows() > 0 {
+		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
+			break
+		}
+		k++
+		iterStart = time.Now()
+
+		// R'_k := join(R_{k-1}, R_1) on trans_id with the lexicographic
+		// residual q.item > p.item_{k-1}, projecting away R_1's trans_id.
+		// Default: sort R_{k-1} on (trans_id, items) and merge-scan, as in
+		// Figure 4. Ablation: hash join, which skips the sort but builds
+		// R_1 in memory.
+		lastItem := k - 1 // index of item_{k-1} in the left tuple
+		residual := func(l, r tuple.Tuple) (bool, error) {
+			return r[1].Int > l[lastItem].Int, nil
+		}
+		var join exec.Operator
+		if cfg.UseHashJoin {
+			join = exec.NewHashJoin(
+				exec.NewHeapScan(rk), exec.NewHeapScan(joinSide),
+				[]int{0}, []int{0}, residual)
+		} else {
+			allCols := make([]int, k) // 0..k-1: trans_id plus k-1 items
+			for i := range allCols {
+				allCols[i] = i
+			}
+			sorted, err := xsort.File(pool, rk, xsort.ByColumns(allCols...), cfg.SortMemLimit)
+			if err != nil {
+				return nil, err
+			}
+			join = exec.NewMergeJoin(
+				exec.NewHeapScan(sorted), exec.NewHeapScan(joinSide),
+				[]int{0}, []int{0}, residual)
+		}
+		// Left tuple has k columns (tid, k-1 items); right adds (tid, item).
+		projIdx := make([]int, 0, k+1)
+		for i := 0; i < k; i++ {
+			projIdx = append(projIdx, i)
+		}
+		projIdx = append(projIdx, k+1) // q.item
+		proj := exec.NewColumnProject(join, projIdx)
+		rPrime, err := exec.Materialize(pool, proj)
+		if err != nil {
+			return nil, err
+		}
+
+		// sort R'_k on items; C_k := counts (or hash aggregation).
+		itemCols := make([]int, k)
+		for i := range itemCols {
+			itemCols[i] = i + 1
+		}
+		ck, err := countRelation(pool, rPrime, itemCols, minSup, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// R_k := filter R'_k to supported patterns, sorted on
+		// (trans_id, items) for the next merge-scan.
+		rkNew, err := filterFile(pool, rPrime, k, ck)
+		if err != nil {
+			return nil, err
+		}
+
+		res.Counts = append(res.Counts, ck)
+		res.Stats = append(res.Stats, IterationStat{
+			K:           k,
+			RPrimeRows:  rPrime.Rows(),
+			RRows:       rkNew.Rows(),
+			RPaperBytes: rkNew.Rows() * paperTupleBytes(k),
+			CCount:      len(ck),
+			Duration:    time.Since(iterStart),
+		})
+		pres.RPages = append(pres.RPages, rkNew.Pages())
+		pres.RPrimePages = append(pres.RPrimePages, rPrime.Pages())
+		rk = rkNew
+		if len(ck) == 0 {
+			break
+		}
+	}
+
+	trimEmptyTail(res)
+	res.Elapsed = time.Since(start)
+	pres.IO = pool.Stats
+	return pres, nil
+}
+
+// countRelation produces C_k from an (unsorted) relation: the paper's way
+// is sort-on-items plus a sequential count scan; the hash ablation uses
+// hash aggregation and sorts only the (small) result.
+func countRelation(pool *storage.Pool, f *hp.File, itemCols []int, minSup int64, cfg PagedConfig) ([]ItemsetCount, error) {
+	if cfg.UseHashGroup {
+		grp := exec.NewHashGroup(exec.NewHeapScan(f), itemCols,
+			[]exec.AggSpec{{Kind: exec.AggCount, Name: "cnt"}})
+		rows, err := exec.Drain(grp)
+		if err != nil {
+			return nil, err
+		}
+		var out []ItemsetCount
+		for _, r := range rows {
+			n := r[len(r)-1].Int
+			if n < minSup {
+				continue
+			}
+			items := make([]Item, len(itemCols))
+			for i := range itemCols {
+				items[i] = r[i].Int
+			}
+			out = append(out, ItemsetCount{Items: items, Count: n})
+		}
+		// C_k is canonically ordered; hash output is not.
+		xsortCounts(out)
+		return out, nil
+	}
+	byItems, err := xsort.File(pool, f, xsort.ByColumns(itemCols...), cfg.SortMemLimit)
+	if err != nil {
+		return nil, err
+	}
+	return countFile(byItems, itemCols, minSup)
+}
+
+// xsortCounts orders an ItemsetCount slice lexicographically.
+func xsortCounts(cs []ItemsetCount) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && compareItems(cs[j].Items, cs[j-1].Items) < 0; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// countFile scans a heap file sorted on itemCols and returns the patterns
+// with at least minSup occurrences — the paper's "simple sequential scan".
+func countFile(f *hp.File, itemCols []int, minSup int64) ([]ItemsetCount, error) {
+	sc := f.Scan()
+	defer sc.Close()
+	var out []ItemsetCount
+	var cur []Item
+	var n int64
+	flush := func() {
+		if cur != nil && n >= minSup {
+			out = append(out, ItemsetCount{Items: cur, Count: n})
+		}
+	}
+	for {
+		t, err := sc.Next()
+		if err == io.EOF {
+			flush()
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Item, len(itemCols))
+		for i, c := range itemCols {
+			items[i] = t[c].Int
+		}
+		if cur != nil && compareItems(cur, items) == 0 {
+			n++
+			continue
+		}
+		flush()
+		cur, n = items, 1
+	}
+}
+
+// filterFile keeps rows of R'_k whose item columns form a supported
+// pattern, writing them sorted by (trans_id, items).
+func filterFile(pool *storage.Pool, rPrime *hp.File, k int, ck []ItemsetCount) (*hp.File, error) {
+	supported := make(map[string]bool, len(ck))
+	var buf []byte
+	encode := func(items []Item) string {
+		buf = buf[:0]
+		for _, it := range items {
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(it>>s))
+			}
+		}
+		return string(buf)
+	}
+	for _, c := range ck {
+		supported[encode(c.Items)] = true
+	}
+	filtered := exec.NewFilter(exec.NewHeapScan(rPrime), func(t tuple.Tuple) (bool, error) {
+		items := make([]Item, k)
+		for i := 0; i < k; i++ {
+			items[i] = t[i+1].Int
+		}
+		return supported[encode(items)], nil
+	})
+	allCols := make([]int, k+1)
+	for i := range allCols {
+		allCols[i] = i
+	}
+	sorted := exec.NewSort(filtered, xsort.ByColumns(allCols...), pool, 0)
+	return exec.Materialize(pool, sorted)
+}

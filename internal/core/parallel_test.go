@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMineParallelMatchesSequentialOnPaperExample(t *testing.T) {
+	want, err := MineMemory(PaperExample(), paperOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := MineParallel(PaperExample(), paperOpts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameCounts(t, "parallel", want, got)
+		if got.MinSupport != want.MinSupport {
+			t.Errorf("workers=%d: minsup %d vs %d", workers, got.MinSupport, want.MinSupport)
+		}
+	}
+}
+
+func TestMineParallelMatchesSequentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		d := randomDataset(rng, 150, 7, 15)
+		opts := Options{MinSupportCount: int64(2 + trial%4)}
+		want, err := MineMemory(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MineParallel(d, opts, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCounts(t, "parallel-random", want, got)
+		// Per-iteration statistics agree too.
+		if len(got.Stats) != len(want.Stats) {
+			t.Fatalf("trial %d: stats %d vs %d", trial, len(got.Stats), len(want.Stats))
+		}
+		for i := range want.Stats {
+			if got.Stats[i].RPrimeRows != want.Stats[i].RPrimeRows ||
+				got.Stats[i].RRows != want.Stats[i].RRows {
+				t.Errorf("trial %d iter %d: rows (%d,%d) vs (%d,%d)", trial, i,
+					got.Stats[i].RPrimeRows, got.Stats[i].RRows,
+					want.Stats[i].RPrimeRows, want.Stats[i].RRows)
+			}
+		}
+	}
+}
+
+func TestMineParallelPrefilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDataset(rng, 100, 6, 12)
+	opts := Options{MinSupportCount: 3, PrefilterSales: true}
+	want, err := MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineParallel(d, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "parallel-prefilter", want, got)
+}
+
+func TestMineParallelValidation(t *testing.T) {
+	if _, err := MineParallel(&Dataset{}, paperOpts, 2); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestChunkByTidRespectsGroups(t *testing.T) {
+	rows := []row{
+		{1, 10}, {1, 11}, {2, 10}, {2, 12}, {2, 13}, {3, 10}, {4, 10}, {4, 11},
+	}
+	for n := 1; n <= 6; n++ {
+		bounds := chunkByTid(rows, n)
+		// Bounds tile the slice.
+		if bounds[0][0] != 0 || bounds[len(bounds)-1][1] != len(rows) {
+			t.Fatalf("n=%d: bounds %v do not tile", n, bounds)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i][0] != bounds[i-1][1] {
+				t.Fatalf("n=%d: gap in bounds %v", n, bounds)
+			}
+			// No transaction straddles a boundary.
+			if rows[bounds[i][0]][0] == rows[bounds[i][0]-1][0] {
+				t.Errorf("n=%d: tid %d split across chunks", n, rows[bounds[i][0]][0])
+			}
+		}
+	}
+	if got := chunkByTid(nil, 4); got != nil {
+		t.Errorf("chunkByTid(nil) = %v", got)
+	}
+}
+
+func TestAlignSales(t *testing.T) {
+	sales := []row{{1, 5}, {2, 6}, {2, 7}, {4, 8}, {7, 9}}
+	sub := alignSales(sales, 2, 4)
+	if len(sub) != 3 || sub[0][0] != 2 || sub[2][0] != 4 {
+		t.Errorf("alignSales = %v", sub)
+	}
+	if got := alignSales(sales, 5, 6); len(got) != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package core implements Algorithm SETM from Houtsma & Swami, "Set-
+// Oriented Mining for Association Rules in Relational Databases" (ICDE
+// 1995): frequent-pattern mining by repeated sorting and merge-scan joins
+// over the per-transaction pattern relations R_k.
+//
+// Three drivers compute identical count relations C_k:
+//
+//   - MineMemory: the in-memory fast path ("we implemented the algorithm to
+//     run in main memory and read a file of transactions", Section 6).
+//   - MinePaged: the same loop over the paged storage substrate (heap
+//     files, external sort, merge-scan join operators), with page-I/O
+//     accounting matching the Section 4.3 analysis.
+//   - MineSQL: the paper's SQL formulation (Section 4.1) executed verbatim
+//     by the relational engine.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Item identifies a sellable item. The paper represents items as 4-byte
+// integers; we widen to 64 bits.
+type Item = int64
+
+// Transaction is one customer transaction: an identifier and the items
+// purchased. Items need not be sorted or unique; miners normalize.
+type Transaction struct {
+	ID    int64
+	Items []Item
+}
+
+// Dataset is an ordered collection of transactions.
+type Dataset struct {
+	Transactions []Transaction
+}
+
+// NumTransactions returns the number of customer transactions, the
+// denominator of the support ratio.
+func (d *Dataset) NumTransactions() int { return len(d.Transactions) }
+
+// SalesRows converts the dataset to the SALES(trans_id, item) tuple format,
+// deduplicating items within a transaction and sorting rows by
+// (trans_id, item) — the normalized relation the paper stores.
+func (d *Dataset) SalesRows() [][2]int64 {
+	var rows [][2]int64
+	for _, tx := range d.Transactions {
+		seen := make(map[Item]bool, len(tx.Items))
+		for _, it := range tx.Items {
+			if !seen[it] {
+				seen[it] = true
+				rows = append(rows, [2]int64{tx.ID, it})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i][0] != rows[j][0] {
+			return rows[i][0] < rows[j][0]
+		}
+		return rows[i][1] < rows[j][1]
+	})
+	return rows
+}
+
+// NumSalesRows returns |R_1|: the number of (trans_id, item) tuples.
+func (d *Dataset) NumSalesRows() int { return len(d.SalesRows()) }
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupportCount is the absolute minimum number of supporting
+	// transactions. If zero, MinSupportFrac applies.
+	MinSupportCount int64
+	// MinSupportFrac is the minimum support as a fraction of the number of
+	// transactions (e.g. 0.005 for 0.5%). Ignored when MinSupportCount > 0.
+	MinSupportFrac float64
+	// MaxPatternLen stops the loop after patterns of this length (0 = run
+	// until R_k is empty, the paper's termination condition).
+	MaxPatternLen int
+	// PrefilterSales joins R_{k-1} with a SALES relation restricted to
+	// frequent items instead of the full one. The paper's Figure 4 joins
+	// with the unfiltered R_1; this flag is the ablation discussed in
+	// DESIGN.md.
+	PrefilterSales bool
+}
+
+// ResolveMinSupport computes the absolute support threshold for n
+// transactions; the result is at least 1.
+func (o Options) ResolveMinSupport(n int) int64 {
+	ms := o.MinSupportCount
+	if ms <= 0 {
+		ms = int64(o.MinSupportFrac * float64(n))
+	}
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// ItemsetCount is one row of a count relation C_k: a lexicographically
+// ordered pattern and the number of transactions supporting it.
+type ItemsetCount struct {
+	Items []Item
+	Count int64
+}
+
+// IterationStat records the relation sizes of one SETM iteration, the
+// quantities plotted in Figures 5 and 6 of the paper.
+type IterationStat struct {
+	K int // pattern length of this iteration
+
+	// RPrimeRows is |R'_k|: candidate rows before the support filter.
+	RPrimeRows int64
+	// RRows is |R_k|: rows surviving the support filter.
+	RRows int64
+	// RPaperBytes is the Figure 5 quantity: |R_k| tuples × (k+1) fields ×
+	// 4 bytes (the paper's storage model).
+	RPaperBytes int64
+	// CCount is |C_k|, the Figure 6 quantity.
+	CCount int
+	// Duration is the wall-clock time of the iteration.
+	Duration time.Duration
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Counts[k-1] holds C_k. Counts[0] is always present; later entries
+	// exist through the last non-empty C_k.
+	Counts [][]ItemsetCount
+	// Stats[k-1] describes iteration k. Stats[0] covers the initial scan
+	// that builds R_1 and C_1.
+	Stats []IterationStat
+	// NumTransactions is the dataset size used for support ratios.
+	NumTransactions int
+	// MinSupport is the resolved absolute threshold.
+	MinSupport int64
+	// Elapsed is the total mining time.
+	Elapsed time.Duration
+}
+
+// C returns the count relation C_k (1-based), or nil if the run ended
+// before k.
+func (r *Result) C(k int) []ItemsetCount {
+	if k < 1 || k > len(r.Counts) {
+		return nil
+	}
+	return r.Counts[k-1]
+}
+
+// MaxLen returns the length of the longest frequent pattern found.
+func (r *Result) MaxLen() int {
+	for k := len(r.Counts); k >= 1; k-- {
+		if len(r.Counts[k-1]) > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// TotalPatterns counts all frequent patterns across lengths.
+func (r *Result) TotalPatterns() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += len(c)
+	}
+	return n
+}
+
+// Support returns the count of the given pattern (items must be sorted), or
+// 0 if it is not frequent.
+func (r *Result) Support(items []Item) int64 {
+	ck := r.C(len(items))
+	// C_k is sorted lexicographically; binary search.
+	lo, hi := 0, len(ck)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareItems(ck[mid].Items, items) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ck) && compareItems(ck[lo].Items, items) == 0 {
+		return ck[lo].Count
+	}
+	return 0
+}
+
+func compareItems(a, b []Item) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// validate checks option sanity against the dataset.
+func validate(d *Dataset, o Options) error {
+	if d == nil || len(d.Transactions) == 0 {
+		return fmt.Errorf("setm: empty dataset")
+	}
+	if o.MinSupportCount <= 0 && o.MinSupportFrac <= 0 {
+		return fmt.Errorf("setm: no minimum support given (set MinSupportCount or MinSupportFrac)")
+	}
+	if o.MinSupportFrac > 1 {
+		return fmt.Errorf("setm: MinSupportFrac %v exceeds 1", o.MinSupportFrac)
+	}
+	return nil
+}
+
+// paperTupleBytes is the paper's storage model: 4 bytes per field, k+1
+// fields for an R_k tuple (trans_id plus k items).
+func paperTupleBytes(k int) int64 { return int64(k+1) * 4 }

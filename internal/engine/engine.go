@@ -1,0 +1,322 @@
+// Package engine is the SQL facade of the relational micro-engine: it owns
+// a page store, buffer pool, and catalog, and executes parsed statements.
+// It is the substrate on which the paper's thesis — "at least some aspects
+// of data mining can be carried out by using general query languages such
+// as SQL" — is demonstrated: the SQL SETM driver feeds the paper's queries
+// through this engine verbatim.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"setm/internal/catalog"
+	"setm/internal/exec"
+	hp "setm/internal/heap"
+	"setm/internal/plan"
+	"setm/internal/sqlparse"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+)
+
+// DefaultPoolFrames is the buffer-pool capacity used when none is given.
+// SETM's access pattern is sequential, so modest pools behave like large
+// ones (one of the ablations in bench_test.go measures exactly this).
+const DefaultPoolFrames = 1024
+
+// DB is one engine instance.
+type DB struct {
+	store *storage.MemStore
+	pool  *storage.Pool
+	cat   *catalog.Catalog
+
+	// SortMemLimit bounds external-sort run size in bytes (0 = default).
+	SortMemLimit int
+}
+
+// Option configures a DB.
+type Option func(*config)
+
+type config struct {
+	poolFrames   int
+	sortMemLimit int
+}
+
+// WithPoolFrames sets the buffer-pool capacity in 4 KB frames.
+func WithPoolFrames(n int) Option { return func(c *config) { c.poolFrames = n } }
+
+// WithSortMemory bounds the external sort's in-memory run size in bytes.
+func WithSortMemory(n int) Option { return func(c *config) { c.sortMemLimit = n } }
+
+// New creates an empty database.
+func New(opts ...Option) *DB {
+	cfg := config{poolFrames: DefaultPoolFrames}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	store := storage.NewMemStore()
+	pool := storage.NewPool(store, cfg.poolFrames)
+	return &DB{
+		store:        store,
+		pool:         pool,
+		cat:          catalog.New(pool),
+		SortMemLimit: cfg.sortMemLimit,
+	}
+}
+
+// Pool exposes the buffer pool (for I/O statistics).
+func (db *DB) Pool() *storage.Pool { return db.pool }
+
+// Catalog exposes the table catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Schema and Rows are set for SELECT statements.
+	Schema *tuple.Schema
+	Rows   []tuple.Tuple
+	// RowsAffected counts inserted rows for INSERT.
+	RowsAffected int64
+}
+
+// Exec parses and runs a single SQL statement. params supplies values for
+// named parameters such as :minsupport.
+func (db *DB) Exec(sql string, params map[string]int64) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st, params)
+}
+
+// MustExec is Exec that panics on error; intended for tests and examples.
+func (db *DB) MustExec(sql string, params map[string]int64) *Result {
+	r, err := db.Exec(sql, params)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExecScript runs a semicolon-separated sequence of statements, returning
+// the result of the final one.
+func (db *DB) ExecScript(sql string, params map[string]int64) (*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = db.ExecStmt(st, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt runs one parsed statement.
+func (db *DB) ExecStmt(st sqlparse.Stmt, params map[string]int64) (*Result, error) {
+	p := plan.IntParams(params)
+	switch s := st.(type) {
+	case *sqlparse.CreateTable:
+		if s.IfNotExists && db.cat.Has(s.Name) {
+			return &Result{}, nil
+		}
+		if _, err := db.cat.Create(s.Name, tuple.NewSchema(s.Cols...)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sqlparse.DropTable:
+		if s.IfExists && !db.cat.Has(s.Name) {
+			return &Result{}, nil
+		}
+		if err := db.cat.Drop(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sqlparse.DeleteAll:
+		if err := db.cat.Truncate(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sqlparse.Insert:
+		return db.execInsert(s, p)
+
+	case *sqlparse.Select:
+		op, err := db.compiler(p).CompileSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Drain(op)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: op.Schema(), Rows: rows}, nil
+
+	case *sqlparse.Explain:
+		op, err := db.compiler(p).CompileSelect(s.Select)
+		if err != nil {
+			return nil, err
+		}
+		schema := tuple.NewSchema(tuple.Column{Name: "plan", Kind: tuple.KindString})
+		var rows []tuple.Tuple
+		for _, line := range strings.Split(strings.TrimRight(exec.Explain(op), "\n"), "\n") {
+			rows = append(rows, tuple.Tuple{tuple.S(line)})
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) compiler(p plan.Params) *plan.Compiler {
+	c := plan.NewCompiler(db.cat, db.pool, p)
+	c.SortMemLimit = db.SortMemLimit
+	return c
+}
+
+func (db *DB) execInsert(s *sqlparse.Insert, p plan.Params) (*Result, error) {
+	tbl, err := db.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.File.Schema()
+	if len(s.Cols) > 0 {
+		// Explicit column lists must cover the whole schema in order; the
+		// engine does not support partial inserts (no NULLs in this model).
+		if len(s.Cols) != schema.Len() {
+			return nil, fmt.Errorf("engine: INSERT column list must cover all %d columns", schema.Len())
+		}
+		for i, c := range s.Cols {
+			if !strings.EqualFold(c, schema.Cols[i].Name) {
+				return nil, fmt.Errorf("engine: INSERT column %d is %q, table has %q", i, c, schema.Cols[i].Name)
+			}
+		}
+	}
+
+	if s.Select != nil {
+		op, err := db.compiler(p).CompileSelect(s.Select)
+		if err != nil {
+			return nil, err
+		}
+		if op.Schema().Len() != schema.Len() {
+			return nil, fmt.Errorf("engine: INSERT SELECT arity %d does not match table %q arity %d",
+				op.Schema().Len(), s.Table, schema.Len())
+		}
+		if err := op.Open(); err != nil {
+			return nil, err
+		}
+		defer op.Close()
+		var n int64
+		for {
+			t, err := op.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.File.Append(t); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return &Result{RowsAffected: n}, nil
+	}
+
+	var n int64
+	for _, row := range s.Rows {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("engine: INSERT row arity %d does not match table %q arity %d",
+				len(row), s.Table, schema.Len())
+		}
+		t := make(tuple.Tuple, len(row))
+		for i, e := range row {
+			v, err := evalConst(e, p)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		if err := tbl.File.Append(t); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// evalConst evaluates a constant expression (literals, params, arithmetic)
+// for INSERT ... VALUES.
+func evalConst(e sqlparse.Expr, p plan.Params) (tuple.Value, error) {
+	switch v := e.(type) {
+	case *sqlparse.IntLit:
+		return tuple.I(v.Value), nil
+	case *sqlparse.StringLit:
+		return tuple.S(v.Value), nil
+	case *sqlparse.Param:
+		val, ok := p[v.Name]
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("engine: missing value for parameter :%s", v.Name)
+		}
+		return val, nil
+	case *sqlparse.BinaryExpr:
+		l, err := evalConst(v.L, p)
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		r, err := evalConst(v.R, p)
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		if l.Kind != tuple.KindInt || r.Kind != tuple.KindInt {
+			return tuple.Value{}, fmt.Errorf("engine: non-integer arithmetic in VALUES")
+		}
+		switch v.Op {
+		case sqlparse.OpAdd:
+			return tuple.I(l.Int + r.Int), nil
+		case sqlparse.OpSub:
+			return tuple.I(l.Int - r.Int), nil
+		case sqlparse.OpMul:
+			return tuple.I(l.Int * r.Int), nil
+		case sqlparse.OpDiv:
+			if r.Int == 0 {
+				return tuple.Value{}, fmt.Errorf("engine: division by zero in VALUES")
+			}
+			return tuple.I(l.Int / r.Int), nil
+		default:
+			return tuple.Value{}, fmt.Errorf("engine: operator %s not allowed in VALUES", v.Op)
+		}
+	default:
+		return tuple.Value{}, fmt.Errorf("engine: expression %T not allowed in VALUES", e)
+	}
+}
+
+// LoadTable creates (or replaces) a table from in-memory rows; the fast
+// path miners and tests use to install data without SQL round-trips.
+func (db *DB) LoadTable(name string, schema *tuple.Schema, rows []tuple.Tuple) error {
+	f, err := hp.Create(db.pool, schema)
+	if err != nil {
+		return err
+	}
+	if err := f.AppendAll(rows); err != nil {
+		return err
+	}
+	db.cat.Replace(name, f)
+	return nil
+}
+
+// Table returns the heap file backing a table.
+func (db *DB) Table(name string) (*hp.File, error) {
+	t, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.File, nil
+}

@@ -1,0 +1,480 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"setm/internal/tuple"
+)
+
+func setupSales(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE sales (trans_id INT, item INT)", nil)
+	// The paper's Figure 1 example: 10 transactions, 3 items each.
+	// Items: A=1 B=2 C=3 D=4 E=5 F=6 G=7 H=8.
+	tx := [][3]int64{
+		{1, 2, 3}, // 10: A B C
+		{1, 2, 4}, // 20: A B D
+		{1, 2, 3}, // 30: A B C
+		{2, 3, 4}, // 40: B C D
+		{1, 3, 7}, // 50: A C G
+		{1, 4, 7}, // 60: A D G
+		{1, 5, 8}, // 70: A E H
+		{4, 5, 6}, // 80: D E F
+		{4, 5, 6}, // 90: D E F
+		{4, 5, 6}, // 99: D E F
+	}
+	ids := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 99}
+	for i, items := range tx {
+		for _, it := range items {
+			if _, err := db.Exec("INSERT INTO sales VALUES (:tid, :item)",
+				map[string]int64{"tid": ids[i], "item": it}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func rowsToPairs(rows []tuple.Tuple) [][]int64 {
+	out := make([][]int64, len(rows))
+	for i, r := range rows {
+		vals := make([]int64, len(r))
+		for j, v := range r {
+			vals[j] = v.Int
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	r := db.MustExec("INSERT INTO t VALUES (1, 2), (3, 4)", nil)
+	if r.RowsAffected != 2 {
+		t.Errorf("RowsAffected = %d", r.RowsAffected)
+	}
+	res := db.MustExec("SELECT a, b FROM t ORDER BY a DESC", nil)
+	got := rowsToPairs(res.Rows)
+	if len(got) != 2 || got[0][0] != 3 || got[1][1] != 2 {
+		t.Errorf("rows = %v", got)
+	}
+	if res.Schema.Names()[0] != "a" {
+		t.Errorf("schema = %v", res.Schema.Names())
+	}
+}
+
+func TestPaperC1Query(t *testing.T) {
+	// The paper's C_1 query (Section 3.1) against the Figure 1 data; with
+	// minsupport = 3 the counts must match relation C1 of Figure 1:
+	// A:6 B:4 C:4 D:6 E:4 F:3 (G:2, H:1 fall below). The rule confidences
+	// in Section 5 pin these down: |AB|/|A| = 3/6 and |DE|/|D| = 3/6 = 50%.
+	db := setupSales(t)
+	db.MustExec("CREATE TABLE c1 (item INT, cnt INT)", nil)
+	db.MustExec(`INSERT INTO c1
+	             SELECT r1.item, COUNT(*)
+	             FROM sales r1
+	             GROUP BY r1.item
+	             HAVING COUNT(*) >= :minsupport`,
+		map[string]int64{"minsupport": 3})
+	res := db.MustExec("SELECT item, cnt FROM c1 ORDER BY item", nil)
+	want := [][2]int64{{1, 6}, {2, 4}, {3, 4}, {4, 6}, {5, 4}, {6, 3}}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("C1 = %v", rowsToPairs(res.Rows))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Int != w[0] || res.Rows[i][1].Int != w[1] {
+			t.Errorf("C1[%d] = %v, want %v", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestPaperPairQuery(t *testing.T) {
+	// Section 2's pair-generation self-join with lexicographic ordering
+	// (r2.item > r1.item instead of <>, per Section 3.1).
+	db := setupSales(t)
+	res := db.MustExec(`SELECT r1.item, r2.item, COUNT(*)
+	                    FROM sales r1, sales r2
+	                    WHERE r1.trans_id = r2.trans_id AND r2.item > r1.item
+	                    GROUP BY r1.item, r2.item
+	                    HAVING COUNT(*) >= :minsupport
+	                    ORDER BY r1.item, r2.item`,
+		map[string]int64{"minsupport": 3})
+	// Figure 2's C2: AB:3 AC:3 BC:3 DE:3 DF:3 EF:3.
+	want := [][3]int64{{1, 2, 3}, {1, 3, 3}, {2, 3, 3}, {4, 5, 3}, {4, 6, 3}, {5, 6, 3}}
+	got := rowsToPairs(res.Rows)
+	if len(got) != len(want) {
+		t.Fatalf("C2 = %v", got)
+	}
+	for i, w := range want {
+		for j := 0; j < 3; j++ {
+			if got[i][j] != w[j] {
+				t.Errorf("C2[%d] = %v, want %v", i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestMergeJoinChosenForEquiJoin(t *testing.T) {
+	// Join correctness across tables with differing cardinalities.
+	db := New()
+	db.MustExec("CREATE TABLE l (k INT, v INT)", nil)
+	db.MustExec("CREATE TABLE r (k INT, w INT)", nil)
+	db.MustExec("INSERT INTO l VALUES (1, 10), (1, 11), (2, 20), (3, 30)", nil)
+	db.MustExec("INSERT INTO r VALUES (1, 100), (2, 200), (2, 201), (4, 400)", nil)
+	res := db.MustExec(`SELECT l.v, r.w FROM l, r WHERE l.k = r.k ORDER BY l.v, r.w`, nil)
+	want := [][2]int64{{10, 100}, {11, 100}, {20, 200}, {20, 201}}
+	got := rowsToPairs(res.Rows)
+	if len(got) != len(want) {
+		t.Fatalf("join = %v", got)
+	}
+	for i, w := range want {
+		if got[i][0] != w[0] || got[i][1] != w[1] {
+			t.Errorf("row %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	// The nested-loop C_k query shape: C_{k-1} x SALES x SALES.
+	db := setupSales(t)
+	db.MustExec("CREATE TABLE c1 (item INT, cnt INT)", nil)
+	db.MustExec(`INSERT INTO c1 SELECT r1.item, COUNT(*) FROM sales r1
+	             GROUP BY r1.item HAVING COUNT(*) >= 3`, nil)
+	res := db.MustExec(`SELECT r1.item, r2.item, COUNT(*)
+	                    FROM c1 c, sales r1, sales r2
+	                    WHERE r1.item = c.item AND
+	                          r1.trans_id = r2.trans_id AND
+	                          r2.item > r1.item
+	                    GROUP BY r1.item, r2.item
+	                    HAVING COUNT(*) >= 3
+	                    ORDER BY r1.item, r2.item`, nil)
+	// Same C2 as before: all first items are frequent in this data set.
+	if len(res.Rows) != 6 {
+		t.Fatalf("three-way join C2 = %v", rowsToPairs(res.Rows))
+	}
+}
+
+func TestSelectStarAndLimit(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1, 2), (3, 4), (5, 6)", nil)
+	res := db.MustExec("SELECT * FROM t ORDER BY a LIMIT 2", nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Schema.Names()[0] != "a" || res.Schema.Names()[1] != "b" {
+		t.Errorf("star schema = %v", res.Schema.Names())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (2), (1), (2), (3), (1)", nil)
+	res := db.MustExec("SELECT DISTINCT a FROM t", nil)
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct = %v", rowsToPairs(res.Rows))
+	}
+}
+
+func TestGlobalCount(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	res := db.MustExec("SELECT COUNT(*) FROM t", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 0 {
+		t.Errorf("count over empty = %v", res.Rows)
+	}
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)", nil)
+	res = db.MustExec("SELECT COUNT(*) FROM t", nil)
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("count = %v", res.Rows)
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (g INT, v INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1, 5), (1, 7), (2, 3)", nil)
+	res := db.MustExec("SELECT g, SUM(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g", nil)
+	got := rowsToPairs(res.Rows)
+	if got[0][1] != 12 || got[0][2] != 5 || got[0][3] != 7 || got[1][1] != 3 {
+		t.Errorf("aggregates = %v", got)
+	}
+}
+
+func TestDeleteAllAndDrop(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1)", nil)
+	db.MustExec("DELETE FROM t", nil)
+	res := db.MustExec("SELECT a FROM t", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("rows after DELETE = %v", res.Rows)
+	}
+	db.MustExec("DROP TABLE t", nil)
+	if _, err := db.Exec("SELECT a FROM t", nil); err == nil {
+		t.Error("query of dropped table succeeded")
+	}
+	db.MustExec("DROP TABLE IF EXISTS t", nil) // no error
+}
+
+func TestCreateIfNotExists(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	if _, err := db.Exec("CREATE TABLE t (a INT)", nil); err == nil {
+		t.Error("duplicate CREATE succeeded")
+	}
+	db.MustExec("CREATE TABLE IF NOT EXISTS t (a INT)", nil)
+}
+
+func TestInsertSelectWithOrderBy(t *testing.T) {
+	// SETM stores R_k sorted via INSERT ... SELECT ... ORDER BY; the engine
+	// must preserve that order on scan.
+	db := New()
+	db.MustExec("CREATE TABLE src (a INT)", nil)
+	db.MustExec("INSERT INTO src VALUES (3), (1), (2)", nil)
+	db.MustExec("CREATE TABLE dst (a INT)", nil)
+	db.MustExec("INSERT INTO dst SELECT src.a FROM src ORDER BY src.a", nil)
+	res := db.MustExec("SELECT a FROM dst", nil)
+	for i, want := range []int64{1, 2, 3} {
+		if res.Rows[i][0].Int != want {
+			t.Errorf("dst[%d] = %v", i, res.Rows[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT a FROM missing", "no such table"},
+		{"SELECT nope FROM t", "unknown column"},
+		{"INSERT INTO t VALUES (1)", "arity"},
+		{"INSERT INTO t SELECT t.a FROM t", "arity"},
+		{"SELECT a FROM t WHERE a >= :p", "parameter"},
+		{"SELECT t.a, u.a FROM t, t u WHERE a = 1", "ambiguous"},
+	}
+	for _, c := range cases {
+		_, err := db.Exec(c.sql, nil)
+		if err == nil {
+			t.Errorf("Exec(%q) succeeded, want error containing %q", c.sql, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Exec(%q) error = %v, want substring %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestExecScript(t *testing.T) {
+	db := New()
+	res, err := db.ExecScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1), (2);
+		SELECT COUNT(*) FROM t;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("script result = %v", res.Rows)
+	}
+}
+
+func TestUnqualifiedColumnResolution(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1, 10), (2, 20)", nil)
+	res := db.MustExec("SELECT b FROM t WHERE a = 2", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 20 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestStringColumnsEndToEnd(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE items (id INT, name STRING)", nil)
+	db.MustExec("INSERT INTO items VALUES (1, 'bread'), (2, 'butter'), (3, 'milk')", nil)
+	res := db.MustExec("SELECT name FROM items WHERE id >= 2 ORDER BY name", nil)
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "butter" || res.Rows[1][0].Str != "milk" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestCrossJoinWithoutEquiPredicate(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE a (x INT)", nil)
+	db.MustExec("CREATE TABLE b (y INT)", nil)
+	db.MustExec("INSERT INTO a VALUES (1), (2)", nil)
+	db.MustExec("INSERT INTO b VALUES (10), (20)", nil)
+	res := db.MustExec("SELECT a.x, b.y FROM a, b WHERE a.x < b.y ORDER BY a.x, b.y", nil)
+	if len(res.Rows) != 4 {
+		t.Errorf("cross join = %v", rowsToPairs(res.Rows))
+	}
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (5)", nil)
+	res := db.MustExec("SELECT a * 2 + 1 AS x FROM t", nil)
+	if res.Rows[0][0].Int != 11 {
+		t.Errorf("arith = %v", res.Rows)
+	}
+	if res.Schema.Names()[0] != "x" {
+		t.Errorf("alias = %v", res.Schema.Names())
+	}
+}
+
+func TestLoadTableFastPath(t *testing.T) {
+	db := New()
+	rows := []tuple.Tuple{tuple.Ints(10, 1), tuple.Ints(10, 2)}
+	if err := db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec("SELECT COUNT(*) FROM sales", nil)
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("loaded rows = %v", res.Rows)
+	}
+}
+
+func TestHavingWithoutGroupColumnInOutput(t *testing.T) {
+	// HAVING on COUNT while projecting only the group key.
+	db := New()
+	db.MustExec("CREATE TABLE t (g INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1), (1), (2)", nil)
+	res := db.MustExec("SELECT g FROM t GROUP BY g HAVING COUNT(*) >= 2", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 1 {
+		t.Errorf("rows = %v", rowsToPairs(res.Rows))
+	}
+}
+
+func TestExplainShowsMergeJoinPlan(t *testing.T) {
+	db := setupSales(t)
+	res := db.MustExec(`EXPLAIN SELECT r1.item, r2.item
+	                    FROM sales r1, sales r2
+	                    WHERE r1.trans_id = r2.trans_id`, nil)
+	if res.Schema.Names()[0] != "plan" {
+		t.Fatalf("schema = %v", res.Schema.Names())
+	}
+	var plan string
+	for _, r := range res.Rows {
+		plan += r[0].Str + "\n"
+	}
+	for _, want := range []string{"MergeJoin", "Sort", "Project", "HeapScan"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %s:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainCrossJoinShowsNestedLoop(t *testing.T) {
+	db := setupSales(t)
+	res := db.MustExec(`EXPLAIN SELECT r1.item FROM sales r1, sales r2 WHERE r1.item < r2.item`, nil)
+	var plan string
+	for _, r := range res.Rows {
+		plan += r[0].Str + "\n"
+	}
+	if !strings.Contains(plan, "NestedLoopJoin") {
+		t.Errorf("plan missing NestedLoopJoin:\n%s", plan)
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	db.MustExec("INSERT INTO t (a, b) VALUES (1, 2)", nil)
+	res := db.MustExec("SELECT a, b FROM t", nil)
+	if len(res.Rows) != 1 || res.Rows[0][1].Int != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Partial or misordered column lists are rejected.
+	if _, err := db.Exec("INSERT INTO t (a) VALUES (1)", nil); err == nil {
+		t.Error("partial column list accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t (b, a) VALUES (1, 2)", nil); err == nil {
+		t.Error("misordered column list accepted")
+	}
+}
+
+func TestInsertConstExpressions(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, s STRING)", nil)
+	db.MustExec("INSERT INTO t VALUES (2 * 3 + 1, 'x'), (10 / 2 - 1, 'y')", nil)
+	res := db.MustExec("SELECT a FROM t ORDER BY a", nil)
+	if res.Rows[0][0].Int != 4 || res.Rows[1][0].Int != 7 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1 / 0, 'z')", nil); err == nil {
+		t.Error("division by zero in VALUES accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (:missing, 'z')", nil); err == nil {
+		t.Error("missing param in VALUES accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1 = 1, 'z')", nil); err == nil {
+		t.Error("comparison in VALUES accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (a, 'z')", nil); err == nil {
+		t.Error("column ref in VALUES accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1 + 'x', 'z')", nil); err == nil {
+		t.Error("string arithmetic in VALUES accepted")
+	}
+}
+
+func TestExecScriptStopsOnError(t *testing.T) {
+	db := New()
+	_, err := db.ExecScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO nonexistent VALUES (1);
+		INSERT INTO t VALUES (1);
+	`, nil)
+	if err == nil {
+		t.Fatal("script error swallowed")
+	}
+	// The third statement must not have run.
+	res := db.MustExec("SELECT COUNT(*) FROM t", nil)
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("statements after error executed: %v", res.Rows)
+	}
+}
+
+func TestMustExecPanicsOnError(t *testing.T) {
+	db := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec did not panic")
+		}
+	}()
+	db.MustExec("SELECT a FROM missing", nil)
+}
+
+func TestInsertSelectArityMismatch(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE src (a INT, b INT)", nil)
+	db.MustExec("CREATE TABLE dst (a INT)", nil)
+	if _, err := db.Exec("INSERT INTO dst SELECT src.a, src.b FROM src", nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestTableAccessor(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)", nil)
+	f, err := db.Table("t")
+	if err != nil || f == nil {
+		t.Fatalf("Table = %v, %v", f, err)
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Error("Table(missing) succeeded")
+	}
+	if db.Catalog() == nil || db.Pool() == nil {
+		t.Error("accessors returned nil")
+	}
+}

@@ -1,0 +1,374 @@
+// Package exec implements the query-execution operators of the engine in
+// the Volcano (iterator) style: scans, filter, project, sort, merge-scan
+// join, nested-loop join, sort-based group/count, distinct, and limit.
+//
+// The merge-scan join and sort operators are the two primitives the paper
+// reduces Algorithm SETM to (Section 4.4); the nested-loop join exists so
+// the rejected Section 3 strategy can be executed and measured rather than
+// only modelled.
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+	"setm/internal/xsort"
+)
+
+// Operator is a pull-based tuple stream. The contract follows the Volcano
+// model: Open prepares the stream, Next returns tuples until io.EOF, Close
+// releases resources. Operators are single-use unless documented otherwise.
+type Operator interface {
+	// Schema describes the tuples produced.
+	Schema() *tuple.Schema
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next returns the next tuple or io.EOF.
+	Next() (tuple.Tuple, error)
+	// Close releases resources; it must be safe after a failed Open.
+	Close() error
+}
+
+// Drain pulls every tuple from op (calling Open and Close) into memory.
+func Drain(op Operator) ([]tuple.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []tuple.Tuple
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Materialize streams op into a fresh heap file in pool.
+func Materialize(pool *storage.Pool, op Operator) (*hp.File, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	f, err := hp.Create(pool, op.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return f, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Append(t); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+// HeapScan reads a heap file front to back.
+type HeapScan struct {
+	file *hp.File
+	sc   *hp.Scanner
+}
+
+// NewHeapScan returns a scan over f.
+func NewHeapScan(f *hp.File) *HeapScan { return &HeapScan{file: f} }
+
+func (s *HeapScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+func (s *HeapScan) Open() error {
+	s.sc = s.file.Scan()
+	return nil
+}
+
+func (s *HeapScan) Next() (tuple.Tuple, error) {
+	if s.sc == nil {
+		return nil, io.EOF
+	}
+	return s.sc.Next()
+}
+
+func (s *HeapScan) Close() error {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	return nil
+}
+
+// MemScan streams an in-memory tuple slice.
+type MemScan struct {
+	schema *tuple.Schema
+	rows   []tuple.Tuple
+	pos    int
+}
+
+// NewMemScan returns a scan over rows.
+func NewMemScan(schema *tuple.Schema, rows []tuple.Tuple) *MemScan {
+	return &MemScan{schema: schema, rows: rows}
+}
+
+func (s *MemScan) Schema() *tuple.Schema { return s.schema }
+func (s *MemScan) Open() error           { s.pos = 0; return nil }
+
+func (s *MemScan) Next() (tuple.Tuple, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, nil
+}
+
+func (s *MemScan) Close() error { return nil }
+
+// Rename passes tuples through unchanged under a different schema; the
+// planner uses it to qualify base-table column names with FROM-clause
+// bindings ("sales r1" exposes columns "r1.trans_id", "r1.item").
+type Rename struct {
+	child  Operator
+	schema *tuple.Schema
+}
+
+// NewRename wraps child with the given schema (which must have the same
+// arity as the child's).
+func NewRename(child Operator, schema *tuple.Schema) *Rename {
+	return &Rename{child: child, schema: schema}
+}
+
+func (r *Rename) Schema() *tuple.Schema      { return r.schema }
+func (r *Rename) Open() error                { return r.child.Open() }
+func (r *Rename) Next() (tuple.Tuple, error) { return r.child.Next() }
+func (r *Rename) Close() error               { return r.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Filter / Project / Limit / Distinct
+
+// Predicate decides whether a tuple passes a filter.
+type Predicate func(tuple.Tuple) (bool, error)
+
+// Filter passes through tuples satisfying pred.
+type Filter struct {
+	child Operator
+	pred  Predicate
+}
+
+// NewFilter wraps child with predicate pred.
+func NewFilter(child Operator, pred Predicate) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+func (f *Filter) Schema() *tuple.Schema { return f.child.Schema() }
+func (f *Filter) Open() error           { return f.child.Open() }
+func (f *Filter) Close() error          { return f.child.Close() }
+
+func (f *Filter) Next() (tuple.Tuple, error) {
+	for {
+		t, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := f.pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+}
+
+// Projector computes one output column from an input tuple.
+type Projector func(tuple.Tuple) (tuple.Value, error)
+
+// ColProjector projects input column idx.
+func ColProjector(idx int) Projector {
+	return func(t tuple.Tuple) (tuple.Value, error) {
+		if idx < 0 || idx >= len(t) {
+			return tuple.Value{}, fmt.Errorf("exec: projection column %d out of range (arity %d)", idx, len(t))
+		}
+		return t[idx], nil
+	}
+}
+
+// ConstProjector always yields v.
+func ConstProjector(v tuple.Value) Projector {
+	return func(tuple.Tuple) (tuple.Value, error) { return v, nil }
+}
+
+// Project maps input tuples through a list of projectors.
+type Project struct {
+	child  Operator
+	schema *tuple.Schema
+	projs  []Projector
+}
+
+// NewProject builds a projection with the given output schema.
+func NewProject(child Operator, schema *tuple.Schema, projs []Projector) *Project {
+	return &Project{child: child, schema: schema, projs: projs}
+}
+
+// NewColumnProject projects the input columns at idxs.
+func NewColumnProject(child Operator, idxs []int) *Project {
+	projs := make([]Projector, len(idxs))
+	for i, ix := range idxs {
+		projs[i] = ColProjector(ix)
+	}
+	return &Project{child: child, schema: child.Schema().Project(idxs), projs: projs}
+}
+
+func (p *Project) Schema() *tuple.Schema { return p.schema }
+func (p *Project) Open() error           { return p.child.Open() }
+func (p *Project) Close() error          { return p.child.Close() }
+
+func (p *Project) Next() (tuple.Tuple, error) {
+	in, err := p.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(tuple.Tuple, len(p.projs))
+	for i, pr := range p.projs {
+		v, err := pr(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Limit passes at most n tuples.
+type Limit struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit caps child at n tuples.
+func NewLimit(child Operator, n int64) *Limit { return &Limit{child: child, n: n} }
+
+func (l *Limit) Schema() *tuple.Schema { return l.child.Schema() }
+func (l *Limit) Open() error           { l.seen = 0; return l.child.Open() }
+func (l *Limit) Close() error          { return l.child.Close() }
+
+func (l *Limit) Next() (tuple.Tuple, error) {
+	if l.seen >= l.n {
+		return nil, io.EOF
+	}
+	t, err := l.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return t, nil
+}
+
+// Distinct removes consecutive duplicates; the input must be sorted so that
+// equal tuples are adjacent.
+type Distinct struct {
+	child Operator
+	prev  tuple.Tuple
+}
+
+// NewDistinct wraps a sorted child.
+func NewDistinct(child Operator) *Distinct { return &Distinct{child: child} }
+
+func (d *Distinct) Schema() *tuple.Schema { return d.child.Schema() }
+func (d *Distinct) Open() error           { d.prev = nil; return d.child.Open() }
+func (d *Distinct) Close() error          { return d.child.Close() }
+
+func (d *Distinct) Next() (tuple.Tuple, error) {
+	for {
+		t, err := d.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if d.prev == nil || !tuple.EqualTuples(d.prev, t) {
+			d.prev = t
+			return t, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+
+// Sort materializes and orders its input. When pool is non-nil the sort is
+// external (spilling runs to heap files and counting their I/O); otherwise
+// it sorts in memory.
+type Sort struct {
+	child    Operator
+	cmp      xsort.Comparator
+	pool     *storage.Pool
+	memLimit int
+
+	out Operator
+}
+
+// NewSort builds an external sort in pool (nil pool = in-memory).
+func NewSort(child Operator, cmp xsort.Comparator, pool *storage.Pool, memLimit int) *Sort {
+	return &Sort{child: child, cmp: cmp, pool: pool, memLimit: memLimit}
+}
+
+func (s *Sort) Schema() *tuple.Schema { return s.child.Schema() }
+
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	defer s.child.Close()
+	if s.pool != nil {
+		f, err := xsort.Stream(s.pool, s.child.Schema(), opIter{s.child}, s.cmp, s.memLimit)
+		if err != nil {
+			return err
+		}
+		s.out = NewHeapScan(f)
+	} else {
+		var rows []tuple.Tuple
+		for {
+			t, err := s.child.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rows = append(rows, t)
+		}
+		xsort.Tuples(rows, s.cmp)
+		s.out = NewMemScan(s.child.Schema(), rows)
+	}
+	return s.out.Open()
+}
+
+type opIter struct{ op Operator }
+
+func (o opIter) Next() (tuple.Tuple, error) { return o.op.Next() }
+func (o opIter) Close()                     {}
+
+func (s *Sort) Next() (tuple.Tuple, error) {
+	if s.out == nil {
+		return nil, io.EOF
+	}
+	return s.out.Next()
+}
+
+func (s *Sort) Close() error {
+	if s.out != nil {
+		return s.out.Close()
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package exec
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+	"setm/internal/xsort"
+)
+
+func mem(names string, rows ...tuple.Tuple) *MemScan {
+	var cols []string
+	start := 0
+	for i := 0; i <= len(names); i++ {
+		if i == len(names) || names[i] == ',' {
+			cols = append(cols, names[start:i])
+			start = i + 1
+		}
+	}
+	return NewMemScan(tuple.IntSchema(cols...), rows)
+}
+
+func TestMemScanAndDrain(t *testing.T) {
+	s := mem("a,b", tuple.Ints(1, 2), tuple.Ints(3, 4))
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][1].Int != 4 {
+		t.Errorf("Drain = %v", got)
+	}
+}
+
+func TestHeapScan(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 16)
+	f, err := hp.Create(pool, tuple.IntSchema("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := f.Append(tuple.Ints(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Drain(NewHeapScan(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("scanned %d rows", len(got))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := mem("v", tuple.Ints(1), tuple.Ints(2), tuple.Ints(3), tuple.Ints(4))
+	f := NewFilter(s, func(tp tuple.Tuple) (bool, error) { return tp[0].Int%2 == 0, nil })
+	got, err := Drain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0].Int != 2 || got[1][0].Int != 4 {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := mem("a,b,c", tuple.Ints(1, 2, 3))
+	p := NewColumnProject(s, []int{2, 0})
+	got, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Int != 3 || got[0][1].Int != 1 {
+		t.Errorf("Project = %v", got)
+	}
+	if p.Schema().Names()[0] != "c" {
+		t.Errorf("projected schema = %v", p.Schema().Names())
+	}
+}
+
+func TestProjectWithConstAndError(t *testing.T) {
+	s := mem("a", tuple.Ints(5))
+	p := NewProject(s, tuple.IntSchema("a", "k"),
+		[]Projector{ColProjector(0), ConstProjector(tuple.I(42))})
+	got, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][1].Int != 42 {
+		t.Errorf("const projector = %v", got)
+	}
+	bad := NewProject(mem("a", tuple.Ints(1)), tuple.IntSchema("x"), []Projector{ColProjector(9)})
+	if _, err := Drain(bad); err == nil {
+		t.Error("out-of-range projection succeeded")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := mem("v", tuple.Ints(1), tuple.Ints(2), tuple.Ints(3))
+	got, err := Drain(NewLimit(s, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("Limit = %v", got)
+	}
+}
+
+func TestDistinctOnSortedInput(t *testing.T) {
+	s := mem("v", tuple.Ints(1), tuple.Ints(1), tuple.Ints(2), tuple.Ints(2), tuple.Ints(2), tuple.Ints(3))
+	got, err := Drain(NewDistinct(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestSortOperatorInMemoryAndExternal(t *testing.T) {
+	rows := []tuple.Tuple{tuple.Ints(3), tuple.Ints(1), tuple.Ints(2)}
+	for _, withPool := range []bool{false, true} {
+		var pool *storage.Pool
+		if withPool {
+			pool = storage.NewPool(storage.NewMemStore(), 16)
+		}
+		s := NewSort(mem("v", rows...), xsort.ByColumns(0), pool, 16)
+		got, err := Drain(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []int64{1, 2, 3} {
+			if got[i][0].Int != want {
+				t.Errorf("withPool=%v: sorted[%d] = %v", withPool, i, got[i])
+			}
+		}
+	}
+}
+
+func TestMergeJoinBasic(t *testing.T) {
+	// SALES-style join: R1(tid, item) ⋈ SALES(tid, item) on tid with
+	// residual right.item > left.item — the SETM extension step.
+	left := mem("tid,item",
+		tuple.Ints(10, 1), tuple.Ints(10, 2), tuple.Ints(20, 1))
+	right := mem("tid,item",
+		tuple.Ints(10, 1), tuple.Ints(10, 2), tuple.Ints(10, 3), tuple.Ints(20, 1), tuple.Ints(20, 4))
+	j := NewMergeJoin(left, right, []int{0}, []int{0},
+		func(l, r tuple.Tuple) (bool, error) { return r[1].Int > l[1].Int, nil })
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: (10,1)x(10,2),(10,3); (10,2)x(10,3); (20,1)x(20,4) = 4 rows.
+	if len(got) != 4 {
+		t.Fatalf("MergeJoin produced %d rows: %v", len(got), got)
+	}
+	want := [][4]int64{{10, 1, 10, 2}, {10, 1, 10, 3}, {10, 2, 10, 3}, {20, 1, 20, 4}}
+	for i, w := range want {
+		for c := 0; c < 4; c++ {
+			if got[i][c].Int != w[c] {
+				t.Errorf("row %d = %v, want %v", i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestMergeJoinManyToMany(t *testing.T) {
+	left := mem("k,l", tuple.Ints(1, 100), tuple.Ints(1, 101), tuple.Ints(2, 102))
+	right := mem("k,r", tuple.Ints(1, 200), tuple.Ints(1, 201), tuple.Ints(3, 202))
+	j := NewMergeJoin(left, right, []int{0}, []int{0}, nil)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // 2x2 for key 1
+		t.Fatalf("many-to-many join = %d rows: %v", len(got), got)
+	}
+}
+
+func TestMergeJoinDisjointKeys(t *testing.T) {
+	left := mem("k", tuple.Ints(1), tuple.Ints(3), tuple.Ints(5))
+	right := mem("k", tuple.Ints(2), tuple.Ints(4), tuple.Ints(6))
+	j := NewMergeJoin(left, right, []int{0}, []int{0}, nil)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint join = %v", got)
+	}
+}
+
+func TestMergeJoinEmptyInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		left, right []tuple.Tuple
+	}{
+		{"both empty", nil, nil},
+		{"left empty", nil, []tuple.Tuple{tuple.Ints(1)}},
+		{"right empty", []tuple.Tuple{tuple.Ints(1)}, nil},
+	} {
+		j := NewMergeJoin(mem("k", tc.left...), mem("k", tc.right...), []int{0}, []int{0}, nil)
+		got, err := Drain(j)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: got %v", tc.name, got)
+		}
+	}
+}
+
+func TestMergeJoinMatchesNestedLoop(t *testing.T) {
+	// Property: on random sorted inputs, merge join == nested-loop join.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var lrows, rrows []tuple.Tuple
+		for i := 0; i < rng.Intn(40); i++ {
+			lrows = append(lrows, tuple.Ints(rng.Int63n(10), rng.Int63n(5)))
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			rrows = append(rrows, tuple.Ints(rng.Int63n(10), rng.Int63n(5)))
+		}
+		byKey := func(rows []tuple.Tuple) {
+			sort.SliceStable(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+		}
+		byKey(lrows)
+		byKey(rrows)
+
+		mj := NewMergeJoin(mem("k,v", lrows...), mem("k,v", rrows...), []int{0}, []int{0}, nil)
+		mjRows, err := Drain(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := NewNestedLoopJoin(mem("k,v", lrows...), mem("k,v", rrows...),
+			func(l, r tuple.Tuple) (bool, error) { return l[0].Int == r[0].Int, nil })
+		nlRows, err := Drain(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mjRows) != len(nlRows) {
+			t.Fatalf("trial %d: merge=%d nested=%d", trial, len(mjRows), len(nlRows))
+		}
+		canon := func(rows []tuple.Tuple) {
+			sort.Slice(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+		}
+		canon(mjRows)
+		canon(nlRows)
+		for i := range mjRows {
+			if !tuple.EqualTuples(mjRows[i], nlRows[i]) {
+				t.Fatalf("trial %d row %d: %v vs %v", trial, i, mjRows[i], nlRows[i])
+			}
+		}
+	}
+}
+
+func TestNestedLoopCrossProduct(t *testing.T) {
+	l := mem("a", tuple.Ints(1), tuple.Ints(2))
+	r := mem("b", tuple.Ints(10), tuple.Ints(20), tuple.Ints(30))
+	got, err := Drain(NewNestedLoopJoin(l, r, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("cross product = %d rows", len(got))
+	}
+}
+
+func TestSortGroupCount(t *testing.T) {
+	// Count items, HAVING-style filtering applied downstream.
+	s := mem("item", tuple.Ints(1), tuple.Ints(1), tuple.Ints(1), tuple.Ints(2), tuple.Ints(3), tuple.Ints(3))
+	g := NewSortGroup(s, []int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}})
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int64{1: 3, 2: 1, 3: 2}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for _, row := range got {
+		if want[row[0].Int] != row[1].Int {
+			t.Errorf("count(%d) = %d, want %d", row[0].Int, row[1].Int, want[row[0].Int])
+		}
+	}
+}
+
+func TestSortGroupMultiKeyAndAggs(t *testing.T) {
+	s := mem("a,b,v",
+		tuple.Ints(1, 1, 5), tuple.Ints(1, 1, 7), tuple.Ints(1, 2, 1), tuple.Ints(2, 1, 9))
+	g := NewSortGroup(s, []int{0, 1}, []AggSpec{
+		{Kind: AggCount, Name: "cnt"},
+		{Kind: AggSum, Col: 2, Name: "sum"},
+		{Kind: AggMin, Col: 2, Name: "min"},
+		{Kind: AggMax, Col: 2, Name: "max"},
+	})
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("groups = %v", got)
+	}
+	// First group (1,1): count 2, sum 12, min 5, max 7.
+	r := got[0]
+	if r[2].Int != 2 || r[3].Int != 12 || r[4].Int != 5 || r[5].Int != 7 {
+		t.Errorf("group (1,1) = %v", r)
+	}
+}
+
+func TestSortGroupEmptyInput(t *testing.T) {
+	g := NewSortGroup(mem("a"), []int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}})
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty group = %v", got)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 16)
+	s := mem("a,b", tuple.Ints(1, 2), tuple.Ints(3, 4))
+	f, err := Materialize(pool, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][0].Int != 3 {
+		t.Errorf("Materialize = %v", rows)
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// sort -> distinct -> group count over random data with duplicates.
+	rng := rand.New(rand.NewSource(11))
+	var rows []tuple.Tuple
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, tuple.Ints(rng.Int63n(20)))
+	}
+	p := NewSortGroup(
+		NewSort(mem("v", rows...), xsort.ByColumns(0), nil, 0),
+		[]int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}})
+	got, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := 1; i < len(got); i++ {
+		if got[i-1][0].Int >= got[i][0].Int {
+			t.Fatal("group keys not ascending")
+		}
+	}
+	for _, r := range got {
+		total += r[1].Int
+	}
+	if total != 1000 {
+		t.Errorf("counts sum to %d, want 1000", total)
+	}
+}
+
+func TestOperatorEOFAfterExhaustion(t *testing.T) {
+	s := mem("v", tuple.Ints(1))
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("call %d after exhaustion: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Child accessors expose operator-tree structure for plan inspection
+// (EXPLAIN output, planner tests). Join operators expose both inputs via
+// Left/Right.
+
+// Child returns the wrapped input.
+func (r *Rename) Child() Operator { return r.child }
+
+// Child returns the wrapped input.
+func (f *Filter) Child() Operator { return f.child }
+
+// Child returns the wrapped input.
+func (p *Project) Child() Operator { return p.child }
+
+// Child returns the wrapped input.
+func (l *Limit) Child() Operator { return l.child }
+
+// Child returns the wrapped input.
+func (d *Distinct) Child() Operator { return d.child }
+
+// Child returns the wrapped input.
+func (s *Sort) Child() Operator { return s.child }
+
+// Child returns the wrapped input.
+func (g *SortGroup) Child() Operator { return g.child }
+
+// Left returns the outer join input.
+func (m *MergeJoin) Left() Operator { return m.left }
+
+// Right returns the inner join input.
+func (m *MergeJoin) Right() Operator { return m.right }
+
+// Left returns the outer join input.
+func (n *NestedLoopJoin) Left() Operator { return n.left }
+
+// Right returns the inner join input.
+func (n *NestedLoopJoin) Right() Operator { return n.right }
+
+// Explain renders an operator tree as an indented plan, one operator per
+// line, in the style of EXPLAIN output:
+//
+//	Project [trans_id item1 item]
+//	  MergeJoin on L[0]=R[0]
+//	    Sort
+//	      Rename (scan p)
+//	    Sort
+//	      Rename (scan q)
+func Explain(op Operator) string {
+	var b strings.Builder
+	explainAt(&b, op, 0)
+	return b.String()
+}
+
+func explainAt(b *strings.Builder, op Operator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v := op.(type) {
+	case *HeapScan:
+		fmt.Fprintf(b, "%sHeapScan %s (%d rows, %d pages)\n",
+			indent, v.file.Schema(), v.file.Rows(), v.file.Pages())
+	case *MemScan:
+		fmt.Fprintf(b, "%sMemScan %s (%d rows)\n", indent, v.schema, len(v.rows))
+	case *Rename:
+		fmt.Fprintf(b, "%sRename %s\n", indent, v.schema)
+		explainAt(b, v.child, depth+1)
+	case *Filter:
+		fmt.Fprintf(b, "%sFilter\n", indent)
+		explainAt(b, v.child, depth+1)
+	case *Project:
+		fmt.Fprintf(b, "%sProject %s\n", indent, v.schema)
+		explainAt(b, v.child, depth+1)
+	case *Limit:
+		fmt.Fprintf(b, "%sLimit %d\n", indent, v.n)
+		explainAt(b, v.child, depth+1)
+	case *Distinct:
+		fmt.Fprintf(b, "%sDistinct\n", indent)
+		explainAt(b, v.child, depth+1)
+	case *Sort:
+		fmt.Fprintf(b, "%sSort\n", indent)
+		explainAt(b, v.child, depth+1)
+	case *SortGroup:
+		fmt.Fprintf(b, "%sSortGroup by %v (%d aggregates)\n", indent, v.groupCols, len(v.aggs))
+		explainAt(b, v.child, depth+1)
+	case *MergeJoin:
+		fmt.Fprintf(b, "%sMergeJoin on %v = %v\n", indent, v.leftKeys, v.rightKeys)
+		explainAt(b, v.left, depth+1)
+		explainAt(b, v.right, depth+1)
+	case *NestedLoopJoin:
+		fmt.Fprintf(b, "%sNestedLoopJoin\n", indent)
+		explainAt(b, v.left, depth+1)
+		explainAt(b, v.right, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, op)
+	}
+}

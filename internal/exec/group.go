@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"setm/internal/tuple"
+)
+
+// AggKind enumerates supported aggregate functions.
+type AggKind int
+
+const (
+	// AggCount is COUNT(*).
+	AggCount AggKind = iota
+	// AggSum is SUM(col).
+	AggSum
+	// AggMin is MIN(col).
+	AggMin
+	// AggMax is MAX(col).
+	AggMax
+)
+
+// AggSpec describes one aggregate output column.
+type AggSpec struct {
+	Kind AggKind
+	Col  int    // input column for SUM/MIN/MAX; ignored for COUNT
+	Name string // output column name
+}
+
+// SortGroup implements sort-based grouping: the input must arrive sorted on
+// the group-by columns so each group is a contiguous run. This is exactly
+// how SETM generates its C_k count relations — "generating the counts
+// involves a simple sequential scan over R'_k" (Section 4.4).
+//
+// The output schema is the group columns followed by one column per
+// aggregate.
+type SortGroup struct {
+	child     Operator
+	groupCols []int
+	aggs      []AggSpec
+	schema    *tuple.Schema
+
+	// Global marks a grand aggregate (no GROUP BY): an empty input then
+	// yields one row of zero aggregates, as SQL requires for COUNT(*).
+	Global bool
+
+	lookahead tuple.Tuple
+	done      bool
+	emitted   bool
+}
+
+// NewSortGroup groups a sorted child on groupCols, computing aggs.
+func NewSortGroup(child Operator, groupCols []int, aggs []AggSpec) *SortGroup {
+	in := child.Schema()
+	cols := make([]tuple.Column, 0, len(groupCols)+len(aggs))
+	for _, gc := range groupCols {
+		cols = append(cols, in.Cols[gc])
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = "agg"
+		}
+		cols = append(cols, tuple.Column{Name: name, Kind: tuple.KindInt})
+	}
+	return &SortGroup{
+		child:     child,
+		groupCols: groupCols,
+		aggs:      aggs,
+		schema:    tuple.NewSchema(cols...),
+	}
+}
+
+func (g *SortGroup) Schema() *tuple.Schema { return g.schema }
+
+func (g *SortGroup) Open() error {
+	g.lookahead = nil
+	g.done = false
+	g.emitted = false
+	return g.child.Open()
+}
+
+func (g *SortGroup) Close() error { return g.child.Close() }
+
+func (g *SortGroup) Next() (tuple.Tuple, error) {
+	if g.done {
+		return nil, io.EOF
+	}
+	// Pull the first row of the next group.
+	first := g.lookahead
+	if first == nil {
+		t, err := g.child.Next()
+		if err == io.EOF {
+			g.done = true
+			if g.Global && !g.emitted && len(g.groupCols) == 0 {
+				// Grand aggregate over zero rows: one row of zero values.
+				out := make(tuple.Tuple, len(g.aggs))
+				for i := range out {
+					out[i] = tuple.I(0)
+				}
+				g.emitted = true
+				return out, nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		first = t
+	}
+	g.emitted = true
+
+	count := int64(0)
+	sums := make([]int64, len(g.aggs))
+	mins := make([]int64, len(g.aggs))
+	maxs := make([]int64, len(g.aggs))
+	accumulate := func(t tuple.Tuple) error {
+		count++
+		for i, a := range g.aggs {
+			switch a.Kind {
+			case AggCount:
+				// count handled globally
+			case AggSum, AggMin, AggMax:
+				v := t[a.Col]
+				if v.Kind != tuple.KindInt {
+					return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
+				}
+				if count == 1 {
+					sums[i] = v.Int
+					mins[i] = v.Int
+					maxs[i] = v.Int
+				} else {
+					sums[i] += v.Int
+					if v.Int < mins[i] {
+						mins[i] = v.Int
+					}
+					if v.Int > maxs[i] {
+						maxs[i] = v.Int
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := accumulate(first); err != nil {
+		return nil, err
+	}
+
+	for {
+		t, err := g.child.Next()
+		if err == io.EOF {
+			g.done = true
+			g.lookahead = nil
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tuple.CompareAt(first, t, g.groupCols) != 0 {
+			g.lookahead = t
+			break
+		}
+		if err := accumulate(t); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make(tuple.Tuple, 0, len(g.groupCols)+len(g.aggs))
+	for _, gc := range g.groupCols {
+		out = append(out, first[gc])
+	}
+	for i, a := range g.aggs {
+		switch a.Kind {
+		case AggCount:
+			out = append(out, tuple.I(count))
+		case AggSum:
+			out = append(out, tuple.I(sums[i]))
+		case AggMin:
+			out = append(out, tuple.I(mins[i]))
+		case AggMax:
+			out = append(out, tuple.I(maxs[i]))
+		}
+	}
+	return out, nil
+}

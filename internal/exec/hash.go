@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"setm/internal/tuple"
+)
+
+// HashJoin is an equi-join that builds an in-memory hash table on the
+// right input and probes it with the left. The paper predates the
+// ubiquity of hash joins in commercial optimizers; this operator exists as
+// the ablation DESIGN.md calls out — SETM's extension step with hashing
+// instead of merge-scan — quantifying what the sort-merge formulation
+// costs or saves.
+type HashJoin struct {
+	left, right Operator
+	leftKeys    []int
+	rightKeys   []int
+	residual    JoinPredicate
+	schema      *tuple.Schema
+
+	table   map[string][]tuple.Tuple
+	leftRow tuple.Tuple
+	bucket  []tuple.Tuple
+	bi      int
+	keyBuf  []byte
+}
+
+// NewHashJoin joins left and right on equality of the key columns.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual JoinPredicate) *HashJoin {
+	return &HashJoin{
+		left:      left,
+		right:     right,
+		leftKeys:  leftKeys,
+		rightKeys: rightKeys,
+		residual:  residual,
+		schema:    left.Schema().Concat(right.Schema()),
+	}
+}
+
+func (h *HashJoin) Schema() *tuple.Schema { return h.schema }
+
+func (h *HashJoin) key(t tuple.Tuple, cols []int) (string, error) {
+	h.keyBuf = h.keyBuf[:0]
+	for _, c := range cols {
+		v := t[c]
+		switch v.Kind {
+		case tuple.KindInt:
+			for s := 0; s < 64; s += 8 {
+				h.keyBuf = append(h.keyBuf, byte(v.Int>>s))
+			}
+		case tuple.KindString:
+			h.keyBuf = append(h.keyBuf, v.Str...)
+			h.keyBuf = append(h.keyBuf, 0)
+		default:
+			return "", fmt.Errorf("exec: unhashable value kind %v", v.Kind)
+		}
+	}
+	return string(h.keyBuf), nil
+}
+
+func (h *HashJoin) Open() error {
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[string][]tuple.Tuple)
+	for {
+		t, err := h.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		k, err := h.key(t, h.rightKeys)
+		if err != nil {
+			return err
+		}
+		h.table[k] = append(h.table[k], t)
+	}
+	h.leftRow = nil
+	h.bucket = nil
+	h.bi = 0
+	return nil
+}
+
+func (h *HashJoin) Close() error {
+	err1 := h.left.Close()
+	err2 := h.right.Close()
+	h.table = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (h *HashJoin) Next() (tuple.Tuple, error) {
+	for {
+		for h.bi < len(h.bucket) {
+			r := h.bucket[h.bi]
+			h.bi++
+			if h.residual != nil {
+				ok, err := h.residual(h.leftRow, r)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out := make(tuple.Tuple, 0, len(h.leftRow)+len(r))
+			out = append(out, h.leftRow...)
+			out = append(out, r...)
+			return out, nil
+		}
+		t, err := h.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		k, err := h.key(t, h.leftKeys)
+		if err != nil {
+			return nil, err
+		}
+		h.leftRow = t
+		h.bucket = h.table[k]
+		h.bi = 0
+	}
+}
+
+// HashGroup computes grouped aggregates with an in-memory hash table
+// instead of a pre-sorted input — the hash-based alternative to SortGroup
+// for the same ablation. Output order is unspecified.
+type HashGroup struct {
+	child     Operator
+	groupCols []int
+	aggs      []AggSpec
+	schema    *tuple.Schema
+
+	out []tuple.Tuple
+	pos int
+}
+
+type hashGroupState struct {
+	rep   tuple.Tuple
+	count int64
+	sums  []int64
+	mins  []int64
+	maxs  []int64
+}
+
+// NewHashGroup groups child on groupCols, computing aggs.
+func NewHashGroup(child Operator, groupCols []int, aggs []AggSpec) *HashGroup {
+	in := child.Schema()
+	cols := make([]tuple.Column, 0, len(groupCols)+len(aggs))
+	for _, gc := range groupCols {
+		cols = append(cols, in.Cols[gc])
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = "agg"
+		}
+		cols = append(cols, tuple.Column{Name: name, Kind: tuple.KindInt})
+	}
+	return &HashGroup{
+		child:     child,
+		groupCols: groupCols,
+		aggs:      aggs,
+		schema:    tuple.NewSchema(cols...),
+	}
+}
+
+func (g *HashGroup) Schema() *tuple.Schema { return g.schema }
+
+// Child returns the wrapped input.
+func (g *HashGroup) Child() Operator { return g.child }
+
+func (g *HashGroup) Open() error {
+	if err := g.child.Open(); err != nil {
+		return err
+	}
+	defer g.child.Close()
+
+	groups := make(map[string]*hashGroupState)
+	var order []string // deterministic output: first-seen order
+	var keyBuf []byte
+	for {
+		t, err := g.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyBuf = keyBuf[:0]
+		for _, c := range g.groupCols {
+			v := t[c]
+			if v.Kind == tuple.KindInt {
+				for s := 0; s < 64; s += 8 {
+					keyBuf = append(keyBuf, byte(v.Int>>s))
+				}
+			} else {
+				keyBuf = append(keyBuf, v.Str...)
+				keyBuf = append(keyBuf, 0)
+			}
+		}
+		key := string(keyBuf)
+		st, ok := groups[key]
+		if !ok {
+			st = &hashGroupState{
+				rep:  t,
+				sums: make([]int64, len(g.aggs)),
+				mins: make([]int64, len(g.aggs)),
+				maxs: make([]int64, len(g.aggs)),
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.count++
+		for i, a := range g.aggs {
+			switch a.Kind {
+			case AggSum, AggMin, AggMax:
+				v := t[a.Col]
+				if v.Kind != tuple.KindInt {
+					return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
+				}
+				if st.count == 1 {
+					st.sums[i], st.mins[i], st.maxs[i] = v.Int, v.Int, v.Int
+				} else {
+					st.sums[i] += v.Int
+					if v.Int < st.mins[i] {
+						st.mins[i] = v.Int
+					}
+					if v.Int > st.maxs[i] {
+						st.maxs[i] = v.Int
+					}
+				}
+			}
+		}
+	}
+
+	g.out = g.out[:0]
+	for _, key := range order {
+		st := groups[key]
+		row := make(tuple.Tuple, 0, len(g.groupCols)+len(g.aggs))
+		for _, c := range g.groupCols {
+			row = append(row, st.rep[c])
+		}
+		for i, a := range g.aggs {
+			switch a.Kind {
+			case AggCount:
+				row = append(row, tuple.I(st.count))
+			case AggSum:
+				row = append(row, tuple.I(st.sums[i]))
+			case AggMin:
+				row = append(row, tuple.I(st.mins[i]))
+			case AggMax:
+				row = append(row, tuple.I(st.maxs[i]))
+			}
+		}
+		g.out = append(g.out, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+func (g *HashGroup) Next() (tuple.Tuple, error) {
+	if g.pos >= len(g.out) {
+		return nil, io.EOF
+	}
+	t := g.out[g.pos]
+	g.pos++
+	return t, nil
+}
+
+func (g *HashGroup) Close() error { return nil }

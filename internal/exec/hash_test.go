@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"setm/internal/tuple"
+)
+
+func TestHashJoinBasic(t *testing.T) {
+	left := mem("tid,item", tuple.Ints(10, 1), tuple.Ints(10, 2), tuple.Ints(20, 1))
+	right := mem("tid,item",
+		tuple.Ints(10, 1), tuple.Ints(10, 2), tuple.Ints(10, 3), tuple.Ints(20, 1), tuple.Ints(20, 4))
+	j := NewHashJoin(left, right, []int{0}, []int{0},
+		func(l, r tuple.Tuple) (bool, error) { return r[1].Int > l[1].Int, nil })
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("HashJoin produced %d rows: %v", len(got), got)
+	}
+}
+
+func TestHashJoinMatchesMergeJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		var lrows, rrows []tuple.Tuple
+		for i := 0; i < rng.Intn(60); i++ {
+			lrows = append(lrows, tuple.Ints(rng.Int63n(8), rng.Int63n(5)))
+		}
+		for i := 0; i < rng.Intn(60); i++ {
+			rrows = append(rrows, tuple.Ints(rng.Int63n(8), rng.Int63n(5)))
+		}
+		canon := func(rows []tuple.Tuple) {
+			sort.Slice(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+		}
+		canon(lrows)
+		canon(rrows)
+
+		hj := NewHashJoin(mem("k,v", lrows...), mem("k,v", rrows...), []int{0}, []int{0}, nil)
+		hjRows, err := Drain(hj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj := NewMergeJoin(mem("k,v", lrows...), mem("k,v", rrows...), []int{0}, []int{0}, nil)
+		mjRows, err := Drain(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hjRows) != len(mjRows) {
+			t.Fatalf("trial %d: hash=%d merge=%d", trial, len(hjRows), len(mjRows))
+		}
+		canon(hjRows)
+		canon(mjRows)
+		for i := range hjRows {
+			if !tuple.EqualTuples(hjRows[i], mjRows[i]) {
+				t.Fatalf("trial %d row %d: %v vs %v", trial, i, hjRows[i], mjRows[i])
+			}
+		}
+	}
+}
+
+func TestHashJoinEmptyInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		left, right []tuple.Tuple
+	}{
+		{"both empty", nil, nil},
+		{"left empty", nil, []tuple.Tuple{tuple.Ints(1)}},
+		{"right empty", []tuple.Tuple{tuple.Ints(1)}, nil},
+	} {
+		j := NewHashJoin(mem("k", tc.left...), mem("k", tc.right...), []int{0}, []int{0}, nil)
+		got, err := Drain(j)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: got %v", tc.name, got)
+		}
+	}
+}
+
+func TestHashJoinStringKeys(t *testing.T) {
+	schema := tuple.NewSchema(
+		tuple.Column{Name: "k", Kind: tuple.KindString},
+		tuple.Column{Name: "v", Kind: tuple.KindInt},
+	)
+	l := NewMemScan(schema, []tuple.Tuple{
+		{tuple.S("a"), tuple.I(1)}, {tuple.S("b"), tuple.I(2)},
+	})
+	r := NewMemScan(schema, []tuple.Tuple{
+		{tuple.S("b"), tuple.I(20)}, {tuple.S("c"), tuple.I(30)},
+	})
+	j := NewHashJoin(l, r, []int{0}, []int{0}, nil)
+	got, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][1].Int != 2 || got[0][3].Int != 20 {
+		t.Errorf("string-key join = %v", got)
+	}
+}
+
+func TestHashGroupMatchesSortGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var rows []tuple.Tuple
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, tuple.Ints(rng.Int63n(30), rng.Int63n(100)))
+	}
+	aggs := []AggSpec{
+		{Kind: AggCount, Name: "cnt"},
+		{Kind: AggSum, Col: 1, Name: "sum"},
+		{Kind: AggMin, Col: 1, Name: "min"},
+		{Kind: AggMax, Col: 1, Name: "max"},
+	}
+	hg := NewHashGroup(mem("k,v", rows...), []int{0}, aggs)
+	hgRows, err := Drain(hg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]tuple.Tuple(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0].Int < sorted[j][0].Int })
+	sg := NewSortGroup(mem("k,v", sorted...), []int{0}, aggs)
+	sgRows, err := Drain(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hgRows) != len(sgRows) {
+		t.Fatalf("hash=%d sort=%d groups", len(hgRows), len(sgRows))
+	}
+	canon := func(rows []tuple.Tuple) {
+		sort.Slice(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+	}
+	canon(hgRows)
+	canon(sgRows)
+	for i := range hgRows {
+		if !tuple.EqualTuples(hgRows[i], sgRows[i]) {
+			t.Errorf("group %d: hash %v, sort %v", i, hgRows[i], sgRows[i])
+		}
+	}
+}
+
+func TestHashGroupEmptyAndReopen(t *testing.T) {
+	g := NewHashGroup(mem("k"), []int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}})
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty hash group = %v", got)
+	}
+}
+
+func TestHashGroupDeterministicOrder(t *testing.T) {
+	// First-seen order: keys appear in input order.
+	rows := []tuple.Tuple{tuple.Ints(5), tuple.Ints(3), tuple.Ints(5), tuple.Ints(9)}
+	g := NewHashGroup(mem("k", rows...), []int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}})
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 3, 9}
+	for i, w := range want {
+		if got[i][0].Int != w {
+			t.Errorf("group %d key = %v, want %d", i, got[i], w)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"io"
+
+	"setm/internal/tuple"
+)
+
+// JoinPredicate is a residual predicate over the concatenated (left, right)
+// tuple, applied after the equi-join keys match. SETM's extension step uses
+// it for the lexicographic condition q.item > p.item_{k-1}.
+type JoinPredicate func(left, right tuple.Tuple) (bool, error)
+
+// MergeJoin is a merge-scan equi-join. Both inputs must arrive sorted on
+// their respective key columns. The output tuple is the concatenation of
+// the left and right tuples; callers project afterwards.
+//
+// Matching groups on the right side are buffered in memory so that
+// many-to-many joins replay correctly; SETM's right side is the set of
+// items of a single transaction, which is small by construction.
+type MergeJoin struct {
+	left, right Operator
+	leftKeys    []int
+	rightKeys   []int
+	residual    JoinPredicate
+	schema      *tuple.Schema
+	leftRow     tuple.Tuple
+	rightRow    tuple.Tuple // lookahead on right input
+	rightDone   bool
+	group       []tuple.Tuple // buffered right group matching current key
+	groupIdx    int
+	started     bool
+}
+
+// NewMergeJoin joins left and right on the given key columns.
+func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int, residual JoinPredicate) *MergeJoin {
+	return &MergeJoin{
+		left:      left,
+		right:     right,
+		leftKeys:  leftKeys,
+		rightKeys: rightKeys,
+		residual:  residual,
+		schema:    left.Schema().Concat(right.Schema()),
+	}
+}
+
+func (m *MergeJoin) Schema() *tuple.Schema { return m.schema }
+
+func (m *MergeJoin) Open() error {
+	if err := m.left.Open(); err != nil {
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		return err
+	}
+	m.started = false
+	m.rightDone = false
+	m.group = nil
+	return nil
+}
+
+func (m *MergeJoin) Close() error {
+	err1 := m.left.Close()
+	err2 := m.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (m *MergeJoin) advanceLeft() error {
+	t, err := m.left.Next()
+	if err == io.EOF {
+		m.leftRow = nil
+		return io.EOF
+	}
+	if err != nil {
+		return err
+	}
+	m.leftRow = t
+	return nil
+}
+
+func (m *MergeJoin) advanceRight() error {
+	if m.rightDone {
+		m.rightRow = nil
+		return nil
+	}
+	t, err := m.right.Next()
+	if err == io.EOF {
+		m.rightRow = nil
+		m.rightDone = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.rightRow = t
+	return nil
+}
+
+func (m *MergeJoin) keyCompare(l, r tuple.Tuple) int {
+	for i := range m.leftKeys {
+		if c := tuple.Compare(l[m.leftKeys[i]], r[m.rightKeys[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// loadGroup buffers every right tuple whose key equals m.leftRow's key,
+// leaving m.rightRow as the first tuple beyond the group.
+func (m *MergeJoin) loadGroup() error {
+	m.group = m.group[:0]
+	for m.rightRow != nil && m.keyCompare(m.leftRow, m.rightRow) == 0 {
+		m.group = append(m.group, m.rightRow)
+		if err := m.advanceRight(); err != nil {
+			return err
+		}
+	}
+	m.groupIdx = 0
+	return nil
+}
+
+func (m *MergeJoin) Next() (tuple.Tuple, error) {
+	if !m.started {
+		m.started = true
+		if err := m.advanceLeft(); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if err := m.advanceRight(); err != nil {
+			return nil, err
+		}
+		if err := m.alignAndLoad(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if m.leftRow == nil {
+			return nil, io.EOF
+		}
+		// Emit remaining pairs from the current group.
+		for m.groupIdx < len(m.group) {
+			r := m.group[m.groupIdx]
+			m.groupIdx++
+			if m.residual != nil {
+				ok, err := m.residual(m.leftRow, r)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out := make(tuple.Tuple, 0, len(m.leftRow)+len(r))
+			out = append(out, m.leftRow...)
+			out = append(out, r...)
+			return out, nil
+		}
+		// Group exhausted: advance left; if the key is unchanged, replay the
+		// same group, else realign.
+		prev := m.leftRow
+		if err := m.advanceLeft(); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if m.keyEqual(prev, m.leftRow) {
+			m.groupIdx = 0
+			continue
+		}
+		if err := m.alignAndLoad(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (m *MergeJoin) keyEqual(a, b tuple.Tuple) bool {
+	for i := range m.leftKeys {
+		if !tuple.Equal(a[m.leftKeys[i]], b[m.leftKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// alignAndLoad advances both sides until their keys meet, then buffers the
+// matching right group. On mismatch it skips the smaller side.
+func (m *MergeJoin) alignAndLoad() error {
+	for m.leftRow != nil {
+		if m.rightRow == nil {
+			// No right rows remain; left rows can never match again.
+			m.group = m.group[:0]
+			m.groupIdx = 0
+			m.leftRow = nil
+			return nil
+		}
+		c := m.keyCompare(m.leftRow, m.rightRow)
+		switch {
+		case c == 0:
+			return m.loadGroup()
+		case c < 0:
+			if err := m.advanceLeft(); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+		default:
+			if err := m.advanceRight(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NestedLoopJoin joins by scanning the entire right input once per left
+// tuple. The right input is materialized in memory at Open. This is the
+// strawman the paper's Section 3 analysis rejects; it exists to be measured.
+type NestedLoopJoin struct {
+	left, right Operator
+	pred        JoinPredicate
+	schema      *tuple.Schema
+
+	rightRows []tuple.Tuple
+	leftRow   tuple.Tuple
+	ri        int
+}
+
+// NewNestedLoopJoin joins left and right with predicate pred (nil = cross
+// product).
+func NewNestedLoopJoin(left, right Operator, pred JoinPredicate) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		left:   left,
+		right:  right,
+		pred:   pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+func (n *NestedLoopJoin) Schema() *tuple.Schema { return n.schema }
+
+func (n *NestedLoopJoin) Open() error {
+	if err := n.left.Open(); err != nil {
+		return err
+	}
+	if err := n.right.Open(); err != nil {
+		return err
+	}
+	rows, err := drainWithoutOpen(n.right)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	n.leftRow = nil
+	n.ri = 0
+	return nil
+}
+
+func drainWithoutOpen(op Operator) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+func (n *NestedLoopJoin) Close() error {
+	err1 := n.left.Close()
+	err2 := n.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (n *NestedLoopJoin) Next() (tuple.Tuple, error) {
+	for {
+		if n.leftRow == nil {
+			t, err := n.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			n.leftRow = t
+			n.ri = 0
+		}
+		for n.ri < len(n.rightRows) {
+			r := n.rightRows[n.ri]
+			n.ri++
+			if n.pred != nil {
+				ok, err := n.pred(n.leftRow, r)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out := make(tuple.Tuple, 0, len(n.leftRow)+len(r))
+			out = append(out, n.leftRow...)
+			out = append(out, r...)
+			return out, nil
+		}
+		n.leftRow = nil
+	}
+}

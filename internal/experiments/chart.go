@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders one or more series as an ASCII line chart, approximating
+// the paper's Figures 5 and 6 so the rise-then-fall shapes are visible at
+// a glance in terminal output. Each series is drawn with its own marker;
+// the x axis is the iteration number.
+func Chart(title, yLabel string, series []Series, value func(SeriesPoint) float64, height int) string {
+	if height < 4 {
+		height = 10
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	maxIter := 0
+	maxVal := 0.0
+	for _, s := range series {
+		if len(s.Points) > maxIter {
+			maxIter = len(s.Points)
+		}
+		for _, p := range s.Points {
+			if v := value(p); v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxIter == 0 || maxVal == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	colWidth := 8
+	width := maxIter * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for pi, p := range s.Points {
+			v := value(p)
+			row := height - 1 - int(v/maxVal*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := pi*colWidth + colWidth/2
+			if col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.0f", maxVal)
+		case height - 1:
+			label = fmt.Sprintf("%8.0f", 0.0)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", 8))
+	for i := 0; i < maxIter; i++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, fmt.Sprintf("   i=%d", i+1))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s  legend (%s): ", strings.Repeat(" ", 8), yLabel)
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%.1f%%", markers[si%len(markers)], s.MinSupFrac*100)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ChartFig5 draws Figure 5 (R_i size in KB per iteration).
+func ChartFig5(series []Series) string {
+	return Chart("Figure 5 (chart): size of relation R_i", "Kbytes", series,
+		func(p SeriesPoint) float64 { return p.RKBytes }, 12)
+}
+
+// ChartFig6 draws Figure 6 (|C_i| per iteration).
+func ChartFig6(series []Series) string {
+	return Chart("Figure 6 (chart): cardinality of C_i", "|C_i|", series,
+		func(p SeriesPoint) float64 { return float64(p.CCount) }, 12)
+}

@@ -1,0 +1,371 @@
+// Package gen provides synthetic transaction generators standing in for
+// the data sets the paper used but did not publish:
+//
+//   - Uniform: the hypothetical analysis data set of Section 3.2 (1,000
+//     items sold with equal probability, 200,000 transactions, 10 items per
+//     transaction);
+//   - Retail: a calibrated stand-in for the proprietary retail data set of
+//     Section 6 (46,873 transactions, |R_1| = 115,568, 59 distinct items,
+//     longest frequent pattern 3);
+//   - Quest: an Agrawal–Srikant style T·I·D generator (the synthetic
+//     workload family of the Apriori literature) for scaling studies.
+//
+// All generators are deterministic for a given seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"setm/internal/core"
+)
+
+// UniformConfig parameterizes the Section 3.2 analysis data set.
+type UniformConfig struct {
+	// NumTransactions is the number of customer transactions (paper: 200,000).
+	NumTransactions int
+	// NumItems is the number of distinct items (paper: 1,000).
+	NumItems int
+	// ItemsPerTxn is the exact number of distinct items per transaction
+	// (paper: 10 on average; we draw exactly this many).
+	ItemsPerTxn int
+	// Seed makes the data set reproducible.
+	Seed int64
+}
+
+// PaperUniform returns the exact parameters of the Section 3.2 analysis.
+func PaperUniform(seed int64) UniformConfig {
+	return UniformConfig{NumTransactions: 200000, NumItems: 1000, ItemsPerTxn: 10, Seed: seed}
+}
+
+// Uniform generates transactions whose items are drawn uniformly without
+// replacement.
+func Uniform(cfg UniformConfig) *core.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &core.Dataset{Transactions: make([]core.Transaction, 0, cfg.NumTransactions)}
+	for i := 0; i < cfg.NumTransactions; i++ {
+		items := sampleWithoutReplacement(rng, cfg.NumItems, cfg.ItemsPerTxn)
+		d.Transactions = append(d.Transactions, core.Transaction{ID: int64(i + 1), Items: items})
+	}
+	return d
+}
+
+func sampleWithoutReplacement(rng *rand.Rand, n, k int) []core.Item {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	items := make([]core.Item, 0, k)
+	for len(items) < k {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			items = append(items, core.Item(v+1))
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	return items
+}
+
+// RetailConfig parameterizes the Section 6 stand-in. The defaults
+// (DefaultRetail) are calibrated so that the published aggregates hold:
+// 46,873 transactions, ≈115.5k SALES rows, 59 distinct items, and a longest
+// frequent pattern of 3 at 0.1% support.
+type RetailConfig struct {
+	// NumTransactions (paper: 46,873).
+	NumTransactions int
+	// NumItems is the distinct item count (paper's |C_1| = 59 at every
+	// support level implies the catalogue itself has 59 items).
+	NumItems int
+	// MeanTxnLen is the average number of distinct items per transaction
+	// (paper: 115,568 / 46,873 ≈ 2.4656).
+	MeanTxnLen float64
+	// ZipfS is the popularity skew exponent (0 = uniform).
+	ZipfS float64
+	// NumPatterns is the number of seeded co-occurrence patterns that give
+	// rise to frequent 2- and 3-item sets.
+	NumPatterns int
+	// PatternProb is the probability a transaction is seeded from one of
+	// the patterns.
+	PatternProb float64
+	// PatternKeep is the per-item retention probability when seeding
+	// (corruption, per the Quest generator tradition).
+	PatternKeep float64
+	// Seed makes the data set reproducible.
+	Seed int64
+}
+
+// DefaultRetail returns the calibrated Section 6 stand-in parameters.
+// MeanTxnLen is set below the target 2.4656 because pattern seeding adds
+// items beyond the Poisson draw; 2.308 lands |R_1| within 0.5% of the
+// published 115,568 rows.
+func DefaultRetail(seed int64) RetailConfig {
+	return RetailConfig{
+		NumTransactions: 46873,
+		NumItems:        59,
+		MeanTxnLen:      2.308,
+		ZipfS:           0.75,
+		NumPatterns:     30,
+		PatternProb:     0.40,
+		PatternKeep:     0.85,
+		Seed:            seed,
+	}
+}
+
+// Retail generates the retail stand-in data set.
+func Retail(cfg RetailConfig) *core.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Zipf popularity over items 1..NumItems.
+	weights := make([]float64, cfg.NumItems)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1.0 / math.Pow(float64(i+1), cfg.ZipfS)
+		total += weights[i]
+	}
+	cum := make([]float64, cfg.NumItems)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	drawItem := func() core.Item {
+		u := rng.Float64()
+		idx := sort.SearchFloat64s(cum, u)
+		if idx >= cfg.NumItems {
+			idx = cfg.NumItems - 1
+		}
+		return core.Item(idx + 1)
+	}
+
+	// Seed patterns of size 2–3 over the popular half of the catalogue,
+	// with geometric usage weights so a few patterns dominate (producing
+	// clearly frequent 3-itemsets while keeping 4-item co-occurrence rare).
+	type pattern struct {
+		items  []core.Item
+		weight float64
+	}
+	patterns := make([]pattern, 0, cfg.NumPatterns)
+	wsum := 0.0
+	for i := 0; i < cfg.NumPatterns; i++ {
+		size := 2
+		if rng.Float64() < 0.4 {
+			size = 3
+		}
+		items := make([]core.Item, 0, size)
+		seen := map[core.Item]bool{}
+		for len(items) < size {
+			it := drawItem()
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		w := math.Pow(0.85, float64(i))
+		patterns = append(patterns, pattern{items: items, weight: w})
+		wsum += w
+	}
+	drawPattern := func() []core.Item {
+		u := rng.Float64() * wsum
+		for _, p := range patterns {
+			u -= p.weight
+			if u <= 0 {
+				return p.items
+			}
+		}
+		return patterns[len(patterns)-1].items
+	}
+
+	// Transaction lengths: 1 + Poisson(MeanTxnLen − 1).
+	lam := cfg.MeanTxnLen - 1
+	if lam < 0 {
+		lam = 0
+	}
+
+	d := &core.Dataset{Transactions: make([]core.Transaction, 0, cfg.NumTransactions)}
+	for i := 0; i < cfg.NumTransactions; i++ {
+		target := 1 + poisson(rng, lam)
+		seen := map[core.Item]bool{}
+		items := make([]core.Item, 0, target+3)
+		if rng.Float64() < cfg.PatternProb {
+			for _, it := range drawPattern() {
+				if rng.Float64() < cfg.PatternKeep && !seen[it] {
+					seen[it] = true
+					items = append(items, it)
+				}
+			}
+		}
+		for len(items) < target {
+			it := drawItem()
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		d.Transactions = append(d.Transactions, core.Transaction{ID: int64(i + 1), Items: items})
+	}
+	return d
+}
+
+func poisson(rng *rand.Rand, lam float64) int {
+	if lam <= 0 {
+		return 0
+	}
+	l := math.Exp(-lam)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 64 { // guard against pathological lambda
+			return k
+		}
+	}
+}
+
+// QuestConfig parameterizes the Agrawal–Srikant synthetic generator
+// (T = avg transaction size, I = avg size of the maximal potentially
+// frequent itemsets, D = number of transactions, N = item count, L =
+// number of potentially frequent itemsets).
+type QuestConfig struct {
+	NumTransactions int     // D
+	NumItems        int     // N
+	AvgTxnLen       float64 // T
+	AvgPatternLen   float64 // I
+	NumPatterns     int     // L
+	CorruptionMean  float64 // mean corruption level (default 0.5)
+	Seed            int64
+}
+
+// T10I4D100K returns the classic benchmark configuration scaled by a
+// factor (1.0 = 100,000 transactions over 1,000 items).
+func T10I4D100K(scale float64, seed int64) QuestConfig {
+	n := int(100000 * scale)
+	if n < 1 {
+		n = 1
+	}
+	return QuestConfig{
+		NumTransactions: n,
+		NumItems:        1000,
+		AvgTxnLen:       10,
+		AvgPatternLen:   4,
+		NumPatterns:     2000,
+		CorruptionMean:  0.5,
+		Seed:            seed,
+	}
+}
+
+// Quest generates transactions by overlaying corrupted potentially-
+// frequent itemsets, following Agrawal & Srikant's procedure: patterns
+// share fractions of their items with their predecessor, have
+// exponentially distributed weights, and are corrupted when inserted.
+func Quest(cfg QuestConfig) *core.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CorruptionMean <= 0 {
+		cfg.CorruptionMean = 0.5
+	}
+
+	// Build the pool of potentially frequent itemsets.
+	type pattern struct {
+		items   []core.Item
+		weight  float64
+		corrupt float64
+	}
+	patterns := make([]pattern, 0, cfg.NumPatterns)
+	var prev []core.Item
+	wsum := 0.0
+	for i := 0; i < cfg.NumPatterns; i++ {
+		size := 1 + poisson(rng, cfg.AvgPatternLen-1)
+		items := make([]core.Item, 0, size)
+		seen := map[core.Item]bool{}
+		// Reuse a fraction of the previous pattern (correlation).
+		if prev != nil {
+			frac := rng.Float64() // exponentially distributed in the paper; uniform is adequate
+			reuse := int(frac * float64(len(prev)))
+			for _, it := range prev[:min(reuse, len(prev))] {
+				if len(items) >= size {
+					break
+				}
+				if !seen[it] {
+					seen[it] = true
+					items = append(items, it)
+				}
+			}
+		}
+		for len(items) < size {
+			it := core.Item(1 + rng.Intn(cfg.NumItems))
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		prev = items
+		w := rng.ExpFloat64()
+		c := clamp01(rng.NormFloat64()*0.1 + cfg.CorruptionMean)
+		patterns = append(patterns, pattern{items: items, weight: w, corrupt: c})
+		wsum += w
+	}
+	drawPattern := func() pattern {
+		u := rng.Float64() * wsum
+		for _, p := range patterns {
+			u -= p.weight
+			if u <= 0 {
+				return p
+			}
+		}
+		return patterns[len(patterns)-1]
+	}
+
+	d := &core.Dataset{Transactions: make([]core.Transaction, 0, cfg.NumTransactions)}
+	for i := 0; i < cfg.NumTransactions; i++ {
+		target := 1 + poisson(rng, cfg.AvgTxnLen-1)
+		seen := map[core.Item]bool{}
+		items := make([]core.Item, 0, target)
+		for len(items) < target {
+			p := drawPattern()
+			for _, it := range p.items {
+				if len(items) >= target && rng.Float64() < 0.5 {
+					break // drop the tail of the last pattern half the time
+				}
+				if rng.Float64() < p.corrupt {
+					continue // corrupted away
+				}
+				if !seen[it] {
+					seen[it] = true
+					items = append(items, it)
+				}
+			}
+			if len(p.items) == 0 {
+				break
+			}
+		}
+		if len(items) == 0 {
+			items = append(items, core.Item(1+rng.Intn(cfg.NumItems)))
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		d.Transactions = append(d.Transactions, core.Transaction{ID: int64(i + 1), Items: items})
+	}
+	return d
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.05 {
+		return 0.05
+	}
+	if v > 0.95 {
+		return 0.95
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"setm/internal/core"
+)
+
+func TestUniformShape(t *testing.T) {
+	cfg := UniformConfig{NumTransactions: 500, NumItems: 50, ItemsPerTxn: 5, Seed: 1}
+	d := Uniform(cfg)
+	if d.NumTransactions() != 500 {
+		t.Fatalf("transactions = %d", d.NumTransactions())
+	}
+	for _, tx := range d.Transactions {
+		if len(tx.Items) != 5 {
+			t.Fatalf("txn %d has %d items", tx.ID, len(tx.Items))
+		}
+		for i, it := range tx.Items {
+			if it < 1 || it > 50 {
+				t.Fatalf("item out of range: %d", it)
+			}
+			if i > 0 && tx.Items[i-1] >= it {
+				t.Fatalf("items not sorted/unique: %v", tx.Items)
+			}
+		}
+	}
+}
+
+func TestUniformDeterminism(t *testing.T) {
+	a := Uniform(UniformConfig{NumTransactions: 100, NumItems: 20, ItemsPerTxn: 4, Seed: 7})
+	b := Uniform(UniformConfig{NumTransactions: 100, NumItems: 20, ItemsPerTxn: 4, Seed: 7})
+	c := Uniform(UniformConfig{NumTransactions: 100, NumItems: 20, ItemsPerTxn: 4, Seed: 8})
+	if !sameDataset(a, b) {
+		t.Error("same seed produced different data")
+	}
+	if sameDataset(a, c) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func sameDataset(a, b *core.Dataset) bool {
+	if len(a.Transactions) != len(b.Transactions) {
+		return false
+	}
+	for i := range a.Transactions {
+		ta, tb := a.Transactions[i], b.Transactions[i]
+		if ta.ID != tb.ID || len(ta.Items) != len(tb.Items) {
+			return false
+		}
+		for j := range ta.Items {
+			if ta.Items[j] != tb.Items[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestUniformItemsPerTxnClamped(t *testing.T) {
+	d := Uniform(UniformConfig{NumTransactions: 3, NumItems: 4, ItemsPerTxn: 10, Seed: 1})
+	for _, tx := range d.Transactions {
+		if len(tx.Items) != 4 {
+			t.Fatalf("expected clamp to 4 items, got %d", len(tx.Items))
+		}
+	}
+}
+
+// TestRetailCalibration checks the published aggregates of the Section 6
+// data set: 46,873 transactions, |R_1| within 3% of 115,568, exactly 59
+// distinct items, and a longest frequent pattern of 3 at 0.1% support.
+func TestRetailCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size retail generation")
+	}
+	d := Retail(DefaultRetail(1))
+	if d.NumTransactions() != 46873 {
+		t.Fatalf("transactions = %d", d.NumTransactions())
+	}
+	r1 := d.NumSalesRows()
+	if math.Abs(float64(r1)-115568) > 0.03*115568 {
+		t.Errorf("|R_1| = %d, want ≈115568 (±3%%)", r1)
+	}
+	distinct := map[core.Item]bool{}
+	for _, tx := range d.Transactions {
+		for _, it := range tx.Items {
+			distinct[it] = true
+		}
+	}
+	if len(distinct) != 59 {
+		t.Errorf("distinct items = %d, want 59", len(distinct))
+	}
+
+	res, err := core.MineMemory(d, core.Options{MinSupportFrac: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MaxLen(); got < 3 || got > 4 {
+		t.Errorf("longest frequent pattern at 0.1%% = %d, want 3 (4 tolerated)", got)
+	}
+	// At 0.1% every item should qualify: |C_1| = 59.
+	if got := len(res.C(1)); got != 59 {
+		t.Errorf("|C_1| at 0.1%% = %d, want 59", got)
+	}
+	// |C_2| must rise above |C_1| at small support (Figure 6's shape).
+	if len(res.C(2)) <= len(res.C(1)) {
+		t.Errorf("|C_2| = %d not above |C_1| = %d at 0.1%%", len(res.C(2)), len(res.C(1)))
+	}
+}
+
+func TestRetailSupportsShrinkWithMinSup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size retail generation")
+	}
+	d := Retail(DefaultRetail(1))
+	prev := -1
+	for _, frac := range []float64{0.001, 0.01, 0.05} {
+		res, err := core.MineMemory(d, core.Options{MinSupportFrac: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := res.TotalPatterns()
+		if prev >= 0 && tot > prev {
+			t.Errorf("patterns grew from %d to %d as support rose to %v", prev, tot, frac)
+		}
+		prev = tot
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	cfg := QuestConfig{
+		NumTransactions: 2000, NumItems: 200, AvgTxnLen: 8,
+		AvgPatternLen: 3, NumPatterns: 50, Seed: 5,
+	}
+	d := Quest(cfg)
+	if d.NumTransactions() != 2000 {
+		t.Fatalf("transactions = %d", d.NumTransactions())
+	}
+	totalItems := 0
+	for _, tx := range d.Transactions {
+		if len(tx.Items) == 0 {
+			t.Fatal("empty transaction")
+		}
+		totalItems += len(tx.Items)
+		for i := 1; i < len(tx.Items); i++ {
+			if tx.Items[i-1] >= tx.Items[i] {
+				t.Fatalf("items not sorted/unique: %v", tx.Items)
+			}
+		}
+	}
+	avg := float64(totalItems) / 2000
+	if avg < 4 || avg > 12 {
+		t.Errorf("average transaction length %.2f far from T=8", avg)
+	}
+}
+
+func TestQuestProducesFrequentPatterns(t *testing.T) {
+	d := Quest(QuestConfig{
+		NumTransactions: 3000, NumItems: 100, AvgTxnLen: 8,
+		AvgPatternLen: 4, NumPatterns: 20, Seed: 9,
+	})
+	res, err := core.MineMemory(d, core.Options{MinSupportFrac: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen() < 2 {
+		t.Errorf("Quest data has no frequent pairs at 2%%: MaxLen = %d", res.MaxLen())
+	}
+}
+
+func TestQuestDeterminism(t *testing.T) {
+	cfg := T10I4D100K(0.01, 3)
+	if !sameDataset(Quest(cfg), Quest(cfg)) {
+		t.Error("Quest not deterministic")
+	}
+}
+
+func TestT10I4Scaling(t *testing.T) {
+	cfg := T10I4D100K(0.005, 1)
+	if cfg.NumTransactions != 500 {
+		t.Errorf("scaled transactions = %d", cfg.NumTransactions)
+	}
+	if cfg.AvgTxnLen != 10 || cfg.AvgPatternLen != 4 {
+		t.Error("classic parameters wrong")
+	}
+	tiny := T10I4D100K(0, 1)
+	if tiny.NumTransactions < 1 {
+		t.Error("scale floor broken")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	// poisson() is used for transaction lengths; check its mean roughly.
+	rngSeeded := Uniform(UniformConfig{NumTransactions: 1, NumItems: 1, ItemsPerTxn: 1, Seed: 1})
+	_ = rngSeeded // document that poisson is indirectly covered; direct check:
+	d := Retail(RetailConfig{
+		NumTransactions: 20000, NumItems: 59, MeanTxnLen: 2.308,
+		ZipfS: 0.75, NumPatterns: 30, PatternProb: 0.4, PatternKeep: 0.85, Seed: 2,
+	})
+	total := 0
+	for _, tx := range d.Transactions {
+		total += len(tx.Items)
+	}
+	avg := float64(total) / 20000
+	// Pattern seeding inflates the Poisson mean; the calibrated result is
+	// the paper's 2.4656 average.
+	if math.Abs(avg-2.4656) > 0.25 {
+		t.Errorf("mean transaction length %.3f, want ≈2.47", avg)
+	}
+}

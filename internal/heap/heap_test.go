@@ -1,0 +1,218 @@
+package heap
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"setm/internal/storage"
+	"setm/internal/tuple"
+)
+
+func newPool(frames int) *storage.Pool {
+	return storage.NewPool(storage.NewMemStore(), frames)
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	pool := newPool(16)
+	f, err := Create(pool, tuple.IntSchema("trans_id", "item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tuple.Tuple{
+		tuple.Ints(10, 1), tuple.Ints(10, 2), tuple.Ints(20, 1), tuple.Ints(30, 5),
+	}
+	if err := f.AppendAll(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !tuple.EqualTuples(got[i], want[i]) {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f.Rows() != int64(len(want)) {
+		t.Errorf("Rows = %d, want %d", f.Rows(), len(want))
+	}
+}
+
+func TestMultiPageSpill(t *testing.T) {
+	pool := newPool(4)
+	f, err := Create(pool, tuple.IntSchema("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000 // 3 ints = 24 bytes + 2 len; ~150/page, so ~34 pages
+	for i := 0; i < n; i++ {
+		if err := f.Append(tuple.Ints(int64(i), int64(i*2), int64(i*3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Pages() < 2 {
+		t.Fatalf("expected multi-page file, got %d pages", f.Pages())
+	}
+	sc := f.Scan()
+	defer sc.Close()
+	i := 0
+	for {
+		tp, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp[0].Int != int64(i) || tp[2].Int != int64(i*3) {
+			t.Fatalf("row %d corrupted: %v", i, tp)
+		}
+		i++
+	}
+	if i != n {
+		t.Errorf("scanned %d rows, want %d", i, n)
+	}
+}
+
+func TestScanSurvivesEviction(t *testing.T) {
+	// A pool of 2 frames forces every page of a large file to be evicted and
+	// re-read; the scan must still see every tuple in order.
+	pool := newPool(2)
+	f, err := Create(pool, tuple.IntSchema("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := f.Append(tuple.Ints(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d rows, want %d", len(got), n)
+	}
+	for i, tp := range got {
+		if tp[0].Int != int64(i) {
+			t.Fatalf("row %d = %v", i, tp)
+		}
+	}
+}
+
+func TestStringColumns(t *testing.T) {
+	pool := newPool(8)
+	sch := tuple.NewSchema(
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+		tuple.Column{Name: "name", Kind: tuple.KindString},
+	)
+	f, err := Create(pool, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []tuple.Tuple{
+		{tuple.I(1), tuple.S("bread")},
+		{tuple.I(2), tuple.S("butter")},
+		{tuple.I(3), tuple.S("")},
+	}
+	if err := f.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if !tuple.EqualTuples(got[i], rows[i]) {
+			t.Errorf("row %d = %v, want %v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestOversizeTupleRejected(t *testing.T) {
+	pool := newPool(8)
+	sch := tuple.NewSchema(tuple.Column{Name: "s", Kind: tuple.KindString})
+	f, err := Create(pool, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, storage.PageSize)
+	if err := f.Append(tuple.Tuple{tuple.S(string(big))}); err == nil {
+		t.Error("oversize tuple accepted")
+	}
+}
+
+func TestEmptyFileScan(t *testing.T) {
+	pool := newPool(4)
+	f, err := Create(pool, tuple.IntSchema("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty file scanned %d rows", len(got))
+	}
+	if f.Pages() != 1 {
+		t.Errorf("empty file has %d pages, want 1", f.Pages())
+	}
+}
+
+func TestQuickRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		pool := newPool(4)
+		hf, err := Create(pool, tuple.IntSchema("v"))
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := hf.Append(tuple.Ints(v)); err != nil {
+				return false
+			}
+		}
+		got, err := hf.ReadAll()
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got[i][0].Int != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesMatchesFootprint(t *testing.T) {
+	pool := newPool(4)
+	f, err := Create(pool, tuple.IntSchema("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		if err := f.Append(tuple.Ints(rng.Int63(), rng.Int63())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2 ints = 16 bytes + 2 prefix = 18 bytes; (4096-8)/18 = 227 per page.
+	wantPages := (3000 + 226) / 227
+	if f.Pages() != wantPages {
+		t.Errorf("Pages = %d, want %d", f.Pages(), wantPages)
+	}
+	if f.SizeBytes() != int64(wantPages)*storage.PageSize {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+}

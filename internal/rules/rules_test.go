@@ -1,0 +1,213 @@
+package rules
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"setm/internal/core"
+)
+
+func paperExample() *core.Dataset {
+	const (
+		A, B, C, D, E, F, G, H = 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	return &core.Dataset{Transactions: []core.Transaction{
+		{ID: 10, Items: []core.Item{A, B, C}},
+		{ID: 20, Items: []core.Item{A, B, D}},
+		{ID: 30, Items: []core.Item{A, B, C}},
+		{ID: 40, Items: []core.Item{B, C, D}},
+		{ID: 50, Items: []core.Item{A, C, G}},
+		{ID: 60, Items: []core.Item{A, D, G}},
+		{ID: 70, Items: []core.Item{A, E, H}},
+		{ID: 80, Items: []core.Item{D, E, F}},
+		{ID: 90, Items: []core.Item{D, E, F}},
+		{ID: 99, Items: []core.Item{D, E, F}},
+	}}
+}
+
+func mine(t *testing.T) *core.Result {
+	t.Helper()
+	res, err := core.MineMemory(paperExample(), core.Options{MinSupportFrac: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPaperRules verifies the exact rule list of Section 5: eight rules
+// from C_2 and three rules from C_3 at 70% minimum confidence.
+func TestPaperRules(t *testing.T) {
+	res := mine(t)
+	rs, err := Generate(res, Options{MinConfidence: 0.70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range rs {
+		got = append(got, r.Format(LetterNamer))
+	}
+	want := []string{
+		// From C_2 (paper order is by pattern; we sort lexicographically by
+		// antecedent then consequent — same set).
+		"B ==> A, [75.0%, 30.0%]",
+		"B ==> C, [75.0%, 30.0%]",
+		"C ==> A, [75.0%, 30.0%]",
+		"C ==> B, [75.0%, 30.0%]",
+		"E ==> D, [75.0%, 30.0%]",
+		"E ==> F, [75.0%, 30.0%]",
+		"F ==> D, [100.0%, 30.0%]",
+		"F ==> E, [100.0%, 30.0%]",
+		// From C_3.
+		"D E ==> F, [100.0%, 30.0%]",
+		"D F ==> E, [100.0%, 30.0%]",
+		"E F ==> D, [100.0%, 30.0%]",
+	}
+	sortFirst8 := func(s []string) {
+		if len(s) >= 8 {
+			sort.Strings(s[:8])
+			sort.Strings(s[8:])
+		}
+	}
+	sortFirst8(got)
+	sortFirst8(want)
+	if len(got) != len(want) {
+		t.Fatalf("generated %d rules, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPaperRejectsAImpliesB checks the paper's negative example: A ⇒ B has
+// confidence 3/6 = 50% < 70% and must not be generated.
+func TestPaperRejectsAImpliesB(t *testing.T) {
+	res := mine(t)
+	rs, err := Generate(res, Options{MinConfidence: 0.70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 1 && r.Consequent == 2 {
+			t.Errorf("rule A ==> B generated with confidence %.2f", r.Confidence)
+		}
+	}
+}
+
+func TestLowerConfidenceAdmitsMoreRules(t *testing.T) {
+	res := mine(t)
+	strict, err := Generate(res, Options{MinConfidence: 0.70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Generate(res, Options{MinConfidence: 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) <= len(strict) {
+		t.Errorf("loose %d <= strict %d", len(loose), len(strict))
+	}
+	// A ⇒ B (50%) appears at 40%.
+	found := false
+	for _, r := range loose {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 1 && r.Consequent == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("A ==> B missing at 40% confidence")
+	}
+}
+
+func TestRuleInvariants(t *testing.T) {
+	// Property checks on random data: confidence/support in range, rule
+	// support equals pattern support, antecedent sorted, consequent not in
+	// antecedent.
+	rng := rand.New(rand.NewSource(31))
+	d := &core.Dataset{}
+	for i := 0; i < 150; i++ {
+		n := 1 + rng.Intn(6)
+		items := make([]core.Item, n)
+		for j := range items {
+			items[j] = core.Item(1 + rng.Intn(12))
+		}
+		d.Transactions = append(d.Transactions, core.Transaction{ID: int64(i + 1), Items: items})
+	}
+	res, err := core.MineMemory(d, core.Options{MinSupportCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Generate(res, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Confidence < 0.5-1e-9 || r.Confidence > 1+1e-9 {
+			t.Errorf("confidence out of range: %v", r)
+		}
+		if r.Support <= 0 || r.Support > 1 {
+			t.Errorf("support out of range: %v", r)
+		}
+		full := append(append([]core.Item{}, r.Antecedent...), r.Consequent)
+		sort.Slice(full, func(i, j int) bool { return full[i] < full[j] })
+		if got := res.Support(full); got != r.Count {
+			t.Errorf("rule %v count %d, pattern support %d", r, r.Count, got)
+		}
+		for i := 1; i < len(r.Antecedent); i++ {
+			if r.Antecedent[i-1] >= r.Antecedent[i] {
+				t.Errorf("antecedent not sorted: %v", r)
+			}
+		}
+		for _, a := range r.Antecedent {
+			if a == r.Consequent {
+				t.Errorf("consequent appears in antecedent: %v", r)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(nil, Options{MinConfidence: 0.5}); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := mine(t)
+	if _, err := Generate(res, Options{MinConfidence: 1.5}); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+	if _, err := Generate(res, Options{MinConfidence: -0.1}); err == nil {
+		t.Error("negative confidence accepted")
+	}
+}
+
+func TestZeroConfidenceGeneratesAll(t *testing.T) {
+	res := mine(t)
+	rs, err := Generate(res, Options{MinConfidence: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 6 patterns in C_2 yields 2 candidate rules, each of the 1
+	// pattern in C_3 yields 3: 15 rules total.
+	if len(rs) != 15 {
+		t.Errorf("rules at conf 0 = %d, want 15", len(rs))
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	r := Rule{Antecedent: []core.Item{4, 5}, Consequent: 6, Confidence: 1.0, Support: 0.30}
+	if got, want := r.Format(LetterNamer), "D E ==> F, [100.0%, 30.0%]"; got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	if got, want := r.String(), "4 5 ==> 6, [100.0%, 30.0%]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if LetterNamer(27) != "27" {
+		t.Error("LetterNamer fallback broken")
+	}
+	out := FormatAll([]Rule{r, r}, LetterNamer)
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("FormatAll = %q", out)
+	}
+}

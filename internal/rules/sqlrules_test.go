@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"setm/internal/core"
+)
+
+func TestGenerateSQLMatchesProceduralOnPaperExample(t *testing.T) {
+	res := mine(t)
+	proc, err := Generate(res, Options{MinConfidence: 0.70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSQL, err := GenerateSQL(res, 0.70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRules(t, proc, viaSQL)
+}
+
+func TestGenerateSQLMatchesProceduralRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 4; trial++ {
+		d := &core.Dataset{}
+		for i := 0; i < 120; i++ {
+			n := 1 + rng.Intn(5)
+			items := make([]core.Item, n)
+			for j := range items {
+				items[j] = core.Item(1 + rng.Intn(10))
+			}
+			d.Transactions = append(d.Transactions, core.Transaction{ID: int64(i + 1), Items: items})
+		}
+		res, err := core.MineMemory(d, core.Options{MinSupportCount: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, conf := range []float64{0.5, 0.75, 1.0} {
+			proc, err := Generate(res, Options{MinConfidence: conf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaSQL, err := GenerateSQL(res, conf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRules(t, proc, viaSQL)
+		}
+	}
+}
+
+func assertSameRules(t *testing.T, a, b []Rule) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("rule counts differ: %d vs %d\nproc: %s\nsql:  %s",
+			len(a), len(b), FormatAll(a, nil), FormatAll(b, nil))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Antecedent, b[i].Antecedent) ||
+			a[i].Consequent != b[i].Consequent ||
+			a[i].Count != b[i].Count {
+			t.Errorf("rule %d differs: %v vs %v", i, a[i], b[i])
+		}
+		// Confidence/support computed the same way from the same counts.
+		if a[i].Confidence != b[i].Confidence {
+			t.Errorf("rule %d confidence: %v vs %v", i, a[i].Confidence, b[i].Confidence)
+		}
+	}
+}
+
+func TestGenerateSQLValidation(t *testing.T) {
+	if _, err := GenerateSQL(nil, 0.5); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := mine(t)
+	if _, err := GenerateSQL(res, 1.5); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+func TestGenerateSQLIntegerConfidenceBoundary(t *testing.T) {
+	// The SQL path uses cnt·100 >= pct·antecedent; a rule at exactly the
+	// threshold (e.g. 75% with pct=75) must be kept.
+	res := mine(t)
+	viaSQL, err := GenerateSQL(res, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range viaSQL {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 2 && r.Consequent == 1 {
+			found = true // B ==> A at exactly 75%
+		}
+	}
+	if !found {
+		t.Errorf("boundary rule B ==> A missing at 75%%:\n%s", FormatAll(viaSQL, LetterNamer))
+	}
+}

@@ -1,0 +1,230 @@
+// Package sqlparse implements the lexer, AST, and recursive-descent parser
+// for the SQL subset the paper's queries use: CREATE/DROP TABLE, INSERT
+// (VALUES and INSERT ... SELECT), DELETE, and SELECT with joins, WHERE,
+// GROUP BY, HAVING, ORDER BY, COUNT(*), and named parameters (:minsupport).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokString
+	TokParam  // :name
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical token with its source position (1-based line/col).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "AND": true,
+	"OR": true, "NOT": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "DELETE": true, "AS": true,
+	"INT": true, "INTEGER": true, "STRING": true, "VARCHAR": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "DISTINCT": true,
+	"LIMIT": true, "IF": true, "EXISTS": true, "EXPLAIN": true,
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// TokEOF forever.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			tok.Kind = TokKeyword
+			tok.Text = up
+		} else {
+			tok.Kind = TokIdent
+			tok.Text = word
+		}
+		return tok, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+		tok.Kind = TokInt
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, fmt.Errorf("sql:%d:%d: unterminated string literal", tok.Line, tok.Col)
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				if l.peek() == '\'' { // escaped quote
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		tok.Kind = TokString
+		tok.Text = sb.String()
+		return tok, nil
+
+	case c == ':':
+		l.advance()
+		if !isIdentStart(l.peek()) {
+			return tok, fmt.Errorf("sql:%d:%d: expected parameter name after ':'", tok.Line, tok.Col)
+		}
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		tok.Kind = TokParam
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "<=", ">=", "!=":
+			l.advance()
+			l.advance()
+			tok.Kind = TokSymbol
+			if two == "!=" {
+				two = "<>"
+			}
+			tok.Text = two
+			return tok, nil
+		}
+		switch c {
+		case '(', ')', ',', ';', '*', '=', '<', '>', '.', '+', '-', '/':
+			l.advance()
+			tok.Kind = TokSymbol
+			tok.Text = string(c)
+			return tok, nil
+		}
+		return tok, fmt.Errorf("sql:%d:%d: unexpected character %q", tok.Line, tok.Col, c)
+	}
+}
+
+// Tokenize lexes the whole input (for tests and diagnostics).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

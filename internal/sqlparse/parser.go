@@ -1,0 +1,710 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"setm/internal/tuple"
+)
+
+// Parser is a recursive-descent parser over the lexer's token stream.
+type Parser struct {
+	lex *Lexer
+	tok Token // current token
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokSymbol && p.tok.Text == ";" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after statement", p.tok)
+	}
+	return st, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.tok.Kind != TokEOF {
+		if p.tok.Kind == TokSymbol && p.tok.Text == ";" {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql:%d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) (bool, error) {
+	if p.isKeyword(kw) {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) isSymbol(s string) bool {
+	return p.tok.Kind == TokSymbol && p.tok.Text == s
+}
+
+func (p *Parser) acceptSymbol(s string) (bool, error) {
+	if p.isSymbol(s) {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.isSymbol(s) {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if p.tok.Kind != TokIdent {
+		return "", p.errf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.Text
+	return name, p.next()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.isKeyword("CREATE"):
+		return p.parseCreate()
+	case p.isKeyword("DROP"):
+		return p.parseDrop()
+	case p.isKeyword("DELETE"):
+		return p.parseDelete()
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("EXPLAIN"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("SELECT") {
+			return nil, p.errf("expected SELECT after EXPLAIN, found %s", p.tok)
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Select: sel.(*Select)}, nil
+	default:
+		return nil, p.errf("expected statement, found %s", p.tok)
+	}
+}
+
+func (p *Parser) parseCreate() (Stmt, error) {
+	if err := p.next(); err != nil { // CREATE
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &CreateTable{}
+	if ok, err := p.acceptKeyword("IF"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var kind tuple.Kind
+		switch {
+		case p.isKeyword("INT") || p.isKeyword("INTEGER"):
+			kind = tuple.KindInt
+		case p.isKeyword("STRING") || p.isKeyword("VARCHAR"):
+			kind = tuple.KindString
+		default:
+			return nil, p.errf("expected column type, found %s", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		// Tolerate VARCHAR(n).
+		if ok, err := p.acceptSymbol("("); err != nil {
+			return nil, err
+		} else if ok {
+			if p.tok.Kind != TokInt {
+				return nil, p.errf("expected length, found %s", p.tok)
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		st.Cols = append(st.Cols, tuple.Column{Name: col, Kind: kind})
+		if ok, err := p.acceptSymbol(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDrop() (Stmt, error) {
+	if err := p.next(); err != nil { // DROP
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &DropTable{}
+	if ok, err := p.acceptKeyword("IF"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Stmt, error) {
+	if err := p.next(); err != nil { // DELETE
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteAll{Name: name}, nil
+}
+
+func (p *Parser) parseInsert() (Stmt, error) {
+	if err := p.next(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &Insert{Table: name}
+	if ok, err := p.acceptSymbol("("); err != nil {
+		return nil, err
+	} else if ok {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.isKeyword("VALUES"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		for {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if ok, err := p.acceptSymbol(","); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		return st, nil
+	case p.isKeyword("SELECT"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel.(*Select)
+		return st, nil
+	default:
+		return nil, p.errf("expected VALUES or SELECT, found %s", p.tok)
+	}
+}
+
+func (p *Parser) parseSelect() (Stmt, error) {
+	if err := p.next(); err != nil { // SELECT
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		sel.Distinct = true
+	}
+	// Select list.
+	for {
+		if p.isSymbol("*") {
+			// "SELECT *": only valid as the sole item head (or qualified ref
+			// handled in parsePrimary). Peek disambiguation: a bare * here is
+			// a star item.
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if ok, err := p.acceptKeyword("AS"); err != nil {
+				return nil, err
+			} else if ok {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.tok.Kind == TokIdent {
+				// Implicit alias: SELECT a b
+				item.Alias = p.tok.Text
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if ok, err := p.acceptSymbol(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tbl, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: tbl}
+		if ok, err := p.acceptKeyword("AS"); err != nil {
+			return nil, err
+		} else if ok {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias
+		} else if p.tok.Kind == TokIdent {
+			ref.Alias = p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		sel.From = append(sel.From, ref)
+		if ok, err := p.acceptSymbol(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if ok, err := p.acceptKeyword("GROUP"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("HAVING"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if ok, err := p.acceptKeyword("ORDER"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if ok, err := p.acceptKeyword("DESC"); err != nil {
+				return nil, err
+			} else if ok {
+				oi.Desc = true
+			} else if ok, err := p.acceptKeyword("ASC"); err != nil {
+				return nil, err
+			} else if ok { //nolint:staticcheck // explicit ASC accepted
+			}
+			sel.OrderBy = append(sel.OrderBy, oi)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("LIMIT"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind != TokInt {
+			return nil, p.errf("expected integer after LIMIT, found %s", p.tok)
+		}
+		n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT value %q", p.tok.Text)
+		}
+		sel.Limit = n
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmp
+//	cmp     := addExpr ((= | <> | < | <= | > | >=) addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := primary ((*|/) primary)*
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokSymbol {
+		switch p.tok.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := BinaryOp(p.tok.Text)
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokSymbol && (p.tok.Text == "+" || p.tok.Text == "-") {
+		op := BinaryOp(p.tok.Text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokSymbol && (p.tok.Text == "*" || p.tok.Text == "/") {
+		op := BinaryOp(p.tok.Text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.Kind == TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.Text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &IntLit{Value: v}, nil
+
+	case p.tok.Kind == TokString:
+		s := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &StringLit{Value: s}, nil
+
+	case p.tok.Kind == TokParam:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Param{Name: name}, nil
+
+	case p.isSymbol("("):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.isSymbol("-"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: OpSub, L: &IntLit{Value: 0}, R: e}, nil
+
+	case p.isKeyword("COUNT") || p.isKeyword("SUM") || p.isKeyword("MIN") || p.isKeyword("MAX"):
+		fn := AggFunc(p.tok.Text)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		agg := &AggExpr{Func: fn}
+		if ok, err := p.acceptSymbol("*"); err != nil {
+			return nil, err
+		} else if ok {
+			if fn != FuncCount {
+				return nil, p.errf("%s(*) is not valid", fn)
+			}
+			agg.Star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			agg.Arg = arg
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+
+	case p.tok.Kind == TokIdent:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.acceptSymbol("."); err != nil {
+			return nil, err
+		} else if ok {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Qualifier: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+
+	default:
+		return nil, p.errf("expected expression, found %s", p.tok)
+	}
+}

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// FaultStore wraps a Store and fails operations on schedule; tests use it
+// to verify that I/O errors propagate cleanly through the pool, heap
+// files, sorts, joins, and miners instead of corrupting state or
+// panicking.
+type FaultStore struct {
+	Inner Store
+
+	// FailReadAfter fails every ReadPage once this many reads have
+	// succeeded (negative = never).
+	FailReadAfter int
+	// FailWriteAfter fails every WritePage once this many writes have
+	// succeeded (negative = never).
+	FailWriteAfter int
+	// FailAllocAfter fails every Allocate once this many allocations have
+	// succeeded (negative = never).
+	FailAllocAfter int
+
+	reads, writes, allocs int
+}
+
+// NewFaultStore wraps inner with all fault triggers disabled.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{Inner: inner, FailReadAfter: -1, FailWriteAfter: -1, FailAllocAfter: -1}
+}
+
+// ErrInjected is the sentinel failure; errors.Is-compatible via wrapping.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+// ReadPage implements Store.
+func (s *FaultStore) ReadPage(id PageID, dst *[PageSize]byte) error {
+	if s.FailReadAfter >= 0 && s.reads >= s.FailReadAfter {
+		return fmt.Errorf("read page %d: %w", id, ErrInjected)
+	}
+	s.reads++
+	return s.Inner.ReadPage(id, dst)
+}
+
+// WritePage implements Store.
+func (s *FaultStore) WritePage(id PageID, src *[PageSize]byte) error {
+	if s.FailWriteAfter >= 0 && s.writes >= s.FailWriteAfter {
+		return fmt.Errorf("write page %d: %w", id, ErrInjected)
+	}
+	s.writes++
+	return s.Inner.WritePage(id, src)
+}
+
+// Allocate implements Store.
+func (s *FaultStore) Allocate() (PageID, error) {
+	if s.FailAllocAfter >= 0 && s.allocs >= s.FailAllocAfter {
+		return 0, fmt.Errorf("allocate: %w", ErrInjected)
+	}
+	s.allocs++
+	return s.Inner.Allocate()
+}
+
+// NumPages implements Store.
+func (s *FaultStore) NumPages() int { return s.Inner.NumPages() }

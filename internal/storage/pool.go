@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats tallies logical page I/O through a buffer pool. "Random" versus
+// "sequential" follows the paper's distinction: a read is sequential when it
+// targets the page immediately following the previous physical read, and
+// random otherwise. Hits in the buffer pool cost nothing and are counted
+// separately.
+type Stats struct {
+	Reads           int64 // physical page reads (misses)
+	SeqReads        int64 // subset of Reads that were sequential
+	RandReads       int64 // subset of Reads that were random
+	Writes          int64 // physical page writes
+	Hits            int64 // reads satisfied by the pool
+	Allocs          int64 // pages allocated
+	lastReadPage    PageID
+	haveLastRead    bool
+	lastWrittenPage PageID
+	haveLastWrite   bool
+	SeqWrites       int64
+	RandWrites      int64
+}
+
+// Accesses returns total physical page accesses (reads + writes), the
+// quantity bounded by the formula in Section 4.3.
+func (s *Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// String renders the counters compactly.
+func (s *Stats) String() string {
+	return fmt.Sprintf("reads=%d (seq=%d rand=%d) writes=%d (seq=%d rand=%d) hits=%d allocs=%d",
+		s.Reads, s.SeqReads, s.RandReads, s.Writes, s.SeqWrites, s.RandWrites, s.Hits, s.Allocs)
+}
+
+func (s *Stats) noteRead(id PageID) {
+	s.Reads++
+	if s.haveLastRead && id == s.lastReadPage+1 {
+		s.SeqReads++
+	} else {
+		s.RandReads++
+	}
+	s.lastReadPage = id
+	s.haveLastRead = true
+}
+
+func (s *Stats) noteWrite(id PageID) {
+	s.Writes++
+	if s.haveLastWrite && id == s.lastWrittenPage+1 {
+		s.SeqWrites++
+	} else {
+		s.RandWrites++
+	}
+	s.lastWrittenPage = id
+	s.haveLastWrite = true
+}
+
+// Pool is a fixed-capacity LRU buffer pool over a Store. It is not
+// goroutine-safe; the engine executes queries single-threaded, as the
+// paper's system did.
+type Pool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*list.Element // -> *Page wrapped in lru entries
+	lru      *list.List               // front = most recently used
+	Stats    Stats
+}
+
+type lruEntry struct {
+	page *Page
+}
+
+// NewPool creates a buffer pool with the given frame capacity (minimum 1).
+func NewPool(store Store, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Store returns the underlying page store.
+func (p *Pool) Store() Store { return p.store }
+
+// Fetch returns the page with the given ID, pinning it. The caller must
+// Unpin when done. A fetch that misses the pool performs (and counts) a
+// physical read.
+func (p *Pool) Fetch(id PageID) (*Page, error) {
+	if el, ok := p.frames[id]; ok {
+		p.lru.MoveToFront(el)
+		pg := el.Value.(*lruEntry).page
+		pg.pin++
+		p.Stats.Hits++
+		return pg, nil
+	}
+	pg := &Page{ID: id}
+	if err := p.store.ReadPage(id, &pg.Data); err != nil {
+		return nil, err
+	}
+	p.Stats.noteRead(id)
+	if err := p.insert(pg); err != nil {
+		return nil, err
+	}
+	pg.pin++
+	return pg, nil
+}
+
+// Allocate reserves a fresh zeroed page, placing it in the pool pinned.
+func (p *Pool) Allocate() (*Page, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.Allocs++
+	pg := &Page{ID: id}
+	pg.MarkDirty() // a new page must reach the store even if untouched
+	if err := p.insert(pg); err != nil {
+		return nil, err
+	}
+	pg.pin++
+	return pg, nil
+}
+
+func (p *Pool) insert(pg *Page) error {
+	if err := p.evictIfFull(); err != nil {
+		return err
+	}
+	el := p.lru.PushFront(&lruEntry{page: pg})
+	p.frames[pg.ID] = el
+	return nil
+}
+
+func (p *Pool) evictIfFull() error {
+	for p.lru.Len() >= p.capacity {
+		// Evict the least recently used unpinned page.
+		var victim *list.Element
+		for el := p.lru.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*lruEntry).page.pin == 0 {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", p.capacity)
+		}
+		pg := victim.Value.(*lruEntry).page
+		if pg.dirty {
+			if err := p.store.WritePage(pg.ID, &pg.Data); err != nil {
+				return err
+			}
+			p.Stats.noteWrite(pg.ID)
+			pg.dirty = false
+		}
+		p.lru.Remove(victim)
+		delete(p.frames, pg.ID)
+	}
+	return nil
+}
+
+// Unpin releases one pin on the page. Pages must be unpinned exactly once
+// per Fetch/Allocate.
+func (p *Pool) Unpin(pg *Page) {
+	if pg.pin > 0 {
+		pg.pin--
+	}
+}
+
+// Flush writes all dirty pages back to the store, leaving them cached.
+func (p *Pool) Flush() error {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		pg := el.Value.(*lruEntry).page
+		if pg.dirty {
+			if err := p.store.WritePage(pg.ID, &pg.Data); err != nil {
+				return err
+			}
+			p.Stats.noteWrite(pg.ID)
+			pg.dirty = false
+		}
+	}
+	return nil
+}
+
+// Reset drops every cached frame (flushing dirty ones) and zeroes nothing
+// else; Stats are preserved so callers can measure across phases.
+func (p *Pool) Reset() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	p.frames = make(map[PageID]*list.Element, p.capacity)
+	p.lru.Init()
+	return nil
+}

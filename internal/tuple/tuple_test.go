@@ -1,0 +1,199 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{I(1), I(2), -1},
+		{I(2), I(1), 1},
+		{I(5), I(5), 0},
+		{I(-3), I(3), -1},
+		{S("a"), S("b"), -1},
+		{S("b"), S("a"), 1},
+		{S("abc"), S("abc"), 0},
+		{I(0), S(""), -1}, // ints sort before strings
+		{S(""), I(0), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(I(a), I(b)) == -Compare(I(b), I(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitiveProperty(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		vs := []int64{a, b, c}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		return Compare(I(vs[0]), I(vs[1])) <= 0 && Compare(I(vs[1]), I(vs[2])) <= 0 &&
+			Compare(I(vs[0]), I(vs[2])) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := IntSchema("trans_id", "item")
+	if got := s.ColIndex("item"); got != 1 {
+		t.Errorf("ColIndex(item) = %d, want 1", got)
+	}
+	if got := s.ColIndex("ITEM"); got != 1 {
+		t.Errorf("ColIndex is case-sensitive; got %d, want 1", got)
+	}
+	if got := s.ColIndex("missing"); got != -1 {
+		t.Errorf("ColIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := IntSchema("a", "b", "c")
+	p := s.Project([]int{2, 0})
+	if want := []string{"c", "a"}; !reflect.DeepEqual(p.Names(), want) {
+		t.Errorf("Project names = %v, want %v", p.Names(), want)
+	}
+	q := s.Concat(IntSchema("d"))
+	if q.Len() != 4 || q.Cols[3].Name != "d" {
+		t.Errorf("Concat got %v", q.Names())
+	}
+	if s.Len() != 3 {
+		t.Errorf("Concat mutated receiver: %v", s.Names())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSchema(
+		Column{"id", KindInt},
+		Column{"name", KindString},
+		Column{"qty", KindInt},
+	)
+	in := Tuple{I(42), S("bread & butter"), I(-7)}
+	enc, err := Encode(nil, s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != EncodedSize(s, in) {
+		t.Errorf("EncodedSize = %d, len(enc) = %d", EncodedSize(s, in), len(enc))
+	}
+	out, n, err := Decode(enc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("Decode consumed %d of %d bytes", n, len(enc))
+	}
+	if !EqualTuples(in, out) {
+		t.Errorf("round trip got %v, want %v", out, in)
+	}
+}
+
+func TestEncodeRejectsBadArityAndKind(t *testing.T) {
+	s := IntSchema("a", "b")
+	if _, err := Encode(nil, s, Ints(1)); err == nil {
+		t.Error("Encode accepted wrong arity")
+	}
+	if _, err := Encode(nil, s, Tuple{I(1), S("x")}); err == nil {
+		t.Error("Encode accepted wrong kind")
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	s := IntSchema("a")
+	if _, _, err := Decode([]byte{1, 2, 3}, s); err == nil {
+		t.Error("Decode accepted short buffer")
+	}
+	ss := NewSchema(Column{"s", KindString})
+	if _, _, err := Decode([]byte{0, 0, 0, 9, 'x'}, ss); err == nil {
+		t.Error("Decode accepted truncated string")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	s := NewSchema(Column{"i", KindInt}, Column{"s", KindString})
+	f := func(i int64, str string) bool {
+		in := Tuple{I(i), S(str)}
+		enc, err := Encode(nil, s, in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(enc, s)
+		return err == nil && EqualTuples(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAt(t *testing.T) {
+	a := Ints(1, 5, 9)
+	b := Ints(1, 7, 0)
+	if got := CompareAt(a, b, []int{0}); got != 0 {
+		t.Errorf("CompareAt col0 = %d, want 0", got)
+	}
+	if got := CompareAt(a, b, []int{0, 1}); got != -1 {
+		t.Errorf("CompareAt cols 0,1 = %d, want -1", got)
+	}
+	if got := CompareAt(a, b, []int{2}); got != 1 {
+		t.Errorf("CompareAt col2 = %d, want 1", got)
+	}
+}
+
+func TestCompareAllPrefix(t *testing.T) {
+	if got := CompareAll(Ints(1, 2), Ints(1, 2, 3)); got != -1 {
+		t.Errorf("prefix should sort first, got %d", got)
+	}
+	if got := CompareAll(Ints(1, 2, 3), Ints(1, 2)); got != 1 {
+		t.Errorf("extension should sort last, got %d", got)
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := Ints(1, 2, 3)
+	b := a.Clone()
+	b[0] = I(99)
+	if a[0].Int != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestSortUsingCompareAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := make([]Tuple, 200)
+	for i := range ts {
+		ts[i] = Ints(rng.Int63n(10), rng.Int63n(10), rng.Int63n(10))
+	}
+	sort.Slice(ts, func(i, j int) bool { return CompareAll(ts[i], ts[j]) < 0 })
+	for i := 1; i < len(ts); i++ {
+		if CompareAll(ts[i-1], ts[i]) > 0 {
+			t.Fatalf("not sorted at %d: %v > %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt}, Column{"b", KindString})
+	if got, want := s.String(), "(a INT, b STRING)"; got != want {
+		t.Errorf("Schema.String() = %q, want %q", got, want)
+	}
+	if got, want := (Tuple{I(1), S("x")}).String(), "[1 x]"; got != want {
+		t.Errorf("Tuple.String() = %q, want %q", got, want)
+	}
+}

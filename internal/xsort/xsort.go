@@ -1,0 +1,224 @@
+// Package xsort implements external merge sort over heap files: bounded
+// in-memory run generation followed by a k-way merge. Sorting is the first
+// of the two database primitives Algorithm SETM is built from ("the
+// algorithm consists of a single loop, in which two sort operations and one
+// merge-scan join are performed", Section 4.4).
+//
+// Runs spill to heap files in the same buffer pool as the input, so the
+// page-access accounting captures the full cost of the sort, matching the
+// 2·Σ‖R_i‖ term of the paper's Section 4.3 formula.
+package xsort
+
+import (
+	"container/heap"
+	"io"
+	"sort"
+
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+)
+
+// DefaultMemoryLimit bounds the bytes of tuples buffered per run when the
+// caller passes a non-positive limit (4 MB — large enough that the paper's
+// data sets sort in one or two runs, small enough to exercise merging in
+// tests).
+const DefaultMemoryLimit = 4 << 20
+
+// Comparator orders tuples; negative means a < b.
+type Comparator func(a, b tuple.Tuple) int
+
+// ByColumns returns a comparator ordering tuples ascending on the given
+// column indexes.
+func ByColumns(idxs ...int) Comparator {
+	return func(a, b tuple.Tuple) int { return tuple.CompareAt(a, b, idxs) }
+}
+
+// ByAllColumns orders tuples ascending across every column in order.
+func ByAllColumns() Comparator {
+	return func(a, b tuple.Tuple) int { return tuple.CompareAll(a, b) }
+}
+
+// File sorts the tuples of in into a fresh heap file using at most
+// memLimit bytes of in-memory tuple buffer per run.
+func File(pool *storage.Pool, in *hp.File, cmp Comparator, memLimit int) (*hp.File, error) {
+	it := heapIter{sc: in.Scan()}
+	defer it.Close()
+	return Stream(pool, in.Schema(), &it, cmp, memLimit)
+}
+
+// Iterator is a minimal pull-based tuple stream. Next returns io.EOF at the
+// end.
+type Iterator interface {
+	Next() (tuple.Tuple, error)
+	Close()
+}
+
+type heapIter struct{ sc *hp.Scanner }
+
+func (h *heapIter) Next() (tuple.Tuple, error) { return h.sc.Next() }
+func (h *heapIter) Close()                     { h.sc.Close() }
+
+// Stream sorts an arbitrary tuple stream into a fresh heap file.
+func Stream(pool *storage.Pool, schema *tuple.Schema, in Iterator, cmp Comparator, memLimit int) (*hp.File, error) {
+	if memLimit <= 0 {
+		memLimit = DefaultMemoryLimit
+	}
+
+	var runs []*hp.File
+	var buf []tuple.Tuple
+	bufBytes := 0
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return cmp(buf[i], buf[j]) < 0 })
+		run, err := hp.Create(pool, schema)
+		if err != nil {
+			return err
+		}
+		if err := run.AppendAll(buf); err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+		bufBytes = 0
+		return nil
+	}
+
+	for {
+		t, err := in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, t)
+		bufBytes += tuple.EncodedSize(schema, t)
+		if bufBytes >= memLimit {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Single in-memory run: write the result directly.
+	if len(runs) == 0 {
+		sort.SliceStable(buf, func(i, j int) bool { return cmp(buf[i], buf[j]) < 0 })
+		out, err := hp.Create(pool, schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AppendAll(buf); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return mergeRuns(pool, schema, runs, cmp)
+}
+
+// mergeEntry is one head-of-run element in the merge heap.
+type mergeEntry struct {
+	t   tuple.Tuple
+	src int
+}
+
+type mergeHeap struct {
+	entries []mergeEntry
+	cmp     Comparator
+}
+
+func (m *mergeHeap) Len() int { return len(m.entries) }
+func (m *mergeHeap) Less(i, j int) bool {
+	c := m.cmp(m.entries[i].t, m.entries[j].t)
+	if c != 0 {
+		return c < 0
+	}
+	// Tie-break on run index for stability.
+	return m.entries[i].src < m.entries[j].src
+}
+func (m *mergeHeap) Swap(i, j int)      { m.entries[i], m.entries[j] = m.entries[j], m.entries[i] }
+func (m *mergeHeap) Push(x interface{}) { m.entries = append(m.entries, x.(mergeEntry)) }
+func (m *mergeHeap) Pop() interface{} {
+	old := m.entries
+	n := len(old)
+	e := old[n-1]
+	m.entries = old[:n-1]
+	return e
+}
+
+func mergeRuns(pool *storage.Pool, schema *tuple.Schema, runs []*hp.File, cmp Comparator) (*hp.File, error) {
+	out, err := hp.Create(pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	scanners := make([]*hp.Scanner, len(runs))
+	for i, r := range runs {
+		scanners[i] = r.Scan()
+	}
+	defer func() {
+		for _, sc := range scanners {
+			sc.Close()
+		}
+	}()
+
+	h := &mergeHeap{cmp: cmp}
+	for i, sc := range scanners {
+		t, err := sc.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.entries = append(h.entries, mergeEntry{t: t, src: i})
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		e := heap.Pop(h).(mergeEntry)
+		if err := out.Append(e.t); err != nil {
+			return nil, err
+		}
+		t, err := scanners[e.src].Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		heap.Push(h, mergeEntry{t: t, src: e.src})
+	}
+	return out, nil
+}
+
+// Tuples sorts a slice of tuples in place; the in-memory fast path used by
+// the memory-resident SETM driver.
+func Tuples(ts []tuple.Tuple, cmp Comparator) {
+	sort.SliceStable(ts, func(i, j int) bool { return cmp(ts[i], ts[j]) < 0 })
+}
+
+// IsSorted reports whether the heap file's tuples are in cmp order; used by
+// tests and by the planner to skip redundant sorts.
+func IsSorted(f *hp.File, cmp Comparator) (bool, error) {
+	sc := f.Scan()
+	defer sc.Close()
+	var prev tuple.Tuple
+	for {
+		t, err := sc.Next()
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if prev != nil && cmp(prev, t) > 0 {
+			return false, nil
+		}
+		prev = t
+	}
+}

@@ -1,0 +1,209 @@
+package xsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+)
+
+func newPool() *storage.Pool {
+	return storage.NewPool(storage.NewMemStore(), 128)
+}
+
+func makeFile(t *testing.T, pool *storage.Pool, rows []tuple.Tuple, names ...string) *hp.File {
+	t.Helper()
+	f, err := hp.Create(pool, tuple.IntSchema(names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSortSmallInMemory(t *testing.T) {
+	pool := newPool()
+	rows := []tuple.Tuple{
+		tuple.Ints(3, 1), tuple.Ints(1, 2), tuple.Ints(2, 0), tuple.Ints(1, 1),
+	}
+	f := makeFile(t, pool, rows, "a", "b")
+	out, err := File(pool, f, ByAllColumns(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tuple.Tuple{
+		tuple.Ints(1, 1), tuple.Ints(1, 2), tuple.Ints(2, 0), tuple.Ints(3, 1),
+	}
+	for i := range want {
+		if !tuple.EqualTuples(got[i], want[i]) {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExternalSortSpillsAndMerges(t *testing.T) {
+	pool := newPool()
+	rng := rand.New(rand.NewSource(9))
+	const n = 10000
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Ints(rng.Int63n(5000), int64(i))
+	}
+	f := makeFile(t, pool, rows, "k", "seq")
+	// Tiny memory limit forces many runs.
+	out, err := File(pool, f, ByColumns(0), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != n {
+		t.Fatalf("sorted file has %d rows, want %d", out.Rows(), n)
+	}
+	sorted, err := IsSorted(out, ByColumns(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted {
+		t.Error("external sort output not sorted")
+	}
+}
+
+func TestExternalSortStability(t *testing.T) {
+	// Stable sorting: equal keys keep input order (checked via the seq col).
+	pool := newPool()
+	const n = 5000
+	rows := make([]tuple.Tuple, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range rows {
+		rows[i] = tuple.Ints(rng.Int63n(10), int64(i))
+	}
+	f := makeFile(t, pool, rows, "k", "seq")
+	out, err := File(pool, f, ByColumns(0), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1][0].Int == got[i][0].Int && got[i-1][1].Int > got[i][1].Int {
+			t.Fatalf("instability at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestSortEmptyAndSingleton(t *testing.T) {
+	pool := newPool()
+	f := makeFile(t, pool, nil, "x")
+	out, err := File(pool, f, ByColumns(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 0 {
+		t.Errorf("empty sort produced %d rows", out.Rows())
+	}
+	f1 := makeFile(t, pool, []tuple.Tuple{tuple.Ints(7)}, "x")
+	out1, err := File(pool, f1, ByColumns(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := out1.ReadAll()
+	if len(got) != 1 || got[0][0].Int != 7 {
+		t.Errorf("singleton sort = %v", got)
+	}
+}
+
+func TestSortMatchesSortPackage(t *testing.T) {
+	f := func(vals []int64) bool {
+		pool := newPool()
+		rows := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Ints(v)
+		}
+		hf, err := hp.Create(pool, tuple.IntSchema("v"))
+		if err != nil {
+			return false
+		}
+		if err := hf.AppendAll(rows); err != nil {
+			return false
+		}
+		out, err := File(pool, hf, ByColumns(0), 64) // force spills
+		if err != nil {
+			return false
+		}
+		got, err := out.ReadAll()
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i][0].Int != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiColumnOrdering(t *testing.T) {
+	pool := newPool()
+	rows := []tuple.Tuple{
+		tuple.Ints(30, 1, 2), tuple.Ints(10, 2, 1), tuple.Ints(10, 1, 9),
+		tuple.Ints(20, 5, 5), tuple.Ints(10, 1, 3),
+	}
+	f := makeFile(t, pool, rows, "tid", "i1", "i2")
+	// Sort on (tid, i1, i2), SETM's R_k ordering.
+	out, err := File(pool, f, ByColumns(0, 1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tuple.Tuple{
+		tuple.Ints(10, 1, 3), tuple.Ints(10, 1, 9), tuple.Ints(10, 2, 1),
+		tuple.Ints(20, 5, 5), tuple.Ints(30, 1, 2),
+	}
+	for i := range want {
+		if !tuple.EqualTuples(got[i], want[i]) {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTuplesInPlace(t *testing.T) {
+	ts := []tuple.Tuple{tuple.Ints(3), tuple.Ints(1), tuple.Ints(2)}
+	Tuples(ts, ByColumns(0))
+	for i, want := range []int64{1, 2, 3} {
+		if ts[i][0].Int != want {
+			t.Errorf("Tuples[%d] = %v", i, ts[i])
+		}
+	}
+}
+
+func TestIsSortedDetectsDisorder(t *testing.T) {
+	pool := newPool()
+	f := makeFile(t, pool, []tuple.Tuple{tuple.Ints(2), tuple.Ints(1)}, "x")
+	ok, err := IsSorted(f, ByColumns(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("IsSorted accepted disorder")
+	}
+}

@@ -1,0 +1,182 @@
+// Package setm is a reproduction of Houtsma & Swami, "Set-Oriented Mining
+// for Association Rules in Relational Databases" (ICDE 1995). It provides
+// Algorithm SETM — frequent-pattern mining built solely from sorting and
+// merge-scan joins — together with the relational substrate the paper
+// assumes (paged storage, external sort, B+-trees, a SQL subset engine),
+// the baselines it compares against (the rejected nested-loop strategy,
+// AIS, Apriori), rule generation, synthetic data generators, and the
+// analytical cost models of Sections 3.2 and 4.3.
+//
+// # Quick start
+//
+//	d := &setm.Dataset{Transactions: []setm.Transaction{
+//	    {ID: 1, Items: []setm.Item{1, 2, 3}},
+//	    {ID: 2, Items: []setm.Item{1, 2}},
+//	    {ID: 3, Items: []setm.Item{1, 3}},
+//	}}
+//	res, err := setm.Mine(d, setm.Options{MinSupportFrac: 0.5})
+//	...
+//	rules, err := setm.Rules(res, 0.7)
+//
+// Three drivers compute identical results: Mine (in memory), MinePaged
+// (on the paged storage engine, with page-I/O accounting), and MineSQL
+// (the paper's SQL statements executed by the bundled relational engine).
+package setm
+
+import (
+	"setm/internal/core"
+	"setm/internal/gen"
+	"setm/internal/rules"
+)
+
+// Item identifies a sellable item.
+type Item = core.Item
+
+// Transaction is one customer transaction.
+type Transaction = core.Transaction
+
+// Dataset is an ordered collection of transactions.
+type Dataset = core.Dataset
+
+// Options configures a mining run (minimum support, pattern-length cap,
+// the PrefilterSales ablation).
+type Options = core.Options
+
+// Result holds the count relations C_k and per-iteration statistics.
+type Result = core.Result
+
+// ItemsetCount is one frequent pattern with its support count.
+type ItemsetCount = core.ItemsetCount
+
+// IterationStat records the relation sizes of one SETM iteration.
+type IterationStat = core.IterationStat
+
+// PagedConfig tunes the paged driver (buffer-pool frames, sort memory).
+type PagedConfig = core.PagedConfig
+
+// PagedResult is a mining result plus page-I/O statistics.
+type PagedResult = core.PagedResult
+
+// SQLConfig tunes the SQL driver (pool size, statement tracing).
+type SQLConfig = core.SQLConfig
+
+// Rule is one association rule X ⇒ I.
+type Rule = rules.Rule
+
+// ItemNamer maps item identifiers to display names for rule formatting.
+type ItemNamer = rules.ItemNamer
+
+// Mine runs Algorithm SETM in main memory — the configuration the paper
+// benchmarks in Section 6.
+func Mine(d *Dataset, opts Options) (*Result, error) {
+	return core.MineMemory(d, opts)
+}
+
+// MineParallel runs Algorithm SETM with each iteration's merge-scan,
+// counting, and filtering fanned out across CPU cores (workers <= 0 uses
+// GOMAXPROCS). Results are identical to Mine; the set-oriented
+// formulation parallelizes mechanically, the extensibility the paper
+// advertises.
+func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
+	return core.MineParallel(d, opts, workers)
+}
+
+// MinePaged runs Algorithm SETM on the paged storage substrate, counting
+// page I/O so runs can be checked against the Section 4.3 analysis.
+func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
+	return core.MinePaged(d, opts, cfg)
+}
+
+// MineSQL runs Algorithm SETM by executing the paper's SQL formulation on
+// the bundled relational engine.
+func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
+	return core.MineSQL(d, opts, cfg)
+}
+
+// Rules generates association rules from a mining result at the given
+// minimum confidence factor (Section 5 of the paper).
+func Rules(res *Result, minConfidence float64) ([]Rule, error) {
+	return rules.Generate(res, rules.Options{MinConfidence: minConfidence})
+}
+
+// RulesSQL derives the same rules as Rules but expresses the Section 5
+// derivation itself as SQL joins between the C_k count tables, with the
+// confidence test in integer arithmetic — completing the paper's
+// set-oriented programme end to end.
+func RulesSQL(res *Result, minConfidence float64) ([]Rule, error) {
+	return rules.GenerateSQL(res, minConfidence)
+}
+
+// ClassifiedTransaction is a customer transaction tagged with a customer
+// class, for the paper's Section 7 extension.
+type ClassifiedTransaction = core.ClassifiedTransaction
+
+// ClassifiedDataset is a collection of classified transactions.
+type ClassifiedDataset = core.ClassifiedDataset
+
+// ClassResult is the outcome of per-class mining.
+type ClassResult = core.ClassResult
+
+// MineClasses implements the extension the paper's conclusion sketches
+// ("relating association rules to customer classes"): one set-oriented
+// pass mines every customer class simultaneously, with support evaluated
+// per class. Use ClassResult.ByClass with Rules to obtain per-class rules.
+func MineClasses(d *ClassifiedDataset, minSupportFrac float64) (*ClassResult, error) {
+	return core.MineClasses(d, minSupportFrac)
+}
+
+// FormatRules renders rules in the paper's notation, one per line.
+// namer may be nil (numeric item names) or LetterNamer for the paper's
+// A/B/C style.
+func FormatRules(rs []Rule, namer ItemNamer) string {
+	return rules.FormatAll(rs, namer)
+}
+
+// LetterNamer names items 1..26 as A..Z, as in the paper's example.
+func LetterNamer(it Item) string { return rules.LetterNamer(it) }
+
+// NewRetailDataset generates the calibrated stand-in for the paper's
+// Section 6 retail data set (46,873 transactions, 59 items, |R_1| ≈
+// 115,568, longest frequent pattern 3).
+func NewRetailDataset(seed int64) *Dataset {
+	return gen.Retail(gen.DefaultRetail(seed))
+}
+
+// NewUniformDataset generates the Section 3.2 hypothetical data set scaled
+// by the given factor (1.0 = 200,000 transactions of 10 items over a
+// 1,000-item catalogue).
+func NewUniformDataset(scale float64, seed int64) *Dataset {
+	cfg := gen.PaperUniform(seed)
+	cfg.NumTransactions = int(float64(cfg.NumTransactions) * scale)
+	if cfg.NumTransactions < 1 {
+		cfg.NumTransactions = 1
+	}
+	return gen.Uniform(cfg)
+}
+
+// NewQuestDataset generates an Agrawal–Srikant style T10.I4 synthetic data
+// set scaled by the given factor (1.0 = 100,000 transactions).
+func NewQuestDataset(scale float64, seed int64) *Dataset {
+	return gen.Quest(gen.T10I4D100K(scale, seed))
+}
+
+// PaperExample returns the 10-transaction worked example of Figures 1–3
+// (items A..H as 1..8). Mining it at MinSupportFrac 0.30 and generating
+// rules at confidence 0.70 reproduces the paper's Section 5 output.
+func PaperExample() *Dataset {
+	const (
+		A, B, C, D, E, F, G, H = 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	return &Dataset{Transactions: []Transaction{
+		{ID: 10, Items: []Item{A, B, C}},
+		{ID: 20, Items: []Item{A, B, D}},
+		{ID: 30, Items: []Item{A, B, C}},
+		{ID: 40, Items: []Item{B, C, D}},
+		{ID: 50, Items: []Item{A, C, G}},
+		{ID: 60, Items: []Item{A, D, G}},
+		{ID: 70, Items: []Item{A, E, H}},
+		{ID: 80, Items: []Item{D, E, F}},
+		{ID: 90, Items: []Item{D, E, F}},
+		{ID: 99, Items: []Item{D, E, F}},
+	}}
+}
