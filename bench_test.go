@@ -234,6 +234,66 @@ func BenchmarkParallelWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkMineDatasets is the headline hot-path series used to track the
+// flat-relation pipeline: Mine and MineParallel on the retail stand-in and
+// the T10.I4 Quest workload, with allocation counts. Run with:
+//
+//	go test -bench 'MineDatasets' -benchmem
+func BenchmarkMineDatasets(b *testing.B) {
+	full, _, quest := datasets()
+	for _, ds := range []struct {
+		name string
+		d    *core.Dataset
+		opts core.Options
+	}{
+		{"retail", full, core.Options{MinSupportFrac: 0.001}},
+		{"quest", quest, core.Options{MinSupportFrac: 0.01}},
+	} {
+		b.Run("mine/"+ds.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineMemory(ds.d, ds.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("parallel/"+ds.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineParallel(ds.d, ds.opts, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("partitioned/"+ds.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinePartitioned(ds.d, ds.opts, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionedShards measures the partitioned driver's shard
+// scaling on the full retail data set at 0.1% support, alongside
+// BenchmarkParallelWorkers for the intra-iteration fan-out.
+func BenchmarkPartitionedShards(b *testing.B) {
+	full, _, _ := datasets()
+	opts := core.Options{MinSupportFrac: 0.001}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinePartitioned(full, opts, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRuleGeneration measures the Section 5 step alone.
 func BenchmarkRuleGeneration(b *testing.B) {
 	full, _, _ := datasets()

@@ -8,6 +8,7 @@
 //	setm-bench -exp compare   # SETM vs nested-loop vs AIS vs Apriori
 //	setm-bench -exp io        # measured paged I/O vs the 4.3 bound
 //	setm-bench -exp model     # live relation sizes vs the analytic model
+//	setm-bench -exp partition # partitioned-driver shard scaling
 //	setm-bench -exp all
 //
 // By default experiments run on the calibrated retail stand-in at full
@@ -15,10 +16,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"setm/internal/core"
 	"setm/internal/experiments"
@@ -26,19 +30,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "setm-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	exp := flag.String("exp", "all", "experiment: fig5, fig6, rrows, times, analysis, compare, io, or all")
-	txns := flag.Int("txns", 46873, "number of retail transactions to generate")
-	seed := flag.Int64("seed", 1, "data seed")
-	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
-	compareTxns := flag.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("setm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: fig5, fig6, rrows, times, analysis, compare, io, model, partition, or all")
+	txns := fs.Int("txns", 46873, "number of retail transactions to generate")
+	seed := fs.Int64("seed", 1, "data seed")
+	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
+	compareTxns := fs.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	cfg := gen.DefaultRetail(*seed)
 	cfg.NumTransactions = *txns
@@ -47,16 +58,16 @@ func run() error {
 	var d *core.Dataset
 	dataset := func() *core.Dataset {
 		if d == nil {
-			fmt.Fprintf(os.Stderr, "generating retail data set (%d transactions)...\n", *txns)
+			fmt.Fprintf(stderr, "generating retail data set (%d transactions)...\n", *txns)
 			d = gen.Retail(cfg)
-			fmt.Fprintf(os.Stderr, "|R_1| = %d rows\n", d.NumSalesRows())
+			fmt.Fprintf(stderr, "|R_1| = %d rows\n", d.NumSalesRows())
 		}
 		return d
 	}
 
 	if want("analysis") {
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Print(experiments.AnalysisReport())
+		fmt.Fprintln(stdout, strings.Repeat("=", 72))
+		fmt.Fprint(stdout, experiments.AnalysisReport())
 	}
 
 	if want("fig5") || want("fig6") || want("rrows") {
@@ -65,20 +76,20 @@ func run() error {
 			return err
 		}
 		if want("fig5") {
-			fmt.Println(strings.Repeat("=", 72))
-			fmt.Print(experiments.FormatFig5(series))
-			fmt.Println()
-			fmt.Print(experiments.ChartFig5(series))
+			fmt.Fprintln(stdout, strings.Repeat("=", 72))
+			fmt.Fprint(stdout, experiments.FormatFig5(series))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, experiments.ChartFig5(series))
 		}
 		if want("rrows") {
-			fmt.Println(strings.Repeat("=", 72))
-			fmt.Print(experiments.FormatRRows(series))
+			fmt.Fprintln(stdout, strings.Repeat("=", 72))
+			fmt.Fprint(stdout, experiments.FormatRRows(series))
 		}
 		if want("fig6") {
-			fmt.Println(strings.Repeat("=", 72))
-			fmt.Print(experiments.FormatFig6(series))
-			fmt.Println()
-			fmt.Print(experiments.ChartFig6(series))
+			fmt.Fprintln(stdout, strings.Repeat("=", 72))
+			fmt.Fprint(stdout, experiments.FormatFig6(series))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, experiments.ChartFig6(series))
 		}
 	}
 
@@ -87,8 +98,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Print(experiments.FormatExecTimes(rows))
+		fmt.Fprintln(stdout, strings.Repeat("=", 72))
+		fmt.Fprint(stdout, experiments.FormatExecTimes(rows))
 	}
 
 	if want("compare") {
@@ -99,9 +110,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Printf("(on %d retail transactions, 1%% support)\n", *compareTxns)
-		fmt.Print(experiments.FormatCompare(rows))
+		fmt.Fprintln(stdout, strings.Repeat("=", 72))
+		fmt.Fprintf(stdout, "(on %d retail transactions, 1%% support)\n", *compareTxns)
+		fmt.Fprint(stdout, experiments.FormatCompare(rows))
 	}
 
 	if want("model") {
@@ -109,9 +120,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Print(experiments.FormatModelVsMeasured(rows))
-		fmt.Println("(live pages ≈ 2× model pages: live fields are 8 bytes, model's 4)")
+		fmt.Fprintln(stdout, strings.Repeat("=", 72))
+		fmt.Fprint(stdout, experiments.FormatModelVsMeasured(rows))
+		fmt.Fprintln(stdout, "(live pages ≈ 2× model pages: live fields are 8 bytes, model's 4)")
 	}
 
 	if want("io") {
@@ -122,12 +133,50 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Printf("Paged SETM I/O on %d retail transactions at 1%% support:\n", *compareTxns)
-		fmt.Printf("measured page accesses: %d\n", measured)
-		fmt.Printf("Section 4.3 bound (n·‖R_1‖ + 3·Σ‖R_i‖ from run footprints): %d\n", bound)
-		fmt.Printf("sequential-dominated: %v\n", seqDominated)
+		fmt.Fprintln(stdout, strings.Repeat("=", 72))
+		fmt.Fprintf(stdout, "Paged SETM I/O on %d retail transactions at 1%% support:\n", *compareTxns)
+		fmt.Fprintf(stdout, "measured page accesses: %d\n", measured)
+		fmt.Fprintf(stdout, "Section 4.3 bound (n·‖R_1‖ + 3·Σ‖R_i‖ from run footprints): %d\n", bound)
+		fmt.Fprintf(stdout, "sequential-dominated: %v\n", seqDominated)
 	}
 
+	if want("partition") {
+		if err := partitionScaling(dataset(), *repeats, stdout); err != nil {
+			return err
+		}
+	}
+
+	return nil
+}
+
+// partitionScaling times MinePartitioned across shard counts on the
+// retail data set at the heaviest published support (0.1%), checking that
+// every shard count finds the identical pattern set.
+func partitionScaling(d *core.Dataset, repeats int, stdout io.Writer) error {
+	opts := core.Options{MinSupportFrac: 0.001}
+	fmt.Fprintln(stdout, strings.Repeat("=", 72))
+	fmt.Fprintf(stdout, "Partitioned SETM shard scaling (%d transactions, 0.1%% support):\n", d.NumTransactions())
+	fmt.Fprintf(stdout, "%8s  %12s  %10s\n", "shards", "best-of-time", "patterns")
+	wantPatterns := -1
+	for _, shards := range []int{1, 2, 4, 8} {
+		var best time.Duration
+		patterns := 0
+		for r := 0; r < repeats; r++ {
+			res, err := core.MinePartitioned(d, opts, shards)
+			if err != nil {
+				return err
+			}
+			patterns = res.TotalPatterns()
+			if best == 0 || res.Elapsed < best {
+				best = res.Elapsed
+			}
+		}
+		if wantPatterns == -1 {
+			wantPatterns = patterns
+		} else if patterns != wantPatterns {
+			return fmt.Errorf("shards=%d found %d patterns, want %d", shards, patterns, wantPatterns)
+		}
+		fmt.Fprintf(stdout, "%8d  %12v  %10d\n", shards, best, patterns)
+	}
 	return nil
 }

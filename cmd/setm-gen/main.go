@@ -14,19 +14,35 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"setm"
 )
 
 func main() {
-	profile := flag.String("profile", "retail", "data profile: retail, uniform, or quest")
-	scale := flag.Float64("scale", 1.0, "size multiplier for uniform/quest profiles")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "setm-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("setm-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "retail", "data profile: retail, uniform, or quest")
+	scale := fs.Float64("scale", 1.0, "size multiplier for uniform/quest profiles")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var d *setm.Dataset
 	switch *profile {
@@ -37,24 +53,22 @@ func main() {
 	case "quest":
 		d = setm.NewQuestDataset(*scale, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "setm-gen: unknown profile %q\n", *profile)
-		os.Exit(2)
+		return fmt.Errorf("unknown profile %q", *profile)
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "setm-gen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := setm.WriteDataset(w, d); err != nil {
-		fmt.Fprintf(os.Stderr, "setm-gen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "setm-gen: wrote %d transactions (%d sales rows)\n",
+	fmt.Fprintf(stderr, "setm-gen: wrote %d transactions (%d sales rows)\n",
 		d.NumTransactions(), d.NumSalesRows())
+	return nil
 }

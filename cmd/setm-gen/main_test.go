@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"setm"
+)
+
+func TestRunWritesLoadableDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sales.txt")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-profile", "quest", "-scale", "0.002", "-seed", "3", "-o", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Errorf("stderr = %q, want summary line", stderr.String())
+	}
+	d, err := setm.LoadDatasetFile(out)
+	if err != nil {
+		t.Fatalf("generated file does not load: %v", err)
+	}
+	if d.NumTransactions() == 0 {
+		t.Error("no transactions generated")
+	}
+}
+
+func TestRunWritesToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-profile", "uniform", "-scale", "0.0005", "-seed", "1"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	d, err := setm.ReadDataset(&stdout)
+	if err != nil {
+		t.Fatalf("stdout is not SALES format: %v", err)
+	}
+	if d.NumTransactions() == 0 {
+		t.Error("no transactions on stdout")
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-profile", "nope"}, &stdout, &stderr); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := os.Stat("nope"); err == nil {
+		t.Error("unexpected output file created")
+	}
+}

@@ -5,12 +5,15 @@
 //
 //	setm-mine -i sales.txt -minsup 0.01 -minconf 0.7
 //	setm-mine -i sales.txt -algo sql -trace       # show the SQL being run
+//	setm-mine -i sales.txt -algo partitioned -shards 8
 //	setm-mine -i sales.txt -algo apriori -patterns
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"setm"
@@ -20,26 +23,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "setm-mine: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	in := flag.String("i", "", "input transaction file (SALES format); required")
-	minSup := flag.Float64("minsup", 0.01, "minimum support as a fraction of transactions")
-	minSupCount := flag.Int64("minsup-count", 0, "minimum support as an absolute count (overrides -minsup)")
-	minConf := flag.Float64("minconf", 0.70, "minimum confidence factor")
-	algo := flag.String("algo", "memory", "algorithm: memory, paged, sql, nested, ais, apriori")
-	trace := flag.Bool("trace", false, "with -algo sql: print each SQL statement")
-	patterns := flag.Bool("patterns", false, "print frequent patterns, not just rules")
-	letters := flag.Bool("letters", false, "display items 1..26 as A..Z")
-	maxLen := flag.Int("maxlen", 0, "stop after patterns of this length (0 = unlimited)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("setm-mine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input transaction file (SALES format); required")
+	minSup := fs.Float64("minsup", 0.01, "minimum support as a fraction of transactions")
+	minSupCount := fs.Int64("minsup-count", 0, "minimum support as an absolute count (overrides -minsup)")
+	minConf := fs.Float64("minconf", 0.70, "minimum confidence factor")
+	algo := fs.String("algo", "memory", "algorithm: memory, parallel, partitioned, paged, sql, nested, ais, apriori")
+	workers := fs.Int("workers", 0, "with -algo parallel: worker count (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "with -algo partitioned: shard count (0 = GOMAXPROCS)")
+	trace := fs.Bool("trace", false, "with -algo sql: print each SQL statement")
+	patterns := fs.Bool("patterns", false, "print frequent patterns, not just rules")
+	letters := fs.Bool("letters", false, "display items 1..26 as A..Z")
+	maxLen := fs.Int("maxlen", 0, "stop after patterns of this length (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("missing -i input file")
 	}
 	d, err := setm.LoadDatasetFile(*in)
@@ -56,17 +68,21 @@ func run() error {
 	switch *algo {
 	case "memory":
 		res, err = setm.Mine(d, opts)
+	case "parallel":
+		res, err = setm.MineParallel(d, opts, *workers)
+	case "partitioned":
+		res, err = setm.MinePartitioned(d, opts, *shards)
 	case "paged":
 		var pr *setm.PagedResult
 		pr, err = setm.MinePaged(d, opts, setm.PagedConfig{})
 		if err == nil {
 			res = pr.Result
-			fmt.Printf("page I/O: %s\n", pr.IO.String())
+			fmt.Fprintf(stdout, "page I/O: %s\n", pr.IO.String())
 		}
 	case "sql":
 		cfg := setm.SQLConfig{}
 		if *trace {
-			cfg.TraceSQL = func(s string) { fmt.Fprintf(os.Stderr, "-- SQL:\n%s\n", s) }
+			cfg.TraceSQL = func(s string) { fmt.Fprintf(stderr, "-- SQL:\n%s\n", s) }
 		}
 		res, err = setm.MineSQL(d, opts, cfg)
 	case "nested":
@@ -74,7 +90,7 @@ func run() error {
 		nr, err = baseline.Mine(d, opts, baseline.Config{})
 		if err == nil {
 			res = nr.Result
-			fmt.Printf("page I/O: %s\n", nr.IO.String())
+			fmt.Fprintf(stdout, "page I/O: %s\n", nr.IO.String())
 		}
 	case "ais":
 		res, err = apriori.MineAIS(d, opts)
@@ -92,15 +108,15 @@ func run() error {
 		namer = setm.LetterNamer
 	}
 
-	fmt.Printf("%d transactions, minimum support %d transactions, elapsed %v\n",
+	fmt.Fprintf(stdout, "%d transactions, minimum support %d transactions, elapsed %v\n",
 		res.NumTransactions, res.MinSupport, res.Elapsed)
 	for k := 1; k <= len(res.Counts); k++ {
-		fmt.Printf("|C_%d| = %d\n", k, len(res.C(k)))
+		fmt.Fprintf(stdout, "|C_%d| = %d\n", k, len(res.C(k)))
 	}
 	if *patterns {
 		for k := 1; k <= len(res.Counts); k++ {
 			for _, c := range res.C(k) {
-				fmt.Printf("  %v : %d\n", formatItems(c.Items, namer), c.Count)
+				fmt.Fprintf(stdout, "  %v : %d\n", formatItems(c.Items, namer), c.Count)
 			}
 		}
 	}
@@ -109,8 +125,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d rules at confidence >= %.0f%%:\n", len(rs), *minConf*100)
-	fmt.Print(setm.FormatRules(rs, namer))
+	fmt.Fprintf(stdout, "%d rules at confidence >= %.0f%%:\n", len(rs), *minConf*100)
+	fmt.Fprint(stdout, setm.FormatRules(rs, namer))
 	return nil
 }
 

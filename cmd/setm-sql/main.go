@@ -18,8 +18,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,36 +31,48 @@ import (
 )
 
 func main() {
-	load := flag.String("load", "", "transaction file to preload as table 'sales'")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "setm-sql: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("setm-sql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	load := fs.String("load", "", "transaction file to preload as table 'sales'")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	db := engine.New()
 	if *load != "" {
 		d, err := setm.LoadDatasetFile(*load)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "setm-sql: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		rows := make([]tuple.Tuple, 0, len(d.Transactions)*3)
 		for _, r := range d.SalesRows() {
 			rows = append(rows, tuple.Ints(r[0], r[1]))
 		}
 		if err := db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
-			fmt.Fprintf(os.Stderr, "setm-sql: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("loaded %d rows into sales(trans_id, item)\n", len(rows))
+		fmt.Fprintf(stdout, "loaded %d rows into sales(trans_id, item)\n", len(rows))
 	}
 
-	fmt.Println("setm-sql — statements end with ';', exit with \\q")
-	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprintln(stdout, "setm-sql — statements end with ';', exit with \\q")
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var buf strings.Builder
 	prompt := func() {
 		if buf.Len() == 0 {
-			fmt.Print("sql> ")
+			fmt.Fprint(stdout, "sql> ")
 		} else {
-			fmt.Print("...> ")
+			fmt.Fprint(stdout, "...> ")
 		}
 	}
 	prompt()
@@ -66,23 +80,24 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "exit" || trimmed == "quit") {
-			return
+			return nil
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			execute(db, stmt)
+			execute(db, stmt, stdout)
 		}
 		prompt()
 	}
+	return sc.Err()
 }
 
-func execute(db *engine.DB, sql string) {
+func execute(db *engine.DB, sql string, stdout io.Writer) {
 	res, err := db.ExecScript(sql, nil)
 	if err != nil {
-		fmt.Printf("error: %v\n", err)
+		fmt.Fprintf(stdout, "error: %v\n", err)
 		return
 	}
 	if res == nil {
@@ -90,16 +105,16 @@ func execute(db *engine.DB, sql string) {
 	}
 	if res.Schema == nil {
 		if res.RowsAffected > 0 {
-			fmt.Printf("%d rows affected\n", res.RowsAffected)
+			fmt.Fprintf(stdout, "%d rows affected\n", res.RowsAffected)
 		} else {
-			fmt.Println("ok")
+			fmt.Fprintln(stdout, "ok")
 		}
 		return
 	}
-	printResult(res)
+	printResult(res, stdout)
 }
 
-func printResult(res *engine.Result) {
+func printResult(res *engine.Result, stdout io.Writer) {
 	names := res.Schema.Names()
 	widths := make([]int, len(names))
 	for i, n := range names {
@@ -117,18 +132,18 @@ func printResult(res *engine.Result) {
 		}
 	}
 	for i, n := range names {
-		fmt.Printf("%-*s  ", widths[i], n)
+		fmt.Fprintf(stdout, "%-*s  ", widths[i], n)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for i := range names {
-		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+		fmt.Fprint(stdout, strings.Repeat("-", widths[i]), "  ")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, row := range cells {
 		for c, s := range row {
-			fmt.Printf("%-*s  ", widths[c], s)
+			fmt.Fprintf(stdout, "%-*s  ", widths[c], s)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	fmt.Fprintf(stdout, "(%d rows)\n", len(res.Rows))
 }

@@ -1,0 +1,3 @@
+module setm
+
+go 1.22

@@ -15,6 +15,25 @@ import (
 // count) — exactly the "small number of well-defined, simple concepts"
 // composition the paper advertises.
 
+// row is one classified R_k tuple: [class, trans_id, item_1, ..., item_k].
+// The classified loop keeps the slice-of-slices representation — its
+// relations carry the extra class column and stay small; the plain
+// drivers use the flat relations of relation.go instead.
+type row []int64
+
+// sortRows orders rows lexicographically on all columns.
+func sortRows(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+}
+
 // ClassifiedTransaction is a customer transaction tagged with a customer
 // class (e.g. a demographic segment).
 type ClassifiedTransaction struct {

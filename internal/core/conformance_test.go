@@ -1,0 +1,201 @@
+// Cross-driver conformance suite: every SETM driver — in-memory,
+// parallel, partitioned, paged, SQL — must return identical count
+// relations C_k on randomized datasets, and those must match the
+// independent Apriori and AIS implementations at the same support
+// threshold. This is the refactoring safety net the set-oriented
+// formulation makes possible: the drivers share one pipeline, and this
+// suite pins them to one answer.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"setm/internal/apriori"
+	"setm/internal/core"
+)
+
+// conformanceCase describes one randomized dataset shape.
+type conformanceCase struct {
+	name    string
+	seed    int64
+	txns    int
+	maxLen  int // max items per transaction (before dedup)
+	nItems  int // catalogue size
+	minSups []int64
+}
+
+var conformanceCases = []conformanceCase{
+	{name: "dense-small-catalogue", seed: 101, txns: 80, maxLen: 8, nItems: 12, minSups: []int64{2, 4, 8}},
+	{name: "sparse-wide-catalogue", seed: 202, txns: 120, maxLen: 6, nItems: 60, minSups: []int64{2, 3}},
+	{name: "long-baskets", seed: 303, txns: 50, maxLen: 14, nItems: 20, minSups: []int64{3, 6}},
+	{name: "tiny", seed: 404, txns: 8, maxLen: 4, nItems: 6, minSups: []int64{1, 2}},
+	{name: "single-item-baskets", seed: 505, txns: 60, maxLen: 1, nItems: 10, minSups: []int64{2}},
+	{name: "duplicate-heavy", seed: 606, txns: 70, maxLen: 10, nItems: 5, minSups: []int64{5, 20}},
+	{name: "unsupported-everything", seed: 707, txns: 30, maxLen: 5, nItems: 40, minSups: []int64{25}},
+}
+
+// conformanceDataset builds the deterministic random dataset of a case.
+// Transaction IDs are deliberately non-contiguous so the partitioned
+// driver's hash sharding sees realistic keys.
+func conformanceDataset(c conformanceCase) *core.Dataset {
+	rng := rand.New(rand.NewSource(c.seed))
+	d := &core.Dataset{}
+	id := int64(0)
+	for i := 0; i < c.txns; i++ {
+		id += 1 + int64(rng.Intn(7)) // gaps between trans_ids
+		ln := 1 + rng.Intn(c.maxLen)
+		items := make([]core.Item, ln)
+		for j := range items {
+			items[j] = core.Item(1 + rng.Intn(c.nItems))
+		}
+		d.Transactions = append(d.Transactions, core.Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+// minerFn is one algorithm under conformance test, returning its count
+// relations.
+type minerFn struct {
+	name string
+	mine func(d *core.Dataset, opts core.Options) (*core.Result, error)
+}
+
+// conformanceMiners lists every driver and baseline that must agree.
+func conformanceMiners() []minerFn {
+	return []minerFn{
+		{"parallel-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineParallel(d, o, 3)
+		}},
+		{"partitioned-1", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 1)
+		}},
+		{"partitioned-4", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 4)
+		}},
+		{"paged", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			r, err := core.MinePaged(d, o, core.PagedConfig{PoolFrames: 48})
+			if err != nil {
+				return nil, err
+			}
+			return r.Result, nil
+		}},
+		{"sql", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineSQL(d, o, core.SQLConfig{})
+		}},
+		{"apriori", apriori.MineApriori},
+		{"ais", apriori.MineAIS},
+	}
+}
+
+func TestDriverConformance(t *testing.T) {
+	for _, c := range conformanceCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			d := conformanceDataset(c)
+			for _, ms := range c.minSups {
+				opts := core.Options{MinSupportCount: ms}
+				want, err := core.MineMemory(d, opts)
+				if err != nil {
+					t.Fatalf("memory: %v", err)
+				}
+				for _, m := range conformanceMiners() {
+					got, err := m.mine(d, opts)
+					if err != nil {
+						t.Fatalf("minsup=%d %s: %v", ms, m.name, err)
+					}
+					assertIdenticalCounts(t, fmt.Sprintf("minsup=%d %s", ms, m.name), want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDriverConformancePrefilter runs the PrefilterSales ablation through
+// the drivers that implement it (the flat-relation and SQL substrates).
+func TestDriverConformancePrefilter(t *testing.T) {
+	c := conformanceCases[0]
+	d := conformanceDataset(c)
+	base := core.Options{MinSupportCount: 3}
+	pre := core.Options{MinSupportCount: 3, PrefilterSales: true}
+	want, err := core.MineMemory(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []minerFn{
+		{"memory-prefilter", core.MineMemory},
+		{"parallel-prefilter", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineParallel(d, o, 3)
+		}},
+		{"partitioned-prefilter", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 3)
+		}},
+		{"sql-prefilter", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineSQL(d, o, core.SQLConfig{})
+		}},
+	} {
+		got, err := m.mine(d, pre)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		assertIdenticalCounts(t, m.name, want, got)
+	}
+}
+
+// TestPartitionedShardSweep pins the partitioned driver to the serial
+// answer across shard counts, including more shards than transactions.
+func TestPartitionedShardSweep(t *testing.T) {
+	c := conformanceCase{seed: 808, txns: 40, maxLen: 7, nItems: 10}
+	d := conformanceDataset(c)
+	opts := core.Options{MinSupportCount: 3}
+	want, err := core.MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 5, 8, 16, 64} {
+		got, err := core.MinePartitioned(d, opts, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		assertIdenticalCounts(t, fmt.Sprintf("shards=%d", shards), want, got)
+	}
+}
+
+// assertIdenticalCounts requires bit-identical count relations: same
+// number of iterations, same patterns in the same lexicographic order,
+// same counts.
+func assertIdenticalCounts(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if got.MinSupport != want.MinSupport {
+		t.Errorf("%s: MinSupport = %d, want %d", label, got.MinSupport, want.MinSupport)
+	}
+	if len(got.Counts) != len(want.Counts) {
+		t.Fatalf("%s: %d iterations, want %d", label, len(got.Counts), len(want.Counts))
+	}
+	for k := 1; k <= len(want.Counts); k++ {
+		cw, cg := want.C(k), got.C(k)
+		if len(cw) != len(cg) {
+			t.Errorf("%s: |C_%d| = %d, want %d", label, k, len(cg), len(cw))
+			continue
+		}
+		for i := range cw {
+			if cw[i].Count != cg[i].Count || !sameItems(cw[i].Items, cg[i].Items) {
+				t.Errorf("%s: C_%d[%d] = %v:%d, want %v:%d", label, k, i,
+					cg[i].Items, cg[i].Count, cw[i].Items, cw[i].Count)
+			}
+		}
+	}
+}
+
+func sameItems(a, b []core.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+)
+
+// fuzzDataset decodes a byte stream into a dataset: a zero byte starts a
+// new transaction, any other byte is an item. Distinct items per
+// transaction are capped so candidate generation stays polynomial even at
+// support 1, and the stream is truncated to keep single cases fast.
+func fuzzDataset(data []byte) *Dataset {
+	const (
+		maxBytes      = 512
+		maxItemsPerTx = 12
+	)
+	if len(data) > maxBytes {
+		data = data[:maxBytes]
+	}
+	d := &Dataset{}
+	id := int64(1)
+	var items []Item
+	flush := func() {
+		if len(items) > 0 {
+			d.Transactions = append(d.Transactions, Transaction{ID: id, Items: items})
+			// Spread IDs so hash sharding sees gaps.
+			id += 1 + int64(len(items)%3)
+			items = nil
+		}
+	}
+	for _, b := range data {
+		if b == 0 {
+			flush()
+			continue
+		}
+		if len(items) < maxItemsPerTx {
+			items = append(items, Item(b))
+		}
+	}
+	flush()
+	if len(d.Transactions) == 0 {
+		return nil
+	}
+	return d
+}
+
+// FuzzMine asserts on arbitrary transaction data:
+//
+//  1. no driver panics;
+//  2. C_1 matches a naive oracle (per-item distinct-transaction counts);
+//  3. the parallel and partitioned drivers return counts bit-identical
+//     to the serial driver.
+func FuzzMine(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 0, 1, 3, 0, 2, 3}, uint8(2), uint8(2))
+	f.Add([]byte{5, 5, 5, 0, 5}, uint8(1), uint8(3))
+	f.Add([]byte{10, 20, 30, 40, 50, 0, 10, 20, 30, 0, 10, 20}, uint8(2), uint8(1))
+	f.Add([]byte{1}, uint8(1), uint8(0))
+	f.Add([]byte{255, 254, 253, 0, 255, 254, 0, 255}, uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, minSup, shards uint8) {
+		d := fuzzDataset(data)
+		if d == nil {
+			return
+		}
+		opts := Options{
+			MinSupportCount: int64(minSup%8) + 1,
+			MaxPatternLen:   5,
+		}
+		res, err := MineMemory(d, opts)
+		if err != nil {
+			t.Fatalf("MineMemory: %v", err)
+		}
+
+		// Oracle for C_1: count distinct transactions per item.
+		oracle := make(map[Item]int64)
+		for _, tx := range d.Transactions {
+			seen := make(map[Item]bool, len(tx.Items))
+			for _, it := range tx.Items {
+				if !seen[it] {
+					seen[it] = true
+					oracle[it]++
+				}
+			}
+		}
+		want := make(map[Item]int64)
+		for it, n := range oracle {
+			if n >= opts.MinSupportCount {
+				want[it] = n
+			}
+		}
+		got := make(map[Item]int64)
+		for _, c := range res.C(1) {
+			if len(c.Items) != 1 {
+				t.Fatalf("C_1 pattern of length %d", len(c.Items))
+			}
+			got[c.Items[0]] = c.Count
+		}
+		if len(got) != len(want) {
+			t.Fatalf("C_1 size %d, oracle %d", len(got), len(want))
+		}
+		for it, n := range want {
+			if got[it] != n {
+				t.Fatalf("C_1[%d] = %d, oracle %d", it, got[it], n)
+			}
+		}
+
+		// Cross-driver agreement on the full result.
+		par, err := MineParallel(d, opts, 2)
+		if err != nil {
+			t.Fatalf("MineParallel: %v", err)
+		}
+		fuzzSameCounts(t, "parallel", res, par)
+		part, err := MinePartitioned(d, opts, int(shards%5)+1)
+		if err != nil {
+			t.Fatalf("MinePartitioned: %v", err)
+		}
+		fuzzSameCounts(t, "partitioned", res, part)
+	})
+}
+
+func fuzzSameCounts(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(got.Counts) != len(want.Counts) {
+		t.Fatalf("%s: %d iterations, want %d", label, len(got.Counts), len(want.Counts))
+	}
+	for k := 1; k <= len(want.Counts); k++ {
+		cw, cg := want.C(k), got.C(k)
+		if len(cw) != len(cg) {
+			t.Fatalf("%s: |C_%d| = %d, want %d", label, k, len(cg), len(cw))
+		}
+		for i := range cw {
+			if cw[i].Count != cg[i].Count || compareItems(cw[i].Items, cg[i].Items) != 0 {
+				t.Fatalf("%s: C_%d[%d] = %v:%d, want %v:%d", label, k, i,
+					cg[i].Items, cg[i].Count, cw[i].Items, cw[i].Count)
+			}
+		}
+	}
+}

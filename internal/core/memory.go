@@ -1,221 +1,90 @@
 package core
 
-import (
-	"sort"
-	"time"
-)
-
-// row is one R_k tuple: [trans_id, item_1, ..., item_k].
-type row []int64
-
 // MineMemory runs Algorithm SETM (Figure 4 of the paper) entirely in main
-// memory. It follows the pseudocode step by step:
-//
-//	k := 1; sort R_1 on item; C_1 := counts from R_1
-//	repeat
-//	    k := k+1
-//	    sort R_{k-1} on (trans_id, item_1..item_{k-1})
-//	    R'_k := merge-scan(R_{k-1}, R_1)
-//	    sort R'_k on (item_1..item_k)
-//	    C_k := counts from R'_k
-//	    R_k := filter R'_k to supported patterns
-//	until R_k = {}
+// memory: the shared pipeline over flat stride-(k+1) relations, with every
+// kernel on the serial path (workers = 1).
 func MineMemory(d *Dataset, opts Options) (*Result, error) {
-	if err := validate(d, opts); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	minSup := opts.ResolveMinSupport(d.NumTransactions())
-	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
+	return runPipeline(d, opts, &flatStepper{d: d, opts: opts, workers: 1})
+}
 
+// flatStepper is the in-memory substrate of the SETM pipeline: R_k lives
+// in flat relations and the kernels of relation.go (sort, merge-scan
+// extension, count scan, binary-search filter) implement the steps.
+// workers > 1 fans each kernel out across transaction-aligned or
+// row-aligned chunks (see parallel.go); results are bit-identical either
+// way.
+type flatStepper struct {
+	d       *Dataset
+	opts    Options
+	workers int
+
+	rk       relation // R_{k-1}, sorted by (trans_id, items)
+	joinSide relation // R_1 side of the merge-scan join
+}
+
+func (s *flatStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	// R_1 = SALES in (trans_id, item) form, sorted by (trans_id, item).
-	iterStart := time.Now()
-	sales := d.SalesRows()
-	r1 := make([]row, len(sales))
-	for i, s := range sales {
-		r1[i] = row{s[0], s[1]}
-	}
+	sales := salesRelation(s.d)
 
 	// C_1: counts per item require R_1 sorted on item.
-	byItem := make([]row, len(r1))
-	copy(byItem, r1)
-	sort.Slice(byItem, func(i, j int) bool { return byItem[i][1] < byItem[j][1] })
-	c1 := countRuns(byItem, 1, minSup)
-	res.Counts = append(res.Counts, c1)
+	c1 := countPatterns(sales, minSup, s.workers)
 
 	// The paper does not filter R_1 by C_1: "the starting relations are the
 	// same and hence |R_1| = 115,568 in all cases" (Section 6.1). The
 	// PrefilterSales ablation restricts both join sides to frequent items.
-	rk := r1
-	joinSide := r1
-	if opts.PrefilterSales {
-		rk = filterSupported(r1, 1, c1)
-		joinSide = rk
+	s.rk = sales
+	s.joinSide = sales
+	if s.opts.PrefilterSales {
+		s.rk = filterPatterns(sales, c1, s.workers)
+		s.joinSide = s.rk
 	}
-	res.Stats = append(res.Stats, IterationStat{
-		K:           1,
-		RPrimeRows:  int64(len(r1)),
-		RRows:       int64(len(rk)),
-		RPaperBytes: int64(len(rk)) * paperTupleBytes(1),
-		CCount:      len(c1),
-		Duration:    time.Since(iterStart),
-	})
-
-	k := 1
-	for len(rk) > 0 {
-		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
-			break
-		}
-		k++
-		iterStart = time.Now()
-
-		// sort R_{k-1} on (trans_id, item_1..item_{k-1}). Rows are built in
-		// that order already, but the paper's loop re-sorts and so do we —
-		// the cost matters for faithful measurements.
-		sortRows(rk)
-
-		// R'_k := merge-scan(R_{k-1}, R_1): extend each pattern with every
-		// same-transaction item greater than its last item.
-		rPrime := mergeScanExtend(rk, joinSide)
-
-		// sort R'_k on (item_1..item_k) and count.
-		byItems := make([]row, len(rPrime))
-		copy(byItems, rPrime)
-		sort.Slice(byItems, func(i, j int) bool { return compareItems(byItems[i][1:], byItems[j][1:]) < 0 })
-		ck := countRuns(byItems, k, minSup)
-
-		// R_k := filter R'_k to supported patterns.
-		rk = filterSupported(rPrime, k, ck)
-
-		res.Counts = append(res.Counts, ck)
-		res.Stats = append(res.Stats, IterationStat{
-			K:           k,
-			RPrimeRows:  int64(len(rPrime)),
-			RRows:       int64(len(rk)),
-			RPaperBytes: int64(len(rk)) * paperTupleBytes(k),
-			CCount:      len(ck),
-			Duration:    time.Since(iterStart),
-		})
-		if len(ck) == 0 {
-			break
-		}
-	}
-
-	trimEmptyTail(res)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return c1, iterSizes{rPrime: int64(sales.rows()), rRows: int64(s.rk.rows())}, nil
 }
 
-// sortRows orders R_k rows by (trans_id, item_1..item_k).
-func sortRows(rows []row) {
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		for x := range a {
-			if a[x] != b[x] {
-				return a[x] < b[x]
-			}
-		}
-		return false
-	})
+func (s *flatStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// sort R_{k-1} on (trans_id, item_1..item_{k-1}). Rows are built in
+	// that order already, but the paper's loop re-sorts and so do we — the
+	// cost matters for faithful measurements.
+	sortRelation(s.rk, 0)
+
+	// R'_k := merge-scan(R_{k-1}, R_1), then sort on items and count.
+	rPrime := extendPatterns(s.rk, s.joinSide, s.workers)
+	ck := countPatterns(rPrime, minSup, s.workers)
+
+	// R_k := filter R'_k to supported patterns.
+	s.rk = filterPatterns(rPrime, ck, s.workers)
+	return ck, iterSizes{rPrime: int64(rPrime.rows()), rRows: int64(s.rk.rows())}, nil
 }
 
-// mergeScanExtend is the merge-scan join of R_{k-1} with R_1: both inputs
-// sorted by trans_id; within each transaction, each pattern row is extended
-// by the sale items exceeding its last item.
-func mergeScanExtend(rk, sales []row) []row {
-	var out []row
-	i, j := 0, 0
-	for i < len(rk) && j < len(sales) {
-		tid := rk[i][0]
-		switch {
-		case sales[j][0] < tid:
-			j++
-		case sales[j][0] > tid:
-			i++
-		default:
-			// Collect this transaction's group boundaries.
-			iEnd := i
-			for iEnd < len(rk) && rk[iEnd][0] == tid {
-				iEnd++
-			}
-			jEnd := j
-			for jEnd < len(sales) && sales[jEnd][0] == tid {
-				jEnd++
-			}
-			for _, p := range rk[i:iEnd] {
-				last := p[len(p)-1]
-				for _, s := range sales[j:jEnd] {
-					if s[1] > last {
-						ext := make(row, len(p)+1)
-						copy(ext, p)
-						ext[len(p)] = s[1]
-						out = append(out, ext)
-					}
-				}
-			}
-			i, j = iEnd, jEnd
-		}
-	}
-	return out
-}
-
-// countRuns scans rows sorted by their item columns and returns the
-// patterns meeting minSup. k is the number of item columns (row layout is
-// [tid, item_1..item_k]).
-func countRuns(sorted []row, k int, minSup int64) []ItemsetCount {
-	var out []ItemsetCount
-	i := 0
-	for i < len(sorted) {
-		j := i + 1
-		for j < len(sorted) && compareItems(sorted[i][1:], sorted[j][1:]) == 0 {
-			j++
-		}
-		if int64(j-i) >= minSup {
-			items := make([]Item, k)
-			copy(items, sorted[i][1:])
-			out = append(out, ItemsetCount{Items: items, Count: int64(j - i)})
-		}
-		i = j
-	}
-	return out
-}
-
-// filterSupported keeps the rows of R'_k whose pattern appears in C_k,
-// sorted by (trans_id, items) for the next iteration. This implements the
-// paper's "simple table look-ups on relation C_k".
-func filterSupported(rPrime []row, k int, ck []ItemsetCount) []row {
-	if len(ck) == 0 {
+// countPatterns produces C_k from an unsorted candidate relation: sort a
+// copy on the item columns, then count runs. workers > 1 sorts and counts
+// chunks concurrently and merges the per-chunk counts.
+func countPatterns(rPrime relation, minSup int64, workers int) []ItemsetCount {
+	if rPrime.rows() == 0 {
 		return nil
 	}
-	type key string
-	supported := make(map[key]bool, len(ck))
-	var buf []byte
-	encode := func(items []int64) key {
-		buf = buf[:0]
-		for _, it := range items {
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(it>>s))
-			}
-		}
-		return key(buf)
+	if workers > 1 && rPrime.rows() >= parallelMinRows {
+		return countParallel(rPrime, minSup, workers)
 	}
-	for _, c := range ck {
-		supported[encode(c.Items)] = true
-	}
-	var out []row
-	for _, r := range rPrime {
-		if supported[encode(r[1:])] {
-			out = append(out, r)
-		}
-	}
-	sortRows(out)
-	return out
+	byItems := rPrime.clone()
+	sortRelation(byItems, 1)
+	return countRelationRuns(byItems, minSup)
 }
 
-// trimEmptyTail drops a trailing empty C_k so that len(res.Counts) is the
-// largest k with frequent patterns (keeping at least C_1).
-func trimEmptyTail(res *Result) {
-	for len(res.Counts) > 1 && len(res.Counts[len(res.Counts)-1]) == 0 {
-		res.Counts = res.Counts[:len(res.Counts)-1]
+// extendPatterns is the merge-scan extension step, fanned out across
+// transaction-aligned chunks when workers > 1.
+func extendPatterns(rk, sales relation, workers int) relation {
+	if workers > 1 && rk.rows() >= parallelMinRows {
+		return extendParallel(rk, sales, workers)
 	}
+	return extendRelation(rk, sales)
+}
+
+// filterPatterns is the support filter, fanned out across row chunks when
+// workers > 1.
+func filterPatterns(rPrime relation, ck []ItemsetCount, workers int) relation {
+	if workers > 1 && rPrime.rows() >= parallelMinRows {
+		return filterParallel(rPrime, ck, workers)
+	}
+	return filterRelation(rPrime, ck)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"io"
-	"time"
 
 	"setm/internal/exec"
 	hp "setm/internal/heap"
@@ -55,154 +54,134 @@ type PagedResult struct {
 	RPrimePages []int
 }
 
-// MinePaged runs Algorithm SETM on the paged substrate: R_k relations are
-// heap files, sorts are external merge sorts spilling to the same pool, and
-// the extension step is the exec.MergeJoin operator. The returned IO stats
-// let experiments check the Section 4.3 bound
+// MinePaged runs Algorithm SETM on the paged substrate: the shared
+// pipeline over heap files, with external merge sorts spilling to the
+// buffer pool and the exec.MergeJoin operator as the extension step. The
+// returned IO stats let experiments check the Section 4.3 bound
 //
 //	(n-1)·‖R_1‖ + Σ‖R'_i‖ + 2·Σ‖R_i‖
 func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
-	if err := validate(d, opts); err != nil {
-		return nil, err
-	}
 	cfg = cfg.withDefaults()
-	start := time.Now()
-	minSup := opts.ResolveMinSupport(d.NumTransactions())
-	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
-	pres := &PagedResult{Result: res}
-
 	store := cfg.Store
 	if store == nil {
 		store = storage.NewMemStore()
 	}
 	pool := storage.NewPool(store, cfg.PoolFrames)
-
-	// R_1 = SALES(trans_id, item), sorted by (trans_id, item).
-	iterStart := time.Now()
-	salesSchema := tuple.IntSchema("trans_id", "item")
-	sales, err := hp.Create(pool, salesSchema)
+	pres := &PagedResult{}
+	res, err := runPipeline(d, opts, &pagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range d.SalesRows() {
-		if err := sales.Append(tuple.Ints(s[0], s[1])); err != nil {
-			return nil, err
+	pres.Result = res
+	pres.IO = pool.Stats
+	return pres, nil
+}
+
+// pagedStepper is the paged-storage substrate of the SETM pipeline: R_k
+// relations are heap files and every relational step runs through the
+// storage and operator layers, with page-I/O accounting on the side.
+type pagedStepper struct {
+	d    *Dataset
+	opts Options
+	cfg  PagedConfig
+	pool *storage.Pool
+	pres *PagedResult
+
+	rk       *hp.File // R_{k-1}
+	joinSide *hp.File // R_1 side of the merge-scan join
+}
+
+func (s *pagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// R_1 = SALES(trans_id, item), sorted by (trans_id, item).
+	salesSchema := tuple.IntSchema("trans_id", "item")
+	sales, err := hp.Create(s.pool, salesSchema)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+	for _, r := range s.d.SalesRows() {
+		if err := sales.Append(tuple.Ints(r[0], r[1])); err != nil {
+			return nil, iterSizes{}, err
 		}
 	}
 
 	// C_1: sort R_1 on item, sequential count scan (or hash aggregation
 	// under the ablation flag).
-	c1, err := countRelation(pool, sales, []int{1}, minSup, cfg)
+	c1, err := countRelation(s.pool, sales, []int{1}, minSup, s.cfg)
 	if err != nil {
-		return nil, err
-	}
-	res.Counts = append(res.Counts, c1)
-
-	rk := sales
-	joinSide := sales
-	if opts.PrefilterSales {
-		rk, err = filterFile(pool, sales, 1, c1)
-		if err != nil {
-			return nil, err
-		}
-		joinSide = rk
-	}
-	res.Stats = append(res.Stats, IterationStat{
-		K:           1,
-		RPrimeRows:  sales.Rows(),
-		RRows:       rk.Rows(),
-		RPaperBytes: rk.Rows() * paperTupleBytes(1),
-		CCount:      len(c1),
-		Duration:    time.Since(iterStart),
-	})
-	pres.RPages = append(pres.RPages, rk.Pages())
-	pres.RPrimePages = append(pres.RPrimePages, rk.Pages())
-
-	k := 1
-	for rk.Rows() > 0 {
-		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
-			break
-		}
-		k++
-		iterStart = time.Now()
-
-		// R'_k := join(R_{k-1}, R_1) on trans_id with the lexicographic
-		// residual q.item > p.item_{k-1}, projecting away R_1's trans_id.
-		// Default: sort R_{k-1} on (trans_id, items) and merge-scan, as in
-		// Figure 4. Ablation: hash join, which skips the sort but builds
-		// R_1 in memory.
-		lastItem := k - 1 // index of item_{k-1} in the left tuple
-		residual := func(l, r tuple.Tuple) (bool, error) {
-			return r[1].Int > l[lastItem].Int, nil
-		}
-		var join exec.Operator
-		if cfg.UseHashJoin {
-			join = exec.NewHashJoin(
-				exec.NewHeapScan(rk), exec.NewHeapScan(joinSide),
-				[]int{0}, []int{0}, residual)
-		} else {
-			allCols := make([]int, k) // 0..k-1: trans_id plus k-1 items
-			for i := range allCols {
-				allCols[i] = i
-			}
-			sorted, err := xsort.File(pool, rk, xsort.ByColumns(allCols...), cfg.SortMemLimit)
-			if err != nil {
-				return nil, err
-			}
-			join = exec.NewMergeJoin(
-				exec.NewHeapScan(sorted), exec.NewHeapScan(joinSide),
-				[]int{0}, []int{0}, residual)
-		}
-		// Left tuple has k columns (tid, k-1 items); right adds (tid, item).
-		projIdx := make([]int, 0, k+1)
-		for i := 0; i < k; i++ {
-			projIdx = append(projIdx, i)
-		}
-		projIdx = append(projIdx, k+1) // q.item
-		proj := exec.NewColumnProject(join, projIdx)
-		rPrime, err := exec.Materialize(pool, proj)
-		if err != nil {
-			return nil, err
-		}
-
-		// sort R'_k on items; C_k := counts (or hash aggregation).
-		itemCols := make([]int, k)
-		for i := range itemCols {
-			itemCols[i] = i + 1
-		}
-		ck, err := countRelation(pool, rPrime, itemCols, minSup, cfg)
-		if err != nil {
-			return nil, err
-		}
-
-		// R_k := filter R'_k to supported patterns, sorted on
-		// (trans_id, items) for the next merge-scan.
-		rkNew, err := filterFile(pool, rPrime, k, ck)
-		if err != nil {
-			return nil, err
-		}
-
-		res.Counts = append(res.Counts, ck)
-		res.Stats = append(res.Stats, IterationStat{
-			K:           k,
-			RPrimeRows:  rPrime.Rows(),
-			RRows:       rkNew.Rows(),
-			RPaperBytes: rkNew.Rows() * paperTupleBytes(k),
-			CCount:      len(ck),
-			Duration:    time.Since(iterStart),
-		})
-		pres.RPages = append(pres.RPages, rkNew.Pages())
-		pres.RPrimePages = append(pres.RPrimePages, rPrime.Pages())
-		rk = rkNew
-		if len(ck) == 0 {
-			break
-		}
+		return nil, iterSizes{}, err
 	}
 
-	trimEmptyTail(res)
-	res.Elapsed = time.Since(start)
-	pres.IO = pool.Stats
-	return pres, nil
+	s.rk = sales
+	s.joinSide = sales
+	if s.opts.PrefilterSales {
+		if s.rk, err = filterFile(s.pool, sales, 1, c1); err != nil {
+			return nil, iterSizes{}, err
+		}
+		s.joinSide = s.rk
+	}
+	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
+	s.pres.RPrimePages = append(s.pres.RPrimePages, s.rk.Pages())
+	return c1, iterSizes{rPrime: sales.Rows(), rRows: s.rk.Rows()}, nil
+}
+
+func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// R'_k := join(R_{k-1}, R_1) on trans_id with the lexicographic
+	// residual q.item > p.item_{k-1}, projecting away R_1's trans_id.
+	// Default: sort R_{k-1} on (trans_id, items) and merge-scan, as in
+	// Figure 4. Ablation: hash join, which skips the sort but builds
+	// R_1 in memory.
+	lastItem := k - 1 // index of item_{k-1} in the left tuple
+	residual := func(l, r tuple.Tuple) (bool, error) {
+		return r[1].Int > l[lastItem].Int, nil
+	}
+	var join exec.Operator
+	if s.cfg.UseHashJoin {
+		join = exec.NewHashJoin(
+			exec.NewHeapScan(s.rk), exec.NewHeapScan(s.joinSide),
+			[]int{0}, []int{0}, residual)
+	} else {
+		allCols := make([]int, k) // 0..k-1: trans_id plus k-1 items
+		for i := range allCols {
+			allCols[i] = i
+		}
+		sorted, err := xsort.File(s.pool, s.rk, xsort.ByColumns(allCols...), s.cfg.SortMemLimit)
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
+		join = exec.NewMergeJoin(
+			exec.NewHeapScan(sorted), exec.NewHeapScan(s.joinSide),
+			[]int{0}, []int{0}, residual)
+	}
+	// Left tuple has k columns (tid, k-1 items); right adds (tid, item).
+	projIdx := make([]int, 0, k+1)
+	for i := 0; i < k; i++ {
+		projIdx = append(projIdx, i)
+	}
+	projIdx = append(projIdx, k+1) // q.item
+	proj := exec.NewColumnProject(join, projIdx)
+	rPrime, err := exec.Materialize(s.pool, proj)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+
+	// sort R'_k on items; C_k := counts (or hash aggregation).
+	itemCols := make([]int, k)
+	for i := range itemCols {
+		itemCols[i] = i + 1
+	}
+	ck, err := countRelation(s.pool, rPrime, itemCols, minSup, s.cfg)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+
+	// R_k := filter R'_k to supported patterns, sorted on
+	// (trans_id, items) for the next merge-scan.
+	if s.rk, err = filterFile(s.pool, rPrime, k, ck); err != nil {
+		return nil, iterSizes{}, err
+	}
+	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
+	s.pres.RPrimePages = append(s.pres.RPrimePages, rPrime.Pages())
+	return ck, iterSizes{rPrime: rPrime.Rows(), rRows: s.rk.Rows()}, nil
 }
 
 // countRelation produces C_k from an (unsorted) relation: the paper's way

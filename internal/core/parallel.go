@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 )
 
 // MineParallel runs Algorithm SETM with the per-iteration work fanned out
@@ -13,101 +12,43 @@ import (
 //
 //   - the merge-scan extension is independent per transaction, so R_{k-1}
 //     and R_1 are split at transaction boundaries and joined in parallel;
-//   - support counting aggregates partial per-worker maps;
+//   - support counting sorts row chunks concurrently and merges the
+//     per-chunk run counts;
 //   - the support filter is again independent per row.
 //
-// Results are bit-identical to MineMemory (tests enforce it). workers <= 0
-// selects GOMAXPROCS.
+// It is the same pipeline and the same flat relations as MineMemory with
+// workers > 1, so results are bit-identical (tests enforce it).
+// workers <= 0 selects GOMAXPROCS.
 func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
-	if err := validate(d, opts); err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
-	minSup := opts.ResolveMinSupport(d.NumTransactions())
-	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
-
-	iterStart := time.Now()
-	sales := d.SalesRows()
-	r1 := make([]row, len(sales))
-	for i, s := range sales {
-		r1[i] = row{s[0], s[1]}
-	}
-
-	// C_1 by parallel partial counting (order restored at merge).
-	c1 := parallelCount(r1, 1, minSup, workers)
-	res.Counts = append(res.Counts, c1)
-
-	rk := r1
-	joinSide := r1
-	if opts.PrefilterSales {
-		rk = filterSupported(r1, 1, c1)
-		joinSide = rk
-	}
-	res.Stats = append(res.Stats, IterationStat{
-		K:           1,
-		RPrimeRows:  int64(len(r1)),
-		RRows:       int64(len(rk)),
-		RPaperBytes: int64(len(rk)) * paperTupleBytes(1),
-		CCount:      len(c1),
-		Duration:    time.Since(iterStart),
-	})
-
-	k := 1
-	for len(rk) > 0 {
-		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
-			break
-		}
-		k++
-		iterStart = time.Now()
-
-		// R'_k: parallel merge-scan over transaction-aligned chunks. rk is
-		// already (tid, items)-sorted from the previous filter step (or is
-		// the sorted R_1).
-		rPrime := parallelExtend(rk, joinSide, workers)
-
-		ck := parallelCount(rPrime, k, minSup, workers)
-		rkNew := parallelFilter(rPrime, k, ck, workers)
-
-		res.Counts = append(res.Counts, ck)
-		res.Stats = append(res.Stats, IterationStat{
-			K:           k,
-			RPrimeRows:  int64(len(rPrime)),
-			RRows:       int64(len(rkNew)),
-			RPaperBytes: int64(len(rkNew)) * paperTupleBytes(k),
-			CCount:      len(ck),
-			Duration:    time.Since(iterStart),
-		})
-		rk = rkNew
-		if len(ck) == 0 {
-			break
-		}
-	}
-
-	trimEmptyTail(res)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return runPipeline(d, opts, &flatStepper{d: d, opts: opts, workers: workers})
 }
 
-// chunkByTid splits rows (sorted by trans_id) into at most n chunks whose
-// boundaries respect transaction groups.
-func chunkByTid(rows []row, n int) [][2]int {
-	if len(rows) == 0 || n < 1 {
+// parallelMinRows is the relation size below which the parallel kernels
+// fall back to the serial path — goroutine fan-out costs more than it
+// saves on tiny inputs.
+const parallelMinRows = 2048
+
+// chunkRelationByTid splits rel (sorted by trans_id) into at most n row
+// ranges whose boundaries respect transaction groups.
+func chunkRelationByTid(rel relation, n int) [][2]int {
+	rows := rel.rows()
+	if rows == 0 || n < 1 {
 		return nil
 	}
 	var bounds [][2]int
-	target := (len(rows) + n - 1) / n
+	target := (rows + n - 1) / n
 	start := 0
-	for start < len(rows) {
+	for start < rows {
 		end := start + target
-		if end >= len(rows) {
-			end = len(rows)
+		if end >= rows {
+			end = rows
 		} else {
 			// Advance to the end of the transaction group.
-			tid := rows[end-1][0]
-			for end < len(rows) && rows[end][0] == tid {
+			tid := rel.tid(end - 1)
+			for end < rows && rel.tid(end) == tid {
 				end++
 			}
 		}
@@ -117,183 +58,121 @@ func chunkByTid(rows []row, n int) [][2]int {
 	return bounds
 }
 
-// alignSales returns the sub-slice of sales (sorted by tid) covering the
-// tid range [loTid, hiTid].
-func alignSales(sales []row, loTid, hiTid int64) []row {
-	lo := sort.Search(len(sales), func(i int) bool { return sales[i][0] >= loTid })
-	hi := sort.Search(len(sales), func(i int) bool { return sales[i][0] > hiTid })
-	return sales[lo:hi]
+// salesWindow returns the sub-relation of sales (sorted by tid) covering
+// the tid range [loTid, hiTid].
+func salesWindow(sales relation, loTid, hiTid int64) relation {
+	n := sales.rows()
+	lo := sort.Search(n, func(i int) bool { return sales.tid(i) >= loTid })
+	hi := sort.Search(n, func(i int) bool { return sales.tid(i) > hiTid })
+	return sales.slice(lo, hi)
 }
 
-// parallelExtend runs mergeScanExtend over chunks concurrently; the
-// concatenation preserves global (tid, items) order because chunks are
-// tid-disjoint and ascending.
-func parallelExtend(rk, sales []row, workers int) []row {
-	bounds := chunkByTid(rk, workers)
+// extendParallel runs the merge-scan extension over transaction-aligned
+// chunks concurrently; the concatenation preserves global (tid, items)
+// order because chunks are tid-disjoint and ascending.
+func extendParallel(rk, sales relation, workers int) relation {
+	bounds := chunkRelationByTid(rk, workers)
 	if len(bounds) <= 1 {
-		return mergeScanExtend(rk, sales)
+		return extendRelation(rk, sales)
 	}
-	parts := make([][]row, len(bounds))
+	parts := make([]relation, len(bounds))
 	var wg sync.WaitGroup
 	for i, b := range bounds {
 		wg.Add(1)
 		go func(i int, b [2]int) {
 			defer wg.Done()
-			chunk := rk[b[0]:b[1]]
-			sub := alignSales(sales, chunk[0][0], chunk[len(chunk)-1][0])
-			parts[i] = mergeScanExtend(chunk, sub)
+			chunk := rk.slice(b[0], b[1])
+			sub := salesWindow(sales, chunk.tid(0), chunk.tid(chunk.rows()-1))
+			parts[i] = extendRelation(chunk, sub)
 		}(i, b)
 	}
 	wg.Wait()
-	total := 0
-	for _, p := range parts {
-		total += len(p)
+	return concatRelations(rk.stride+1, parts)
+}
+
+// countParallel computes C_k by sorting row chunks on their item columns
+// concurrently, counting runs per chunk into flat count lists, and
+// merging the sorted lists with the support threshold applied at the end.
+// The merge makes the result identical to a single global sort-and-count.
+func countParallel(rPrime relation, minSup int64, workers int) []ItemsetCount {
+	bounds := evenChunks(rPrime.rows(), workers)
+	if len(bounds) <= 1 {
+		return countPatterns(rPrime, minSup, 1)
 	}
-	out := make([]row, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
+	parts := make([][]int64, len(bounds))
+	var wg sync.WaitGroup
+	for i, b := range bounds {
+		wg.Add(1)
+		go func(i int, b [2]int) {
+			defer wg.Done()
+			chunk := rPrime.slice(b[0], b[1]).clone()
+			sortRelation(chunk, 1)
+			parts[i] = flatCountRuns(chunk, nil)
+		}(i, b)
 	}
+	wg.Wait()
+	return mergeFlatCounts(parts, rPrime.stride-1, minSup)
+}
+
+// filterParallel applies the support filter over row chunks concurrently,
+// preserving row order, then restores the (trans_id, items) sort.
+func filterParallel(rPrime relation, ck []ItemsetCount, workers int) relation {
+	if len(ck) == 0 || rPrime.rows() == 0 {
+		return relation{stride: rPrime.stride}
+	}
+	bounds := evenChunks(rPrime.rows(), workers)
+	parts := make([]relation, len(bounds))
+	var wg sync.WaitGroup
+	for i, b := range bounds {
+		wg.Add(1)
+		go func(i int, b [2]int) {
+			defer wg.Done()
+			chunk := rPrime.slice(b[0], b[1])
+			out := relation{stride: chunk.stride}
+			n := chunk.rows()
+			for r := 0; r < n; r++ {
+				if patternSupported(ck, chunk.items(r)) {
+					out.data = append(out.data, chunk.row(r)...)
+				}
+			}
+			parts[i] = out
+		}(i, b)
+	}
+	wg.Wait()
+	out := concatRelations(rPrime.stride, parts)
+	sortRelation(out, 0)
 	return out
 }
 
-// parallelCount counts pattern occurrences with per-worker maps merged at
-// the end, then returns the supported patterns in lexicographic order.
-func parallelCount(rows []row, k int, minSup int64, workers int) []ItemsetCount {
-	if len(rows) == 0 {
+// evenChunks splits n rows into at most w row ranges of near-equal size.
+func evenChunks(n, w int) [][2]int {
+	if n == 0 || w < 1 {
 		return nil
 	}
-	nchunk := workers
-	if nchunk > len(rows) {
-		nchunk = 1
+	if w > n {
+		w = 1
 	}
-	size := (len(rows) + nchunk - 1) / nchunk
-	partial := make([]map[string]int64, 0, nchunk)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for start := 0; start < len(rows); start += size {
+	size := (n + w - 1) / w
+	var bounds [][2]int
+	for start := 0; start < n; start += size {
 		end := start + size
-		if end > len(rows) {
-			end = len(rows)
+		if end > n {
+			end = n
 		}
-		wg.Add(1)
-		go func(chunk []row) {
-			defer wg.Done()
-			m := make(map[string]int64)
-			var buf []byte
-			for _, r := range chunk {
-				buf = buf[:0]
-				for _, it := range r[1:] {
-					for s := 0; s < 64; s += 8 {
-						buf = append(buf, byte(it>>s))
-					}
-				}
-				m[string(buf)]++
-			}
-			mu.Lock()
-			partial = append(partial, m)
-			mu.Unlock()
-		}(rows[start:end])
+		bounds = append(bounds, [2]int{start, end})
 	}
-	wg.Wait()
-
-	merged := partial[0]
-	for _, m := range partial[1:] {
-		for key, n := range m {
-			merged[key] += n
-		}
-	}
-	var out []ItemsetCount
-	for key, n := range merged {
-		if n < minSup {
-			continue
-		}
-		items := make([]Item, k)
-		for i := range items {
-			var v int64
-			for j := 7; j >= 0; j-- {
-				v = v<<8 | int64(key[i*8+j])
-			}
-			items[i] = v
-		}
-		out = append(out, ItemsetCount{Items: items, Count: n})
-	}
-	sort.Slice(out, func(i, j int) bool { return compareItems(out[i].Items, out[j].Items) < 0 })
-	return out
+	return bounds
 }
 
-// parallelFilter keeps supported rows, preserving order.
-func parallelFilter(rPrime []row, k int, ck []ItemsetCount, workers int) []row {
-	if len(ck) == 0 || len(rPrime) == 0 {
-		return nil
-	}
-	supported := make(map[string]bool, len(ck))
-	var buf []byte
-	encode := func(items []int64) string {
-		buf = buf[:0]
-		for _, it := range items {
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(it>>s))
-			}
-		}
-		return string(buf)
-	}
-	for _, c := range ck {
-		supported[encode(c.Items)] = true
-	}
-
-	nchunk := workers
-	if nchunk > len(rPrime) {
-		nchunk = 1
-	}
-	size := (len(rPrime) + nchunk - 1) / nchunk
-	parts := make([][]row, 0, nchunk)
-	idx := 0
-	var wg sync.WaitGroup
-	type job struct {
-		slot  int
-		chunk []row
-	}
-	var jobs []job
-	for start := 0; start < len(rPrime); start += size {
-		end := start + size
-		if end > len(rPrime) {
-			end = len(rPrime)
-		}
-		jobs = append(jobs, job{slot: idx, chunk: rPrime[start:end]})
-		parts = append(parts, nil)
-		idx++
-	}
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			var local []byte
-			enc := func(items []int64) string {
-				local = local[:0]
-				for _, it := range items {
-					for s := 0; s < 64; s += 8 {
-						local = append(local, byte(it>>s))
-					}
-				}
-				return string(local)
-			}
-			var keep []row
-			for _, r := range j.chunk {
-				if supported[enc(r[1:])] {
-					keep = append(keep, r)
-				}
-			}
-			parts[j.slot] = keep
-		}(j)
-	}
-	wg.Wait()
+// concatRelations concatenates parts (in order) into one relation.
+func concatRelations(stride int, parts []relation) relation {
 	total := 0
 	for _, p := range parts {
-		total += len(p)
+		total += len(p.data)
 	}
-	out := make([]row, 0, total)
+	out := relation{stride: stride, data: make([]int64, 0, total)}
 	for _, p := range parts {
-		out = append(out, p...)
+		out.data = append(out.data, p.data...)
 	}
 	return out
 }

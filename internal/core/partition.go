@@ -1,0 +1,155 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinePartitioned runs Algorithm SETM with the dataset hash-sharded into
+// independent partitions — the sharding stepping-stone toward distributed
+// SETM. Transactions are assigned to shards by a hash of their trans_id,
+// so every R_k row of a transaction lives in exactly one shard. Each
+// shard runs the pipeline's relational kernels over purely local state;
+// the only cross-shard communication is the per-iteration count merge
+// ("count distribution"): shards produce unfiltered local candidate
+// counts, a global second pass sums them and applies the support
+// threshold, and each shard then filters its local R'_k by the global
+// C_k. Because transactions are disjoint across shards, the merged counts
+// equal the serial driver's exactly and the results are bit-identical to
+// MineMemory (the conformance suite enforces it).
+//
+// shards <= 0 selects GOMAXPROCS.
+func MinePartitioned(d *Dataset, opts Options, shards int) (*Result, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return runPipeline(d, opts, &partitionStepper{d: d, opts: opts, nshards: shards})
+}
+
+// partitionStepper is the sharded substrate of the SETM pipeline.
+type partitionStepper struct {
+	d       *Dataset
+	opts    Options
+	nshards int
+	shards  []*partitionShard
+}
+
+// partitionShard holds one shard's local relations.
+type partitionShard struct {
+	sales  relation // local R_1, sorted by (trans_id, item)
+	rk     relation // local R_{k-1}
+	join   relation // local R_1 side of the merge-scan join
+	rPrime relation // local R'_k of the current iteration
+}
+
+// shardOf maps a transaction ID to its shard with a splitmix64-style
+// finalizer, so consecutive IDs spread evenly.
+func shardOf(id int64, n int) int {
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// forEachShard runs fn for every shard concurrently and waits.
+func (s *partitionStepper) forEachShard(fn func(sh *partitionShard)) {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *partitionShard) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// Hash-shard the transactions. Rows of one transaction must co-locate,
+	// so the hash key is the trans_id.
+	groups := make([][]Transaction, s.nshards)
+	for _, tx := range s.d.Transactions {
+		i := shardOf(tx.ID, s.nshards)
+		groups[i] = append(groups[i], tx)
+	}
+	s.shards = make([]*partitionShard, s.nshards)
+	for i := range s.shards {
+		s.shards[i] = &partitionShard{}
+	}
+
+	// Local pass: build each shard's R_1 and its unfiltered item counts.
+	counts := make([][]int64, s.nshards)
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *partitionShard) {
+			defer wg.Done()
+			sh.sales = salesRelation(&Dataset{Transactions: groups[i]})
+			byItem := sh.sales.clone()
+			sortRelation(byItem, 1)
+			counts[i] = flatCountRuns(byItem, nil)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	// Global pass: merge shard counts and apply the support threshold.
+	c1 := mergeFlatCounts(counts, 1, minSup)
+
+	var salesRows, rkRows int64
+	s.forEachShard(func(sh *partitionShard) {
+		sh.rk = sh.sales
+		sh.join = sh.sales
+		if s.opts.PrefilterSales {
+			sh.rk = filterRelation(sh.sales, c1)
+			sh.join = sh.rk
+		}
+	})
+	for _, sh := range s.shards {
+		salesRows += int64(sh.sales.rows())
+		rkRows += int64(sh.rk.rows())
+	}
+	return c1, iterSizes{rPrime: salesRows, rRows: rkRows}, nil
+}
+
+func (s *partitionStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// Local pass: each shard sorts, extends, and counts its candidates
+	// without any support filter — a locally rare pattern may be globally
+	// frequent, so thresholds can only be applied after the merge.
+	counts := make([][]int64, s.nshards)
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *partitionShard) {
+			defer wg.Done()
+			sortRelation(sh.rk, 0)
+			sh.rPrime = extendRelation(sh.rk, sh.join)
+			byItems := sh.rPrime.clone()
+			sortRelation(byItems, 1)
+			counts[i] = flatCountRuns(byItems, nil)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	// Global pass: merge the shard counts into C_k.
+	ck := mergeFlatCounts(counts, k, minSup)
+
+	var rPrimeRows int64
+	for _, sh := range s.shards {
+		rPrimeRows += int64(sh.rPrime.rows())
+	}
+
+	// Local pass: filter each shard's R'_k by the global C_k.
+	s.forEachShard(func(sh *partitionShard) {
+		sh.rk = filterRelation(sh.rPrime, ck)
+		sh.rPrime = relation{}
+	})
+
+	var rkRows int64
+	for _, sh := range s.shards {
+		rkRows += int64(sh.rk.rows())
+	}
+	return ck, iterSizes{rPrime: rPrimeRows, rRows: rkRows}, nil
+}

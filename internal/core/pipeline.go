@@ -1,0 +1,103 @@
+package core
+
+import "time"
+
+// The SETM iteration loop of Figure 4 is the same on every execution
+// substrate:
+//
+//	k := 1; sort R_1 on item; C_1 := counts from R_1
+//	repeat
+//	    k := k+1
+//	    sort R_{k-1} on (trans_id, item_1..item_{k-1})
+//	    R'_k := merge-scan(R_{k-1}, R_1)
+//	    sort R'_k on (item_1..item_k)
+//	    C_k := counts from R'_k
+//	    R_k := filter R'_k to supported patterns
+//	until R_k = {}
+//
+// runPipeline owns that loop — option validation, support resolution,
+// termination, iteration statistics, timing — while a stepper supplies the
+// substrate-specific relational steps. All drivers (in-memory, parallel,
+// partitioned, paged, SQL) parameterize this one loop, so they cannot
+// drift apart and any loop-level change lands in all of them at once.
+
+// stepper is one execution substrate for the SETM pipeline.
+type stepper interface {
+	// init builds R_1 (applying the PrefilterSales ablation if requested)
+	// and computes C_1 at the given absolute support threshold. The
+	// returned sizes are |SALES| (as rPrime — R_1 has no R') and |R_1|.
+	init(minSup int64) (c1 []ItemsetCount, sz iterSizes, err error)
+	// step runs one full SETM iteration for pattern length k: sort
+	// R_{k-1}, merge-scan extend with R_1, sort on items, count into C_k,
+	// filter to R_k. The returned sizes are |R'_k| and |R_k|.
+	step(k int, minSup int64) (ck []ItemsetCount, sz iterSizes, err error)
+}
+
+// iterSizes reports the relation cardinalities of one iteration.
+type iterSizes struct {
+	rPrime int64 // |R'_k|: candidate rows before the support filter
+	rRows  int64 // |R_k|: rows surviving the support filter
+}
+
+// runPipeline drives the shared SETM loop over a stepper.
+func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
+	if err := validate(d, opts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	minSup := opts.ResolveMinSupport(d.NumTransactions())
+	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
+
+	iterStart := time.Now()
+	c1, sz, err := s.init(minSup)
+	if err != nil {
+		return nil, err
+	}
+	res.Counts = append(res.Counts, c1)
+	res.Stats = append(res.Stats, IterationStat{
+		K:           1,
+		RPrimeRows:  sz.rPrime,
+		RRows:       sz.rRows,
+		RPaperBytes: sz.rRows * paperTupleBytes(1),
+		CCount:      len(c1),
+		Duration:    time.Since(iterStart),
+	})
+
+	k := 1
+	for sz.rRows > 0 {
+		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
+			break
+		}
+		k++
+		iterStart = time.Now()
+		var ck []ItemsetCount
+		ck, sz, err = s.step(k, minSup)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = append(res.Counts, ck)
+		res.Stats = append(res.Stats, IterationStat{
+			K:           k,
+			RPrimeRows:  sz.rPrime,
+			RRows:       sz.rRows,
+			RPaperBytes: sz.rRows * paperTupleBytes(k),
+			CCount:      len(ck),
+			Duration:    time.Since(iterStart),
+		})
+		if len(ck) == 0 {
+			break
+		}
+	}
+
+	trimEmptyTail(res)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// trimEmptyTail drops a trailing empty C_k so that len(res.Counts) is the
+// largest k with frequent patterns (keeping at least C_1).
+func trimEmptyTail(res *Result) {
+	for len(res.Counts) > 1 && len(res.Counts[len(res.Counts)-1]) == 0 {
+		res.Counts = res.Counts[:len(res.Counts)-1]
+	}
+}

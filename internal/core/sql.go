@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"setm/internal/engine"
 	"setm/internal/tuple"
@@ -41,205 +40,186 @@ type SQLConfig struct {
 //	WHERE p.item1 = q.item1 AND ... AND p.itemk = q.itemk
 //	ORDER BY p.trans_id, p.item1, ..., p.itemk
 func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
-	if err := validate(d, opts); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	minSup := opts.ResolveMinSupport(d.NumTransactions())
-	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
-
 	var dbOpts []engine.Option
 	if cfg.PoolFrames > 0 {
 		dbOpts = append(dbOpts, engine.WithPoolFrames(cfg.PoolFrames))
 	}
-	db := engine.New(dbOpts...)
-	run := func(sql string) (*engine.Result, error) {
-		if cfg.TraceSQL != nil {
-			cfg.TraceSQL(sql)
-		}
-		return db.Exec(sql, map[string]int64{"minsupport": minSup})
+	s := &sqlStepper{d: d, opts: opts, cfg: cfg, db: engine.New(dbOpts...)}
+	// Bulk-load SALES before the pipeline starts timing iteration 1, so
+	// Stats[0].Duration covers the C_1 SQL alone — matching what the other
+	// drivers charge to their first iteration.
+	if err := validate(d, opts); err != nil {
+		return nil, err
 	}
-
-	// Load SALES. (Bulk load; the mining itself is pure SQL.)
 	rows := make([]tuple.Tuple, 0, len(d.Transactions)*4)
-	for _, s := range d.SalesRows() {
-		rows = append(rows, tuple.Ints(s[0], s[1]))
+	for _, r := range d.SalesRows() {
+		rows = append(rows, tuple.Ints(r[0], r[1]))
 	}
-	if err := db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
+	if err := s.db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
 		return nil, err
 	}
+	s.salesRows = int64(len(rows))
+	return runPipeline(d, opts, s)
+}
 
-	// C_1.
-	iterStart := time.Now()
-	if _, err := run("CREATE TABLE c1 (item1 INT, cnt INT)"); err != nil {
-		return nil, err
+// sqlStepper is the relational-engine substrate of the SETM pipeline:
+// every step executes the paper's SQL statements on the bundled engine.
+type sqlStepper struct {
+	d    *Dataset
+	opts Options
+	cfg  SQLConfig
+	db   *engine.DB
+
+	salesRows int64  // |SALES|, loaded before the pipeline starts
+	prevR     string // table name of R_{k-1} ("sales" for k=2 without prefilter)
+}
+
+// run executes one statement with the :minsupport parameter bound.
+func (s *sqlStepper) run(sql string, minSup int64) (*engine.Result, error) {
+	if s.cfg.TraceSQL != nil {
+		s.cfg.TraceSQL(sql)
 	}
-	if _, err := run(`INSERT INTO c1
+	return s.db.Exec(sql, map[string]int64{"minsupport": minSup})
+}
+
+func (s *sqlStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// C_1. (SALES was bulk-loaded by MineSQL; the mining itself is pure SQL.)
+	if _, err := s.run("CREATE TABLE c1 (item1 INT, cnt INT)", minSup); err != nil {
+		return nil, iterSizes{}, err
+	}
+	if _, err := s.run(`INSERT INTO c1
 		SELECT r1.item, COUNT(*)
 		FROM sales r1
 		GROUP BY r1.item
-		HAVING COUNT(*) >= :minsupport`); err != nil {
-		return nil, err
+		HAVING COUNT(*) >= :minsupport`, minSup); err != nil {
+		return nil, iterSizes{}, err
 	}
-	c1, err := readCounts(db, 1, minSup)
+	c1, err := readCounts(s.db, 1, minSup)
 	if err != nil {
-		return nil, err
+		return nil, iterSizes{}, err
 	}
-	res.Counts = append(res.Counts, c1)
 
 	// R_1: the paper uses SALES itself, already sorted by (trans_id, item).
 	// PrefilterSales instead restricts it to frequent items via C_1.
-	r1Table := "sales"
-	if opts.PrefilterSales {
-		if _, err := run("CREATE TABLE r1 (trans_id INT, item1 INT)"); err != nil {
-			return nil, err
+	s.prevR = "sales"
+	if s.opts.PrefilterSales {
+		if _, err := s.run("CREATE TABLE r1 (trans_id INT, item1 INT)", minSup); err != nil {
+			return nil, iterSizes{}, err
 		}
-		if _, err := run(`INSERT INTO r1
+		if _, err := s.run(`INSERT INTO r1
 			SELECT s.trans_id, s.item
 			FROM sales s, c1 c
 			WHERE s.item = c.item1
-			ORDER BY s.trans_id, s.item`); err != nil {
-			return nil, err
+			ORDER BY s.trans_id, s.item`, minSup); err != nil {
+			return nil, iterSizes{}, err
 		}
-		r1Table = "r1"
+		s.prevR = "r1"
 	}
-	r1Rows, err := tableRows(db, r1Table)
+	r1Rows, err := tableRows(s.db, s.prevR)
 	if err != nil {
-		return nil, err
+		return nil, iterSizes{}, err
 	}
-	res.Stats = append(res.Stats, IterationStat{
-		K:           1,
-		RPrimeRows:  int64(len(rows)),
-		RRows:       r1Rows,
-		RPaperBytes: r1Rows * paperTupleBytes(1),
-		CCount:      len(c1),
-		Duration:    time.Since(iterStart),
-	})
+	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows}, nil
+}
 
-	prevR := r1Table
-	prevRows := r1Rows
-	k := 1
-	for prevRows > 0 {
-		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
-			break
-		}
-		k++
-		iterStart = time.Now()
+func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	rp := fmt.Sprintf("rp%d", k)
+	ck := fmt.Sprintf("c%d", k)
+	rk := fmt.Sprintf("r%d", k)
 
-		rp := fmt.Sprintf("rp%d", k)
-		ck := fmt.Sprintf("c%d", k)
-		rk := fmt.Sprintf("r%d", k)
-
-		// Column helper: item1..itemk.
-		itemCols := func(n int) []string {
-			out := make([]string, n)
-			for i := range out {
-				out[i] = fmt.Sprintf("item%d", i+1)
-			}
-			return out
+	// Column helper: item1..itemk.
+	itemCols := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("item%d", i+1)
 		}
-		declare := func(cols []string, extra string) string {
-			parts := make([]string, 0, len(cols)+2)
-			parts = append(parts, "trans_id INT")
-			for _, c := range cols {
-				parts = append(parts, c+" INT")
-			}
-			if extra != "" {
-				parts = parts[1:]
-				parts = append(parts, extra)
-			}
-			return strings.Join(parts, ", ")
+		return out
+	}
+	declare := func(cols []string, extra string) string {
+		parts := make([]string, 0, len(cols)+2)
+		parts = append(parts, "trans_id INT")
+		for _, c := range cols {
+			parts = append(parts, c+" INT")
 		}
-
-		cols := itemCols(k)
-		prevCols := itemCols(k - 1)
-		// The sales table's item column is named "item"; R_{k-1} for k>2
-		// names its columns item1..item_{k-1}. For k=2 with prevR = sales,
-		// "item1" must read "item".
-		prevColRef := func(i int) string { // 1-based
-			if prevR == "sales" {
-				return "item"
-			}
-			return prevCols[i-1]
+		if extra != "" {
+			parts = parts[1:]
+			parts = append(parts, extra)
 		}
-
-		// CREATE + fill R'_k.
-		if _, err := run(fmt.Sprintf("CREATE TABLE %s (%s)", rp, declare(cols, ""))); err != nil {
-			return nil, err
-		}
-		sel := make([]string, 0, k+1)
-		sel = append(sel, "p.trans_id")
-		for i := 1; i < k; i++ {
-			sel = append(sel, "p."+prevColRef(i))
-		}
-		sel = append(sel, "q.item")
-		insRP := fmt.Sprintf(`INSERT INTO %s
-			SELECT %s
-			FROM %s p, sales q
-			WHERE q.trans_id = p.trans_id AND q.item > p.%s`,
-			rp, strings.Join(sel, ", "), prevR, prevColRef(k-1))
-		rpRes, err := run(insRP)
-		if err != nil {
-			return nil, err
-		}
-
-		// CREATE + fill C_k.
-		if _, err := run(fmt.Sprintf("CREATE TABLE %s (%s)", ck, declare(cols, "cnt INT"))); err != nil {
-			return nil, err
-		}
-		groupList := "p." + strings.Join(cols, ", p.")
-		insCK := fmt.Sprintf(`INSERT INTO %s
-			SELECT %s, COUNT(*)
-			FROM %s p
-			GROUP BY %s
-			HAVING COUNT(*) >= :minsupport`,
-			ck, groupList, rp, groupList)
-		if _, err := run(insCK); err != nil {
-			return nil, err
-		}
-		counts, err := readCounts(db, k, minSup)
-		if err != nil {
-			return nil, err
-		}
-
-		// CREATE + fill R_k (filter R'_k by C_k, sorted).
-		if _, err := run(fmt.Sprintf("CREATE TABLE %s (%s)", rk, declare(cols, ""))); err != nil {
-			return nil, err
-		}
-		eqs := make([]string, len(cols))
-		for i, c := range cols {
-			eqs[i] = fmt.Sprintf("p.%s = q.%s", c, c)
-		}
-		insRK := fmt.Sprintf(`INSERT INTO %s
-			SELECT p.trans_id, %s
-			FROM %s p, %s q
-			WHERE %s
-			ORDER BY p.trans_id, %s`,
-			rk, groupList, rp, ck, strings.Join(eqs, " AND "), groupList)
-		rkRes, err := run(insRK)
-		if err != nil {
-			return nil, err
-		}
-
-		res.Counts = append(res.Counts, counts)
-		res.Stats = append(res.Stats, IterationStat{
-			K:           k,
-			RPrimeRows:  rpRes.RowsAffected,
-			RRows:       rkRes.RowsAffected,
-			RPaperBytes: rkRes.RowsAffected * paperTupleBytes(k),
-			CCount:      len(counts),
-			Duration:    time.Since(iterStart),
-		})
-		prevR = rk
-		prevRows = rkRes.RowsAffected
-		if len(counts) == 0 {
-			break
-		}
+		return strings.Join(parts, ", ")
 	}
 
-	trimEmptyTail(res)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	cols := itemCols(k)
+	prevCols := itemCols(k - 1)
+	// The sales table's item column is named "item"; R_{k-1} for k>2
+	// names its columns item1..item_{k-1}. For k=2 with prevR = sales,
+	// "item1" must read "item".
+	prevColRef := func(i int) string { // 1-based
+		if s.prevR == "sales" {
+			return "item"
+		}
+		return prevCols[i-1]
+	}
+
+	// CREATE + fill R'_k.
+	if _, err := s.run(fmt.Sprintf("CREATE TABLE %s (%s)", rp, declare(cols, "")), minSup); err != nil {
+		return nil, iterSizes{}, err
+	}
+	sel := make([]string, 0, k+1)
+	sel = append(sel, "p.trans_id")
+	for i := 1; i < k; i++ {
+		sel = append(sel, "p."+prevColRef(i))
+	}
+	sel = append(sel, "q.item")
+	insRP := fmt.Sprintf(`INSERT INTO %s
+		SELECT %s
+		FROM %s p, sales q
+		WHERE q.trans_id = p.trans_id AND q.item > p.%s`,
+		rp, strings.Join(sel, ", "), s.prevR, prevColRef(k-1))
+	rpRes, err := s.run(insRP, minSup)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+
+	// CREATE + fill C_k.
+	if _, err := s.run(fmt.Sprintf("CREATE TABLE %s (%s)", ck, declare(cols, "cnt INT")), minSup); err != nil {
+		return nil, iterSizes{}, err
+	}
+	groupList := "p." + strings.Join(cols, ", p.")
+	insCK := fmt.Sprintf(`INSERT INTO %s
+		SELECT %s, COUNT(*)
+		FROM %s p
+		GROUP BY %s
+		HAVING COUNT(*) >= :minsupport`,
+		ck, groupList, rp, groupList)
+	if _, err := s.run(insCK, minSup); err != nil {
+		return nil, iterSizes{}, err
+	}
+	counts, err := readCounts(s.db, k, minSup)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+
+	// CREATE + fill R_k (filter R'_k by C_k, sorted).
+	if _, err := s.run(fmt.Sprintf("CREATE TABLE %s (%s)", rk, declare(cols, "")), minSup); err != nil {
+		return nil, iterSizes{}, err
+	}
+	eqs := make([]string, len(cols))
+	for i, c := range cols {
+		eqs[i] = fmt.Sprintf("p.%s = q.%s", c, c)
+	}
+	insRK := fmt.Sprintf(`INSERT INTO %s
+		SELECT p.trans_id, %s
+		FROM %s p, %s q
+		WHERE %s
+		ORDER BY p.trans_id, %s`,
+		rk, groupList, rp, ck, strings.Join(eqs, " AND "), groupList)
+	rkRes, err := s.run(insRK, minSup)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+
+	s.prevR = rk
+	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected}, nil
 }
 
 // readCounts loads C_k from the engine into the canonical sorted form.

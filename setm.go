@@ -18,9 +18,11 @@
 //	...
 //	rules, err := setm.Rules(res, 0.7)
 //
-// Three drivers compute identical results: Mine (in memory), MinePaged
-// (on the paged storage engine, with page-I/O accounting), and MineSQL
-// (the paper's SQL statements executed by the bundled relational engine).
+// Five drivers compute identical results: Mine (in memory), MineParallel
+// (per-iteration work fanned across cores), MinePartitioned (transactions
+// hash-sharded with a global count merge), MinePaged (on the paged storage
+// engine, with page-I/O accounting), and MineSQL (the paper's SQL
+// statements executed by the bundled relational engine).
 package setm
 
 import (
@@ -79,6 +81,16 @@ func Mine(d *Dataset, opts Options) (*Result, error) {
 // advertises.
 func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
 	return core.MineParallel(d, opts, workers)
+}
+
+// MinePartitioned runs Algorithm SETM with transactions hash-sharded into
+// the given number of partitions (shards <= 0 uses GOMAXPROCS). Each shard
+// runs the pipeline over purely local relations; per-iteration candidate
+// counts are merged in a global second pass before the support filter, so
+// results are identical to Mine. It is the sharding stepping-stone toward
+// distributed SETM: shards share nothing but the merged count relations.
+func MinePartitioned(d *Dataset, opts Options, shards int) (*Result, error) {
+	return core.MinePartitioned(d, opts, shards)
 }
 
 // MinePaged runs Algorithm SETM on the paged storage substrate, counting
