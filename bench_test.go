@@ -276,6 +276,30 @@ func BenchmarkMineDatasets(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPackedKernels compares the packed-key engine (the
+// default substrate) against the generic int64 relation kernels on the
+// headline retail workload — the PR 2 tentpole measured directly.
+func BenchmarkAblationPackedKernels(b *testing.B) {
+	full, _, _ := datasets()
+	for _, cfg := range []struct {
+		name    string
+		generic bool
+	}{
+		{"packed", false},
+		{"generic", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := core.Options{MinSupportFrac: 0.001, DisablePackedKernels: cfg.generic}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineMemory(full, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPartitionedShards measures the partitioned driver's shard
 // scaling on the full retail data set at 0.1% support, alongside
 // BenchmarkParallelWorkers for the intra-iteration fan-out.

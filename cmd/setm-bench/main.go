@@ -13,14 +13,22 @@
 //
 // By default experiments run on the calibrated retail stand-in at full
 // published size (46,873 transactions); -txns scales it down.
+//
+// -json FILE additionally measures the hot-path drivers (packed and
+// generic substrates) and writes machine-readable records — name,
+// params, ns/op, result rows, allocations — so the performance
+// trajectory can be tracked as BENCH_*.json files across PRs. It runs
+// with any -exp value, including one that selects no experiment.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "data seed")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
 	compareTxns := fs.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
+	jsonPath := fs.String("json", "", "write machine-readable hot-path benchmark records (name, params, ns/op, rows, allocs) to this file, for tracking the perf trajectory as BENCH_*.json across PRs")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -146,6 +155,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, dataset(), *repeats, stdout); err != nil {
+			return err
+		}
+	}
+
+	return nil
+}
+
+// benchRecord is one machine-readable benchmark measurement; files of
+// these (BENCH_*.json) track the performance trajectory across PRs.
+type benchRecord struct {
+	Name    string `json:"name"`
+	Params  string `json:"params"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Rows    int64  `json:"rows"`
+	Allocs  int64  `json:"allocs"`
+}
+
+// writeBenchJSON measures the hot-path drivers (packed and generic
+// substrates) on the retail data set at the heaviest published support
+// and writes the records as a JSON array. Timing is best-of-repeats;
+// allocation counts come from the run with the best time.
+func writeBenchJSON(path string, d *core.Dataset, repeats int, stdout io.Writer) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	base := core.Options{MinSupportFrac: 0.001}
+	generic := base
+	generic.DisablePackedKernels = true
+	variants := []struct {
+		name string
+		opts core.Options
+		mine func(*core.Dataset, core.Options) (*core.Result, error)
+	}{
+		{"mine/packed", base, core.MineMemory},
+		{"mine/generic", generic, core.MineMemory},
+		{"parallel/packed", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineParallel(d, o, 0)
+		}},
+		{"partitioned/packed", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 0)
+		}},
+	}
+	params := fmt.Sprintf("txns=%d minsup=0.1%%", d.NumTransactions())
+	recs := make([]benchRecord, 0, len(variants))
+	for _, v := range variants {
+		rec := benchRecord{Name: v.name, Params: params}
+		var ms0, ms1 runtime.MemStats
+		for r := 0; r < repeats; r++ {
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			res, err := v.mine(d, v.opts)
+			ns := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return fmt.Errorf("bench %s: %w", v.name, err)
+			}
+			if rec.NsPerOp == 0 || ns < rec.NsPerOp {
+				rec.NsPerOp = ns
+				rec.Rows = int64(res.TotalPatterns())
+				rec.Allocs = int64(ms1.Mallocs - ms0.Mallocs)
+			}
+		}
+		recs = append(recs, rec)
+	}
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmark records to %s\n", len(recs), path)
 	return nil
 }
 

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,46 @@ func TestRunPartitionScaling(t *testing.T) {
 	for _, shards := range []string{"       1", "       2", "       4", "       8"} {
 		if !strings.Contains(out, shards) {
 			t.Errorf("missing row for shards %q:\n%s", strings.TrimSpace(shards), out)
+		}
+	}
+}
+
+func TestRunJSONWritesRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "none", "-txns", "600", "-repeats", "1", "-json", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var recs []struct {
+		Name    string `json:"name"`
+		Params  string `json:"params"`
+		NsPerOp int64  `json:"ns_per_op"`
+		Rows    int64  `json:"rows"`
+		Allocs  int64  `json:"allocs"`
+	}
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("got %d records, want >= 4", len(recs))
+	}
+	names := make(map[string]bool)
+	for _, r := range recs {
+		names[r.Name] = true
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %d, want > 0", r.Name, r.NsPerOp)
+		}
+		if !strings.Contains(r.Params, "txns=600") {
+			t.Errorf("%s: params = %q, want txns=600", r.Name, r.Params)
+		}
+	}
+	for _, want := range []string{"mine/packed", "mine/generic", "parallel/packed", "partitioned/packed"} {
+		if !names[want] {
+			t.Errorf("missing record %q", want)
 		}
 	}
 }

@@ -63,10 +63,25 @@ type minerFn struct {
 }
 
 // conformanceMiners lists every driver and baseline that must agree.
+// The memory driver's packed-key default is the reference; the -generic
+// entries run the same drivers on the int64 relation kernels
+// (DisablePackedKernels), pinning both substrates to one answer.
 func conformanceMiners() []minerFn {
 	return []minerFn{
+		{"memory-generic", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.DisablePackedKernels = true
+			return core.MineMemory(d, o)
+		}},
 		{"parallel-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
 			return core.MineParallel(d, o, 3)
+		}},
+		{"parallel-generic-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.DisablePackedKernels = true
+			return core.MineParallel(d, o, 3)
+		}},
+		{"partitioned-generic-4", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.DisablePackedKernels = true
+			return core.MinePartitioned(d, o, 4)
 		}},
 		{"partitioned-1", func(d *core.Dataset, o core.Options) (*core.Result, error) {
 			return core.MinePartitioned(d, o, 1)
@@ -140,6 +155,68 @@ func TestDriverConformancePrefilter(t *testing.T) {
 			t.Fatalf("%s: %v", m.name, err)
 		}
 		assertIdenticalCounts(t, m.name, want, got)
+	}
+}
+
+// TestDriverConformanceOptionMatrix sweeps the PrefilterSales ×
+// MaxPatternLen option matrix across all five drivers (and the packed/
+// generic substrates of the in-memory ones), pinned to the generic
+// memory driver as oracle. Neither option may change any count
+// relation: PrefilterSales only drops rows that could never meet the
+// threshold, and MaxPatternLen only truncates the iteration count.
+func TestDriverConformanceOptionMatrix(t *testing.T) {
+	matrixMiners := []minerFn{
+		{"memory", core.MineMemory},
+		{"parallel-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineParallel(d, o, 3)
+		}},
+		{"partitioned-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 3)
+		}},
+		{"partitioned-generic-3", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.DisablePackedKernels = true
+			return core.MinePartitioned(d, o, 3)
+		}},
+		{"paged", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			r, err := core.MinePaged(d, o, core.PagedConfig{PoolFrames: 48})
+			if err != nil {
+				return nil, err
+			}
+			return r.Result, nil
+		}},
+		{"sql", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineSQL(d, o, core.SQLConfig{})
+		}},
+	}
+	for _, c := range []conformanceCase{conformanceCases[0], conformanceCases[2]} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			d := conformanceDataset(c)
+			for _, pre := range []bool{false, true} {
+				for _, maxLen := range []int{0, 1, 2, 3} {
+					opts := core.Options{
+						MinSupportCount: c.minSups[0],
+						PrefilterSales:  pre,
+						MaxPatternLen:   maxLen,
+					}
+					oracleOpts := opts
+					oracleOpts.PrefilterSales = false
+					oracleOpts.DisablePackedKernels = true
+					want, err := core.MineMemory(d, oracleOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range matrixMiners {
+						label := fmt.Sprintf("prefilter=%v maxlen=%d %s", pre, maxLen, m.name)
+						got, err := m.mine(d, opts)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						assertIdenticalCounts(t, label, want, got)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 )
 
@@ -113,6 +114,113 @@ func FuzzMine(f *testing.F) {
 			t.Fatalf("MinePartitioned: %v", err)
 		}
 		fuzzSameCounts(t, "partitioned", res, part)
+
+		// Packed engine vs the generic oracle on the same run.
+		gen := opts
+		gen.DisablePackedKernels = true
+		genRes, err := MineMemory(d, gen)
+		if err != nil {
+			t.Fatalf("MineMemory generic: %v", err)
+		}
+		fuzzSameCounts(t, "generic-oracle", genRes, res)
+	})
+}
+
+// FuzzPackedKernels cross-checks the packed kernels against the generic
+// int64 kernels at the relation level: arbitrary rows are packed, then
+// sort / count / filter must round-trip to exactly what relation.go
+// computes.
+func FuzzPackedKernels(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 2, 4, 1, 1, 5, 3}, uint8(2), uint8(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(1), uint8(1))
+	f.Add([]byte{3, 200, 100, 3, 200, 100, 7, 1, 2}, uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, minSupRaw uint8) {
+		k := int(kRaw%3) + 1
+		st := k + 1
+		n := len(data) / st
+		if n == 0 {
+			return
+		}
+		if n > 96 {
+			n = 96
+		}
+		minSup := int64(minSupRaw%4) + 1
+
+		// Rebuild the bytes as a flat relation; small domains force key
+		// collisions, offsets force negative items and tids.
+		rel := relation{stride: st, data: make([]int64, 0, n*st)}
+		for i := 0; i < n; i++ {
+			row := data[i*st : (i+1)*st]
+			rel.data = append(rel.data, int64(row[0]%13)-2)
+			for c := 1; c < st; c++ {
+				rel.data = append(rel.data, int64(row[c]%24)-8)
+			}
+		}
+
+		// Dictionary over the item columns, then pack every row.
+		var all []int64
+		for i := 0; i < n; i++ {
+			all = append(all, rel.items(i)...)
+		}
+		slices.Sort(all)
+		dict := newPackDict(slices.Compact(all))
+		if k > dict.maxPackedK() {
+			return
+		}
+		rows := make([]prow, n)
+		for i := 0; i < n; i++ {
+			var key uint64
+			for _, it := range rel.items(i) {
+				key = key<<dict.bits | dict.code(it)
+			}
+			rows[i] = prow{tid: uint64(rel.tid(i)) ^ tidFlip, key: key}
+		}
+
+		// Sort on (trans_id, items): radix vs the generic relation sort.
+		genSorted := rel.clone()
+		sortRelation(genSorted, 0)
+		sortedRows := append([]prow(nil), rows...)
+		radixSortRows(sortedRows, make([]prow, n))
+		if got := unpackRel(sortedRows, k, dict); !slices.Equal(got.data, genSorted.data) {
+			t.Fatalf("row sort mismatch:\ngot  %v\nwant %v", got.data, genSorted.data)
+		}
+
+		// Count at minSup: key radix + run scan vs the generic count.
+		keys := make([]uint64, n)
+		for i, r := range rows {
+			keys[i] = r.key
+		}
+		radixSortU64(keys, make([]uint64, n))
+		if !keysSorted(keys) {
+			t.Fatal("radixSortU64 left keys unsorted")
+		}
+		pk := packedCountRuns(keys, minSup, pkCounts{})
+		got := decodePatterns(pk, k, dict)
+		want, _ := countPatterns(rel, minSup, 1)
+		if len(got) != len(want) {
+			t.Fatalf("count: %d patterns, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Count != want[i].Count || compareItems(got[i].Items, want[i].Items) != 0 {
+				t.Fatalf("count[%d] = %v:%d, want %v:%d", i, got[i].Items, got[i].Count, want[i].Items, want[i].Count)
+			}
+		}
+
+		// Filter by C_k: binary search and bitmap paths vs the generic
+		// filter (both inputs sorted, so outputs must be bit-identical).
+		wantF, _ := filterRelation(genSorted, want)
+		gotRows := packedFilter(sortedRows, pk.keys, nil)
+		if got := unpackRel(gotRows, k, dict); !slices.Equal(got.data, wantF.data) {
+			t.Fatalf("filter mismatch:\ngot  %v\nwant %v", got.data, wantF.data)
+		}
+		ar := newMineArena()
+		defer ar.release()
+		if bm := buildKeyBitmap(pk.keys, uint(k)*dict.bits, ar); bm != nil && len(pk.keys) > 0 {
+			bmRows := packedFilterBitmap(sortedRows, bm, nil)
+			if !slices.Equal(bmRows, gotRows) {
+				t.Fatalf("bitmap filter disagrees with binary-search filter")
+			}
+		}
 	})
 }
 

@@ -1,18 +1,33 @@
 package core
 
 // MineMemory runs Algorithm SETM (Figure 4 of the paper) entirely in main
-// memory: the shared pipeline over flat stride-(k+1) relations, with every
-// kernel on the serial path (workers = 1).
+// memory: the shared pipeline over the packed-key engine (pack.go) with
+// every kernel on the serial path (workers = 1). Options.
+// DisablePackedKernels selects the generic flat-relation kernels instead
+// — the conformance oracle and the fallback for patterns too wide to
+// pack.
 func MineMemory(d *Dataset, opts Options) (*Result, error) {
-	return runPipeline(d, opts, &flatStepper{d: d, opts: opts, workers: 1})
+	return runPipeline(d, opts, newMemoryStepper(d, opts, 1))
 }
 
-// flatStepper is the in-memory substrate of the SETM pipeline: R_k lives
-// in flat relations and the kernels of relation.go (sort, merge-scan
-// extension, count scan, binary-search filter) implement the steps.
-// workers > 1 fans each kernel out across transaction-aligned or
-// row-aligned chunks (see parallel.go); results are bit-identical either
-// way.
+// newMemoryStepper picks the substrate for the memory/parallel drivers:
+// the packed-key engine by default, the generic flat-relation kernels
+// under the DisablePackedKernels ablation.
+func newMemoryStepper(d *Dataset, opts Options, workers int) stepper {
+	if opts.DisablePackedKernels {
+		return &flatStepper{d: d, opts: opts, workers: workers}
+	}
+	return &packedStepper{d: d, opts: opts, workers: workers}
+}
+
+// flatStepper is the generic in-memory substrate of the SETM pipeline:
+// R_k lives in flat stride-(k+1) relations and the kernels of
+// relation.go (sort, merge-scan extension, count scan, binary-search
+// filter) implement the steps. It is the oracle the packed engine is
+// conformance-tested against, and the mid-run fallback when patterns
+// outgrow the 64-bit packed key. workers > 1 fans each kernel out
+// across transaction-aligned or row-aligned chunks (see parallel.go);
+// results are bit-identical either way.
 type flatStepper struct {
 	d       *Dataset
 	opts    Options
@@ -27,7 +42,7 @@ func (s *flatStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	sales := salesRelation(s.d)
 
 	// C_1: counts per item require R_1 sorted on item.
-	c1 := countPatterns(sales, minSup, s.workers)
+	c1, skips := countPatterns(sales, minSup, s.workers)
 
 	// The paper does not filter R_1 by C_1: "the starting relations are the
 	// same and hence |R_1| = 115,568 in all cases" (Section 6.1). The
@@ -35,40 +50,52 @@ func (s *flatStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	s.rk = sales
 	s.joinSide = sales
 	if s.opts.PrefilterSales {
-		s.rk = filterPatterns(sales, c1, s.workers)
+		var fs int64
+		s.rk, fs = filterPatterns(sales, c1, s.workers)
+		skips += fs
 		s.joinSide = s.rk
 	}
-	return c1, iterSizes{rPrime: int64(sales.rows()), rRows: int64(s.rk.rows())}, nil
+	return c1, iterSizes{rPrime: int64(sales.rows()), rRows: int64(s.rk.rows()), sortSkips: skips}, nil
 }
 
 func (s *flatStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
 	// sort R_{k-1} on (trans_id, item_1..item_{k-1}). Rows are built in
-	// that order already, but the paper's loop re-sorts and so do we — the
-	// cost matters for faithful measurements.
-	sortRelation(s.rk, 0)
+	// that order already, so the sortedness pre-scan usually skips this —
+	// the paper-faithful call site stays, the cost disappears.
+	var skips int64
+	if sortRelation(s.rk, 0) {
+		skips++
+	}
 
 	// R'_k := merge-scan(R_{k-1}, R_1), then sort on items and count.
 	rPrime := extendPatterns(s.rk, s.joinSide, s.workers)
-	ck := countPatterns(rPrime, minSup, s.workers)
+	ck, cs := countPatterns(rPrime, minSup, s.workers)
+	skips += cs
 
 	// R_k := filter R'_k to supported patterns.
-	s.rk = filterPatterns(rPrime, ck, s.workers)
-	return ck, iterSizes{rPrime: int64(rPrime.rows()), rRows: int64(s.rk.rows())}, nil
+	var fs int64
+	s.rk, fs = filterPatterns(rPrime, ck, s.workers)
+	skips += fs
+	return ck, iterSizes{rPrime: int64(rPrime.rows()), rRows: int64(s.rk.rows()), sortSkips: skips}, nil
 }
 
 // countPatterns produces C_k from an unsorted candidate relation: sort a
 // copy on the item columns, then count runs. workers > 1 sorts and counts
-// chunks concurrently and merges the per-chunk counts.
-func countPatterns(rPrime relation, minSup int64, workers int) []ItemsetCount {
+// chunks concurrently and merges the per-chunk counts. The second return
+// is the number of sorts the pre-scan skipped.
+func countPatterns(rPrime relation, minSup int64, workers int) ([]ItemsetCount, int64) {
 	if rPrime.rows() == 0 {
-		return nil
+		return nil, 0
 	}
 	if workers > 1 && rPrime.rows() >= parallelMinRows {
 		return countParallel(rPrime, minSup, workers)
 	}
 	byItems := rPrime.clone()
-	sortRelation(byItems, 1)
-	return countRelationRuns(byItems, minSup)
+	var skips int64
+	if sortRelation(byItems, 1) {
+		skips++
+	}
+	return countRelationRuns(byItems, minSup), skips
 }
 
 // extendPatterns is the merge-scan extension step, fanned out across
@@ -81,8 +108,8 @@ func extendPatterns(rk, sales relation, workers int) relation {
 }
 
 // filterPatterns is the support filter, fanned out across row chunks when
-// workers > 1.
-func filterPatterns(rPrime relation, ck []ItemsetCount, workers int) relation {
+// workers > 1. The second return is the number of sorts skipped.
+func filterPatterns(rPrime relation, ck []ItemsetCount, workers int) (relation, int64) {
 	if workers > 1 && rPrime.rows() >= parallelMinRows {
 		return filterParallel(rPrime, ck, workers)
 	}

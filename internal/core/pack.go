@@ -1,0 +1,577 @@
+package core
+
+// The packed-key execution engine. At mine start item ids are
+// dictionary-encoded into a dense domain (newPackDict); while
+// k*bitsPerItem fits one 64-bit word, an R'_k row is a (trans_id, key)
+// pair with the whole pattern bit-packed into the key — item_1 in the
+// most significant bits — so unsigned integer order on keys equals
+// lexicographic order on patterns. The per-iteration kernels then
+// collapse:
+//
+//   - the paper's sorts become byte-wise LSD radix passes over a single
+//     column, or are skipped outright when a pre-scan proves the input
+//     already ordered (the common case: extension and filtering both
+//     preserve (trans_id, items) order);
+//   - run counting is integer equality instead of per-column compares;
+//   - the support filter is a binary search over the packed C_k keys.
+//
+// Patterns too wide to pack (k*bitsPerItem > 64) fall back mid-run to
+// the generic int64 relation kernels of relation.go, which also remain
+// the conformance oracle behind Options.DisablePackedKernels.
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// tidFlip turns an int64 trans_id into a uint64 whose unsigned order
+// matches the signed order, so radix passes over raw bytes sort
+// correctly even for negative ids.
+const tidFlip = uint64(1) << 63
+
+// prow is one packed R_k row.
+type prow struct {
+	tid uint64 // trans_id XOR tidFlip
+	key uint64 // k item codes, item_1 in the most significant bits
+}
+
+// packDict is the order-preserving dense item dictionary: code i stands
+// for the i-th smallest distinct item, so code order equals item order.
+type packDict struct {
+	items []int64 // code -> item, ascending
+	bits  uint    // bits per item code (>= 1)
+}
+
+// newPackDict builds a dictionary from the ascending distinct item list.
+func newPackDict(sortedDistinct []int64) *packDict {
+	b := uint(1)
+	if n := len(sortedDistinct); n > 1 {
+		b = uint(bits.Len64(uint64(n - 1)))
+	}
+	return &packDict{items: sortedDistinct, bits: b}
+}
+
+// buildDict collects the distinct items of a dataset into a dictionary,
+// radix-sorting the (sign-flipped) occurrences through the arena's key
+// buffers and compacting the distinct values into the arena's dictionary
+// table. The table stays valid until the arena is released at pipeline
+// end, which outlives every use of the dictionary.
+func buildDict(d *Dataset, ar *mineArena) *packDict {
+	total := 0
+	for _, tx := range d.Transactions {
+		total += len(tx.Items)
+	}
+	ar.keys = growU64(ar.keys, total)
+	all := ar.keys[:0]
+	for _, tx := range d.Transactions {
+		for _, it := range tx.Items {
+			all = append(all, uint64(it)^tidFlip)
+		}
+	}
+	ar.keysTmp = growU64(ar.keysTmp, len(all))
+	radixSortU64(all, ar.keysTmp)
+	items := ar.dictBuf[:0]
+	var prev uint64
+	for i, v := range all {
+		if i == 0 || v != prev {
+			items = append(items, int64(v^tidFlip))
+			prev = v
+		}
+	}
+	ar.dictBuf = items
+	return newPackDict(items)
+}
+
+// code returns the dense code of an item known to be in the dictionary.
+func (d *packDict) code(item int64) uint64 {
+	i, _ := slices.BinarySearch(d.items, item)
+	return uint64(i)
+}
+
+// maxPackedK is the longest pattern length one key can hold.
+func (d *packDict) maxPackedK() int { return int(64 / d.bits) }
+
+// packSales builds the packed R_1 = SALES(trans_id, item code), items
+// deduplicated per transaction and rows globally sorted by
+// (trans_id, code) — the packed twin of salesRelation.
+func packSales(d *Dataset, dict *packDict, ar *mineArena) []prow {
+	total := 0
+	for _, tx := range d.Transactions {
+		total += len(tx.Items)
+	}
+	ar.salesBuf = growProws(ar.salesBuf, total)
+	rows := ar.salesBuf[:0]
+	scratch := ar.txItems[:0]
+	for _, tx := range d.Transactions {
+		scratch = scratch[:0]
+		for _, it := range tx.Items {
+			scratch = append(scratch, dict.code(it))
+		}
+		// Baskets are short; insertion sort beats the generic sort here.
+		for i := 1; i < len(scratch); i++ {
+			v := scratch[i]
+			j := i - 1
+			for j >= 0 && scratch[j] > v {
+				scratch[j+1] = scratch[j]
+				j--
+			}
+			scratch[j+1] = v
+		}
+		utid := uint64(tx.ID) ^ tidFlip
+		var prev uint64
+		for i, c := range scratch {
+			if i > 0 && c == prev {
+				continue
+			}
+			prev = c
+			rows = append(rows, prow{tid: utid, key: c})
+		}
+	}
+	ar.txItems = scratch
+	ar.salesBuf = rows
+	if !prowsSorted(rows) {
+		ar.rowsTmp = growProws(ar.rowsTmp, len(rows))
+		radixSortRows(rows, ar.rowsTmp)
+	}
+	return rows
+}
+
+// prowsSorted reports whether rows are ordered by (tid, key) — the
+// sortedness pre-scan that lets steppers skip the paper's re-sorts.
+func prowsSorted(rows []prow) bool {
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.tid > b.tid || (a.tid == b.tid && a.key > b.key) {
+			return false
+		}
+	}
+	return true
+}
+
+// keysSorted reports whether keys are in ascending order.
+func keysSorted(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// radixSortU64 sorts keys in place with a stable byte-wise LSD radix
+// sort, ping-ponging through tmp (len(tmp) >= len(keys)). A one-pass
+// XOR scan finds the bytes that actually vary, so narrow key domains
+// (the usual case: k*bitsPerItem bits) pay only the passes they need.
+func radixSortU64(keys, tmp []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	var diff uint64
+	for _, v := range keys {
+		diff |= v ^ keys[0]
+	}
+	src, dst := keys, tmp[:n]
+	var cnt [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (diff>>shift)&0xff == 0 {
+			continue
+		}
+		clear(cnt[:])
+		for _, v := range src {
+			cnt[(v>>shift)&0xff]++
+		}
+		pos := 0
+		for b := range cnt {
+			c := cnt[b]
+			cnt[b] = pos
+			pos += c
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[cnt[b]] = v
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// radixSortRows sorts rows in place by (tid, key) with a stable LSD
+// radix sort: key bytes first (the minor sort key), then tid bytes.
+// tmp must satisfy len(tmp) >= len(rows).
+func radixSortRows(rows, tmp []prow) {
+	n := len(rows)
+	if n < 2 {
+		return
+	}
+	var kdiff, tdiff uint64
+	for _, r := range rows {
+		kdiff |= r.key ^ rows[0].key
+		tdiff |= r.tid ^ rows[0].tid
+	}
+	src, dst := rows, tmp[:n]
+	var cnt [256]int
+	pass := func(byTid bool, shift uint) {
+		clear(cnt[:])
+		if byTid {
+			for _, r := range src {
+				cnt[(r.tid>>shift)&0xff]++
+			}
+		} else {
+			for _, r := range src {
+				cnt[(r.key>>shift)&0xff]++
+			}
+		}
+		pos := 0
+		for b := range cnt {
+			c := cnt[b]
+			cnt[b] = pos
+			pos += c
+		}
+		if byTid {
+			for _, r := range src {
+				b := (r.tid >> shift) & 0xff
+				dst[cnt[b]] = r
+				cnt[b]++
+			}
+		} else {
+			for _, r := range src {
+				b := (r.key >> shift) & 0xff
+				dst[cnt[b]] = r
+				cnt[b]++
+			}
+		}
+		src, dst = dst, src
+	}
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (kdiff>>shift)&0xff != 0 {
+			pass(false, shift)
+		}
+	}
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (tdiff>>shift)&0xff != 0 {
+			pass(true, shift)
+		}
+	}
+	if &src[0] != &rows[0] {
+		copy(rows, src)
+	}
+}
+
+// packedExtend is the merge-scan join of packed R_{k-1} with packed R_1
+// (Figure 4's extension step): both inputs sorted by trans_id; within a
+// transaction each pattern is extended by the sale items whose code
+// exceeds its last item's. Appends to out and returns it; the output
+// inherits (trans_id, key) order.
+func packedExtend(rk, sales []prow, itemBits uint, out []prow) []prow {
+	mask := uint64(1)<<itemBits - 1
+	nr, ns := len(rk), len(sales)
+	i, j := 0, 0
+	for i < nr && j < ns {
+		tid := rk[i].tid
+		switch {
+		case sales[j].tid < tid:
+			j++
+		case sales[j].tid > tid:
+			i++
+		default:
+			iEnd := i
+			for iEnd < nr && rk[iEnd].tid == tid {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < ns && sales[jEnd].tid == tid {
+				jEnd++
+			}
+			for p := i; p < iEnd; p++ {
+				last := rk[p].key & mask
+				base := rk[p].key << itemBits
+				for q := j; q < jEnd; q++ {
+					if it := sales[q].key; it > last {
+						out = append(out, prow{tid: tid, key: base | it})
+					}
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out
+}
+
+// pkCounts is a packed count relation C_k: ascending pattern keys with
+// their support counts in parallel slices.
+type pkCounts struct {
+	keys   []uint64
+	counts []int64
+}
+
+// packedCountRuns scans ascending keys and appends one (key, count) per
+// run meeting minSup to dst — the paper's sequential count scan as an
+// integer-equality loop.
+func packedCountRuns(keys []uint64, minSup int64, dst pkCounts) pkCounts {
+	n := len(keys)
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && keys[j] == keys[i] {
+			j++
+		}
+		if int64(j-i) >= minSup {
+			dst.keys = append(dst.keys, keys[i])
+			dst.counts = append(dst.counts, int64(j-i))
+		}
+		i = j
+	}
+	return dst
+}
+
+// mergePackedCounts merges per-chunk (or per-shard) packed count lists,
+// summing counts of keys that appear in several lists and keeping those
+// meeting minSup — the packed twin of mergeFlatCounts. Appends to dst.
+func mergePackedCounts(parts []pkCounts, minSup int64, dst pkCounts) pkCounts {
+	heads := make([]int, len(parts))
+	for {
+		best := -1
+		var bk uint64
+		for i, h := range heads {
+			if h >= len(parts[i].keys) {
+				continue
+			}
+			if k := parts[i].keys[h]; best == -1 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best == -1 {
+			return dst
+		}
+		var total int64
+		for i, h := range heads {
+			if h < len(parts[i].keys) && parts[i].keys[h] == bk {
+				total += parts[i].counts[h]
+				heads[i] = h + 1
+			}
+		}
+		if total >= minSup {
+			dst.keys = append(dst.keys, bk)
+			dst.counts = append(dst.counts, total)
+		}
+	}
+}
+
+// packedFilter keeps the rows whose key occurs in the ascending ckKeys —
+// the paper's C_k look-up as a binary search. Appends to out; row order
+// (and so the (trans_id, items) sort) is preserved.
+func packedFilter(rPrime []prow, ckKeys []uint64, out []prow) []prow {
+	if len(ckKeys) == 0 {
+		return out
+	}
+	for _, r := range rPrime {
+		if _, ok := slices.BinarySearch(ckKeys, r.key); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// packedFilterBitmap is packedFilter with the C_k look-up as an O(1)
+// bitmap test — used whenever the k*bitsPerItem key space is narrow
+// enough to map densely (see buildKeyBitmap).
+func packedFilterBitmap(rPrime []prow, bm []uint64, out []prow) []prow {
+	for _, r := range rPrime {
+		if bm[r.key>>6]&(1<<(r.key&63)) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// decodePatterns expands packed counts into the public ItemsetCount form.
+// All pattern slices share one backing array: two allocations per C_k
+// regardless of pattern count.
+func decodePatterns(pk pkCounts, k int, dict *packDict) []ItemsetCount {
+	if len(pk.keys) == 0 {
+		return nil
+	}
+	out := make([]ItemsetCount, len(pk.keys))
+	backing := make([]Item, len(pk.keys)*k)
+	mask := uint64(1)<<dict.bits - 1
+	for i, key := range pk.keys {
+		items := backing[i*k : (i+1)*k : (i+1)*k]
+		for c := 0; c < k; c++ {
+			items[c] = dict.items[(key>>(uint(k-1-c)*dict.bits))&mask]
+		}
+		out[i] = ItemsetCount{Items: items, Count: pk.counts[i]}
+	}
+	return out
+}
+
+// unpackRel expands packed rows into the generic flat relation — the
+// bridge to the int64 kernels when patterns outgrow the 64-bit key.
+func unpackRel(rows []prow, k int, dict *packDict) relation {
+	st := k + 1
+	rel := relation{stride: st, data: make([]int64, len(rows)*st)}
+	mask := uint64(1)<<dict.bits - 1
+	for i, r := range rows {
+		off := i * st
+		rel.data[off] = int64(r.tid ^ tidFlip)
+		for c := 0; c < k; c++ {
+			rel.data[off+1+c] = dict.items[(r.key>>(uint(k-1-c)*dict.bits))&mask]
+		}
+	}
+	return rel
+}
+
+// packedStepper is the packed-key substrate of the SETM pipeline — the
+// default hot path of MineMemory and MineParallel. It mirrors
+// flatStepper step for step, swaps in the packed kernels, and hands off
+// to a flatStepper mid-run if the pattern width exceeds one key.
+type packedStepper struct {
+	d       *Dataset
+	opts    Options
+	workers int
+
+	dict  *packDict
+	sales []prow // packed R_1, sorted by (trans_id, code)
+	join  []prow // R_1 side of the merge-scan join
+	rk    []prow // packed R_{k-1}, sorted by (trans_id, key)
+	ar    *mineArena
+
+	fallback *flatStepper // set once k*bitsPerItem exceeds 64
+}
+
+func (s *packedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	s.ar = newMineArena()
+	s.dict = buildDict(s.d, s.ar)
+	s.sales = packSales(s.d, s.dict, s.ar)
+
+	// C_1: counts per item require the key column sorted on item code.
+	var skips int64
+	keys := growU64(s.ar.keys, len(s.sales))
+	s.ar.keys = keys
+	for i, r := range s.sales {
+		keys[i] = r.key
+	}
+	ck := s.countKeys(keys, minSup, &skips)
+	c1 := decodePatterns(ck, 1, s.dict)
+
+	// The paper does not filter R_1 by C_1 (Section 6.1); PrefilterSales
+	// is the ablation restricting both join sides to frequent items.
+	s.rk = s.sales
+	s.join = s.sales
+	if s.opts.PrefilterSales {
+		s.ar.joinBuf = packedFilter(s.sales, ck.keys, s.ar.joinBuf[:0])
+		s.rk = s.ar.joinBuf
+		s.join = s.rk
+	}
+	return c1, iterSizes{rPrime: int64(len(s.sales)), rRows: int64(len(s.rk)), sortSkips: skips}, nil
+}
+
+func (s *packedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	if s.fallback == nil && k > s.dict.maxPackedK() {
+		// Pattern no longer fits one key: unpack the live relations,
+		// continue on the generic int64 kernels, and return the arena —
+		// the unpacked relations own their memory.
+		s.fallback = &flatStepper{
+			d: s.d, opts: s.opts, workers: s.workers,
+			rk:       unpackRel(s.rk, k-1, s.dict),
+			joinSide: unpackRel(s.join, 1, s.dict),
+		}
+		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
+		s.ar.release()
+		s.ar = nil
+	}
+	if s.fallback != nil {
+		return s.fallback.step(k, minSup)
+	}
+
+	var skips int64
+	// sort R_{k-1} on (trans_id, items): the previous filter preserved
+	// that order, so the pre-scan almost always skips this sort.
+	if prowsSorted(s.rk) {
+		skips++
+	} else {
+		s.ar.rowsTmp = growProws(s.ar.rowsTmp, len(s.rk))
+		radixSortRows(s.rk, s.ar.rowsTmp)
+	}
+
+	// R'_k := merge-scan(R_{k-1}, R_1).
+	rPrime := s.extend(s.rk, s.join)
+
+	// C_k: sort a copy of the key column, count runs, apply the support
+	// threshold.
+	keys := growU64(s.ar.keys, len(rPrime))
+	s.ar.keys = keys
+	for i, r := range rPrime {
+		keys[i] = r.key
+	}
+	ck := s.countKeys(keys, minSup, &skips)
+	cOut := decodePatterns(ck, k, s.dict)
+
+	// R_k := filter R'_k by C_k. Filtering preserves (trans_id, items)
+	// order, so the paper's post-filter sort is provably unnecessary.
+	s.rk = s.filter(k, rPrime, ck.keys)
+	skips++
+	return cOut, iterSizes{rPrime: int64(len(rPrime)), rRows: int64(len(s.rk)), sortSkips: skips}, nil
+}
+
+// extend runs the packed merge-scan extension, fanned out across
+// transaction-aligned chunks when workers > 1.
+func (s *packedStepper) extend(rk, join []prow) []prow {
+	var out []prow
+	if s.workers > 1 && len(rk) >= parallelMinRows {
+		out = extendParallelPacked(rk, join, s.dict.bits, s.workers, s.ar)
+	} else {
+		out = packedExtend(rk, join, s.dict.bits, s.ar.ext[:0])
+	}
+	s.ar.ext = out
+	return out
+}
+
+// countKeys sorts the key column (unless already ordered) and produces
+// the packed C_k at minSup, reusing the arena's count buffers.
+func (s *packedStepper) countKeys(keys []uint64, minSup int64, skips *int64) pkCounts {
+	dst := pkCounts{keys: s.ar.ck.keys[:0], counts: s.ar.ck.counts[:0]}
+	if s.workers > 1 && len(keys) >= parallelMinRows {
+		dst = countKeysParallel(keys, minSup, s.workers, s.ar, dst, skips)
+	} else {
+		if keysSorted(keys) {
+			*skips++
+		} else {
+			s.ar.keysTmp = growU64(s.ar.keysTmp, len(keys))
+			radixSortU64(keys, s.ar.keysTmp)
+		}
+		dst = packedCountRuns(keys, minSup, dst)
+	}
+	s.ar.ck = dst
+	return dst
+}
+
+// filter applies the support filter, fanned out across row chunks when
+// workers > 1, writing into the arena's R_k buffer. Narrow key spaces
+// test C_k membership through a dense bitmap instead of binary search.
+func (s *packedStepper) filter(k int, rPrime []prow, ckKeys []uint64) []prow {
+	bm := buildKeyBitmap(ckKeys, uint(k)*s.dict.bits, s.ar)
+	var out []prow
+	if s.workers > 1 && len(rPrime) >= parallelMinRows {
+		out = filterParallelPacked(rPrime, ckKeys, bm, s.workers, s.ar)
+	} else if bm != nil && len(ckKeys) > 0 {
+		out = packedFilterBitmap(rPrime, bm, s.ar.rkBuf[:0])
+	} else {
+		out = packedFilter(rPrime, ckKeys, s.ar.rkBuf[:0])
+	}
+	s.ar.rkBuf = out
+	return out
+}
+
+// release returns the stepper's arena to the pool once the pipeline is
+// done with it.
+func (s *packedStepper) release() {
+	if s.ar != nil {
+		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
+		s.ar.release()
+		s.ar = nil
+	}
+}

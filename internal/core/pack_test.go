@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func TestPackDictOrderPreserving(t *testing.T) {
+	items := []int64{-500, -3, 0, 1, 2, 7, 1 << 40}
+	dict := newPackDict(items)
+	for i, it := range items {
+		if got := dict.code(it); got != uint64(i) {
+			t.Errorf("code(%d) = %d, want %d", it, got, i)
+		}
+	}
+	// Code order must equal item order so packed-key comparisons match
+	// lexicographic pattern comparisons.
+	for i := 1; i < len(items); i++ {
+		if !(dict.code(items[i-1]) < dict.code(items[i])) {
+			t.Errorf("codes not ascending at %d", i)
+		}
+	}
+	if dict.bits != 3 { // 7 items -> codes 0..6 -> 3 bits
+		t.Errorf("bits = %d, want 3", dict.bits)
+	}
+	if got := dict.maxPackedK(); got != 21 {
+		t.Errorf("maxPackedK = %d, want 21", got)
+	}
+}
+
+func TestRadixSortU64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 100, 4096} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			switch rng.Intn(3) {
+			case 0:
+				keys[i] = uint64(rng.Intn(50)) // narrow domain: few passes
+			case 1:
+				keys[i] = rng.Uint64() // full width
+			default:
+				keys[i] = rng.Uint64() | 1<<63 // exercise the top byte
+			}
+		}
+		want := append([]uint64(nil), keys...)
+		slices.Sort(want)
+		radixSortU64(keys, make([]uint64, n))
+		if !slices.Equal(keys, want) {
+			t.Fatalf("n=%d: radix sort mismatch", n)
+		}
+	}
+}
+
+func TestRadixSortRowsMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 257, 2000} {
+		rows := make([]prow, n)
+		for i := range rows {
+			rows[i] = prow{tid: uint64(rng.Intn(40)) ^ tidFlip, key: uint64(rng.Intn(64))}
+		}
+		want := append([]prow(nil), rows...)
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].tid != want[j].tid {
+				return want[i].tid < want[j].tid
+			}
+			return want[i].key < want[j].key
+		})
+		radixSortRows(rows, make([]prow, n))
+		if !slices.Equal(rows, want) {
+			t.Fatalf("n=%d: row radix sort mismatch", n)
+		}
+		if !prowsSorted(rows) {
+			t.Fatalf("n=%d: prowsSorted rejects sorted rows", n)
+		}
+	}
+}
+
+// signedDataset builds a deterministic random dataset, with negative
+// item and transaction ids mixed in to exercise the order-preserving
+// encodings.
+func signedDataset(seed int64, txns, maxLen, nItems int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	id := int64(-5) // negative trans_ids exercise the tid sign flip
+	for i := 0; i < txns; i++ {
+		id += int64(rng.Intn(7)) + 1
+		items := make([]Item, rng.Intn(maxLen)+1)
+		for j := range items {
+			items[j] = Item(rng.Intn(nItems) - nItems/3)
+		}
+		d.Transactions = append(d.Transactions, Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+func TestPackSalesMatchesSalesRelation(t *testing.T) {
+	d := signedDataset(21, 60, 9, 30)
+	want := salesRelation(d)
+	ar := newMineArena()
+	defer ar.release()
+	dict := buildDict(d, ar)
+	rows := packSales(d, dict, ar)
+	got := unpackRel(rows, 1, dict)
+	if !slices.Equal(got.data, want.data) {
+		t.Fatalf("packed sales mismatch:\ngot  %v\nwant %v", got.data, want.data)
+	}
+}
+
+// TestPackedMatchesGenericDrivers pins the packed engine to the generic
+// kernels on random data across the three in-memory drivers.
+func TestPackedMatchesGenericDrivers(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		d := signedDataset(seed, 90, 10, 24)
+		for _, ms := range []int64{2, 5, 12} {
+			generic := Options{MinSupportCount: ms, DisablePackedKernels: true}
+			packed := Options{MinSupportCount: ms}
+			want, err := MineMemory(d, generic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, mine := range map[string]func() (*Result, error){
+				"memory":      func() (*Result, error) { return MineMemory(d, packed) },
+				"parallel":    func() (*Result, error) { return MineParallel(d, packed, 3) },
+				"partitioned": func() (*Result, error) { return MinePartitioned(d, packed, 3) },
+			} {
+				got, err := mine()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				fuzzSameCounts(t, name, want, got)
+			}
+		}
+	}
+}
+
+// TestPackedWideDomainFallback forces the mid-run fallback: ~4800
+// distinct items need 13 bits per code, so patterns of length 5+ no
+// longer fit the 64-bit key and the engine must hand off to the generic
+// kernels without changing any result.
+func TestPackedWideDomainFallback(t *testing.T) {
+	common := []Item{1, 2, 3, 4, 5, 6}
+	d := &Dataset{}
+	filler := int64(1000)
+	for i := 0; i < 30; i++ {
+		items := append([]Item(nil), common...)
+		for j := 0; j < 160; j++ {
+			items = append(items, filler)
+			filler++
+		}
+		d.Transactions = append(d.Transactions, Transaction{ID: int64(i + 1), Items: items})
+	}
+	ar := newMineArena()
+	dict := buildDict(d, ar)
+	maxK := dict.maxPackedK()
+	ar.release()
+	if maxK >= len(common) {
+		t.Fatalf("setup: maxPackedK = %d does not force a fallback before k=%d", maxK, len(common))
+	}
+
+	opts := Options{MinSupportCount: 25}
+	want, err := MineMemory(d, Options{MinSupportCount: 25, DisablePackedKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MaxLen() != len(common) {
+		t.Fatalf("setup: MaxLen = %d, want %d (must cross the packed boundary)", want.MaxLen(), len(common))
+	}
+	got, err := MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzSameCounts(t, "memory-fallback", want, got)
+	gotPart, err := MinePartitioned(d, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzSameCounts(t, "partitioned-fallback", want, gotPart)
+	gotPar, err := MineParallel(d, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzSameCounts(t, "parallel-fallback", want, gotPar)
+}
+
+// TestSortsSkippedCounted asserts the sortedness fast path actually
+// fires: extension and filtering preserve (trans_id, items) order, so
+// every iteration past the first should skip at least the re-sort of
+// R_{k-1} and the post-filter sort, on both substrates.
+func TestSortsSkippedCounted(t *testing.T) {
+	d := signedDataset(4, 120, 8, 14)
+	for _, opts := range []Options{
+		{MinSupportCount: 4},
+		{MinSupportCount: 4, DisablePackedKernels: true},
+	} {
+		res, err := MineMemory(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxLen() < 2 {
+			t.Fatalf("setup: need at least two iterations, got %d", res.MaxLen())
+		}
+		for _, st := range res.Stats[1:] {
+			if st.RRows > 0 && st.SortsSkipped < 2 {
+				t.Errorf("packed=%v k=%d: SortsSkipped = %d, want >= 2",
+					!opts.DisablePackedKernels, st.K, st.SortsSkipped)
+			}
+		}
+	}
+}
+
+// TestPackedSteadyStateAllocs pins the arena reuse: once the pool is
+// warm, a whole mining run should stay well under 100 allocations.
+func TestPackedSteadyStateAllocs(t *testing.T) {
+	d := signedDataset(11, 3000, 10, 50)
+	opts := Options{MinSupportCount: 40}
+	if _, err := MineMemory(d, opts); err != nil { // warm the arena pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := MineMemory(d, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("steady-state MineMemory allocs = %.0f, want <= 100", allocs)
+	}
+}
+
+func TestBuildKeyBitmap(t *testing.T) {
+	ar := newMineArena()
+	defer ar.release()
+	if bm := buildKeyBitmap([]uint64{1}, maxFilterBitmapBits+1, ar); bm != nil {
+		t.Fatal("bitmap built for an over-wide key space")
+	}
+	keys := []uint64{0, 3, 64, 4095}
+	bm := buildKeyBitmap(keys, 12, ar)
+	if bm == nil {
+		t.Fatal("no bitmap for a 12-bit key space")
+	}
+	for k := uint64(0); k < 4096; k++ {
+		want := slices.Contains(keys, k)
+		got := bm[k>>6]&(1<<(k&63)) != 0
+		if got != want {
+			t.Fatalf("bitmap[%d] = %v, want %v", k, got, want)
+		}
+	}
+}

@@ -16,14 +16,15 @@ import (
 //     per-chunk run counts;
 //   - the support filter is again independent per row.
 //
-// It is the same pipeline and the same flat relations as MineMemory with
+// It is the same pipeline and the same packed-key (or, under
+// DisablePackedKernels, flat-relation) substrate as MineMemory with
 // workers > 1, so results are bit-identical (tests enforce it).
 // workers <= 0 selects GOMAXPROCS.
 func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runPipeline(d, opts, &flatStepper{d: d, opts: opts, workers: workers})
+	return runPipeline(d, opts, newMemoryStepper(d, opts, workers))
 }
 
 // parallelMinRows is the relation size below which the parallel kernels
@@ -94,31 +95,40 @@ func extendParallel(rk, sales relation, workers int) relation {
 // concurrently, counting runs per chunk into flat count lists, and
 // merging the sorted lists with the support threshold applied at the end.
 // The merge makes the result identical to a single global sort-and-count.
-func countParallel(rPrime relation, minSup int64, workers int) []ItemsetCount {
+// The second return is the number of chunk sorts the pre-scan skipped.
+func countParallel(rPrime relation, minSup int64, workers int) ([]ItemsetCount, int64) {
 	bounds := evenChunks(rPrime.rows(), workers)
 	if len(bounds) <= 1 {
 		return countPatterns(rPrime, minSup, 1)
 	}
 	parts := make([][]int64, len(bounds))
+	chunkSkips := make([]int64, len(bounds))
 	var wg sync.WaitGroup
 	for i, b := range bounds {
 		wg.Add(1)
 		go func(i int, b [2]int) {
 			defer wg.Done()
 			chunk := rPrime.slice(b[0], b[1]).clone()
-			sortRelation(chunk, 1)
+			if sortRelation(chunk, 1) {
+				chunkSkips[i] = 1
+			}
 			parts[i] = flatCountRuns(chunk, nil)
 		}(i, b)
 	}
 	wg.Wait()
-	return mergeFlatCounts(parts, rPrime.stride-1, minSup)
+	var skips int64
+	for _, s := range chunkSkips {
+		skips += s
+	}
+	return mergeFlatCounts(parts, rPrime.stride-1, minSup), skips
 }
 
 // filterParallel applies the support filter over row chunks concurrently,
-// preserving row order, then restores the (trans_id, items) sort.
-func filterParallel(rPrime relation, ck []ItemsetCount, workers int) relation {
+// preserving row order, then restores the (trans_id, items) sort. The
+// second return is the number of sorts the pre-scan skipped.
+func filterParallel(rPrime relation, ck []ItemsetCount, workers int) (relation, int64) {
 	if len(ck) == 0 || rPrime.rows() == 0 {
-		return relation{stride: rPrime.stride}
+		return relation{stride: rPrime.stride}, 0
 	}
 	bounds := evenChunks(rPrime.rows(), workers)
 	parts := make([]relation, len(bounds))
@@ -140,8 +150,11 @@ func filterParallel(rPrime relation, ck []ItemsetCount, workers int) relation {
 	}
 	wg.Wait()
 	out := concatRelations(rPrime.stride, parts)
-	sortRelation(out, 0)
-	return out
+	var skips int64
+	if sortRelation(out, 0) {
+		skips++
+	}
+	return out, skips
 }
 
 // evenChunks splits n rows into at most w row ranges of near-equal size.

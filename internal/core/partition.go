@@ -14,9 +14,11 @@ import (
 // ("count distribution"): shards produce unfiltered local candidate
 // counts, a global second pass sums them and applies the support
 // threshold, and each shard then filters its local R'_k by the global
-// C_k. Because transactions are disjoint across shards, the merged counts
-// equal the serial driver's exactly and the results are bit-identical to
-// MineMemory (the conformance suite enforces it).
+// C_k. On the default packed-key substrate the exchanged counts are
+// packed flat (key, count) lists — one word per pattern — merged by
+// integer comparison. Because transactions are disjoint across shards,
+// the merged counts equal the serial driver's exactly and the results
+// are bit-identical to MineMemory (the conformance suite enforces it).
 //
 // shards <= 0 selects GOMAXPROCS.
 func MinePartitioned(d *Dataset, opts Options, shards int) (*Result, error) {
@@ -32,14 +34,34 @@ type partitionStepper struct {
 	opts    Options
 	nshards int
 	shards  []*partitionShard
+
+	// Packed-key state: a single global dictionary shared by every shard
+	// (codes must agree for the count merge), the arena backing it, and
+	// the merged C_k buffer with its filter bitmap.
+	dict   *packDict
+	dictAr *mineArena
+	packed bool
+	ck     pkCounts
 }
 
-// partitionShard holds one shard's local relations.
+// partitionShard holds one shard's local relations — packed by default,
+// generic flat relations under DisablePackedKernels or after the
+// wide-pattern fallback.
 type partitionShard struct {
+	// Generic substrate.
 	sales  relation // local R_1, sorted by (trans_id, item)
 	rk     relation // local R_{k-1}
 	join   relation // local R_1 side of the merge-scan join
 	rPrime relation // local R'_k of the current iteration
+
+	// Packed substrate.
+	psales []prow // local packed R_1
+	prk    []prow // local packed R_{k-1}
+	pjoin  []prow // local packed join side
+	pext  []prow     // local packed R'_k of the current iteration
+	ar    *mineArena // scratch buffers; ar.ck holds the local unfiltered
+	//                  candidate counts exchanged with the global merge
+	skips int64 // local sort-skip tally of the current iteration
 }
 
 // shardOf maps a transaction ID to its shard with a splitmix64-style
@@ -79,55 +101,233 @@ func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error)
 	for i := range s.shards {
 		s.shards[i] = &partitionShard{}
 	}
-
-	// Local pass: build each shard's R_1 and its unfiltered item counts.
-	counts := make([][]int64, s.nshards)
-	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		wg.Add(1)
-		go func(i int, sh *partitionShard) {
-			defer wg.Done()
-			sh.sales = salesRelation(&Dataset{Transactions: groups[i]})
-			byItem := sh.sales.clone()
-			sortRelation(byItem, 1)
-			counts[i] = flatCountRuns(byItem, nil)
-		}(i, sh)
+	s.packed = !s.opts.DisablePackedKernels
+	if s.packed {
+		s.dictAr = newMineArena()
+		s.dict = buildDict(s.d, s.dictAr)
 	}
-	wg.Wait()
 
-	// Global pass: merge shard counts and apply the support threshold.
-	c1 := mergeFlatCounts(counts, 1, minSup)
+	var c1 []ItemsetCount
+	var skips int64
+	if s.packed {
+		// Local pass: build each shard's packed R_1 and its unfiltered
+		// item counts from the shared dictionary.
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *partitionShard) {
+				defer wg.Done()
+				sh.ar = newMineArena()
+				sh.psales = packSales(&Dataset{Transactions: groups[i]}, s.dict, sh.ar)
+				sh.countLocal(len(sh.psales), func(keys []uint64) {
+					for r, row := range sh.psales {
+						keys[r] = row.key
+					}
+				})
+			}(i, sh)
+		}
+		wg.Wait()
+
+		// Global pass: merge the packed shard counts at the threshold.
+		ck := s.mergeShardCounts(minSup)
+		c1 = decodePatterns(ck, 1, s.dict)
+
+		s.forEachShard(func(sh *partitionShard) {
+			sh.prk = sh.psales
+			sh.pjoin = sh.psales
+			if s.opts.PrefilterSales {
+				sh.prk = packedFilter(sh.psales, ck.keys, nil)
+				sh.pjoin = sh.prk
+			}
+		})
+		for _, sh := range s.shards {
+			skips += sh.skips
+		}
+	} else {
+		// Local pass: build each shard's R_1 and its unfiltered counts on
+		// the generic substrate.
+		counts := make([][]int64, s.nshards)
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *partitionShard) {
+				defer wg.Done()
+				sh.sales = salesRelation(&Dataset{Transactions: groups[i]})
+				byItem := sh.sales.clone()
+				if sortRelation(byItem, 1) {
+					sh.skips++
+				}
+				counts[i] = flatCountRuns(byItem, nil)
+			}(i, sh)
+		}
+		wg.Wait()
+
+		c1 = mergeFlatCounts(counts, 1, minSup)
+
+		s.forEachShard(func(sh *partitionShard) {
+			sh.rk = sh.sales
+			sh.join = sh.sales
+			if s.opts.PrefilterSales {
+				var fs int64
+				sh.rk, fs = filterRelation(sh.sales, c1)
+				sh.skips += fs
+				sh.join = sh.rk
+			}
+		})
+		for _, sh := range s.shards {
+			skips += sh.skips
+		}
+	}
 
 	var salesRows, rkRows int64
-	s.forEachShard(func(sh *partitionShard) {
-		sh.rk = sh.sales
-		sh.join = sh.sales
-		if s.opts.PrefilterSales {
-			sh.rk = filterRelation(sh.sales, c1)
-			sh.join = sh.rk
-		}
-	})
 	for _, sh := range s.shards {
-		salesRows += int64(sh.sales.rows())
-		rkRows += int64(sh.rk.rows())
+		if s.packed {
+			salesRows += int64(len(sh.psales))
+			rkRows += int64(len(sh.prk))
+		} else {
+			salesRows += int64(sh.sales.rows())
+			rkRows += int64(sh.rk.rows())
+		}
 	}
-	return c1, iterSizes{rPrime: salesRows, rRows: rkRows}, nil
+	return c1, iterSizes{rPrime: salesRows, rRows: rkRows, sortSkips: skips}, nil
 }
 
 func (s *partitionStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
-	// Local pass: each shard sorts, extends, and counts its candidates
-	// without any support filter — a locally rare pattern may be globally
-	// frequent, so thresholds can only be applied after the merge.
+	if s.packed && k > s.dict.maxPackedK() {
+		// Patterns no longer fit one key: every shard unpacks its live
+		// relations, returns its arena, and the loop continues on the
+		// generic kernels.
+		s.forEachShard(func(sh *partitionShard) {
+			sh.rk = unpackRel(sh.prk, k-1, s.dict)
+			sh.join = unpackRel(sh.pjoin, 1, s.dict)
+			sh.psales, sh.prk, sh.pjoin, sh.pext = nil, nil, nil, nil
+			sh.ar.release()
+			sh.ar = nil
+		})
+		s.dict = nil
+		s.dictAr.release()
+		s.dictAr = nil
+		s.packed = false
+	}
+	if s.packed {
+		return s.stepPacked(k, minSup)
+	}
+	return s.stepGeneric(k, minSup)
+}
+
+// stepPacked runs one sharded iteration on the packed-key substrate:
+// shards extend and count locally, exchange packed flat counts, and
+// filter by the merged C_k.
+func (s *partitionStepper) stepPacked(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	// Local pass: sort (usually skipped — filtering preserved order),
+	// extend, and count candidates without any support filter — a locally
+	// rare pattern may be globally frequent.
+	s.forEachShard(func(sh *partitionShard) {
+		sh.skips = 0
+		if prowsSorted(sh.prk) {
+			sh.skips++
+		} else {
+			sh.ar.rowsTmp = growProws(sh.ar.rowsTmp, len(sh.prk))
+			radixSortRows(sh.prk, sh.ar.rowsTmp)
+		}
+		sh.pext = packedExtend(sh.prk, sh.pjoin, s.dict.bits, sh.ar.ext[:0])
+		sh.ar.ext = sh.pext
+		sh.countLocal(len(sh.pext), func(keys []uint64) {
+			for r, row := range sh.pext {
+				keys[r] = row.key
+			}
+		})
+	})
+
+	// Global pass: merge the packed shard counts into C_k.
+	ck := s.mergeShardCounts(minSup)
+	cOut := decodePatterns(ck, k, s.dict)
+
+	// Local pass: filter each shard's R'_k by the global C_k — shards
+	// share one read-only membership bitmap when the key space is narrow.
+	// Survivors keep (trans_id, items) order, so the re-sort is skipped.
+	bm := buildKeyBitmap(ck.keys, uint(k)*s.dict.bits, s.dictAr)
+	s.forEachShard(func(sh *partitionShard) {
+		if bm != nil && len(ck.keys) > 0 {
+			sh.prk = packedFilterBitmap(sh.pext, bm, sh.ar.rkBuf[:0])
+		} else {
+			sh.prk = packedFilter(sh.pext, ck.keys, sh.ar.rkBuf[:0])
+		}
+		sh.ar.rkBuf = sh.prk
+		sh.skips++
+	})
+
+	var rPrimeRows, rkRows, skips int64
+	for _, sh := range s.shards {
+		rPrimeRows += int64(len(sh.pext))
+		rkRows += int64(len(sh.prk))
+		skips += sh.skips
+	}
+	return cOut, iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}, nil
+}
+
+// countLocal sorts a shard's key column (reusing its arena) and counts
+// runs without a threshold into the shard's exchange buffer (ar.ck).
+// fill copies the key column into the arena-backed slice.
+func (sh *partitionShard) countLocal(n int, fill func(keys []uint64)) {
+	keys := growU64(sh.ar.keys, n)
+	sh.ar.keys = keys
+	fill(keys)
+	if keysSorted(keys) {
+		sh.skips++
+	} else {
+		sh.ar.keysTmp = growU64(sh.ar.keysTmp, n)
+		radixSortU64(keys, sh.ar.keysTmp)
+	}
+	sh.ar.ck = packedCountRuns(keys, 1, pkCounts{keys: sh.ar.ck.keys[:0], counts: sh.ar.ck.counts[:0]})
+}
+
+// mergeShardCounts merges every shard's packed count list into the
+// stepper's reused C_k buffer at the given threshold.
+func (s *partitionStepper) mergeShardCounts(minSup int64) pkCounts {
+	parts := make([]pkCounts, len(s.shards))
+	for i, sh := range s.shards {
+		parts[i] = sh.ar.ck
+	}
+	s.ck = mergePackedCounts(parts, minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
+	return s.ck
+}
+
+// release returns every live arena to the pool once the pipeline is
+// done stepping.
+func (s *partitionStepper) release() {
+	for _, sh := range s.shards {
+		if sh.ar != nil {
+			sh.psales, sh.prk, sh.pjoin, sh.pext = nil, nil, nil, nil
+			sh.ar.release()
+			sh.ar = nil
+		}
+	}
+	if s.dictAr != nil {
+		s.dict = nil
+		s.dictAr.release()
+		s.dictAr = nil
+	}
+}
+
+// stepGeneric runs one sharded iteration on the generic flat-relation
+// substrate, exchanging flat int64 count lists.
+func (s *partitionStepper) stepGeneric(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
 	counts := make([][]int64, s.nshards)
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		wg.Add(1)
 		go func(i int, sh *partitionShard) {
 			defer wg.Done()
-			sortRelation(sh.rk, 0)
+			sh.skips = 0
+			if sortRelation(sh.rk, 0) {
+				sh.skips++
+			}
 			sh.rPrime = extendRelation(sh.rk, sh.join)
 			byItems := sh.rPrime.clone()
-			sortRelation(byItems, 1)
+			if sortRelation(byItems, 1) {
+				sh.skips++
+			}
 			counts[i] = flatCountRuns(byItems, nil)
 		}(i, sh)
 	}
@@ -143,13 +343,16 @@ func (s *partitionStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes,
 
 	// Local pass: filter each shard's R'_k by the global C_k.
 	s.forEachShard(func(sh *partitionShard) {
-		sh.rk = filterRelation(sh.rPrime, ck)
+		var fs int64
+		sh.rk, fs = filterRelation(sh.rPrime, ck)
+		sh.skips += fs
 		sh.rPrime = relation{}
 	})
 
-	var rkRows int64
+	var rkRows, skips int64
 	for _, sh := range s.shards {
 		rkRows += int64(sh.rk.rows())
+		skips += sh.skips
 	}
-	return ck, iterSizes{rPrime: rPrimeRows, rRows: rkRows}, nil
+	return ck, iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}, nil
 }

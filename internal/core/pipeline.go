@@ -33,10 +33,12 @@ type stepper interface {
 	step(k int, minSup int64) (ck []ItemsetCount, sz iterSizes, err error)
 }
 
-// iterSizes reports the relation cardinalities of one iteration.
+// iterSizes reports the relation cardinalities of one iteration, plus
+// the number of paper-mandated sorts the sortedness fast path skipped.
 type iterSizes struct {
-	rPrime int64 // |R'_k|: candidate rows before the support filter
-	rRows  int64 // |R_k|: rows surviving the support filter
+	rPrime    int64 // |R'_k|: candidate rows before the support filter
+	rRows     int64 // |R_k|: rows surviving the support filter
+	sortSkips int64 // sorts skipped because the input was already ordered
 }
 
 // runPipeline drives the shared SETM loop over a stepper.
@@ -55,12 +57,13 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 	}
 	res.Counts = append(res.Counts, c1)
 	res.Stats = append(res.Stats, IterationStat{
-		K:           1,
-		RPrimeRows:  sz.rPrime,
-		RRows:       sz.rRows,
-		RPaperBytes: sz.rRows * paperTupleBytes(1),
-		CCount:      len(c1),
-		Duration:    time.Since(iterStart),
+		K:            1,
+		RPrimeRows:   sz.rPrime,
+		RRows:        sz.rRows,
+		RPaperBytes:  sz.rRows * paperTupleBytes(1),
+		CCount:       len(c1),
+		SortsSkipped: sz.sortSkips,
+		Duration:     time.Since(iterStart),
 	})
 
 	k := 1
@@ -77,12 +80,13 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 		}
 		res.Counts = append(res.Counts, ck)
 		res.Stats = append(res.Stats, IterationStat{
-			K:           k,
-			RPrimeRows:  sz.rPrime,
-			RRows:       sz.rRows,
-			RPaperBytes: sz.rRows * paperTupleBytes(k),
-			CCount:      len(ck),
-			Duration:    time.Since(iterStart),
+			K:            k,
+			RPrimeRows:   sz.rPrime,
+			RRows:        sz.rRows,
+			RPaperBytes:  sz.rRows * paperTupleBytes(k),
+			CCount:       len(ck),
+			SortsSkipped: sz.sortSkips,
+			Duration:     time.Since(iterStart),
 		})
 		if len(ck) == 0 {
 			break
@@ -90,9 +94,16 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 	}
 
 	trimEmptyTail(res)
+	if r, ok := s.(releaser); ok {
+		r.release()
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
+
+// releaser is implemented by steppers that recycle scratch memory (the
+// packed engine's arenas) once the pipeline is done stepping.
+type releaser interface{ release() }
 
 // trimEmptyTail drops a trailing empty C_k so that len(res.Counts) is the
 // largest k with frequent patterns (keeping at least C_1).

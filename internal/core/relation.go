@@ -106,18 +106,44 @@ func (s *relSorter) Swap(i, j int) {
 // sortRelation orders rel's rows lexicographically on columns
 // [fromCol, stride): fromCol 0 is the paper's (trans_id, item_1..item_k)
 // order, fromCol 1 the (item_1..item_k) order used before counting.
-// Trans_ids and items span small ranges in practice, so the usual path is
-// a stable LSD counting sort — one linear pass per key column over the
-// contiguous backing array; degenerate value ranges fall back to
-// comparison sort.
-func sortRelation(rel relation, fromCol int) {
+// A linear pre-scan skips the sort outright when rows are already
+// ordered (the common case: extension and filtering both preserve
+// order), reported as true so steppers can tally the skip in
+// IterationStat. Trans_ids and items span small ranges in practice, so
+// the sorting path is a stable LSD counting sort — one linear pass per
+// key column over the contiguous backing array; degenerate value ranges
+// fall back to comparison sort.
+func sortRelation(rel relation, fromCol int) bool {
 	if rel.rows() < 2 {
-		return
+		return false
+	}
+	if relationSorted(rel, fromCol) {
+		return true
 	}
 	if countingSortRelation(rel, fromCol) {
-		return
+		return false
 	}
 	sort.Sort(&relSorter{rel: rel, from: fromCol, tmp: make([]int64, rel.stride)})
+	return false
+}
+
+// relationSorted reports whether rel's rows are already ordered on
+// columns [fromCol, stride) — the sortedness pre-scan.
+func relationSorted(rel relation, fromCol int) bool {
+	n, st := rel.rows(), rel.stride
+	for i := 1; i < n; i++ {
+		a := rel.data[(i-1)*st : i*st]
+		b := rel.data[i*st : (i+1)*st]
+		for c := fromCol; c < st; c++ {
+			if a[c] < b[c] {
+				break
+			}
+			if a[c] > b[c] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // maxCountingRange bounds the per-column value range (and so the bucket
@@ -319,11 +345,13 @@ func patternSupported(ck []ItemsetCount, items []int64) bool {
 }
 
 // filterRelation keeps the rows of R'_k whose pattern appears in C_k,
-// sorted by (trans_id, items) for the next iteration's merge-scan.
-func filterRelation(rPrime relation, ck []ItemsetCount) relation {
+// sorted by (trans_id, items) for the next iteration's merge-scan. The
+// second return is the number of sorts the pre-scan skipped (filtering
+// preserves row order, so the re-sort is usually unnecessary).
+func filterRelation(rPrime relation, ck []ItemsetCount) (relation, int64) {
 	out := relation{stride: rPrime.stride}
 	if len(ck) == 0 || rPrime.rows() == 0 {
-		return out
+		return out, 0
 	}
 	n := rPrime.rows()
 	for i := 0; i < n; i++ {
@@ -331,6 +359,9 @@ func filterRelation(rPrime relation, ck []ItemsetCount) relation {
 			out.data = append(out.data, rPrime.row(i)...)
 		}
 	}
-	sortRelation(out, 0)
-	return out
+	var skips int64
+	if sortRelation(out, 0) {
+		skips++
+	}
+	return out, skips
 }

@@ -82,6 +82,12 @@ type Options struct {
 	// with the unfiltered R_1; this flag is the ablation discussed in
 	// DESIGN.md.
 	PrefilterSales bool
+	// DisablePackedKernels makes the memory, parallel, and partitioned
+	// drivers run on the generic int64 relation kernels instead of the
+	// packed-key engine (see pack.go). Results are bit-identical; the
+	// generic path exists as the wide-pattern fallback, the conformance
+	// oracle, and a benchmark ablation.
+	DisablePackedKernels bool
 }
 
 // ResolveMinSupport computes the absolute support threshold for n
@@ -118,6 +124,11 @@ type IterationStat struct {
 	RPaperBytes int64
 	// CCount is |C_k|, the Figure 6 quantity.
 	CCount int
+	// SortsSkipped counts the paper-mandated sorts of this iteration that
+	// the engine proved unnecessary — the input was already ordered (or
+	// provably order-preserving), so the sortedness fast path skipped the
+	// sort while keeping the paper-faithful call sites.
+	SortsSkipped int64
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
 }
