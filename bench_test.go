@@ -273,6 +273,22 @@ func BenchmarkMineDatasets(b *testing.B) {
 				}
 			}
 		})
+		b.Run("sql/"+ds.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineSQL(ds.d, ds.opts, core.SQLConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("paged/"+ds.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinePaged(ds.d, ds.opts, core.PagedConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

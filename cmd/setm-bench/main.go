@@ -198,6 +198,16 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, stdout io.Writer)
 		{"partitioned/packed", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
 			return core.MinePartitioned(d, o, 0)
 		}},
+		{"sql/vectorized", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineSQL(d, o, core.SQLConfig{})
+		}},
+		{"paged/vectorized", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			res, err := core.MinePaged(d, o, core.PagedConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Result, nil
+		}},
 	}
 	params := fmt.Sprintf("txns=%d minsup=0.1%%", d.NumTransactions())
 	recs := make([]benchRecord, 0, len(variants))

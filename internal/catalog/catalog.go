@@ -18,6 +18,13 @@ import (
 type Table struct {
 	Name string
 	File *hp.File
+	// OrderedBy lists column indexes the stored rows are known to be
+	// sorted by (ascending, lexicographically); nil when unknown. The
+	// engine sets it when a table is filled by INSERT ... SELECT with a
+	// known output ordering or bulk-loaded from sorted data, and the
+	// cost-based planner uses it to skip provably redundant sorts — the
+	// SQL-level counterpart of the packed engine's sortedness fast path.
+	OrderedBy []int
 }
 
 // Catalog maps names to tables.
@@ -61,20 +68,24 @@ func (c *Catalog) Has(name string) bool {
 	return ok
 }
 
-// Drop removes the table from the catalog. Pages are not reclaimed (the
-// storage layer is append-only); the engine's working sets are bounded by
-// recreating pools per mining run.
+// Drop removes the table from the catalog and returns its pages to the
+// buffer pool's free list, so dropped intermediates (SETM's R'_k and
+// R_{k-1}) do not grow the store: engine memory stays bounded across
+// mining iterations.
 func (c *Catalog) Drop(name string) error {
 	key := strings.ToLower(name)
-	if _, ok := c.tables[key]; !ok {
+	t, ok := c.tables[key]
+	if !ok {
 		return fmt.Errorf("catalog: no such table %q", name)
 	}
 	delete(c.tables, key)
+	t.File.Free()
 	return nil
 }
 
 // Truncate replaces the table's heap file with a fresh empty one, keeping
-// the schema. This implements DELETE FROM t (no WHERE).
+// the schema and freeing the old pages. This implements DELETE FROM t (no
+// WHERE).
 func (c *Catalog) Truncate(name string) error {
 	t, err := c.Get(name)
 	if err != nil {
@@ -84,7 +95,9 @@ func (c *Catalog) Truncate(name string) error {
 	if err != nil {
 		return err
 	}
+	t.File.Free()
 	t.File = f
+	t.OrderedBy = nil
 	return nil
 }
 
@@ -94,7 +107,9 @@ func (c *Catalog) Truncate(name string) error {
 func (c *Catalog) Replace(name string, f *hp.File) {
 	key := strings.ToLower(name)
 	if t, ok := c.tables[key]; ok {
+		t.File.Free() // reclaim the superseded file, as Drop/Truncate do
 		t.File = f
+		t.OrderedBy = nil
 		return
 	}
 	c.tables[key] = &Table{Name: name, File: f}

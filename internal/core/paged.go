@@ -148,9 +148,12 @@ func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, err
 		if err != nil {
 			return nil, iterSizes{}, err
 		}
-		join = exec.NewMergeJoin(
+		mj := exec.NewMergeJoin(
 			exec.NewHeapScan(sorted), exec.NewHeapScan(s.joinSide),
-			[]int{0}, []int{0}, residual)
+			[]int{0}, []int{0}, nil)
+		// The lexicographic extension condition runs on column vectors.
+		mj.SetVecResidualGT(lastItem, 1)
+		join = mj
 	}
 	// Left tuple has k columns (tid, k-1 items); right adds (tid, item).
 	projIdx := make([]int, 0, k+1)

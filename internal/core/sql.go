@@ -39,6 +39,10 @@ type SQLConfig struct {
 //	FROM R'_k p, C_k q
 //	WHERE p.item1 = q.item1 AND ... AND p.itemk = q.itemk
 //	ORDER BY p.trans_id, p.item1, ..., p.itemk
+//
+// After each iteration the consumed intermediates are discarded with DROP
+// TABLE — the paper notes R'_k and R_{k-1} are no longer needed once R_k
+// exists — so the engine's page store stays bounded across iterations.
 func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
 	var dbOpts []engine.Option
 	if cfg.PoolFrames > 0 {
@@ -47,18 +51,24 @@ func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
 	s := &sqlStepper{d: d, opts: opts, cfg: cfg, db: engine.New(dbOpts...)}
 	// Bulk-load SALES before the pipeline starts timing iteration 1, so
 	// Stats[0].Duration covers the C_1 SQL alone — matching what the other
-	// drivers charge to their first iteration.
+	// drivers charge to their first iteration. The load moves columns end
+	// to end: SalesRows() is already sorted by (trans_id, item), and the
+	// declared ordering lets the planner skip the paper-mandated sorts the
+	// storage layout already satisfies.
 	if err := validate(d, opts); err != nil {
 		return nil, err
 	}
-	rows := make([]tuple.Tuple, 0, len(d.Transactions)*4)
+	salesSchema := tuple.IntSchema("trans_id", "item")
+	batch := tuple.NewBatch(salesSchema)
 	for _, r := range d.SalesRows() {
-		rows = append(rows, tuple.Ints(r[0], r[1]))
+		batch.Cols[0].I = append(batch.Cols[0].I, r[0])
+		batch.Cols[1].I = append(batch.Cols[1].I, r[1])
+		batch.BumpRow()
 	}
-	if err := s.db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
+	if err := s.db.LoadTableBatch("sales", salesSchema, batch, []int{0, 1}); err != nil {
 		return nil, err
 	}
-	s.salesRows = int64(len(rows))
+	s.salesRows = int64(batch.Len())
 	return runPipeline(d, opts, s)
 }
 
@@ -117,6 +127,11 @@ func (s *sqlStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	}
 	r1Rows, err := tableRows(s.db, s.prevR)
 	if err != nil {
+		return nil, iterSizes{}, err
+	}
+	// C_1 is fully consumed (read out above, and joined into R_1 when
+	// prefiltering); drop it like every later C_k.
+	if _, err := s.run("DROP TABLE c1", minSup); err != nil {
 		return nil, iterSizes{}, err
 	}
 	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows}, nil
@@ -218,28 +233,56 @@ func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error
 		return nil, iterSizes{}, err
 	}
 
+	// R'_k, C_k, and R_{k-1} are fully consumed once R_k is materialized
+	// (the counts were read into memory by readCounts); drop them so the
+	// store's page footprint stays bounded — DROP returns the pages to
+	// the pool's free list. SALES survives: every iteration's merge-scan
+	// extension joins against it.
+	for _, table := range []string{rp, ck} {
+		if _, err := s.run("DROP TABLE "+table, minSup); err != nil {
+			return nil, iterSizes{}, err
+		}
+	}
+	if s.prevR != "sales" {
+		if _, err := s.run("DROP TABLE "+s.prevR, minSup); err != nil {
+			return nil, iterSizes{}, err
+		}
+	}
+
 	s.prevR = rk
 	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected}, nil
 }
 
-// readCounts loads C_k from the engine into the canonical sorted form.
+// readCounts loads C_k from the engine into the canonical sorted form,
+// pulling column batches instead of materializing tuples. (C_k is stored
+// in group order, so the planner proves the ORDER BY redundant.)
 func readCounts(db *engine.DB, k int, minSup int64) ([]ItemsetCount, error) {
 	cols := make([]string, k)
 	for i := range cols {
 		cols[i] = fmt.Sprintf("item%d", i+1)
 	}
 	list := strings.Join(cols, ", ")
-	res, err := db.Exec(fmt.Sprintf("SELECT %s, cnt FROM c%d ORDER BY %s", list, k, list), nil)
+	_, batches, err := db.QueryBatches(
+		fmt.Sprintf("SELECT %s, cnt FROM c%d ORDER BY %s", list, k, list), nil)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ItemsetCount, 0, len(res.Rows))
-	for _, r := range res.Rows {
-		items := make([]Item, k)
-		for i := 0; i < k; i++ {
-			items[i] = r[i].Int
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+	}
+	out := make([]ItemsetCount, 0, total)
+	// One backing array for all patterns of this C_k, sliced per row.
+	flat := make([]Item, 0, total*k)
+	for _, b := range batches {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			start := len(flat)
+			for c := 0; c < k; c++ {
+				flat = append(flat, b.Cols[c].I[i])
+			}
+			out = append(out, ItemsetCount{Items: flat[start : start+k : start+k], Count: b.Cols[k].I[i]})
 		}
-		out = append(out, ItemsetCount{Items: items, Count: r[k].Int})
 	}
 	return out, nil
 }

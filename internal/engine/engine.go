@@ -159,15 +159,17 @@ func (db *DB) ExecStmt(st sqlparse.Stmt, params map[string]int64) (*Result, erro
 		return &Result{Schema: op.Schema(), Rows: rows}, nil
 
 	case *sqlparse.Explain:
-		op, err := db.compiler(p).CompileSelect(s.Select)
+		plan, err := db.compiler(p).CompilePlan(s.Select)
 		if err != nil {
 			return nil, err
 		}
 		schema := tuple.NewSchema(tuple.Column{Name: "plan", Kind: tuple.KindString})
 		var rows []tuple.Tuple
-		for _, line := range strings.Split(strings.TrimRight(exec.Explain(op), "\n"), "\n") {
+		for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
 			rows = append(rows, tuple.Tuple{tuple.S(line)})
 		}
+		rows = append(rows, tuple.Tuple{tuple.S(fmt.Sprintf(
+			"estimated: %d rows, cost≈%.2fms (model)", plan.Est.Rows, plan.Est.CostMs))})
 		return &Result{Schema: schema, Rows: rows}, nil
 
 	default:
@@ -201,36 +203,52 @@ func (db *DB) execInsert(s *sqlparse.Insert, p plan.Params) (*Result, error) {
 	}
 
 	if s.Select != nil {
-		op, err := db.compiler(p).CompileSelect(s.Select)
+		pl, err := db.compiler(p).CompilePlan(s.Select)
 		if err != nil {
 			return nil, err
 		}
+		op := pl.Root
 		if op.Schema().Len() != schema.Len() {
 			return nil, fmt.Errorf("engine: INSERT SELECT arity %d does not match table %q arity %d",
 				op.Schema().Len(), s.Table, schema.Len())
 		}
-		if err := op.Open(); err != nil {
+		wasEmpty := tbl.File.Rows() == 0
+		bop, ok := op.(exec.BatchOperator)
+		if !ok {
+			return nil, fmt.Errorf("engine: compiled operator %T is not batchable", op)
+		}
+		if err := bop.Open(); err != nil {
 			return nil, err
 		}
-		defer op.Close()
+		defer bop.Close()
 		var n int64
 		for {
-			t, err := op.Next()
+			b, err := bop.NextBatch()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
 				return nil, err
 			}
-			if err := tbl.File.Append(t); err != nil {
+			if err := tbl.File.AppendBatch(b); err != nil {
 				return nil, err
 			}
-			n++
+			n += int64(b.Len())
+		}
+		// Record (or invalidate) the table's known ordering: a fresh fill
+		// from a stream with a known output ordering makes the table
+		// provably sorted, which later plans exploit to skip sorts; any
+		// append to existing rows destroys the guarantee.
+		if wasEmpty && len(pl.Ordering) > 0 {
+			tbl.OrderedBy = pl.Ordering
+		} else {
+			tbl.OrderedBy = nil
 		}
 		return &Result{RowsAffected: n}, nil
 	}
 
 	var n int64
+	tbl.OrderedBy = nil
 	for _, row := range s.Rows {
 		if len(row) != schema.Len() {
 			return nil, fmt.Errorf("engine: INSERT row arity %d does not match table %q arity %d",
@@ -310,6 +328,52 @@ func (db *DB) LoadTable(name string, schema *tuple.Schema, rows []tuple.Tuple) e
 	}
 	db.cat.Replace(name, f)
 	return nil
+}
+
+// LoadTableBatch creates (or replaces) a table from a column-major batch,
+// encoding column vectors straight into pages. orderedBy (may be nil)
+// declares column indexes the rows are sorted by; the planner uses the
+// declaration to skip provably redundant sorts.
+func (db *DB) LoadTableBatch(name string, schema *tuple.Schema, b *tuple.Batch, orderedBy []int) error {
+	f, err := hp.Create(db.pool, schema)
+	if err != nil {
+		return err
+	}
+	if err := f.AppendBatch(b); err != nil {
+		return err
+	}
+	db.cat.Replace(name, f)
+	if t, err := db.cat.Get(name); err == nil {
+		t.OrderedBy = append([]int{}, orderedBy...)
+	}
+	return nil
+}
+
+// QueryBatches runs a SELECT and returns the result as dense column-major
+// batches, avoiding per-row tuple materialization. The batches are copies,
+// safe to keep.
+func (db *DB) QueryBatches(sql string, params map[string]int64) (*tuple.Schema, []*tuple.Batch, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: QueryBatches requires a SELECT, got %T", st)
+	}
+	op, err := db.compiler(plan.IntParams(params)).CompileSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	bop, ok := op.(exec.BatchOperator)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: compiled operator %T is not batchable", op)
+	}
+	batches, err := exec.DrainBatches(bop)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op.Schema(), batches, nil
 }
 
 // Table returns the heap file backing a table.

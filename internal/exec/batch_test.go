@@ -1,0 +1,309 @@
+package exec
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"setm/internal/tuple"
+)
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time reference implementations. The batch operators are checked
+// against these simple oracles on randomized inputs; the oracles compute
+// the same relational operations directly over []tuple.Tuple.
+
+func refSort(rows []tuple.Tuple, keys []SortKey) []tuple.Tuple {
+	out := append([]tuple.Tuple{}, rows...)
+	sort.SliceStable(out, func(i, j int) bool {
+		for _, k := range keys {
+			c := tuple.Compare(out[i][k.Col], out[j][k.Col])
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func refFilter(rows []tuple.Tuple, keep func(tuple.Tuple) bool) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, r := range rows {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func refDistinctSorted(rows []tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for i, r := range rows {
+		if i == 0 || !tuple.EqualTuples(rows[i-1], r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func refEquiJoin(l, r []tuple.Tuple, lk, rk []int) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, lt := range l {
+		for _, rt := range r {
+			match := true
+			for i := range lk {
+				if !tuple.Equal(lt[lk[i]], rt[rk[i]]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				row := append(append(tuple.Tuple{}, lt...), rt...)
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+func refGroupCount(rows []tuple.Tuple, groupCols []int) []tuple.Tuple {
+	// rows must be sorted on groupCols; emits (group..., count) per run.
+	var out []tuple.Tuple
+	var cur tuple.Tuple
+	var n int64
+	flush := func() {
+		if cur != nil {
+			row := make(tuple.Tuple, 0, len(groupCols)+1)
+			for _, gc := range groupCols {
+				row = append(row, cur[gc])
+			}
+			out = append(out, append(row, tuple.I(n)))
+		}
+	}
+	for _, r := range rows {
+		if cur != nil && tuple.CompareAt(cur, r, groupCols) == 0 {
+			n++
+			continue
+		}
+		flush()
+		cur, n = r, 1
+	}
+	flush()
+	return out
+}
+
+// drainBatchesAsRows runs op through the batch contract only, expanding
+// the batches to rows for comparison.
+func drainBatchesAsRows(t *testing.T, op BatchOperator) []tuple.Tuple {
+	t.Helper()
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	var out []tuple.Tuple
+	for {
+		b, err := op.NextBatch()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+}
+
+func requireSameRows(t *testing.T, label string, got, want []tuple.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !tuple.EqualTuples(got[i], want[i]) {
+			t.Fatalf("%s: row %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func randRows(rng *rand.Rand, n, arity int, domain int64) []tuple.Tuple {
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		vals := make([]int64, arity)
+		for j := range vals {
+			vals[j] = rng.Int63n(domain)
+		}
+		rows[i] = tuple.Ints(vals...)
+	}
+	return rows
+}
+
+// TestBatchOperatorsMatchRowReference cross-checks every batch operator
+// against the row-at-a-time reference on randomized inputs, through both
+// the NextBatch contract and the row adapter.
+func TestBatchOperatorsMatchRowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(2500) // spans multiple batches
+		rows := randRows(rng, n, 3, 8)
+		schema := tuple.IntSchema("a", "b", "c")
+
+		// Sort (asc and desc keys).
+		keys := []SortKey{{Col: 1}, {Col: 0, Desc: trial%2 == 0}}
+		got := drainBatchesAsRows(t, NewSortKeys(NewMemScan(schema, rows), keys, nil, 0))
+		requireSameRows(t, "sort", got, refSort(rows, keys))
+
+		// Filter: vectorized a >= const AND row-predicate b != c.
+		vec := func(b *tuple.Batch, in, out []int32) ([]int32, error) {
+			a := b.Cols[0].I
+			if in == nil {
+				for i := range a {
+					if a[i] >= 3 {
+						out = append(out, int32(i))
+					}
+				}
+				return out, nil
+			}
+			for _, i := range in {
+				if a[i] >= 3 {
+					out = append(out, i)
+				}
+			}
+			return out, nil
+		}
+		pred := func(tp tuple.Tuple) (bool, error) { return tp[1].Int != tp[2].Int, nil }
+		got = drainBatchesAsRows(t, NewFilterVec(NewMemScan(schema, rows), []VecPredicate{vec}, pred))
+		requireSameRows(t, "filter", got, refFilter(rows, func(tp tuple.Tuple) bool {
+			return tp[0].Int >= 3 && tp[1].Int != tp[2].Int
+		}))
+
+		// Project: column fast path (reorder + duplicate a column).
+		got = drainBatchesAsRows(t, NewColumnProject(NewMemScan(schema, rows), []int{2, 0, 0}))
+		want := make([]tuple.Tuple, len(rows))
+		for i, r := range rows {
+			want[i] = tuple.Tuple{r[2], r[0], r[0]}
+		}
+		requireSameRows(t, "project", got, want)
+
+		// Distinct over sorted input.
+		sorted := refSort(rows, []SortKey{{Col: 0}, {Col: 1}, {Col: 2}})
+		got = drainBatchesAsRows(t, NewDistinct(NewMemScan(schema, sorted)))
+		requireSameRows(t, "distinct", got, refDistinctSorted(sorted))
+
+		// Limit that lands mid-batch.
+		limit := int64(rng.Intn(n + 1))
+		got = drainBatchesAsRows(t, NewLimit(NewMemScan(schema, rows), limit))
+		requireSameRows(t, "limit", got, rows[:limit])
+
+		// Joins: merge vs hash vs nested-loop vs reference, on sorted keys.
+		lrows := refSort(randRows(rng, rng.Intn(400), 2, 6), []SortKey{{Col: 0}, {Col: 1}})
+		rrows := refSort(randRows(rng, rng.Intn(400), 2, 6), []SortKey{{Col: 0}, {Col: 1}})
+		js := tuple.IntSchema("k", "v")
+		wantJoin := refEquiJoin(lrows, rrows, []int{0}, []int{0})
+		canon := func(rows []tuple.Tuple) {
+			sort.Slice(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+		}
+		canon(wantJoin)
+		for _, jc := range []struct {
+			name string
+			op   BatchOperator
+		}{
+			{"merge-join", NewMergeJoin(NewMemScan(js, lrows), NewMemScan(js, rrows), []int{0}, []int{0}, nil)},
+			{"hash-join", NewHashJoin(NewMemScan(js, lrows), NewMemScan(js, rrows), []int{0}, []int{0}, nil)},
+			{"nested-loop", NewNestedLoopJoin(NewMemScan(js, lrows), NewMemScan(js, rrows),
+				func(l, r tuple.Tuple) (bool, error) { return l[0].Int == r[0].Int, nil })},
+		} {
+			got := drainBatchesAsRows(t, jc.op)
+			canon(got)
+			requireSameRows(t, jc.name, got, wantJoin)
+		}
+
+		// SortGroup COUNT(*) over sorted input.
+		grouped := refSort(rows, []SortKey{{Col: 0}, {Col: 1}})
+		got = drainBatchesAsRows(t, NewSortGroup(NewMemScan(schema, grouped), []int{0, 1},
+			[]AggSpec{{Kind: AggCount, Name: "cnt"}}))
+		requireSameRows(t, "sortgroup", got, refGroupCount(grouped, []int{0, 1}))
+	}
+}
+
+// TestRowAdapterMatchesBatchPath checks that Next() (the row adapter) and
+// NextBatch() yield identical streams for a composed pipeline.
+func TestRowAdapterMatchesBatchPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := randRows(rng, 3000, 2, 10)
+	schema := tuple.IntSchema("g", "v")
+	build := func() Operator {
+		sorted := NewSortKeys(NewMemScan(schema, rows), []SortKey{{Col: 0}}, nil, 0)
+		return NewSortGroup(sorted, []int{0}, []AggSpec{
+			{Kind: AggCount, Name: "cnt"},
+			{Kind: AggSum, Col: 1, Name: "sum"},
+			{Kind: AggMin, Col: 1, Name: "min"},
+			{Kind: AggMax, Col: 1, Name: "max"},
+		})
+	}
+	viaRows, err := Drain(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatches := drainBatchesAsRows(t, build().(BatchOperator))
+	requireSameRows(t, "row adapter vs batch", viaRows, viaBatches)
+}
+
+// FuzzExecBatch mirrors FuzzPackedKernels for the executor: arbitrary
+// bytes become rows and operator parameters; the batched sort → merge-join
+// → group pipeline must match the row-oriented reference oracles exactly.
+func FuzzExecBatch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1), uint8(0))
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), uint8(1))
+	f.Add([]byte{9, 1, 8, 2, 7, 3, 6, 4, 5}, uint8(2), uint8(2))
+	f.Add([]byte{255, 255, 1, 1, 128}, uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, keyByte, splitByte uint8) {
+		const maxBytes = 512
+		if len(data) > maxBytes {
+			data = data[:maxBytes]
+		}
+		// Decode rows of arity 2 from the byte stream, small domain so
+		// joins and groups actually collide.
+		var rows []tuple.Tuple
+		for i := 0; i+1 < len(data); i += 2 {
+			rows = append(rows, tuple.Ints(int64(data[i]%16), int64(data[i+1]%16)))
+		}
+		schema := tuple.IntSchema("k", "v")
+		keyCol := int(keyByte) % 2
+		keys := []SortKey{{Col: keyCol}, {Col: 1 - keyCol}}
+
+		// Sort.
+		got := drainBatchesAsRows(t, NewSortKeys(NewMemScan(schema, rows), keys, nil, 0))
+		requireSameRows(t, "fuzz sort", got, refSort(rows, keys))
+
+		// Split into two sorted relations and merge-join on the key column.
+		split := int(splitByte) % (len(rows) + 1)
+		l := refSort(rows[:split], []SortKey{{Col: 0}, {Col: 1}})
+		r := refSort(rows[split:], []SortKey{{Col: 0}, {Col: 1}})
+		want := refEquiJoin(l, r, []int{0}, []int{0})
+		canon := func(rows []tuple.Tuple) {
+			sort.Slice(rows, func(i, j int) bool { return tuple.CompareAll(rows[i], rows[j]) < 0 })
+		}
+		canon(want)
+		gotJ := drainBatchesAsRows(t, NewMergeJoin(NewMemScan(schema, l), NewMemScan(schema, r),
+			[]int{0}, []int{0}, nil))
+		canon(gotJ)
+		requireSameRows(t, "fuzz merge-join", gotJ, want)
+		gotH := drainBatchesAsRows(t, NewHashJoin(NewMemScan(schema, l), NewMemScan(schema, r),
+			[]int{0}, []int{0}, nil))
+		canon(gotH)
+		requireSameRows(t, "fuzz hash-join", gotH, want)
+
+		// Group-count the sorted stream.
+		sorted := refSort(rows, []SortKey{{Col: 0}, {Col: 1}})
+		gotG := drainBatchesAsRows(t, NewSortGroup(NewMemScan(schema, sorted), []int{0, 1},
+			[]AggSpec{{Kind: AggCount, Name: "cnt"}}))
+		requireSameRows(t, "fuzz group", gotG, refGroupCount(sorted, []int{0, 1}))
+	})
+}

@@ -42,6 +42,12 @@ func (n *NestedLoopJoin) Left() Operator { return n.left }
 // Right returns the inner join input.
 func (n *NestedLoopJoin) Right() Operator { return n.right }
 
+// Left returns the probe-side join input.
+func (h *HashJoin) Left() Operator { return h.left }
+
+// Right returns the build-side join input.
+func (h *HashJoin) Right() Operator { return h.right }
+
 // Explain renders an operator tree as an indented plan, one operator per
 // line, in the style of EXPLAIN output:
 //
@@ -51,50 +57,84 @@ func (n *NestedLoopJoin) Right() Operator { return n.right }
 //	      Rename (scan p)
 //	    Sort
 //	      Rename (scan q)
-func Explain(op Operator) string {
+func Explain(op Operator) string { return ExplainAnnotated(op, nil) }
+
+// ExplainAnnotated renders the plan with a per-operator annotation
+// callback; non-empty notes are appended to the operator's line. The
+// cost-based planner supplies estimated costs and decision rationales this
+// way.
+func ExplainAnnotated(op Operator, note func(Operator) string) string {
 	var b strings.Builder
-	explainAt(&b, op, 0)
+	explainAt(&b, op, 0, note)
 	return b.String()
 }
 
-func explainAt(b *strings.Builder, op Operator, depth int) {
+func explainAt(b *strings.Builder, op Operator, depth int, note func(Operator) string) {
 	indent := strings.Repeat("  ", depth)
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(b, "%s"+format, append([]interface{}{indent}, args...)...)
+		if note != nil {
+			if s := note(op); s != "" {
+				fmt.Fprintf(b, "  -- %s", s)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	switch v := op.(type) {
 	case *HeapScan:
-		fmt.Fprintf(b, "%sHeapScan %s (%d rows, %d pages)\n",
-			indent, v.file.Schema(), v.file.Rows(), v.file.Pages())
+		line("HeapScan %s (%d rows, %d pages)", v.file.Schema(), v.file.Rows(), v.file.Pages())
 	case *MemScan:
-		fmt.Fprintf(b, "%sMemScan %s (%d rows)\n", indent, v.schema, len(v.rows))
+		line("MemScan %s (%d rows)", v.schema, len(v.rows))
 	case *Rename:
-		fmt.Fprintf(b, "%sRename %s\n", indent, v.schema)
-		explainAt(b, v.child, depth+1)
+		line("Rename %s", v.schema)
+		explainAt(b, v.child, depth+1, note)
 	case *Filter:
-		fmt.Fprintf(b, "%sFilter\n", indent)
-		explainAt(b, v.child, depth+1)
+		if n := len(v.vecs); n > 0 {
+			line("Filter (%d vectorized)", n)
+		} else {
+			line("Filter")
+		}
+		explainAt(b, v.child, depth+1, note)
 	case *Project:
-		fmt.Fprintf(b, "%sProject %s\n", indent, v.schema)
-		explainAt(b, v.child, depth+1)
+		line("Project %s", v.schema)
+		explainAt(b, v.child, depth+1, note)
 	case *Limit:
-		fmt.Fprintf(b, "%sLimit %d\n", indent, v.n)
-		explainAt(b, v.child, depth+1)
+		line("Limit %d", v.n)
+		explainAt(b, v.child, depth+1, note)
 	case *Distinct:
-		fmt.Fprintf(b, "%sDistinct\n", indent)
-		explainAt(b, v.child, depth+1)
+		line("Distinct")
+		explainAt(b, v.child, depth+1, note)
 	case *Sort:
-		fmt.Fprintf(b, "%sSort\n", indent)
-		explainAt(b, v.child, depth+1)
+		switch {
+		case v.keys != nil && v.pool == nil:
+			line("Sort keys=%v (vectorized in-memory)", v.keys)
+		case v.keys != nil:
+			line("Sort keys=%v (external)", v.keys)
+		case v.pool != nil:
+			line("Sort (external)")
+		default:
+			line("Sort")
+		}
+		explainAt(b, v.child, depth+1, note)
 	case *SortGroup:
-		fmt.Fprintf(b, "%sSortGroup by %v (%d aggregates)\n", indent, v.groupCols, len(v.aggs))
-		explainAt(b, v.child, depth+1)
+		line("SortGroup by %v (%d aggregates)", v.groupCols, len(v.aggs))
+		explainAt(b, v.child, depth+1, note)
+	case *HashGroup:
+		line("HashGroup by %v (%d aggregates)", v.groupCols, len(v.aggs))
+		explainAt(b, v.child, depth+1, note)
 	case *MergeJoin:
-		fmt.Fprintf(b, "%sMergeJoin on %v = %v\n", indent, v.leftKeys, v.rightKeys)
-		explainAt(b, v.left, depth+1)
-		explainAt(b, v.right, depth+1)
+		line("MergeJoin on %v = %v", v.leftKeys, v.rightKeys)
+		explainAt(b, v.left, depth+1, note)
+		explainAt(b, v.right, depth+1, note)
+	case *HashJoin:
+		line("HashJoin on %v = %v (build right)", v.leftKeys, v.rightKeys)
+		explainAt(b, v.left, depth+1, note)
+		explainAt(b, v.right, depth+1, note)
 	case *NestedLoopJoin:
-		fmt.Fprintf(b, "%sNestedLoopJoin\n", indent)
-		explainAt(b, v.left, depth+1)
-		explainAt(b, v.right, depth+1)
+		line("NestedLoopJoin")
+		explainAt(b, v.left, depth+1, note)
+		explainAt(b, v.right, depth+1, note)
 	default:
-		fmt.Fprintf(b, "%s%T\n", indent, op)
+		line("%T", op)
 	}
 }

@@ -31,10 +31,12 @@ type AggSpec struct {
 // SortGroup implements sort-based grouping: the input must arrive sorted on
 // the group-by columns so each group is a contiguous run. This is exactly
 // how SETM generates its C_k count relations — "generating the counts
-// involves a simple sequential scan over R'_k" (Section 4.4).
+// involves a simple sequential scan over R'_k" (Section 4.4). The batch
+// implementation detects run boundaries with column-vector comparisons and
+// emits whole batches of (group, aggregates) rows.
 //
-// The output schema is the group columns followed by one column per
-// aggregate.
+// The output preserves the input's group order, so a stream sorted on the
+// group columns yields output sorted the same way.
 type SortGroup struct {
 	child     Operator
 	groupCols []int
@@ -45,9 +47,22 @@ type SortGroup struct {
 	// yields one row of zero aggregates, as SQL requires for COUNT(*).
 	Global bool
 
-	lookahead tuple.Tuple
-	done      bool
-	emitted   bool
+	childB BatchOperator
+	lb     *tuple.Batch
+	li     int
+	srcEOF bool
+
+	haveCur bool
+	curKey  []tuple.Value
+	count   int64
+	sums    []int64
+	mins    []int64
+	maxs    []int64
+
+	emitted bool
+	done    bool
+	out     *tuple.Batch
+	rows    rowCursor
 }
 
 // NewSortGroup groups a sorted child on groupCols, computing aggs.
@@ -69,118 +84,169 @@ func NewSortGroup(child Operator, groupCols []int, aggs []AggSpec) *SortGroup {
 		groupCols: groupCols,
 		aggs:      aggs,
 		schema:    tuple.NewSchema(cols...),
+		childB:    asBatchOp(child),
 	}
 }
 
 func (g *SortGroup) Schema() *tuple.Schema { return g.schema }
 
 func (g *SortGroup) Open() error {
-	g.lookahead = nil
-	g.done = false
+	g.lb, g.li = nil, 0
+	g.srcEOF = false
+	g.haveCur = false
 	g.emitted = false
+	g.done = false
+	g.rows.reset()
+	if g.curKey == nil {
+		g.curKey = make([]tuple.Value, len(g.groupCols))
+		g.sums = make([]int64, len(g.aggs))
+		g.mins = make([]int64, len(g.aggs))
+		g.maxs = make([]int64, len(g.aggs))
+	}
 	return g.child.Open()
 }
 
 func (g *SortGroup) Close() error { return g.child.Close() }
 
-func (g *SortGroup) Next() (tuple.Tuple, error) {
+// keyMatchesCur reports whether logical row i of b has the current group
+// key.
+func (g *SortGroup) keyMatchesCur(b *tuple.Batch, i int) bool {
+	phys := b.RowIdx(i)
+	for k, gc := range g.groupCols {
+		col := &b.Cols[gc]
+		if col.Kind == tuple.KindInt {
+			if g.curKey[k].Kind != tuple.KindInt || col.I[phys] != g.curKey[k].Int {
+				return false
+			}
+		} else if g.curKey[k].Kind != tuple.KindString || col.S[phys] != g.curKey[k].Str {
+			return false
+		}
+	}
+	return true
+}
+
+// startGroup begins a new group at logical row i of b.
+func (g *SortGroup) startGroup(b *tuple.Batch, i int) {
+	phys := b.RowIdx(i)
+	for k, gc := range g.groupCols {
+		col := &b.Cols[gc]
+		if col.Kind == tuple.KindInt {
+			g.curKey[k] = tuple.I(col.I[phys])
+		} else {
+			g.curKey[k] = tuple.S(col.S[phys])
+		}
+	}
+	g.count = 0
+	g.haveCur = true
+}
+
+// accumulate folds logical row i of b into the current group.
+func (g *SortGroup) accumulate(b *tuple.Batch, i int) error {
+	g.count++
+	phys := b.RowIdx(i)
+	for ai, a := range g.aggs {
+		switch a.Kind {
+		case AggCount:
+			// count handled globally
+		case AggSum, AggMin, AggMax:
+			col := &b.Cols[a.Col]
+			if col.Kind != tuple.KindInt {
+				return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
+			}
+			v := col.I[phys]
+			if g.count == 1 {
+				g.sums[ai], g.mins[ai], g.maxs[ai] = v, v, v
+			} else {
+				g.sums[ai] += v
+				if v < g.mins[ai] {
+					g.mins[ai] = v
+				}
+				if v > g.maxs[ai] {
+					g.maxs[ai] = v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flushGroup appends the finished current group to out.
+func (g *SortGroup) flushGroup(out *tuple.Batch) {
+	for k := range g.groupCols {
+		out.Cols[k].AppendValue(g.curKey[k])
+	}
+	base := len(g.groupCols)
+	for ai, a := range g.aggs {
+		var v int64
+		switch a.Kind {
+		case AggCount:
+			v = g.count
+		case AggSum:
+			v = g.sums[ai]
+		case AggMin:
+			v = g.mins[ai]
+		case AggMax:
+			v = g.maxs[ai]
+		}
+		out.Cols[base+ai].I = append(out.Cols[base+ai].I, v)
+	}
+	out.BumpRow()
+	g.emitted = true
+	g.haveCur = false
+}
+
+func (g *SortGroup) NextBatch() (*tuple.Batch, error) {
 	if g.done {
 		return nil, io.EOF
 	}
-	// Pull the first row of the next group.
-	first := g.lookahead
-	if first == nil {
-		t, err := g.child.Next()
-		if err == io.EOF {
+	if g.out == nil {
+		g.out = tuple.NewBatch(g.schema)
+	}
+	g.out.Reset()
+	for g.out.Len() < tuple.BatchSize {
+		// Ensure an input row.
+		for !g.srcEOF && (g.lb == nil || g.li >= g.lb.Len()) {
+			b, err := g.childB.NextBatch()
+			if err == io.EOF {
+				g.srcEOF = true
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			g.lb, g.li = b, 0
+		}
+		if g.srcEOF {
+			if g.haveCur {
+				g.flushGroup(g.out)
+			}
 			g.done = true
 			if g.Global && !g.emitted && len(g.groupCols) == 0 {
 				// Grand aggregate over zero rows: one row of zero values.
-				out := make(tuple.Tuple, len(g.aggs))
-				for i := range out {
-					out[i] = tuple.I(0)
+				for c := range g.out.Cols {
+					g.out.Cols[c].I = append(g.out.Cols[c].I, 0)
 				}
+				g.out.BumpRow()
 				g.emitted = true
-				return out, nil
 			}
-			return nil, io.EOF
-		}
-		if err != nil {
-			return nil, err
-		}
-		first = t
-	}
-	g.emitted = true
-
-	count := int64(0)
-	sums := make([]int64, len(g.aggs))
-	mins := make([]int64, len(g.aggs))
-	maxs := make([]int64, len(g.aggs))
-	accumulate := func(t tuple.Tuple) error {
-		count++
-		for i, a := range g.aggs {
-			switch a.Kind {
-			case AggCount:
-				// count handled globally
-			case AggSum, AggMin, AggMax:
-				v := t[a.Col]
-				if v.Kind != tuple.KindInt {
-					return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
-				}
-				if count == 1 {
-					sums[i] = v.Int
-					mins[i] = v.Int
-					maxs[i] = v.Int
-				} else {
-					sums[i] += v.Int
-					if v.Int < mins[i] {
-						mins[i] = v.Int
-					}
-					if v.Int > maxs[i] {
-						maxs[i] = v.Int
-					}
-				}
-			}
-		}
-		return nil
-	}
-	if err := accumulate(first); err != nil {
-		return nil, err
-	}
-
-	for {
-		t, err := g.child.Next()
-		if err == io.EOF {
-			g.done = true
-			g.lookahead = nil
 			break
 		}
-		if err != nil {
+		if g.haveCur && !g.keyMatchesCur(g.lb, g.li) {
+			g.flushGroup(g.out)
+			continue // re-check output capacity before starting the next group
+		}
+		if !g.haveCur {
+			g.startGroup(g.lb, g.li)
+		}
+		if err := g.accumulate(g.lb, g.li); err != nil {
 			return nil, err
 		}
-		if tuple.CompareAt(first, t, g.groupCols) != 0 {
-			g.lookahead = t
-			break
-		}
-		if err := accumulate(t); err != nil {
-			return nil, err
-		}
+		g.li++
 	}
-
-	out := make(tuple.Tuple, 0, len(g.groupCols)+len(g.aggs))
-	for _, gc := range g.groupCols {
-		out = append(out, first[gc])
+	if g.out.Len() == 0 {
+		return nil, io.EOF
 	}
-	for i, a := range g.aggs {
-		switch a.Kind {
-		case AggCount:
-			out = append(out, tuple.I(count))
-		case AggSum:
-			out = append(out, tuple.I(sums[i]))
-		case AggMin:
-			out = append(out, tuple.I(mins[i]))
-		case AggMax:
-			out = append(out, tuple.I(maxs[i]))
-		}
-	}
-	return out, nil
+	return g.out, nil
 }
+
+func (g *SortGroup) Next() (tuple.Tuple, error) { return g.rows.next(g.NextBatch) }

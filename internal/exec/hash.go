@@ -9,10 +9,12 @@ import (
 
 // HashJoin is an equi-join that builds an in-memory hash table on the
 // right input and probes it with the left. The paper predates the
-// ubiquity of hash joins in commercial optimizers; this operator exists as
-// the ablation DESIGN.md calls out — SETM's extension step with hashing
-// instead of merge-scan — quantifying what the sort-merge formulation
-// costs or saves.
+// ubiquity of hash joins in commercial optimizers; the cost-based planner
+// picks it when the build side is small and the inputs are not already
+// sorted on the join keys — SETM's support-filter join (R'_k ⋈ C_k) is the
+// canonical case. Because each left row's matches are emitted
+// contiguously in left order, the output preserves any ordering of the
+// left input on left columns.
 type HashJoin struct {
 	left, right Operator
 	leftKeys    []int
@@ -20,11 +22,19 @@ type HashJoin struct {
 	residual    JoinPredicate
 	schema      *tuple.Schema
 
-	table   map[string][]tuple.Tuple
-	leftRow tuple.Tuple
-	bucket  []tuple.Tuple
+	leftB BatchOperator
+	store *tuple.Batch       // materialized right input
+	table map[string][]int32 // key bytes -> right row indexes
+
+	lcur   batchCursor
+	bucket []int32
 	bi      int
-	keyBuf  []byte
+	probing bool // bucket/bi are valid for the current left row
+
+	keyBuf             []byte
+	out                *tuple.Batch
+	lscratch, rscratch tuple.Tuple
+	rows               rowCursor
 }
 
 // NewHashJoin joins left and right on equality of the key columns.
@@ -36,28 +46,31 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual JoinP
 		rightKeys: rightKeys,
 		residual:  residual,
 		schema:    left.Schema().Concat(right.Schema()),
+		leftB:     asBatchOp(left),
 	}
 }
 
 func (h *HashJoin) Schema() *tuple.Schema { return h.schema }
 
-func (h *HashJoin) key(t tuple.Tuple, cols []int) (string, error) {
-	h.keyBuf = h.keyBuf[:0]
+// appendKey serializes the key columns of b's logical row i into buf.
+func appendKey(buf []byte, b *tuple.Batch, i int, cols []int) ([]byte, error) {
+	phys := b.RowIdx(i)
 	for _, c := range cols {
-		v := t[c]
-		switch v.Kind {
+		col := &b.Cols[c]
+		switch col.Kind {
 		case tuple.KindInt:
+			v := col.I[phys]
 			for s := 0; s < 64; s += 8 {
-				h.keyBuf = append(h.keyBuf, byte(v.Int>>s))
+				buf = append(buf, byte(v>>s))
 			}
 		case tuple.KindString:
-			h.keyBuf = append(h.keyBuf, v.Str...)
-			h.keyBuf = append(h.keyBuf, 0)
+			buf = append(buf, col.S[phys]...)
+			buf = append(buf, 0)
 		default:
-			return "", fmt.Errorf("exec: unhashable value kind %v", v.Kind)
+			return nil, fmt.Errorf("exec: unhashable value kind %v", col.Kind)
 		}
 	}
-	return string(h.keyBuf), nil
+	return buf, nil
 }
 
 func (h *HashJoin) Open() error {
@@ -67,24 +80,31 @@ func (h *HashJoin) Open() error {
 	if err := h.right.Open(); err != nil {
 		return err
 	}
-	h.table = make(map[string][]tuple.Tuple)
+	h.store = tuple.NewBatch(h.right.Schema())
+	h.table = make(map[string][]int32)
+	rightB := asBatchOp(h.right)
 	for {
-		t, err := h.right.Next()
+		b, err := rightB.NextBatch()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		k, err := h.key(t, h.rightKeys)
-		if err != nil {
-			return err
+		n := b.Len()
+		base := h.store.Len()
+		for i := 0; i < n; i++ {
+			h.keyBuf, err = appendKey(h.keyBuf[:0], b, i, h.rightKeys)
+			if err != nil {
+				return err
+			}
+			h.table[string(h.keyBuf)] = append(h.table[string(h.keyBuf)], int32(base+i))
 		}
-		h.table[k] = append(h.table[k], t)
+		h.store.Append(b)
 	}
-	h.leftRow = nil
-	h.bucket = nil
-	h.bi = 0
+	h.lcur.reset(h.leftB)
+	h.probing = false
+	h.rows.reset()
 	return nil
 }
 
@@ -92,56 +112,83 @@ func (h *HashJoin) Close() error {
 	err1 := h.left.Close()
 	err2 := h.right.Close()
 	h.table = nil
+	h.store = nil
 	if err1 != nil {
 		return err1
 	}
 	return err2
 }
 
-func (h *HashJoin) Next() (tuple.Tuple, error) {
-	for {
-		for h.bi < len(h.bucket) {
-			r := h.bucket[h.bi]
-			h.bi++
+func (h *HashJoin) NextBatch() (*tuple.Batch, error) {
+	if h.out == nil {
+		h.out = tuple.NewBatch(h.schema)
+	}
+	h.out.Reset()
+	for h.out.Len() < tuple.BatchSize {
+		ok, err := h.lcur.ensure()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if !h.probing {
+			h.keyBuf, err = appendKey(h.keyBuf[:0], h.lcur.b, h.lcur.i, h.leftKeys)
+			if err != nil {
+				return nil, err
+			}
+			h.bucket = h.table[string(h.keyBuf)]
+			h.bi = 0
+			h.probing = true
+		}
+		for h.bi < len(h.bucket) && h.out.Len() < tuple.BatchSize {
+			ri := int(h.bucket[h.bi])
+			pass := true
 			if h.residual != nil {
-				ok, err := h.residual(h.leftRow, r)
+				if h.lscratch == nil {
+					h.lscratch = make(tuple.Tuple, h.left.Schema().Len())
+					h.rscratch = make(tuple.Tuple, h.right.Schema().Len())
+				}
+				pass, err = h.residual(h.lcur.b.RowInto(h.lscratch, h.lcur.i), h.store.RowInto(h.rscratch, ri))
 				if err != nil {
 					return nil, err
 				}
-				if !ok {
-					continue
-				}
 			}
-			out := make(tuple.Tuple, 0, len(h.leftRow)+len(r))
-			out = append(out, h.leftRow...)
-			out = append(out, r...)
-			return out, nil
+			if pass {
+				appendJoinRow(h.out, h.lcur.b, h.lcur.i, h.store, ri)
+			}
+			h.bi++
 		}
-		t, err := h.left.Next()
-		if err != nil {
-			return nil, err
+		if h.bi >= len(h.bucket) {
+			h.lcur.i++
+			h.probing = false
+		} else {
+			break
 		}
-		k, err := h.key(t, h.leftKeys)
-		if err != nil {
-			return nil, err
-		}
-		h.leftRow = t
-		h.bucket = h.table[k]
-		h.bi = 0
 	}
+	if h.out.Len() == 0 {
+		return nil, io.EOF
+	}
+	return h.out, nil
 }
+
+func (h *HashJoin) Next() (tuple.Tuple, error) { return h.rows.next(h.NextBatch) }
 
 // HashGroup computes grouped aggregates with an in-memory hash table
 // instead of a pre-sorted input — the hash-based alternative to SortGroup
-// for the same ablation. Output order is unspecified.
+// for the same ablation. Output order is unspecified (first-seen in
+// practice).
 type HashGroup struct {
 	child     Operator
 	groupCols []int
 	aggs      []AggSpec
 	schema    *tuple.Schema
 
-	out []tuple.Tuple
-	pos int
+	childB  BatchOperator
+	out     []tuple.Tuple
+	pos     int
+	buf     *tuple.Batch
+	scratch tuple.Tuple
 }
 
 type hashGroupState struct {
@@ -171,6 +218,7 @@ func NewHashGroup(child Operator, groupCols []int, aggs []AggSpec) *HashGroup {
 		groupCols: groupCols,
 		aggs:      aggs,
 		schema:    tuple.NewSchema(cols...),
+		childB:    asBatchOp(child),
 	}
 }
 
@@ -185,58 +233,57 @@ func (g *HashGroup) Open() error {
 	}
 	defer g.child.Close()
 
+	if g.scratch == nil {
+		g.scratch = make(tuple.Tuple, g.child.Schema().Len())
+	}
 	groups := make(map[string]*hashGroupState)
 	var order []string // deterministic output: first-seen order
 	var keyBuf []byte
 	for {
-		t, err := g.child.Next()
+		b, err := g.childB.NextBatch()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		keyBuf = keyBuf[:0]
-		for _, c := range g.groupCols {
-			v := t[c]
-			if v.Kind == tuple.KindInt {
-				for s := 0; s < 64; s += 8 {
-					keyBuf = append(keyBuf, byte(v.Int>>s))
-				}
-			} else {
-				keyBuf = append(keyBuf, v.Str...)
-				keyBuf = append(keyBuf, 0)
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			keyBuf, err = appendKey(keyBuf[:0], b, i, g.groupCols)
+			if err != nil {
+				return err
 			}
-		}
-		key := string(keyBuf)
-		st, ok := groups[key]
-		if !ok {
-			st = &hashGroupState{
-				rep:  t,
-				sums: make([]int64, len(g.aggs)),
-				mins: make([]int64, len(g.aggs)),
-				maxs: make([]int64, len(g.aggs)),
-			}
-			groups[key] = st
-			order = append(order, key)
-		}
-		st.count++
-		for i, a := range g.aggs {
-			switch a.Kind {
-			case AggSum, AggMin, AggMax:
-				v := t[a.Col]
-				if v.Kind != tuple.KindInt {
-					return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
+			key := string(keyBuf)
+			st, ok := groups[key]
+			if !ok {
+				st = &hashGroupState{
+					rep:  b.Row(i),
+					sums: make([]int64, len(g.aggs)),
+					mins: make([]int64, len(g.aggs)),
+					maxs: make([]int64, len(g.aggs)),
 				}
-				if st.count == 1 {
-					st.sums[i], st.mins[i], st.maxs[i] = v.Int, v.Int, v.Int
-				} else {
-					st.sums[i] += v.Int
-					if v.Int < st.mins[i] {
-						st.mins[i] = v.Int
+				groups[key] = st
+				order = append(order, key)
+			}
+			st.count++
+			for ai, a := range g.aggs {
+				switch a.Kind {
+				case AggSum, AggMin, AggMax:
+					col := &b.Cols[a.Col]
+					if col.Kind != tuple.KindInt {
+						return fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
 					}
-					if v.Int > st.maxs[i] {
-						st.maxs[i] = v.Int
+					v := col.I[b.RowIdx(i)]
+					if st.count == 1 {
+						st.sums[ai], st.mins[ai], st.maxs[ai] = v, v, v
+					} else {
+						st.sums[ai] += v
+						if v < st.mins[ai] {
+							st.mins[ai] = v
+						}
+						if v > st.maxs[ai] {
+							st.maxs[ai] = v
+						}
 					}
 				}
 			}
@@ -250,16 +297,16 @@ func (g *HashGroup) Open() error {
 		for _, c := range g.groupCols {
 			row = append(row, st.rep[c])
 		}
-		for i, a := range g.aggs {
+		for ai, a := range g.aggs {
 			switch a.Kind {
 			case AggCount:
 				row = append(row, tuple.I(st.count))
 			case AggSum:
-				row = append(row, tuple.I(st.sums[i]))
+				row = append(row, tuple.I(st.sums[ai]))
 			case AggMin:
-				row = append(row, tuple.I(st.mins[i]))
+				row = append(row, tuple.I(st.mins[ai]))
 			case AggMax:
-				row = append(row, tuple.I(st.maxs[i]))
+				row = append(row, tuple.I(st.maxs[ai]))
 			}
 		}
 		g.out = append(g.out, row)
@@ -275,6 +322,23 @@ func (g *HashGroup) Next() (tuple.Tuple, error) {
 	t := g.out[g.pos]
 	g.pos++
 	return t, nil
+}
+
+func (g *HashGroup) NextBatch() (*tuple.Batch, error) {
+	if g.pos >= len(g.out) {
+		return nil, io.EOF
+	}
+	if g.buf == nil {
+		g.buf = tuple.NewBatch(g.schema)
+	}
+	g.buf.Reset()
+	for g.pos < len(g.out) && g.buf.Len() < tuple.BatchSize {
+		if err := g.buf.AppendTuple(g.out[g.pos]); err != nil {
+			return nil, err
+		}
+		g.pos++
+	}
+	return g.buf, nil
 }
 
 func (g *HashGroup) Close() error { return nil }

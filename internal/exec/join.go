@@ -15,21 +15,39 @@ type JoinPredicate func(left, right tuple.Tuple) (bool, error)
 // their respective key columns. The output tuple is the concatenation of
 // the left and right tuples; callers project afterwards.
 //
-// Matching groups on the right side are buffered in memory so that
-// many-to-many joins replay correctly; SETM's right side is the set of
-// items of a single transaction, which is small by construction.
+// The batch implementation streams column vectors from both sides,
+// buffering each matching right-side group (dense copy, so group rows
+// survive right-batch turnover) and replaying it for runs of equal left
+// keys. SETM's right side is the set of items of a single transaction,
+// which is small by construction.
 type MergeJoin struct {
 	left, right Operator
 	leftKeys    []int
 	rightKeys   []int
 	residual    JoinPredicate
 	schema      *tuple.Schema
-	leftRow     tuple.Tuple
-	rightRow    tuple.Tuple // lookahead on right input
-	rightDone   bool
-	group       []tuple.Tuple // buffered right group matching current key
-	groupIdx    int
-	started     bool
+
+	// Optional vectorized residual: right column gtRight > left column
+	// gtLeft (SETM's lexicographic extension condition), checked on column
+	// vectors instead of materialized tuples.
+	gtLeft, gtRight int
+	hasVecGT        bool
+
+	leftB, rightB BatchOperator
+	lcur, rcur    batchCursor
+
+	group   *tuple.Batch  // buffered right group for curKey
+	curKey  []tuple.Value // key of the buffered group
+	haveKey bool
+	matched bool // current left row is paired with the group
+	gi      int
+
+	intKeys    bool // every join key column is an integer on both sides
+	curKeyInts []int64
+
+	out                *tuple.Batch
+	lscratch, rscratch tuple.Tuple
+	rows               rowCursor
 }
 
 // NewMergeJoin joins left and right on the given key columns.
@@ -41,7 +59,18 @@ func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int, residual Join
 		rightKeys: rightKeys,
 		residual:  residual,
 		schema:    left.Schema().Concat(right.Schema()),
+		leftB:     asBatchOp(left),
+		rightB:    asBatchOp(right),
 	}
+}
+
+// SetVecResidualGT installs the vectorized residual right[rightCol] >
+// left[leftCol] (column indexes into each input's own schema), replacing
+// any row residual.
+func (m *MergeJoin) SetVecResidualGT(leftCol, rightCol int) {
+	m.gtLeft, m.gtRight = leftCol, rightCol
+	m.hasVecGT = true
+	m.residual = nil
 }
 
 func (m *MergeJoin) Schema() *tuple.Schema { return m.schema }
@@ -53,9 +82,25 @@ func (m *MergeJoin) Open() error {
 	if err := m.right.Open(); err != nil {
 		return err
 	}
-	m.started = false
-	m.rightDone = false
-	m.group = nil
+	m.intKeys = true
+	ls, rs := m.left.Schema(), m.right.Schema()
+	for i := range m.leftKeys {
+		if ls.Cols[m.leftKeys[i]].Kind != tuple.KindInt || rs.Cols[m.rightKeys[i]].Kind != tuple.KindInt {
+			m.intKeys = false
+			break
+		}
+	}
+	if m.intKeys && m.curKeyInts == nil {
+		m.curKeyInts = make([]int64, len(m.leftKeys))
+	}
+	m.lcur.reset(m.leftB)
+	m.rcur.reset(m.rightB)
+	if m.group == nil {
+		m.group = tuple.NewBatch(m.right.Schema())
+	}
+	m.group.Reset()
+	m.haveKey, m.matched = false, false
+	m.rows.reset()
 	return nil
 }
 
@@ -68,168 +113,194 @@ func (m *MergeJoin) Close() error {
 	return err2
 }
 
-func (m *MergeJoin) advanceLeft() error {
-	t, err := m.left.Next()
-	if err == io.EOF {
-		m.leftRow = nil
-		return io.EOF
+// rightCmpLeft orders the current right row's key against the current
+// left row's key, with an unboxed fast path for all-integer keys.
+func (m *MergeJoin) rightCmpLeft() int {
+	if m.intKeys {
+		rphys, lphys := m.rcur.b.RowIdx(m.rcur.i), m.lcur.b.RowIdx(m.lcur.i)
+		for i := range m.rightKeys {
+			rv, lv := m.rcur.b.Cols[m.rightKeys[i]].I[rphys], m.lcur.b.Cols[m.leftKeys[i]].I[lphys]
+			switch {
+			case rv < lv:
+				return -1
+			case rv > lv:
+				return 1
+			}
+		}
+		return 0
 	}
-	if err != nil {
-		return err
-	}
-	m.leftRow = t
-	return nil
+	return m.rcur.b.CompareRows(m.rcur.i, m.lcur.b, m.lcur.i, m.rightKeys, m.leftKeys, nil)
 }
 
-func (m *MergeJoin) advanceRight() error {
-	if m.rightDone {
-		m.rightRow = nil
-		return nil
+// leftKeyCmpCur orders the current left row's key against curKey.
+func (m *MergeJoin) leftKeyCmpCur() int {
+	phys := m.lcur.b.RowIdx(m.lcur.i)
+	if m.intKeys {
+		for i, lk := range m.leftKeys {
+			lv := m.lcur.b.Cols[lk].I[phys]
+			switch {
+			case lv < m.curKeyInts[i]:
+				return -1
+			case lv > m.curKeyInts[i]:
+				return 1
+			}
+		}
+		return 0
 	}
-	t, err := m.right.Next()
-	if err == io.EOF {
-		m.rightRow = nil
-		m.rightDone = true
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	m.rightRow = t
-	return nil
-}
-
-func (m *MergeJoin) keyCompare(l, r tuple.Tuple) int {
-	for i := range m.leftKeys {
-		if c := tuple.Compare(l[m.leftKeys[i]], r[m.rightKeys[i]]); c != 0 {
+	for i, lk := range m.leftKeys {
+		col := &m.lcur.b.Cols[lk]
+		var v tuple.Value
+		if col.Kind == tuple.KindInt {
+			v = tuple.I(col.I[phys])
+		} else {
+			v = tuple.S(col.S[phys])
+		}
+		if c := tuple.Compare(v, m.curKey[i]); c != 0 {
 			return c
 		}
 	}
 	return 0
 }
 
-// loadGroup buffers every right tuple whose key equals m.leftRow's key,
-// leaving m.rightRow as the first tuple beyond the group.
+// loadGroup aligns the right side with the current left row's key and
+// buffers the matching right rows (possibly none) into m.group.
 func (m *MergeJoin) loadGroup() error {
-	m.group = m.group[:0]
-	for m.rightRow != nil && m.keyCompare(m.leftRow, m.rightRow) == 0 {
-		m.group = append(m.group, m.rightRow)
-		if err := m.advanceRight(); err != nil {
+	// Record the key first: it stays valid even as left batches turn over.
+	if m.curKey == nil {
+		m.curKey = make([]tuple.Value, len(m.leftKeys))
+	}
+	lphys := m.lcur.b.RowIdx(m.lcur.i)
+	if m.intKeys {
+		for i, lk := range m.leftKeys {
+			m.curKeyInts[i] = m.lcur.b.Cols[lk].I[lphys]
+		}
+	} else {
+		for i, lk := range m.leftKeys {
+			col := &m.lcur.b.Cols[lk]
+			if col.Kind == tuple.KindInt {
+				m.curKey[i] = tuple.I(col.I[lphys])
+			} else {
+				m.curKey[i] = tuple.S(col.S[lphys])
+			}
+		}
+	}
+	m.haveKey = true
+	m.group.Reset()
+
+	// Skip right rows below the key.
+	for {
+		ok, err := m.rcur.ensure()
+		if err != nil {
 			return err
 		}
+		if !ok {
+			return nil // right exhausted: empty group
+		}
+		if m.rightCmpLeft() >= 0 {
+			break
+		}
+		m.rcur.i++
 	}
-	m.groupIdx = 0
-	return nil
-}
-
-func (m *MergeJoin) Next() (tuple.Tuple, error) {
-	if !m.started {
-		m.started = true
-		if err := m.advanceLeft(); err != nil {
-			if err == io.EOF {
-				return nil, io.EOF
-			}
-			return nil, err
-		}
-		if err := m.advanceRight(); err != nil {
-			return nil, err
-		}
-		if err := m.alignAndLoad(); err != nil {
-			return nil, err
-		}
-	}
+	// Buffer the equal run.
 	for {
-		if m.leftRow == nil {
-			return nil, io.EOF
+		ok, err := m.rcur.ensure()
+		if err != nil {
+			return err
 		}
-		// Emit remaining pairs from the current group.
-		for m.groupIdx < len(m.group) {
-			r := m.group[m.groupIdx]
-			m.groupIdx++
-			if m.residual != nil {
-				ok, err := m.residual(m.leftRow, r)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			out := make(tuple.Tuple, 0, len(m.leftRow)+len(r))
-			out = append(out, m.leftRow...)
-			out = append(out, r...)
-			return out, nil
-		}
-		// Group exhausted: advance left; if the key is unchanged, replay the
-		// same group, else realign.
-		prev := m.leftRow
-		if err := m.advanceLeft(); err != nil {
-			if err == io.EOF {
-				return nil, io.EOF
-			}
-			return nil, err
-		}
-		if m.keyEqual(prev, m.leftRow) {
-			m.groupIdx = 0
-			continue
-		}
-		if err := m.alignAndLoad(); err != nil {
-			return nil, err
-		}
-	}
-}
-
-func (m *MergeJoin) keyEqual(a, b tuple.Tuple) bool {
-	for i := range m.leftKeys {
-		if !tuple.Equal(a[m.leftKeys[i]], b[m.leftKeys[i]]) {
-			return false
-		}
-	}
-	return true
-}
-
-// alignAndLoad advances both sides until their keys meet, then buffers the
-// matching right group. On mismatch it skips the smaller side.
-func (m *MergeJoin) alignAndLoad() error {
-	for m.leftRow != nil {
-		if m.rightRow == nil {
-			// No right rows remain; left rows can never match again.
-			m.group = m.group[:0]
-			m.groupIdx = 0
-			m.leftRow = nil
+		if !ok {
 			return nil
 		}
-		c := m.keyCompare(m.leftRow, m.rightRow)
-		switch {
-		case c == 0:
-			return m.loadGroup()
-		case c < 0:
-			if err := m.advanceLeft(); err != nil {
-				if err == io.EOF {
-					return nil
-				}
-				return err
-			}
-		default:
-			if err := m.advanceRight(); err != nil {
-				return err
-			}
+		if m.rightCmpLeft() != 0 {
+			return nil
 		}
+		m.group.AppendRow(m.rcur.b, m.rcur.b.RowIdx(m.rcur.i))
+		m.rcur.i++
 	}
-	return nil
 }
 
+// residualPass evaluates the residual for (current left row, group row gi).
+func (m *MergeJoin) residualPass() (bool, error) {
+	if m.hasVecGT {
+		lphys := m.lcur.b.RowIdx(m.lcur.i)
+		return m.group.Cols[m.gtRight].I[m.gi] > m.lcur.b.Cols[m.gtLeft].I[lphys], nil
+	}
+	if m.residual == nil {
+		return true, nil
+	}
+	if m.lscratch == nil {
+		m.lscratch = make(tuple.Tuple, m.left.Schema().Len())
+		m.rscratch = make(tuple.Tuple, m.right.Schema().Len())
+	}
+	return m.residual(m.lcur.b.RowInto(m.lscratch, m.lcur.i), m.group.RowInto(m.rscratch, m.gi))
+}
+
+func (m *MergeJoin) NextBatch() (*tuple.Batch, error) {
+	if m.out == nil {
+		m.out = tuple.NewBatch(m.schema)
+	}
+	m.out.Reset()
+	for m.out.Len() < tuple.BatchSize {
+		ok, err := m.lcur.ensure()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if !m.matched {
+			if !m.haveKey || m.leftKeyCmpCur() != 0 {
+				if err := m.loadGroup(); err != nil {
+					return nil, err
+				}
+			}
+			if m.group.Len() == 0 {
+				m.lcur.i++ // no right rows for this key
+				continue
+			}
+			m.gi = 0
+			m.matched = true
+		}
+		for m.gi < m.group.Len() && m.out.Len() < tuple.BatchSize {
+			pass, err := m.residualPass()
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				appendJoinRow(m.out, m.lcur.b, m.lcur.i, m.group, m.gi)
+			}
+			m.gi++
+		}
+		if m.gi >= m.group.Len() {
+			m.lcur.i++
+			m.matched = false
+		} else {
+			break // output full mid-group; resume here next call
+		}
+	}
+	if m.out.Len() == 0 {
+		return nil, io.EOF
+	}
+	return m.out, nil
+}
+
+func (m *MergeJoin) Next() (tuple.Tuple, error) { return m.rows.next(m.NextBatch) }
+
 // NestedLoopJoin joins by scanning the entire right input once per left
-// tuple. The right input is materialized in memory at Open. This is the
+// tuple. The right input is materialized (columnar) at Open. This is the
 // strawman the paper's Section 3 analysis rejects; it exists to be measured.
 type NestedLoopJoin struct {
 	left, right Operator
 	pred        JoinPredicate
 	schema      *tuple.Schema
 
-	rightRows []tuple.Tuple
-	leftRow   tuple.Tuple
-	ri        int
+	leftB BatchOperator
+	store *tuple.Batch // materialized right input
+	lcur  batchCursor
+	ri    int
+
+	out                *tuple.Batch
+	lscratch, rscratch tuple.Tuple
+	rows               rowCursor
 }
 
 // NewNestedLoopJoin joins left and right with predicate pred (nil = cross
@@ -240,6 +311,7 @@ func NewNestedLoopJoin(left, right Operator, pred JoinPredicate) *NestedLoopJoin
 		right:  right,
 		pred:   pred,
 		schema: left.Schema().Concat(right.Schema()),
+		leftB:  asBatchOp(left),
 	}
 }
 
@@ -252,28 +324,22 @@ func (n *NestedLoopJoin) Open() error {
 	if err := n.right.Open(); err != nil {
 		return err
 	}
-	rows, err := drainWithoutOpen(n.right)
-	if err != nil {
-		return err
-	}
-	n.rightRows = rows
-	n.leftRow = nil
-	n.ri = 0
-	return nil
-}
-
-func drainWithoutOpen(op Operator) ([]tuple.Tuple, error) {
-	var out []tuple.Tuple
+	n.store = tuple.NewBatch(n.right.Schema())
+	rightB := asBatchOp(n.right)
 	for {
-		t, err := op.Next()
+		b, err := rightB.NextBatch()
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, t)
+		n.store.Append(b)
 	}
+	n.lcur.reset(n.leftB)
+	n.ri = 0
+	n.rows.reset()
+	return nil
 }
 
 func (n *NestedLoopJoin) Close() error {
@@ -285,33 +351,47 @@ func (n *NestedLoopJoin) Close() error {
 	return err2
 }
 
-func (n *NestedLoopJoin) Next() (tuple.Tuple, error) {
-	for {
-		if n.leftRow == nil {
-			t, err := n.left.Next()
-			if err != nil {
-				return nil, err
-			}
-			n.leftRow = t
-			n.ri = 0
+func (n *NestedLoopJoin) NextBatch() (*tuple.Batch, error) {
+	if n.out == nil {
+		n.out = tuple.NewBatch(n.schema)
+	}
+	n.out.Reset()
+	for n.out.Len() < tuple.BatchSize {
+		ok, err := n.lcur.ensure()
+		if err != nil {
+			return nil, err
 		}
-		for n.ri < len(n.rightRows) {
-			r := n.rightRows[n.ri]
-			n.ri++
+		if !ok {
+			break
+		}
+		for n.ri < n.store.Len() && n.out.Len() < tuple.BatchSize {
+			pass := true
 			if n.pred != nil {
-				ok, err := n.pred(n.leftRow, r)
+				if n.lscratch == nil {
+					n.lscratch = make(tuple.Tuple, n.left.Schema().Len())
+					n.rscratch = make(tuple.Tuple, n.right.Schema().Len())
+				}
+				pass, err = n.pred(n.lcur.b.RowInto(n.lscratch, n.lcur.i), n.store.RowInto(n.rscratch, n.ri))
 				if err != nil {
 					return nil, err
 				}
-				if !ok {
-					continue
-				}
 			}
-			out := make(tuple.Tuple, 0, len(n.leftRow)+len(r))
-			out = append(out, n.leftRow...)
-			out = append(out, r...)
-			return out, nil
+			if pass {
+				appendJoinRow(n.out, n.lcur.b, n.lcur.i, n.store, n.ri)
+			}
+			n.ri++
 		}
-		n.leftRow = nil
+		if n.ri >= n.store.Len() {
+			n.lcur.i++
+			n.ri = 0
+		} else {
+			break
+		}
 	}
+	if n.out.Len() == 0 {
+		return nil, io.EOF
+	}
+	return n.out, nil
 }
+
+func (n *NestedLoopJoin) Next() (tuple.Tuple, error) { return n.rows.next(n.NextBatch) }

@@ -31,10 +31,11 @@ type File struct {
 	pool   *storage.Pool
 	schema *tuple.Schema
 
-	first storage.PageID
-	last  storage.PageID
-	pages int
-	rows  int64
+	first   storage.PageID
+	last    storage.PageID
+	pages   int
+	rows    int64
+	pageIDs []storage.PageID // every page of the chain, in order, for Free
 }
 
 // Create allocates an empty heap file with the given tuple schema.
@@ -46,7 +47,8 @@ func Create(pool *storage.Pool, schema *tuple.Schema) (*File, error) {
 	initPage(pg)
 	id := pg.ID
 	pool.Unpin(pg)
-	return &File{pool: pool, schema: schema, first: id, last: id, pages: 1}, nil
+	return &File{pool: pool, schema: schema, first: id, last: id, pages: 1,
+		pageIDs: []storage.PageID{id}}, nil
 }
 
 func initPage(pg *storage.Page) {
@@ -94,6 +96,7 @@ func (f *File) Append(t tuple.Tuple) error {
 		pg = npg
 		f.last = npg.ID
 		f.pages++
+		f.pageIDs = append(f.pageIDs, npg.ID)
 		free = hdrSize
 	}
 	enc, err := tuple.Encode(pg.Data[free+2:free+2], f.schema, t)
@@ -121,6 +124,69 @@ func (f *File) AppendAll(ts []tuple.Tuple) error {
 		}
 	}
 	return nil
+}
+
+// AppendBatch appends every logical row of b, encoding column vectors
+// straight into page buffers — the bulk path of the vectorized executor,
+// which skips the per-row tuple materialization of Append.
+func (f *File) AppendBatch(b *tuple.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	pg, err := f.pool.Fetch(f.last)
+	if err != nil {
+		return err
+	}
+	free := int(pg.U16(hdrFree))
+	for i := 0; i < n; i++ {
+		need := b.EncodedRowSize(i) + 2
+		if need > storage.PageSize-hdrSize {
+			f.pool.Unpin(pg)
+			return fmt.Errorf("heap: tuple of %d bytes exceeds page capacity", need)
+		}
+		if free+need > storage.PageSize {
+			npg, err := f.pool.Allocate()
+			if err != nil {
+				f.pool.Unpin(pg)
+				return err
+			}
+			initPage(npg)
+			pg.PutU16(hdrFree, uint16(free))
+			pg.PutU32(hdrNext, uint32(npg.ID))
+			pg.MarkDirty()
+			f.pool.Unpin(pg)
+			pg = npg
+			f.last = npg.ID
+			f.pages++
+			f.pageIDs = append(f.pageIDs, npg.ID)
+			free = hdrSize
+		}
+		enc := b.EncodeRowTo(pg.Data[free+2:free+2], i)
+		pg.PutU16(free, uint16(len(enc)))
+		copy(pg.Data[free+2:], enc)
+		free += 2 + len(enc)
+		pg.PutU16(hdrCount, pg.U16(hdrCount)+1)
+		f.rows++
+	}
+	pg.PutU16(hdrFree, uint16(free))
+	pg.MarkDirty()
+	f.pool.Unpin(pg)
+	return nil
+}
+
+// Free returns every page of the file to the pool's free list. The caller
+// must guarantee no scanner or operator still references the file —
+// recycled pages would be decoded as foreign rows. The engine satisfies
+// this by executing statements one at a time: Free runs only from DROP
+// TABLE / DELETE FROM / table replacement, never with a query in flight.
+// Freeing keeps dropped intermediates from growing the store without
+// bound.
+func (f *File) Free() {
+	f.pool.FreePages(f.pageIDs)
+	f.pageIDs = nil
+	f.pages = 0
+	f.rows = 0
 }
 
 // Scanner iterates a heap file front to back. Next returns io.EOF after the
@@ -177,6 +243,61 @@ func (s *Scanner) Next() (tuple.Tuple, error) {
 		s.idx = 0
 		s.off = hdrSize
 	}
+}
+
+// NextBatch decodes up to max further tuples directly into b's column
+// vectors (appending to its current contents) and reports how many were
+// added. It returns io.EOF only when the file is exhausted and no rows
+// were added.
+func (s *Scanner) NextBatch(b *tuple.Batch, max int) (int, error) {
+	if s.done {
+		return 0, io.EOF
+	}
+	added := 0
+	for added < max {
+		if s.pg == nil {
+			pg, err := s.file.pool.Fetch(s.file.first)
+			if err != nil {
+				return added, err
+			}
+			s.pg = pg
+			s.idx = 0
+			s.off = hdrSize
+		}
+		count := int(s.pg.U16(hdrCount))
+		for s.idx < count && added < max {
+			n := int(s.pg.U16(s.off))
+			rec := s.pg.Data[s.off+2 : s.off+2+n]
+			if _, err := b.AppendEncoded(rec); err != nil {
+				return added, err
+			}
+			s.off += 2 + n
+			s.idx++
+			added++
+		}
+		if s.idx < count {
+			return added, nil // batch full mid-page
+		}
+		next := storage.PageID(s.pg.U32(hdrNext))
+		s.file.pool.Unpin(s.pg)
+		if next == storage.InvalidPage {
+			s.pg = nil
+			s.done = true
+			if added == 0 {
+				return 0, io.EOF
+			}
+			return added, nil
+		}
+		pg, err := s.file.pool.Fetch(next)
+		if err != nil {
+			s.pg = nil
+			return added, err
+		}
+		s.pg = pg
+		s.idx = 0
+		s.off = hdrSize
+	}
+	return added, nil
 }
 
 // Close releases any pinned page; safe to call multiple times.

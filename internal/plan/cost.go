@@ -1,0 +1,276 @@
+// Cost-based physical planning. The compiler estimates cardinalities from
+// catalog row counts, converts them to page footprints with the paper's
+// storage arithmetic (internal/costmodel), and prices the alternative
+// physical operators — merge-scan vs hash vs nested-loop join, in-memory
+// vs external sort, sort skipped entirely when the input's known ordering
+// already covers the keys. The chosen plan and its estimates surface in
+// EXPLAIN via per-operator notes.
+package plan
+
+import (
+	"fmt"
+
+	"setm/internal/costmodel"
+	"setm/internal/exec"
+	"setm/internal/tuple"
+)
+
+// DefaultMemBudget bounds the planner's in-memory working set per sort or
+// hash build; larger inputs spill (external sort) or are rejected (hash
+// build side).
+const DefaultMemBudget = 256 << 20
+
+// Planner selectivity defaults, System-R style: without histograms an
+// equality conjunct is assumed to keep 1/10 of its input, a range
+// comparison about 1/3, anything else 1/4.
+const (
+	selEquality = 0.10
+	selRange    = 0.30
+	selDefault  = 0.25
+)
+
+// Estimate is the planner's guess for one operator's output.
+type Estimate struct {
+	// Rows is the estimated output cardinality.
+	Rows int64
+	// RowBytes is the estimated encoded size of one row.
+	RowBytes int64
+	// CostMs is the cumulative estimated cost in model milliseconds
+	// (sequential pages at SeqPageMs plus CPU per costmodel.CPUTupleMs).
+	CostMs float64
+}
+
+// Bytes returns the estimated relation footprint.
+func (e Estimate) Bytes() int64 { return e.Rows * e.RowBytes }
+
+// node is a partially built plan: an operator, its estimate, and the
+// column indexes (of the operator's output schema) the stream is known to
+// be ordered by.
+type node struct {
+	op       exec.Operator
+	est      Estimate
+	ordering []int
+}
+
+// Plan is a compiled SELECT with its planning metadata.
+type Plan struct {
+	Root exec.Operator
+	// Ordering lists output columns the result stream is sorted by.
+	Ordering []int
+	// Est is the root estimate (rows, row bytes, cumulative model cost).
+	Est Estimate
+	// notes maps operators to EXPLAIN annotations.
+	notes map[exec.Operator]string
+}
+
+// Note returns the planner's annotation for op (empty when none), in the
+// form exec.ExplainAnnotated expects.
+func (p *Plan) Note(op exec.Operator) string { return p.notes[op] }
+
+// Explain renders the plan with cost annotations.
+func (p *Plan) Explain() string { return exec.ExplainAnnotated(p.Root, p.Note) }
+
+// note records an EXPLAIN annotation for op.
+func (c *Compiler) note(op exec.Operator, format string, args ...interface{}) {
+	if c.notes == nil {
+		c.notes = make(map[exec.Operator]string)
+	}
+	c.notes[op] = fmt.Sprintf(format, args...)
+}
+
+// noteAppend adds to an operator's annotation without clobbering one
+// recorded earlier (e.g. a filter's selectivity note).
+func (c *Compiler) noteAppend(op exec.Operator, format string, args ...interface{}) {
+	s := fmt.Sprintf(format, args...)
+	if prev, ok := c.notes[op]; ok && prev != "" {
+		s = prev + "; " + s
+	}
+	c.note(op, "%s", s)
+}
+
+// memBudget returns the configured in-memory working-set bound.
+func (c *Compiler) memBudget() int64 {
+	if c.MemBudget > 0 {
+		return c.MemBudget
+	}
+	return DefaultMemBudget
+}
+
+// schemaRowBytes estimates the encoded bytes of one row of s: 8 per
+// integer column, a nominal 16 per string column, plus the heap record
+// length prefix.
+func schemaRowBytes(s *tuple.Schema) int64 {
+	n := int64(2)
+	for _, col := range s.Cols {
+		if col.Kind == tuple.KindInt {
+			n += 8
+		} else {
+			n += 16
+		}
+	}
+	return n
+}
+
+// orderingHasPrefix reports whether keys form a prefix of ordering — the
+// condition under which a stream ordered by `ordering` needs no sort on
+// `keys` (equal key groups are contiguous and ascending).
+func orderingHasPrefix(ordering, keys []int) bool {
+	if len(keys) == 0 || len(ordering) < len(keys) {
+		return len(keys) == 0
+	}
+	for i, k := range keys {
+		if ordering[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// remapOrdering translates an ordering through a column projection: for
+// each ordered column, in order, find its output position; the ordering is
+// cut at the first column the projection drops.
+func remapOrdering(ordering, projIdxs []int) []int {
+	var out []int
+	for _, oc := range ordering {
+		pos := -1
+		for pi, ix := range projIdxs {
+			if ix == oc {
+				pos = pi
+				break
+			}
+		}
+		if pos < 0 {
+			break
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// sortNode wraps n in the cheapest sort on keys, or returns it unchanged
+// (with an EXPLAIN note) when the known ordering already covers the keys.
+func (c *Compiler) sortNode(n node, keys []exec.SortKey, why string) node {
+	allAsc := true
+	cols := make([]int, len(keys))
+	for i, k := range keys {
+		cols[i] = k.Col
+		if k.Desc {
+			allAsc = false
+		}
+	}
+	if allAsc && orderingHasPrefix(n.ordering, cols) {
+		c.noteAppend(n.op, "sort for %s skipped: input already ordered on %v", why, cols)
+		return n
+	}
+	p := costmodel.PaperDBParams()
+	external := c.pool != nil && n.est.Bytes() > c.memBudget()
+	var pool = c.pool
+	if !external {
+		pool = nil
+	}
+	op := exec.NewSortKeys(n.op, keys, pool, c.SortMemLimit)
+	est := n.est
+	est.CostMs += costmodel.SortMs(p, n.est.Rows, n.est.RowBytes, external)
+	kind := "in-memory columnar"
+	if external {
+		kind = fmt.Sprintf("external (est %d bytes > budget %d)", n.est.Bytes(), c.memBudget())
+	}
+	c.note(op, "%s sort for %s, est %d rows, cost≈%.2fms", kind, why, est.Rows, est.CostMs)
+	// The ordering claim is ascending-only (catalog.Table.OrderedBy
+	// semantics): claim the keys up to the first descending one — a
+	// stream sorted by (a ASC, b DESC) is still non-decreasing on a, but
+	// claiming b would let later plans skip a genuinely needed sort.
+	var ordering []int
+	for _, k := range keys {
+		if k.Desc {
+			break
+		}
+		ordering = append(ordering, k.Col)
+	}
+	return node{op: op, est: est, ordering: ordering}
+}
+
+// joinChoice prices the physical alternatives for an equi-join and builds
+// the chosen operator tree. It returns the joined node; the decision
+// rationale is attached to the join operator for EXPLAIN.
+func (c *Compiler) joinChoice(left, right node, leftKeys, rightKeys []int) node {
+	p := costmodel.PaperDBParams()
+	leftSorted := orderingHasPrefix(left.ordering, leftKeys)
+	rightSorted := orderingHasPrefix(right.ordering, rightKeys)
+
+	mergeMs := costmodel.MergePassMs(left.est.Rows, right.est.Rows)
+	if !leftSorted {
+		mergeMs += costmodel.SortMs(p, left.est.Rows, left.est.RowBytes, c.pool != nil && left.est.Bytes() > c.memBudget())
+	}
+	if !rightSorted {
+		mergeMs += costmodel.SortMs(p, right.est.Rows, right.est.RowBytes, c.pool != nil && right.est.Bytes() > c.memBudget())
+	}
+	hashMs := costmodel.HashJoinMs(right.est.Rows, left.est.Rows)
+	if right.est.Bytes() > c.memBudget() {
+		hashMs = mergeMs + 1e12 // build side does not fit: infeasible
+	}
+	nlMs := costmodel.NestedLoopMs(left.est.Rows, right.est.Rows)
+
+	// Join cardinality: |L|·|R| / max(|L|,|R|) — the uniform-key estimate.
+	outRows := left.est.Rows * right.est.Rows
+	if m := max64(left.est.Rows, right.est.Rows); m > 0 {
+		outRows /= m
+	}
+	est := Estimate{
+		Rows:     outRows,
+		RowBytes: left.est.RowBytes + right.est.RowBytes - 2,
+		CostMs:   left.est.CostMs + right.est.CostMs,
+	}
+
+	if mergeMs <= hashMs {
+		l := left
+		if leftSorted {
+			c.noteAppend(left.op, "already ordered on %v: merge-scan sort skipped", leftKeys)
+		} else {
+			l = c.sortNode(left, sortKeysFor(leftKeys), "merge-scan join")
+		}
+		r := right
+		if rightSorted {
+			c.noteAppend(right.op, "already ordered on %v: merge-scan sort skipped", rightKeys)
+		} else {
+			r = c.sortNode(right, sortKeysFor(rightKeys), "merge-scan join")
+		}
+		op := exec.NewMergeJoin(l.op, r.op, leftKeys, rightKeys, nil)
+		est.CostMs = l.est.CostMs + r.est.CostMs + costmodel.MergePassMs(left.est.Rows, right.est.Rows)
+		c.note(op, "cost-based: merge-scan %.2fms ≤ hash %.2fms (nested-loop %.2fms); est %d rows",
+			mergeMs, hashMs, nlMs, est.Rows)
+		// Merge join emits left rows in order, each with its right group in
+		// right order: the output stays ordered by the left stream's
+		// ordering — and by left columns ONLY. Extending the claim with
+		// right columns would require every left row to be distinct: any
+		// repeated left row (SQL tables have bag semantics) replays the
+		// whole right group, interleaving right values (group c=1,2 under
+		// two equal left rows emits 1,2,1,2). Without a uniqueness proof
+		// the planner stays conservative.
+		ordering := append([]int{}, l.ordering...)
+		return node{op: op, est: est, ordering: ordering}
+	}
+
+	op := exec.NewHashJoin(left.op, right.op, leftKeys, rightKeys, nil)
+	est.CostMs += hashMs
+	c.note(op, "cost-based: hash %.2fms < merge-scan %.2fms (nested-loop %.2fms); build %d rows, est %d rows",
+		hashMs, mergeMs, nlMs, right.est.Rows, est.Rows)
+	// Probing emits each left row's matches contiguously, so any ordering
+	// on left columns survives.
+	return node{op: op, est: est, ordering: append([]int{}, left.ordering...)}
+}
+
+func sortKeysFor(cols []int) []exec.SortKey {
+	keys := make([]exec.SortKey, len(cols))
+	for i, c := range cols {
+		keys[i] = exec.SortKey{Col: c}
+	}
+	return keys
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -221,6 +221,148 @@ func compileBinary(op sqlparse.BinaryOp, l, r exec.Projector) (exec.Projector, e
 	}
 }
 
+// vecOperand classifies an expression as a vectorizable operand: an
+// integer column reference or an integer constant (literal or bound
+// parameter).
+func vecOperand(e sqlparse.Expr, s *tuple.Schema, params Params) (colIdx int, constVal int64, isCol, ok bool) {
+	switch v := e.(type) {
+	case *sqlparse.ColumnRef:
+		idx, err := resolveColumn(s, v)
+		if err != nil || s.Cols[idx].Kind != tuple.KindInt {
+			return 0, 0, false, false
+		}
+		return idx, 0, true, true
+	case *sqlparse.IntLit:
+		return 0, v.Value, false, true
+	case *sqlparse.Param:
+		val, have := params[v.Name]
+		if !have || val.Kind != tuple.KindInt {
+			return 0, 0, false, false
+		}
+		return 0, val.Int, false, true
+	}
+	return 0, 0, false, false
+}
+
+// intCmpKeep returns the per-row keep decision for a comparison operator
+// over int64 operands, or nil for non-comparison operators.
+func intCmpKeep(op sqlparse.BinaryOp) func(a, b int64) bool {
+	switch op {
+	case sqlparse.OpEq:
+		return func(a, b int64) bool { return a == b }
+	case sqlparse.OpNe:
+		return func(a, b int64) bool { return a != b }
+	case sqlparse.OpLt:
+		return func(a, b int64) bool { return a < b }
+	case sqlparse.OpLe:
+		return func(a, b int64) bool { return a <= b }
+	case sqlparse.OpGt:
+		return func(a, b int64) bool { return a > b }
+	case sqlparse.OpGe:
+		return func(a, b int64) bool { return a >= b }
+	}
+	return nil
+}
+
+// mirrorOp swaps a comparison's operand order: a OP b ⇔ b mirrorOp(OP) a.
+func mirrorOp(op sqlparse.BinaryOp) sqlparse.BinaryOp {
+	switch op {
+	case sqlparse.OpLt:
+		return sqlparse.OpGt
+	case sqlparse.OpLe:
+		return sqlparse.OpGe
+	case sqlparse.OpGt:
+		return sqlparse.OpLt
+	case sqlparse.OpGe:
+		return sqlparse.OpLe
+	default: // Eq/Ne are symmetric
+		return op
+	}
+}
+
+// compileVecPredicate lowers a conjunct to a vectorized predicate when it
+// is a comparison between integer columns and/or constants — the shapes
+// SETM's WHERE and HAVING clauses are made of (q.trans_id = p.trans_id,
+// q.item > p.item_{k-1}, COUNT(*) >= :minsupport). It returns nil when the
+// expression needs the general row-at-a-time evaluator.
+func compileVecPredicate(e sqlparse.Expr, s *tuple.Schema, params Params) exec.VecPredicate {
+	be, ok := e.(*sqlparse.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	op := be.Op
+	if intCmpKeep(op) == nil {
+		return nil
+	}
+	lc, lv, lIsCol, lok := vecOperand(be.L, s, params)
+	rc, rv, rIsCol, rok := vecOperand(be.R, s, params)
+	if !lok || !rok {
+		return nil
+	}
+	// Normalize const-col to col-const by mirroring the operator, leaving
+	// three shapes: col-col, col-const, const-const.
+	if !lIsCol && rIsCol {
+		op = mirrorOp(op)
+		lc, lIsCol = rc, true
+		rv = lv
+		rIsCol = false
+	}
+	keep := intCmpKeep(op)
+	switch {
+	case lIsCol && rIsCol:
+		return func(b *tuple.Batch, in, out []int32) ([]int32, error) {
+			a, bb := b.Cols[lc].I, b.Cols[rc].I
+			if in == nil {
+				for phys := range a {
+					if keep(a[phys], bb[phys]) {
+						out = append(out, int32(phys))
+					}
+				}
+				return out, nil
+			}
+			for _, phys := range in {
+				if keep(a[phys], bb[phys]) {
+					out = append(out, phys)
+				}
+			}
+			return out, nil
+		}
+	case lIsCol:
+		return func(b *tuple.Batch, in, out []int32) ([]int32, error) {
+			a := b.Cols[lc].I
+			if in == nil {
+				for phys := range a {
+					if keep(a[phys], rv) {
+						out = append(out, int32(phys))
+					}
+				}
+				return out, nil
+			}
+			for _, phys := range in {
+				if keep(a[phys], rv) {
+					out = append(out, phys)
+				}
+			}
+			return out, nil
+		}
+	default:
+		// Constant comparison: all-or-nothing.
+		pass := keep(lv, rv)
+		return func(b *tuple.Batch, in, out []int32) ([]int32, error) {
+			if !pass {
+				return out, nil
+			}
+			if in == nil {
+				for phys := 0; phys < b.NumPhysical(); phys++ {
+					out = append(out, int32(phys))
+				}
+				return out, nil
+			}
+			return append(out, in...), nil
+		}
+	}
+}
+
 // compilePredicate builds an exec.Predicate from a boolean expression.
 func compilePredicate(e sqlparse.Expr, s *tuple.Schema, params Params) (exec.Predicate, error) {
 	pr, err := compileExpr(e, s, params)

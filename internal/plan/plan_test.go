@@ -64,23 +64,238 @@ func drain(t *testing.T, op exec.Operator) []tuple.Tuple {
 	return rows
 }
 
-func TestPlanChoosesMergeJoinForEquiJoin(t *testing.T) {
+func TestPlanChoosesKeyedJoinForEquiJoin(t *testing.T) {
 	c, _ := fixture(t)
 	op := compile(t, c, `SELECT p.item, q.item FROM sales p, sales q
 	                     WHERE p.trans_id = q.trans_id AND q.item > p.item`)
-	// The top of an equi-join plan (before projection) must contain a
-	// MergeJoin; walk the tree looking for one.
+	// An equi-join must compile to a keyed physical join (merge-scan or
+	// hash, whichever the cost model prices lower), never a nested loop.
 	if !containsOperator(op, func(o exec.Operator) bool {
-		_, ok := o.(*exec.MergeJoin)
-		return ok
+		switch o.(type) {
+		case *exec.MergeJoin, *exec.HashJoin:
+			return true
+		}
+		return false
 	}) {
-		t.Error("equi-join compiled without a merge join")
+		t.Error("equi-join compiled without a keyed join")
 	}
 	rows := drain(t, op)
 	// Pairs with item2 > item1 per transaction: tx10 gives 3, tx20 gives
 	// 1, tx30 gives 1.
 	if len(rows) != 5 {
 		t.Errorf("pair rows = %d, want 5", len(rows))
+	}
+}
+
+// TestPlanSortedInputsChooseMergeJoin pins the cost model's key decision:
+// when both inputs are already ordered on the join keys (SETM's steady
+// state — R_{k-1} and SALES both sorted by trans_id), the merge-scan join
+// is free of sorts and must win over hashing, with no Sort operator in
+// the plan.
+func TestPlanSortedInputsChooseMergeJoin(t *testing.T) {
+	c, cat := fixture(t)
+	for _, name := range []string{"sales"} {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.OrderedBy = []int{0, 1} // fixture rows are sorted by (trans_id, item)
+	}
+	op := compile(t, c, `SELECT p.item, q.item FROM sales p, sales q
+	                     WHERE p.trans_id = q.trans_id AND q.item > p.item`)
+	foundMerge := false
+	walkPlan(op, func(o exec.Operator) {
+		switch o.(type) {
+		case *exec.MergeJoin:
+			foundMerge = true
+		case *exec.Sort:
+			t.Error("plan contains a Sort despite pre-sorted inputs")
+		}
+	})
+	if !foundMerge {
+		t.Errorf("sorted inputs did not choose a merge join:\n%s", exec.Explain(op))
+	}
+	if rows := drain(t, op); len(rows) != 5 {
+		t.Errorf("pair rows = %d, want 5", len(rows))
+	}
+}
+
+// TestPlanSmallBuildSideChoosesHashJoin pins the other side of the
+// decision: a large unsorted probe side against a small build side (the
+// R'_k ⋈ C_k support-filter join) must hash rather than sort the large
+// input.
+func TestPlanSmallBuildSideChoosesHashJoin(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	cat := catalog.New(pool)
+	big, err := cat.Create("big", tuple.IntSchema("tid", "item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := big.File.Append(tuple.Ints(int64(i), int64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small, err := cat.Create("small", tuple.IntSchema("item", "cnt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := small.File.Append(tuple.Ints(int64(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCompiler(cat, pool, nil)
+	op := compile(t, c, `SELECT b.tid FROM big b, small s WHERE b.item = s.item`)
+	foundHash := false
+	walkPlan(op, func(o exec.Operator) {
+		if _, ok := o.(*exec.HashJoin); ok {
+			foundHash = true
+		}
+	})
+	if !foundHash {
+		t.Errorf("small build side did not choose a hash join:\n%s", exec.Explain(op))
+	}
+}
+
+// TestMergeJoinOrderingNotOverclaimed is the regression test for an
+// ordering-propagation unsoundness: when the left input's ordering does
+// not cover every left column, duplicate-on-the-ordering left rows each
+// replay the full right group, so the join output is NOT ordered by right
+// columns and a downstream ORDER BY on them must still sort.
+func TestMergeJoinOrderingNotOverclaimed(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	cat := catalog.New(pool)
+	l, err := cat.Create("l", tuple.IntSchema("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{1, 5}, {1, 3}} {
+		if err := l.File.Append(tuple.Ints(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.OrderedBy = []int{0} // sorted by a only; b breaks ties arbitrarily
+	r, err := cat.Create("r", tuple.IntSchema("a", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][2]int64{{1, 1}, {1, 2}} {
+		if err := r.File.Append(tuple.Ints(row[0], row[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.OrderedBy = []int{0, 1}
+	c := NewCompiler(cat, pool, nil)
+	op := compile(t, c, `SELECT p.a, p.b, q.c FROM l p, r q
+	                     WHERE p.a = q.a ORDER BY p.a, q.c`)
+	rows := drain(t, op)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][2].Int > rows[i][2].Int {
+			t.Fatalf("ORDER BY p.a, q.c violated: %v before %v", rows[i-1], rows[i])
+		}
+	}
+}
+
+// TestMergeJoinOrderingDuplicateLeftRows extends the regression: even
+// with the left ordering covering every left column, duplicate left rows
+// (legal — SQL bags) replay the right group, so the output is not ordered
+// by right columns and the ORDER BY must still sort.
+func TestMergeJoinOrderingDuplicateLeftRows(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	cat := catalog.New(pool)
+	l, err := cat.Create("l", tuple.IntSchema("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{1, 5}, {1, 5}} {
+		if err := l.File.Append(tuple.Ints(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.OrderedBy = []int{0, 1}
+	r, err := cat.Create("r", tuple.IntSchema("a", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][2]int64{{1, 1}, {1, 2}} {
+		if err := r.File.Append(tuple.Ints(row[0], row[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.OrderedBy = []int{0, 1}
+	c := NewCompiler(cat, pool, nil)
+	op := compile(t, c, `SELECT p.a, p.b, q.c FROM l p, r q
+	                     WHERE p.a = q.a ORDER BY p.a, p.b, q.c`)
+	rows := drain(t, op)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if tuple.CompareAll(rows[i-1], rows[i]) > 0 {
+			t.Fatalf("ORDER BY violated: %v before %v", rows[i-1], rows[i])
+		}
+	}
+}
+
+// TestDescendingSortClaimsNoAscendingOrdering is the regression test for
+// the DESC ordering-claim bug: a plan sorted descending must not be
+// treated as ascending-ordered downstream.
+func TestDescendingSortClaimsNoAscendingOrdering(t *testing.T) {
+	c, _ := fixture(t)
+	st, err := sqlparse.Parse("SELECT s.item FROM sales s ORDER BY s.item DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.CompilePlan(st.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ordering) != 0 {
+		t.Fatalf("DESC sort claimed ascending ordering %v", p.Ordering)
+	}
+}
+
+// TestCompilePlanAnnotations checks that the plan carries cost-model
+// notes for EXPLAIN and a root estimate.
+func TestCompilePlanAnnotations(t *testing.T) {
+	c, _ := fixture(t)
+	st, err := sqlparse.Parse(`SELECT p.item, q.item FROM sales p, sales q
+	                           WHERE p.trans_id = q.trans_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.CompilePlan(st.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Explain()
+	if !strings.Contains(out, "cost-based") {
+		t.Errorf("plan lacks cost annotations:\n%s", out)
+	}
+	if p.Est.Rows <= 0 {
+		t.Errorf("root estimate = %+v", p.Est)
+	}
+}
+
+// walkPlan visits every operator reachable through Child/Left/Right
+// accessors.
+func walkPlan(op exec.Operator, visit func(exec.Operator)) {
+	visit(op)
+	type childer interface{ Child() exec.Operator }
+	type joiner interface {
+		Left() exec.Operator
+		Right() exec.Operator
+	}
+	if c, ok := op.(childer); ok {
+		walkPlan(c.Child(), visit)
+	}
+	if j, ok := op.(joiner); ok {
+		walkPlan(j.Left(), visit)
+		walkPlan(j.Right(), visit)
 	}
 }
 

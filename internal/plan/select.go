@@ -5,20 +5,25 @@ import (
 	"strings"
 
 	"setm/internal/catalog"
+	"setm/internal/costmodel"
 	"setm/internal/exec"
 	"setm/internal/sqlparse"
 	"setm/internal/storage"
 	"setm/internal/tuple"
-	"setm/internal/xsort"
 )
 
 // Compiler turns statements into operator trees against a catalog.
 type Compiler struct {
 	cat    *catalog.Catalog
-	pool   *storage.Pool // spill target for sorts; nil = in-memory sorts
+	pool   *storage.Pool // spill target for external sorts; nil = in-memory only
 	params Params
 	// SortMemLimit bounds in-memory run size for external sorts (0 = default).
 	SortMemLimit int
+	// MemBudget bounds the in-memory working set of a sort or hash build
+	// (0 = DefaultMemBudget); the cost model spills or rejects above it.
+	MemBudget int64
+
+	notes map[exec.Operator]string
 }
 
 // NewCompiler builds a compiler. pool may be nil to keep sorts in memory.
@@ -31,7 +36,20 @@ func NewCompiler(cat *catalog.Catalog, pool *storage.Pool, params Params) *Compi
 
 // CompileSelect compiles a SELECT into an operator tree.
 func (c *Compiler) CompileSelect(sel *sqlparse.Select) (exec.Operator, error) {
-	op, err := c.compileFromWhere(sel)
+	p, err := c.CompilePlan(sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Root, nil
+}
+
+// CompilePlan compiles a SELECT into a physical plan, choosing operators
+// by cost (catalog row counts fed through the paper's page arithmetic)
+// and tracking the output ordering so provably redundant sorts are
+// skipped.
+func (c *Compiler) CompilePlan(sel *sqlparse.Select) (*Plan, error) {
+	c.notes = make(map[exec.Operator]string)
+	n, err := c.compileFromWhere(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -48,38 +66,53 @@ func (c *Compiler) CompileSelect(sel *sqlparse.Select) (exec.Operator, error) {
 
 	aggCols := map[string]int{}
 	if needGroup {
-		op, aggCols, err = c.compileGroup(sel, op)
+		n, aggCols, err = c.compileGroup(sel, n)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	op, err = c.compileProjection(sel, op, aggCols)
+	n, err = c.compileProjection(sel, n, aggCols)
 	if err != nil {
 		return nil, err
 	}
 
 	if sel.Distinct {
-		op = exec.NewDistinct(exec.NewSort(op, xsort.ByAllColumns(), c.pool, c.SortMemLimit))
+		allCols := make([]int, n.op.Schema().Len())
+		for i := range allCols {
+			allCols[i] = i
+		}
+		n = c.sortNode(n, sortKeysFor(allCols), "DISTINCT")
+		op := exec.NewDistinct(n.op)
+		est := n.est
+		est.Rows = max64(1, est.Rows/2)
+		n = node{op: op, est: est, ordering: n.ordering}
 	}
 
-	op, err = c.compileOrderBy(sel, op, aggCols)
+	n, err = c.compileOrderBy(sel, n, aggCols)
 	if err != nil {
 		return nil, err
 	}
 
 	if sel.Limit >= 0 {
-		op = exec.NewLimit(op, sel.Limit)
+		op := exec.NewLimit(n.op, sel.Limit)
+		est := n.est
+		if est.Rows > sel.Limit {
+			est.Rows = sel.Limit
+		}
+		n = node{op: op, est: est, ordering: n.ordering}
 	}
-	return op, nil
+	return &Plan{Root: n.op, Ordering: n.ordering, Est: n.est, notes: c.notes}, nil
 }
 
 // scanRef builds a qualified scan of one FROM table: every column is
-// exposed as "binding.column".
-func (c *Compiler) scanRef(ref sqlparse.TableRef) (exec.Operator, error) {
+// exposed as "binding.column". The estimate uses the catalog's live row
+// and page counts; the known storage ordering carries over (column
+// positions are unchanged by renaming).
+func (c *Compiler) scanRef(ref sqlparse.TableRef) (node, error) {
 	tbl, err := c.cat.Get(ref.Table)
 	if err != nil {
-		return nil, err
+		return node{}, err
 	}
 	base := tbl.File.Schema()
 	binding := ref.Binding()
@@ -87,13 +120,33 @@ func (c *Compiler) scanRef(ref sqlparse.TableRef) (exec.Operator, error) {
 	for i, col := range base.Cols {
 		cols[i] = tuple.Column{Name: binding + "." + col.Name, Kind: col.Kind}
 	}
-	return exec.NewRename(exec.NewHeapScan(tbl.File), tuple.NewSchema(cols...)), nil
+	op := exec.NewRename(exec.NewHeapScan(tbl.File), tuple.NewSchema(cols...))
+	p := costmodel.PaperDBParams()
+	est := Estimate{
+		Rows:     tbl.File.Rows(),
+		RowBytes: schemaRowBytes(base),
+		CostMs:   costmodel.SeqScanMs(p, int64(tbl.File.Pages())),
+	}
+	return node{op: op, est: est, ordering: append([]int{}, tbl.OrderedBy...)}, nil
 }
 
 // conjunct tracks one WHERE conjunct and whether a join step consumed it.
 type conjunct struct {
 	expr sqlparse.Expr
 	used bool
+}
+
+// selectivityOf is the System-R style default selectivity of a conjunct.
+func selectivityOf(e sqlparse.Expr) float64 {
+	if be, ok := e.(*sqlparse.BinaryExpr); ok {
+		switch be.Op {
+		case sqlparse.OpEq:
+			return selEquality
+		case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+			return selRange
+		}
+	}
+	return selDefault
 }
 
 // fullFromSchema concatenates the qualified schemas of every FROM table,
@@ -112,12 +165,60 @@ func (c *Compiler) fullFromSchema(from []sqlparse.TableRef) (*tuple.Schema, erro
 	return tuple.NewSchema(cols...), nil
 }
 
-// compileFromWhere builds the join tree: left-deep in FROM order, merge-scan
-// join when equi-join conjuncts connect the sides, nested-loop otherwise.
-// Single-table conjuncts are pushed below the joins.
-func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error) {
+// attachFilters wraps n with every unused conjunct resolvable in scope
+// (nil scope = anything resolvable), compiling vectorizable comparisons to
+// VecPredicates and the rest to a row predicate.
+func (c *Compiler) attachFilters(n node, conjs []*conjunct, scope map[string]bool) (node, error) {
+	var vecs []exec.VecPredicate
+	var preds []exec.Predicate
+	sel := 1.0
+	for _, cj := range conjs {
+		if cj.used {
+			continue
+		}
+		if scope != nil {
+			bind, err := columnBindings(cj.expr, n.op.Schema())
+			if err != nil {
+				continue // not resolvable here; a later scope will take it
+			}
+			if !subsetOf(bind, scope) {
+				continue
+			}
+		}
+		if vp := compileVecPredicate(cj.expr, n.op.Schema(), c.params); vp != nil {
+			vecs = append(vecs, vp)
+		} else {
+			p, err := compilePredicate(cj.expr, n.op.Schema(), c.params)
+			if err != nil {
+				return node{}, err
+			}
+			preds = append(preds, p)
+		}
+		sel *= selectivityOf(cj.expr)
+		cj.used = true
+	}
+	if len(vecs) == 0 && len(preds) == 0 {
+		return n, nil
+	}
+	var rowPred exec.Predicate
+	if len(preds) > 0 {
+		rowPred = andPredicates(preds)
+	}
+	op := exec.NewFilterVec(n.op, vecs, rowPred)
+	est := n.est
+	est.CostMs += costmodel.CPUTupleMs * float64(est.Rows)
+	est.Rows = max64(1, int64(float64(est.Rows)*sel))
+	c.note(op, "selectivity≈%.2f, est %d rows (%d/%d conjuncts vectorized)",
+		sel, est.Rows, len(vecs), len(vecs)+len(preds))
+	return node{op: op, est: est, ordering: n.ordering}, nil
+}
+
+// compileFromWhere builds the join tree: left-deep in FROM order, with the
+// physical join operator (merge-scan, hash, nested-loop) chosen per step
+// by the cost model. Single-table conjuncts are pushed below the joins.
+func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (node, error) {
 	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("plan: query has no FROM clause")
+		return node{}, fmt.Errorf("plan: query has no FROM clause")
 	}
 	conjs := make([]*conjunct, 0)
 	for _, e := range sqlparse.SplitConjuncts(sel.Where) {
@@ -129,7 +230,7 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error)
 	// otherwise let an ambiguous unqualified reference slip through.
 	fullSchema, err := c.fullFromSchema(sel.From)
 	if err != nil {
-		return nil, err
+		return node{}, err
 	}
 	for _, cj := range conjs {
 		var colErr error
@@ -142,56 +243,29 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error)
 			}
 		})
 		if colErr != nil {
-			return nil, colErr
+			return node{}, colErr
 		}
-	}
-
-	// filterScoped attaches every unused conjunct resolvable within scope.
-	filterScoped := func(op exec.Operator, scope map[string]bool) (exec.Operator, error) {
-		var preds []exec.Predicate
-		for _, cj := range conjs {
-			if cj.used {
-				continue
-			}
-			bind, err := columnBindings(cj.expr, op.Schema())
-			if err != nil {
-				continue // not resolvable here; a later scope will take it
-			}
-			if !subsetOf(bind, scope) {
-				continue
-			}
-			p, err := compilePredicate(cj.expr, op.Schema(), c.params)
-			if err != nil {
-				return nil, err
-			}
-			preds = append(preds, p)
-			cj.used = true
-		}
-		if len(preds) == 0 {
-			return op, nil
-		}
-		return exec.NewFilter(op, andPredicates(preds)), nil
 	}
 
 	current, err := c.scanRef(sel.From[0])
 	if err != nil {
-		return nil, err
+		return node{}, err
 	}
 	scope := map[string]bool{strings.ToLower(sel.From[0].Binding()): true}
-	current, err = filterScoped(current, scope)
+	current, err = c.attachFilters(current, conjs, scope)
 	if err != nil {
-		return nil, err
+		return node{}, err
 	}
 
 	for _, ref := range sel.From[1:] {
 		right, err := c.scanRef(ref)
 		if err != nil {
-			return nil, err
+			return node{}, err
 		}
 		rbind := strings.ToLower(ref.Binding())
-		right, err = filterScoped(right, map[string]bool{rbind: true})
+		right, err = c.attachFilters(right, conjs, map[string]bool{rbind: true})
 		if err != nil {
-			return nil, err
+			return node{}, err
 		}
 
 		// Find equi-join conjuncts linking current scope to the new table.
@@ -209,12 +283,12 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error)
 			if !lok || !rok {
 				continue
 			}
-			li, lerr := resolveColumn(current.Schema(), lcol)
-			ri, rerr := resolveColumn(right.Schema(), rcol)
+			li, lerr := resolveColumn(current.op.Schema(), lcol)
+			ri, rerr := resolveColumn(right.op.Schema(), rcol)
 			if lerr != nil || rerr != nil {
 				// Try the mirrored orientation.
-				li, lerr = resolveColumn(current.Schema(), rcol)
-				ri, rerr = resolveColumn(right.Schema(), lcol)
+				li, lerr = resolveColumn(current.op.Schema(), rcol)
+				ri, rerr = resolveColumn(right.op.Schema(), lcol)
 				if lerr != nil || rerr != nil {
 					continue
 				}
@@ -225,54 +299,45 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (exec.Operator, error)
 		}
 
 		if len(leftKeys) > 0 {
-			// Merge-scan join: order both inputs on the join keys first.
-			sortedL := exec.NewSort(current, xsort.ByColumns(leftKeys...), c.pool, c.SortMemLimit)
-			sortedR := exec.NewSort(right, xsort.ByColumns(rightKeys...), c.pool, c.SortMemLimit)
-			current = exec.NewMergeJoin(sortedL, sortedR, leftKeys, rightKeys, nil)
+			current = c.joinChoice(current, right, leftKeys, rightKeys)
 		} else {
-			current = exec.NewNestedLoopJoin(current, right, nil)
+			op := exec.NewNestedLoopJoin(current.op, right.op, nil)
+			est := Estimate{
+				Rows:     current.est.Rows * max64(right.est.Rows, 1),
+				RowBytes: current.est.RowBytes + right.est.RowBytes - 2,
+				CostMs: current.est.CostMs + right.est.CostMs +
+					costmodel.NestedLoopMs(current.est.Rows, right.est.Rows),
+			}
+			c.note(op, "no equi-join key; est %d rows, cost≈%.2fms", est.Rows, est.CostMs)
+			current = node{op: op, est: est, ordering: append([]int{}, current.ordering...)}
 		}
 		scope[rbind] = true
-		current, err = filterScoped(current, scope)
+		current, err = c.attachFilters(current, conjs, scope)
 		if err != nil {
-			return nil, err
+			return node{}, err
 		}
 	}
 
 	// Anything left (e.g. constant predicates) applies at the top.
-	var preds []exec.Predicate
-	for _, cj := range conjs {
-		if cj.used {
-			continue
-		}
-		p, err := compilePredicate(cj.expr, current.Schema(), c.params)
-		if err != nil {
-			return nil, err
-		}
-		preds = append(preds, p)
-		cj.used = true
-	}
-	if len(preds) > 0 {
-		current = exec.NewFilter(current, andPredicates(preds))
-	}
-	return current, nil
+	return c.attachFilters(current, conjs, nil)
 }
 
-// compileGroup plans GROUP BY/aggregates: sort on the grouping columns,
-// then a sequential grouped scan (the paper's count-generation step). It
-// returns the grouped operator and a map from aggregate expression text
-// (e.g. "COUNT(*)") to its column index in the grouped schema.
-func (c *Compiler) compileGroup(sel *sqlparse.Select, in exec.Operator) (exec.Operator, map[string]int, error) {
-	inSchema := in.Schema()
+// compileGroup plans GROUP BY/aggregates: sort on the grouping columns
+// (skipped when the input's ordering already covers them), then a
+// sequential grouped scan (the paper's count-generation step). It returns
+// the grouped node and a map from aggregate expression text (e.g.
+// "COUNT(*)") to its column index in the grouped schema.
+func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string]int, error) {
+	inSchema := in.op.Schema()
 	groupIdxs := make([]int, 0, len(sel.GroupBy))
 	for _, ge := range sel.GroupBy {
 		cr, ok := ge.(*sqlparse.ColumnRef)
 		if !ok {
-			return nil, nil, fmt.Errorf("plan: GROUP BY supports column references only, got %s", ge)
+			return node{}, nil, fmt.Errorf("plan: GROUP BY supports column references only, got %s", ge)
 		}
 		idx, err := resolveColumn(inSchema, cr)
 		if err != nil {
-			return nil, nil, err
+			return node{}, nil, err
 		}
 		groupIdxs = append(groupIdxs, idx)
 	}
@@ -315,11 +380,11 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in exec.Operator) (exec.Op
 		case sqlparse.FuncSum, sqlparse.FuncMin, sqlparse.FuncMax:
 			cr, ok := ae.Arg.(*sqlparse.ColumnRef)
 			if !ok {
-				return nil, nil, fmt.Errorf("plan: %s argument must be a column", ae.Func)
+				return node{}, nil, fmt.Errorf("plan: %s argument must be a column", ae.Func)
 			}
 			idx, err := resolveColumn(inSchema, cr)
 			if err != nil {
-				return nil, nil, err
+				return node{}, nil, err
 			}
 			spec.Col = idx
 			switch ae.Func {
@@ -331,36 +396,59 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in exec.Operator) (exec.Op
 				spec.Kind = exec.AggMax
 			}
 		default:
-			return nil, nil, fmt.Errorf("plan: unsupported aggregate %s", ae.Func)
+			return node{}, nil, fmt.Errorf("plan: unsupported aggregate %s", ae.Func)
 		}
 		specs = append(specs, spec)
 		aggCols[ae.String()] = len(groupIdxs) + i
 	}
 
-	var child exec.Operator = in
+	child := in
 	if len(groupIdxs) > 0 {
-		child = exec.NewSort(in, xsort.ByColumns(groupIdxs...), c.pool, c.SortMemLimit)
+		child = c.sortNode(in, sortKeysFor(groupIdxs), "GROUP BY")
 	}
-	grp := exec.NewSortGroup(child, groupIdxs, specs)
+	grp := exec.NewSortGroup(child.op, groupIdxs, specs)
 	if len(groupIdxs) == 0 {
 		grp.Global = true
 	}
-
-	var op exec.Operator = grp
-	if sel.Having != nil {
-		pred, err := c.compileWithAggs(sel.Having, grp.Schema(), aggCols)
-		if err != nil {
-			return nil, nil, err
-		}
-		op = exec.NewFilter(op, func(t tuple.Tuple) (bool, error) {
-			v, err := pred(t)
-			if err != nil {
-				return false, err
-			}
-			return truthy(v), nil
-		})
+	est := Estimate{
+		Rows:     max64(1, child.est.Rows/10),
+		RowBytes: schemaRowBytes(grp.Schema()),
+		CostMs:   child.est.CostMs + costmodel.CPUTupleMs*float64(child.est.Rows),
 	}
-	return op, aggCols, nil
+	// SortGroup preserves its (sorted) input's group order, so the output
+	// is ordered by the group columns' output positions.
+	ordering := make([]int, len(groupIdxs))
+	for i := range groupIdxs {
+		ordering[i] = i
+	}
+	c.note(grp, "est %d groups from %d rows", est.Rows, child.est.Rows)
+	n := node{op: grp, est: est, ordering: ordering}
+
+	if sel.Having != nil {
+		rewritten := rewriteAggs(sel.Having, aggCols)
+		est := n.est
+		est.Rows = max64(1, int64(float64(est.Rows)*selectivityOf(rewritten)))
+		var op *exec.Filter
+		if vp := compileVecPredicate(rewritten, grp.Schema(), c.params); vp != nil {
+			op = exec.NewFilterVec(n.op, []exec.VecPredicate{vp}, nil)
+			c.note(op, "HAVING (vectorized), est %d rows", est.Rows)
+		} else {
+			pred, err := c.compileWithAggs(sel.Having, grp.Schema(), aggCols)
+			if err != nil {
+				return node{}, nil, err
+			}
+			op = exec.NewFilter(n.op, func(t tuple.Tuple) (bool, error) {
+				v, err := pred(t)
+				if err != nil {
+					return false, err
+				}
+				return truthy(v), nil
+			})
+			c.note(op, "HAVING, est %d rows", est.Rows)
+		}
+		n = node{op: op, est: est, ordering: n.ordering}
+	}
+	return n, aggCols, nil
 }
 
 // compileWithAggs compiles an expression in which aggregate calls refer to
@@ -416,11 +504,15 @@ func outputName(it sqlparse.SelectItem) string {
 	return it.Expr.String()
 }
 
-// compileProjection evaluates the select list.
-func (c *Compiler) compileProjection(sel *sqlparse.Select, in exec.Operator, aggCols map[string]int) (exec.Operator, error) {
-	inSchema := in.Schema()
+// compileProjection evaluates the select list. Pure column projections
+// (the common SETM shape) take the zero-copy batch path and keep the
+// ordering of the surviving leading columns.
+func (c *Compiler) compileProjection(sel *sqlparse.Select, in node, aggCols map[string]int) (node, error) {
+	inSchema := in.op.Schema()
 	var projs []exec.Projector
 	var cols []tuple.Column
+	colIdxs := make([]int, 0, len(sel.Items))
+	pureCols := true
 	for _, it := range sel.Items {
 		if it.Star {
 			for i, col := range inSchema.Cols {
@@ -429,42 +521,57 @@ func (c *Compiler) compileProjection(sel *sqlparse.Select, in exec.Operator, agg
 					name = name[dot+1:]
 				}
 				projs = append(projs, exec.ColProjector(i))
+				colIdxs = append(colIdxs, i)
 				cols = append(cols, tuple.Column{Name: name, Kind: col.Kind})
 			}
 			continue
 		}
 		expr := rewriteAggs(it.Expr, aggCols)
+		if cr, ok := expr.(*sqlparse.ColumnRef); ok {
+			idx, err := resolveColumn(inSchema, cr)
+			if err != nil {
+				return node{}, err
+			}
+			projs = append(projs, exec.ColProjector(idx))
+			colIdxs = append(colIdxs, idx)
+			cols = append(cols, tuple.Column{Name: outputName(it), Kind: inSchema.Cols[idx].Kind})
+			continue
+		}
+		pureCols = false
 		pr, err := compileExpr(expr, inSchema, c.params)
 		if err != nil {
-			return nil, err
+			return node{}, err
 		}
 		projs = append(projs, pr)
 		cols = append(cols, tuple.Column{Name: outputName(it), Kind: c.inferKind(expr, inSchema)})
 	}
-	return exec.NewProject(in, tuple.NewSchema(cols...), projs), nil
+	schema := tuple.NewSchema(cols...)
+	est := in.est
+	est.RowBytes = schemaRowBytes(schema)
+	if pureCols {
+		op := exec.NewProjectColumns(in.op, colIdxs, schema)
+		return node{op: op, est: est, ordering: remapOrdering(in.ordering, colIdxs)}, nil
+	}
+	est.CostMs += costmodel.CPUTupleMs * float64(est.Rows)
+	return node{op: exec.NewProject(in.op, schema, projs), est: est}, nil
 }
 
-// compileOrderBy sorts the projected output. Order keys that are not
-// visible in the output schema are carried as hidden trailing columns and
-// stripped after the sort. The pre-projection schema is not available here,
-// so hidden keys are compiled against the projection input via a second
-// projection pass — in practice the paper's queries always order by
-// projected columns, the hidden path covers aliases of grouped columns.
-func (c *Compiler) compileOrderBy(sel *sqlparse.Select, in exec.Operator, aggCols map[string]int) (exec.Operator, error) {
+// compileOrderBy sorts the projected output, unless the planner can prove
+// the stream is already ordered on the requested keys (the SETM loop's
+// ORDER BY clauses all fall out this way once merge joins and grouped
+// scans propagate their orderings). Order keys must be visible in the
+// output schema, possibly under their pre-projection names.
+func (c *Compiler) compileOrderBy(sel *sqlparse.Select, in node, aggCols map[string]int) (node, error) {
 	if len(sel.OrderBy) == 0 {
 		return in, nil
 	}
-	schema := in.Schema()
-	type key struct {
-		idx  int
-		desc bool
-	}
-	keys := make([]key, 0, len(sel.OrderBy))
+	schema := in.op.Schema()
+	keys := make([]exec.SortKey, 0, len(sel.OrderBy))
 	for _, oi := range sel.OrderBy {
 		expr := rewriteAggs(oi.Expr, aggCols)
 		cr, ok := expr.(*sqlparse.ColumnRef)
 		if !ok {
-			return nil, fmt.Errorf("plan: ORDER BY supports column references only, got %s", oi.Expr)
+			return node{}, fmt.Errorf("plan: ORDER BY supports column references only, got %s", oi.Expr)
 		}
 		idx, err := resolveColumn(schema, cr)
 		if err != nil {
@@ -472,22 +579,10 @@ func (c *Compiler) compileOrderBy(sel *sqlparse.Select, in exec.Operator, aggCol
 			// column is named "item").
 			idx = schema.ColIndex(cr.Name)
 			if idx < 0 {
-				return nil, err
+				return node{}, err
 			}
 		}
-		keys = append(keys, key{idx: idx, desc: oi.Desc})
+		keys = append(keys, exec.SortKey{Col: idx, Desc: oi.Desc})
 	}
-	cmp := func(a, b tuple.Tuple) int {
-		for _, k := range keys {
-			c := tuple.Compare(a[k.idx], b[k.idx])
-			if c != 0 {
-				if k.desc {
-					return -c
-				}
-				return c
-			}
-		}
-		return 0
-	}
-	return exec.NewSort(in, cmp, c.pool, c.SortMemLimit), nil
+	return c.sortNode(in, keys, "ORDER BY"), nil
 }

@@ -69,6 +69,12 @@ type Pool struct {
 	frames   map[PageID]*list.Element // -> *Page wrapped in lru entries
 	lru      *list.List               // front = most recently used
 	Stats    Stats
+
+	// freeList holds page IDs returned by FreePages for reuse; freed marks
+	// membership so double-frees are harmless. Reusing freed pages keeps the
+	// store's footprint bounded even though Store itself is append-only.
+	freeList []PageID
+	freed    map[PageID]bool
 }
 
 type lruEntry struct {
@@ -118,10 +124,20 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 }
 
 // Allocate reserves a fresh zeroed page, placing it in the pool pinned.
+// Pages previously returned via FreePages are recycled before the store
+// is asked to grow.
 func (p *Pool) Allocate() (*Page, error) {
-	id, err := p.store.Allocate()
-	if err != nil {
-		return nil, err
+	var id PageID
+	if n := len(p.freeList); n > 0 {
+		id = p.freeList[n-1]
+		p.freeList = p.freeList[:n-1]
+		delete(p.freed, id)
+	} else {
+		var err error
+		id, err = p.store.Allocate()
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.Stats.Allocs++
 	pg := &Page{ID: id}
@@ -131,6 +147,30 @@ func (p *Pool) Allocate() (*Page, error) {
 	}
 	pg.pin++
 	return pg, nil
+}
+
+// FreePages returns pages to the pool for reuse by later Allocate calls,
+// discarding any cached (even dirty) frames — the contents are dead by
+// definition. Pinned pages and pages already freed are skipped.
+func (p *Pool) FreePages(ids []PageID) {
+	if p.freed == nil {
+		p.freed = make(map[PageID]bool)
+	}
+	for _, id := range ids {
+		if p.freed[id] {
+			continue
+		}
+		if el, ok := p.frames[id]; ok {
+			pg := el.Value.(*lruEntry).page
+			if pg.pin > 0 {
+				continue // still in use somewhere; leak rather than corrupt
+			}
+			p.lru.Remove(el)
+			delete(p.frames, id)
+		}
+		p.freed[id] = true
+		p.freeList = append(p.freeList, id)
+	}
 }
 
 func (p *Pool) insert(pg *Page) error {

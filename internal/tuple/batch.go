@@ -1,0 +1,368 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BatchSize is the default number of rows a vectorized operator processes
+// per NextBatch call. 1024 rows of int64 columns keep a handful of columns
+// inside the L1/L2 caches while amortizing per-call overhead.
+const BatchSize = 1024
+
+// ColVec is one column of a Batch: a dense vector of values of a single
+// kind. Exactly one of I or S is used, selected by Kind.
+type ColVec struct {
+	Kind Kind
+	I    []int64
+	S    []string
+}
+
+// AppendValue appends v to the vector, coercing by the column's kind.
+func (c *ColVec) AppendValue(v Value) {
+	switch c.Kind {
+	case KindInt:
+		c.I = append(c.I, v.Int)
+	default:
+		c.S = append(c.S, v.Str)
+	}
+}
+
+// value returns the physical row i as a Value.
+func (c *ColVec) value(i int) Value {
+	switch c.Kind {
+	case KindInt:
+		return I(c.I[i])
+	default:
+		return S(c.S[i])
+	}
+}
+
+// truncate shrinks the vector to n physical rows.
+func (c *ColVec) truncate(n int) {
+	switch c.Kind {
+	case KindInt:
+		c.I = c.I[:n]
+	default:
+		c.S = c.S[:n]
+	}
+}
+
+// Batch is a column-major slice of rows: one ColVec per schema column plus
+// an optional selection vector. Operators exchange batches instead of
+// single tuples; a batch returned by NextBatch is valid only until the
+// next NextBatch or Close call on the producing operator (producers reuse
+// their buffers), so consumers must finish with it — or copy what they
+// keep — before pulling again.
+//
+// The selection vector, when non-nil, lists the physical row indexes that
+// are logically present, in order. Filters produce selections instead of
+// copying survivors; downstream operators either iterate through the
+// selection or Compact it away.
+type Batch struct {
+	schema *Schema
+	Cols   []ColVec
+	n      int     // physical row count
+	sel    []int32 // live physical rows in order; nil = all n rows
+}
+
+// NewBatch returns an empty batch for the given schema.
+func NewBatch(s *Schema) *Batch {
+	b := &Batch{schema: s, Cols: make([]ColVec, s.Len())}
+	for i, c := range s.Cols {
+		b.Cols[i].Kind = c.Kind
+	}
+	return b
+}
+
+// Schema returns the batch's schema.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// Len returns the logical (selected) row count.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// NumPhysical returns the physical row count, ignoring any selection.
+func (b *Batch) NumPhysical() int { return b.n }
+
+// Sel returns the selection vector (nil when every physical row is live).
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// SetSel installs a selection vector over the batch's physical rows.
+func (b *Batch) SetSel(sel []int32) { b.sel = sel }
+
+// RowIdx maps a logical row index to its physical index.
+func (b *Batch) RowIdx(i int) int {
+	if b.sel != nil {
+		return int(b.sel[i])
+	}
+	return i
+}
+
+// Reset empties the batch for refilling, keeping column capacity.
+func (b *Batch) Reset() {
+	for i := range b.Cols {
+		b.Cols[i].truncate(0)
+	}
+	b.n = 0
+	b.sel = nil
+}
+
+// AppendTuple appends one row given as a tuple. Values are stored by the
+// schema's column kinds.
+func (b *Batch) AppendTuple(t Tuple) error {
+	if len(t) != len(b.Cols) {
+		return fmt.Errorf("tuple: batch append arity %d does not match schema %d", len(t), len(b.Cols))
+	}
+	for i := range b.Cols {
+		b.Cols[i].AppendValue(t[i])
+	}
+	b.n++
+	return nil
+}
+
+// AppendRow copies the physical row phys of src (same column layout) onto
+// the end of b.
+func (b *Batch) AppendRow(src *Batch, phys int) {
+	for i := range b.Cols {
+		switch b.Cols[i].Kind {
+		case KindInt:
+			b.Cols[i].I = append(b.Cols[i].I, src.Cols[i].I[phys])
+		default:
+			b.Cols[i].S = append(b.Cols[i].S, src.Cols[i].S[phys])
+		}
+	}
+	b.n++
+}
+
+// BumpRow records that one physical row has been appended to every column
+// by an external writer (used by operators that build rows column by
+// column, e.g. join output assembly).
+func (b *Batch) BumpRow() { b.n++ }
+
+// Append copies every logical row of src onto the end of b (same column
+// layout). Dense sources append whole column slices — a few memmoves per
+// batch instead of a per-row, per-column gather.
+func (b *Batch) Append(src *Batch) {
+	if src.sel == nil {
+		for c := range b.Cols {
+			if b.Cols[c].Kind == KindInt {
+				b.Cols[c].I = append(b.Cols[c].I, src.Cols[c].I...)
+			} else {
+				b.Cols[c].S = append(b.Cols[c].S, src.Cols[c].S...)
+			}
+		}
+		b.n += src.n
+		return
+	}
+	for _, phys := range src.sel {
+		b.AppendRow(src, int(phys))
+	}
+}
+
+// Value returns column c of logical row i.
+func (b *Batch) Value(i, c int) Value { return b.Cols[c].value(b.RowIdx(i)) }
+
+// Row materializes logical row i as a freshly allocated tuple.
+func (b *Batch) Row(i int) Tuple {
+	t := make(Tuple, len(b.Cols))
+	return b.RowInto(t, i)
+}
+
+// RowInto materializes logical row i into buf (which must have the batch's
+// arity) and returns it, avoiding the allocation of Row.
+func (b *Batch) RowInto(buf Tuple, i int) Tuple {
+	return b.PhysRowInto(buf, b.RowIdx(i))
+}
+
+// PhysRowInto materializes the physical row phys into buf, ignoring any
+// selection vector.
+func (b *Batch) PhysRowInto(buf Tuple, phys int) Tuple {
+	for c := range b.Cols {
+		buf[c] = b.Cols[c].value(phys)
+	}
+	return buf
+}
+
+// Truncate keeps only the first k logical rows.
+func (b *Batch) Truncate(k int) {
+	if k >= b.Len() {
+		return
+	}
+	if b.sel != nil {
+		b.sel = b.sel[:k]
+		return
+	}
+	for i := range b.Cols {
+		b.Cols[i].truncate(k)
+	}
+	b.n = k
+}
+
+// Compact applies the selection vector in place, leaving a dense batch
+// with no selection. It is a no-op when no selection is installed.
+func (b *Batch) Compact() {
+	if b.sel == nil {
+		return
+	}
+	sel := b.sel
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.Kind {
+		case KindInt:
+			for out, phys := range sel {
+				col.I[out] = col.I[phys]
+			}
+			col.I = col.I[:len(sel)]
+		default:
+			for out, phys := range sel {
+				col.S[out] = col.S[phys]
+			}
+			col.S = col.S[:len(sel)]
+		}
+	}
+	b.n = len(sel)
+	b.sel = nil
+}
+
+// WithSchema returns a shallow view of the batch under a different schema
+// with the same column kinds; storage is shared. Rename uses this to
+// re-qualify column names without copying data.
+func (b *Batch) WithSchema(s *Schema) *Batch {
+	v := *b
+	v.schema = s
+	return &v
+}
+
+// Project returns a shallow view holding only the columns at idxs under
+// the given schema; column storage and the selection vector are shared.
+func (b *Batch) Project(s *Schema, idxs []int) *Batch {
+	v := &Batch{schema: s, Cols: make([]ColVec, len(idxs)), n: b.n, sel: b.sel}
+	for i, ix := range idxs {
+		v.Cols[i] = b.Cols[ix]
+	}
+	return v
+}
+
+// Clone returns a dense deep copy of the batch's logical rows.
+func (b *Batch) Clone() *Batch {
+	out := NewBatch(b.schema)
+	n := b.Len()
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		oc := &out.Cols[c]
+		switch col.Kind {
+		case KindInt:
+			oc.I = make([]int64, n)
+			for i := 0; i < n; i++ {
+				oc.I[i] = col.I[b.RowIdx(i)]
+			}
+		default:
+			oc.S = make([]string, n)
+			for i := 0; i < n; i++ {
+				oc.S[i] = col.S[b.RowIdx(i)]
+			}
+		}
+	}
+	out.n = n
+	return out
+}
+
+// CompareRows orders logical row i of b against logical row j of o on the
+// paired key columns, with per-key descending flags (nil desc = all
+// ascending). Both batches must share column kinds at the key positions.
+func (b *Batch) CompareRows(i int, o *Batch, j int, bCols, oCols []int, desc []bool) int {
+	bi, oj := b.RowIdx(i), o.RowIdx(j)
+	for k := range bCols {
+		var c int
+		bc, oc := &b.Cols[bCols[k]], &o.Cols[oCols[k]]
+		if bc.Kind == KindInt && oc.Kind == KindInt {
+			av, bv := bc.I[bi], oc.I[oj]
+			switch {
+			case av < bv:
+				c = -1
+			case av > bv:
+				c = 1
+			}
+		} else {
+			c = Compare(bc.value(bi), oc.value(oj))
+		}
+		if c != 0 {
+			if desc != nil && desc[k] {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// AppendEncoded decodes one record in the binary tuple codec (see Encode)
+// directly into the batch's columns, returning the bytes consumed.
+func (b *Batch) AppendEncoded(src []byte) (int, error) {
+	off := 0
+	for i := range b.Cols {
+		col := &b.Cols[i]
+		switch col.Kind {
+		case KindInt:
+			if off+8 > len(src) {
+				return 0, fmt.Errorf("tuple: short buffer decoding int column %d", i)
+			}
+			col.I = append(col.I, int64(binary.BigEndian.Uint64(src[off:])))
+			off += 8
+		default:
+			if off+4 > len(src) {
+				return 0, fmt.Errorf("tuple: short buffer decoding string length of column %d", i)
+			}
+			n := int(binary.BigEndian.Uint32(src[off:]))
+			off += 4
+			if off+n > len(src) {
+				return 0, fmt.Errorf("tuple: short buffer decoding string column %d", i)
+			}
+			col.S = append(col.S, string(src[off:off+n]))
+			off += n
+		}
+	}
+	b.n++
+	return off, nil
+}
+
+// EncodedRowSize returns the codec size of logical row i.
+func (b *Batch) EncodedRowSize(i int) int {
+	phys := b.RowIdx(i)
+	n := 0
+	for c := range b.Cols {
+		switch b.Cols[c].Kind {
+		case KindInt:
+			n += 8
+		default:
+			n += 4 + len(b.Cols[c].S[phys])
+		}
+	}
+	return n
+}
+
+// EncodeRowTo appends the codec encoding of logical row i to dst,
+// matching Encode's layout exactly.
+func (b *Batch) EncodeRowTo(dst []byte, i int) []byte {
+	phys := b.RowIdx(i)
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.Kind {
+		case KindInt:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(col.I[phys]))
+			dst = append(dst, buf[:]...)
+		default:
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(len(col.S[phys])))
+			dst = append(dst, buf[:]...)
+			dst = append(dst, col.S[phys]...)
+		}
+	}
+	return dst
+}

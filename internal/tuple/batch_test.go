@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"testing"
+)
+
+func TestBatchAppendRowIdxAndValue(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "s", Kind: KindString})
+	b := NewBatch(s)
+	for i := 0; i < 5; i++ {
+		if err := b.AppendTuple(Tuple{I(int64(i)), S(string(rune('a' + i)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 5 || b.NumPhysical() != 5 {
+		t.Fatalf("Len = %d phys = %d", b.Len(), b.NumPhysical())
+	}
+	if v := b.Value(3, 0); v.Int != 3 {
+		t.Errorf("Value(3,0) = %v", v)
+	}
+	if v := b.Value(2, 1); v.Str != "c" {
+		t.Errorf("Value(2,1) = %v", v)
+	}
+}
+
+func TestBatchSelectionCompactAndClone(t *testing.T) {
+	s := IntSchema("a", "b")
+	b := NewBatch(s)
+	for i := int64(0); i < 8; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, i)
+		b.Cols[1].I = append(b.Cols[1].I, i*10)
+		b.BumpRow()
+	}
+	b.SetSel([]int32{1, 3, 5})
+	if b.Len() != 3 || b.RowIdx(2) != 5 {
+		t.Fatalf("selected Len = %d, RowIdx(2) = %d", b.Len(), b.RowIdx(2))
+	}
+	clone := b.Clone()
+	b.Compact()
+	if b.Sel() != nil || b.Len() != 3 {
+		t.Fatalf("after Compact: sel=%v len=%d", b.Sel(), b.Len())
+	}
+	for i, want := range []int64{1, 3, 5} {
+		if b.Cols[0].I[i] != want || clone.Cols[0].I[i] != want {
+			t.Errorf("row %d: compacted %d, clone %d, want %d", i, b.Cols[0].I[i], clone.Cols[0].I[i], want)
+		}
+		if b.Cols[1].I[i] != want*10 {
+			t.Errorf("row %d col b = %d", i, b.Cols[1].I[i])
+		}
+	}
+}
+
+func TestBatchTruncateWithAndWithoutSelection(t *testing.T) {
+	s := IntSchema("a")
+	b := NewBatch(s)
+	for i := int64(0); i < 6; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, i)
+		b.BumpRow()
+	}
+	b.Truncate(4)
+	if b.Len() != 4 {
+		t.Fatalf("dense truncate Len = %d", b.Len())
+	}
+	b.SetSel([]int32{0, 2, 3})
+	b.Truncate(2)
+	if b.Len() != 2 || b.RowIdx(1) != 2 {
+		t.Fatalf("selected truncate Len = %d RowIdx(1) = %d", b.Len(), b.RowIdx(1))
+	}
+}
+
+func TestBatchEncodedRoundTrip(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "s", Kind: KindString})
+	src := NewBatch(s)
+	rows := []Tuple{
+		{I(-5), S("hello")},
+		{I(1 << 40), S("")},
+		{I(0), S("x")},
+	}
+	for _, r := range rows {
+		if err := src.AppendTuple(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Encode each row with the batch codec and decode into a fresh batch;
+	// the encoding must also agree byte for byte with tuple.Encode.
+	dst := NewBatch(s)
+	for i := range rows {
+		enc := src.EncodeRowTo(nil, i)
+		if want := src.EncodedRowSize(i); len(enc) != want {
+			t.Errorf("row %d: encoded %d bytes, EncodedRowSize says %d", i, len(enc), want)
+		}
+		legacy, err := Encode(nil, s, rows[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(legacy) {
+			t.Errorf("row %d: batch codec diverges from tuple.Encode", i)
+		}
+		n, err := dst.AppendEncoded(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Errorf("row %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+	}
+	for i, r := range rows {
+		if !EqualTuples(dst.Row(i), r) {
+			t.Errorf("round trip row %d = %v, want %v", i, dst.Row(i), r)
+		}
+	}
+}
+
+func TestBatchProjectAndWithSchema(t *testing.T) {
+	s := IntSchema("a", "b", "c")
+	b := NewBatch(s)
+	for i := int64(0); i < 4; i++ {
+		b.Cols[0].I = append(b.Cols[0].I, i)
+		b.Cols[1].I = append(b.Cols[1].I, i*2)
+		b.Cols[2].I = append(b.Cols[2].I, i*3)
+		b.BumpRow()
+	}
+	b.SetSel([]int32{1, 3})
+	proj := b.Project(IntSchema("c", "a"), []int{2, 0})
+	if proj.Len() != 2 {
+		t.Fatalf("projected Len = %d", proj.Len())
+	}
+	if v := proj.Value(1, 0); v.Int != 9 {
+		t.Errorf("proj Value(1,0) = %v, want 9", v)
+	}
+	renamed := b.WithSchema(IntSchema("x", "y", "z"))
+	if renamed.Schema().Cols[0].Name != "x" || renamed.Len() != 2 {
+		t.Errorf("WithSchema = %v len %d", renamed.Schema(), renamed.Len())
+	}
+}
+
+func TestBatchCompareRows(t *testing.T) {
+	s := IntSchema("a", "b")
+	b := NewBatch(s)
+	for _, r := range [][2]int64{{1, 5}, {1, 7}, {2, 1}} {
+		b.Cols[0].I = append(b.Cols[0].I, r[0])
+		b.Cols[1].I = append(b.Cols[1].I, r[1])
+		b.BumpRow()
+	}
+	if c := b.CompareRows(0, b, 1, []int{0}, []int{0}, nil); c != 0 {
+		t.Errorf("equal keys compare = %d", c)
+	}
+	if c := b.CompareRows(0, b, 1, []int{0, 1}, []int{0, 1}, nil); c >= 0 {
+		t.Errorf("(1,5) vs (1,7) = %d", c)
+	}
+	if c := b.CompareRows(2, b, 0, []int{0}, []int{0}, []bool{true}); c >= 0 {
+		t.Errorf("desc compare = %d", c)
+	}
+}
