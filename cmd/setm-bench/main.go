@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
 	compareTxns := fs.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
 	jsonPath := fs.String("json", "", "write machine-readable hot-path benchmark records (name, params, ns/op, rows, allocs) to this file, for tracking the perf trajectory as BENCH_*.json across PRs")
+	memBudget := fs.Int64("membudget", 0, "Options.MemoryBudget in bytes for the io experiment and an extra paged/packed JSON record (0 = driver default, -1 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -131,14 +132,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, strings.Repeat("=", 72))
 		fmt.Fprint(stdout, experiments.FormatModelVsMeasured(rows))
-		fmt.Fprintln(stdout, "(live pages ≈ 2× model pages: live fields are 8 bytes, model's 4)")
+		fmt.Fprintln(stdout, "(live pages hold 16-byte packed rows per 4096-byte page; the model packs (k+1)×4-byte fields into 4,000 usable bytes)")
 	}
 
 	if want("io") {
 		iocfg := gen.DefaultRetail(*seed)
 		iocfg.NumTransactions = *compareTxns
 		iod := gen.Retail(iocfg)
-		measured, bound, seqDominated, err := experiments.PagedIOCheck(iod, core.Options{MinSupportFrac: 0.01})
+		measured, bound, seqDominated, err := experiments.PagedIOCheck(iod, core.Options{MinSupportFrac: 0.01, MemoryBudget: *memBudget})
 		if err != nil {
 			return err
 		}
@@ -156,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonPath != "" {
-		if err := writeBenchJSON(*jsonPath, dataset(), *repeats, stdout); err != nil {
+		if err := writeBenchJSON(*jsonPath, dataset(), *repeats, *memBudget, stdout); err != nil {
 			return err
 		}
 	}
@@ -172,19 +173,36 @@ type benchRecord struct {
 	NsPerOp int64  `json:"ns_per_op"`
 	Rows    int64  `json:"rows"`
 	Allocs  int64  `json:"allocs"`
+	// Spill accounting of the best run (out-of-core drivers only).
+	RunsSpilled int64 `json:"runs_spilled,omitempty"`
+	SpillBytes  int64 `json:"spill_bytes,omitempty"`
+	PageIO      int64 `json:"page_io,omitempty"`
 }
 
 // writeBenchJSON measures the hot-path drivers (packed and generic
 // substrates) on the retail data set at the heaviest published support
-// and writes the records as a JSON array. Timing is best-of-repeats;
-// allocation counts come from the run with the best time.
-func writeBenchJSON(path string, d *core.Dataset, repeats int, stdout io.Writer) error {
+// and writes the records as a JSON array, including the paged driver
+// across a memory-budget ladder (unlimited / 16 MB / 1 MB / default) so
+// the constrained-memory trajectory is tracked alongside the in-RAM one.
+// Timing is best-of-repeats; allocation counts come from the run with
+// the best time.
+func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, stdout io.Writer) error {
 	if repeats < 1 {
 		repeats = 1
 	}
 	base := core.Options{MinSupportFrac: 0.001}
 	generic := base
 	generic.DisablePackedKernels = true
+	pagedAt := func(budget int64) func(*core.Dataset, core.Options) (*core.Result, error) {
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.MemoryBudget = budget
+			res, err := core.MinePaged(d, o, core.PagedConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Result, nil
+		}
+	}
 	variants := []struct {
 		name string
 		opts core.Options
@@ -201,13 +219,19 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, stdout io.Writer)
 		{"sql/vectorized", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
 			return core.MineSQL(d, o, core.SQLConfig{})
 		}},
-		{"paged/vectorized", base, func(d *core.Dataset, o core.Options) (*core.Result, error) {
-			res, err := core.MinePaged(d, o, core.PagedConfig{})
-			if err != nil {
-				return nil, err
-			}
-			return res.Result, nil
-		}},
+		// The 1 MB rung is also the driver default (256 pool frames x
+		// 4 KB pages), so no separate default record is needed.
+		{"paged/packed-unlimited", base, pagedAt(-1)},
+		{"paged/packed-16MB", base, pagedAt(16 << 20)},
+		{"paged/packed-1MB", base, pagedAt(1 << 20)},
+		{"paged/generic", generic, pagedAt(0)},
+	}
+	if memBudget != 0 {
+		variants = append(variants, struct {
+			name string
+			opts core.Options
+			mine func(*core.Dataset, core.Options) (*core.Result, error)
+		}{fmt.Sprintf("paged/packed-membudget=%d", memBudget), base, pagedAt(memBudget)})
 	}
 	params := fmt.Sprintf("txns=%d minsup=0.1%%", d.NumTransactions())
 	recs := make([]benchRecord, 0, len(variants))
@@ -227,6 +251,12 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, stdout io.Writer)
 				rec.NsPerOp = ns
 				rec.Rows = int64(res.TotalPatterns())
 				rec.Allocs = int64(ms1.Mallocs - ms0.Mallocs)
+				rec.RunsSpilled, rec.SpillBytes, rec.PageIO = 0, 0, 0
+				for _, st := range res.Stats {
+					rec.RunsSpilled += st.RunsSpilled
+					rec.SpillBytes += st.SpillBytes
+					rec.PageIO += st.PageIO
+				}
 			}
 		}
 		recs = append(recs, rec)

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"setm/internal/xsort"
+)
 
 // mineArena holds the scratch buffers one mining run threads through
 // its iterations: the radix ping-pong buffers, the key-column clone the
@@ -111,8 +115,8 @@ func chunkProwsByTid(rows []prow, n int) [][2]int {
 		if end >= len(rows) {
 			end = len(rows)
 		} else {
-			tid := rows[end-1].tid
-			for end < len(rows) && rows[end].tid == tid {
+			tid := rows[end-1].Tid
+			for end < len(rows) && rows[end].Tid == tid {
 				end++
 			}
 		}
@@ -128,7 +132,7 @@ func packedSalesWindow(sales []prow, loTid, hiTid uint64) []prow {
 	lo, hi := 0, len(sales)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if sales[mid].tid < loTid {
+		if sales[mid].Tid < loTid {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -138,7 +142,7 @@ func packedSalesWindow(sales []prow, loTid, hiTid uint64) []prow {
 	lo, hi = first, len(sales)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if sales[mid].tid <= hiTid {
+		if sales[mid].Tid <= hiTid {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -163,7 +167,7 @@ func extendParallelPacked(rk, sales []prow, itemBits uint, workers int, ar *mine
 		go func(i int, b [2]int) {
 			defer wg.Done()
 			chunk := rk[b[0]:b[1]]
-			sub := packedSalesWindow(sales, chunk[0].tid, chunk[len(chunk)-1].tid)
+			sub := packedSalesWindow(sales, chunk[0].Tid, chunk[len(chunk)-1].Tid)
 			ar.wRows[i] = packedExtend(chunk, sub, itemBits, ar.wRows[i][:0])
 		}(i, b)
 	}
@@ -185,7 +189,7 @@ func countKeysParallel(keys []uint64, minSup int64, workers int, ar *mineArena, 
 			*skips++
 		} else {
 			ar.keysTmp = growU64(ar.keysTmp, len(keys))
-			radixSortU64(keys, ar.keysTmp)
+			xsort.RadixSortU64(keys, ar.keysTmp)
 		}
 		return packedCountRuns(keys, minSup, dst)
 	}
@@ -201,7 +205,7 @@ func countKeysParallel(keys []uint64, minSup int64, workers int, ar *mineArena, 
 				ar.wSkips[i] = 1
 			} else {
 				ar.wTmp[i] = growU64(ar.wTmp[i], len(chunk))
-				radixSortU64(chunk, ar.wTmp[i])
+				xsort.RadixSortU64(chunk, ar.wTmp[i])
 			}
 			ar.wCounts[i] = packedCountRuns(chunk, 1, pkCounts{
 				keys:   ar.wCounts[i].keys[:0],

@@ -3,6 +3,8 @@ package core
 import (
 	"slices"
 	"testing"
+
+	"setm/internal/xsort"
 )
 
 // fuzzDataset decodes a byte stream into a dataset: a zero byte starts a
@@ -173,14 +175,14 @@ func FuzzPackedKernels(f *testing.F) {
 			for _, it := range rel.items(i) {
 				key = key<<dict.bits | dict.code(it)
 			}
-			rows[i] = prow{tid: uint64(rel.tid(i)) ^ tidFlip, key: key}
+			rows[i] = prow{Tid: uint64(rel.tid(i)) ^ tidFlip, Key: key}
 		}
 
 		// Sort on (trans_id, items): radix vs the generic relation sort.
 		genSorted := rel.clone()
 		sortRelation(genSorted, 0)
 		sortedRows := append([]prow(nil), rows...)
-		radixSortRows(sortedRows, make([]prow, n))
+		xsort.RadixSortRows(sortedRows, make([]prow, n))
 		if got := unpackRel(sortedRows, k, dict); !slices.Equal(got.data, genSorted.data) {
 			t.Fatalf("row sort mismatch:\ngot  %v\nwant %v", got.data, genSorted.data)
 		}
@@ -188,9 +190,9 @@ func FuzzPackedKernels(f *testing.F) {
 		// Count at minSup: key radix + run scan vs the generic count.
 		keys := make([]uint64, n)
 		for i, r := range rows {
-			keys[i] = r.key
+			keys[i] = r.Key
 		}
-		radixSortU64(keys, make([]uint64, n))
+		xsort.RadixSortU64(keys, make([]uint64, n))
 		if !keysSorted(keys) {
 			t.Fatal("radixSortU64 left keys unsorted")
 		}

@@ -22,6 +22,9 @@ package core
 import (
 	"math/bits"
 	"slices"
+
+	"setm/internal/storage"
+	"setm/internal/xsort"
 )
 
 // tidFlip turns an int64 trans_id into a uint64 whose unsigned order
@@ -29,11 +32,12 @@ import (
 // correctly even for negative ids.
 const tidFlip = uint64(1) << 63
 
-// prow is one packed R_k row.
-type prow struct {
-	tid uint64 // trans_id XOR tidFlip
-	key uint64 // k item codes, item_1 in the most significant bits
-}
+// prow is one packed R_k row: the Tid field holds trans_id XOR tidFlip,
+// the Key field the k item codes with item_1 in the most significant
+// bits. It IS the storage layer's packed row — the in-memory kernels and
+// the spilled page runs share one representation, so spilling a relation
+// is a raw memory write, never a re-encoding.
+type prow = storage.PackedRow
 
 // packDict is the order-preserving dense item dictionary: code i stands
 // for the i-th smallest distinct item, so code order equals item order.
@@ -69,7 +73,7 @@ func buildDict(d *Dataset, ar *mineArena) *packDict {
 		}
 	}
 	ar.keysTmp = growU64(ar.keysTmp, len(all))
-	radixSortU64(all, ar.keysTmp)
+	xsort.RadixSortU64(all, ar.keysTmp)
 	items := ar.dictBuf[:0]
 	var prev uint64
 	for i, v := range all {
@@ -124,14 +128,14 @@ func packSales(d *Dataset, dict *packDict, ar *mineArena) []prow {
 				continue
 			}
 			prev = c
-			rows = append(rows, prow{tid: utid, key: c})
+			rows = append(rows, prow{Tid: utid, Key: c})
 		}
 	}
 	ar.txItems = scratch
 	ar.salesBuf = rows
 	if !prowsSorted(rows) {
 		ar.rowsTmp = growProws(ar.rowsTmp, len(rows))
-		radixSortRows(rows, ar.rowsTmp)
+		xsort.RadixSortRows(rows, ar.rowsTmp)
 	}
 	return rows
 }
@@ -141,7 +145,7 @@ func packSales(d *Dataset, dict *packDict, ar *mineArena) []prow {
 func prowsSorted(rows []prow) bool {
 	for i := 1; i < len(rows); i++ {
 		a, b := rows[i-1], rows[i]
-		if a.tid > b.tid || (a.tid == b.tid && a.key > b.key) {
+		if a.Tid > b.Tid || (a.Tid == b.Tid && a.Key > b.Key) {
 			return false
 		}
 	}
@@ -158,109 +162,6 @@ func keysSorted(keys []uint64) bool {
 	return true
 }
 
-// radixSortU64 sorts keys in place with a stable byte-wise LSD radix
-// sort, ping-ponging through tmp (len(tmp) >= len(keys)). A one-pass
-// XOR scan finds the bytes that actually vary, so narrow key domains
-// (the usual case: k*bitsPerItem bits) pay only the passes they need.
-func radixSortU64(keys, tmp []uint64) {
-	n := len(keys)
-	if n < 2 {
-		return
-	}
-	var diff uint64
-	for _, v := range keys {
-		diff |= v ^ keys[0]
-	}
-	src, dst := keys, tmp[:n]
-	var cnt [256]int
-	for shift := uint(0); shift < 64; shift += 8 {
-		if (diff>>shift)&0xff == 0 {
-			continue
-		}
-		clear(cnt[:])
-		for _, v := range src {
-			cnt[(v>>shift)&0xff]++
-		}
-		pos := 0
-		for b := range cnt {
-			c := cnt[b]
-			cnt[b] = pos
-			pos += c
-		}
-		for _, v := range src {
-			b := (v >> shift) & 0xff
-			dst[cnt[b]] = v
-			cnt[b]++
-		}
-		src, dst = dst, src
-	}
-	if &src[0] != &keys[0] {
-		copy(keys, src)
-	}
-}
-
-// radixSortRows sorts rows in place by (tid, key) with a stable LSD
-// radix sort: key bytes first (the minor sort key), then tid bytes.
-// tmp must satisfy len(tmp) >= len(rows).
-func radixSortRows(rows, tmp []prow) {
-	n := len(rows)
-	if n < 2 {
-		return
-	}
-	var kdiff, tdiff uint64
-	for _, r := range rows {
-		kdiff |= r.key ^ rows[0].key
-		tdiff |= r.tid ^ rows[0].tid
-	}
-	src, dst := rows, tmp[:n]
-	var cnt [256]int
-	pass := func(byTid bool, shift uint) {
-		clear(cnt[:])
-		if byTid {
-			for _, r := range src {
-				cnt[(r.tid>>shift)&0xff]++
-			}
-		} else {
-			for _, r := range src {
-				cnt[(r.key>>shift)&0xff]++
-			}
-		}
-		pos := 0
-		for b := range cnt {
-			c := cnt[b]
-			cnt[b] = pos
-			pos += c
-		}
-		if byTid {
-			for _, r := range src {
-				b := (r.tid >> shift) & 0xff
-				dst[cnt[b]] = r
-				cnt[b]++
-			}
-		} else {
-			for _, r := range src {
-				b := (r.key >> shift) & 0xff
-				dst[cnt[b]] = r
-				cnt[b]++
-			}
-		}
-		src, dst = dst, src
-	}
-	for shift := uint(0); shift < 64; shift += 8 {
-		if (kdiff>>shift)&0xff != 0 {
-			pass(false, shift)
-		}
-	}
-	for shift := uint(0); shift < 64; shift += 8 {
-		if (tdiff>>shift)&0xff != 0 {
-			pass(true, shift)
-		}
-	}
-	if &src[0] != &rows[0] {
-		copy(rows, src)
-	}
-}
-
 // packedExtend is the merge-scan join of packed R_{k-1} with packed R_1
 // (Figure 4's extension step): both inputs sorted by trans_id; within a
 // transaction each pattern is extended by the sale items whose code
@@ -271,27 +172,27 @@ func packedExtend(rk, sales []prow, itemBits uint, out []prow) []prow {
 	nr, ns := len(rk), len(sales)
 	i, j := 0, 0
 	for i < nr && j < ns {
-		tid := rk[i].tid
+		tid := rk[i].Tid
 		switch {
-		case sales[j].tid < tid:
+		case sales[j].Tid < tid:
 			j++
-		case sales[j].tid > tid:
+		case sales[j].Tid > tid:
 			i++
 		default:
 			iEnd := i
-			for iEnd < nr && rk[iEnd].tid == tid {
+			for iEnd < nr && rk[iEnd].Tid == tid {
 				iEnd++
 			}
 			jEnd := j
-			for jEnd < ns && sales[jEnd].tid == tid {
+			for jEnd < ns && sales[jEnd].Tid == tid {
 				jEnd++
 			}
 			for p := i; p < iEnd; p++ {
-				last := rk[p].key & mask
-				base := rk[p].key << itemBits
+				last := rk[p].Key & mask
+				base := rk[p].Key << itemBits
 				for q := j; q < jEnd; q++ {
-					if it := sales[q].key; it > last {
-						out = append(out, prow{tid: tid, key: base | it})
+					if it := sales[q].Key; it > last {
+						out = append(out, prow{Tid: tid, Key: base | it})
 					}
 				}
 			}
@@ -369,7 +270,7 @@ func packedFilter(rPrime []prow, ckKeys []uint64, out []prow) []prow {
 		return out
 	}
 	for _, r := range rPrime {
-		if _, ok := slices.BinarySearch(ckKeys, r.key); ok {
+		if _, ok := slices.BinarySearch(ckKeys, r.Key); ok {
 			out = append(out, r)
 		}
 	}
@@ -381,7 +282,7 @@ func packedFilter(rPrime []prow, ckKeys []uint64, out []prow) []prow {
 // enough to map densely (see buildKeyBitmap).
 func packedFilterBitmap(rPrime []prow, bm []uint64, out []prow) []prow {
 	for _, r := range rPrime {
-		if bm[r.key>>6]&(1<<(r.key&63)) != 0 {
+		if bm[r.Key>>6]&(1<<(r.Key&63)) != 0 {
 			out = append(out, r)
 		}
 	}
@@ -416,9 +317,9 @@ func unpackRel(rows []prow, k int, dict *packDict) relation {
 	mask := uint64(1)<<dict.bits - 1
 	for i, r := range rows {
 		off := i * st
-		rel.data[off] = int64(r.tid ^ tidFlip)
+		rel.data[off] = int64(r.Tid ^ tidFlip)
 		for c := 0; c < k; c++ {
-			rel.data[off+1+c] = dict.items[(r.key>>(uint(k-1-c)*dict.bits))&mask]
+			rel.data[off+1+c] = dict.items[(r.Key>>(uint(k-1-c)*dict.bits))&mask]
 		}
 	}
 	return rel
@@ -452,7 +353,7 @@ func (s *packedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	keys := growU64(s.ar.keys, len(s.sales))
 	s.ar.keys = keys
 	for i, r := range s.sales {
-		keys[i] = r.key
+		keys[i] = r.Key
 	}
 	ck := s.countKeys(keys, minSup, &skips)
 	c1 := decodePatterns(ck, 1, s.dict)
@@ -494,7 +395,7 @@ func (s *packedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, er
 		skips++
 	} else {
 		s.ar.rowsTmp = growProws(s.ar.rowsTmp, len(s.rk))
-		radixSortRows(s.rk, s.ar.rowsTmp)
+		xsort.RadixSortRows(s.rk, s.ar.rowsTmp)
 	}
 
 	// R'_k := merge-scan(R_{k-1}, R_1).
@@ -505,7 +406,7 @@ func (s *packedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, er
 	keys := growU64(s.ar.keys, len(rPrime))
 	s.ar.keys = keys
 	for i, r := range rPrime {
-		keys[i] = r.key
+		keys[i] = r.Key
 	}
 	ck := s.countKeys(keys, minSup, &skips)
 	cOut := decodePatterns(ck, k, s.dict)
@@ -541,7 +442,7 @@ func (s *packedStepper) countKeys(keys []uint64, minSup int64, skips *int64) pkC
 			*skips++
 		} else {
 			s.ar.keysTmp = growU64(s.ar.keysTmp, len(keys))
-			radixSortU64(keys, s.ar.keysTmp)
+			xsort.RadixSortU64(keys, s.ar.keysTmp)
 		}
 		dst = packedCountRuns(keys, minSup, dst)
 	}

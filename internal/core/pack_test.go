@@ -5,6 +5,8 @@ import (
 	"slices"
 	"sort"
 	"testing"
+
+	"setm/internal/xsort"
 )
 
 func TestPackDictOrderPreserving(t *testing.T) {
@@ -46,7 +48,7 @@ func TestRadixSortU64(t *testing.T) {
 		}
 		want := append([]uint64(nil), keys...)
 		slices.Sort(want)
-		radixSortU64(keys, make([]uint64, n))
+		xsort.RadixSortU64(keys, make([]uint64, n))
 		if !slices.Equal(keys, want) {
 			t.Fatalf("n=%d: radix sort mismatch", n)
 		}
@@ -58,16 +60,16 @@ func TestRadixSortRowsMatchesStableSort(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 257, 2000} {
 		rows := make([]prow, n)
 		for i := range rows {
-			rows[i] = prow{tid: uint64(rng.Intn(40)) ^ tidFlip, key: uint64(rng.Intn(64))}
+			rows[i] = prow{Tid: uint64(rng.Intn(40)) ^ tidFlip, Key: uint64(rng.Intn(64))}
 		}
 		want := append([]prow(nil), rows...)
 		sort.SliceStable(want, func(i, j int) bool {
-			if want[i].tid != want[j].tid {
-				return want[i].tid < want[j].tid
+			if want[i].Tid != want[j].Tid {
+				return want[i].Tid < want[j].Tid
 			}
-			return want[i].key < want[j].key
+			return want[i].Key < want[j].Key
 		})
-		radixSortRows(rows, make([]prow, n))
+		xsort.RadixSortRows(rows, make([]prow, n))
 		if !slices.Equal(rows, want) {
 			t.Fatalf("n=%d: row radix sort mismatch", n)
 		}

@@ -15,8 +15,14 @@ type PagedConfig struct {
 	// PoolFrames is the buffer-pool capacity in 4 KB frames (default 256 —
 	// SETM's access pattern is sequential, so small pools suffice).
 	PoolFrames int
-	// SortMemLimit bounds the external sort's in-memory runs in bytes
-	// (default xsort.DefaultMemoryLimit).
+	// SortMemLimit bounds the generic substrate's external-sort runs in
+	// bytes.
+	//
+	// Deprecated: Options.MemoryBudget is the one memory knob for the
+	// paged driver. When SortMemLimit is unset it defers to the resolved
+	// budget (so the generic tuple path and the packed path honour the
+	// same bound); setting it still works but only affects the generic
+	// substrate's tuple sorts.
 	SortMemLimit int
 	// Store supplies the page store (default: a fresh in-memory store).
 	// Pass a storage.FileStore to run against a real file, or a
@@ -54,21 +60,55 @@ type PagedResult struct {
 	RPrimePages []int
 }
 
-// MinePaged runs Algorithm SETM on the paged substrate: the shared
-// pipeline over heap files, with external merge sorts spilling to the
-// buffer pool and the exec.MergeJoin operator as the extension step. The
-// returned IO stats let experiments check the Section 4.3 bound
+// MinePaged runs Algorithm SETM on the paged substrate with a bounded
+// memory working set. The default engine is the packed-key pipeline over
+// spillable relations (spill.go): an iteration whose packed footprint
+// fits Options.MemoryBudget runs entirely in RAM; past the budget its
+// relations stream through the buffer pool as raw packed-page runs —
+// bounded radix runs plus a cascaded k-way merge for the count sort,
+// sequential runs for everything else. A zero budget defaults to
+// PoolFrames × the page size (the pool's own capacity); a negative
+// budget pins everything in RAM. The generic tuple substrate (heap
+// files, external merge sort, exec.MergeJoin) remains behind
+// Options.DisablePackedKernels, the hash ablations, and the wide-pattern
+// fallback. The returned IO stats let experiments check the Section 4.3
+// bound
 //
 //	(n-1)·‖R_1‖ + Σ‖R'_i‖ + 2·Σ‖R_i‖
 func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
 	cfg = cfg.withDefaults()
+	budget := opts.MemoryBudget
+	if budget == 0 {
+		budget = int64(cfg.PoolFrames) * storage.PageSize
+	}
+	if cfg.SortMemLimit <= 0 && budget > 0 {
+		// Deprecated knob: one budget drives both substrates.
+		cfg.SortMemLimit = int(budget)
+	}
 	store := cfg.Store
 	if store == nil {
 		store = storage.NewMemStore()
 	}
 	pool := storage.NewPool(store, cfg.PoolFrames)
 	pres := &PagedResult{}
-	res, err := runPipeline(d, opts, &pagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres})
+	var st stepper
+	if opts.DisablePackedKernels || cfg.UseHashJoin || cfg.UseHashGroup {
+		// The hash ablations are defined on the generic operator substrate.
+		st = &pagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres}
+	} else {
+		chunk := int64(0)
+		if budget > 0 {
+			// Four live bounded buffers share the budget: the R'_k
+			// appender, the key-sort buffer, the R_k appender, and the
+			// streaming cursors' group scratch.
+			chunk = budget / 4
+			if chunk < storage.PageSize {
+				chunk = storage.PageSize
+			}
+		}
+		st = &packedPagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres, chunk: chunk}
+	}
+	res, err := runPipeline(d, opts, st)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +132,7 @@ type pagedStepper struct {
 }
 
 func (s *pagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	ioStart := s.pool.Stats.Accesses()
 	// R_1 = SALES(trans_id, item), sorted by (trans_id, item).
 	salesSchema := tuple.IntSchema("trans_id", "item")
 	sales, err := hp.Create(s.pool, salesSchema)
@@ -121,10 +162,13 @@ func (s *pagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	}
 	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
 	s.pres.RPrimePages = append(s.pres.RPrimePages, s.rk.Pages())
-	return c1, iterSizes{rPrime: sales.Rows(), rRows: s.rk.Rows()}, nil
+	sz := iterSizes{rPrime: sales.Rows(), rRows: s.rk.Rows()}
+	sz.pageIO = s.pool.Stats.Accesses() - ioStart
+	return c1, sz, nil
 }
 
 func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	ioStart := s.pool.Stats.Accesses()
 	// R'_k := join(R_{k-1}, R_1) on trans_id with the lexicographic
 	// residual q.item > p.item_{k-1}, projecting away R_1's trans_id.
 	// Default: sort R_{k-1} on (trans_id, items) and merge-scan, as in
@@ -184,7 +228,9 @@ func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, err
 	}
 	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
 	s.pres.RPrimePages = append(s.pres.RPrimePages, rPrime.Pages())
-	return ck, iterSizes{rPrime: rPrime.Rows(), rRows: s.rk.Rows()}, nil
+	sz := iterSizes{rPrime: rPrime.Rows(), rRows: s.rk.Rows()}
+	sz.pageIO = s.pool.Stats.Accesses() - ioStart
+	return ck, sz, nil
 }
 
 // countRelation produces C_k from an (unsorted) relation: the paper's way

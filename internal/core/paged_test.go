@@ -10,7 +10,10 @@ import (
 
 func TestMinePagedOnRealFile(t *testing.T) {
 	// The paged driver against an actual on-disk page file: the same C_k
-	// must come out, and pages really hit the filesystem.
+	// must come out, and pages really hit the filesystem. The dataset is
+	// big enough — and the budget small enough — that the packed pipeline
+	// genuinely spills (a budget-fitting run stays in RAM by design and
+	// would touch no pages at all).
 	path := filepath.Join(t.TempDir(), "setm.db")
 	fs, err := storage.OpenFileStore(path)
 	if err != nil {
@@ -18,13 +21,30 @@ func TestMinePagedOnRealFile(t *testing.T) {
 	}
 	defer fs.Close()
 
-	res, err := MinePaged(PaperExample(), paperOpts, PagedConfig{Store: fs, PoolFrames: 4})
+	d := faultDataset()
+	opts := Options{MinSupportFrac: 0.05, MemoryBudget: 16 << 10}
+	res, err := MinePaged(d, opts, PagedConfig{Store: fs, PoolFrames: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkPaperExample(t, res.Result)
 	if fs.NumPages() == 0 {
 		t.Error("no pages written to the file store")
+	}
+	want, err := MineMemory(d, Options{MinSupportFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "real-file", want, res.Result)
+
+	// The tiny paper example fits any budget: it must stay entirely in
+	// RAM and perform no page I/O at all.
+	small, err := MinePaged(PaperExample(), paperOpts, PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPaperExample(t, small.Result)
+	if small.IO.Accesses() != 0 {
+		t.Errorf("paper example performed %d page accesses below budget", small.IO.Accesses())
 	}
 }
 

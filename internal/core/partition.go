@@ -3,6 +3,10 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"setm/internal/costmodel"
+	"setm/internal/storage"
+	"setm/internal/xsort"
 )
 
 // MinePartitioned runs Algorithm SETM with the dataset hash-sharded into
@@ -42,6 +46,15 @@ type partitionStepper struct {
 	dictAr *mineArena
 	packed bool
 	ck     pkCounts
+
+	// Exchange spill state: when Options.MemoryBudget caps the working
+	// set and the shards' candidate count lists collectively outgrow it,
+	// each shard's (key, count) list is written as a packed run and the
+	// global merge streams over the runs instead of holding every list in
+	// RAM — the same substrate MinePaged spills relations through.
+	exPool *storage.Pool
+	exStat spillStats
+	exIO   int64
 }
 
 // partitionShard holds one shard's local relations — packed by default,
@@ -55,11 +68,11 @@ type partitionShard struct {
 	rPrime relation // local R'_k of the current iteration
 
 	// Packed substrate.
-	psales []prow // local packed R_1
-	prk    []prow // local packed R_{k-1}
-	pjoin  []prow // local packed join side
-	pext  []prow     // local packed R'_k of the current iteration
-	ar    *mineArena // scratch buffers; ar.ck holds the local unfiltered
+	psales []prow     // local packed R_1
+	prk    []prow     // local packed R_{k-1}
+	pjoin  []prow     // local packed join side
+	pext   []prow     // local packed R'_k of the current iteration
+	ar     *mineArena // scratch buffers; ar.ck holds the local unfiltered
 	//                  candidate counts exchanged with the global merge
 	skips int64 // local sort-skip tally of the current iteration
 }
@@ -121,7 +134,7 @@ func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error)
 				sh.psales = packSales(&Dataset{Transactions: groups[i]}, s.dict, sh.ar)
 				sh.countLocal(len(sh.psales), func(keys []uint64) {
 					for r, row := range sh.psales {
-						keys[r] = row.key
+						keys[r] = row.Key
 					}
 				})
 			}(i, sh)
@@ -129,7 +142,10 @@ func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error)
 		wg.Wait()
 
 		// Global pass: merge the packed shard counts at the threshold.
-		ck := s.mergeShardCounts(minSup)
+		ck, err := s.mergeShardCounts(minSup)
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
 		c1 = decodePatterns(ck, 1, s.dict)
 
 		s.forEachShard(func(sh *partitionShard) {
@@ -189,7 +205,19 @@ func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error)
 			rkRows += int64(sh.rk.rows())
 		}
 	}
-	return c1, iterSizes{rPrime: salesRows, rRows: rkRows, sortSkips: skips}, nil
+	sz := iterSizes{rPrime: salesRows, rRows: rkRows, sortSkips: skips}
+	s.takeExchangeStats(&sz)
+	return c1, sz, nil
+}
+
+// takeExchangeStats moves the accumulated exchange spill accounting into
+// the iteration's sizes.
+func (s *partitionStepper) takeExchangeStats(sz *iterSizes) {
+	sz.runsSpilled += s.exStat.runs
+	sz.spillBytes += s.exStat.bytes
+	sz.pageIO += s.exIO
+	s.exStat = spillStats{}
+	s.exIO = 0
 }
 
 func (s *partitionStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
@@ -228,19 +256,22 @@ func (s *partitionStepper) stepPacked(k int, minSup int64) ([]ItemsetCount, iter
 			sh.skips++
 		} else {
 			sh.ar.rowsTmp = growProws(sh.ar.rowsTmp, len(sh.prk))
-			radixSortRows(sh.prk, sh.ar.rowsTmp)
+			xsort.RadixSortRows(sh.prk, sh.ar.rowsTmp)
 		}
 		sh.pext = packedExtend(sh.prk, sh.pjoin, s.dict.bits, sh.ar.ext[:0])
 		sh.ar.ext = sh.pext
 		sh.countLocal(len(sh.pext), func(keys []uint64) {
 			for r, row := range sh.pext {
-				keys[r] = row.key
+				keys[r] = row.Key
 			}
 		})
 	})
 
 	// Global pass: merge the packed shard counts into C_k.
-	ck := s.mergeShardCounts(minSup)
+	ck, err := s.mergeShardCounts(minSup)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
 	cOut := decodePatterns(ck, k, s.dict)
 
 	// Local pass: filter each shard's R'_k by the global C_k — shards
@@ -263,7 +294,9 @@ func (s *partitionStepper) stepPacked(k int, minSup int64) ([]ItemsetCount, iter
 		rkRows += int64(len(sh.prk))
 		skips += sh.skips
 	}
-	return cOut, iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}, nil
+	sz := iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}
+	s.takeExchangeStats(&sz)
+	return cOut, sz, nil
 }
 
 // countLocal sorts a shard's key column (reusing its arena) and counts
@@ -277,20 +310,103 @@ func (sh *partitionShard) countLocal(n int, fill func(keys []uint64)) {
 		sh.skips++
 	} else {
 		sh.ar.keysTmp = growU64(sh.ar.keysTmp, n)
-		radixSortU64(keys, sh.ar.keysTmp)
+		xsort.RadixSortU64(keys, sh.ar.keysTmp)
 	}
 	sh.ar.ck = packedCountRuns(keys, 1, pkCounts{keys: sh.ar.ck.keys[:0], counts: sh.ar.ck.counts[:0]})
 }
 
 // mergeShardCounts merges every shard's packed count list into the
-// stepper's reused C_k buffer at the given threshold.
-func (s *partitionStepper) mergeShardCounts(minSup int64) pkCounts {
+// stepper's reused C_k buffer at the given threshold. When the lists
+// collectively exceed Options.MemoryBudget they are exchanged as packed
+// (key, count) runs through a buffer pool and merged streaming.
+func (s *partitionStepper) mergeShardCounts(minSup int64) (pkCounts, error) {
+	if b := s.opts.MemoryBudget; b > 0 {
+		var rows int64
+		for _, sh := range s.shards {
+			rows += int64(len(sh.ar.ck.keys))
+		}
+		// A (key, count) entry is one packed row wide.
+		if costmodel.SpillRuns(rows, costmodel.PackedRowBytes, b) > 1 {
+			return s.mergeShardCountsSpilled(minSup)
+		}
+	}
 	parts := make([]pkCounts, len(s.shards))
 	for i, sh := range s.shards {
 		parts[i] = sh.ar.ck
 	}
 	s.ck = mergePackedCounts(parts, minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
-	return s.ck
+	return s.ck, nil
+}
+
+// mergeShardCountsSpilled writes each shard's (key, count) list as one
+// packed run — key in the row's Tid word so run order is key order — and
+// streams the k-way merge, summing counts per key and applying the
+// threshold on the fly. Only one count list's worth of pages is resident
+// at a time (the pool), regardless of shard count.
+func (s *partitionStepper) mergeShardCountsSpilled(minSup int64) (pkCounts, error) {
+	if s.exPool == nil {
+		// Frames cover the merge fan-in plus writer/scratch headroom.
+		frames := 2*s.nshards + 8
+		s.exPool = storage.NewPool(storage.NewMemStore(), frames)
+	}
+	ioStart := s.exPool.Stats.Accesses()
+	runs := make([]storage.Run, 0, len(s.shards))
+	for _, sh := range s.shards {
+		ck := sh.ar.ck
+		if len(ck.keys) == 0 {
+			continue // nothing to exchange; an empty run would only skew accounting
+		}
+		w := storage.NewRunWriter(s.exPool)
+		for i, k := range ck.keys {
+			if err := w.Row(prow{Tid: k, Key: uint64(ck.counts[i])}); err != nil {
+				w.Close()
+				freeExchangeRuns(s.exPool, runs)
+				return pkCounts{}, err
+			}
+		}
+		run, err := w.Close()
+		if err != nil {
+			freeExchangeRuns(s.exPool, runs)
+			return pkCounts{}, err
+		}
+		s.exStat.runs++
+		s.exStat.bytes += run.Bytes()
+		runs = append(runs, run)
+	}
+
+	dst := pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]}
+	var cur uint64
+	var n int64
+	flush := func() {
+		if n >= minSup {
+			dst.keys = append(dst.keys, cur)
+			dst.counts = append(dst.counts, n)
+		}
+	}
+	fanIn := xsort.FanIn(s.exPool.Capacity())
+	err := xsort.MergeRows(s.exPool, runs, fanIn, func(r prow) error {
+		if n > 0 && r.Tid == cur {
+			n += int64(r.Key)
+			return nil
+		}
+		flush()
+		cur, n = r.Tid, int64(r.Key)
+		return nil
+	})
+	if err != nil {
+		return pkCounts{}, err
+	}
+	flush()
+	s.exIO += s.exPool.Stats.Accesses() - ioStart
+	s.ck = dst
+	return dst, nil
+}
+
+// freeExchangeRuns returns already-written exchange runs to the pool.
+func freeExchangeRuns(pool *storage.Pool, runs []storage.Run) {
+	for i := range runs {
+		runs[i].Free(pool)
+	}
 }
 
 // release returns every live arena to the pool once the pipeline is

@@ -39,6 +39,11 @@ type iterSizes struct {
 	rPrime    int64 // |R'_k|: candidate rows before the support filter
 	rRows     int64 // |R_k|: rows surviving the support filter
 	sortSkips int64 // sorts skipped because the input was already ordered
+
+	// Spill accounting (zero on fully in-memory substrates).
+	runsSpilled int64 // sorted packed-page runs written this iteration
+	spillBytes  int64 // payload bytes written into those runs
+	pageIO      int64 // physical page accesses (reads + writes)
 }
 
 // runPipeline drives the shared SETM loop over a stepper.
@@ -63,6 +68,9 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 		RPaperBytes:  sz.rRows * paperTupleBytes(1),
 		CCount:       len(c1),
 		SortsSkipped: sz.sortSkips,
+		RunsSpilled:  sz.runsSpilled,
+		SpillBytes:   sz.spillBytes,
+		PageIO:       sz.pageIO,
 		Duration:     time.Since(iterStart),
 	})
 
@@ -86,6 +94,9 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 			RPaperBytes:  sz.rRows * paperTupleBytes(k),
 			CCount:       len(ck),
 			SortsSkipped: sz.sortSkips,
+			RunsSpilled:  sz.runsSpilled,
+			SpillBytes:   sz.spillBytes,
+			PageIO:       sz.pageIO,
 			Duration:     time.Since(iterStart),
 		})
 		if len(ck) == 0 {

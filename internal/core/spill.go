@@ -1,0 +1,768 @@
+package core
+
+// The out-of-core packed substrate of MinePaged: the packed-key kernels
+// of pack.go running over *spillable* relations. A spillable relation
+// (srel) keeps its (tid, key) rows in RAM while they fit the memory
+// budget and becomes a sequential run of raw packed pages (storage.Run)
+// once they do not; every kernel of the iteration loop — merge-scan
+// extension, key sort + count, support filter — streams through cursors
+// that read either form, so the same code path serves the in-RAM and the
+// disk-resident regimes and the switch is just where an appender's
+// buffer tips over the budget.
+//
+// The paper's structure survives intact: extension output inherits
+// (trans_id, items) order, so R'_k spills as ONE sequential run with no
+// sort; only the count step's key column needs sorting, which becomes
+// bounded in-memory radix runs plus a cascaded k-way merge (xsort's
+// packed path) — exactly the "two sorts and a merge-scan join" loop of
+// Section 4.4, with the sortedness fast path deleting the first sort.
+
+import (
+	"io"
+	"slices"
+	"strconv"
+
+	"setm/internal/costmodel"
+	hp "setm/internal/heap"
+	"setm/internal/storage"
+	"setm/internal/tuple"
+	"setm/internal/xsort"
+)
+
+// spillStats tallies the spill activity of a mining run.
+type spillStats struct {
+	runs  int64 // sorted packed-page runs written
+	bytes int64 // payload bytes written into those runs
+}
+
+// srel is a spillable packed relation in (tid, key) order: resident rows
+// below the budget, one sequential run of packed pages above it.
+type srel struct {
+	mem     []prow
+	run     storage.Run
+	spilled bool
+	nrows   int64
+}
+
+func (r *srel) rows() int64 { return r.nrows }
+
+// pages is the relation's page footprint ‖R‖: the run's real pages when
+// spilled, the packed-page equivalent of the resident rows otherwise
+// (so the Section 4.3 arithmetic stays meaningful across both regimes).
+func (r *srel) pages() int {
+	if r.spilled {
+		return r.run.Pages()
+	}
+	p := int(costmodel.PackedPages(r.nrows, costmodel.PackedRowBytes))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// free returns a spilled relation's pages to the pool.
+func (r *srel) free(pool *storage.Pool) {
+	if r.spilled {
+		r.run.Free(pool)
+		r.spilled = false
+	}
+	r.mem = nil
+	r.nrows = 0
+}
+
+// srelCursor streams a spillable relation's rows front to back.
+type srelCursor struct {
+	mem []prow
+	pos int
+	rd  *storage.RunReader
+}
+
+func newSrelCursor(pool *storage.Pool, r *srel) *srelCursor {
+	if r.spilled {
+		return &srelCursor{rd: storage.NewRunReader(pool, r.run)}
+	}
+	return &srelCursor{mem: r.mem}
+}
+
+func (c *srelCursor) next() (prow, bool, error) {
+	if c.rd == nil {
+		if c.pos >= len(c.mem) {
+			return prow{}, false, nil
+		}
+		r := c.mem[c.pos]
+		c.pos++
+		return r, true, nil
+	}
+	return readRow(c.rd)
+}
+
+func (c *srelCursor) close() {
+	if c.rd != nil {
+		c.rd.Close()
+	}
+}
+
+// groupCursor yields a spillable relation's rows one transaction group at
+// a time — the unit the merge-scan extension joins on. In-memory
+// relations are windowed without copying; spilled ones buffer one group
+// (a single transaction's patterns) in RAM, which is the only working
+// set the streaming join needs.
+type groupCursor struct {
+	mem []prow
+	pos int
+
+	rd         *storage.RunReader
+	buf        []prow
+	pending    prow
+	hasPending bool
+	done       bool
+}
+
+func newGroupCursor(pool *storage.Pool, r *srel) *groupCursor {
+	if r.spilled {
+		return &groupCursor{rd: storage.NewRunReader(pool, r.run)}
+	}
+	return &groupCursor{mem: r.mem}
+}
+
+// next returns the next transaction's rows (nil at the end).
+func (g *groupCursor) next() ([]prow, error) {
+	if g.rd == nil {
+		if g.pos >= len(g.mem) {
+			return nil, nil
+		}
+		start := g.pos
+		tid := g.mem[start].Tid
+		for g.pos < len(g.mem) && g.mem[g.pos].Tid == tid {
+			g.pos++
+		}
+		return g.mem[start:g.pos], nil
+	}
+	if g.done {
+		return nil, nil
+	}
+	g.buf = g.buf[:0]
+	if !g.hasPending {
+		r, ok, err := readRow(g.rd)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			g.done = true
+			return nil, nil
+		}
+		g.pending = r
+	}
+	g.buf = append(g.buf, g.pending)
+	g.hasPending = false
+	for {
+		r, ok, err := readRow(g.rd)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			g.done = true
+			break
+		}
+		if r.Tid != g.buf[0].Tid {
+			g.pending, g.hasPending = r, true
+			break
+		}
+		g.buf = append(g.buf, r)
+	}
+	return g.buf, nil
+}
+
+func (g *groupCursor) close() {
+	if g.rd != nil {
+		g.rd.Close()
+	}
+}
+
+// readRow adapts RunReader.Row's io.EOF to an ok flag.
+func readRow(rd *storage.RunReader) (prow, bool, error) {
+	r, err := rd.Row()
+	if err == io.EOF {
+		return prow{}, false, nil
+	}
+	if err != nil {
+		return prow{}, false, err
+	}
+	return r, true, nil
+}
+
+// spillAppender accumulates rows in RAM up to capRows and transparently
+// switches to writing a packed run past it. The input order is the
+// output order either way, so a relation appended in (tid, key) order
+// spills as one sorted sequential run.
+type spillAppender struct {
+	pool    *storage.Pool
+	capRows int // 0 = unbounded (never spill)
+	mem     []prow
+	w       *storage.RunWriter
+	nrows   int64
+	st      *spillStats
+	closed  bool
+}
+
+func (a *spillAppender) add(rows []prow) error {
+	a.nrows += int64(len(rows))
+	if a.w == nil {
+		if a.capRows <= 0 || len(a.mem)+len(rows) <= a.capRows {
+			a.mem = append(a.mem, rows...)
+			return nil
+		}
+		a.w = storage.NewRunWriter(a.pool)
+		if err := a.w.Rows(a.mem); err != nil {
+			return err
+		}
+		a.mem = nil
+	}
+	return a.w.Rows(rows)
+}
+
+func (a *spillAppender) add1(r prow) error {
+	if a.w == nil && (a.capRows <= 0 || len(a.mem) < a.capRows) {
+		a.mem = append(a.mem, r)
+		a.nrows++
+		return nil
+	}
+	if a.w != nil {
+		a.nrows++
+		return a.w.Row(r)
+	}
+	return a.add([]prow{r}) // first overflow: flush mem through add
+}
+
+// finish seals the appender into a relation.
+func (a *spillAppender) finish() (*srel, error) {
+	a.closed = true
+	if a.w == nil {
+		return &srel{mem: a.mem, nrows: a.nrows}, nil
+	}
+	run, err := a.w.Close()
+	if err != nil {
+		return nil, err
+	}
+	a.st.runs++
+	a.st.bytes += run.Bytes()
+	return &srel{run: run, spilled: true, nrows: a.nrows}, nil
+}
+
+// abort releases the appender's writer (freeing any partial run) after
+// an error; harmless after finish.
+func (a *spillAppender) abort(pool *storage.Pool) {
+	if a.closed || a.w == nil {
+		return
+	}
+	a.closed = true
+	if run, err := a.w.Close(); err == nil {
+		run.Free(pool)
+	}
+}
+
+// keyCounter implements the paper's "sort R'_k on items; count" step out
+// of core: keys accumulate in a bounded buffer that is radix-sorted and
+// spilled as a sorted key run when full; finish merges the runs k-way
+// (cascaded to the pool's fan-in) while run-length counting the sorted
+// stream into a packed C_k. Below the budget no run is ever written and
+// the counter degenerates to the in-memory sort-and-count kernel.
+type keyCounter struct {
+	pool    *storage.Pool
+	capKeys int // 0 = unbounded
+	fanIn   int // merge fan-in (bounded by pool frames and budget)
+	keys    []uint64
+	tmp     []uint64
+	runs    []storage.Run
+	st      *spillStats
+	skips   int64
+}
+
+func (kc *keyCounter) add(k uint64) error {
+	kc.keys = append(kc.keys, k)
+	if kc.capKeys > 0 && len(kc.keys) >= kc.capKeys {
+		return kc.flushRun()
+	}
+	return nil
+}
+
+func (kc *keyCounter) flushRun() error {
+	if len(kc.keys) == 0 {
+		return nil
+	}
+	kc.sortBuf()
+	run, err := xsort.SpillKeys(kc.pool, kc.keys)
+	if err != nil {
+		return err
+	}
+	kc.st.runs++
+	kc.st.bytes += run.Bytes()
+	kc.runs = append(kc.runs, run)
+	kc.keys = kc.keys[:0]
+	return nil
+}
+
+func (kc *keyCounter) sortBuf() {
+	if keysSorted(kc.keys) {
+		kc.skips++
+		return
+	}
+	kc.tmp = growU64(kc.tmp, len(kc.keys))
+	xsort.RadixSortU64(kc.keys, kc.tmp)
+}
+
+// finish produces the packed C_k at minSup, appending to dst's buffers.
+func (kc *keyCounter) finish(minSup int64, dst pkCounts) (pkCounts, error) {
+	if len(kc.runs) == 0 {
+		kc.sortBuf()
+		return packedCountRuns(kc.keys, minSup, dst), nil
+	}
+	if err := kc.flushRun(); err != nil {
+		return dst, err
+	}
+	var cur uint64
+	var n int64
+	flush := func() {
+		if n >= minSup {
+			dst.keys = append(dst.keys, cur)
+			dst.counts = append(dst.counts, n)
+		}
+	}
+	err := xsort.MergeKeys(kc.pool, kc.runs, kc.fanIn, func(k uint64) error {
+		if n > 0 && k == cur {
+			n++
+			return nil
+		}
+		flush()
+		cur, n = k, 1
+		return nil
+	})
+	kc.runs = nil // consumed (freed) by MergeKeys, even on error
+	if err != nil {
+		return dst, err
+	}
+	flush()
+	return dst, nil
+}
+
+// abort frees any runs not yet consumed by finish.
+func (kc *keyCounter) abort() {
+	for i := range kc.runs {
+		kc.runs[i].Free(kc.pool)
+	}
+	kc.runs = nil
+}
+
+// packedPagedStepper is the out-of-core packed substrate of the SETM
+// pipeline — MinePaged's default engine. chunk is the per-buffer share
+// of Options.MemoryBudget (0 = unbounded: everything stays in RAM and
+// the stepper performs no page I/O at all).
+type packedPagedStepper struct {
+	d    *Dataset
+	opts Options
+	cfg  PagedConfig
+	pool *storage.Pool
+	pres *PagedResult
+
+	chunk int64 // per-buffer byte bound; 0 = unbounded
+
+	dict  *packDict
+	ar    *mineArena
+	sales *srel // packed R_1
+	rk    *srel // R_{k-1}
+	join  *srel // join side (sales, or the prefiltered R_1)
+	ck    pkCounts
+
+	st spillStats
+
+	fallback *pagedStepper // generic tuple substrate for unpackable widths
+	convIO   int64         // page I/O of the fallback's relation decode
+}
+
+func (s *packedPagedStepper) capRows() int {
+	if s.chunk <= 0 {
+		return 0
+	}
+	n := int(s.chunk / costmodel.PackedRowBytes)
+	if n < storage.WordsPerPage/2 {
+		n = storage.WordsPerPage / 2 // one page of rows
+	}
+	return n
+}
+
+func (s *packedPagedStepper) capKeys() int {
+	if s.chunk <= 0 {
+		return 0
+	}
+	n := int(s.chunk / costmodel.PackedKeyBytes)
+	if n < storage.WordsPerPage {
+		n = storage.WordsPerPage // one page of keys
+	}
+	return n
+}
+
+func (s *packedPagedStepper) newAppender() *spillAppender {
+	return &spillAppender{pool: s.pool, capRows: s.capRows(), st: &s.st}
+}
+
+func (s *packedPagedStepper) newKeyCounter() *keyCounter {
+	return &keyCounter{pool: s.pool, capKeys: s.capKeys(), fanIn: mergeFanIn(s.pool, s.chunk), st: &s.st}
+}
+
+// mergeFanIn caps a merge's open-run count by both the pool's frame
+// capacity and the memory budget: each open reader holds a read-ahead
+// buffer of storage.RunReadAheadBytes outside the pool, so the budget
+// share bounds how many may be open at once.
+func mergeFanIn(pool *storage.Pool, chunk int64) int {
+	fanIn := xsort.FanIn(pool.Capacity())
+	if chunk > 0 {
+		if byBudget := int(chunk / storage.RunReadAheadBytes); byBudget < fanIn {
+			fanIn = byBudget
+		}
+	}
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	return fanIn
+}
+
+// startIteration begins the per-iteration accounting window.
+func (s *packedPagedStepper) startIteration() (ioStart int64, stStart spillStats) {
+	return s.pool.Stats.Accesses(), s.st
+}
+
+// endIteration closes the window into the iteration's spill accounting.
+func (s *packedPagedStepper) endIteration(sz *iterSizes, ioStart int64, stStart spillStats) {
+	sz.runsSpilled = s.st.runs - stStart.runs
+	sz.spillBytes = s.st.bytes - stStart.bytes
+	sz.pageIO = s.pool.Stats.Accesses() - ioStart
+}
+
+func (s *packedPagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
+	ioStart, stStart := s.startIteration()
+	s.ar = newMineArena()
+	s.dict = buildDict(s.d, s.ar)
+	mem := packSales(s.d, s.dict, s.ar)
+
+	// R_1: spill when the packed sales outgrow the budget share. (The
+	// Dataset itself is the caller's RAM; the budget governs the mining
+	// working set.) Resident sales alias the arena buffer — no copy.
+	sales := &srel{mem: mem, nrows: int64(len(mem))}
+	if cap := s.capRows(); cap > 0 && len(mem) > cap {
+		run, err := xsort.SpillRows(s.pool, mem)
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
+		s.st.runs++
+		s.st.bytes += run.Bytes()
+		sales = &srel{run: run, spilled: true, nrows: int64(len(mem))}
+		// Drop the resident copy (and keep it out of the recycled arena):
+		// the run is now the only holder, so the budget genuinely bounds
+		// R_1's RAM.
+		mem = nil
+		s.ar.salesBuf = nil
+	}
+	s.sales = sales
+
+	// C_1: stream the key column through the bounded sort-and-count.
+	kc := s.newKeyCounter()
+	defer kc.abort()
+	cur := newSrelCursor(s.pool, sales)
+	defer cur.close()
+	for {
+		r, ok, err := cur.next()
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
+		if !ok {
+			break
+		}
+		if err := kc.add(r.Key); err != nil {
+			return nil, iterSizes{}, err
+		}
+	}
+	ck, err := kc.finish(minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+	s.ck = ck
+	c1 := decodePatterns(ck, 1, s.dict)
+
+	// The paper does not filter R_1 by C_1 (Section 6.1); PrefilterSales
+	// is the ablation restricting both join sides to frequent items.
+	salesRows := sales.rows()
+	s.rk, s.join = sales, sales
+	skips := kc.skips
+	if s.opts.PrefilterSales {
+		filtered, err := s.filterStream(sales, 1, ck)
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
+		sales.free(s.pool)
+		s.sales, s.rk, s.join = filtered, filtered, filtered
+	}
+
+	s.pres.RPages = append(s.pres.RPages, s.rk.pages())
+	s.pres.RPrimePages = append(s.pres.RPrimePages, s.rk.pages())
+	sz := iterSizes{rPrime: salesRows, rRows: s.rk.rows(), sortSkips: skips}
+	s.endIteration(&sz, ioStart, stStart)
+	return c1, sz, nil
+}
+
+func (s *packedPagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
+	if s.fallback == nil && k > s.dict.maxPackedK() {
+		convStart := s.pool.Stats.Accesses()
+		if err := s.buildFallback(k); err != nil {
+			return nil, iterSizes{}, err
+		}
+		// The decode of the live packed relations into heap files is this
+		// iteration's I/O; charge it to the handoff step below.
+		s.convIO = s.pool.Stats.Accesses() - convStart
+	}
+	if s.fallback != nil {
+		ck, sz, err := s.fallback.step(k, minSup)
+		if err != nil {
+			return nil, iterSizes{}, err
+		}
+		sz.pageIO += s.convIO
+		s.convIO = 0
+		return ck, sz, nil
+	}
+
+	ioStart, stStart := s.startIteration()
+	// sort R_{k-1} on (trans_id, items): relations are appended (and
+	// spilled) in exactly that order, so the sort is provably redundant.
+	skips := int64(1)
+
+	// R'_k := merge-scan(R_{k-1}, R_1), streamed group by group; output
+	// inherits (trans_id, items) order and spills as one sequential run.
+	app := s.newAppender()
+	defer app.abort(s.pool)
+	if err := s.streamExtend(app); err != nil {
+		return nil, iterSizes{}, err
+	}
+	rPrime, err := app.finish()
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+	if s.rk != s.join {
+		s.rk.free(s.pool) // consumed; the join side lives on
+	}
+	s.rk = nil
+
+	// C_k: bounded radix runs over the key column, merged and counted.
+	kc := s.newKeyCounter()
+	defer kc.abort()
+	cur := newSrelCursor(s.pool, rPrime)
+	err = func() error {
+		defer cur.close()
+		for {
+			r, ok, err := cur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := kc.add(r.Key); err != nil {
+				return err
+			}
+		}
+	}()
+	if err != nil {
+		rPrime.free(s.pool)
+		return nil, iterSizes{}, err
+	}
+	ck, err := kc.finish(minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
+	if err != nil {
+		rPrime.free(s.pool)
+		return nil, iterSizes{}, err
+	}
+	s.ck = ck
+	skips += kc.skips
+	cOut := decodePatterns(ck, k, s.dict)
+
+	// R_k := filter R'_k by C_k; filtering preserves (trans_id, items)
+	// order, so the paper's post-filter sort is skipped.
+	rk, err := s.filterStream(rPrime, k, ck)
+	rPrimePages := rPrime.pages()
+	rPrimeRows := rPrime.rows()
+	rPrime.free(s.pool)
+	if err != nil {
+		return nil, iterSizes{}, err
+	}
+	skips++
+	s.rk = rk
+
+	s.pres.RPages = append(s.pres.RPages, rk.pages())
+	s.pres.RPrimePages = append(s.pres.RPrimePages, rPrimePages)
+	sz := iterSizes{rPrime: rPrimeRows, rRows: rk.rows(), sortSkips: skips}
+	s.endIteration(&sz, ioStart, stStart)
+	return cOut, sz, nil
+}
+
+// streamExtend runs the merge-scan extension over transaction groups of
+// R_{k-1} and the join side, emitting to the appender.
+func (s *packedPagedStepper) streamExtend(out *spillAppender) error {
+	rkCur := newGroupCursor(s.pool, s.rk)
+	defer rkCur.close()
+	// The join side gets its own cursor even when it is the same relation
+	// (iteration 2's self-join): each stream needs independent position.
+	joinCur := newGroupCursor(s.pool, s.join)
+	defer joinCur.close()
+
+	mask := uint64(1)<<s.dict.bits - 1
+	scratch := s.ar.ext[:0]
+	g1, err := rkCur.next()
+	if err != nil {
+		return err
+	}
+	g2, err := joinCur.next()
+	if err != nil {
+		return err
+	}
+	for g1 != nil && g2 != nil {
+		t1, t2 := g1[0].Tid, g2[0].Tid
+		switch {
+		case t1 < t2:
+			if g1, err = rkCur.next(); err != nil {
+				return err
+			}
+		case t1 > t2:
+			if g2, err = joinCur.next(); err != nil {
+				return err
+			}
+		default:
+			scratch = scratch[:0]
+			for _, p := range g1 {
+				last := p.Key & mask
+				base := p.Key << s.dict.bits
+				for _, q := range g2 {
+					if q.Key > last {
+						scratch = append(scratch, prow{Tid: t1, Key: base | q.Key})
+					}
+				}
+			}
+			if len(scratch) > 0 {
+				if err := out.add(scratch); err != nil {
+					s.ar.ext = scratch[:0]
+					return err
+				}
+			}
+			if g1, err = rkCur.next(); err != nil {
+				return err
+			}
+			if g2, err = joinCur.next(); err != nil {
+				return err
+			}
+		}
+	}
+	s.ar.ext = scratch[:0]
+	return nil
+}
+
+// filterStream keeps the rows of r whose key occurs in ck, preserving
+// order; narrow key spaces test membership through a dense bitmap.
+func (s *packedPagedStepper) filterStream(r *srel, k int, ck pkCounts) (*srel, error) {
+	bm := buildKeyBitmap(ck.keys, uint(k)*s.dict.bits, s.ar)
+	app := s.newAppender()
+	defer app.abort(s.pool)
+	cur := newSrelCursor(s.pool, r)
+	defer cur.close()
+	for {
+		row, ok, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		keep := false
+		if bm != nil {
+			keep = bm[row.Key>>6]&(1<<(row.Key&63)) != 0
+		} else {
+			_, keep = slices.BinarySearch(ck.keys, row.Key)
+		}
+		if keep {
+			if err := app.add1(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return app.finish()
+}
+
+// buildFallback hands the pipeline to the generic tuple substrate when
+// patterns outgrow the 64-bit packed key: the live packed relations are
+// decoded into heap files and the original paged stepper carries on over
+// the same pool and result accounting.
+func (s *packedPagedStepper) buildFallback(k int) error {
+	rkFile, err := s.relToHeap(s.rk, k-1)
+	if err != nil {
+		return err
+	}
+	joinFile := rkFile
+	if s.join != s.rk {
+		if joinFile, err = s.relToHeap(s.join, 1); err != nil {
+			return err
+		}
+	}
+	s.fallback = &pagedStepper{
+		d: s.d, opts: s.opts, cfg: s.cfg, pool: s.pool, pres: s.pres,
+		rk: rkFile, joinSide: joinFile,
+	}
+	if s.rk != s.join {
+		s.rk.free(s.pool)
+	}
+	s.join.free(s.pool)
+	if s.sales != nil && s.sales != s.join {
+		s.sales.free(s.pool)
+	}
+	s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
+	s.ar.release()
+	s.ar = nil
+	return nil
+}
+
+// relToHeap decodes a packed relation of k-item patterns into a generic
+// heap file sorted the same way the packed rows are.
+func (s *packedPagedStepper) relToHeap(r *srel, k int) (*hp.File, error) {
+	names := make([]string, 0, k+1)
+	names = append(names, "trans_id")
+	for i := 1; i <= k; i++ {
+		names = append(names, "item"+strconv.Itoa(i))
+	}
+	f, err := hp.Create(s.pool, tuple.IntSchema(names...))
+	if err != nil {
+		return nil, err
+	}
+	mask := uint64(1)<<s.dict.bits - 1
+	cur := newSrelCursor(s.pool, r)
+	defer cur.close()
+	vals := make([]int64, k+1)
+	for {
+		row, ok, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return f, nil
+		}
+		vals[0] = int64(row.Tid ^ tidFlip)
+		for c := 0; c < k; c++ {
+			vals[c+1] = int64(s.dict.items[(row.Key>>(uint(k-1-c)*s.dict.bits))&mask])
+		}
+		if err := f.Append(tuple.Ints(vals...)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// release returns the stepper's arena once the pipeline is done.
+func (s *packedPagedStepper) release() {
+	if s.ar != nil {
+		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
+		s.ar.release()
+		s.ar = nil
+	}
+}

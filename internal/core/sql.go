@@ -48,6 +48,13 @@ func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
 	if cfg.PoolFrames > 0 {
 		dbOpts = append(dbOpts, engine.WithPoolFrames(cfg.PoolFrames))
 	}
+	if opts.MemoryBudget > 0 {
+		// One budget knob across drivers: the planner's working-set bound
+		// and the external sort's run size both derive from it.
+		dbOpts = append(dbOpts,
+			engine.WithMemBudget(opts.MemoryBudget),
+			engine.WithSortMemory(int(opts.MemoryBudget)))
+	}
 	s := &sqlStepper{d: d, opts: opts, cfg: cfg, db: engine.New(dbOpts...)}
 	// Bulk-load SALES before the pipeline starts timing iteration 1, so
 	// Stats[0].Duration covers the C_1 SQL alone — matching what the other

@@ -88,6 +88,16 @@ type Options struct {
 	// generic path exists as the wide-pattern fallback, the conformance
 	// oracle, and a benchmark ablation.
 	DisablePackedKernels bool
+	// MemoryBudget bounds the mining working set in bytes for the drivers
+	// that can trade memory for page I/O. MinePaged keeps an iteration's
+	// packed relations in RAM while they fit and transparently streams
+	// them through the buffer pool as sorted packed-page runs once they
+	// exceed the budget; MinePartitioned spills the per-shard count
+	// exchange lists the same way. Zero selects the driver default
+	// (MinePaged: PoolFrames × the 4 KB page size; in-memory drivers:
+	// unbounded); negative means explicitly unbounded, pinning even the
+	// paged driver's relations in RAM.
+	MemoryBudget int64
 }
 
 // ResolveMinSupport computes the absolute support threshold for n
@@ -129,6 +139,17 @@ type IterationStat struct {
 	// provably order-preserving), so the sortedness fast path skipped the
 	// sort while keeping the paper-faithful call sites.
 	SortsSkipped int64
+	// RunsSpilled counts the sorted packed-page runs this iteration wrote
+	// through the buffer pool because a relation, key column, or count
+	// exchange outgrew Options.MemoryBudget. Zero when the iteration ran
+	// entirely in RAM.
+	RunsSpilled int64
+	// SpillBytes is the payload written into those runs.
+	SpillBytes int64
+	// PageIO is the iteration's physical page accesses (reads + writes)
+	// through the buffer pool — the per-iteration slice of the quantity
+	// the Section 4.3 formula bounds. Zero for the in-memory drivers.
+	PageIO int64
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
 }

@@ -271,6 +271,51 @@ func log2(n float64) float64 {
 	return math.Log2(n)
 }
 
+// ---------------------------------------------------------------------------
+// Packed-run arithmetic
+//
+// The out-of-core packed pipeline stores (tid, key) rows as raw 16-byte
+// pairs (and bare key columns as 8-byte words) in fully packed 4 KB
+// pages — no tuple encoding, no headers. Sort cost on that substrate is
+// linear (byte-wise LSD radix), not comparison-based, and the
+// spill-vs-RAM decision is a byte comparison against the memory budget.
+// These formulas give the planner and the drivers one shared source for
+// that arithmetic.
+
+// PackedRowBytes is the width of one packed (tid, key) row.
+const PackedRowBytes = 16
+
+// PackedKeyBytes is the width of one packed key word.
+const PackedKeyBytes = 8
+
+// packedPageBytes is the full page payload of a packed run; unlike the
+// tuple model's UsablePageBytes there is no header overhead (matches
+// storage.PageSize).
+const packedPageBytes = 4096
+
+// PackedPages is the page footprint of rows packed at bytesPerRow with
+// no encoding overhead.
+func PackedPages(rows, bytesPerRow int64) int64 {
+	if rows <= 0 {
+		return 0
+	}
+	return ceilDiv(rows*bytesPerRow, packedPageBytes)
+}
+
+// SpillRuns is the number of budget-bounded sorted runs rows of
+// bytesPerRow bytes generate: 1 means the sort completes in RAM; more
+// means an external pass. A non-positive budget never spills.
+func SpillRuns(rows, bytesPerRow, budget int64) int64 {
+	if budget <= 0 || rows <= 0 {
+		return 1
+	}
+	bytes := rows * bytesPerRow
+	if bytes <= budget {
+		return 1
+	}
+	return ceilDiv(bytes, budget)
+}
+
 // MergePassMs is the cost of the merge phase of a merge-scan join over
 // pre-sorted inputs: one interleaved sequential pass over both relations.
 // The inputs' own scan costs are charged by their subplans.

@@ -33,6 +33,9 @@ type DB struct {
 
 	// SortMemLimit bounds external-sort run size in bytes (0 = default).
 	SortMemLimit int
+	// MemBudget bounds the planner's in-memory working set per sort or
+	// hash build (0 = plan.DefaultMemBudget); larger inputs spill.
+	MemBudget int64
 }
 
 // Option configures a DB.
@@ -41,6 +44,7 @@ type Option func(*config)
 type config struct {
 	poolFrames   int
 	sortMemLimit int
+	memBudget    int64
 }
 
 // WithPoolFrames sets the buffer-pool capacity in 4 KB frames.
@@ -48,6 +52,11 @@ func WithPoolFrames(n int) Option { return func(c *config) { c.poolFrames = n } 
 
 // WithSortMemory bounds the external sort's in-memory run size in bytes.
 func WithSortMemory(n int) Option { return func(c *config) { c.sortMemLimit = n } }
+
+// WithMemBudget bounds the planner's in-memory working set per sort or
+// hash build; estimates above it plan external sorts (or reject hash
+// builds). Zero keeps the planner default.
+func WithMemBudget(n int64) Option { return func(c *config) { c.memBudget = n } }
 
 // New creates an empty database.
 func New(opts ...Option) *DB {
@@ -62,6 +71,7 @@ func New(opts ...Option) *DB {
 		pool:         pool,
 		cat:          catalog.New(pool),
 		SortMemLimit: cfg.sortMemLimit,
+		MemBudget:    cfg.memBudget,
 	}
 }
 
@@ -180,6 +190,7 @@ func (db *DB) ExecStmt(st sqlparse.Stmt, params map[string]int64) (*Result, erro
 func (db *DB) compiler(p plan.Params) *plan.Compiler {
 	c := plan.NewCompiler(db.cat, db.pool, p)
 	c.SortMemLimit = db.SortMemLimit
+	c.MemBudget = db.MemBudget
 	return c
 }
 

@@ -111,6 +111,20 @@ func schemaRowBytes(s *tuple.Schema) int64 {
 	return n
 }
 
+// sortedRowBytes is the width of one row inside the sort's working set.
+// All-integer rows (every mining relation: trans_id plus item columns)
+// sort as unboxed packed words — costmodel.PackedKeyBytes per column, no
+// record prefix — so the external-vs-in-memory decision uses the real
+// packed size rather than the heap-encoded one.
+func sortedRowBytes(s *tuple.Schema, est int64) int64 {
+	for _, col := range s.Cols {
+		if col.Kind != tuple.KindInt {
+			return est
+		}
+	}
+	return int64(len(s.Cols)) * costmodel.PackedKeyBytes
+}
+
 // orderingHasPrefix reports whether keys form a prefix of ordering — the
 // condition under which a stream ordered by `ordering` needs no sort on
 // `keys` (equal key groups are contiguous and ascending).
@@ -163,17 +177,19 @@ func (c *Compiler) sortNode(n node, keys []exec.SortKey, why string) node {
 		return n
 	}
 	p := costmodel.PaperDBParams()
-	external := c.pool != nil && n.est.Bytes() > c.memBudget()
+	rowBytes := sortedRowBytes(n.op.Schema(), n.est.RowBytes)
+	sortBytes := n.est.Rows * rowBytes
+	external := c.pool != nil && sortBytes > c.memBudget()
 	var pool = c.pool
 	if !external {
 		pool = nil
 	}
 	op := exec.NewSortKeys(n.op, keys, pool, c.SortMemLimit)
 	est := n.est
-	est.CostMs += costmodel.SortMs(p, n.est.Rows, n.est.RowBytes, external)
+	est.CostMs += costmodel.SortMs(p, n.est.Rows, rowBytes, external)
 	kind := "in-memory columnar"
 	if external {
-		kind = fmt.Sprintf("external (est %d bytes > budget %d)", n.est.Bytes(), c.memBudget())
+		kind = fmt.Sprintf("external (est %d bytes > budget %d)", sortBytes, c.memBudget())
 	}
 	c.note(op, "%s sort for %s, est %d rows, cost≈%.2fms", kind, why, est.Rows, est.CostMs)
 	// The ordering claim is ascending-only (catalog.Table.OrderedBy
@@ -200,10 +216,12 @@ func (c *Compiler) joinChoice(left, right node, leftKeys, rightKeys []int) node 
 
 	mergeMs := costmodel.MergePassMs(left.est.Rows, right.est.Rows)
 	if !leftSorted {
-		mergeMs += costmodel.SortMs(p, left.est.Rows, left.est.RowBytes, c.pool != nil && left.est.Bytes() > c.memBudget())
+		lb := sortedRowBytes(left.op.Schema(), left.est.RowBytes)
+		mergeMs += costmodel.SortMs(p, left.est.Rows, lb, c.pool != nil && left.est.Rows*lb > c.memBudget())
 	}
 	if !rightSorted {
-		mergeMs += costmodel.SortMs(p, right.est.Rows, right.est.RowBytes, c.pool != nil && right.est.Bytes() > c.memBudget())
+		rb := sortedRowBytes(right.op.Schema(), right.est.RowBytes)
+		mergeMs += costmodel.SortMs(p, right.est.Rows, rb, c.pool != nil && right.est.Rows*rb > c.memBudget())
 	}
 	hashMs := costmodel.HashJoinMs(right.est.Rows, left.est.Rows)
 	if right.est.Bytes() > c.memBudget() {

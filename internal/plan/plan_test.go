@@ -502,3 +502,32 @@ func TestIntParamsHelper(t *testing.T) {
 		t.Errorf("IntParams = %v", p)
 	}
 }
+
+// TestSortBudgetUsesPackedRowBytes pins the external-vs-in-memory sort
+// decision to the real packed width of all-integer rows (8 bytes per
+// column, no record prefix) rather than the heap-encoded estimate: a
+// budget that fits the packed bytes but not the heap bytes must still
+// plan an in-memory sort.
+func TestSortBudgetUsesPackedRowBytes(t *testing.T) {
+	c, _ := fixture(t)
+	// sales has 7 rows of 2 int columns: packed 7×16 = 112 bytes, heap
+	// estimate 7×18 = 126 bytes. A budget between them discriminates.
+	c.MemBudget = 120
+	op := compile(t, c, "SELECT trans_id, item FROM sales ORDER BY item, trans_id;")
+	plan := exec.ExplainAnnotated(op, func(o exec.Operator) string { return c.notes[o] })
+	if strings.Contains(plan, "external") {
+		t.Fatalf("packed bytes fit the budget; plan chose an external sort:\n%s", plan)
+	}
+	if !strings.Contains(plan, "in-memory") {
+		t.Fatalf("expected an in-memory sort note:\n%s", plan)
+	}
+
+	// Below the packed bytes the sort must go external.
+	c2, _ := fixture(t)
+	c2.MemBudget = 100
+	op2 := compile(t, c2, "SELECT trans_id, item FROM sales ORDER BY item, trans_id;")
+	plan2 := exec.ExplainAnnotated(op2, func(o exec.Operator) string { return c2.notes[o] })
+	if !strings.Contains(plan2, "external") {
+		t.Fatalf("packed bytes exceed the budget; plan kept the sort in memory:\n%s", plan2)
+	}
+}

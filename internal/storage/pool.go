@@ -73,7 +73,12 @@ type Pool struct {
 	// freeList holds page IDs returned by FreePages for reuse; freed marks
 	// membership so double-frees are harmless. Reusing freed pages keeps the
 	// store's footprint bounded even though Store itself is append-only.
+	// Recycling is FIFO (freeHead indexes the next ID to hand out): pages
+	// freed in ascending order — a spilled run, a dropped heap file — come
+	// back in ascending order, so rewritten runs stay sequential on disk
+	// and the paper's sequential-access economics survive page reuse.
 	freeList []PageID
+	freeHead int
 	freed    map[PageID]bool
 }
 
@@ -96,6 +101,19 @@ func NewPool(store Store, capacity int) *Pool {
 
 // Capacity returns the number of frames.
 func (p *Pool) Capacity() int { return p.capacity }
+
+// PinnedFrames returns the number of cached frames with a non-zero pin
+// count. Tests use it to prove that error paths release every pin: a
+// correct run leaves zero pinned frames behind.
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*lruEntry).page.pin > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Store returns the underlying page store.
 func (p *Pool) Store() Store { return p.store }
@@ -128,10 +146,21 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 // is asked to grow.
 func (p *Pool) Allocate() (*Page, error) {
 	var id PageID
-	if n := len(p.freeList); n > 0 {
-		id = p.freeList[n-1]
-		p.freeList = p.freeList[:n-1]
+	if p.freeHead < len(p.freeList) {
+		id = p.freeList[p.freeHead]
+		p.freeHead++
 		delete(p.freed, id)
+		// Compact once the consumed prefix dominates, so a list that
+		// never fully drains cannot grow without bound; copying the live
+		// tail to the front preserves FIFO order.
+		if p.freeHead == len(p.freeList) {
+			p.freeList = p.freeList[:0]
+			p.freeHead = 0
+		} else if p.freeHead > len(p.freeList)/2 {
+			n := copy(p.freeList, p.freeList[p.freeHead:])
+			p.freeList = p.freeList[:n]
+			p.freeHead = 0
+		}
 	} else {
 		var err error
 		id, err = p.store.Allocate()

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// Packed runs are the storage form of the packed-key mining engine: raw
+// little-endian uint64 words packed 512 to a page, no tuple encoding, no
+// per-page header. A run is an ordered page sequence plus a word count;
+// whether the words are (tid, key) row pairs or a bare key column is the
+// caller's contract. Runs are how the out-of-core SETM pipeline spills
+// sorted row and key sequences through the buffer pool, so every page a
+// spill touches shows up in the pool's Section 4.3 accounting.
+
+// WordsPerPage is the number of uint64 words a run page holds.
+const WordsPerPage = PageSize / 8
+
+// PackedRow is one packed R_k row: a sign-flipped trans_id and the whole
+// pattern bit-packed into one key word (item_1 in the most significant
+// bits), so unsigned integer order equals (trans_id, pattern) order.
+type PackedRow struct {
+	Tid uint64
+	Key uint64
+}
+
+// Less reports whether r orders before o by (Tid, Key).
+func (r PackedRow) Less(o PackedRow) bool {
+	return r.Tid < o.Tid || (r.Tid == o.Tid && r.Key < o.Key)
+}
+
+// Run is a spilled word sequence: the pages it occupies, in order, and
+// the number of words written. The zero Run is empty.
+type Run struct {
+	pages []PageID
+	words int64
+}
+
+// Words returns the number of uint64 words in the run.
+func (r Run) Words() int64 { return r.words }
+
+// Rows returns the number of PackedRow pairs in the run.
+func (r Run) Rows() int64 { return r.words / 2 }
+
+// Pages returns the page footprint of the run.
+func (r Run) Pages() int { return len(r.pages) }
+
+// Bytes returns the payload size of the run in bytes.
+func (r Run) Bytes() int64 { return r.words * 8 }
+
+// Free returns the run's pages to the pool's free list; the run must not
+// be read afterwards.
+func (r *Run) Free(pool *Pool) {
+	pool.FreePages(r.pages)
+	r.pages = nil
+	r.words = 0
+}
+
+// RunWriter appends words to a fresh run through the buffer pool. It
+// keeps at most one page pinned. After any error the writer is inert:
+// further appends return the same error and Close frees the partial run.
+type RunWriter struct {
+	pool *Pool
+	run  Run
+	pg   *Page
+	off  int // word offset within pg
+	err  error
+}
+
+// NewRunWriter starts an empty run in pool.
+func NewRunWriter(pool *Pool) *RunWriter { return &RunWriter{pool: pool} }
+
+// Word appends one word.
+func (w *RunWriter) Word(v uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.pg == nil {
+		pg, err := w.pool.Allocate()
+		if err != nil {
+			w.err = fmt.Errorf("storage: run writer: %w", err)
+			return w.err
+		}
+		w.pg = pg
+		w.off = 0
+		w.run.pages = append(w.run.pages, pg.ID)
+	}
+	w.pg.PutU64(w.off*8, v)
+	w.off++
+	w.run.words++
+	if w.off == WordsPerPage {
+		w.pool.Unpin(w.pg)
+		w.pg = nil
+	}
+	return nil
+}
+
+// Row appends one (tid, key) pair.
+func (w *RunWriter) Row(r PackedRow) error {
+	if err := w.Word(r.Tid); err != nil {
+		return err
+	}
+	return w.Word(r.Key)
+}
+
+// Rows appends every row of rs.
+func (w *RunWriter) Rows(rs []PackedRow) error {
+	for _, r := range rs {
+		if err := w.Row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Keys appends every word of ks.
+func (w *RunWriter) Keys(ks []uint64) error {
+	for _, k := range ks {
+		if err := w.Word(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close unpins the tail page and returns the finished run. If any append
+// failed, Close frees the partial run's pages and returns that error;
+// either way the writer holds no pins afterwards.
+func (w *RunWriter) Close() (Run, error) {
+	if w.pg != nil {
+		w.pool.Unpin(w.pg)
+		w.pg = nil
+	}
+	if w.err != nil {
+		w.run.Free(w.pool)
+		return Run{}, w.err
+	}
+	return w.run, nil
+}
+
+// runReadAhead is the number of consecutive pages a reader decodes per
+// fill. Batching keeps physical reads sequential even when several runs
+// are merged concurrently (each reader advances runReadAhead adjacent
+// pages at a time instead of interleaving single pages), at the cost of
+// a small fixed word buffer per open reader.
+const runReadAhead = 4
+
+// RunReadAheadBytes is the heap footprint of one open reader's word
+// buffer — the quantity a memory budget must charge per run held open
+// in a k-way merge.
+const RunReadAheadBytes = runReadAhead * PageSize
+
+// RunReader streams a run's words front to back through the buffer pool.
+// Pages are fetched runReadAhead at a time, decoded into a word buffer,
+// and unpinned immediately, so a reader never holds a pin between calls.
+// Word returns io.EOF after the last word; any I/O error is sticky.
+// Close is idempotent (and, since no pin outlives a call, optional on
+// the success path — but error paths should still call it).
+type RunReader struct {
+	pool     *Pool
+	run      Run
+	idx      int // next page index
+	buf      []uint64
+	pos      int
+	consumed int64
+	err      error
+}
+
+// NewRunReader opens a reader over run.
+func NewRunReader(pool *Pool, run Run) *RunReader {
+	return &RunReader{pool: pool, run: run}
+}
+
+// fill decodes the next read-ahead window into the word buffer.
+func (r *RunReader) fill() error {
+	if r.buf == nil {
+		r.buf = make([]uint64, 0, runReadAhead*WordsPerPage)
+	}
+	r.buf = r.buf[:0]
+	r.pos = 0
+	for p := 0; p < runReadAhead && r.idx < len(r.run.pages); p++ {
+		pg, err := r.pool.Fetch(r.run.pages[r.idx])
+		if err != nil {
+			r.err = fmt.Errorf("storage: run reader: %w", err)
+			return r.err
+		}
+		n := r.run.words - int64(r.idx)*WordsPerPage
+		if n > WordsPerPage {
+			n = WordsPerPage
+		}
+		for w := int64(0); w < n; w++ {
+			r.buf = append(r.buf, pg.U64(int(w)*8))
+		}
+		r.pool.Unpin(pg)
+		r.idx++
+	}
+	return nil
+}
+
+// Word returns the next word, or io.EOF at the end of the run.
+func (r *RunReader) Word() (uint64, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.consumed >= r.run.words {
+		return 0, io.EOF
+	}
+	if r.pos >= len(r.buf) {
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	r.consumed++
+	return v, nil
+}
+
+// Row returns the next (tid, key) pair, or io.EOF at the end. A run with
+// an odd word tail is corrupt and yields an error, never a partial row.
+func (r *RunReader) Row() (PackedRow, error) {
+	tid, err := r.Word()
+	if err != nil {
+		return PackedRow{}, err
+	}
+	key, err := r.Word()
+	if err == io.EOF {
+		err = fmt.Errorf("storage: run reader: odd word count %d in row run", r.run.words)
+		r.err = err
+	}
+	if err != nil {
+		return PackedRow{}, err
+	}
+	return PackedRow{Tid: tid, Key: key}, nil
+}
+
+// Close releases the reader's resources. Idempotent; the reader holds
+// no pins between calls, so this only drops the word buffer.
+func (r *RunReader) Close() {
+	r.buf = nil
+}

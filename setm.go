@@ -41,7 +41,8 @@ type Transaction = core.Transaction
 type Dataset = core.Dataset
 
 // Options configures a mining run (minimum support, pattern-length cap,
-// the PrefilterSales ablation).
+// the PrefilterSales ablation, and the MemoryBudget bound for the
+// out-of-core drivers).
 type Options = core.Options
 
 // Result holds the count relations C_k and per-iteration statistics.
@@ -53,7 +54,7 @@ type ItemsetCount = core.ItemsetCount
 // IterationStat records the relation sizes of one SETM iteration.
 type IterationStat = core.IterationStat
 
-// PagedConfig tunes the paged driver (buffer-pool frames, sort memory).
+// PagedConfig tunes the paged driver (buffer-pool frames, page store).
 type PagedConfig = core.PagedConfig
 
 // PagedResult is a mining result plus page-I/O statistics.
@@ -93,8 +94,11 @@ func MinePartitioned(d *Dataset, opts Options, shards int) (*Result, error) {
 	return core.MinePartitioned(d, opts, shards)
 }
 
-// MinePaged runs Algorithm SETM on the paged storage substrate, counting
-// page I/O so runs can be checked against the Section 4.3 analysis.
+// MinePaged runs Algorithm SETM out of core: the packed-key kernels over
+// spillable relations that stay in RAM below Options.MemoryBudget and
+// stream through the buffer pool as raw packed-page runs above it, with
+// page I/O counted so runs can be checked against the Section 4.3
+// analysis. It is the driver for datasets whose working set exceeds RAM.
 func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
 	return core.MinePaged(d, opts, cfg)
 }
