@@ -11,6 +11,10 @@
 //	setm-bench -exp partition # partitioned-driver shard scaling
 //	setm-bench -exp all
 //
+// -strategy {auto,mine,parallel,partitioned,paged,sql} mines once with
+// the named driver and prints the per-iteration chosen plans — the
+// EXPLAIN-style view of the adaptive executor (combine with -membudget).
+//
 // By default experiments run on the calibrated retail stand-in at full
 // published size (46,873 transactions); -txns scales it down.
 //
@@ -52,8 +56,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "data seed")
 	repeats := fs.Int("repeats", 3, "timing repetitions (best-of)")
 	compareTxns := fs.Int("compare-txns", 4000, "transactions for the algorithm comparison (nested-loop is slow)")
-	jsonPath := fs.String("json", "", "write machine-readable hot-path benchmark records (name, params, ns/op, rows, allocs) to this file, for tracking the perf trajectory as BENCH_*.json across PRs")
-	memBudget := fs.Int64("membudget", 0, "Options.MemoryBudget in bytes for the io experiment and an extra paged/packed JSON record (0 = driver default, -1 = unlimited)")
+	jsonPath := fs.String("json", "", "write machine-readable hot-path benchmark records (name, params, ns/op, rows, allocs, per-iteration plans) to this file, for tracking the perf trajectory as BENCH_*.json across PRs")
+	memBudget := fs.Int64("membudget", 0, "Options.MemoryBudget in bytes for the io experiment, the -strategy run, and an extra paged/packed JSON record (0 = driver default, -1 = unlimited)")
+	strategy := fs.String("strategy", "", "run one driver {auto,mine,parallel,partitioned,paged,sql} on the retail data set and print its per-iteration chosen plans (the EXPLAIN of mining); honours -membudget")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -156,12 +161,78 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *strategy != "" {
+		if err := runStrategy(*strategy, dataset(), *memBudget, stdout); err != nil {
+			return err
+		}
+	}
+
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, dataset(), *repeats, *memBudget, stdout); err != nil {
 			return err
 		}
 	}
 
+	return nil
+}
+
+// minerFor resolves a -strategy name to a driver.
+func minerFor(name string) (func(*core.Dataset, core.Options) (*core.Result, error), error) {
+	switch name {
+	case "auto":
+		return core.MineAuto, nil
+	case "mine":
+		return core.MineMemory, nil
+	case "parallel":
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineParallel(d, o, 0)
+		}, nil
+	case "partitioned":
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MinePartitioned(d, o, 0)
+		}, nil
+	case "paged":
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			r, err := core.MinePaged(d, o, core.PagedConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Result, nil
+		}, nil
+	case "sql":
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineSQL(d, o, core.SQLConfig{})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -strategy %q (want auto, mine, parallel, partitioned, paged, or sql)", name)
+	}
+}
+
+// runStrategy mines once with the named driver and prints the
+// per-iteration chosen plans — the EXPLAIN-style view of the executor.
+func runStrategy(name string, d *core.Dataset, memBudget int64, stdout io.Writer) error {
+	mine, err := minerFor(name)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{MinSupportFrac: 0.001, MemoryBudget: memBudget}
+	res, err := mine(d, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, strings.Repeat("=", 72))
+	fmt.Fprintf(stdout, "Strategy %s on %d transactions @ 0.1%% (budget=%d): %v, %d patterns\n",
+		name, d.NumTransactions(), memBudget, res.Elapsed, res.TotalPatterns())
+	fmt.Fprintf(stdout, "%4s  %-24s %10s %10s %8s %6s %8s %12s\n",
+		"k", "plan", "|R'_k|", "|R_k|", "|C_k|", "runs", "pageIO", "duration")
+	for _, st := range res.Stats {
+		plan := st.Plan.String()
+		if plan == "" {
+			plan = "-"
+		}
+		fmt.Fprintf(stdout, "%4d  %-24s %10d %10d %8d %6d %8d %12v\n",
+			st.K, plan, st.RPrimeRows, st.RRows, st.CCount, st.RunsSpilled, st.PageIO, st.Duration)
+	}
 	return nil
 }
 
@@ -177,6 +248,21 @@ type benchRecord struct {
 	RunsSpilled int64 `json:"runs_spilled,omitempty"`
 	SpillBytes  int64 `json:"spill_bytes,omitempty"`
 	PageIO      int64 `json:"page_io,omitempty"`
+	// Iterations records the per-iteration chosen plan of the best run —
+	// why each pass ran the way it did.
+	Iterations []iterRecord `json:"iterations,omitempty"`
+}
+
+// iterRecord is one iteration of a benchmark run: the executor's chosen
+// plan and the observed cardinalities it acted on.
+type iterRecord struct {
+	K           int    `json:"k"`
+	Plan        string `json:"plan,omitempty"`
+	RPrimeRows  int64  `json:"r_prime_rows"`
+	RRows       int64  `json:"r_rows"`
+	CCount      int    `json:"c_count"`
+	RunsSpilled int64  `json:"runs_spilled,omitempty"`
+	PageIO      int64  `json:"page_io,omitempty"`
 }
 
 // writeBenchJSON measures the hot-path drivers (packed and generic
@@ -203,6 +289,12 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 			return res.Result, nil
 		}
 	}
+	autoAt := func(budget int64) func(*core.Dataset, core.Options) (*core.Result, error) {
+		return func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.MemoryBudget = budget
+			return core.MineAuto(d, o)
+		}
+	}
 	variants := []struct {
 		name string
 		opts core.Options
@@ -225,6 +317,12 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 		{"paged/packed-16MB", base, pagedAt(16 << 20)},
 		{"paged/packed-1MB", base, pagedAt(1 << 20)},
 		{"paged/generic", generic, pagedAt(0)},
+		// The auto-vs-fixed ladder: the adaptive executor at the same
+		// budgets as the fixed paged driver, so the planner's wins (and
+		// its per-iteration plans, recorded below) are tracked per PR.
+		{"auto/unlimited", base, core.MineAuto},
+		{"auto/16MB", base, autoAt(16 << 20)},
+		{"auto/1MB", base, autoAt(1 << 20)},
 	}
 	if memBudget != 0 {
 		variants = append(variants, struct {
@@ -252,10 +350,16 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 				rec.Rows = int64(res.TotalPatterns())
 				rec.Allocs = int64(ms1.Mallocs - ms0.Mallocs)
 				rec.RunsSpilled, rec.SpillBytes, rec.PageIO = 0, 0, 0
+				rec.Iterations = rec.Iterations[:0]
 				for _, st := range res.Stats {
 					rec.RunsSpilled += st.RunsSpilled
 					rec.SpillBytes += st.SpillBytes
 					rec.PageIO += st.PageIO
+					rec.Iterations = append(rec.Iterations, iterRecord{
+						K: st.K, Plan: st.Plan.String(),
+						RPrimeRows: st.RPrimeRows, RRows: st.RRows, CCount: st.CCount,
+						RunsSpilled: st.RunsSpilled, PageIO: st.PageIO,
+					})
 				}
 			}
 		}

@@ -88,10 +88,51 @@ func TestRunJSONWritesRecords(t *testing.T) {
 			t.Errorf("%s: params = %q, want txns=600", r.Name, r.Params)
 		}
 	}
-	for _, want := range []string{"mine/packed", "mine/generic", "parallel/packed", "partitioned/packed"} {
+	for _, want := range []string{"mine/packed", "mine/generic", "parallel/packed", "partitioned/packed",
+		"auto/unlimited", "auto/16MB", "auto/1MB"} {
 		if !names[want] {
 			t.Errorf("missing record %q", want)
 		}
+	}
+	// The per-iteration chosen plans ride along in every record.
+	var full []struct {
+		Name       string `json:"name"`
+		Iterations []struct {
+			K    int    `json:"k"`
+			Plan string `json:"plan"`
+		} `json:"iterations"`
+	}
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatalf("unmarshal iterations: %v", err)
+	}
+	for _, r := range full {
+		if len(r.Iterations) == 0 {
+			t.Errorf("%s: no per-iteration records", r.Name)
+			continue
+		}
+		if r.Name == "sql/vectorized" {
+			continue // the SQL driver reports its fixed engine plan
+		}
+		if r.Iterations[0].Plan == "" {
+			t.Errorf("%s: iteration 1 has no chosen plan", r.Name)
+		}
+	}
+}
+
+func TestRunStrategyPrintsPlans(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "none", "-txns", "800", "-strategy", "auto", "-membudget", "32768"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Strategy auto") {
+		t.Errorf("missing strategy header:\n%s", out)
+	}
+	if !strings.Contains(out, "packed/spilled") {
+		t.Errorf("32 KB budget run shows no spilled plan:\n%s", out)
+	}
+	if err := run([]string{"-exp", "none", "-strategy", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("bogus strategy accepted")
 	}
 }
 

@@ -36,8 +36,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	minSup := fs.Float64("minsup", 0.01, "minimum support as a fraction of transactions")
 	minSupCount := fs.Int64("minsup-count", 0, "minimum support as an absolute count (overrides -minsup)")
 	minConf := fs.Float64("minconf", 0.70, "minimum confidence factor")
-	algo := fs.String("algo", "memory", "algorithm: memory, parallel, partitioned, paged, sql, nested, ais, apriori")
-	workers := fs.Int("workers", 0, "with -algo parallel: worker count (0 = GOMAXPROCS)")
+	algo := fs.String("algo", "memory", "algorithm: memory, auto, parallel, partitioned, paged, sql, nested, ais, apriori")
+	workers := fs.Int("workers", 0, "with -algo parallel/auto: worker cap (0 = GOMAXPROCS)")
+	memBudget := fs.Int64("membudget", 0, "with -algo auto/paged: memory budget in bytes (0 = driver default)")
 	shards := fs.Int("shards", 0, "with -algo partitioned: shard count (0 = GOMAXPROCS)")
 	trace := fs.Bool("trace", false, "with -algo sql: print each SQL statement")
 	patterns := fs.Bool("patterns", false, "print frequent patterns, not just rules")
@@ -62,12 +63,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MinSupportFrac:  *minSup,
 		MinSupportCount: *minSupCount,
 		MaxPatternLen:   *maxLen,
+		MemoryBudget:    *memBudget,
 	}
 
 	var res *setm.Result
 	switch *algo {
 	case "memory":
 		res, err = setm.Mine(d, opts)
+	case "auto":
+		opts.MaxWorkers = *workers
+		res, err = setm.MineAuto(d, opts)
+		if err == nil {
+			for _, st := range res.Stats {
+				fmt.Fprintf(stdout, "k=%d plan=%s\n", st.K, st.Plan)
+			}
+		}
 	case "parallel":
 		res, err = setm.MineParallel(d, opts, *workers)
 	case "partitioned":

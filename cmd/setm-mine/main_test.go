@@ -25,7 +25,7 @@ func writeExampleFile(t *testing.T) string {
 
 func TestRunAllAlgorithmsOnPaperExample(t *testing.T) {
 	in := writeExampleFile(t)
-	for _, algo := range []string{"memory", "parallel", "partitioned", "paged", "sql", "nested", "ais", "apriori"} {
+	for _, algo := range []string{"memory", "auto", "parallel", "partitioned", "paged", "sql", "nested", "ais", "apriori"} {
 		t.Run(algo, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
 			args := []string{"-i", in, "-minsup", "0.30", "-minconf", "0.70", "-letters", "-algo", algo}

@@ -25,10 +25,12 @@ type mineArena struct {
 	dictBuf  []int64  // the dictionary's code -> item table
 	ck       pkCounts // packed C_k
 
-	// Per-worker buffers for the parallel chunk kernels.
+	// Per-worker buffers for the parallel chunk kernels (resident path)
+	// and the spilled regime's worker-private key counters.
 	wRows   [][]prow   // extension / filter chunk outputs
 	wCounts []pkCounts // per-chunk count runs
 	wTmp    [][]uint64 // per-chunk radix scratch
+	wKeys   [][]uint64 // per-worker bounded key buffers (spilled regime)
 	wSkips  []int64    // per-chunk sort-skip tallies
 }
 
@@ -55,6 +57,9 @@ func (a *mineArena) workerSlots(n int) {
 	}
 	for len(a.wTmp) < n {
 		a.wTmp = append(a.wTmp, nil)
+	}
+	for len(a.wKeys) < n {
+		a.wKeys = append(a.wKeys, nil)
 	}
 	for len(a.wSkips) < n {
 		a.wSkips = append(a.wSkips, 0)

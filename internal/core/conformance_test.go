@@ -125,6 +125,26 @@ func conformanceMiners() []minerFn {
 			o.MemoryBudget = 1 // any non-empty exchange list spills
 			return core.MinePartitioned(d, o, 3)
 		}},
+		{"auto", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			return core.MineAuto(d, o)
+		}},
+		{"auto-tinybudget", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.MemoryBudget = 1 << 14 // 16 KB: the planner must pick spilled regimes
+			return core.MineAuto(d, o)
+		}},
+		{"auto-1worker", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.MaxWorkers = 1
+			return core.MineAuto(d, o)
+		}},
+		{"paged-auto", func(d *core.Dataset, o core.Options) (*core.Result, error) {
+			o.Strategy = core.StrategyAuto
+			o.MemoryBudget = 1 << 15
+			r, err := core.MinePaged(d, o, core.PagedConfig{PoolFrames: 32})
+			if err != nil {
+				return nil, err
+			}
+			return r.Result, nil
+		}},
 		{"sql", func(d *core.Dataset, o core.Options) (*core.Result, error) {
 			return core.MineSQL(d, o, core.SQLConfig{})
 		}},

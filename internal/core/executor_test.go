@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"setm/internal/costmodel"
+	"setm/internal/storage"
+	"setm/internal/xsort"
+)
+
+// execDataset builds a deterministic skewed dataset big enough that
+// small budgets genuinely spill (gen.Retail lives above core and cannot
+// be imported from an in-package test).
+func execDataset(seed int64, txns int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	id := int64(0)
+	for i := 0; i < txns; i++ {
+		id += 1 + int64(rng.Intn(4))
+		n := 1 + rng.Intn(6)
+		items := make([]Item, n)
+		for j := range items {
+			// Zipf-ish skew so multi-item patterns survive the filter.
+			items[j] = Item(1 + rng.Intn(8) + rng.Intn(7)*rng.Intn(3))
+		}
+		d.Transactions = append(d.Transactions, Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+// forcedStrategy pins the executor to a specific worker count in the
+// spilled regime — how the tests drive the parallel spill paths
+// deterministically regardless of the host's CPU count.
+func forcedStrategy(workers int) strategyFunc {
+	return func(in costmodel.PlanInput) IterPlan {
+		p := IterPlan{Kernel: KernelPacked, Regime: RegimeSpilled, Workers: workers, Exchange: ExchangeNone}
+		if in.Budget <= 0 {
+			p.Regime = RegimeResident
+		}
+		return p
+	}
+}
+
+// runForced mines d with the executor pinned to workers under the given
+// budget and pool size.
+func runForced(d *Dataset, opts Options, workers, frames int) (*Result, *storage.Pool, error) {
+	pool := storage.NewPool(storage.NewMemStore(), frames)
+	st := newExecStepper(d, opts, PagedConfig{PoolFrames: frames}.withDefaults(), nil, forcedStrategy(workers))
+	st.cfg.PoolFrames = frames
+	st.attachPool(pool)
+	res, err := runPipeline(d, opts, st)
+	return res, pool, err
+}
+
+// TestSpillParallelMatchesSerial pins the morsel-parallel spilled regime
+// to the serial answer across worker counts and budgets, on data large
+// enough that every iteration genuinely spills per worker.
+func TestSpillParallelMatchesSerial(t *testing.T) {
+	d := execDataset(5, 3000)
+	opts := Options{MinSupportFrac: 0.01}
+	want, err := MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 7} {
+		for _, budget := range []int64{16 << 10, 256 << 10} {
+			o := opts
+			o.MemoryBudget = budget
+			got, pool, err := runForced(d, o, workers, 64)
+			if err != nil {
+				t.Fatalf("workers=%d budget=%d: %v", workers, budget, err)
+			}
+			assertSameCounts(t, fmt.Sprintf("workers=%d budget=%d", workers, budget), want, got)
+			if n := pool.PinnedFrames(); n != 0 {
+				t.Errorf("workers=%d budget=%d: %d pinned frames left", workers, budget, n)
+			}
+			if workers > 1 && budget == 16<<10 {
+				var runs int64
+				for _, st := range got.Stats {
+					runs += st.RunsSpilled
+				}
+				if runs == 0 {
+					t.Errorf("workers=%d: tiny budget never spilled", workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillParallelFaults sweeps injected faults through the parallel
+// spilled regime: every failure must surface (wrapped), never panic, and
+// the pool must hold zero pinned frames afterwards even with concurrent
+// writers in flight.
+func TestSpillParallelFaults(t *testing.T) {
+	d := faultDataset()
+	opts := Options{MinSupportFrac: 0.05, MemoryBudget: 16 << 10}
+	for _, failAfter := range []int{0, 2, 10, 60} {
+		fs := storage.NewFaultStore(storage.NewMemStore())
+		fs.FailWriteAfter = failAfter
+		pool := storage.NewPool(fs, 32)
+		st := newExecStepper(d, opts, PagedConfig{PoolFrames: 32}, nil, forcedStrategy(3))
+		st.attachPool(pool)
+		_, err := runPipeline(d, opts, st)
+		if err == nil {
+			t.Errorf("failAfter=%d: mining succeeded despite write faults", failAfter)
+			continue
+		}
+		if n := pool.PinnedFrames(); n != 0 {
+			t.Errorf("failAfter=%d: %d pinned frames after error", failAfter, n)
+		}
+	}
+}
+
+// TestAutoRetailFixtureConformance pins MineAuto (default, tiny-budget,
+// and single-worker plans) to Mine on the retail fixture — the
+// bit-identical contract of the adaptive executor.
+func TestAutoRetailFixtureConformance(t *testing.T) {
+	d := execDataset(7, 4000)
+	opts := Options{MinSupportFrac: 0.01}
+	want, err := MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"auto", func(*Options) {}},
+		{"auto-tinybudget", func(o *Options) { o.MemoryBudget = 32 << 10 }},
+		{"auto-1worker", func(o *Options) { o.MaxWorkers = 1 }},
+		{"auto-4workers", func(o *Options) { o.MaxWorkers = 4; o.MemoryBudget = 64 << 10 }},
+	}
+	for _, v := range variants {
+		o := opts
+		v.mod(&o)
+		got, err := MineAuto(d, o)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		assertSameCounts(t, v.name, want, got)
+	}
+}
+
+// TestAutoRecordsPlans: every iteration must carry a valid plan, the
+// regime must be spilled under a tiny budget and resident without one,
+// and a late small iteration under a moderate budget must flip back to
+// resident — the adaptivity the executor exists for.
+func TestAutoRecordsPlans(t *testing.T) {
+	d := execDataset(3, 4000)
+
+	res, err := MineAuto(d, Options{MinSupportFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stats {
+		if st.Plan.Kernel != KernelPacked || st.Plan.Regime != RegimeResident || st.Plan.Workers < 1 {
+			t.Errorf("unbounded k=%d: plan = %+v, want packed/resident", st.K, st.Plan)
+		}
+	}
+
+	tiny, err := MineAuto(d, Options{MinSupportFrac: 0.01, MemoryBudget: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Stats[0].Plan.Regime != RegimeSpilled {
+		t.Errorf("8 KB budget k=1: regime = %q, want spilled", tiny.Stats[0].Plan.Regime)
+	}
+
+	// A budget the early big iterations' modeled footprints exceed but
+	// the final small one's fits: the planner must flip spilled ->
+	// resident mid-run. The budget is derived from the model itself (the
+	// final iteration's projected footprint plus one byte), so the flip
+	// is exactly the ChoosePlan boundary the unit tests pin.
+	if len(res.Stats) < 3 {
+		t.Fatalf("only %d iterations", len(res.Stats))
+	}
+	total := 0
+	for _, tx := range d.Transactions {
+		total += len(tx.Items)
+	}
+	avgBasket := float64(total) / float64(len(d.Transactions))
+	lastIn := res.Stats[len(res.Stats)-2].RRows // |R_{k-1}| feeding the final pass
+	budget := costmodel.PackedIterFootprint(costmodel.EstRPrimeRows(lastIn, avgBasket)) + 1
+	mid, err := MineAuto(d, Options{MinSupportFrac: 0.01, MemoryBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Stats[0].Plan.Regime != RegimeSpilled {
+		t.Errorf("budget=%d k=1: regime = %q, want spilled", budget, mid.Stats[0].Plan.Regime)
+	}
+	last := mid.Stats[len(mid.Stats)-1]
+	if last.Plan.Regime != RegimeResident {
+		t.Errorf("budget=%d k=%d (R'=%d): regime = %q, want resident",
+			budget, last.K, last.RPrimeRows, last.Plan.Regime)
+	}
+	assertSameCounts(t, "auto-flip-budget", res, mid)
+}
+
+// TestFixedDriversRecordPlans pins the wrappers' fixed plans in the
+// stats: Mine is packed/resident/1w, MineParallel carries its worker
+// count, MinePaged is spilled under its default budget, and the
+// partitioned driver reports the sharded exchange.
+func TestFixedDriversRecordPlans(t *testing.T) {
+	d := PaperExample()
+	opts := Options{MinSupportFrac: 0.3}
+
+	res, err := MineMemory(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Stats[0].Plan; p.Kernel != KernelPacked || p.Regime != RegimeResident || p.Workers != 1 {
+		t.Errorf("Mine plan = %+v", p)
+	}
+
+	par, err := MineParallel(d, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := par.Stats[0].Plan; p.Workers != 3 || p.Regime != RegimeResident {
+		t.Errorf("MineParallel plan = %+v", p)
+	}
+
+	paged, err := MinePaged(d, opts, PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := paged.Stats[0].Plan; p.Regime != RegimeSpilled || p.Kernel != KernelPacked {
+		t.Errorf("MinePaged plan = %+v", p)
+	}
+
+	part, err := MinePartitioned(d, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := part.Stats[0].Plan; p.Exchange != ExchangeSharded || p.Workers != 4 {
+		t.Errorf("MinePartitioned plan = %+v", p)
+	}
+
+	sqlRes, err := MineSQL(d, opts, SQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sqlRes.Stats[0].Plan; p.Kernel != KernelSQL {
+		t.Errorf("MineSQL plan = %+v", p)
+	}
+}
+
+// TestSplitGroupsSpilledRun: the tid-aligned morsel split of a spilled
+// run must partition the transaction groups exactly — every group
+// appears once, in order, whatever the part count.
+func TestSplitGroupsSpilledRun(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 16)
+	// Groups of varying sizes crossing page boundaries (256 rows/page).
+	var rows []prow
+	tid := uint64(0)
+	for len(rows) < 2000 {
+		tid += 1 + uint64(len(rows)%3)
+		n := 1 + (len(rows)*7)%9
+		for i := 0; i < n; i++ {
+			rows = append(rows, prow{Tid: tid, Key: uint64(i)})
+		}
+	}
+	run, err := xsort.SpillRows(pool, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := runSrel(run)
+
+	collect := func(gs []groupSrc) []prow {
+		var out []prow
+		for i := range gs {
+			it := gs[i].open()
+			for {
+				g, err := it.next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g == nil {
+					break
+				}
+				out = append(out, g...)
+			}
+			it.close()
+		}
+		return out
+	}
+	for _, n := range []int{1, 2, 3, 5, 16, 100} {
+		gs, err := splitGroups(pool, rel, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(gs)
+		if len(got) != len(rows) {
+			t.Fatalf("n=%d: %d rows out, want %d", n, len(got), len(rows))
+		}
+		for i := range rows {
+			if got[i] != rows[i] {
+				t.Fatalf("n=%d: row %d = %+v, want %+v", n, i, got[i], rows[i])
+			}
+		}
+	}
+	if n := pool.PinnedFrames(); n != 0 {
+		t.Fatalf("%d pinned frames left", n)
+	}
+}
+
+// TestSeekGroupsSpilledRun: seeking a spilled relation to a tid must
+// yield exactly the groups at or after it.
+func TestSeekGroupsSpilledRun(t *testing.T) {
+	pool := storage.NewPool(storage.NewMemStore(), 16)
+	var rows []prow
+	for tid := uint64(10); tid < 900; tid += 3 {
+		for i := uint64(0); i < (tid%5)+1; i++ {
+			rows = append(rows, prow{Tid: tid, Key: i})
+		}
+	}
+	run, err := xsort.SpillRows(pool, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := runSrel(run)
+	for _, from := range []uint64{0, 10, 11, 500, 899, 2000} {
+		it, err := seekGroups(pool, rel, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []prow
+		for {
+			g, err := it.next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g == nil {
+				break
+			}
+			got = append(got, g...)
+		}
+		it.close()
+		var want []prow
+		for _, r := range rows {
+			if r.Tid >= from {
+				want = append(want, r)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("from=%d: %d rows, want %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("from=%d: row %d mismatch", from, i)
+			}
+		}
+	}
+}

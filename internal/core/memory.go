@@ -1,23 +1,25 @@
 package core
 
 // MineMemory runs Algorithm SETM (Figure 4 of the paper) entirely in main
-// memory: the shared pipeline over the packed-key engine (pack.go) with
-// every kernel on the serial path (workers = 1). Options.
-// DisablePackedKernels selects the generic flat-relation kernels instead
-// — the conformance oracle and the fallback for patterns too wide to
-// pack.
+// memory: the adaptive executor (executor.go) held to the fixed plan
+// {packed, resident, 1 worker} — the packed-key kernels of pack.go with
+// every kernel on the serial path and no budget machinery.
+// Options.DisablePackedKernels selects the generic flat-relation kernels
+// instead — the conformance oracle and the fallback for patterns too
+// wide to pack.
 func MineMemory(d *Dataset, opts Options) (*Result, error) {
 	return runPipeline(d, opts, newMemoryStepper(d, opts, 1))
 }
 
 // newMemoryStepper picks the substrate for the memory/parallel drivers:
-// the packed-key engine by default, the generic flat-relation kernels
-// under the DisablePackedKernels ablation.
+// the executor on the packed-key engine by default, the generic
+// flat-relation kernels under the DisablePackedKernels ablation.
 func newMemoryStepper(d *Dataset, opts Options, workers int) stepper {
 	if opts.DisablePackedKernels {
 		return &flatStepper{d: d, opts: opts, workers: workers}
 	}
-	return &packedStepper{d: d, opts: opts, workers: workers}
+	opts.MemoryBudget = 0 // the in-memory drivers are unbounded by contract
+	return newExecStepper(d, opts, PagedConfig{}.withDefaults(), nil, fixedStrategy(workers, false))
 }
 
 // flatStepper is the generic in-memory substrate of the SETM pipeline:
@@ -55,7 +57,14 @@ func (s *flatStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 		skips += fs
 		s.joinSide = s.rk
 	}
-	return c1, iterSizes{rPrime: int64(sales.rows()), rRows: int64(s.rk.rows()), sortSkips: skips}, nil
+	sz := iterSizes{rPrime: int64(sales.rows()), rRows: int64(s.rk.rows()), sortSkips: skips, plan: s.plan()}
+	return c1, sz, nil
+}
+
+// plan is the fixed strategy IR the generic in-memory substrate runs
+// under, recorded per iteration like the executor's.
+func (s *flatStepper) plan() IterPlan {
+	return IterPlan{Kernel: KernelGeneric, Regime: RegimeResident, Workers: s.workers, Exchange: ExchangeNone}
 }
 
 func (s *flatStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
@@ -76,7 +85,8 @@ func (s *flatStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, erro
 	var fs int64
 	s.rk, fs = filterPatterns(rPrime, ck, s.workers)
 	skips += fs
-	return ck, iterSizes{rPrime: int64(rPrime.rows()), rRows: int64(s.rk.rows()), sortSkips: skips}, nil
+	sz := iterSizes{rPrime: int64(rPrime.rows()), rRows: int64(s.rk.rows()), sortSkips: skips, plan: s.plan()}
+	return ck, sz, nil
 }
 
 // countPatterns produces C_k from an unsorted candidate relation: sort a

@@ -325,154 +325,7 @@ func unpackRel(rows []prow, k int, dict *packDict) relation {
 	return rel
 }
 
-// packedStepper is the packed-key substrate of the SETM pipeline — the
-// default hot path of MineMemory and MineParallel. It mirrors
-// flatStepper step for step, swaps in the packed kernels, and hands off
-// to a flatStepper mid-run if the pattern width exceeds one key.
-type packedStepper struct {
-	d       *Dataset
-	opts    Options
-	workers int
-
-	dict  *packDict
-	sales []prow // packed R_1, sorted by (trans_id, code)
-	join  []prow // R_1 side of the merge-scan join
-	rk    []prow // packed R_{k-1}, sorted by (trans_id, key)
-	ar    *mineArena
-
-	fallback *flatStepper // set once k*bitsPerItem exceeds 64
-}
-
-func (s *packedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
-	s.ar = newMineArena()
-	s.dict = buildDict(s.d, s.ar)
-	s.sales = packSales(s.d, s.dict, s.ar)
-
-	// C_1: counts per item require the key column sorted on item code.
-	var skips int64
-	keys := growU64(s.ar.keys, len(s.sales))
-	s.ar.keys = keys
-	for i, r := range s.sales {
-		keys[i] = r.Key
-	}
-	ck := s.countKeys(keys, minSup, &skips)
-	c1 := decodePatterns(ck, 1, s.dict)
-
-	// The paper does not filter R_1 by C_1 (Section 6.1); PrefilterSales
-	// is the ablation restricting both join sides to frequent items.
-	s.rk = s.sales
-	s.join = s.sales
-	if s.opts.PrefilterSales {
-		s.ar.joinBuf = packedFilter(s.sales, ck.keys, s.ar.joinBuf[:0])
-		s.rk = s.ar.joinBuf
-		s.join = s.rk
-	}
-	return c1, iterSizes{rPrime: int64(len(s.sales)), rRows: int64(len(s.rk)), sortSkips: skips}, nil
-}
-
-func (s *packedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
-	if s.fallback == nil && k > s.dict.maxPackedK() {
-		// Pattern no longer fits one key: unpack the live relations,
-		// continue on the generic int64 kernels, and return the arena —
-		// the unpacked relations own their memory.
-		s.fallback = &flatStepper{
-			d: s.d, opts: s.opts, workers: s.workers,
-			rk:       unpackRel(s.rk, k-1, s.dict),
-			joinSide: unpackRel(s.join, 1, s.dict),
-		}
-		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
-		s.ar.release()
-		s.ar = nil
-	}
-	if s.fallback != nil {
-		return s.fallback.step(k, minSup)
-	}
-
-	var skips int64
-	// sort R_{k-1} on (trans_id, items): the previous filter preserved
-	// that order, so the pre-scan almost always skips this sort.
-	if prowsSorted(s.rk) {
-		skips++
-	} else {
-		s.ar.rowsTmp = growProws(s.ar.rowsTmp, len(s.rk))
-		xsort.RadixSortRows(s.rk, s.ar.rowsTmp)
-	}
-
-	// R'_k := merge-scan(R_{k-1}, R_1).
-	rPrime := s.extend(s.rk, s.join)
-
-	// C_k: sort a copy of the key column, count runs, apply the support
-	// threshold.
-	keys := growU64(s.ar.keys, len(rPrime))
-	s.ar.keys = keys
-	for i, r := range rPrime {
-		keys[i] = r.Key
-	}
-	ck := s.countKeys(keys, minSup, &skips)
-	cOut := decodePatterns(ck, k, s.dict)
-
-	// R_k := filter R'_k by C_k. Filtering preserves (trans_id, items)
-	// order, so the paper's post-filter sort is provably unnecessary.
-	s.rk = s.filter(k, rPrime, ck.keys)
-	skips++
-	return cOut, iterSizes{rPrime: int64(len(rPrime)), rRows: int64(len(s.rk)), sortSkips: skips}, nil
-}
-
-// extend runs the packed merge-scan extension, fanned out across
-// transaction-aligned chunks when workers > 1.
-func (s *packedStepper) extend(rk, join []prow) []prow {
-	var out []prow
-	if s.workers > 1 && len(rk) >= parallelMinRows {
-		out = extendParallelPacked(rk, join, s.dict.bits, s.workers, s.ar)
-	} else {
-		out = packedExtend(rk, join, s.dict.bits, s.ar.ext[:0])
-	}
-	s.ar.ext = out
-	return out
-}
-
-// countKeys sorts the key column (unless already ordered) and produces
-// the packed C_k at minSup, reusing the arena's count buffers.
-func (s *packedStepper) countKeys(keys []uint64, minSup int64, skips *int64) pkCounts {
-	dst := pkCounts{keys: s.ar.ck.keys[:0], counts: s.ar.ck.counts[:0]}
-	if s.workers > 1 && len(keys) >= parallelMinRows {
-		dst = countKeysParallel(keys, minSup, s.workers, s.ar, dst, skips)
-	} else {
-		if keysSorted(keys) {
-			*skips++
-		} else {
-			s.ar.keysTmp = growU64(s.ar.keysTmp, len(keys))
-			xsort.RadixSortU64(keys, s.ar.keysTmp)
-		}
-		dst = packedCountRuns(keys, minSup, dst)
-	}
-	s.ar.ck = dst
-	return dst
-}
-
-// filter applies the support filter, fanned out across row chunks when
-// workers > 1, writing into the arena's R_k buffer. Narrow key spaces
-// test C_k membership through a dense bitmap instead of binary search.
-func (s *packedStepper) filter(k int, rPrime []prow, ckKeys []uint64) []prow {
-	bm := buildKeyBitmap(ckKeys, uint(k)*s.dict.bits, s.ar)
-	var out []prow
-	if s.workers > 1 && len(rPrime) >= parallelMinRows {
-		out = filterParallelPacked(rPrime, ckKeys, bm, s.workers, s.ar)
-	} else if bm != nil && len(ckKeys) > 0 {
-		out = packedFilterBitmap(rPrime, bm, s.ar.rkBuf[:0])
-	} else {
-		out = packedFilter(rPrime, ckKeys, s.ar.rkBuf[:0])
-	}
-	s.ar.rkBuf = out
-	return out
-}
-
-// release returns the stepper's arena to the pool once the pipeline is
-// done with it.
-func (s *packedStepper) release() {
-	if s.ar != nil {
-		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
-		s.ar.release()
-		s.ar = nil
-	}
-}
+// The packed-key substrate's stepper lives in executor.go: the adaptive
+// executor runs these kernels directly on arena-backed slices in its
+// resident regime and over spillable relations (spill.go) past the
+// memory budget.

@@ -15,15 +15,12 @@ type PagedConfig struct {
 	// PoolFrames is the buffer-pool capacity in 4 KB frames (default 256 —
 	// SETM's access pattern is sequential, so small pools suffice).
 	PoolFrames int
-	// SortMemLimit bounds the generic substrate's external-sort runs in
-	// bytes.
-	//
-	// Deprecated: Options.MemoryBudget is the one memory knob for the
-	// paged driver. When SortMemLimit is unset it defers to the resolved
-	// budget (so the generic tuple path and the packed path honour the
-	// same bound); setting it still works but only affects the generic
-	// substrate's tuple sorts.
-	SortMemLimit int
+	// Options.MemoryBudget is the one memory knob for the paged driver;
+	// the generic tuple substrate's external-sort runs and the packed
+	// path's spill buffers both derive from it. (A deprecated
+	// SortMemLimit field used to bound the tuple sorts separately; it
+	// was removed once both substrates honoured the shared budget.)
+
 	// Store supplies the page store (default: a fresh in-memory store).
 	// Pass a storage.FileStore to run against a real file, or a
 	// storage.FaultStore in failure-injection tests.
@@ -61,18 +58,21 @@ type PagedResult struct {
 }
 
 // MinePaged runs Algorithm SETM on the paged substrate with a bounded
-// memory working set. The default engine is the packed-key pipeline over
-// spillable relations (spill.go): an iteration whose packed footprint
-// fits Options.MemoryBudget runs entirely in RAM; past the budget its
-// relations stream through the buffer pool as raw packed-page runs —
-// bounded radix runs plus a cascaded k-way merge for the count sort,
-// sequential runs for everything else. A zero budget defaults to
-// PoolFrames × the page size (the pool's own capacity); a negative
-// budget pins everything in RAM. The generic tuple substrate (heap
-// files, external merge sort, exec.MergeJoin) remains behind
-// Options.DisablePackedKernels, the hash ablations, and the wide-pattern
-// fallback. The returned IO stats let experiments check the Section 4.3
-// bound
+// memory working set: the adaptive executor with a positive budget
+// engaging the spillable-relation machinery (spill.go). An iteration
+// whose packed footprint fits Options.MemoryBudget runs entirely in RAM;
+// past the budget its relations stream through the buffer pool as raw
+// packed-page runs — bounded radix runs plus a cascaded k-way merge for
+// the count sort, sequential runs for everything else. A zero budget
+// defaults to PoolFrames × the page size (the pool's own capacity); a
+// negative budget pins everything in RAM. The driver's fixed plan is
+// serial; Options.Strategy = StrategyAuto lets the cost model choose
+// regime and parallelism per iteration instead (MineAuto with the paged
+// driver's budget default and page store). The generic tuple substrate
+// (heap files, external merge sort, exec.MergeJoin) remains behind
+// Options.DisablePackedKernels, the hash ablations, and the
+// wide-pattern fallback. The returned IO stats let experiments check
+// the Section 4.3 bound
 //
 //	(n-1)·‖R_1‖ + Σ‖R'_i‖ + 2·Σ‖R_i‖
 func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) {
@@ -80,10 +80,6 @@ func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) 
 	budget := opts.MemoryBudget
 	if budget == 0 {
 		budget = int64(cfg.PoolFrames) * storage.PageSize
-	}
-	if cfg.SortMemLimit <= 0 && budget > 0 {
-		// Deprecated knob: one budget drives both substrates.
-		cfg.SortMemLimit = int(budget)
 	}
 	store := cfg.Store
 	if store == nil {
@@ -94,19 +90,20 @@ func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) 
 	var st stepper
 	if opts.DisablePackedKernels || cfg.UseHashJoin || cfg.UseHashGroup {
 		// The hash ablations are defined on the generic operator substrate.
-		st = &pagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres}
-	} else {
-		chunk := int64(0)
+		sortMem := 0
 		if budget > 0 {
-			// Four live bounded buffers share the budget: the R'_k
-			// appender, the key-sort buffer, the R_k appender, and the
-			// streaming cursors' group scratch.
-			chunk = budget / 4
-			if chunk < storage.PageSize {
-				chunk = storage.PageSize
-			}
+			sortMem = int(budget)
 		}
-		st = &packedPagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres, chunk: chunk}
+		st = &pagedStepper{d: d, opts: opts, cfg: cfg, pool: pool, pres: pres, sortMem: sortMem}
+	} else {
+		opts.MemoryBudget = budget // resolved: the executor takes it as-is
+		strat := fixedStrategy(1, true)
+		if opts.Strategy == StrategyAuto {
+			strat = autoStrategy()
+		}
+		es := newExecStepper(d, opts, cfg, pres, strat)
+		es.attachPool(pool)
+		st = es
 	}
 	res, err := runPipeline(d, opts, st)
 	if err != nil {
@@ -117,15 +114,18 @@ func MinePaged(d *Dataset, opts Options, cfg PagedConfig) (*PagedResult, error) 
 	return pres, nil
 }
 
-// pagedStepper is the paged-storage substrate of the SETM pipeline: R_k
-// relations are heap files and every relational step runs through the
-// storage and operator layers, with page-I/O accounting on the side.
+// pagedStepper is the generic paged-storage substrate of the SETM
+// pipeline: R_k relations are heap files and every relational step runs
+// through the storage and operator layers, with page-I/O accounting on
+// the side. It serves the hash ablations, the DisablePackedKernels
+// oracle, and the executor's wide-pattern fallback.
 type pagedStepper struct {
-	d    *Dataset
-	opts Options
-	cfg  PagedConfig
-	pool *storage.Pool
-	pres *PagedResult
+	d       *Dataset
+	opts    Options
+	cfg     PagedConfig
+	pool    *storage.Pool
+	pres    *PagedResult
+	sortMem int // external-sort run bound in bytes (from the budget)
 
 	rk       *hp.File // R_{k-1}
 	joinSide *hp.File // R_1 side of the merge-scan join
@@ -147,7 +147,7 @@ func (s *pagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 
 	// C_1: sort R_1 on item, sequential count scan (or hash aggregation
 	// under the ablation flag).
-	c1, err := countRelation(s.pool, sales, []int{1}, minSup, s.cfg)
+	c1, err := countRelation(s.pool, sales, []int{1}, minSup, s.cfg, s.sortMem)
 	if err != nil {
 		return nil, iterSizes{}, err
 	}
@@ -162,9 +162,14 @@ func (s *pagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	}
 	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
 	s.pres.RPrimePages = append(s.pres.RPrimePages, s.rk.Pages())
-	sz := iterSizes{rPrime: sales.Rows(), rRows: s.rk.Rows()}
+	sz := iterSizes{rPrime: sales.Rows(), rRows: s.rk.Rows(), plan: s.plan()}
 	sz.pageIO = s.pool.Stats.Accesses() - ioStart
 	return c1, sz, nil
+}
+
+// plan is the fixed strategy IR of the generic paged substrate.
+func (s *pagedStepper) plan() IterPlan {
+	return IterPlan{Kernel: KernelGeneric, Regime: RegimeSpilled, Workers: 1, Exchange: ExchangeNone}
 }
 
 func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
@@ -188,7 +193,7 @@ func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, err
 		for i := range allCols {
 			allCols[i] = i
 		}
-		sorted, err := xsort.File(s.pool, s.rk, xsort.ByColumns(allCols...), s.cfg.SortMemLimit)
+		sorted, err := xsort.File(s.pool, s.rk, xsort.ByColumns(allCols...), s.sortMem)
 		if err != nil {
 			return nil, iterSizes{}, err
 		}
@@ -216,7 +221,7 @@ func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, err
 	for i := range itemCols {
 		itemCols[i] = i + 1
 	}
-	ck, err := countRelation(s.pool, rPrime, itemCols, minSup, s.cfg)
+	ck, err := countRelation(s.pool, rPrime, itemCols, minSup, s.cfg, s.sortMem)
 	if err != nil {
 		return nil, iterSizes{}, err
 	}
@@ -228,15 +233,16 @@ func (s *pagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, err
 	}
 	s.pres.RPages = append(s.pres.RPages, s.rk.Pages())
 	s.pres.RPrimePages = append(s.pres.RPrimePages, rPrime.Pages())
-	sz := iterSizes{rPrime: rPrime.Rows(), rRows: s.rk.Rows()}
+	sz := iterSizes{rPrime: rPrime.Rows(), rRows: s.rk.Rows(), plan: s.plan()}
 	sz.pageIO = s.pool.Stats.Accesses() - ioStart
 	return ck, sz, nil
 }
 
 // countRelation produces C_k from an (unsorted) relation: the paper's way
 // is sort-on-items plus a sequential count scan; the hash ablation uses
-// hash aggregation and sorts only the (small) result.
-func countRelation(pool *storage.Pool, f *hp.File, itemCols []int, minSup int64, cfg PagedConfig) ([]ItemsetCount, error) {
+// hash aggregation and sorts only the (small) result. sortMem bounds the
+// external sort's run size (from the resolved memory budget).
+func countRelation(pool *storage.Pool, f *hp.File, itemCols []int, minSup int64, cfg PagedConfig, sortMem int) ([]ItemsetCount, error) {
 	if cfg.UseHashGroup {
 		grp := exec.NewHashGroup(exec.NewHeapScan(f), itemCols,
 			[]exec.AggSpec{{Kind: exec.AggCount, Name: "cnt"}})
@@ -260,7 +266,7 @@ func countRelation(pool *storage.Pool, f *hp.File, itemCols []int, minSup int64,
 		xsortCounts(out)
 		return out, nil
 	}
-	byItems, err := xsort.File(pool, f, xsort.ByColumns(itemCols...), cfg.SortMemLimit)
+	byItems, err := xsort.File(pool, f, xsort.ByColumns(itemCols...), sortMem)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"setm/internal/costmodel"
 )
 
 // MineParallel runs Algorithm SETM with the per-iteration work fanned out
@@ -17,9 +19,10 @@ import (
 //   - the support filter is again independent per row.
 //
 // It is the same pipeline and the same packed-key (or, under
-// DisablePackedKernels, flat-relation) substrate as MineMemory with
-// workers > 1, so results are bit-identical (tests enforce it).
-// workers <= 0 selects GOMAXPROCS.
+// DisablePackedKernels, flat-relation) substrate as MineMemory — the
+// executor held to the fixed plan {packed, resident, N workers} — so
+// results are bit-identical (tests enforce it). workers <= 0 selects
+// GOMAXPROCS.
 func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,8 +32,9 @@ func MineParallel(d *Dataset, opts Options, workers int) (*Result, error) {
 
 // parallelMinRows is the relation size below which the parallel kernels
 // fall back to the serial path — goroutine fan-out costs more than it
-// saves on tiny inputs.
-const parallelMinRows = 2048
+// saves on tiny inputs. It is the cost model's threshold, shared so the
+// planner and the kernels agree.
+const parallelMinRows = costmodel.ParallelMinRows
 
 // chunkRelationByTid splits rel (sorted by trans_id) into at most n row
 // ranges whose boundaries respect transaction groups.

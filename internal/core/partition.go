@@ -205,9 +205,20 @@ func (s *partitionStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error)
 			rkRows += int64(sh.rk.rows())
 		}
 	}
-	sz := iterSizes{rPrime: salesRows, rRows: rkRows, sortSkips: skips}
+	sz := iterSizes{rPrime: salesRows, rRows: rkRows, sortSkips: skips, plan: s.plan()}
 	s.takeExchangeStats(&sz)
 	return c1, sz, nil
+}
+
+// plan is the partitioned driver's fixed strategy IR: the sharded
+// count-distribution exchange, one worker per shard, relations resident
+// (only the exchange lists spill past the budget).
+func (s *partitionStepper) plan() IterPlan {
+	p := IterPlan{Kernel: KernelPacked, Regime: RegimeResident, Workers: s.nshards, Exchange: ExchangeSharded}
+	if !s.packed {
+		p.Kernel = KernelGeneric
+	}
+	return p
 }
 
 // takeExchangeStats moves the accumulated exchange spill accounting into
@@ -294,7 +305,7 @@ func (s *partitionStepper) stepPacked(k int, minSup int64) ([]ItemsetCount, iter
 		rkRows += int64(len(sh.prk))
 		skips += sh.skips
 	}
-	sz := iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}
+	sz := iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips, plan: s.plan()}
 	s.takeExchangeStats(&sz)
 	return cOut, sz, nil
 }
@@ -383,8 +394,14 @@ func (s *partitionStepper) mergeShardCountsSpilled(minSup int64) (pkCounts, erro
 			dst.counts = append(dst.counts, n)
 		}
 	}
+	// Cascade rounds (engaged when the shard count exceeds the fan-in)
+	// merge concurrently, bounded like the executor's spilled workers.
 	fanIn := xsort.FanIn(s.exPool.Capacity())
-	err := xsort.MergeRows(s.exPool, runs, fanIn, func(r prow) error {
+	workers := costmodel.SpillWorkerCap(s.exPool.Capacity())
+	if workers > s.nshards {
+		workers = s.nshards
+	}
+	err := xsort.MergeRowsN(s.exPool, runs, fanIn, workers, func(r prow) error {
 		if n > 0 && r.Tid == cur {
 			n += int64(r.Key)
 			return nil
@@ -470,5 +487,5 @@ func (s *partitionStepper) stepGeneric(k int, minSup int64) ([]ItemsetCount, ite
 		rkRows += int64(sh.rk.rows())
 		skips += sh.skips
 	}
-	return ck, iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips}, nil
+	return ck, iterSizes{rPrime: rPrimeRows, rRows: rkRows, sortSkips: skips, plan: s.plan()}, nil
 }

@@ -44,6 +44,9 @@ type iterSizes struct {
 	runsSpilled int64 // sorted packed-page runs written this iteration
 	spillBytes  int64 // payload bytes written into those runs
 	pageIO      int64 // physical page accesses (reads + writes)
+
+	// plan is the strategy IR the stepper executed this iteration under.
+	plan IterPlan
 }
 
 // runPipeline drives the shared SETM loop over a stepper.
@@ -71,6 +74,7 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 		RunsSpilled:  sz.runsSpilled,
 		SpillBytes:   sz.spillBytes,
 		PageIO:       sz.pageIO,
+		Plan:         sz.plan,
 		Duration:     time.Since(iterStart),
 	})
 
@@ -97,6 +101,7 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 			RunsSpilled:  sz.runsSpilled,
 			SpillBytes:   sz.spillBytes,
 			PageIO:       sz.pageIO,
+			Plan:         sz.plan,
 			Duration:     time.Since(iterStart),
 		})
 		if len(ck) == 0 {

@@ -1,162 +1,373 @@
 package core
 
-// The out-of-core packed substrate of MinePaged: the packed-key kernels
-// of pack.go running over *spillable* relations. A spillable relation
-// (srel) keeps its (tid, key) rows in RAM while they fit the memory
-// budget and becomes a sequential run of raw packed pages (storage.Run)
-// once they do not; every kernel of the iteration loop — merge-scan
-// extension, key sort + count, support filter — streams through cursors
-// that read either form, so the same code path serves the in-RAM and the
-// disk-resident regimes and the switch is just where an appender's
-// buffer tips over the budget.
+// The spillable-relation substrate of the adaptive executor
+// (executor.go): the packed-key kernels of pack.go running over
+// relations that keep their (tid, key) rows in RAM while they fit the
+// memory budget and become sequential runs of raw packed pages
+// (storage.Run) once they do not. Every kernel of the iteration loop —
+// merge-scan extension, key sort + count, support filter — streams
+// through cursors that read either form, so one code path serves the
+// in-RAM and the disk-resident regimes and the switch is just where an
+// appender's buffer tips over the budget.
+//
+// A relation is an ordered list of *segments*, each resident or spilled,
+// with segment boundaries always on transaction boundaries. One segment
+// is the serial case; several are what the parallel spilled regime
+// produces — worker-private appenders and run sets, concatenated in tid
+// order. The morsel splitters at the bottom of this file carve a
+// relation back into tid-aligned group sources (for the extension join)
+// or exact row ranges (for the filter), so spilled iterations fan out
+// across workers the same way the resident kernels of parallel.go do.
 //
 // The paper's structure survives intact: extension output inherits
-// (trans_id, items) order, so R'_k spills as ONE sequential run with no
-// sort; only the count step's key column needs sorting, which becomes
-// bounded in-memory radix runs plus a cascaded k-way merge (xsort's
-// packed path) — exactly the "two sorts and a merge-scan join" loop of
-// Section 4.4, with the sortedness fast path deleting the first sort.
+// (trans_id, items) order, so R'_k spills with no sort; only the count
+// step's key column needs sorting, which becomes bounded in-memory radix
+// runs plus a cascaded k-way merge (xsort's packed path) — exactly the
+// "two sorts and a merge-scan join" loop of Section 4.4, with the
+// sortedness fast path deleting the first sort.
 
 import (
 	"io"
-	"slices"
-	"strconv"
 
 	"setm/internal/costmodel"
-	hp "setm/internal/heap"
 	"setm/internal/storage"
-	"setm/internal/tuple"
 	"setm/internal/xsort"
 )
 
-// spillStats tallies the spill activity of a mining run.
+// rowsPerPage is the number of (tid, key) rows one packed page holds.
+const rowsPerPage = storage.WordsPerPage / 2
+
+// spillStats tallies the spill activity of a mining run (or of one
+// worker, merged after the fan-in).
 type spillStats struct {
 	runs  int64 // sorted packed-page runs written
 	bytes int64 // payload bytes written into those runs
 }
 
-// srel is a spillable packed relation in (tid, key) order: resident rows
-// below the budget, one sequential run of packed pages above it.
-type srel struct {
+func (s *spillStats) addRun(run storage.Run) {
+	s.runs++
+	s.bytes += run.Bytes()
+}
+
+func (s *spillStats) merge(o spillStats) {
+	s.runs += o.runs
+	s.bytes += o.bytes
+}
+
+// sseg is one segment of a spillable relation: resident rows or one
+// spilled run. Segment boundaries always coincide with transaction
+// boundaries, so no group spans segments.
+type sseg struct {
 	mem     []prow
 	run     storage.Run
 	spilled bool
-	nrows   int64
+}
+
+func (g *sseg) rows() int64 {
+	if g.spilled {
+		return g.run.Rows()
+	}
+	return int64(len(g.mem))
+}
+
+// srel is a spillable packed relation in (tid, key) order.
+type srel struct {
+	segs  []sseg
+	nrows int64
+}
+
+// memSrel wraps resident rows as a single-segment relation.
+func memSrel(rows []prow) *srel {
+	return &srel{segs: []sseg{{mem: rows}}, nrows: int64(len(rows))}
+}
+
+// runSrel wraps a spilled run as a single-segment relation.
+func runSrel(run storage.Run) *srel {
+	return &srel{segs: []sseg{{run: run, spilled: true}}, nrows: run.Rows()}
 }
 
 func (r *srel) rows() int64 { return r.nrows }
 
-// pages is the relation's page footprint ‖R‖: the run's real pages when
-// spilled, the packed-page equivalent of the resident rows otherwise
-// (so the Section 4.3 arithmetic stays meaningful across both regimes).
-func (r *srel) pages() int {
-	if r.spilled {
-		return r.run.Pages()
+// resident reports whether every segment is in RAM.
+func (r *srel) resident() bool {
+	for i := range r.segs {
+		if r.segs[i].spilled {
+			return false
+		}
 	}
-	p := int(costmodel.PackedPages(r.nrows, costmodel.PackedRowBytes))
+	return true
+}
+
+// flatten returns the relation's rows as one contiguous resident slice.
+// A single-segment resident relation is returned as-is; multi-segment
+// ones (the product of a parallel iteration whose appenders never
+// spilled) are concatenated once, at the resident fast path's entry.
+// Panics if any segment is spilled — callers check resident() first.
+func (r *srel) flatten() []prow {
+	if len(r.segs) == 1 && !r.segs[0].spilled {
+		return r.segs[0].mem
+	}
+	out := make([]prow, 0, r.nrows)
+	for i := range r.segs {
+		if r.segs[i].spilled {
+			panic("core: flatten of a spilled relation")
+		}
+		out = append(out, r.segs[i].mem...)
+	}
+	return out
+}
+
+// pages is the relation's page footprint ‖R‖: the runs' real pages for
+// spilled segments, the packed-page equivalent of the resident rows
+// otherwise (so the Section 4.3 arithmetic stays meaningful across both
+// regimes).
+func (r *srel) pages() int {
+	p := 0
+	for i := range r.segs {
+		if r.segs[i].spilled {
+			p += r.segs[i].run.Pages()
+		} else {
+			p += int(costmodel.PackedPages(int64(len(r.segs[i].mem)), costmodel.PackedRowBytes))
+		}
+	}
 	if p < 1 {
 		p = 1
 	}
 	return p
 }
 
-// free returns a spilled relation's pages to the pool.
+// free returns every spilled segment's pages to the pool.
 func (r *srel) free(pool *storage.Pool) {
-	if r.spilled {
-		r.run.Free(pool)
-		r.spilled = false
+	for i := range r.segs {
+		if r.segs[i].spilled {
+			r.segs[i].run.Free(pool)
+			r.segs[i].spilled = false
+		}
+		r.segs[i].mem = nil
 	}
-	r.mem = nil
+	r.segs = nil
 	r.nrows = 0
 }
 
-// srelCursor streams a spillable relation's rows front to back.
-type srelCursor struct {
-	mem []prow
-	pos int
-	rd  *storage.RunReader
-}
-
-func newSrelCursor(pool *storage.Pool, r *srel) *srelCursor {
-	if r.spilled {
-		return &srelCursor{rd: storage.NewRunReader(pool, r.run)}
+// readRow adapts RunReader.Row's io.EOF to an ok flag.
+func readRow(rd *storage.RunReader) (prow, bool, error) {
+	r, err := rd.Row()
+	if err == io.EOF {
+		return prow{}, false, nil
 	}
-	return &srelCursor{mem: r.mem}
+	if err != nil {
+		return prow{}, false, err
+	}
+	return r, true, nil
 }
 
-func (c *srelCursor) next() (prow, bool, error) {
-	if c.rd == nil {
-		if c.pos >= len(c.mem) {
+// ---------------------------------------------------------------------------
+// Row iteration
+
+// rowIter streams packed rows front to back.
+type rowIter interface {
+	next() (prow, bool, error)
+	close()
+}
+
+type memRowIter struct {
+	rows []prow
+	pos  int
+}
+
+func (it *memRowIter) next() (prow, bool, error) {
+	if it.pos >= len(it.rows) {
+		return prow{}, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *memRowIter) close() {}
+
+// runRowIter streams a run's rows block-wise (no per-word calls).
+type runRowIter struct {
+	rd  *storage.RunReader
+	blk []uint64
+	bi  int
+}
+
+func (it *runRowIter) next() (prow, bool, error) {
+	if it.bi+2 > len(it.blk) {
+		blk, err := it.rd.Block()
+		if err == io.EOF {
 			return prow{}, false, nil
 		}
-		r := c.mem[c.pos]
-		c.pos++
-		return r, true, nil
+		if err != nil {
+			return prow{}, false, err
+		}
+		it.blk, it.bi = blk, 0
+		if len(blk) < 2 {
+			return prow{}, false, io.ErrUnexpectedEOF
+		}
 	}
-	return readRow(c.rd)
+	r := prow{Tid: it.blk[it.bi], Key: it.blk[it.bi+1]}
+	it.bi += 2
+	return r, true, nil
 }
 
-func (c *srelCursor) close() {
-	if c.rd != nil {
-		c.rd.Close()
+func (it *runRowIter) close() { it.rd.Close() }
+
+// segRowIter chains the rows of consecutive segments.
+type segRowIter struct {
+	pool *storage.Pool
+	segs []sseg
+	cur  rowIter
+}
+
+func (it *segRowIter) next() (prow, bool, error) {
+	for {
+		if it.cur == nil {
+			if len(it.segs) == 0 {
+				return prow{}, false, nil
+			}
+			s := it.segs[0]
+			it.segs = it.segs[1:]
+			if s.spilled {
+				it.cur = &runRowIter{rd: storage.NewRunReader(it.pool, s.run)}
+			} else {
+				it.cur = &memRowIter{rows: s.mem}
+			}
+		}
+		r, ok, err := it.cur.next()
+		if err != nil {
+			return prow{}, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+		it.cur.close()
+		it.cur = nil
 	}
 }
 
-// groupCursor yields a spillable relation's rows one transaction group at
-// a time — the unit the merge-scan extension joins on. In-memory
-// relations are windowed without copying; spilled ones buffer one group
-// (a single transaction's patterns) in RAM, which is the only working
-// set the streaming join needs.
-type groupCursor struct {
-	mem []prow
-	pos int
+func (it *segRowIter) close() {
+	if it.cur != nil {
+		it.cur.close()
+		it.cur = nil
+	}
+	it.segs = nil
+}
 
-	rd         *storage.RunReader
-	buf        []prow
+// rowsOf opens a row iterator over the whole relation.
+func rowsOf(pool *storage.Pool, r *srel) rowIter {
+	return &segRowIter{pool: pool, segs: r.segs}
+}
+
+// ---------------------------------------------------------------------------
+// Group iteration (the unit the merge-scan extension joins on)
+
+// groupIter yields a relation's rows one transaction group at a time;
+// next returns nil at the end.
+type groupIter interface {
+	next() ([]prow, error)
+	close()
+}
+
+// memGroups windows a resident slice without copying.
+type memGroups struct {
+	rows []prow
+	pos  int
+}
+
+func (g *memGroups) next() ([]prow, error) {
+	if g.pos >= len(g.rows) {
+		return nil, nil
+	}
+	start := g.pos
+	tid := g.rows[start].Tid
+	for g.pos < len(g.rows) && g.rows[g.pos].Tid == tid {
+		g.pos++
+	}
+	return g.rows[start:g.pos], nil
+}
+
+func (g *memGroups) close() {}
+
+// runGroups buffers one transaction group at a time from a run reader.
+// It implements the morsel boundary rules of the parallel spilled
+// regime: leading rows carrying skipTid belong to the previous morsel's
+// trailing group and are skipped; a group whose first row sits at
+// absolute index >= stopRow belongs to the next morsel, so iteration
+// ends there (the reader itself extends to the end of the run, since the
+// morsel's own trailing group may continue past its page boundary).
+type runGroups struct {
+	rd  *storage.RunReader
+	blk []uint64 // current decoded block (block-wise reads)
+	bi  int
+	buf []prow
+
 	pending    prow
 	hasPending bool
 	done       bool
+
+	haveSkip bool
+	skipTid  uint64
+	stopRow  int64 // -1: none
+	pos      int64 // absolute row index of the next unread row
 }
 
-func newGroupCursor(pool *storage.Pool, r *srel) *groupCursor {
-	if r.spilled {
-		return &groupCursor{rd: storage.NewRunReader(pool, r.run)}
-	}
-	return &groupCursor{mem: r.mem}
+func newRunGroups(pool *storage.Pool, run storage.Run) *runGroups {
+	return &runGroups{rd: storage.NewRunReader(pool, run), stopRow: -1}
 }
 
-// next returns the next transaction's rows (nil at the end).
-func (g *groupCursor) next() ([]prow, error) {
-	if g.rd == nil {
-		if g.pos >= len(g.mem) {
-			return nil, nil
+func (g *runGroups) nextRow() (prow, bool, error) {
+	if g.bi+2 > len(g.blk) {
+		blk, err := g.rd.Block()
+		if err == io.EOF {
+			return prow{}, false, nil
 		}
-		start := g.pos
-		tid := g.mem[start].Tid
-		for g.pos < len(g.mem) && g.mem[g.pos].Tid == tid {
-			g.pos++
+		if err != nil {
+			return prow{}, false, err
 		}
-		return g.mem[start:g.pos], nil
+		if len(blk) < 2 {
+			return prow{}, false, io.ErrUnexpectedEOF
+		}
+		g.blk, g.bi = blk, 0
 	}
+	r := prow{Tid: g.blk[g.bi], Key: g.blk[g.bi+1]}
+	g.bi += 2
+	g.pos++
+	return r, true, nil
+}
+
+func (g *runGroups) next() ([]prow, error) {
 	if g.done {
 		return nil, nil
 	}
-	g.buf = g.buf[:0]
 	if !g.hasPending {
-		r, ok, err := readRow(g.rd)
-		if err != nil {
-			return nil, err
+		for {
+			r, ok, err := g.nextRow()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				g.done = true
+				return nil, nil
+			}
+			if g.haveSkip && r.Tid == g.skipTid {
+				continue // previous morsel's trailing group
+			}
+			g.haveSkip = false
+			g.pending, g.hasPending = r, true
+			break
 		}
-		if !ok {
-			g.done = true
-			return nil, nil
-		}
-		g.pending = r
 	}
-	g.buf = append(g.buf, g.pending)
+	// pending is the first row of the next group, at absolute index pos-1.
+	if g.stopRow >= 0 && g.pos-1 >= g.stopRow {
+		g.done = true
+		return nil, nil
+	}
+	g.buf = append(g.buf[:0], g.pending)
 	g.hasPending = false
 	for {
-		r, ok, err := readRow(g.rd)
+		r, ok, err := g.nextRow()
 		if err != nil {
 			return nil, err
 		}
@@ -173,23 +384,304 @@ func (g *groupCursor) next() ([]prow, error) {
 	return g.buf, nil
 }
 
-func (g *groupCursor) close() {
-	if g.rd != nil {
-		g.rd.Close()
+func (g *runGroups) close() { g.rd.Close() }
+
+// segGroups chains group iteration across segments; since segment
+// boundaries are transaction boundaries, no group spans two segments.
+type segGroups struct {
+	pool *storage.Pool
+	segs []sseg
+	cur  groupIter
+}
+
+func (g *segGroups) next() ([]prow, error) {
+	for {
+		if g.cur == nil {
+			if len(g.segs) == 0 {
+				return nil, nil
+			}
+			s := g.segs[0]
+			g.segs = g.segs[1:]
+			if s.spilled {
+				g.cur = newRunGroups(g.pool, s.run)
+			} else {
+				g.cur = &memGroups{rows: s.mem}
+			}
+		}
+		grp, err := g.cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if grp != nil {
+			return grp, nil
+		}
+		g.cur.close()
+		g.cur = nil
 	}
 }
 
-// readRow adapts RunReader.Row's io.EOF to an ok flag.
-func readRow(rd *storage.RunReader) (prow, bool, error) {
-	r, err := rd.Row()
-	if err == io.EOF {
-		return prow{}, false, nil
+func (g *segGroups) close() {
+	if g.cur != nil {
+		g.cur.close()
+		g.cur = nil
 	}
-	if err != nil {
-		return prow{}, false, err
-	}
-	return r, true, nil
+	g.segs = nil
 }
+
+// groupsOf opens a group iterator over the whole relation.
+func groupsOf(pool *storage.Pool, r *srel) groupIter {
+	return &segGroups{pool: pool, segs: r.segs}
+}
+
+// seekGroups opens a group iterator positioned at the first group whose
+// tid is >= fromTid — how a morsel worker fast-starts its join side. Run
+// segments are probed with RowAt binary searches (a handful of mostly
+// pool-hit page fetches).
+func seekGroups(pool *storage.Pool, r *srel, fromTid uint64) (groupIter, error) {
+	for si := range r.segs {
+		s := &r.segs[si]
+		n := s.rows()
+		if n == 0 {
+			continue
+		}
+		var lastTid uint64
+		if s.spilled {
+			last, err := s.run.RowAt(pool, n-1)
+			if err != nil {
+				return nil, err
+			}
+			lastTid = last.Tid
+		} else {
+			lastTid = s.mem[n-1].Tid
+		}
+		if lastTid < fromTid {
+			continue // whole segment precedes the target
+		}
+		// Target position is inside this segment.
+		if !s.spilled {
+			lo, hi := 0, len(s.mem)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if s.mem[mid].Tid < fromTid {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			segs := append([]sseg{{mem: s.mem[lo:]}}, r.segs[si+1:]...)
+			return &segGroups{pool: pool, segs: segs}, nil
+		}
+		lo, hi := int64(0), n
+		for lo < hi {
+			mid := (lo + hi) >> 1
+			row, err := s.run.RowAt(pool, mid)
+			if err != nil {
+				return nil, err
+			}
+			if row.Tid < fromTid {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Open the run at the page containing row lo and discard the rows
+		// before it within that page.
+		pageLo := int(lo / rowsPerPage)
+		rg := &runGroups{rd: storage.NewRunReaderAt(pool, s.run, pageLo), stopRow: -1}
+		rg.pos = int64(pageLo) * rowsPerPage
+		for rg.pos < lo {
+			if _, ok, err := rg.nextRow(); err != nil {
+				rg.close()
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		return &segGroups{pool: pool, segs: r.segs[si+1:], cur: rg}, nil
+	}
+	return &segGroups{pool: pool}, nil // every group precedes fromTid
+}
+
+// ---------------------------------------------------------------------------
+// Morsel splitting
+
+// groupSrc describes one tid-aligned morsel of a relation; open
+// instantiates its group iterator.
+type groupSrc struct {
+	pool *storage.Pool
+	mem  []prow // resident morsel, or
+	segs []sseg // bundle of whole segments, or
+	// window of one run:
+	run      storage.Run
+	isRun    bool
+	pageLo   int
+	haveSkip bool
+	skipTid  uint64
+	stopRow  int64
+}
+
+func (gs *groupSrc) open() groupIter {
+	switch {
+	case gs.isRun:
+		rg := &runGroups{
+			rd:       storage.NewRunReaderAt(gs.pool, gs.run, gs.pageLo),
+			haveSkip: gs.haveSkip, skipTid: gs.skipTid, stopRow: gs.stopRow,
+		}
+		rg.pos = int64(gs.pageLo) * rowsPerPage
+		return rg
+	case gs.segs != nil:
+		return &segGroups{pool: gs.pool, segs: gs.segs}
+	default:
+		return &memGroups{rows: gs.mem}
+	}
+}
+
+// splitGroups carves the relation into at most n tid-aligned morsels
+// covering it in order. A single-segment relation splits within the
+// segment (resident: at transaction boundaries; spilled: at page
+// boundaries with carry-tid/stop-row rules); a multi-segment one splits
+// at segment boundaries, which are tid-aligned by construction.
+func splitGroups(pool *storage.Pool, r *srel, n int) ([]groupSrc, error) {
+	if n < 1 {
+		n = 1
+	}
+	if len(r.segs) == 1 {
+		s := r.segs[0]
+		if !s.spilled {
+			bounds := chunkProwsByTid(s.mem, n)
+			out := make([]groupSrc, 0, len(bounds))
+			for _, b := range bounds {
+				out = append(out, groupSrc{pool: pool, mem: s.mem[b[0]:b[1]]})
+			}
+			return out, nil
+		}
+		pages := s.run.Pages()
+		if pages == 0 {
+			return nil, nil
+		}
+		if n > pages {
+			n = pages
+		}
+		out := make([]groupSrc, 0, n)
+		for w := 0; w < n; w++ {
+			pLo := w * pages / n
+			pHi := (w + 1) * pages / n
+			if pLo >= pHi {
+				continue
+			}
+			gs := groupSrc{pool: pool, run: s.run, isRun: true, pageLo: pLo, stopRow: -1}
+			if w > 0 {
+				// The previous morsel finishes the group straddling the
+				// boundary; skip its tid, read from the page's last full row.
+				prev, err := s.run.RowAt(pool, int64(pLo)*rowsPerPage-1)
+				if err != nil {
+					return nil, err
+				}
+				gs.haveSkip, gs.skipTid = true, prev.Tid
+			}
+			if w < n-1 {
+				gs.stopRow = int64(pHi) * rowsPerPage
+			}
+			out = append(out, gs)
+		}
+		return out, nil
+	}
+	// Multi-segment: bundle consecutive whole segments, balancing rows.
+	target := (r.nrows + int64(n) - 1) / int64(n)
+	if target < 1 {
+		target = 1
+	}
+	var out []groupSrc
+	var cur []sseg
+	var curRows int64
+	for _, s := range r.segs {
+		cur = append(cur, s)
+		curRows += s.rows()
+		if curRows >= target && len(out) < n-1 {
+			out = append(out, groupSrc{pool: pool, segs: cur})
+			cur, curRows = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, groupSrc{pool: pool, segs: cur})
+	}
+	return out, nil
+}
+
+// splitRows partitions the relation into at most n exact row ranges (no
+// tid alignment — the filter is per-row), covering it in order.
+func splitRows(pool *storage.Pool, r *srel, n int) []groupSrcRows {
+	if n < 1 {
+		n = 1
+	}
+	if len(r.segs) == 1 {
+		s := r.segs[0]
+		if !s.spilled {
+			bounds := evenChunks(len(s.mem), n)
+			out := make([]groupSrcRows, 0, len(bounds))
+			for _, b := range bounds {
+				out = append(out, groupSrcRows{pool: pool, mem: s.mem[b[0]:b[1]]})
+			}
+			return out
+		}
+		pages := s.run.Pages()
+		if n > pages {
+			n = pages
+		}
+		out := make([]groupSrcRows, 0, n)
+		for w := 0; w < n; w++ {
+			pLo := w * pages / n
+			pHi := (w + 1) * pages / n
+			if pLo >= pHi {
+				continue
+			}
+			out = append(out, groupSrcRows{pool: pool, run: s.run.PageView(pLo, pHi), isRun: true})
+		}
+		return out
+	}
+	target := (r.nrows + int64(n) - 1) / int64(n)
+	if target < 1 {
+		target = 1
+	}
+	var out []groupSrcRows
+	var cur []sseg
+	var curRows int64
+	for _, s := range r.segs {
+		cur = append(cur, s)
+		curRows += s.rows()
+		if curRows >= target && len(out) < n-1 {
+			out = append(out, groupSrcRows{pool: pool, segs: cur})
+			cur, curRows = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, groupSrcRows{pool: pool, segs: cur})
+	}
+	return out
+}
+
+// groupSrcRows is one exact row range of a relation.
+type groupSrcRows struct {
+	pool  *storage.Pool
+	mem   []prow
+	segs  []sseg
+	run   storage.Run // PageView
+	isRun bool
+}
+
+func (rs *groupSrcRows) open() rowIter {
+	switch {
+	case rs.isRun:
+		return &runRowIter{rd: storage.NewRunReader(rs.pool, rs.run)}
+	case rs.segs != nil:
+		return &segRowIter{pool: rs.pool, segs: rs.segs}
+	default:
+		return &memRowIter{rows: rs.mem}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Appending (resident until the budget says otherwise)
 
 // spillAppender accumulates rows in RAM up to capRows and transparently
 // switches to writing a packed run past it. The input order is the
@@ -200,6 +692,7 @@ type spillAppender struct {
 	capRows int // 0 = unbounded (never spill)
 	mem     []prow
 	w       *storage.RunWriter
+	stage   []prow // write batching for the row-at-a-time path, once spilled
 	nrows   int64
 	st      *spillStats
 	closed  bool
@@ -218,6 +711,11 @@ func (a *spillAppender) add(rows []prow) error {
 		}
 		a.mem = nil
 	}
+	if len(a.stage) > 0 {
+		if err := a.flushStage(); err != nil {
+			return err
+		}
+	}
 	return a.w.Rows(rows)
 }
 
@@ -229,24 +727,45 @@ func (a *spillAppender) add1(r prow) error {
 	}
 	if a.w != nil {
 		a.nrows++
-		return a.w.Row(r)
+		a.stage = append(a.stage, r)
+		if len(a.stage) >= rowsPerPage {
+			return a.flushStage()
+		}
+		return nil
 	}
 	return a.add([]prow{r}) // first overflow: flush mem through add
 }
 
-// finish seals the appender into a relation.
-func (a *spillAppender) finish() (*srel, error) {
+func (a *spillAppender) flushStage() error {
+	err := a.w.Rows(a.stage)
+	a.stage = a.stage[:0]
+	return err
+}
+
+// finishSeg seals the appender into one relation segment.
+func (a *spillAppender) finishSeg() (sseg, error) {
 	a.closed = true
 	if a.w == nil {
-		return &srel{mem: a.mem, nrows: a.nrows}, nil
+		return sseg{mem: a.mem}, nil
+	}
+	if err := a.flushStage(); err != nil {
+		return sseg{}, err
 	}
 	run, err := a.w.Close()
 	if err != nil {
+		return sseg{}, err
+	}
+	a.st.addRun(run)
+	return sseg{run: run, spilled: true}, nil
+}
+
+// finish seals the appender into a single-segment relation.
+func (a *spillAppender) finish() (*srel, error) {
+	seg, err := a.finishSeg()
+	if err != nil {
 		return nil, err
 	}
-	a.st.runs++
-	a.st.bytes += run.Bytes()
-	return &srel{run: run, spilled: true, nrows: a.nrows}, nil
+	return &srel{segs: []sseg{seg}, nrows: a.nrows}, nil
 }
 
 // abort releases the appender's writer (freeing any partial run) after
@@ -261,12 +780,30 @@ func (a *spillAppender) abort(pool *storage.Pool) {
 	}
 }
 
-// keyCounter implements the paper's "sort R'_k on items; count" step out
-// of core: keys accumulate in a bounded buffer that is radix-sorted and
-// spilled as a sorted key run when full; finish merges the runs k-way
-// (cascaded to the pool's fan-in) while run-length counting the sorted
-// stream into a packed C_k. Below the budget no run is ever written and
-// the counter degenerates to the in-memory sort-and-count kernel.
+// assembleSrel joins worker segments (in morsel order) into one
+// relation, dropping empty segments.
+func assembleSrel(segs []sseg) *srel {
+	r := &srel{}
+	for _, s := range segs {
+		n := s.rows()
+		if n == 0 {
+			continue
+		}
+		r.segs = append(r.segs, s)
+		r.nrows += n
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Counting (the paper's "sort R'_k on items; count" step, out of core)
+
+// keyCounter implements the count step for one worker: keys accumulate
+// in a bounded buffer that is radix-sorted and spilled as a sorted key
+// run when full; finish merges the runs k-way (cascaded to the pool's
+// fan-in) while run-length counting the sorted stream into a packed C_k.
+// Below the budget no run is ever written and the counter degenerates to
+// the in-memory sort-and-count kernel.
 type keyCounter struct {
 	pool    *storage.Pool
 	capKeys int // 0 = unbounded
@@ -286,6 +823,26 @@ func (kc *keyCounter) add(k uint64) error {
 	return nil
 }
 
+// addRows feeds a batch of rows' keys — the fused count step of the
+// extension loop.
+func (kc *keyCounter) addRows(rows []prow) error {
+	if kc.capKeys <= 0 {
+		for _, r := range rows {
+			kc.keys = append(kc.keys, r.Key)
+		}
+		return nil
+	}
+	for _, r := range rows {
+		kc.keys = append(kc.keys, r.Key)
+		if len(kc.keys) >= kc.capKeys {
+			if err := kc.flushRun(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (kc *keyCounter) flushRun() error {
 	if len(kc.keys) == 0 {
 		return nil
@@ -295,8 +852,7 @@ func (kc *keyCounter) flushRun() error {
 	if err != nil {
 		return err
 	}
-	kc.st.runs++
-	kc.st.bytes += run.Bytes()
+	kc.st.addRun(run)
 	kc.runs = append(kc.runs, run)
 	kc.keys = kc.keys[:0]
 	return nil
@@ -320,29 +876,15 @@ func (kc *keyCounter) finish(minSup int64, dst pkCounts) (pkCounts, error) {
 	if err := kc.flushRun(); err != nil {
 		return dst, err
 	}
-	var cur uint64
-	var n int64
-	flush := func() {
-		if n >= minSup {
-			dst.keys = append(dst.keys, cur)
-			dst.counts = append(dst.counts, n)
-		}
-	}
-	err := xsort.MergeKeys(kc.pool, kc.runs, kc.fanIn, func(k uint64) error {
-		if n > 0 && k == cur {
-			n++
-			return nil
-		}
-		flush()
-		cur, n = k, 1
-		return nil
-	})
-	kc.runs = nil // consumed (freed) by MergeKeys, even on error
-	if err != nil {
-		return dst, err
-	}
-	flush()
-	return dst, nil
+	return countMergedRuns(kc.pool, kc.takeRuns(), kc.fanIn, 1, minSup, dst)
+}
+
+// takeRuns hands the counter's runs to the caller (who becomes
+// responsible for consuming or freeing them).
+func (kc *keyCounter) takeRuns() []storage.Run {
+	runs := kc.runs
+	kc.runs = nil
+	return runs
 }
 
 // abort frees any runs not yet consumed by finish.
@@ -353,60 +895,85 @@ func (kc *keyCounter) abort() {
 	kc.runs = nil
 }
 
-// packedPagedStepper is the out-of-core packed substrate of the SETM
-// pipeline — MinePaged's default engine. chunk is the per-buffer share
-// of Options.MemoryBudget (0 = unbounded: everything stays in RAM and
-// the stepper performs no page I/O at all).
-type packedPagedStepper struct {
-	d    *Dataset
-	opts Options
-	cfg  PagedConfig
-	pool *storage.Pool
-	pres *PagedResult
-
-	chunk int64 // per-buffer byte bound; 0 = unbounded
-
-	dict  *packDict
-	ar    *mineArena
-	sales *srel // packed R_1
-	rk    *srel // R_{k-1}
-	join  *srel // join side (sales, or the prefiltered R_1)
-	ck    pkCounts
-
-	st spillStats
-
-	fallback *pagedStepper // generic tuple substrate for unpackable widths
-	convIO   int64         // page I/O of the fallback's relation decode
+// countMergedRuns streams the k-way merge of sorted key runs (cascade
+// rounds fanned across workers) and run-length counts the merged stream
+// into dst at minSup. The runs are consumed.
+func countMergedRuns(pool *storage.Pool, runs []storage.Run, fanIn, workers int, minSup int64, dst pkCounts) (pkCounts, error) {
+	var cur uint64
+	var n int64
+	flush := func() {
+		if n >= minSup {
+			dst.keys = append(dst.keys, cur)
+			dst.counts = append(dst.counts, n)
+		}
+	}
+	err := xsort.MergeKeysN(pool, runs, fanIn, workers, func(k uint64) error {
+		if n > 0 && k == cur {
+			n++
+			return nil
+		}
+		flush()
+		cur, n = k, 1
+		return nil
+	})
+	if err != nil {
+		return dst, err
+	}
+	flush()
+	return dst, nil
 }
 
-func (s *packedPagedStepper) capRows() int {
-	if s.chunk <= 0 {
-		return 0
+// finishCounters merges the key runs and sorted remainders of several
+// worker-private counters into one packed C_k at minSup. When no worker
+// spilled, the remainders merge in RAM; otherwise every remainder is
+// flushed as a (small) run and one cascaded merge counts the whole key
+// column. Aborts the counters' runs on error.
+func finishCounters(pool *storage.Pool, kcs []*keyCounter, fanIn, workers int, minSup int64, dst pkCounts) (pkCounts, error) {
+	spilledAny := false
+	for _, kc := range kcs {
+		if len(kc.runs) > 0 {
+			spilledAny = true
+			break
+		}
 	}
-	n := int(s.chunk / costmodel.PackedRowBytes)
-	if n < storage.WordsPerPage/2 {
-		n = storage.WordsPerPage / 2 // one page of rows
+	if !spilledAny {
+		parts := make([]pkCounts, 0, len(kcs))
+		for _, kc := range kcs {
+			if len(kc.keys) == 0 {
+				continue
+			}
+			kc.sortBuf()
+			parts = append(parts, packedCountRuns(kc.keys, 1, pkCounts{}))
+		}
+		if len(parts) == 1 {
+			// Re-threshold the single part without a merge.
+			for i, k := range parts[0].keys {
+				if parts[0].counts[i] >= minSup {
+					dst.keys = append(dst.keys, k)
+					dst.counts = append(dst.counts, parts[0].counts[i])
+				}
+			}
+			return dst, nil
+		}
+		return mergePackedCounts(parts, minSup, dst), nil
 	}
-	return n
-}
-
-func (s *packedPagedStepper) capKeys() int {
-	if s.chunk <= 0 {
-		return 0
+	var runs []storage.Run
+	abortAll := func() {
+		for _, r := range runs {
+			r.Free(pool)
+		}
+		for _, kc := range kcs {
+			kc.abort()
+		}
 	}
-	n := int(s.chunk / costmodel.PackedKeyBytes)
-	if n < storage.WordsPerPage {
-		n = storage.WordsPerPage // one page of keys
+	for _, kc := range kcs {
+		if err := kc.flushRun(); err != nil {
+			abortAll()
+			return dst, err
+		}
+		runs = append(runs, kc.takeRuns()...)
 	}
-	return n
-}
-
-func (s *packedPagedStepper) newAppender() *spillAppender {
-	return &spillAppender{pool: s.pool, capRows: s.capRows(), st: &s.st}
-}
-
-func (s *packedPagedStepper) newKeyCounter() *keyCounter {
-	return &keyCounter{pool: s.pool, capKeys: s.capKeys(), fanIn: mergeFanIn(s.pool, s.chunk), st: &s.st}
+	return countMergedRuns(pool, runs, fanIn, workers, minSup, dst)
 }
 
 // mergeFanIn caps a merge's open-run count by both the pool's frame
@@ -424,345 +991,4 @@ func mergeFanIn(pool *storage.Pool, chunk int64) int {
 		fanIn = 2
 	}
 	return fanIn
-}
-
-// startIteration begins the per-iteration accounting window.
-func (s *packedPagedStepper) startIteration() (ioStart int64, stStart spillStats) {
-	return s.pool.Stats.Accesses(), s.st
-}
-
-// endIteration closes the window into the iteration's spill accounting.
-func (s *packedPagedStepper) endIteration(sz *iterSizes, ioStart int64, stStart spillStats) {
-	sz.runsSpilled = s.st.runs - stStart.runs
-	sz.spillBytes = s.st.bytes - stStart.bytes
-	sz.pageIO = s.pool.Stats.Accesses() - ioStart
-}
-
-func (s *packedPagedStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
-	ioStart, stStart := s.startIteration()
-	s.ar = newMineArena()
-	s.dict = buildDict(s.d, s.ar)
-	mem := packSales(s.d, s.dict, s.ar)
-
-	// R_1: spill when the packed sales outgrow the budget share. (The
-	// Dataset itself is the caller's RAM; the budget governs the mining
-	// working set.) Resident sales alias the arena buffer — no copy.
-	sales := &srel{mem: mem, nrows: int64(len(mem))}
-	if cap := s.capRows(); cap > 0 && len(mem) > cap {
-		run, err := xsort.SpillRows(s.pool, mem)
-		if err != nil {
-			return nil, iterSizes{}, err
-		}
-		s.st.runs++
-		s.st.bytes += run.Bytes()
-		sales = &srel{run: run, spilled: true, nrows: int64(len(mem))}
-		// Drop the resident copy (and keep it out of the recycled arena):
-		// the run is now the only holder, so the budget genuinely bounds
-		// R_1's RAM.
-		mem = nil
-		s.ar.salesBuf = nil
-	}
-	s.sales = sales
-
-	// C_1: stream the key column through the bounded sort-and-count.
-	kc := s.newKeyCounter()
-	defer kc.abort()
-	cur := newSrelCursor(s.pool, sales)
-	defer cur.close()
-	for {
-		r, ok, err := cur.next()
-		if err != nil {
-			return nil, iterSizes{}, err
-		}
-		if !ok {
-			break
-		}
-		if err := kc.add(r.Key); err != nil {
-			return nil, iterSizes{}, err
-		}
-	}
-	ck, err := kc.finish(minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
-	if err != nil {
-		return nil, iterSizes{}, err
-	}
-	s.ck = ck
-	c1 := decodePatterns(ck, 1, s.dict)
-
-	// The paper does not filter R_1 by C_1 (Section 6.1); PrefilterSales
-	// is the ablation restricting both join sides to frequent items.
-	salesRows := sales.rows()
-	s.rk, s.join = sales, sales
-	skips := kc.skips
-	if s.opts.PrefilterSales {
-		filtered, err := s.filterStream(sales, 1, ck)
-		if err != nil {
-			return nil, iterSizes{}, err
-		}
-		sales.free(s.pool)
-		s.sales, s.rk, s.join = filtered, filtered, filtered
-	}
-
-	s.pres.RPages = append(s.pres.RPages, s.rk.pages())
-	s.pres.RPrimePages = append(s.pres.RPrimePages, s.rk.pages())
-	sz := iterSizes{rPrime: salesRows, rRows: s.rk.rows(), sortSkips: skips}
-	s.endIteration(&sz, ioStart, stStart)
-	return c1, sz, nil
-}
-
-func (s *packedPagedStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
-	if s.fallback == nil && k > s.dict.maxPackedK() {
-		convStart := s.pool.Stats.Accesses()
-		if err := s.buildFallback(k); err != nil {
-			return nil, iterSizes{}, err
-		}
-		// The decode of the live packed relations into heap files is this
-		// iteration's I/O; charge it to the handoff step below.
-		s.convIO = s.pool.Stats.Accesses() - convStart
-	}
-	if s.fallback != nil {
-		ck, sz, err := s.fallback.step(k, minSup)
-		if err != nil {
-			return nil, iterSizes{}, err
-		}
-		sz.pageIO += s.convIO
-		s.convIO = 0
-		return ck, sz, nil
-	}
-
-	ioStart, stStart := s.startIteration()
-	// sort R_{k-1} on (trans_id, items): relations are appended (and
-	// spilled) in exactly that order, so the sort is provably redundant.
-	skips := int64(1)
-
-	// R'_k := merge-scan(R_{k-1}, R_1), streamed group by group; output
-	// inherits (trans_id, items) order and spills as one sequential run.
-	app := s.newAppender()
-	defer app.abort(s.pool)
-	if err := s.streamExtend(app); err != nil {
-		return nil, iterSizes{}, err
-	}
-	rPrime, err := app.finish()
-	if err != nil {
-		return nil, iterSizes{}, err
-	}
-	if s.rk != s.join {
-		s.rk.free(s.pool) // consumed; the join side lives on
-	}
-	s.rk = nil
-
-	// C_k: bounded radix runs over the key column, merged and counted.
-	kc := s.newKeyCounter()
-	defer kc.abort()
-	cur := newSrelCursor(s.pool, rPrime)
-	err = func() error {
-		defer cur.close()
-		for {
-			r, ok, err := cur.next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			if err := kc.add(r.Key); err != nil {
-				return err
-			}
-		}
-	}()
-	if err != nil {
-		rPrime.free(s.pool)
-		return nil, iterSizes{}, err
-	}
-	ck, err := kc.finish(minSup, pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]})
-	if err != nil {
-		rPrime.free(s.pool)
-		return nil, iterSizes{}, err
-	}
-	s.ck = ck
-	skips += kc.skips
-	cOut := decodePatterns(ck, k, s.dict)
-
-	// R_k := filter R'_k by C_k; filtering preserves (trans_id, items)
-	// order, so the paper's post-filter sort is skipped.
-	rk, err := s.filterStream(rPrime, k, ck)
-	rPrimePages := rPrime.pages()
-	rPrimeRows := rPrime.rows()
-	rPrime.free(s.pool)
-	if err != nil {
-		return nil, iterSizes{}, err
-	}
-	skips++
-	s.rk = rk
-
-	s.pres.RPages = append(s.pres.RPages, rk.pages())
-	s.pres.RPrimePages = append(s.pres.RPrimePages, rPrimePages)
-	sz := iterSizes{rPrime: rPrimeRows, rRows: rk.rows(), sortSkips: skips}
-	s.endIteration(&sz, ioStart, stStart)
-	return cOut, sz, nil
-}
-
-// streamExtend runs the merge-scan extension over transaction groups of
-// R_{k-1} and the join side, emitting to the appender.
-func (s *packedPagedStepper) streamExtend(out *spillAppender) error {
-	rkCur := newGroupCursor(s.pool, s.rk)
-	defer rkCur.close()
-	// The join side gets its own cursor even when it is the same relation
-	// (iteration 2's self-join): each stream needs independent position.
-	joinCur := newGroupCursor(s.pool, s.join)
-	defer joinCur.close()
-
-	mask := uint64(1)<<s.dict.bits - 1
-	scratch := s.ar.ext[:0]
-	g1, err := rkCur.next()
-	if err != nil {
-		return err
-	}
-	g2, err := joinCur.next()
-	if err != nil {
-		return err
-	}
-	for g1 != nil && g2 != nil {
-		t1, t2 := g1[0].Tid, g2[0].Tid
-		switch {
-		case t1 < t2:
-			if g1, err = rkCur.next(); err != nil {
-				return err
-			}
-		case t1 > t2:
-			if g2, err = joinCur.next(); err != nil {
-				return err
-			}
-		default:
-			scratch = scratch[:0]
-			for _, p := range g1 {
-				last := p.Key & mask
-				base := p.Key << s.dict.bits
-				for _, q := range g2 {
-					if q.Key > last {
-						scratch = append(scratch, prow{Tid: t1, Key: base | q.Key})
-					}
-				}
-			}
-			if len(scratch) > 0 {
-				if err := out.add(scratch); err != nil {
-					s.ar.ext = scratch[:0]
-					return err
-				}
-			}
-			if g1, err = rkCur.next(); err != nil {
-				return err
-			}
-			if g2, err = joinCur.next(); err != nil {
-				return err
-			}
-		}
-	}
-	s.ar.ext = scratch[:0]
-	return nil
-}
-
-// filterStream keeps the rows of r whose key occurs in ck, preserving
-// order; narrow key spaces test membership through a dense bitmap.
-func (s *packedPagedStepper) filterStream(r *srel, k int, ck pkCounts) (*srel, error) {
-	bm := buildKeyBitmap(ck.keys, uint(k)*s.dict.bits, s.ar)
-	app := s.newAppender()
-	defer app.abort(s.pool)
-	cur := newSrelCursor(s.pool, r)
-	defer cur.close()
-	for {
-		row, ok, err := cur.next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		keep := false
-		if bm != nil {
-			keep = bm[row.Key>>6]&(1<<(row.Key&63)) != 0
-		} else {
-			_, keep = slices.BinarySearch(ck.keys, row.Key)
-		}
-		if keep {
-			if err := app.add1(row); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return app.finish()
-}
-
-// buildFallback hands the pipeline to the generic tuple substrate when
-// patterns outgrow the 64-bit packed key: the live packed relations are
-// decoded into heap files and the original paged stepper carries on over
-// the same pool and result accounting.
-func (s *packedPagedStepper) buildFallback(k int) error {
-	rkFile, err := s.relToHeap(s.rk, k-1)
-	if err != nil {
-		return err
-	}
-	joinFile := rkFile
-	if s.join != s.rk {
-		if joinFile, err = s.relToHeap(s.join, 1); err != nil {
-			return err
-		}
-	}
-	s.fallback = &pagedStepper{
-		d: s.d, opts: s.opts, cfg: s.cfg, pool: s.pool, pres: s.pres,
-		rk: rkFile, joinSide: joinFile,
-	}
-	if s.rk != s.join {
-		s.rk.free(s.pool)
-	}
-	s.join.free(s.pool)
-	if s.sales != nil && s.sales != s.join {
-		s.sales.free(s.pool)
-	}
-	s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
-	s.ar.release()
-	s.ar = nil
-	return nil
-}
-
-// relToHeap decodes a packed relation of k-item patterns into a generic
-// heap file sorted the same way the packed rows are.
-func (s *packedPagedStepper) relToHeap(r *srel, k int) (*hp.File, error) {
-	names := make([]string, 0, k+1)
-	names = append(names, "trans_id")
-	for i := 1; i <= k; i++ {
-		names = append(names, "item"+strconv.Itoa(i))
-	}
-	f, err := hp.Create(s.pool, tuple.IntSchema(names...))
-	if err != nil {
-		return nil, err
-	}
-	mask := uint64(1)<<s.dict.bits - 1
-	cur := newSrelCursor(s.pool, r)
-	defer cur.close()
-	vals := make([]int64, k+1)
-	for {
-		row, ok, err := cur.next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return f, nil
-		}
-		vals[0] = int64(row.Tid ^ tidFlip)
-		for c := 0; c < k; c++ {
-			vals[c+1] = int64(s.dict.items[(row.Key>>(uint(k-1-c)*s.dict.bits))&mask])
-		}
-		if err := f.Append(tuple.Ints(vals...)); err != nil {
-			return nil, err
-		}
-	}
-}
-
-// release returns the stepper's arena once the pipeline is done.
-func (s *packedPagedStepper) release() {
-	if s.ar != nil {
-		s.rk, s.join, s.sales, s.dict = nil, nil, nil, nil
-		s.ar.release()
-		s.ar = nil
-	}
 }

@@ -11,19 +11,14 @@ import (
 // budget over ~4,000 sales rows spills every iteration.
 var spillOpts = Options{MinSupportFrac: 0.05, MemoryBudget: 16 << 10}
 
-// runSpillPipeline drives the packed paged stepper over the given store
-// with the test's own pool, so assertions can inspect pool state after
-// the run.
+// runSpillPipeline drives the executor's spilled regime over the given
+// store with the test's own pool, so assertions can inspect pool state
+// after the run.
 func runSpillPipeline(d *Dataset, opts Options, store storage.Store, frames int) (*storage.Pool, error) {
 	pool := storage.NewPool(store, frames)
-	chunk := opts.MemoryBudget / 4
-	if chunk < storage.PageSize {
-		chunk = storage.PageSize
-	}
-	st := &packedPagedStepper{
-		d: d, opts: opts, cfg: PagedConfig{PoolFrames: frames},
-		pool: pool, pres: &PagedResult{}, chunk: chunk,
-	}
+	cfg := PagedConfig{PoolFrames: frames, Store: store}
+	st := newExecStepper(d, opts, cfg, nil, fixedStrategy(1, true))
+	st.attachPool(pool)
 	_, err := runPipeline(d, opts, st)
 	return pool, err
 }

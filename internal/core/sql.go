@@ -91,6 +91,12 @@ type sqlStepper struct {
 	prevR     string // table name of R_{k-1} ("sales" for k=2 without prefilter)
 }
 
+// sqlPlan is the SQL driver's fixed strategy IR: the paper's statements
+// executed by the (single-threaded, budget-aware) relational engine.
+func sqlPlan() IterPlan {
+	return IterPlan{Kernel: KernelSQL, Regime: RegimeSpilled, Workers: 1, Exchange: ExchangeNone}
+}
+
 // run executes one statement with the :minsupport parameter bound.
 func (s *sqlStepper) run(sql string, minSup int64) (*engine.Result, error) {
 	if s.cfg.TraceSQL != nil {
@@ -141,7 +147,7 @@ func (s *sqlStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	if _, err := s.run("DROP TABLE c1", minSup); err != nil {
 		return nil, iterSizes{}, err
 	}
-	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows}, nil
+	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows, plan: sqlPlan()}, nil
 }
 
 func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
@@ -257,7 +263,7 @@ func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error
 	}
 
 	s.prevR = rk
-	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected}, nil
+	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected, plan: sqlPlan()}, nil
 }
 
 // readCounts loads C_k from the engine into the canonical sorted form,

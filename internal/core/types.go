@@ -93,12 +93,34 @@ type Options struct {
 	// packed relations in RAM while they fit and transparently streams
 	// them through the buffer pool as sorted packed-page runs once they
 	// exceed the budget; MinePartitioned spills the per-shard count
-	// exchange lists the same way. Zero selects the driver default
-	// (MinePaged: PoolFrames × the 4 KB page size; in-memory drivers:
-	// unbounded); negative means explicitly unbounded, pinning even the
-	// paged driver's relations in RAM.
+	// exchange lists the same way; MineAuto plans each iteration's
+	// regime against it. Zero selects the driver default (MinePaged:
+	// PoolFrames × the 4 KB page size; MineAuto and the in-memory
+	// drivers: unbounded); negative means explicitly unbounded, pinning
+	// even the paged driver's relations in RAM.
 	MemoryBudget int64
+	// Strategy selects how the driver picks each iteration's execution
+	// plan. StrategyDefault keeps every driver's fixed plan (the driver
+	// name is the contract); StrategyAuto makes MinePaged consult the
+	// cost model per iteration the way MineAuto does — kernel, regime,
+	// and parallelism chosen from observed cardinalities. The other
+	// drivers ignore it.
+	Strategy Strategy
+	// MaxWorkers caps the adaptive executor's parallelism (MineAuto and
+	// StrategyAuto plans). Zero means GOMAXPROCS.
+	MaxWorkers int
 }
+
+// Strategy selects between a driver's fixed execution plan and the
+// cost-model-driven adaptive executor.
+type Strategy int
+
+const (
+	// StrategyDefault keeps the driver's fixed plan.
+	StrategyDefault Strategy = iota
+	// StrategyAuto plans every iteration from observed cardinalities.
+	StrategyAuto
+)
 
 // ResolveMinSupport computes the absolute support threshold for n
 // transactions; the result is at least 1.
@@ -150,6 +172,13 @@ type IterationStat struct {
 	// through the buffer pool — the per-iteration slice of the quantity
 	// the Section 4.3 formula bounds. Zero for the in-memory drivers.
 	PageIO int64
+	// Plan is the strategy IR the executor committed to for this
+	// iteration — which kernel ran, whether the relations were
+	// budget-bounded, and at what fan-out — so benchmarks and
+	// EXPLAIN-style output show why the pass ran the way it did. Fixed
+	// drivers (including the SQL driver, which reports Kernel "sql")
+	// record their constant plan every iteration.
+	Plan IterPlan
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
 }

@@ -348,6 +348,197 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+// RadixSortMs estimates a byte-wise LSD radix sort of rows fixed-width
+// elements: a linear counting pass plus a linear placement pass per
+// varying byte. The packed kernels typically touch only the bytes the
+// key domain varies in; passes defaults to the common narrow-domain
+// count when the caller cannot know better.
+func RadixSortMs(rows int64, passes int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	if passes < 1 {
+		passes = 2
+	}
+	return CPUTupleMs * float64(rows) * float64(2*passes)
+}
+
+// ---------------------------------------------------------------------------
+// Per-iteration executor planning
+//
+// The adaptive mining executor chooses a strategy at the top of every
+// SETM iteration — which kernel to run, whether the iteration's
+// relations stay resident or stream through the buffer pool as packed
+// runs, and how many workers to fan the kernels across — from the
+// cardinalities the previous iteration *observed*. The functions below
+// are the shared arithmetic for that choice: the paper's point (Sections
+// 3.2/4.3) is precisely that SETM's per-pass cost is predictable from
+// relation sizes, so a planner can pick the pass's execution strategy
+// the way a DBMS picks a join order.
+
+// ParallelFanoutMs is the modeled fixed cost of dispatching one worker
+// goroutine and merging its partial result (chunk bookkeeping, one
+// count-list merge head). It is deliberately coarse: like CPUTupleMs it
+// exists to rank alternatives, not to predict wall-clock.
+const ParallelFanoutMs = 0.05
+
+// ParallelMs scales a perfectly divisible serial cost across workers and
+// adds the per-worker fan-out overhead. Workers <= 1 returns serialMs
+// unchanged.
+func ParallelMs(serialMs float64, workers int) float64 {
+	if workers <= 1 {
+		return serialMs
+	}
+	return serialMs/float64(workers) + ParallelFanoutMs*float64(workers)
+}
+
+// EstRPrimeRows projects |R'_k| from the observed |R_{k-1}| and the mean
+// basket size |R_1|/|transactions|: a surviving length-(k-1) pattern is
+// extended by the basket items greater than its last item — on average
+// half the basket. The projection is the planner's working estimate, not
+// a bound; the spilled regime's appenders enforce the budget regardless
+// of how the estimate errs.
+func EstRPrimeRows(prevRRows int64, avgBasket float64) int64 {
+	if prevRRows <= 0 {
+		return 0
+	}
+	ext := avgBasket / 2
+	if ext < 1 || math.IsNaN(ext) {
+		ext = 1
+	}
+	est := float64(prevRRows) * ext
+	// Saturate: adversarial cardinalities must clamp, not wrap negative.
+	if est >= float64(maxModelRows) {
+		return maxModelRows
+	}
+	return int64(est)
+}
+
+// maxModelRows saturates the planner's row projections so the byte
+// arithmetic downstream (tens of bytes per row) cannot overflow int64.
+const maxModelRows = int64(1) << 56
+
+// PackedIterFootprint models the resident bytes one packed SETM
+// iteration needs for estRPrime candidate rows: the materialized R'_k
+// rows, the key column the count step sorts, and the filtered R_k
+// (worst case: every candidate survives).
+func PackedIterFootprint(estRPrime int64) int64 {
+	if estRPrime <= 0 {
+		return 0
+	}
+	if estRPrime > maxModelRows {
+		estRPrime = maxModelRows
+	}
+	return estRPrime * (PackedRowBytes + PackedKeyBytes + PackedRowBytes)
+}
+
+// PlanInput is what the executor observed going into an iteration.
+type PlanInput struct {
+	K         int   // pattern length of the upcoming iteration
+	PrevRRows int64 // |R_{k-1}| observed after the previous filter
+	// PrevRPrime is |R'_{k-1}| observed before the filter; from k >= 3 it
+	// caps the basket-based |R'_k| projection (see ChoosePlan).
+	PrevRPrime int64
+	AvgBasket  float64 // |R_1| / |transactions|
+	PackedOK   bool    // pattern still fits one 64-bit packed key
+	Budget     int64   // remaining MemoryBudget in bytes (<= 0: unbounded)
+	Workers    int     // available CPUs (caller caps by Options.MaxWorkers)
+	PoolFrames int     // buffer-pool frames available to a spilled regime
+}
+
+// PlanChoice is ChoosePlan's decision, in engine-neutral terms.
+type PlanChoice struct {
+	Packed bool // packed-key kernels (false: generic fallback forced)
+	Spill  bool // budget-bounded spilled regime instead of resident
+	// Workers is the chosen fan-out (>= 1; spilled regimes are
+	// additionally capped so concurrent writers cannot exhaust the pool).
+	Workers int
+	// EstRPrime and FootprintBytes expose the model's intermediate
+	// quantities: the projected |R'_k| and the resident footprint whose
+	// comparison against Budget decided Spill.
+	EstRPrime      int64
+	FootprintBytes int64
+	// EstMs is the modeled cost of the iteration under the chosen plan.
+	EstMs float64
+}
+
+// ParallelMinRows is the relation size below which fanning kernels out
+// across workers costs more than it saves.
+const ParallelMinRows = 2048
+
+// SpillWorkerCap bounds a spilled regime's concurrent workers by the
+// buffer pool: every worker holds a run-writer pin and read-ahead
+// buffers, so the fan-out must stay well inside the frame capacity.
+// Shared by ChoosePlan (so EstMs models the enforceable fan-out) and
+// the executor's safety clamp (so arbitrary fixed strategies cannot
+// exhaust the pool); returns at least 1.
+func SpillWorkerCap(poolFrames int) int {
+	w := poolFrames / 4
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ChoosePlan picks an iteration strategy from observed cardinalities:
+// packed kernels whenever the pattern fits one key, the spilled regime
+// exactly when the modeled packed footprint exceeds the budget, and the
+// worker count that minimizes the modeled iteration cost. It never
+// returns an invalid plan (Workers >= 1, Spill false when unbounded),
+// whatever the inputs.
+func ChoosePlan(in PlanInput) PlanChoice {
+	c := PlanChoice{Packed: in.PackedOK, Workers: 1}
+	c.EstRPrime = EstRPrimeRows(in.PrevRRows, in.AvgBasket)
+	if in.K >= 3 && in.PrevRPrime > 0 && c.EstRPrime > in.PrevRPrime {
+		// Candidate growth is front-loaded: once support pruning bites
+		// (k >= 3), the candidate set has never been observed to outgrow
+		// the previous iteration's, so the observed |R'_{k-1}| caps the
+		// basket-based projection.
+		c.EstRPrime = in.PrevRPrime
+	}
+	c.FootprintBytes = PackedIterFootprint(c.EstRPrime)
+	c.Spill = in.Budget > 0 && c.FootprintBytes > in.Budget
+
+	// The dominant modeled costs of one iteration: radix-sorting the key
+	// column, the merge-scan extension and filter passes, and — when
+	// spilled — the extra sequential write+read of the run pages.
+	serial := RadixSortMs(c.EstRPrime, 2) + CPUTupleMs*float64(3*c.EstRPrime)
+	if c.Spill {
+		p := PaperDBParams()
+		pages := PackedPages(c.EstRPrime, PackedRowBytes) + PackedPages(c.EstRPrime, PackedKeyBytes)
+		serial += 2 * SeqScanMs(p, pages)
+	}
+	c.EstMs = serial
+
+	maxW := in.Workers
+	if maxW < 1 {
+		maxW = 1
+	}
+	if c.Spill {
+		if byPool := SpillWorkerCap(in.PoolFrames); byPool < maxW {
+			maxW = byPool
+		}
+	}
+	// ParallelMs is convex in the worker count (dividable work plus a
+	// linear fan-out charge), so the best fan-out is rarely an endpoint;
+	// scan doublings up to maxW and keep the modeled minimum.
+	if c.EstRPrime >= ParallelMinRows && maxW > 1 {
+		for w := 2; ; w *= 2 {
+			if w > maxW {
+				w = maxW
+			}
+			if par := ParallelMs(serial, w); par < c.EstMs {
+				c.Workers = w
+				c.EstMs = par
+			}
+			if w == maxW {
+				break
+			}
+		}
+	}
+	return c
+}
+
 // String renders the nested-loop report in the paper's terms.
 func (r NestedLoopReport) String() string {
 	return fmt.Sprintf(

@@ -1,0 +1,39 @@
+package costmodel
+
+import "testing"
+
+// FuzzChoosePlan: arbitrary (including adversarial) cardinalities,
+// budgets, and worker counts must never yield an invalid plan or a
+// panic. The validity contract is what the executor relies on: at least
+// one worker, spilling only under a positive budget, non-negative model
+// quantities, and a finite cost estimate.
+func FuzzChoosePlan(f *testing.F) {
+	f.Add(2, int64(1000), int64(4000), 5.0, true, int64(1<<20), 4, 256)
+	f.Add(1, int64(0), int64(0), 0.0, false, int64(-1), 0, 0)
+	f.Add(64, int64(1)<<62, int64(1)<<62, 1e18, true, int64(1), 1<<30, -5)
+	f.Fuzz(func(t *testing.T, k int, prevR, prevRPrime int64, avgBasket float64,
+		packedOK bool, budget int64, workers, poolFrames int) {
+		c := ChoosePlan(PlanInput{
+			K: k, PrevRRows: prevR, PrevRPrime: prevRPrime, AvgBasket: avgBasket,
+			PackedOK: packedOK, Budget: budget, Workers: workers, PoolFrames: poolFrames,
+		})
+		if c.Workers < 1 {
+			t.Fatalf("Workers = %d, want >= 1", c.Workers)
+		}
+		if workers >= 1 && c.Workers > workers {
+			t.Fatalf("Workers = %d exceeds the %d available", c.Workers, workers)
+		}
+		if c.Spill && budget <= 0 {
+			t.Fatal("spilled under an unbounded budget")
+		}
+		if c.Packed != packedOK {
+			t.Fatalf("Packed = %v, want %v (generic only when the key overflows)", c.Packed, packedOK)
+		}
+		if c.EstRPrime < 0 || c.FootprintBytes < 0 {
+			t.Fatalf("negative model quantities: rows=%d footprint=%d", c.EstRPrime, c.FootprintBytes)
+		}
+		if c.EstMs < 0 || c.EstMs != c.EstMs { // negative or NaN
+			t.Fatalf("EstMs = %v", c.EstMs)
+		}
+	})
+}

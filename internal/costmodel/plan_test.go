@@ -1,0 +1,136 @@
+package costmodel
+
+import (
+	"testing"
+)
+
+// TestChoosePlanSpillFlip pins the resident→spilled transition to the
+// exact point where the modeled packed footprint crosses the budget.
+func TestChoosePlanSpillFlip(t *testing.T) {
+	in := PlanInput{K: 2, PrevRRows: 10_000, AvgBasket: 6, PackedOK: true, Workers: 1}
+	foot := PackedIterFootprint(EstRPrimeRows(in.PrevRRows, in.AvgBasket))
+	if foot <= 0 {
+		t.Fatalf("footprint = %d, want > 0", foot)
+	}
+
+	in.Budget = foot // exactly at the budget: still resident
+	if c := ChoosePlan(in); c.Spill {
+		t.Errorf("budget == footprint (%d): plan spilled, want resident", foot)
+	}
+	in.Budget = foot - 1 // one byte under: must spill
+	if c := ChoosePlan(in); !c.Spill {
+		t.Errorf("budget = footprint-1 (%d): plan resident, want spilled", foot-1)
+	}
+	in.Budget = 0 // unbounded: never spills
+	if c := ChoosePlan(in); c.Spill {
+		t.Error("unbounded budget spilled")
+	}
+	in.Budget = -1
+	if c := ChoosePlan(in); c.Spill {
+		t.Error("negative (explicitly unbounded) budget spilled")
+	}
+}
+
+// TestChoosePlanFootprintModel pins the footprint arithmetic the flip
+// test relies on: R'_k rows + key column + filtered R_k, all packed.
+func TestChoosePlanFootprintModel(t *testing.T) {
+	if got, want := PackedIterFootprint(1000), int64(1000*(16+8+16)); got != want {
+		t.Errorf("PackedIterFootprint(1000) = %d, want %d", got, want)
+	}
+	if got := PackedIterFootprint(0); got != 0 {
+		t.Errorf("PackedIterFootprint(0) = %d, want 0", got)
+	}
+	// The projection: each surviving pattern extends by half the mean
+	// basket, never shrinking below one extension per row.
+	if got, want := EstRPrimeRows(100, 8), int64(400); got != want {
+		t.Errorf("EstRPrimeRows(100, 8) = %d, want %d", got, want)
+	}
+	if got, want := EstRPrimeRows(100, 1), int64(100); got != want {
+		t.Errorf("EstRPrimeRows(100, 1) = %d, want %d", got, want)
+	}
+}
+
+// TestChoosePlanWorkers: large relations fan out across the available
+// CPUs, small ones stay serial, mid-size ones on many-core machines get
+// the cost-minimizing intermediate fan-out (not all-or-nothing), and a
+// spilled regime is capped by the pool's frame capacity.
+func TestChoosePlanWorkers(t *testing.T) {
+	big := PlanInput{K: 2, PrevRRows: 500_000, AvgBasket: 10, PackedOK: true, Workers: 8, PoolFrames: 256}
+	if c := ChoosePlan(big); c.Workers != 8 {
+		t.Errorf("big resident iteration: workers = %d, want 8", c.Workers)
+	}
+	small := big
+	small.PrevRRows = 10
+	if c := ChoosePlan(small); c.Workers != 1 {
+		t.Errorf("tiny iteration: workers = %d, want 1", c.Workers)
+	}
+	// Mid-size work on a 64-way box: full fan-out costs more in dispatch
+	// than it saves, but an intermediate fan-out still beats serial.
+	mid := PlanInput{K: 2, PrevRRows: 1500, AvgBasket: 4, PackedOK: true, Workers: 64, PoolFrames: 256}
+	cm := ChoosePlan(mid)
+	if cm.EstRPrime < ParallelMinRows {
+		t.Fatalf("mid estimate %d below the parallel threshold; adjust the fixture", cm.EstRPrime)
+	}
+	if cm.Workers <= 1 || cm.Workers >= 64 {
+		t.Errorf("mid-size on 64 CPUs: workers = %d, want an intermediate fan-out", cm.Workers)
+	}
+	serial := ChoosePlan(PlanInput{K: 2, PrevRRows: 1500, AvgBasket: 4, PackedOK: true, Workers: 1, PoolFrames: 256})
+	if cm.EstMs >= serial.EstMs {
+		t.Errorf("chosen fan-out models %.3f ms, serial %.3f ms", cm.EstMs, serial.EstMs)
+	}
+	spilled := big
+	spilled.Budget = 1 << 10
+	spilled.PoolFrames = 8
+	c := ChoosePlan(spilled)
+	if !c.Spill {
+		t.Fatal("1 KB budget did not spill")
+	}
+	if c.Workers > SpillWorkerCap(spilled.PoolFrames) {
+		t.Errorf("spilled workers = %d exceed pool cap %d", c.Workers, SpillWorkerCap(spilled.PoolFrames))
+	}
+	if c.Workers < 1 {
+		t.Errorf("workers = %d, want >= 1", c.Workers)
+	}
+}
+
+// TestChoosePlanObservedCandidateCap: from k >= 3 the observed
+// |R'_{k-1}| caps the basket-based projection — candidate growth is
+// front-loaded, so a shrinking run must not keep planning for the
+// worst case.
+func TestChoosePlanObservedCandidateCap(t *testing.T) {
+	in := PlanInput{K: 3, PrevRRows: 10_000, PrevRPrime: 12_000, AvgBasket: 10, PackedOK: true, Workers: 1}
+	c := ChoosePlan(in)
+	if c.EstRPrime != 12_000 { // basket model would say 50,000
+		t.Errorf("k=3 estimate = %d, want the observed cap 12000", c.EstRPrime)
+	}
+	in.K = 2 // the first extension may legitimately grow past |R'_1|
+	if c := ChoosePlan(in); c.EstRPrime != 50_000 {
+		t.Errorf("k=2 estimate = %d, want the uncapped 50000", c.EstRPrime)
+	}
+}
+
+// TestParallelMsMonotonic: more workers never make the modeled cost
+// negative, and the overhead term makes tiny work prefer serial.
+func TestParallelMsMonotonic(t *testing.T) {
+	if got := ParallelMs(100, 1); got != 100 {
+		t.Errorf("ParallelMs(100, 1) = %v, want 100", got)
+	}
+	if got := ParallelMs(100, 4); got <= 0 || got >= 100 {
+		t.Errorf("ParallelMs(100, 4) = %v, want in (0, 100)", got)
+	}
+	if got := ParallelMs(0.001, 8); got <= 0.001 {
+		t.Errorf("ParallelMs(0.001, 8) = %v: fan-out overhead should dominate tiny work", got)
+	}
+}
+
+func TestRadixSortMs(t *testing.T) {
+	if got := RadixSortMs(0, 2); got != 0 {
+		t.Errorf("RadixSortMs(0) = %v", got)
+	}
+	if RadixSortMs(1000, 4) <= RadixSortMs(1000, 2) {
+		t.Error("more radix passes must cost more")
+	}
+	if RadixSortMs(1000, 0) != RadixSortMs(1000, 2) {
+		t.Error("pass count <= 0 must default to the narrow-domain count")
+	}
+}

@@ -225,6 +225,22 @@ func Compare(d *core.Dataset, opts core.Options) ([]CompareRow, error) {
 		Algorithm: "setm-memory", Seconds: mem.Elapsed.Seconds(), Patterns: mem.TotalPatterns(),
 	})
 
+	auto, err := core.MineAuto(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := check("setm-auto", auto); err != nil {
+		return nil, err
+	}
+	var autoIO int64
+	for _, st := range auto.Stats {
+		autoIO += st.PageIO
+	}
+	rows = append(rows, CompareRow{
+		Algorithm: "setm-auto", Seconds: auto.Elapsed.Seconds(),
+		PageAccesses: autoIO, Patterns: auto.TotalPatterns(),
+	})
+
 	paged, err := core.MinePaged(d, opts, core.PagedConfig{})
 	if err != nil {
 		return nil, err

@@ -109,8 +109,8 @@ func TestCompareCrossValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("algorithms = %d, want 6", len(rows))
+	if len(rows) != 7 {
+		t.Fatalf("algorithms = %d, want 7", len(rows))
 	}
 	want := rows[0].Patterns
 	for _, r := range rows {
@@ -119,7 +119,7 @@ func TestCompareCrossValidates(t *testing.T) {
 		}
 	}
 	out := FormatCompare(rows)
-	for _, alg := range []string{"setm-memory", "setm-paged", "setm-sql", "nested-loop", "ais", "apriori"} {
+	for _, alg := range []string{"setm-memory", "setm-auto", "setm-paged", "setm-sql", "nested-loop", "ais", "apriori"} {
 		if !strings.Contains(out, alg) {
 			t.Errorf("comparison table missing %s:\n%s", alg, out)
 		}

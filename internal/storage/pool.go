@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Stats tallies logical page I/O through a buffer pool. "Random" versus
@@ -60,10 +61,16 @@ func (s *Stats) noteWrite(id PageID) {
 	s.haveLastWrite = true
 }
 
-// Pool is a fixed-capacity LRU buffer pool over a Store. It is not
-// goroutine-safe; the engine executes queries single-threaded, as the
-// paper's system did.
+// Pool is a fixed-capacity LRU buffer pool over a Store. A single mutex
+// serializes frame and pin accounting, so concurrent readers and writers
+// — the mining executor's parallel spilled regime runs several RunWriters
+// and RunReaders at once — share one pool safely. Page *contents* are not
+// guarded here: a fetched page may be mutated only by the caller that
+// holds its pin, which is the run/heap writers' existing single-owner
+// discipline. The engine still executes queries single-threaded, as the
+// paper's system did; it simply pays one uncontended lock per page op.
 type Pool struct {
+	mu       sync.Mutex
 	store    Store
 	capacity int
 	frames   map[PageID]*list.Element // -> *Page wrapped in lru entries
@@ -80,6 +87,11 @@ type Pool struct {
 	freeList []PageID
 	freeHead int
 	freed    map[PageID]bool
+
+	// pageFree recycles evicted Page frames (the 4 KB structs, not the
+	// page IDs), so a pool cycling pages through a large store does not
+	// allocate — and zero — a fresh frame per miss. Capped at capacity.
+	pageFree []*Page
 }
 
 type lruEntry struct {
@@ -106,6 +118,8 @@ func (p *Pool) Capacity() int { return p.capacity }
 // count. Tests use it to prove that error paths release every pin: a
 // correct run leaves zero pinned frames behind.
 func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		if el.Value.(*lruEntry).page.pin > 0 {
@@ -122,6 +136,8 @@ func (p *Pool) Store() Store { return p.store }
 // Unpin when done. A fetch that misses the pool performs (and counts) a
 // physical read.
 func (p *Pool) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if el, ok := p.frames[id]; ok {
 		p.lru.MoveToFront(el)
 		pg := el.Value.(*lruEntry).page
@@ -129,8 +145,9 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 		p.Stats.Hits++
 		return pg, nil
 	}
-	pg := &Page{ID: id}
+	pg := p.takeFrame(id, false) // ReadPage overwrites the full frame
 	if err := p.store.ReadPage(id, &pg.Data); err != nil {
+		p.recycleFrame(pg)
 		return nil, err
 	}
 	p.Stats.noteRead(id)
@@ -145,6 +162,8 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 // Pages previously returned via FreePages are recycled before the store
 // is asked to grow.
 func (p *Pool) Allocate() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var id PageID
 	if p.freeHead < len(p.freeList) {
 		id = p.freeList[p.freeHead]
@@ -169,8 +188,8 @@ func (p *Pool) Allocate() (*Page, error) {
 		}
 	}
 	p.Stats.Allocs++
-	pg := &Page{ID: id}
-	pg.MarkDirty() // a new page must reach the store even if untouched
+	pg := p.takeFrame(id, true) // a fresh page is zeroed by contract
+	pg.MarkDirty()              // a new page must reach the store even if untouched
 	if err := p.insert(pg); err != nil {
 		return nil, err
 	}
@@ -182,6 +201,8 @@ func (p *Pool) Allocate() (*Page, error) {
 // discarding any cached (even dirty) frames — the contents are dead by
 // definition. Pinned pages and pages already freed are skipped.
 func (p *Pool) FreePages(ids []PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.freed == nil {
 		p.freed = make(map[PageID]bool)
 	}
@@ -199,6 +220,30 @@ func (p *Pool) FreePages(ids []PageID) {
 		}
 		p.freed[id] = true
 		p.freeList = append(p.freeList, id)
+	}
+}
+
+// takeFrame returns a recycled Page frame (or a fresh one), reset for
+// the given ID; zero clears the data for contracts that need it.
+func (p *Pool) takeFrame(id PageID, zero bool) *Page {
+	if n := len(p.pageFree); n > 0 {
+		pg := p.pageFree[n-1]
+		p.pageFree = p.pageFree[:n-1]
+		pg.ID = id
+		pg.pin = 0
+		pg.dirty = false
+		if zero {
+			clear(pg.Data[:])
+		}
+		return pg
+	}
+	return &Page{ID: id}
+}
+
+// recycleFrame keeps an evicted frame for reuse, up to capacity.
+func (p *Pool) recycleFrame(pg *Page) {
+	if len(p.pageFree) < p.capacity {
+		p.pageFree = append(p.pageFree, pg)
 	}
 }
 
@@ -234,6 +279,7 @@ func (p *Pool) evictIfFull() error {
 		}
 		p.lru.Remove(victim)
 		delete(p.frames, pg.ID)
+		p.recycleFrame(pg)
 	}
 	return nil
 }
@@ -241,6 +287,8 @@ func (p *Pool) evictIfFull() error {
 // Unpin releases one pin on the page. Pages must be unpinned exactly once
 // per Fetch/Allocate.
 func (p *Pool) Unpin(pg *Page) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if pg.pin > 0 {
 		pg.pin--
 	}
@@ -248,6 +296,12 @@ func (p *Pool) Unpin(pg *Page) {
 
 // Flush writes all dirty pages back to the store, leaving them cached.
 func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pool) flushLocked() error {
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		pg := el.Value.(*lruEntry).page
 		if pg.dirty {
@@ -264,7 +318,9 @@ func (p *Pool) Flush() error {
 // Reset drops every cached frame (flushing dirty ones) and zeroes nothing
 // else; Stats are preserved so callers can measure across phases.
 func (p *Pool) Reset() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	p.frames = make(map[PageID]*list.Element, p.capacity)

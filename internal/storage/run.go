@@ -56,6 +56,50 @@ func (r *Run) Free(pool *Pool) {
 	r.words = 0
 }
 
+// PageView returns a non-owning view of pages [lo, hi) of the run, with
+// the word count clipped to the words those pages actually hold. Views
+// let morsel-parallel readers scan disjoint stretches of one run
+// concurrently; they alias the parent's pages, so only the parent may be
+// freed. Page boundaries align to rows (WordsPerPage is even), so a row
+// run's view never splits a (tid, key) pair.
+func (r Run) PageView(lo, hi int) Run {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.pages) {
+		hi = len(r.pages)
+	}
+	if lo >= hi {
+		return Run{}
+	}
+	words := r.words - int64(lo)*WordsPerPage
+	if max := int64(hi-lo) * WordsPerPage; words > max {
+		words = max
+	}
+	if words < 0 {
+		words = 0
+	}
+	return Run{pages: r.pages[lo:hi], words: words}
+}
+
+// RowAt fetches the (tid, key) row at index i with a single page access
+// — the probe primitive behind binary searches over a sorted row run
+// (morsel boundary tids, join-side seeks).
+func (r Run) RowAt(pool *Pool, i int64) (PackedRow, error) {
+	if i < 0 || i >= r.Rows() {
+		return PackedRow{}, fmt.Errorf("storage: row %d out of range (run has %d rows)", i, r.Rows())
+	}
+	w := 2 * i
+	pg, err := pool.Fetch(r.pages[w/WordsPerPage])
+	if err != nil {
+		return PackedRow{}, err
+	}
+	off := int(w%WordsPerPage) * 8
+	row := PackedRow{Tid: pg.U64(off), Key: pg.U64(off + 8)}
+	pool.Unpin(pg)
+	return row, nil
+}
+
 // RunWriter appends words to a fresh run through the buffer pool. It
 // keeps at most one page pinned. After any error the writer is inert:
 // further appends return the same error and Close frees the partial run.
@@ -103,22 +147,82 @@ func (w *RunWriter) Row(r PackedRow) error {
 	return w.Word(r.Key)
 }
 
-// Rows appends every row of rs.
-func (w *RunWriter) Rows(rs []PackedRow) error {
-	for _, r := range rs {
-		if err := w.Row(r); err != nil {
-			return err
+// ensurePage makes sure a page is open for appending.
+func (w *RunWriter) ensurePage() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.pg == nil {
+		pg, err := w.pool.Allocate()
+		if err != nil {
+			w.err = fmt.Errorf("storage: run writer: %w", err)
+			return w.err
 		}
+		w.pg = pg
+		w.off = 0
+		w.run.pages = append(w.run.pages, pg.ID)
 	}
 	return nil
 }
 
-// Keys appends every word of ks.
-func (w *RunWriter) Keys(ks []uint64) error {
-	for _, k := range ks {
-		if err := w.Word(k); err != nil {
+// closePageIfFull unpins a filled page.
+func (w *RunWriter) closePageIfFull() {
+	if w.off == WordsPerPage {
+		w.pool.Unpin(w.pg)
+		w.pg = nil
+	}
+}
+
+// Rows appends every row of rs, bulk-encoding whole page stretches — the
+// hot path of the mining executor's spill appenders.
+func (w *RunWriter) Rows(rs []PackedRow) error {
+	for len(rs) > 0 {
+		if err := w.ensurePage(); err != nil {
 			return err
 		}
+		if w.off%2 != 0 {
+			// A stray odd offset (mixed Word use): fall back per row.
+			if err := w.Row(rs[0]); err != nil {
+				return err
+			}
+			rs = rs[1:]
+			continue
+		}
+		n := (WordsPerPage - w.off) / 2
+		if n > len(rs) {
+			n = len(rs)
+		}
+		base := w.off * 8
+		for i := 0; i < n; i++ {
+			w.pg.PutU64(base+i*16, rs[i].Tid)
+			w.pg.PutU64(base+i*16+8, rs[i].Key)
+		}
+		w.off += 2 * n
+		w.run.words += int64(2 * n)
+		rs = rs[n:]
+		w.closePageIfFull()
+	}
+	return nil
+}
+
+// Keys appends every word of ks, bulk-encoding whole page stretches.
+func (w *RunWriter) Keys(ks []uint64) error {
+	for len(ks) > 0 {
+		if err := w.ensurePage(); err != nil {
+			return err
+		}
+		n := WordsPerPage - w.off
+		if n > len(ks) {
+			n = len(ks)
+		}
+		base := w.off * 8
+		for i := 0; i < n; i++ {
+			w.pg.PutU64(base+i*8, ks[i])
+		}
+		w.off += n
+		w.run.words += int64(n)
+		ks = ks[n:]
+		w.closePageIfFull()
 	}
 	return nil
 }
@@ -171,6 +275,29 @@ func NewRunReader(pool *Pool, run Run) *RunReader {
 	return &RunReader{pool: pool, run: run}
 }
 
+// NewRunReaderAt opens a reader positioned at the start of page
+// startPage (clamped to the run). The words of earlier pages count as
+// consumed, so ConsumedRows reports absolute positions within the run —
+// what a morsel worker needs to honour a global row boundary.
+func NewRunReaderAt(pool *Pool, run Run, startPage int) *RunReader {
+	if startPage < 0 {
+		startPage = 0
+	}
+	if startPage > len(run.pages) {
+		startPage = len(run.pages)
+	}
+	consumed := int64(startPage) * WordsPerPage
+	if consumed > run.words {
+		consumed = run.words
+	}
+	return &RunReader{pool: pool, run: run, idx: startPage, consumed: consumed}
+}
+
+// ConsumedRows returns the absolute number of (tid, key) rows consumed
+// from the front of the run, counting the pages a NewRunReaderAt start
+// position skipped.
+func (r *RunReader) ConsumedRows() int64 { return r.consumed / 2 }
+
 // fill decodes the next read-ahead window into the word buffer.
 func (r *RunReader) fill() error {
 	if r.buf == nil {
@@ -184,12 +311,14 @@ func (r *RunReader) fill() error {
 			r.err = fmt.Errorf("storage: run reader: %w", err)
 			return r.err
 		}
-		n := r.run.words - int64(r.idx)*WordsPerPage
+		n := int(r.run.words - int64(r.idx)*WordsPerPage)
 		if n > WordsPerPage {
 			n = WordsPerPage
 		}
-		for w := int64(0); w < n; w++ {
-			r.buf = append(r.buf, pg.U64(int(w)*8))
+		base := len(r.buf)
+		r.buf = r.buf[:base+n]
+		for w := 0; w < n; w++ {
+			r.buf[base+w] = pg.U64(w * 8)
 		}
 		r.pool.Unpin(pg)
 		r.idx++
@@ -214,6 +343,31 @@ func (r *RunReader) Word() (uint64, error) {
 	r.pos++
 	r.consumed++
 	return v, nil
+}
+
+// Block returns the next decoded stretch of the run's words, refilling
+// the read-ahead buffer as needed; the slice is valid until the next
+// Block/Word call and its words count as consumed. Mid-run blocks cover
+// whole pages, so for row runs a (tid, key) pair never straddles two
+// blocks. Returns io.EOF at the end. Block is the bulk alternative to
+// Word — the mining executor's cursors and the k-way merge iterate
+// blocks to shed the per-word call overhead.
+func (r *RunReader) Block() ([]uint64, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.consumed >= r.run.words {
+		return nil, io.EOF
+	}
+	if r.pos >= len(r.buf) {
+		if err := r.fill(); err != nil {
+			return nil, err
+		}
+	}
+	blk := r.buf[r.pos:]
+	r.pos = len(r.buf)
+	r.consumed += int64(len(blk))
+	return blk, nil
 }
 
 // Row returns the next (tid, key) pair, or io.EOF at the end. A run with

@@ -10,6 +10,7 @@ package xsort
 
 import (
 	"io"
+	"sync"
 
 	"setm/internal/storage"
 )
@@ -161,48 +162,96 @@ func FanIn(poolFrames int) int {
 // completes (also on error). Ties are broken by run index, so the merge
 // is stable with respect to the run order.
 func MergeRows(pool *storage.Pool, runs []storage.Run, fanIn int, emit func(storage.PackedRow) error) error {
-	return mergePacked(pool, runs, fanIn, 2, func(w [2]uint64) error {
-		return emit(storage.PackedRow{Tid: w[0], Key: w[1]})
-	})
+	return MergeRowsN(pool, runs, fanIn, 1, emit)
 }
 
 // MergeKeys streams the k-way merge of ascending key runs to emit, with
 // the same cascading, consumption, and stability contract as MergeRows.
 func MergeKeys(pool *storage.Pool, runs []storage.Run, fanIn int, emit func(uint64) error) error {
-	return mergePacked(pool, runs, fanIn, 1, func(w [2]uint64) error {
+	return MergeKeysN(pool, runs, fanIn, 1, emit)
+}
+
+// MergeRowsN is MergeRows with the cascade's independent group merges
+// running on up to workers goroutines. The final fan-in merge (the one
+// that calls emit) is inherently sequential; only the reduction rounds
+// parallelize. The emitted sequence is identical for any worker count.
+func MergeRowsN(pool *storage.Pool, runs []storage.Run, fanIn, workers int, emit func(storage.PackedRow) error) error {
+	return mergePacked(pool, runs, fanIn, workers, 2, func(w [2]uint64) error {
+		return emit(storage.PackedRow{Tid: w[0], Key: w[1]})
+	})
+}
+
+// MergeKeysN is MergeKeys with a concurrent cascade, as MergeRowsN.
+func MergeKeysN(pool *storage.Pool, runs []storage.Run, fanIn, workers int, emit func(uint64) error) error {
+	return mergePacked(pool, runs, fanIn, workers, 1, func(w [2]uint64) error {
 		return emit(w[0])
 	})
 }
 
 // mergePacked is the shared merge engine: width is the words per element
-// (1 = bare key, 2 = (tid, key) row), compared as (word0, word1).
-func mergePacked(pool *storage.Pool, runs []storage.Run, fanIn int, width int, emit func([2]uint64) error) error {
+// (1 = bare key, 2 = (tid, key) row), compared as (word0, word1). Each
+// cascade round partitions the runs into consecutive groups of fanIn and
+// merges up to workers groups concurrently — every group holds one
+// writer pin and cycles its readers' pages through the shared
+// (goroutine-safe) pool, so the caller bounds memory by capping fanIn
+// and workers together.
+func mergePacked(pool *storage.Pool, runs []storage.Run, fanIn, workers, width int, emit func([2]uint64) error) error {
 	if fanIn < 2 {
 		fanIn = 2
 	}
-	// Cascade: reduce the run count to fanIn by merging the front groups
-	// into fresh runs, freeing their inputs.
+	if workers < 1 {
+		workers = 1
+	}
 	for len(runs) > fanIn {
-		group := runs[:fanIn]
-		w := storage.NewRunWriter(pool)
-		err := mergeOnce(pool, group, width, func(words [2]uint64) error {
-			for i := 0; i < width; i++ {
-				if err := w.Word(words[i]); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		merged, cerr := w.Close()
-		if err != nil || cerr != nil {
-			merged.Free(pool)
-			freeRuns(pool, runs[fanIn:])
-			if err == nil {
-				err = cerr
-			}
-			return err
+		// Full groups merge this round; a short tail rides along unmerged.
+		var groups [][]storage.Run
+		rest := runs
+		for len(rest) > fanIn {
+			groups = append(groups, rest[:fanIn])
+			rest = rest[fanIn:]
 		}
-		runs = append(runs[fanIn:], merged)
+		out := make([]storage.Run, len(groups))
+		errs := make([]error, len(groups))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for gi := range groups {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi int, group []storage.Run) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				w := storage.NewRunWriter(pool)
+				err := mergeOnce(pool, group, width, func(words [2]uint64) error {
+					for i := 0; i < width; i++ {
+						if err := w.Word(words[i]); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				merged, cerr := w.Close()
+				if err == nil {
+					err = cerr
+				}
+				if err != nil {
+					merged.Free(pool)
+					errs[gi] = err
+					return
+				}
+				out[gi] = merged
+			}(gi, groups[gi])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				// Group inputs were freed by their mergeOnce; release the
+				// survivors and the tail.
+				freeRuns(pool, out)
+				freeRuns(pool, rest)
+				return err
+			}
+		}
+		runs = append(out, rest...)
 	}
 	return mergeOnce(pool, runs, width, emit)
 }
@@ -225,6 +274,9 @@ func elLess(a, b mergeEl) bool {
 
 // mergeOnce merges up to fan-in runs in one pass, freeing each input run
 // once the merge is done with it. All readers are closed on every path.
+// Run heads are pulled block-wise (RunReader.Block), so the inner loop
+// never pays a per-word call: mid-run blocks cover whole pages, which
+// keeps width-2 elements from straddling block boundaries.
 func mergeOnce(pool *storage.Pool, runs []storage.Run, width int, emit func([2]uint64) error) (err error) {
 	readers := make([]*storage.RunReader, len(runs))
 	for i := range runs {
@@ -237,22 +289,33 @@ func mergeOnce(pool *storage.Pool, runs []storage.Run, width int, emit func([2]u
 		freeRuns(pool, runs)
 	}()
 
+	type head struct {
+		blk []uint64
+		pos int
+	}
+	heads := make([]head, len(runs))
 	next := func(i int) (mergeEl, bool, error) {
 		var el mergeEl
 		el.src = i
-		for wi := 0; wi < width; wi++ {
-			v, err := readers[i].Word()
+		h := &heads[i]
+		if h.pos >= len(h.blk) {
+			blk, err := readers[i].Block()
 			if err == io.EOF {
-				if wi > 0 {
-					return el, false, io.ErrUnexpectedEOF
-				}
 				return el, false, nil
 			}
 			if err != nil {
 				return el, false, err
 			}
-			el.words[wi] = v
+			h.blk, h.pos = blk, 0
 		}
+		if h.pos+width > len(h.blk) {
+			return el, false, io.ErrUnexpectedEOF
+		}
+		el.words[0] = h.blk[h.pos]
+		if width == 2 {
+			el.words[1] = h.blk[h.pos+1]
+		}
+		h.pos += width
 		return el, true, nil
 	}
 

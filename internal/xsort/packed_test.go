@@ -2,6 +2,7 @@ package xsort
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 
@@ -107,6 +108,84 @@ func TestMergeSortedRunsEqualsGlobalSort(t *testing.T) {
 		} else {
 			run.Free(pool)
 		}
+	}
+}
+
+// TestMergeRowsNConcurrentCascade drives the deep-cascade shape through
+// the concurrent reduction rounds: the emitted sequence must be
+// identical for every worker count, all input runs consumed, and no
+// pins left behind.
+func TestMergeRowsNConcurrentCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := randomRows(rng, 4000, 300, 1<<16)
+	want := append([]storage.PackedRow(nil), rows...)
+	sortRowsRef(want)
+	for _, workers := range []int{1, 2, 4, 9} {
+		pool := storage.NewPool(storage.NewMemStore(), 16)
+		var runs []storage.Run
+		const chunk = 9 // ~445 runs: several cascade rounds at fan-in 3
+		for i := 0; i < len(rows); i += chunk {
+			end := min(i+chunk, len(rows))
+			c := append([]storage.PackedRow(nil), rows[i:end]...)
+			RadixSortRows(c, make([]storage.PackedRow, len(c)))
+			run, err := SpillRows(pool, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, run)
+		}
+		var got []storage.PackedRow
+		err := MergeRowsN(pool, runs, 3, workers, func(r storage.PackedRow) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: merged %d rows, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: row %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+		if p := pool.PinnedFrames(); p != 0 {
+			t.Fatalf("workers=%d: %d pinned frames after merge", workers, p)
+		}
+	}
+}
+
+// TestMergeKeysNConcurrentCascade is the key-column twin.
+func TestMergeKeysNConcurrentCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var all []uint64
+	pool := storage.NewPool(storage.NewMemStore(), 16)
+	var runs []storage.Run
+	for i := 0; i < 150; i++ {
+		n := rng.Intn(40) + 1
+		keys := make([]uint64, n)
+		for j := range keys {
+			keys[j] = uint64(rng.Intn(1 << 12))
+		}
+		slices.Sort(keys)
+		all = append(all, keys...)
+		run, err := SpillKeys(pool, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	slices.Sort(all)
+	var got []uint64
+	if err := MergeKeysN(pool, runs, 4, 3, func(k uint64) error {
+		got = append(got, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, all) {
+		t.Fatalf("concurrent key cascade diverges from the global sort (%d vs %d keys)", len(got), len(all))
 	}
 }
 

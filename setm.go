@@ -18,11 +18,23 @@
 //	...
 //	rules, err := setm.Rules(res, 0.7)
 //
-// Five drivers compute identical results: Mine (in memory), MineParallel
-// (per-iteration work fanned across cores), MinePartitioned (transactions
-// hash-sharded with a global count merge), MinePaged (on the paged storage
-// engine, with page-I/O accounting), and MineSQL (the paper's SQL
-// statements executed by the bundled relational engine).
+// # One executor, many drivers
+//
+// All mining runs through one adaptive executor whose per-iteration
+// strategy IR — kernel (packed or generic), memory regime (resident or
+// spilled), parallelism, and exchange — is chosen at the top of each
+// SETM pass. MineAuto lets the paper's own cost model (Sections 3.2/4.3
+// generalized in internal/costmodel) pick that plan per iteration from
+// the previous iteration's observed cardinalities, the MemoryBudget,
+// and the available CPUs. The classic drivers are fixed points in the
+// same strategy space and compute bit-identical results: Mine (packed,
+// resident, serial), MineParallel (packed, resident, N workers),
+// MinePartitioned (hash-sharded with a global count merge), MinePaged
+// (budget-bounded spillable relations with page-I/O accounting; set
+// Options.Strategy = StrategyAuto to re-plan it per iteration), and
+// MineSQL (the paper's SQL statements executed by the bundled
+// relational engine). Every Result records the chosen plan per
+// iteration in Stats[i].Plan.
 package setm
 
 import (
@@ -54,6 +66,20 @@ type ItemsetCount = core.ItemsetCount
 // IterationStat records the relation sizes of one SETM iteration.
 type IterationStat = core.IterationStat
 
+// IterPlan is the per-iteration strategy IR the executor committed to:
+// kernel, memory regime, worker fan-out, and exchange.
+type IterPlan = core.IterPlan
+
+// Strategy selects between a driver's fixed execution plan
+// (StrategyDefault) and per-iteration cost-based planning (StrategyAuto).
+type Strategy = core.Strategy
+
+// Strategy values for Options.Strategy.
+const (
+	StrategyDefault = core.StrategyDefault
+	StrategyAuto    = core.StrategyAuto
+)
+
 // PagedConfig tunes the paged driver (buffer-pool frames, page store).
 type PagedConfig = core.PagedConfig
 
@@ -73,6 +99,24 @@ type ItemNamer = rules.ItemNamer
 // benchmarks in Section 6.
 func Mine(d *Dataset, opts Options) (*Result, error) {
 	return core.MineMemory(d, opts)
+}
+
+// MineAuto runs Algorithm SETM under the adaptive executor: each
+// iteration's kernel, memory regime, and parallelism are chosen by the
+// cost model from the previous iteration's observed cardinalities,
+// Options.MemoryBudget (<= 0: unbounded), and the CPUs available (capped
+// by Options.MaxWorkers). Results are bit-identical to Mine; the chosen
+// plans are recorded per iteration in Result.Stats[i].Plan.
+//
+//	res, _ := setm.MineAuto(d, setm.Options{
+//	    MinSupportFrac: 0.001,
+//	    MemoryBudget:   1 << 20, // stay under ~1 MB, spill past it
+//	})
+//	for _, st := range res.Stats {
+//	    fmt.Printf("k=%d plan=%s\n", st.K, st.Plan)
+//	}
+func MineAuto(d *Dataset, opts Options) (*Result, error) {
+	return core.MineAuto(d, opts)
 }
 
 // MineParallel runs Algorithm SETM with each iteration's merge-scan,

@@ -51,6 +51,41 @@ func TestAllDriversAgreeOnPublicAPI(t *testing.T) {
 	}
 }
 
+func TestMineAutoPublicAPI(t *testing.T) {
+	d := setm.PaperExample()
+	opts := setm.Options{MinSupportFrac: 0.30}
+	mem, err := setm.Mine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 1 << 12, 1 << 30} {
+		o := opts
+		o.MemoryBudget = budget
+		auto, err := setm.MineAuto(d, o)
+		if err != nil {
+			t.Fatalf("budget=%d: %v", budget, err)
+		}
+		if auto.TotalPatterns() != mem.TotalPatterns() {
+			t.Errorf("budget=%d: auto=%d patterns, mine=%d", budget, auto.TotalPatterns(), mem.TotalPatterns())
+		}
+		for _, st := range auto.Stats {
+			if st.Plan.Kernel == "" || st.Plan.Workers < 1 {
+				t.Errorf("budget=%d k=%d: missing plan %+v", budget, st.K, st.Plan)
+			}
+		}
+	}
+	// Strategy Auto threads through the paged driver too.
+	o := opts
+	o.Strategy = setm.StrategyAuto
+	paged, err := setm.MinePaged(d, o, setm.PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.TotalPatterns() != mem.TotalPatterns() {
+		t.Errorf("paged auto: %d patterns, want %d", paged.TotalPatterns(), mem.TotalPatterns())
+	}
+}
+
 func TestGenerators(t *testing.T) {
 	u := setm.NewUniformDataset(0.001, 1) // 200 transactions
 	if u.NumTransactions() != 200 {
