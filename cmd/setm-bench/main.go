@@ -26,19 +26,24 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"setm"
 	"setm/internal/core"
 	"setm/internal/experiments"
 	"setm/internal/gen"
+	"setm/internal/server"
 )
 
 func main() {
@@ -365,6 +370,11 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 		}
 		recs = append(recs, rec)
 	}
+	srecs, err := serverBenchRecords(d, repeats, params)
+	if err != nil {
+		return fmt.Errorf("bench setmd: %w", err)
+	}
+	recs = append(recs, srecs...)
 	out, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return err
@@ -374,6 +384,142 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 	}
 	fmt.Fprintf(stdout, "wrote %d benchmark records to %s\n", len(recs), path)
 	return nil
+}
+
+// serverBenchRecords measures the setmd service path end to end over
+// HTTP: "setmd/cold" is a first submission (admission + mining +
+// result fetch), "setmd/cache-hit" a repeat of the same query served
+// from the result cache without re-mining. Cold runs get a fresh
+// server per repeat so every measurement actually mines; cache-hit
+// repeats share one primed server. Both are request-to-result
+// wall-clock, best-of-repeats.
+func serverBenchRecords(d *core.Dataset, repeats int, params string) ([]benchRecord, error) {
+	var sales bytes.Buffer
+	if err := setm.WriteDataset(&sales, d); err != nil {
+		return nil, err
+	}
+	cold := benchRecord{Name: "setmd/cold", Params: params}
+	for r := 0; r < repeats; r++ {
+		c, closeSrv, err := newBenchClient(sales.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		ns, rows, iters, err := c.mineOnce()
+		closeSrv()
+		if err != nil {
+			return nil, err
+		}
+		if cold.NsPerOp == 0 || ns < cold.NsPerOp {
+			cold.NsPerOp, cold.Rows, cold.Iterations = ns, rows, iters
+		}
+	}
+	hit := benchRecord{Name: "setmd/cache-hit", Params: params}
+	c, closeSrv, err := newBenchClient(sales.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	defer closeSrv()
+	if _, _, _, err := c.mineOnce(); err != nil { // prime the cache
+		return nil, err
+	}
+	for r := 0; r < repeats; r++ {
+		ns, rows, iters, err := c.mineOnce()
+		if err != nil {
+			return nil, err
+		}
+		if hit.NsPerOp == 0 || ns < hit.NsPerOp {
+			hit.NsPerOp, hit.Rows, hit.Iterations = ns, rows, iters
+		}
+	}
+	return []benchRecord{cold, hit}, nil
+}
+
+// benchClient drives one setmd instance over real HTTP.
+type benchClient struct {
+	base    string
+	version string
+}
+
+func newBenchClient(sales []byte) (*benchClient, func(), error) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	resp, err := http.Post(ts.URL+"/datasets", "text/plain", bytes.NewReader(sales))
+	if err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+	var ds struct {
+		Version string `json:"version"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ds)
+	resp.Body.Close()
+	if err != nil {
+		ts.Close()
+		return nil, nil, err
+	}
+	return &benchClient{base: ts.URL, version: ds.Version}, ts.Close, nil
+}
+
+// mineOnce submits the benchmark query, waits for completion, fetches
+// the result, and returns (round-trip ns, pattern rows, the service's
+// per-iteration plan rows).
+func (c *benchClient) mineOnce() (int64, int64, []iterRecord, error) {
+	body := fmt.Sprintf(`{"dataset":%q,"minsup":0.001}`, c.version)
+	start := time.Now()
+	resp, err := http.Post(c.base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var st struct {
+		ID         string `json:"id"`
+		State      string `json:"state"`
+		Error      string `json:"error"`
+		Iterations []struct {
+			K           int    `json:"k"`
+			Plan        string `json:"plan"`
+			RPrimeRows  int64  `json:"r_prime_rows"`
+			RRows       int64  `json:"r_rows"`
+			Patterns    int    `json:"patterns"`
+			RunsSpilled int64  `json:"runs_spilled"`
+			PageIO      int64  `json:"page_io"`
+		} `json:"iterations"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "cancelled" {
+			return 0, 0, nil, fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		resp, err = http.Get(c.base + "/jobs/" + st.ID + "?wait=1")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	resp, err = http.Get(c.base + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var res core.Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	iters := make([]iterRecord, 0, len(st.Iterations))
+	for _, it := range st.Iterations {
+		iters = append(iters, iterRecord{
+			K: it.K, Plan: it.Plan, RPrimeRows: it.RPrimeRows, RRows: it.RRows,
+			CCount: it.Patterns, RunsSpilled: it.RunsSpilled, PageIO: it.PageIO,
+		})
+	}
+	return time.Since(start).Nanoseconds(), int64(res.TotalPatterns()), iters, nil
 }
 
 // partitionScaling times MinePartitioned across shard counts on the

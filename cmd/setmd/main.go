@@ -1,0 +1,94 @@
+// Command setmd serves Algorithm SETM as a long-running HTTP/JSON
+// mining service: versioned dataset uploads, cancellable mining jobs
+// with per-iteration plan reporting, a result cache keyed on (dataset
+// version, canonical options), and cost-based admission control that
+// bounds the sum of running jobs' estimated memory footprints.
+//
+// Usage:
+//
+//	setmd -addr :8080 -membudget 1073741824
+//
+// A session:
+//
+//	curl -s --data-binary @sales.txt localhost:8080/datasets
+//	curl -s -X POST localhost:8080/jobs -d '{"dataset":"ds-…","minsup":0.01}'
+//	curl -s localhost:8080/jobs/job-1?wait=1
+//	curl -s localhost:8080/jobs/job-1/result
+//
+// On SIGINT/SIGTERM the server drains: new jobs are refused with 503,
+// running jobs get -drain-timeout to finish, stragglers are cancelled
+// (promptly, leak-free), and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"setm/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "setmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("setmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	globalBudget := fs.Int64("membudget", 1<<30, "global memory budget in bytes: bounds the sum of admitted jobs' estimated footprints")
+	jobBudget := fs.Int64("job-membudget", 64<<20, "default per-job memory budget in bytes for jobs that do not set one")
+	maxQueue := fs.Int("max-queue", 16, "jobs allowed to wait for admission before submissions get 429")
+	cacheEntries := fs.Int("cache-entries", 128, "result cache capacity (mining results)")
+	maxUpload := fs.Int64("max-upload", 1<<30, "maximum dataset upload size in bytes")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for running jobs before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	svc := server.New(server.Config{
+		GlobalMemBudget: *globalBudget,
+		JobMemBudget:    *jobBudget,
+		MaxQueue:        *maxQueue,
+		CacheEntries:    *cacheEntries,
+		MaxUploadBytes:  *maxUpload,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "setmd: listening on %s (global budget %d bytes)\n", *addr, *globalBudget)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "setmd: draining (up to %v)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	svc.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

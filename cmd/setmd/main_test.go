@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunFlagErrors: bad flags fail, -h is not an error.
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !strings.Contains(buf.String(), "membudget") {
+		t.Fatalf("usage text lacks flags:\n%s", buf.String())
+	}
+}
+
+// TestServeAndDrain boots the real binary path on a free port, runs one
+// upload -> mine -> result session over HTTP, then delivers SIGTERM and
+// checks the process path drains and returns cleanly.
+func TestServeAndDrain(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", addr, "-drain-timeout", "5s"}, &logs)
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+
+	sales := "1 1\n1 2\n2 1\n2 2\n3 1\n"
+	resp, err = http.Post(base+"/datasets", "text/plain", strings.NewReader(sales))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	var version string
+	if _, err := fmt.Sscanf(string(body), `{"version":%q`, &version); err != nil {
+		// Fall back to a crude cut; the exact field order is a JSON detail.
+		i := strings.Index(string(body), `"version":"`)
+		if i < 0 {
+			t.Fatalf("no version in upload response %s", body)
+		}
+		rest := string(body)[i+len(`"version":"`):]
+		version = rest[:strings.Index(rest, `"`)]
+	}
+
+	resp, err = http.Post(base+"/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"dataset":%q,"minsup":0.5}`, version)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/jobs/job-1?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"state":"done"`) {
+		t.Fatalf("job did not finish: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not drain after SIGTERM; logs:\n%s", logs.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,43 +26,28 @@ func WriteDataset(w io.Writer, d *Dataset) error {
 
 // ReadDataset parses the SALES text format back into a dataset. Pairs may
 // be separated by spaces, tabs, or commas; items of one transaction need
-// not be contiguous.
+// not be contiguous. Lines may be arbitrarily long — the basket-per-line
+// form has no length cap — and every error carries the line number.
 func ReadDataset(r io.Reader) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 	byTid := make(map[int64][]Item)
 	var order []int64
 	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("setm: line %d: %w", lineNo+1, err)
 		}
-		fields := strings.FieldsFunc(line, func(r rune) bool {
-			return r == ' ' || r == '\t' || r == ','
-		})
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("setm: line %d: want \"trans_id item\", got %q", lineNo, line)
-		}
-		tid, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("setm: line %d: bad trans_id %q", lineNo, fields[0])
-		}
-		if _, ok := byTid[tid]; !ok {
-			order = append(order, tid)
-		}
-		// Accept both pair-per-line and basket-per-line forms.
-		for _, f := range fields[1:] {
-			item, err := strconv.ParseInt(f, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("setm: line %d: bad item %q", lineNo, f)
+		atEOF := err == io.EOF
+		if line != "" {
+			lineNo++
+			if perr := parseSalesLine(line, lineNo, byTid, &order); perr != nil {
+				return nil, perr
 			}
-			byTid[tid] = append(byTid[tid], Item(item))
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		if atEOF {
+			break
+		}
 	}
 	if len(order) == 0 {
 		return nil, fmt.Errorf("setm: no transactions in input")
@@ -74,6 +60,46 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
+// parseSalesLine folds one SALES line into the accumulating transaction
+// map, accepting both pair-per-line and basket-per-line forms.
+func parseSalesLine(line string, lineNo int, byTid map[int64][]Item, order *[]int64) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	fields := strings.FieldsFunc(line, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) < 2 {
+		return fmt.Errorf("setm: line %d: want \"trans_id item\", got %q", lineNo, truncForErr(line))
+	}
+	tid, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("setm: line %d: bad trans_id %q", lineNo, fields[0])
+	}
+	if _, ok := byTid[tid]; !ok {
+		*order = append(*order, tid)
+	}
+	for _, f := range fields[1:] {
+		item, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("setm: line %d: bad item %q", lineNo, f)
+		}
+		byTid[tid] = append(byTid[tid], Item(item))
+	}
+	return nil
+}
+
+// truncForErr bounds a quoted line in an error message: a multi-megabyte
+// basket line must not reproduce itself in the error text.
+func truncForErr(s string) string {
+	const max = 128
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}
+
 // LoadDatasetFile reads a dataset from a file path.
 func LoadDatasetFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
@@ -84,15 +110,39 @@ func LoadDatasetFile(path string) (*Dataset, error) {
 	return ReadDataset(f)
 }
 
-// SaveDatasetFile writes a dataset to a file path.
+// SaveDatasetFile writes a dataset to a file path, atomically: the data
+// is written to a temporary file in the destination's directory, synced
+// to stable storage, and renamed over the target, so a crash mid-write
+// leaves any existing file at path intact rather than truncated.
 func SaveDatasetFile(path string, d *Dataset) error {
-	f, err := os.Create(path)
+	return saveDatasetAtomic(path, func(w io.Writer) error {
+		return WriteDataset(w, d)
+	})
+}
+
+// saveDatasetAtomic runs write against a temp file next to path and
+// publishes it with fsync + rename. Factored out so tests can inject a
+// writer that dies mid-stream and assert the destination survives.
+func saveDatasetAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := WriteDataset(f, d); err != nil {
-		f.Close()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,0 +1,123 @@
+package setm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveDatasetAtomicMidWriteCrash kills the write mid-stream and
+// checks the previously saved dataset survives untouched — the
+// server-critical property os.Create-in-place lacked.
+func TestSaveDatasetAtomicMidWriteCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sales.txt")
+	good := &Dataset{Transactions: []Transaction{
+		{ID: 1, Items: []Item{1, 2, 3}},
+		{ID: 2, Items: []Item{2, 3}},
+	}}
+	if err := SaveDatasetFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("killed mid-write")
+	err = saveDatasetAtomic(path, func(w io.Writer) error {
+		// A partial, corrupt prefix reaches the temp file before death.
+		if _, werr := io.WriteString(w, "1 1\n2 "); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("saveDatasetAtomic error = %v, want the injected failure", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination unreadable after failed save: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("failed save corrupted destination:\n got %q\nwant %q", got, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("failed save left temp debris: %v", names)
+	}
+
+	// A successful save over an existing file still works and replaces it.
+	bigger := &Dataset{Transactions: []Transaction{{ID: 9, Items: []Item{7}}}}
+	if err := SaveDatasetFile(path, bigger); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Transactions) != 1 || back.Transactions[0].ID != 9 {
+		t.Fatalf("reloaded dataset = %+v, want the replacement", back.Transactions)
+	}
+}
+
+// TestReadDatasetHugeBasketLine feeds a basket-per-line record well past
+// bufio.Scanner's old 4 MB cap: it must parse, and line numbering in
+// errors must stay correct after the monster line.
+func TestReadDatasetHugeBasketLine(t *testing.T) {
+	const items = 700_000 // ~5.5 MB of 7-digit items on one line
+	var sb strings.Builder
+	sb.WriteString("1")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&sb, " %d", 1_000_000+i)
+	}
+	sb.WriteString("\n2 5\n")
+	d, err := ReadDataset(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadDataset on >4MB basket line: %v", err)
+	}
+	if len(d.Transactions) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(d.Transactions))
+	}
+	if n := len(d.Transactions[0].Items); n != items {
+		t.Fatalf("basket has %d items, want %d", n, items)
+	}
+	if d.Transactions[0].Items[items-1] != Item(1_000_000+items-1) {
+		t.Fatalf("last item = %d", d.Transactions[0].Items[items-1])
+	}
+
+	// An error after the huge line must report the correct line number.
+	bad := sb.String() + "3 oops\n"
+	_, err = ReadDataset(strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error after huge line = %v, want line 3 context", err)
+	}
+}
+
+// TestReadDatasetErrorTruncatesLine: a malformed multi-kilobyte line must
+// not reproduce itself wholesale in the error text.
+func TestReadDatasetErrorTruncatesLine(t *testing.T) {
+	long := strings.Repeat("x", 10_000)
+	_, err := ReadDataset(strings.NewReader(long + "\n"))
+	if err == nil {
+		t.Fatal("malformed line parsed")
+	}
+	if len(err.Error()) > 300 {
+		t.Fatalf("error message is %d bytes; line not truncated", len(err.Error()))
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %v lacks line context", err)
+	}
+}

@@ -29,6 +29,7 @@ package core
 // each pass ran the way it did.
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"strconv"
@@ -126,13 +127,39 @@ func autoStrategy() strategyFunc {
 // bit-identical to Mine; the chosen plans are recorded in
 // Result.Stats[i].Plan.
 func MineAuto(d *Dataset, opts Options) (*Result, error) {
+	return MineAutoContext(context.Background(), d, opts)
+}
+
+// MineAutoContext is MineAuto under a context: the executor polls ctx at
+// every iteration boundary and — in the spilled regime — at morsel and
+// merge granularity, so a cancelled job returns promptly with its
+// arenas released, its partial spill runs recycled into the pool's free
+// list, and zero pinned frames. The returned error wraps ctx.Err().
+func MineAutoContext(ctx context.Context, d *Dataset, opts Options) (*Result, error) {
+	return MineAutoMonitored(ctx, d, opts, nil, nil)
+}
+
+// MineAutoMonitored is MineAutoContext with the hooks a long-running
+// service needs: a caller-owned buffer pool (so the caller can watch
+// PinnedFrames and page I/O while the job runs; nil for a private pool)
+// and a per-iteration observer receiving each IterationStat as the pass
+// completes (nil for none).
+func MineAutoMonitored(ctx context.Context, d *Dataset, opts Options, pool *storage.Pool, onIter func(IterationStat)) (*Result, error) {
 	if opts.DisablePackedKernels {
 		// The generic-kernel ablation runs the flat-relation substrate
 		// directly; adaptivity there is limited to the worker fan-out.
-		return runPipeline(d, opts, newMemoryStepper(d, opts, resolveWorkers(opts.MaxWorkers)))
+		return runPipelineCtx(ctx, d, opts, newMemoryStepper(d, opts, resolveWorkers(opts.MaxWorkers)), onIter)
 	}
-	st := newExecStepper(d, opts, PagedConfig{}.withDefaults(), nil, autoStrategy())
-	return runPipeline(d, opts, st)
+	cfg := PagedConfig{}.withDefaults()
+	if pool != nil {
+		cfg.PoolFrames = pool.Capacity()
+	}
+	st := newExecStepper(d, opts, cfg, nil, autoStrategy())
+	st.ctx = ctx
+	if pool != nil {
+		st.attachPool(pool)
+	}
+	return runPipelineCtx(ctx, d, opts, st, onIter)
 }
 
 // resolveWorkers applies the MaxWorkers default (GOMAXPROCS).
@@ -175,6 +202,13 @@ type execStepper struct {
 	budget     int64 // 0 = unbounded
 	maxWorkers int
 
+	// ctx, when non-nil, is polled by the kernels at morsel granularity
+	// so a cancelled run stops between groups instead of finishing the
+	// iteration; the error paths it triggers are the same ones injected
+	// storage faults exercise, so cleanup (appender aborts, run frees,
+	// pin releases) is shared.
+	ctx context.Context
+
 	pool *storage.Pool // created by attachPool, or lazily at first spill
 
 	dict  *packDict
@@ -197,6 +231,51 @@ type execStepper struct {
 // attachPool hands the executor a caller-owned buffer pool (MinePaged's,
 // so its PagedResult.IO covers the whole run).
 func (s *execStepper) attachPool(pool *storage.Pool) { s.pool = pool }
+
+// cancelled is the executor's cancellation checkpoint: nil while the run
+// may continue, the context's error once it must stop. Kernels poll it
+// at morsel boundaries and every cancelCheckRows rows inside streaming
+// loops.
+func (s *execStepper) cancelled() error {
+	if s.ctx == nil {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
+// cancelCheckRows is how many rows (or merged keys) a streaming loop
+// processes between cancellation checkpoints — small enough that a
+// cancelled spilled pass stops in well under a millisecond of work,
+// large enough that ctx.Err()'s mutex never shows up in profiles.
+const cancelCheckRows = 4096
+
+// abort releases everything a failed or cancelled run still holds: the
+// live relations' spilled runs go back to the pool's free list and the
+// packed state's arenas are returned. Pin releases are the kernels' own
+// responsibility (their error paths already unpin, as the fault sweeps
+// prove); abort reclaims what survives those paths — the relations the
+// stepper itself owns across iterations.
+func (s *execStepper) abort() {
+	if s.pool != nil {
+		rels := []*srel{s.rk, s.join, s.sales}
+		for i, r := range rels {
+			if r == nil {
+				continue
+			}
+			aliased := false
+			for j := 0; j < i; j++ {
+				if rels[j] == r {
+					aliased = true
+					break
+				}
+			}
+			if !aliased {
+				r.free(s.pool)
+			}
+		}
+	}
+	s.releasePacked()
+}
 
 // ensurePool creates the executor's private pool on first spill.
 func (s *execStepper) ensurePool() {
@@ -529,7 +608,7 @@ func (s *execStepper) stepStreaming(k int, minSup int64, plan IterPlan) ([]Items
 	s.ar.workerSlots(W)
 	for w := 0; w < W; w++ {
 		apps[w] = &spillAppender{pool: s.pool, capRows: capR, st: &stats[w]}
-		kcs[w] = &keyCounter{pool: s.pool, capKeys: capK, fanIn: fanIn, st: &stats[w]}
+		kcs[w] = &keyCounter{ctx: s.ctx, pool: s.pool, capKeys: capK, fanIn: fanIn, st: &stats[w]}
 		kcs[w].keys = s.ar.wKeys[w][:0]
 		kcs[w].tmp = s.ar.wTmp[w]
 	}
@@ -653,6 +732,9 @@ func (s *execStepper) mergeWorkers(w int, fanIn int) int {
 // seekJoin is set (parallel morsels), the join cursor fast-starts at the
 // morsel's first transaction.
 func (s *execStepper) extendMorsel(src groupSrc, app *spillAppender, kc *keyCounter, seekJoin bool) error {
+	if err := s.cancelled(); err != nil {
+		return err
+	}
 	rkG := src.open()
 	defer rkG.close()
 	g1, err := rkG.next()
@@ -679,13 +761,22 @@ func (s *execStepper) extendMorsel(src groupSrc, app *spillAppender, kc *keyCoun
 
 	mask := uint64(1)<<s.dict.bits - 1
 	var scratch []prow
+	var sinceCheck int
 	for g1 != nil && g2 != nil {
+		if sinceCheck >= cancelCheckRows {
+			sinceCheck = 0
+			if err := s.cancelled(); err != nil {
+				return err
+			}
+		}
 		t1, t2 := g1[0].Tid, g2[0].Tid
 		switch {
 		case t1 < t2:
 			g1, err = rkG.next()
+			sinceCheck++
 		case t1 > t2:
 			g2, err = joinG.next()
+			sinceCheck++
 		default:
 			scratch = scratch[:0]
 			for _, p := range g1 {
@@ -704,6 +795,7 @@ func (s *execStepper) extendMorsel(src groupSrc, app *spillAppender, kc *keyCoun
 				if err := kc.addRows(scratch); err != nil {
 					return err
 				}
+				sinceCheck += len(scratch)
 			}
 			if g1, err = rkG.next(); err != nil {
 				return err
@@ -743,14 +835,14 @@ func (s *execStepper) filterStreaming(r *srel, k int, ck pkCounts, W, capR int, 
 		if seedArena {
 			apps[0].mem = s.ar.rkBuf[:0]
 		}
-		errs[0] = filterPart(&parts[0], apps[0], bm, ck.keys)
+		errs[0] = filterPart(s.ctx, &parts[0], apps[0], bm, ck.keys)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < W; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				errs[w] = filterPart(&parts[w], apps[w], bm, ck.keys)
+				errs[w] = filterPart(s.ctx, &parts[w], apps[w], bm, ck.keys)
 			}(w)
 		}
 		wg.Wait()
@@ -787,11 +879,17 @@ func (s *execStepper) filterStreaming(r *srel, k int, ck pkCounts, W, capR int, 
 	return assembleSrel(segs), nil
 }
 
-// filterPart streams one row range of R'_k through the support filter.
-func filterPart(part *groupSrcRows, app *spillAppender, bm []uint64, ckKeys []uint64) error {
+// filterPart streams one row range of R'_k through the support filter,
+// polling ctx (when non-nil) every cancelCheckRows rows.
+func filterPart(ctx context.Context, part *groupSrcRows, app *spillAppender, bm []uint64, ckKeys []uint64) error {
 	it := part.open()
 	defer it.close()
-	for {
+	for n := 0; ; n++ {
+		if ctx != nil && n%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		row, ok, err := it.next()
 		if err != nil {
 			return err
@@ -833,12 +931,17 @@ func (s *execStepper) countMemStreaming(mem []prow, minSup int64, plan IterPlan)
 	errs := make([]error, W)
 	s.ar.workerSlots(W)
 	for w := 0; w < W; w++ {
-		kcs[w] = &keyCounter{pool: s.pool, capKeys: capK, fanIn: fanIn, st: &stats[w]}
+		kcs[w] = &keyCounter{ctx: s.ctx, pool: s.pool, capKeys: capK, fanIn: fanIn, st: &stats[w]}
 		kcs[w].keys = s.ar.wKeys[w][:0]
 		kcs[w].tmp = s.ar.wTmp[w]
 	}
 	feed := func(w int, rows []prow) error {
-		for _, r := range rows {
+		for i, r := range rows {
+			if i%cancelCheckRows == 0 {
+				if err := s.cancelled(); err != nil {
+					return err
+				}
+			}
 			if err := kcs[w].add(r.Key); err != nil {
 				return err
 			}

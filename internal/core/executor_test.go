@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"setm/internal/costmodel"
@@ -352,5 +355,117 @@ func TestSeekGroupsSpilledRun(t *testing.T) {
 				t.Fatalf("from=%d: row %d mismatch", from, i)
 			}
 		}
+	}
+}
+
+// cancelStore wraps a Store and fires a context cancellation after a
+// fixed number of successful page writes — the deterministic analogue of
+// FaultStore.FailWriteAfter for driving mid-spill cancellation without
+// timing dependence. Writes themselves always succeed: cancellation must
+// be noticed by the executor's own checkpoints, not by I/O errors.
+type cancelStore struct {
+	storage.Store
+	mu         sync.Mutex
+	writesLeft int
+	cancel     context.CancelFunc
+	fired      bool
+}
+
+func (c *cancelStore) WritePage(id storage.PageID, src *[storage.PageSize]byte) error {
+	c.mu.Lock()
+	c.writesLeft--
+	if c.writesLeft <= 0 && !c.fired {
+		c.fired = true
+		c.cancel()
+	}
+	c.mu.Unlock()
+	return c.Store.WritePage(id, src)
+}
+
+// TestCancelledSpillReleasesEverything cancels the context mid-spill at
+// several depths and checks the server-critical invariants: the error
+// wraps context.Canceled, the pool holds zero pinned frames, and the
+// aborted run's partial spill pages were recycled into the pool's free
+// list — a fresh spill reuses them instead of growing the store.
+func TestCancelledSpillReleasesEverything(t *testing.T) {
+	d := execDataset(11, 3000)
+	opts := Options{MinSupportFrac: 0.01, MemoryBudget: 16 << 10}
+	for _, after := range []int{1, 5, 25, 80} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cs := &cancelStore{Store: storage.NewMemStore(), writesLeft: after, cancel: cancel}
+		pool := storage.NewPool(cs, 32)
+		st := newExecStepper(d, opts, PagedConfig{PoolFrames: 32}, nil, forcedStrategy(3))
+		st.ctx = ctx
+		st.attachPool(pool)
+		_, err := runPipelineCtx(ctx, d, opts, st, nil)
+		cancel()
+		if err == nil {
+			t.Fatalf("after=%d: mining succeeded despite cancellation", after)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: error %v does not wrap context.Canceled", after, err)
+		}
+		if n := pool.PinnedFrames(); n != 0 {
+			t.Errorf("after=%d: %d pinned frames after cancellation", after, n)
+		}
+		// Partial runs must have come back to the free list: spilling a
+		// fresh 4-page key run through the same pool reuses freed pages
+		// rather than growing the store.
+		if np := cs.NumPages(); np >= 8 {
+			keys := make([]uint64, 4*storage.WordsPerPage)
+			for i := range keys {
+				keys[i] = uint64(i)
+			}
+			run, serr := xsort.SpillKeys(pool, keys)
+			if serr != nil {
+				t.Fatalf("after=%d: re-spill: %v", after, serr)
+			}
+			if got := cs.NumPages(); got != np {
+				t.Errorf("after=%d: re-spill grew store %d -> %d pages; partial runs not recycled", after, np, got)
+			}
+			run.Free(pool)
+		}
+	}
+}
+
+// TestMineAutoContextPreCancelled: a context cancelled before the call
+// must refuse to mine at all, and a background context must behave
+// exactly like MineAuto.
+func TestMineAutoContextPreCancelled(t *testing.T) {
+	d := execDataset(13, 200)
+	opts := Options{MinSupportFrac: 0.05}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineAutoContext(ctx, d, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+	want, err := MineAuto(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineAutoContext(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "background-ctx", want, got)
+}
+
+// TestCanonicalOptions: option sets that differ only in execution knobs
+// collapse to the same canonical form; sets that differ in result-
+// determining fields do not.
+func TestCanonicalOptions(t *testing.T) {
+	const n = 1000
+	a := CanonicalOptions(Options{MinSupportFrac: 0.01, MaxWorkers: 4, MemoryBudget: 1 << 20, Strategy: StrategyAuto}, n)
+	b := CanonicalOptions(Options{MinSupportCount: 10, DisablePackedKernels: true}, n)
+	if a != b {
+		t.Fatalf("execution knobs leaked into canonical form: %+v vs %+v", a, b)
+	}
+	c := CanonicalOptions(Options{MinSupportCount: 11}, n)
+	if a == c {
+		t.Fatal("different thresholds canonicalized equal")
+	}
+	e := CanonicalOptions(Options{MinSupportCount: 10, MaxPatternLen: 2}, n)
+	if a == e {
+		t.Fatal("different pattern caps canonicalized equal")
 	}
 }

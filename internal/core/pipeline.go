@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // The SETM iteration loop of Figure 4 is the same on every execution
 // substrate:
@@ -51,47 +55,37 @@ type iterSizes struct {
 
 // runPipeline drives the shared SETM loop over a stepper.
 func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
+	return runPipelineCtx(context.Background(), d, opts, s, nil)
+}
+
+// runPipelineCtx drives the shared SETM loop with cancellation and an
+// optional per-iteration observer. The context is checked at every
+// iteration boundary (the executor's kernels additionally poll it at
+// morsel granularity, so a spilled pass cancels promptly); a cancelled
+// run aborts the stepper — freeing its arenas, spill runs, and pinned
+// frames — and returns an error wrapping ctx.Err(). onIter, when
+// non-nil, receives each IterationStat as the iteration completes — the
+// hook long-running callers (the setmd job status endpoint) stream
+// progress from.
+func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, onIter func(IterationStat)) (*Result, error) {
 	if err := validate(d, opts); err != nil {
 		return nil, err
+	}
+	fail := func(err error) (*Result, error) {
+		if a, ok := s.(aborter); ok {
+			a.abort()
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(fmt.Errorf("setm: mining cancelled: %w", err))
 	}
 	start := time.Now()
 	minSup := opts.ResolveMinSupport(d.NumTransactions())
 	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
-
-	iterStart := time.Now()
-	c1, sz, err := s.init(minSup)
-	if err != nil {
-		return nil, err
-	}
-	res.Counts = append(res.Counts, c1)
-	res.Stats = append(res.Stats, IterationStat{
-		K:            1,
-		RPrimeRows:   sz.rPrime,
-		RRows:        sz.rRows,
-		RPaperBytes:  sz.rRows * paperTupleBytes(1),
-		CCount:       len(c1),
-		SortsSkipped: sz.sortSkips,
-		RunsSpilled:  sz.runsSpilled,
-		SpillBytes:   sz.spillBytes,
-		PageIO:       sz.pageIO,
-		Plan:         sz.plan,
-		Duration:     time.Since(iterStart),
-	})
-
-	k := 1
-	for sz.rRows > 0 {
-		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
-			break
-		}
-		k++
-		iterStart = time.Now()
-		var ck []ItemsetCount
-		ck, sz, err = s.step(k, minSup)
-		if err != nil {
-			return nil, err
-		}
+	record := func(k int, ck []ItemsetCount, sz iterSizes, iterStart time.Time) {
 		res.Counts = append(res.Counts, ck)
-		res.Stats = append(res.Stats, IterationStat{
+		st := IterationStat{
 			K:            k,
 			RPrimeRows:   sz.rPrime,
 			RRows:        sz.rRows,
@@ -103,7 +97,36 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 			PageIO:       sz.pageIO,
 			Plan:         sz.plan,
 			Duration:     time.Since(iterStart),
-		})
+		}
+		res.Stats = append(res.Stats, st)
+		if onIter != nil {
+			onIter(st)
+		}
+	}
+
+	iterStart := time.Now()
+	c1, sz, err := s.init(minSup)
+	if err != nil {
+		return fail(err)
+	}
+	record(1, c1, sz, iterStart)
+
+	k := 1
+	for sz.rRows > 0 {
+		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return fail(fmt.Errorf("setm: mining cancelled after iteration %d: %w", k, err))
+		}
+		k++
+		iterStart = time.Now()
+		var ck []ItemsetCount
+		ck, sz, err = s.step(k, minSup)
+		if err != nil {
+			return fail(err)
+		}
+		record(k, ck, sz, iterStart)
 		if len(ck) == 0 {
 			break
 		}
@@ -120,6 +143,11 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 // releaser is implemented by steppers that recycle scratch memory (the
 // packed engine's arenas) once the pipeline is done stepping.
 type releaser interface{ release() }
+
+// aborter is implemented by steppers that hold storage-layer resources
+// (spilled runs, buffer-pool pages, arenas) a failed or cancelled run
+// must release.
+type aborter interface{ abort() }
 
 // trimEmptyTail drops a trailing empty C_k so that len(res.Counts) is the
 // largest k with frequent patterns (keeping at least C_1).

@@ -27,6 +27,7 @@ package core
 // sortedness fast path deleting the first sort.
 
 import (
+	"context"
 	"io"
 
 	"setm/internal/costmodel"
@@ -805,6 +806,7 @@ func assembleSrel(segs []sseg) *srel {
 // Below the budget no run is ever written and the counter degenerates to
 // the in-memory sort-and-count kernel.
 type keyCounter struct {
+	ctx     context.Context // nil = never cancelled; polled during the merge
 	pool    *storage.Pool
 	capKeys int // 0 = unbounded
 	fanIn   int // merge fan-in (bounded by pool frames and budget)
@@ -876,7 +878,7 @@ func (kc *keyCounter) finish(minSup int64, dst pkCounts) (pkCounts, error) {
 	if err := kc.flushRun(); err != nil {
 		return dst, err
 	}
-	return countMergedRuns(kc.pool, kc.takeRuns(), kc.fanIn, 1, minSup, dst)
+	return countMergedRuns(kc.ctx, kc.pool, kc.takeRuns(), kc.fanIn, 1, minSup, dst)
 }
 
 // takeRuns hands the counter's runs to the caller (who becomes
@@ -897,10 +899,13 @@ func (kc *keyCounter) abort() {
 
 // countMergedRuns streams the k-way merge of sorted key runs (cascade
 // rounds fanned across workers) and run-length counts the merged stream
-// into dst at minSup. The runs are consumed.
-func countMergedRuns(pool *storage.Pool, runs []storage.Run, fanIn, workers int, minSup int64, dst pkCounts) (pkCounts, error) {
+// into dst at minSup. The runs are consumed. ctx (nil for never) is
+// polled every cancelCheckRows merged keys; on cancellation the merge's
+// own error path frees the runs, so the counter unwinds leak-free.
+func countMergedRuns(ctx context.Context, pool *storage.Pool, runs []storage.Run, fanIn, workers int, minSup int64, dst pkCounts) (pkCounts, error) {
 	var cur uint64
 	var n int64
+	var sinceCheck int
 	flush := func() {
 		if n >= minSup {
 			dst.keys = append(dst.keys, cur)
@@ -908,6 +913,14 @@ func countMergedRuns(pool *storage.Pool, runs []storage.Run, fanIn, workers int,
 		}
 	}
 	err := xsort.MergeKeysN(pool, runs, fanIn, workers, func(k uint64) error {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= cancelCheckRows {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
 		if n > 0 && k == cur {
 			n++
 			return nil
@@ -973,7 +986,11 @@ func finishCounters(pool *storage.Pool, kcs []*keyCounter, fanIn, workers int, m
 		}
 		runs = append(runs, kc.takeRuns()...)
 	}
-	return countMergedRuns(pool, runs, fanIn, workers, minSup, dst)
+	var ctx context.Context
+	if len(kcs) > 0 {
+		ctx = kcs[0].ctx
+	}
+	return countMergedRuns(ctx, pool, runs, fanIn, workers, minSup, dst)
 }
 
 // mergeFanIn caps a merge's open-run count by both the pool's frame

@@ -135,6 +135,21 @@ func (o Options) ResolveMinSupport(n int) int64 {
 	return ms
 }
 
+// CanonicalOptions reduces o, for a dataset of n transactions, to the
+// fields that determine the mining *result*: the resolved absolute
+// support threshold and the pattern-length cap. Every execution knob —
+// strategy, kernels, memory budget, workers, prefiltering — is zeroed,
+// because the drivers are conformance-pinned to bit-identical Counts
+// regardless of plan. Two option sets with equal canonical forms
+// therefore yield the same Result.Counts, which is exactly the cache
+// key a mining service needs.
+func CanonicalOptions(o Options, n int) Options {
+	return Options{
+		MinSupportCount: o.ResolveMinSupport(n),
+		MaxPatternLen:   o.MaxPatternLen,
+	}
+}
+
 // ItemsetCount is one row of a count relation C_k: a lexicographically
 // ordered pattern and the number of transactions supporting it.
 type ItemsetCount struct {

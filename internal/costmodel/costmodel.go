@@ -432,6 +432,36 @@ func PackedIterFootprint(estRPrime int64) int64 {
 	return estRPrime * (PackedRowBytes + PackedKeyBytes + PackedRowBytes)
 }
 
+// MineFootprint estimates the peak resident bytes one whole mining job
+// needs: the packed R_1 relation (salesRows (tid, key) rows, resident
+// for every iteration's merge-scan) plus the dominant iteration's
+// working set, projected from the first extension — the largest R'_k a
+// run produces. A positive memBudget caps the iteration term, because
+// the spilled regime streams past the budget instead of growing the
+// working set; an unbounded job (memBudget <= 0) is charged its full
+// projected footprint. This is the admission-control estimate a mining
+// service sums across running jobs against its global memory budget —
+// a planning quantity with the same contract as the rest of this file:
+// good enough to rank and bound, not a guarantee.
+func MineFootprint(salesRows int64, avgBasket float64, memBudget int64) int64 {
+	if salesRows <= 0 {
+		return packedPageBytes
+	}
+	if salesRows > maxModelRows {
+		salesRows = maxModelRows
+	}
+	r1 := salesRows * PackedRowBytes
+	iter := PackedIterFootprint(EstRPrimeRows(salesRows, avgBasket))
+	if memBudget > 0 && iter > memBudget {
+		iter = memBudget
+	}
+	total := r1 + iter
+	if total < packedPageBytes {
+		total = packedPageBytes
+	}
+	return total
+}
+
 // PlanInput is what the executor observed going into an iteration.
 type PlanInput struct {
 	K         int   // pattern length of the upcoming iteration

@@ -134,3 +134,36 @@ func TestRadixSortMs(t *testing.T) {
 		t.Error("pass count <= 0 must default to the narrow-domain count")
 	}
 }
+
+// TestMineFootprint pins the admission estimate's contracts: monotone in
+// dataset size, capped by a positive per-job budget, floored at one
+// page, and saturating rather than overflowing on adversarial inputs.
+func TestMineFootprint(t *testing.T) {
+	small := MineFootprint(1000, 5, 0)
+	big := MineFootprint(100000, 5, 0)
+	if small <= 0 || big <= small {
+		t.Fatalf("footprint not monotone: small=%d big=%d", small, big)
+	}
+	if want := int64(1000 * PackedRowBytes); small <= want {
+		t.Fatalf("unbounded footprint %d does not exceed R_1 bytes %d", small, want)
+	}
+
+	// A positive budget caps the iteration term: the bounded estimate
+	// must not exceed R_1 + budget, and a tiny budget must bite.
+	const budget = 64 << 10
+	bounded := MineFootprint(100000, 5, budget)
+	if maxWant := int64(100000*PackedRowBytes) + budget; bounded > maxWant {
+		t.Fatalf("bounded footprint %d exceeds R_1 + budget %d", bounded, maxWant)
+	}
+	if bounded >= big {
+		t.Fatalf("budget did not reduce footprint: bounded=%d unbounded=%d", bounded, big)
+	}
+
+	// Degenerate and adversarial inputs: positive floor, no overflow.
+	if got := MineFootprint(0, 0, 0); got <= 0 {
+		t.Fatalf("empty dataset footprint = %d, want positive floor", got)
+	}
+	if got := MineFootprint(int64(1)<<62, 1e18, 0); got <= 0 {
+		t.Fatalf("adversarial footprint overflowed: %d", got)
+	}
+}

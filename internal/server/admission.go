@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: the paper's cost model, pointed at capacity
+// planning. Each submitted job carries a footprint estimate
+// (costmodel.MineFootprint — R_1 bytes plus the budget-capped dominant
+// iteration); the controller keeps the SUM of running jobs' estimates
+// under one global budget. Jobs that would push the sum over wait in a
+// strict FIFO queue (bounded; overflow is the caller's 429), and a job
+// whose lone estimate exceeds the whole budget can never run.
+
+var (
+	errTooLarge  = errors.New("job estimate exceeds global budget")
+	errQueueFull = errors.New("admission queue full")
+)
+
+type admission struct {
+	mu       sync.Mutex
+	budget   int64
+	maxQueue int
+	used     int64    // sum of admitted grants' estimates
+	waiters  []*grant // FIFO; only the head is ever promoted
+}
+
+func newAdmission(budget int64, maxQueue int) *admission {
+	return &admission{budget: budget, maxQueue: maxQueue}
+}
+
+// grant is one job's admission ticket. Exactly one release() returns
+// its share of the budget (or removes it from the queue).
+type grant struct {
+	a   *admission
+	est int64
+
+	ready    chan struct{} // nil: admitted at submit; else closed on promote
+	promoted bool          // admitted after queueing (metrics)
+
+	// guarded by a.mu
+	granted  bool
+	released bool
+}
+
+// tryAdmit either admits est immediately, enqueues a waiter, or fails
+// with errTooLarge / errQueueFull. It never blocks.
+func (a *admission) tryAdmit(est int64) (*grant, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if est > a.budget {
+		return nil, errTooLarge
+	}
+	g := &grant{a: a, est: est}
+	if len(a.waiters) == 0 && a.used+est <= a.budget {
+		a.used += est
+		g.granted = true
+		return g, nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		return nil, errQueueFull
+	}
+	g.ready = make(chan struct{})
+	a.waiters = append(a.waiters, g)
+	return g, nil
+}
+
+// admitted reports whether the grant was admitted at submit time (vs
+// queued).
+func (g *grant) admitted() bool { return g.ready == nil }
+
+// wait blocks a queued grant until it is promoted or ctx is cancelled.
+// A cancelled wait still requires release() — the deferred release
+// handles the promote/cancel race by returning the budget share if the
+// promotion won.
+func (g *grant) wait(ctx context.Context) error {
+	if g.ready == nil {
+		return nil
+	}
+	select {
+	case <-g.ready:
+		g.promoted = true
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the grant's budget share (or unqueues it) and
+// promotes now-fitting waiters. Idempotent.
+func (g *grant) release() {
+	a := g.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g.released {
+		return
+	}
+	g.released = true
+	if g.granted {
+		a.used -= g.est
+	} else {
+		for i, w := range a.waiters {
+			if w == g {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	a.promoteLocked()
+}
+
+// promoteLocked grants queue heads while they fit — strictly FIFO, so a
+// large job at the head cannot be starved by small jobs behind it.
+func (a *admission) promoteLocked() {
+	for len(a.waiters) > 0 {
+		head := a.waiters[0]
+		if a.used+head.est > a.budget {
+			return
+		}
+		a.waiters = a.waiters[1:]
+		a.used += head.est
+		head.granted = true
+		close(head.ready)
+	}
+}
+
+// snapshot returns (used bytes, queued jobs) for metrics.
+func (a *admission) snapshot() (int64, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, len(a.waiters)
+}

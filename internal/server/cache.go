@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"setm/internal/core"
+)
+
+// The result cache: mining results are immutable once computed and
+// fully determined by (dataset version, canonical options) — every
+// driver is conformance-pinned to bit-identical Counts regardless of
+// execution plan, and CanonicalOptions zeroes the plan knobs — so a
+// repeat query at any strategy/budget/worker setting is served from
+// memory without re-mining. Entries are evicted LRU by count; a Result
+// is a few slices of counted patterns, small next to the datasets.
+
+// cacheKey identifies one mining result. core.Options is comparable
+// (all-scalar), so the canonical form works as a map key directly.
+type cacheKey struct {
+	Version string
+	Opts    core.Options
+}
+
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[cacheKey]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		m:   make(map[cacheKey]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency. The
+// returned Result is shared and must be treated as immutable.
+func (c *resultCache) get(key cacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) key -> res, evicting the LRU entry past
+// capacity.
+func (c *resultCache) put(key cacheKey, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results (metrics).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

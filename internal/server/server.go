@@ -1,0 +1,540 @@
+// Package server implements setmd, the long-running mining service of
+// ROADMAP item 1: SETM run where the paper argued it belongs — inside
+// the data-management system, as a shared service — instead of a
+// one-off in-process batch job. The server registers versioned datasets
+// (the SALES text codec, content-addressed), executes mining jobs
+// through the adaptive executor (setm.MineAuto semantics, cancellable),
+// fronts them with a result cache keyed on (dataset version, canonical
+// options) so repeat queries are free, and admits work through a
+// cost-model gate that bounds the *sum* of running jobs' estimated
+// memory footprints under one global budget.
+//
+// Endpoints:
+//
+//	POST   /datasets          upload SALES text; returns {version, ...}
+//	GET    /datasets          list registered datasets
+//	GET    /datasets/{id}     one dataset's metadata
+//	POST   /jobs              submit a mining job (JSON body)
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status + per-iteration plan rows
+//	GET    /jobs/{id}/result  the mining result once done
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /metrics           counters and gauges, text format
+//	GET    /healthz           liveness (503 once draining)
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"setm"
+	"setm/internal/core"
+	"setm/internal/costmodel"
+	"setm/internal/storage"
+)
+
+// Config tunes the service. The zero value picks sane defaults.
+type Config struct {
+	// GlobalMemBudget bounds the sum of admitted jobs' estimated memory
+	// footprints, in bytes (default 1 GiB). A job whose lone estimate
+	// exceeds it is rejected outright; jobs that would push the running
+	// sum over it queue.
+	GlobalMemBudget int64
+	// JobMemBudget is the Options.MemoryBudget applied to jobs that do
+	// not request one (default 64 MiB). It bounds each job's working set
+	// — the executor spills past it — and thereby caps the job's
+	// admission estimate.
+	JobMemBudget int64
+	// MaxQueue is how many jobs may wait for admission before further
+	// submissions are rejected with 429 (default 16).
+	MaxQueue int
+	// CacheEntries caps the result cache (default 128 results).
+	CacheEntries int
+	// MaxUploadBytes caps one dataset upload (default 1 GiB).
+	MaxUploadBytes int64
+	// PoolFrames is each job's buffer-pool capacity in 4 KB frames
+	// (default 256, the paged driver's default).
+	PoolFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GlobalMemBudget <= 0 {
+		c.GlobalMemBudget = 1 << 30
+	}
+	if c.JobMemBudget <= 0 {
+		c.JobMemBudget = 64 << 20
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 1 << 30
+	}
+	if c.PoolFrames <= 0 {
+		c.PoolFrames = 256
+	}
+	return c
+}
+
+// Server is the setmd service. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache
+	adm   *admission
+	met   metrics
+
+	baseCtx    context.Context // parent of every job; Drain cancels it
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup // running job goroutines
+
+	mu       sync.Mutex
+	datasets map[string]*dataset
+	jobs     map[string]*job
+	jobOrder []string
+	nextJob  int
+	draining bool
+}
+
+// dataset is one registered, content-addressed dataset version.
+type dataset struct {
+	Version      string  `json:"version"`
+	Transactions int     `json:"transactions"`
+	SalesRows    int64   `json:"sales_rows"`
+	AvgBasket    float64 `json:"avg_basket"`
+
+	d *core.Dataset
+}
+
+// Job states.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// job is one mining job's lifecycle record.
+type job struct {
+	id      string
+	dataset string
+	est     int64
+	created time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu     sync.Mutex
+	state  string
+	cached bool
+	iters  []core.IterationStat
+	result *core.Result
+	errMsg string
+	pool   *storage.Pool // non-nil only while running
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheEntries),
+		adm:        newAdmission(cfg.GlobalMemBudget, cfg.MaxQueue),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		datasets:   make(map[string]*dataset),
+		jobs:       make(map[string]*job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", s.handleUploadDataset)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
+	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /jobs", s.handleListJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting jobs and waits for running ones until ctx
+// expires, at which point the stragglers are cancelled and awaited —
+// cancellation is prompt and leak-free, so Drain returns shortly after.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() { s.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-finished
+	}
+	s.baseCancel()
+}
+
+// --- dataset endpoints ----------------------------------------------------
+
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	d, err := setm.ReadDataset(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse dataset: %v", err)
+		return
+	}
+	// Content-address the *normalized* SALES relation, so equivalent
+	// uploads (reordered lines, basket vs pair form) share one version.
+	var norm bytes.Buffer
+	if err := setm.WriteDataset(&norm, d); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode dataset: %v", err)
+		return
+	}
+	sum := sha256.Sum256(norm.Bytes())
+	ds := &dataset{
+		Version:      "ds-" + hex.EncodeToString(sum[:8]),
+		Transactions: d.NumTransactions(),
+		SalesRows:    int64(bytes.Count(norm.Bytes(), []byte{'\n'})),
+		d:            d,
+	}
+	if ds.Transactions > 0 {
+		ds.AvgBasket = float64(ds.SalesRows) / float64(ds.Transactions)
+	}
+	s.mu.Lock()
+	if prev, ok := s.datasets[ds.Version]; ok {
+		ds = prev // idempotent re-upload
+	} else {
+		s.datasets[ds.Version] = ds
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := make([]*dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		list = append(list, ds)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Version < list[j].Version })
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ds, ok := s.datasets[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ds)
+}
+
+// --- job endpoints --------------------------------------------------------
+
+// jobRequest is the POST /jobs body, mapping onto setm.Options.
+type jobRequest struct {
+	Dataset      string  `json:"dataset"`
+	MinSupFrac   float64 `json:"minsup"`       // fraction of transactions
+	MinSupCount  int64   `json:"minsup_count"` // absolute; wins over minsup
+	MaxPatternLn int     `json:"maxlen"`
+	MemBudget    int64   `json:"membudget"`  // bytes; 0 = server default
+	MaxWorkers   int     `json:"maxworkers"` // 0 = all CPUs
+}
+
+// jobStatus is the wire form of a job.
+type jobStatus struct {
+	ID         string       `json:"id"`
+	Dataset    string       `json:"dataset"`
+	State      string       `json:"state"`
+	Cached     bool         `json:"cached"`
+	EstBytes   int64        `json:"est_bytes"`
+	Error      string       `json:"error,omitempty"`
+	Iterations []iterStatus `json:"iterations,omitempty"`
+}
+
+// iterStatus is one IterationStat row with the plan rendered.
+type iterStatus struct {
+	K           int    `json:"k"`
+	RPrimeRows  int64  `json:"r_prime_rows"`
+	RRows       int64  `json:"r_rows"`
+	Patterns    int    `json:"patterns"`
+	RunsSpilled int64  `json:"runs_spilled"`
+	PageIO      int64  `json:"page_io"`
+	Plan        string `json:"plan"`
+	DurationUs  int64  `json:"duration_us"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, Dataset: j.dataset, State: j.state,
+		Cached: j.cached, EstBytes: j.est, Error: j.errMsg,
+	}
+	for _, it := range j.iters {
+		st.Iterations = append(st.Iterations, iterStatus{
+			K: it.K, RPrimeRows: it.RPrimeRows, RRows: it.RRows,
+			Patterns: it.CCount, RunsSpilled: it.RunsSpilled,
+			PageIO: it.PageIO, Plan: it.Plan.String(),
+			DurationUs: it.Duration.Microseconds(),
+		})
+	}
+	return st
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse job request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	ds, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	s.nextJob++
+	id := fmt.Sprintf("job-%d", s.nextJob)
+	s.mu.Unlock()
+
+	opts := core.Options{
+		MinSupportFrac:  req.MinSupFrac,
+		MinSupportCount: req.MinSupCount,
+		MaxPatternLen:   req.MaxPatternLn,
+		MemoryBudget:    req.MemBudget,
+		MaxWorkers:      req.MaxWorkers,
+	}
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = s.cfg.JobMemBudget
+	}
+	if opts.MinSupportCount <= 0 && (opts.MinSupportFrac <= 0 || opts.MinSupportFrac > 1) {
+		httpError(w, http.StatusBadRequest, "need minsup in (0,1] or minsup_count >= 1")
+		return
+	}
+
+	j := &job{
+		id: id, dataset: ds.Version, created: time.Now(),
+		done: make(chan struct{}), state: stateQueued,
+	}
+	key := cacheKey{Version: ds.Version, Opts: core.CanonicalOptions(opts, ds.Transactions)}
+
+	// Cache hit: the job is born done; no admission, no mining.
+	if res, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		j.mu.Lock()
+		j.state, j.cached, j.result, j.iters = stateDone, true, res, res.Stats
+		j.mu.Unlock()
+		close(j.done)
+		s.registerJob(j)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	// Cost-based admission: estimate the job's peak footprint and gate
+	// the sum of running estimates under the global budget.
+	j.est = costmodel.MineFootprint(ds.SalesRows, ds.AvgBasket, opts.MemoryBudget)
+	grant, err := s.adm.tryAdmit(j.est)
+	switch {
+	case errors.Is(err, errTooLarge):
+		s.met.jobsRejected.Add(1)
+		httpError(w, http.StatusTooManyRequests,
+			"job footprint estimate %d bytes exceeds global budget %d", j.est, s.cfg.GlobalMemBudget)
+		return
+	case errors.Is(err, errQueueFull):
+		s.met.jobsRejected.Add(1)
+		httpError(w, http.StatusTooManyRequests, "admission queue full (%d waiting)", s.cfg.MaxQueue)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "admission: %v", err)
+		return
+	}
+	if grant.admitted() {
+		s.met.jobsAdmitted.Add(1)
+	} else {
+		s.met.jobsQueued.Add(1)
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	s.registerJob(j)
+	s.wg.Add(1)
+	go s.runJob(ctx, j, ds, opts, key, grant)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// runJob waits for admission (if queued), mines, fills the cache, and
+// releases the admission grant. It owns the job's terminal state.
+func (s *Server) runJob(ctx context.Context, j *job, ds *dataset, opts core.Options, key cacheKey, grant *grant) {
+	defer s.wg.Done()
+	defer close(j.done)
+	defer grant.release()
+
+	if err := grant.wait(ctx); err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	if grant.promoted {
+		s.met.jobsAdmitted.Add(1)
+	}
+	pool := storage.NewPool(storage.NewMemStore(), s.cfg.PoolFrames)
+	j.mu.Lock()
+	j.state = stateRunning
+	j.pool = pool
+	j.mu.Unlock()
+
+	res, err := core.MineAutoMonitored(ctx, ds.d, opts, pool, func(it core.IterationStat) {
+		j.mu.Lock()
+		j.iters = append(j.iters, it)
+		j.mu.Unlock()
+	})
+	if err == nil {
+		s.cache.put(key, res)
+	}
+	s.finishJob(j, res, err)
+}
+
+// finishJob records the terminal state and bumps the outcome counters.
+func (s *Server) finishJob(j *job, res *core.Result, err error) {
+	j.mu.Lock()
+	j.pool = nil
+	switch {
+	case err == nil:
+		j.state, j.result, j.iters = stateDone, res, res.Stats
+		s.met.jobsDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state, j.errMsg = stateCancelled, err.Error()
+		s.met.jobsCancelled.Add(1)
+	default:
+		j.state, j.errMsg = stateFailed, err.Error()
+		s.met.jobsFailed.Add(1)
+	}
+	j.mu.Unlock()
+}
+
+func (s *Server) registerJob(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.mu.Unlock()
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		list = append(list, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]jobStatus, len(list))
+	for i, j := range list {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	// ?wait=1 blocks until the job reaches a terminal state — the poll
+	// endpoint doubles as a completion stream without long-poll loops.
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, res, errMsg := j.state, j.result, j.errMsg
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		writeJSON(w, http.StatusOK, res)
+	case stateFailed, stateCancelled:
+		httpError(w, http.StatusGone, "job %s: %s", state, errMsg)
+	default:
+		httpError(w, http.StatusConflict, "job is %s; result not ready", state)
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// --- plumbing -------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"setm"
+	"setm/internal/core"
+)
+
+// testDataset builds a deterministic skewed dataset (the executor test
+// generator's shape, regenerated here: gen lives above core and server).
+func testDataset(seed int64, txns int) *core.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &core.Dataset{}
+	id := int64(0)
+	for i := 0; i < txns; i++ {
+		id += 1 + int64(rng.Intn(4))
+		n := 1 + rng.Intn(6)
+		items := make([]core.Item, n)
+		for j := range items {
+			items[j] = core.Item(1 + rng.Intn(8) + rng.Intn(7)*rng.Intn(3))
+		}
+		d.Transactions = append(d.Transactions, core.Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+func encodeDataset(t *testing.T, d *core.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := setm.WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// client wraps the httptest server with JSON helpers.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, &client{t: t, base: ts.URL, http: ts.Client()}
+}
+
+func (c *client) do(method, path string, body []byte) (int, []byte) {
+	c.t.Helper()
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (c *client) doJSON(method, path string, reqBody, out any) int {
+	c.t.Helper()
+	var body []byte
+	if reqBody != nil {
+		var err error
+		if body, err = json.Marshal(reqBody); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	code, raw := c.do(method, path, body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: bad JSON %q: %v", method, path, raw, err)
+		}
+	}
+	return code
+}
+
+func (c *client) upload(d *core.Dataset) dataset {
+	c.t.Helper()
+	var ds dataset
+	code, raw := c.do("POST", "/datasets", encodeDataset(c.t, d))
+	if code != http.StatusOK {
+		c.t.Fatalf("upload: status %d: %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		c.t.Fatal(err)
+	}
+	return ds
+}
+
+// waitDone polls GET /jobs/{id}?wait=1 until the job is terminal.
+func (c *client) waitDone(id string) jobStatus {
+	c.t.Helper()
+	var st jobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := c.doJSON("GET", "/jobs/"+id+"?wait=1", nil, &st); code != http.StatusOK {
+			c.t.Fatalf("poll %s: status %d", id, code)
+		}
+		switch st.State {
+		case stateDone, stateFailed, stateCancelled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+	}
+}
+
+func (c *client) result(id string) *core.Result {
+	c.t.Helper()
+	var res core.Result
+	if code := c.doJSON("GET", "/jobs/"+id+"/result", nil, &res); code != http.StatusOK {
+		c.t.Fatalf("result %s: status %d", id, code)
+	}
+	return &res
+}
+
+// assertSameCounts is the conformance comparator: C_k contents must
+// match exactly, k by k.
+func assertSameCounts(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if len(want.Counts) != len(got.Counts) {
+		t.Fatalf("%s: %d iterations, want %d", label, len(got.Counts), len(want.Counts))
+	}
+	for k := range want.Counts {
+		if !reflect.DeepEqual(want.Counts[k], got.Counts[k]) {
+			t.Fatalf("%s: C_%d differs:\n got %v\nwant %v", label, k+1, got.Counts[k], want.Counts[k])
+		}
+	}
+	if want.MinSupport != got.MinSupport || want.NumTransactions != got.NumTransactions {
+		t.Fatalf("%s: header mismatch: got (%d,%d) want (%d,%d)", label,
+			got.MinSupport, got.NumTransactions, want.MinSupport, want.NumTransactions)
+	}
+}
+
+// TestRoundTripAndCache is the upload -> mine -> poll -> result flow,
+// then the same query again: the repeat must be served from the cache
+// (born done, no new mining) and be bit-identical to both the cold run
+// and a fresh in-process Mine.
+func TestRoundTripAndCache(t *testing.T) {
+	d := testDataset(21, 1500)
+	_, c := newTestServer(t, Config{})
+	ds := c.upload(d)
+	if ds.Transactions != d.NumTransactions() {
+		t.Fatalf("upload reported %d transactions, want %d", ds.Transactions, d.NumTransactions())
+	}
+
+	req := jobRequest{Dataset: ds.Version, MinSupFrac: 0.02}
+	var st jobStatus
+	if code := c.doJSON("POST", "/jobs", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	st = c.waitDone(st.ID)
+	if st.State != stateDone || st.Cached {
+		t.Fatalf("cold job: state=%s cached=%v", st.State, st.Cached)
+	}
+	if len(st.Iterations) == 0 || st.Iterations[0].Plan == "" {
+		t.Fatalf("cold job carries no plan rows: %+v", st.Iterations)
+	}
+	cold := c.result(st.ID)
+
+	want, err := core.MineMemory(d, core.Options{MinSupportFrac: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCounts(t, "cold-vs-Mine", want, cold)
+
+	// Repeat query — different execution knobs, same canonical form.
+	req2 := jobRequest{Dataset: ds.Version, MinSupFrac: 0.02, MaxWorkers: 1, MemBudget: 32 << 10}
+	var st2 jobStatus
+	if code := c.doJSON("POST", "/jobs", req2, &st2); code != http.StatusOK {
+		t.Fatalf("cache-hit submit: status %d", code)
+	}
+	if st2.State != stateDone || !st2.Cached {
+		t.Fatalf("repeat job: state=%s cached=%v, want done from cache", st2.State, st2.Cached)
+	}
+	assertSameCounts(t, "cachehit-vs-Mine", want, c.result(st2.ID))
+
+	// The metrics must show exactly one hit and one miss.
+	_, raw := c.do("GET", "/metrics", nil)
+	for _, line := range []string{"setmd_cache_hits 1", "setmd_cache_misses 1", "setmd_pool_pinned_frames 0"} {
+		if !strings.Contains(string(raw), line) {
+			t.Errorf("metrics missing %q:\n%s", line, raw)
+		}
+	}
+}
+
+// TestAdmissionBounds: a job whose lone estimate exceeds the global
+// budget is rejected 429; with the budget sized for one job, a second
+// concurrent submission queues and runs after the first, and the sum of
+// running estimates never exceeds the budget.
+func TestAdmissionBounds(t *testing.T) {
+	d := testDataset(23, 2000)
+	s, c := newTestServer(t, Config{GlobalMemBudget: 1 << 20, JobMemBudget: 256 << 10, MaxQueue: 2})
+	ds := c.upload(d)
+
+	// Estimate for this dataset under the default job budget: R_1 bytes
+	// alone exceed 16 KiB, so a 16 KiB global budget must reject.
+	tiny, ctiny := newTestServer(t, Config{GlobalMemBudget: 16 << 10})
+	_ = tiny
+	dsTiny := ctiny.upload(d)
+	var errResp map[string]string
+	if code := ctiny.doJSON("POST", "/jobs", jobRequest{Dataset: dsTiny.Version, MinSupFrac: 0.02}, &errResp); code != http.StatusTooManyRequests {
+		t.Fatalf("oversized job: status %d, want 429", code)
+	}
+
+	// Two jobs against a budget that fits one: distinct minsup values so
+	// neither hits the cache, tiny membudget so both genuinely mine.
+	var st1, st2 jobStatus
+	if code := c.doJSON("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupCount: 11}, &st1); code != http.StatusAccepted {
+		t.Fatalf("job 1: status %d", code)
+	}
+	if code := c.doJSON("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupCount: 12}, &st2); code != http.StatusAccepted {
+		t.Fatalf("job 2: status %d", code)
+	}
+	fin1, fin2 := c.waitDone(st1.ID), c.waitDone(st2.ID)
+	if fin1.State != stateDone || fin2.State != stateDone {
+		t.Fatalf("jobs finished %s/%s, want done/done", fin1.State, fin2.State)
+	}
+	if used, queued := s.adm.snapshot(); used != 0 || queued != 0 {
+		t.Fatalf("admission leaked: used=%d queued=%d", used, queued)
+	}
+
+	// Overflowing the queue must 429. Hold the whole budget with a
+	// direct admission grant so every HTTP submission queues
+	// deterministically; MaxQueue=2, so the third must be rejected.
+	hold, err := s.adm.tryAdmit(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []string
+	for i := 0; i < 3; i++ {
+		var st jobStatus
+		code := c.doJSON("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupCount: int64(20 + i)}, &st)
+		switch {
+		case i < 2 && code != http.StatusAccepted:
+			t.Fatalf("job %d: status %d, want queued 202", i, code)
+		case i == 2 && code != http.StatusTooManyRequests:
+			t.Fatalf("job %d: status %d, want 429 on full queue", i, code)
+		}
+		if code == http.StatusAccepted {
+			if st.State != stateQueued {
+				t.Fatalf("job %d born %s, want queued while budget held", i, st.State)
+			}
+			queued = append(queued, st.ID)
+		}
+	}
+	hold.release()
+	for _, id := range queued {
+		if fin := c.waitDone(id); fin.State != stateDone {
+			t.Fatalf("queued job %s finished %s", id, fin.State)
+		}
+	}
+	if used, waiting := s.adm.snapshot(); used != 0 || waiting != 0 {
+		t.Fatalf("admission leaked after queue drain: used=%d waiting=%d", used, waiting)
+	}
+}
+
+// TestAdmissionSumInvariant drives the admission controller directly:
+// under concurrent admit/release churn the used sum must never exceed
+// the budget, FIFO order must hold, and everything must drain to zero.
+func TestAdmissionSumInvariant(t *testing.T) {
+	const budget = 1000
+	a := newAdmission(budget, 64)
+	var mu sync.Mutex
+	maxUsed := int64(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est := int64(100 + (i%7)*100) // 100..700
+			g, err := a.tryAdmit(est)
+			if err != nil {
+				return
+			}
+			if err := g.wait(context.Background()); err != nil {
+				g.release()
+				return
+			}
+			used, _ := a.snapshot()
+			mu.Lock()
+			if used > maxUsed {
+				maxUsed = used
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			g.release()
+		}(i)
+	}
+	wg.Wait()
+	if maxUsed > budget {
+		t.Fatalf("admitted sum reached %d, budget %d", maxUsed, budget)
+	}
+	if used, queued := a.snapshot(); used != 0 || queued != 0 {
+		t.Fatalf("controller did not drain: used=%d queued=%d", used, queued)
+	}
+	if _, err := a.tryAdmit(budget + 1); err == nil {
+		t.Fatal("over-budget estimate admitted")
+	}
+}
+
+// TestCancelRunningJob: cancelling a spilled-regime job via DELETE must
+// reach a terminal cancelled state promptly and leave zero pinned
+// frames (checked through /metrics, which sums running pools — after
+// cancellation the gauge must read 0).
+func TestCancelRunningJob(t *testing.T) {
+	d := testDataset(29, 20000)
+	_, c := newTestServer(t, Config{JobMemBudget: 16 << 10})
+	ds := c.upload(d)
+
+	// A low threshold and tiny budget make a long, genuinely spilling run.
+	var st jobStatus
+	if code := c.doJSON("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupCount: 2, MemBudget: 16 << 10}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	var fin jobStatus
+	if code := c.doJSON("DELETE", "/jobs/"+st.ID, nil, &fin); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	if fin.State != stateCancelled && fin.State != stateDone {
+		t.Fatalf("after cancel: state=%s", fin.State)
+	}
+	// A fast machine may finish before the cancel lands; the run must
+	// not be left in a non-terminal state either way.
+	if code, raw := c.do("GET", "/metrics", nil); code != http.StatusOK ||
+		!strings.Contains(string(raw), "setmd_pool_pinned_frames 0") {
+		t.Fatalf("pinned frames nonzero after cancel:\n%s", raw)
+	}
+	// The result endpoint must refuse a cancelled job's result.
+	if fin.State == stateCancelled {
+		if code, _ := c.do("GET", "/jobs/"+st.ID+"/result", nil); code != http.StatusGone {
+			t.Fatalf("result of cancelled job: status %d, want 410", code)
+		}
+	}
+}
+
+// TestConcurrentSessions hammers the server from several goroutines —
+// mixed uploads, submissions, polls, metric scrapes — and checks every
+// mining result agrees with the in-process oracle. Run under -race this
+// is the server's data-race gate.
+func TestConcurrentSessions(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	datasets := []*core.Dataset{testDataset(31, 800), testDataset(37, 1000), testDataset(41, 1200)}
+	versions := make([]string, len(datasets))
+	oracles := make([]*core.Result, len(datasets))
+	for i, d := range datasets {
+		versions[i] = c.upload(d).Version
+		var err error
+		if oracles[i], err = core.MineMemory(d, core.Options{MinSupportFrac: 0.02}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				di := (w + i) % len(datasets)
+				var st jobStatus
+				code := c.doJSON("POST", "/jobs", jobRequest{Dataset: versions[di], MinSupFrac: 0.02, MaxWorkers: 1 + w%3}, &st)
+				if code != http.StatusAccepted && code != http.StatusOK {
+					t.Errorf("worker %d: submit status %d", w, code)
+					return
+				}
+				fin := c.waitDone(st.ID)
+				if fin.State != stateDone {
+					t.Errorf("worker %d: job %s state %s: %s", w, st.ID, fin.State, fin.Error)
+					return
+				}
+				assertSameCounts(t, fmt.Sprintf("worker-%d-ds-%d", w, di), oracles[di], c.result(st.ID))
+				c.do("GET", "/metrics", nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDrain: a draining server rejects new jobs with 503, reports
+// draining on /healthz, and Drain cancels stragglers promptly.
+func TestDrain(t *testing.T) {
+	d := testDataset(43, 20000)
+	s, c := newTestServer(t, Config{JobMemBudget: 16 << 10})
+	ds := c.upload(d)
+	var st jobStatus
+	if code := c.doJSON("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupCount: 2, MemBudget: 16 << 10}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	s.Drain(ctx)
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("drain took %v; cancellation not prompt", waited)
+	}
+
+	if code, _ := c.do("GET", "/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", code)
+	}
+	if code, _ := c.doJSONCode("POST", "/jobs", jobRequest{Dataset: ds.Version, MinSupFrac: 0.5}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", code)
+	}
+	fin := c.waitDone(st.ID)
+	if fin.State != stateCancelled && fin.State != stateDone {
+		t.Fatalf("drained job state %s", fin.State)
+	}
+}
+
+// doJSONCode posts JSON and returns only the status code.
+func (c *client) doJSONCode(method, path string, reqBody any) (int, []byte) {
+	c.t.Helper()
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return c.do(method, path, body)
+}
+
+// TestResultCacheLRU: the cache honors its capacity and refreshes
+// recency on get.
+func TestResultCacheLRU(t *testing.T) {
+	cch := newResultCache(2)
+	k := func(i int) cacheKey {
+		return cacheKey{Version: "v", Opts: core.Options{MinSupportCount: int64(i)}}
+	}
+	r := &core.Result{}
+	cch.put(k(1), r)
+	cch.put(k(2), r)
+	cch.get(k(1)) // refresh 1; 2 becomes LRU
+	cch.put(k(3), r)
+	if _, ok := cch.get(k(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := cch.get(k(i)); !ok {
+			t.Fatalf("entry %d evicted wrongly", i)
+		}
+	}
+	if cch.len() != 2 {
+		t.Fatalf("cache len %d, want 2", cch.len())
+	}
+}

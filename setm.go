@@ -38,6 +38,8 @@
 package setm
 
 import (
+	"context"
+
 	"setm/internal/core"
 	"setm/internal/gen"
 	"setm/internal/rules"
@@ -117,6 +119,28 @@ func Mine(d *Dataset, opts Options) (*Result, error) {
 //	}
 func MineAuto(d *Dataset, opts Options) (*Result, error) {
 	return core.MineAuto(d, opts)
+}
+
+// MineAutoContext is MineAuto under a context: the executor polls ctx
+// at every iteration boundary and — in the spilled regime — at morsel
+// and merge granularity, so a cancelled job returns promptly with its
+// arenas released, partial spill runs recycled, and zero pinned buffer
+// frames. The returned error wraps ctx.Err(). This is the entry point
+// for long-running callers (the setmd service) that must be able to
+// kill a mining job.
+func MineAutoContext(ctx context.Context, d *Dataset, opts Options) (*Result, error) {
+	return core.MineAutoContext(ctx, d, opts)
+}
+
+// CanonicalOptions reduces opts, for a dataset of n transactions, to
+// the fields that determine the mining result — the resolved absolute
+// support threshold and the pattern-length cap — zeroing every
+// execution knob (strategy, budget, workers, kernels). All drivers are
+// conformance-pinned to bit-identical counts regardless of plan, so two
+// option sets with equal canonical forms yield the same Result.Counts;
+// services use the canonical form as a result-cache key.
+func CanonicalOptions(opts Options, n int) Options {
+	return core.CanonicalOptions(opts, n)
 }
 
 // MineParallel runs Algorithm SETM with each iteration's merge-scan,
