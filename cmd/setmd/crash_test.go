@@ -1,0 +1,314 @@
+package main
+
+// The kill-and-restart crash harness. It builds the real setmd binary,
+// runs it durable against a scratch datadir, SIGKILLs it at a
+// randomized point while a mining job is in flight, restarts it on the
+// same directory, and asserts the durability contract:
+//
+//   - committed datasets survive intact,
+//   - a torn WAL tail (garbage appended after the kill) is truncated
+//     silently and the log stays appendable,
+//   - the interrupted job is resumed — from its iteration checkpoint
+//     when one committed — and finishes bit-identical to an
+//     uninterrupted in-process mine,
+//   - no *.tmp debris is left anywhere in the datadir,
+//   - the restarted server reports zero pinned buffer frames.
+//
+// The sweep length defaults to a CI-friendly handful of cycles;
+// SETMD_CRASH_ITERS raises it for longer randomized soaks. (Crash
+// points *inside* checkpoint and storage writes are exercised by the
+// FaultStore-injected sweeps in internal/core's checkpoint tests; this
+// harness kills the whole process.)
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"setm"
+	"setm/internal/core"
+)
+
+// buildSetmd compiles the real binary under test into dir.
+func buildSetmd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "setmd-under-test")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// crashDataset is sized so a budget-squeezed job runs long enough for
+// kills to land mid-iteration, yet completes in well under a second.
+func crashDataset() *core.Dataset {
+	rng := rand.New(rand.NewSource(97))
+	d := &core.Dataset{}
+	id := int64(0)
+	for i := 0; i < 8000; i++ {
+		id += 1 + int64(rng.Intn(3))
+		n := 1 + rng.Intn(6)
+		items := make([]core.Item, n)
+		for j := range items {
+			items[j] = core.Item(1 + rng.Intn(9) + rng.Intn(7)*rng.Intn(3))
+		}
+		d.Transactions = append(d.Transactions, core.Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+// setmdProc is one live server process under the harness.
+type setmdProc struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+func startSetmd(t *testing.T, bin, datadir string) *setmdProc {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	logs := &bytes.Buffer{}
+	cmd := exec.Command(bin, "-addr", addr, "-datadir", datadir, "-drain-timeout", "10s")
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start setmd: %v", err)
+	}
+	p := &setmdProc{cmd: cmd, base: "http://" + addr, logs: logs}
+	t.Cleanup(func() { p.kill() }) // harmless if already gone
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("setmd never came up on %s: %v\nlogs:\n%s", addr, err, logs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — the crash under test — and reaps the process.
+func (p *setmdProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// stop drains gracefully via SIGTERM and checks a clean exit.
+func (p *setmdProc) stop(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("setmd exited dirty after SIGTERM: %v\nlogs:\n%s", err, p.logs)
+		}
+	case <-time.After(20 * time.Second):
+		p.kill()
+		t.Fatalf("setmd did not drain after SIGTERM\nlogs:\n%s", p.logs)
+	}
+}
+
+func (p *setmdProc) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(p.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v\nlogs:\n%s", path, err, p.logs)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func (p *setmdProc) post(t *testing.T, path, contentType string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(p.base+path, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v\nlogs:\n%s", path, err, p.logs)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func crashIters() int {
+	if v := os.Getenv("SETMD_CRASH_ITERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 3
+}
+
+// TestCrashRestartSweep is the harness entry point.
+func TestCrashRestartSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness needs a built binary and real kills; skipped in -short")
+	}
+	bin := buildSetmd(t, t.TempDir())
+	d := crashDataset()
+	var sales bytes.Buffer
+	if err := setm.WriteDataset(&sales, d); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MineMemory(d, core.Options{MinSupportCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := crashIters()
+	rng := rand.New(rand.NewSource(20260807))
+	for i := 0; i < iters; i++ {
+		// The mine takes a few tens of ms at this budget: delays in
+		// [0, 150) ms land kills before, during, and after the job, so
+		// the sweep covers resume-from-checkpoint, re-mine-from-scratch,
+		// and restore-done-from-envelope. Cycle 0 kills immediately —
+		// the guaranteed mid-flight case.
+		i, delay := i, time.Duration(rng.Intn(150))*time.Millisecond
+		if i == 0 {
+			delay = 0
+		}
+		tearTail := i%3 == 1 // every third cycle also corrupts the WAL tail
+		t.Run(fmt.Sprintf("cycle-%d-delay-%v-torn-%v", i, delay, tearTail), func(t *testing.T) {
+			datadir := t.TempDir()
+			p := startSetmd(t, bin, datadir)
+
+			code, body := p.post(t, "/datasets", "text/plain", sales.String())
+			if code != http.StatusOK {
+				t.Fatalf("upload: %d %s", code, body)
+			}
+			var ds struct {
+				Version string `json:"version"`
+			}
+			if err := json.Unmarshal(body, &ds); err != nil || ds.Version == "" {
+				t.Fatalf("upload response %s: %v", body, err)
+			}
+			// A squeezed budget makes the job spill and checkpoint slowly
+			// enough for the kill to land mid-run on most cycles.
+			code, body = p.post(t, "/jobs", "application/json",
+				fmt.Sprintf(`{"dataset":%q,"minsup_count":4,"membudget":32768}`, ds.Version))
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Fatalf("submit: %d %s", code, body)
+			}
+
+			time.Sleep(delay)
+			p.kill() // the crash: no drain, no flush, SIGKILL
+
+			if tearTail {
+				f, err := os.OpenFile(filepath.Join(datadir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Write([]byte("\x13\x37torn-tail-garbage"))
+				f.Close()
+			}
+
+			// Restart on the same directory and check every invariant.
+			p2 := startSetmd(t, bin, datadir)
+			code, body = p2.get(t, "/datasets")
+			if code != http.StatusOK || !bytes.Contains(body, []byte(ds.Version)) {
+				t.Fatalf("dataset lost across crash: %d %s\nlogs:\n%s", code, body, p2.logs)
+			}
+
+			var fin struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				_, body = p2.get(t, "/jobs/job-1?wait=1")
+				if err := json.Unmarshal(body, &fin); err != nil {
+					t.Fatalf("job status %s: %v", body, err)
+				}
+				if fin.State == "done" || fin.State == "failed" || fin.State == "cancelled" {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job stuck in %q after restart", fin.State)
+				}
+			}
+			if fin.State != "done" {
+				t.Fatalf("job finished %q after restart: %s\nlogs:\n%s", fin.State, fin.Error, p2.logs)
+			}
+			code, body = p2.get(t, "/jobs/job-1/result")
+			if code != http.StatusOK {
+				t.Fatalf("result: %d %s", code, body)
+			}
+			var got core.Result
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Counts) != len(want.Counts) {
+				t.Fatalf("resumed result has %d iterations, want %d", len(got.Counts), len(want.Counts))
+			}
+			for k := range want.Counts {
+				if !countsEqual(want.Counts[k], got.Counts[k]) {
+					t.Fatalf("C_%d differs after crash resume", k+1)
+				}
+			}
+
+			_, body = p2.get(t, "/metrics")
+			if !bytes.Contains(body, []byte("setmd_pool_pinned_frames 0")) {
+				t.Fatalf("pinned frames nonzero after resume:\n%s", body)
+			}
+			resumed := bytes.Contains(body, []byte("setmd_jobs_resumed 1"))
+			t.Logf("kill after %v: job %s (resumed=%v, torn tail=%v)", delay, fin.State, resumed, tearTail)
+			if i == 0 && !resumed {
+				t.Error("cycle 0 kills before the job can finish; it must take the resume path")
+			}
+			filepath.WalkDir(datadir, func(path string, e fs.DirEntry, err error) error {
+				if err == nil && !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+					t.Errorf("temp debris survived restart: %s", path)
+				}
+				return nil
+			})
+			p2.stop(t)
+		})
+	}
+}
+
+// countsEqual compares one count relation without reflect: the wire
+// form already normalized ordering (both sides come from the same
+// deterministic pipeline).
+func countsEqual(a, b []core.ItemsetCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || len(a[i].Items) != len(b[i].Items) {
+			return false
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	setmd -addr :8080 -membudget 1073741824
+//	setmd -addr :8080 -membudget 1073741824 -datadir /var/lib/setmd
+//
+// With -datadir the service is durable: dataset registrations and job
+// lifecycle transitions are journaled to a write-ahead log, completed
+// results are spilled to disk, and running jobs checkpoint each mining
+// iteration — a kill -9 followed by a restart on the same directory
+// replays the journal, restores datasets and finished results, and
+// resumes interrupted jobs from their checkpoints bit-identically.
 //
 // A session:
 //
@@ -52,6 +59,11 @@ func run(args []string, stderr io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", 128, "result cache capacity (mining results)")
 	maxUpload := fs.Int64("max-upload", 1<<30, "maximum dataset upload size in bytes")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for running jobs before cancelling them")
+	dataDir := fs.String("datadir", "", "data directory for durable state (WAL, dataset blobs, results, checkpoints); empty = in-memory only")
+	ckptInterval := fs.Int("checkpoint-interval", 1, "checkpoint every N-th mining iteration of a durable job (1 = every iteration)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "how long a client may take to send request headers (slow-loris guard)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Minute, "per-response write deadline; generous because ?wait=1 long-polls job completion")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -59,14 +71,25 @@ func run(args []string, stderr io.Writer) error {
 		return err
 	}
 
-	svc := server.New(server.Config{
-		GlobalMemBudget: *globalBudget,
-		JobMemBudget:    *jobBudget,
-		MaxQueue:        *maxQueue,
-		CacheEntries:    *cacheEntries,
-		MaxUploadBytes:  *maxUpload,
+	svc, err := server.Open(server.Config{
+		GlobalMemBudget:    *globalBudget,
+		JobMemBudget:       *jobBudget,
+		MaxQueue:           *maxQueue,
+		CacheEntries:       *cacheEntries,
+		MaxUploadBytes:     *maxUpload,
+		DataDir:            *dataDir,
+		CheckpointInterval: *ckptInterval,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -79,6 +102,7 @@ func run(args []string, stderr io.Writer) error {
 
 	select {
 	case err := <-errc:
+		svc.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -88,7 +112,8 @@ func run(args []string, stderr io.Writer) error {
 	defer cancel()
 	svc.Drain(drainCtx)
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		svc.Close()
 		return err
 	}
-	return nil
+	return svc.Close()
 }

@@ -1,0 +1,358 @@
+package core
+
+// Durable per-iteration checkpoints. SETM's loop state at an iteration
+// boundary is tiny and explicit — the paper's Figure 4 recurrence needs
+// only C_1..C_k (for the result so far, and C_1 for the PrefilterSales
+// join side) and R_k (the filtered relation the next merge-scan extends)
+// to reproduce every later iteration exactly. A checkpoint is therefore
+// one manifest (JSON: k, thresholds, counts, stats) plus one packed run
+// file holding R_k's (tid, key) rows, both written atomically
+// (temp + fsync + rename, manifest last) so a crash mid-checkpoint
+// leaves the previous checkpoint intact. Resume re-derives everything
+// else — the dictionary and packed SALES are deterministic functions of
+// the dataset — and re-enters the pipeline at iteration k+1,
+// bit-identical to an uninterrupted run.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"setm/internal/storage"
+)
+
+// CheckpointConfig makes a mining run durable: the executor persists a
+// resumable manifest into Dir at iteration boundaries.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory (created on first write). One
+	// directory holds at most one checkpoint: each write replaces the
+	// previous manifest and removes its run file.
+	Dir string
+	// Interval checkpoints every Interval-th iteration; values <= 1
+	// checkpoint every iteration. Raising it trades recovery work
+	// (re-mining up to Interval-1 iterations) for less write I/O.
+	Interval int
+	// NoSync skips the fsyncs around checkpoint files. Only for tests:
+	// a crash may then lose or tear the newest checkpoint (resume falls
+	// back to an older one or a full re-mine, so results stay correct).
+	NoSync bool
+	// OnError, when non-nil, is told about a failed checkpoint write.
+	// Checkpoint failures never fail the mine: the run continues with
+	// checkpointing disabled, and OnError is how the caller learns
+	// durability degraded.
+	OnError func(error)
+}
+
+// Checkpoint is a loaded, integrity-verified checkpoint manifest.
+type Checkpoint struct {
+	K               int              // last completed iteration
+	MinSup          int64            // absolute support threshold of the run
+	NumTransactions int              // dataset identity: |transactions|
+	SalesRows       int64            // dataset identity: |packed SALES|
+	RPrimeRows      int64            // |R'_K|, seeds the next iteration's plan
+	RRows           int64            // |R_K|
+	Counts          [][]ItemsetCount // C_1..C_K
+	Stats           []IterationStat  // per-iteration stats through K
+
+	dir    string
+	rkFile string
+}
+
+// ErrCheckpoint tags every integrity failure of the checkpoint path —
+// missing or corrupt manifest or run file, or a manifest that does not
+// match the dataset and options being resumed. Callers match it with
+// errors.Is and fall back to a full re-mine; it never indicates a
+// problem with the dataset itself.
+var ErrCheckpoint = errors.New("setm: invalid or mismatched checkpoint")
+
+const (
+	ckptManifestName = "MANIFEST.json"
+	ckptMagic        = "SETMRK01"
+	ckptVersion      = 1
+	ckptBatchRows    = 4096
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ckptManifest is the on-disk manifest schema.
+type ckptManifest struct {
+	Version         int              `json:"version"`
+	K               int              `json:"k"`
+	MinSup          int64            `json:"min_sup"`
+	NumTransactions int              `json:"num_transactions"`
+	SalesRows       int64            `json:"sales_rows"`
+	RPrimeRows      int64            `json:"r_prime_rows"`
+	RRows           int64            `json:"r_rows"`
+	RkFile          string           `json:"rk_file"`
+	Counts          [][]ItemsetCount `json:"counts"`
+	Stats           []IterationStat  `json:"stats"`
+}
+
+// checkpointDue reports whether iteration k should be persisted under
+// the configured cadence.
+func checkpointDue(k int, cfg *CheckpointConfig) bool {
+	if cfg.Interval <= 1 {
+		return true
+	}
+	return k%cfg.Interval == 0
+}
+
+// saveCheckpoint persists cp plus the live R_k into cfg.Dir and returns
+// the bytes written. The run file lands first, the manifest's rename
+// commits the checkpoint, and only then is the previous checkpoint's
+// run file removed — at every instant the directory holds one complete,
+// consistent checkpoint.
+func saveCheckpoint(cfg *CheckpointConfig, cp *Checkpoint, pool *storage.Pool, rk *srel) (int64, error) {
+	if cfg.Dir == "" {
+		return 0, fmt.Errorf("setm: CheckpointConfig.Dir is empty")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return 0, err
+	}
+	rkFile := fmt.Sprintf("rk-%03d.run", cp.K)
+	if err := atomicWriteFile(filepath.Join(cfg.Dir, rkFile), cfg.NoSync, func(w io.Writer) error {
+		return writeCheckpointRun(w, pool, rk)
+	}); err != nil {
+		return 0, err
+	}
+	runBytes := int64(len(ckptMagic)) + 8 + rk.rows()*16 + 4
+
+	man := ckptManifest{
+		Version: ckptVersion, K: cp.K, MinSup: cp.MinSup,
+		NumTransactions: cp.NumTransactions, SalesRows: cp.SalesRows,
+		RPrimeRows: cp.RPrimeRows, RRows: cp.RRows, RkFile: rkFile,
+		Counts: cp.Counts, Stats: cp.Stats,
+	}
+	data, err := json.Marshal(&man)
+	if err != nil {
+		return 0, err
+	}
+	if err := atomicWriteFile(filepath.Join(cfg.Dir, ckptManifestName), cfg.NoSync, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		return 0, err
+	}
+
+	// The manifest rename committed this checkpoint; earlier run files
+	// are garbage now. Removal failures are harmless (debris, not
+	// corruption) and the next checkpoint retries.
+	if entries, derr := os.ReadDir(cfg.Dir); derr == nil {
+		for _, e := range entries {
+			if name := e.Name(); strings.HasPrefix(name, "rk-") && name != rkFile {
+				os.Remove(filepath.Join(cfg.Dir, name))
+			}
+		}
+	}
+	return runBytes + int64(len(data)), nil
+}
+
+// writeCheckpointRun streams rk as the checkpoint run format: magic,
+// row count, raw little-endian (tid, key) pairs, CRC-32C of the pairs.
+func writeCheckpointRun(w io.Writer, pool *storage.Pool, rk *srel) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(rk.rows()))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	sum := crc32.New(ckptCRC)
+	it := rowsOf(pool, rk)
+	defer it.close()
+	for {
+		row, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], row.Tid)
+		binary.LittleEndian.PutUint64(buf[8:16], row.Key)
+		sum.Write(buf[:])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:4], sum.Sum32())
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads and fully verifies the checkpoint in dir: the
+// manifest must parse and be self-consistent, and the run file must
+// exist with matching row count and CRC. A directory with no manifest
+// returns (nil, nil) — no checkpoint is not an error. Any integrity
+// failure returns an error wrapping ErrCheckpoint; callers treat it as
+// "mine from scratch".
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ckptManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var man ckptManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCheckpoint, err)
+	}
+	if man.Version != ckptVersion || man.K < 1 || len(man.Counts) != man.K ||
+		man.RkFile == "" || strings.ContainsAny(man.RkFile, "/\\") || man.RRows < 0 {
+		return nil, fmt.Errorf("%w: malformed manifest (version %d, k %d, %d count relations)",
+			ErrCheckpoint, man.Version, man.K, len(man.Counts))
+	}
+	cp := &Checkpoint{
+		K: man.K, MinSup: man.MinSup, NumTransactions: man.NumTransactions,
+		SalesRows: man.SalesRows, RPrimeRows: man.RPrimeRows, RRows: man.RRows,
+		Counts: man.Counts, Stats: man.Stats,
+		dir: dir, rkFile: man.RkFile,
+	}
+	if err := readCheckpointRows(cp, func([]prow) error { return nil }); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// readCheckpointRows streams the checkpoint's R_K rows in batches.
+// Framing or CRC damage returns an error wrapping ErrCheckpoint; the
+// CRC is verified before the final batch is delivered, so a caller that
+// consumed every batch without error has read an intact relation.
+func readCheckpointRows(cp *Checkpoint, fn func(rows []prow) error) error {
+	f, err := os.Open(filepath.Join(cp.dir, cp.rkFile))
+	if err != nil {
+		return fmt.Errorf("%w: run file: %v", ErrCheckpoint, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(ckptMagic)+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("%w: run header: %v", ErrCheckpoint, err)
+	}
+	if string(hdr[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("%w: run file has wrong magic", ErrCheckpoint)
+	}
+	rows := int64(binary.LittleEndian.Uint64(hdr[len(ckptMagic):]))
+	if rows != cp.RRows {
+		return fmt.Errorf("%w: run holds %d rows, manifest says %d", ErrCheckpoint, rows, cp.RRows)
+	}
+	sum := crc32.New(ckptCRC)
+	batch := make([]prow, 0, ckptBatchRows)
+	var buf [16]byte
+	for i := int64(0); i < rows; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("%w: run truncated at row %d: %v", ErrCheckpoint, i, err)
+		}
+		sum.Write(buf[:])
+		batch = append(batch, prow{
+			Tid: binary.LittleEndian.Uint64(buf[0:8]),
+			Key: binary.LittleEndian.Uint64(buf[8:16]),
+		})
+		if len(batch) == ckptBatchRows {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return fmt.Errorf("%w: run trailer: %v", ErrCheckpoint, err)
+	}
+	if binary.LittleEndian.Uint32(buf[:4]) != sum.Sum32() {
+		return fmt.Errorf("%w: run CRC mismatch", ErrCheckpoint)
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// atomicWriteFile writes via a temp file in the target's directory,
+// fsyncs (unless nosync), and renames into place, so the target is
+// never observable half-written. A crash leaves at most a *.tmp file
+// the recovery sweep removes.
+func atomicWriteFile(path string, nosync bool, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+		}
+		if err != nil {
+			os.Remove(name)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if !nosync {
+		if err = tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	err = tmp.Close()
+	tmp = nil
+	if err != nil {
+		return err
+	}
+	if err = os.Rename(name, path); err != nil {
+		return err
+	}
+	if !nosync {
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// MineAutoResume is MineAutoResumeMonitored without service hooks.
+func MineAutoResume(ctx context.Context, d *Dataset, opts Options, cp *Checkpoint) (*Result, error) {
+	return MineAutoResumeMonitored(ctx, d, opts, nil, nil, cp)
+}
+
+// MineAutoResumeMonitored continues a mining run from a checkpoint
+// loaded by LoadCheckpoint: the executor rebuilds its deterministic
+// state (dictionary, packed SALES, join side), streams R_K back in
+// under the current memory budget, and re-enters the loop at iteration
+// K+1. Results are bit-identical to an uninterrupted MineAuto run with
+// the same options. cp == nil degrades to MineAutoMonitored. A
+// checkpoint that fails verification against the dataset and options
+// returns an error wrapping ErrCheckpoint — the caller falls back to a
+// full re-mine; no partial state leaks (pinned frames stay zero).
+func MineAutoResumeMonitored(ctx context.Context, d *Dataset, opts Options, pool *storage.Pool, onIter func(IterationStat), cp *Checkpoint) (*Result, error) {
+	if cp == nil {
+		return MineAutoMonitored(ctx, d, opts, pool, onIter)
+	}
+	if opts.DisablePackedKernels {
+		return nil, fmt.Errorf("%w: checkpoints require the packed executor (DisablePackedKernels is set)", ErrCheckpoint)
+	}
+	cfg := PagedConfig{}.withDefaults()
+	if pool != nil {
+		cfg.PoolFrames = pool.Capacity()
+	}
+	st := newExecStepper(d, opts, cfg, nil, autoStrategy())
+	st.ctx = ctx
+	if pool != nil {
+		st.attachPool(pool)
+	}
+	return runPipelineFrom(ctx, d, opts, st, onIter, cp)
+}

@@ -30,6 +30,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"slices"
 	"strconv"
@@ -220,6 +221,7 @@ type execStepper struct {
 	st    spillStats
 
 	avgBasket  float64
+	salesTotal int64 // |packed SALES|, the checkpoint's dataset identity
 	prevRPrime int64
 	prevRRows  int64
 
@@ -299,6 +301,7 @@ func (s *execStepper) nextPlan(k int, prevRPrime, prevRRows int64) IterPlan {
 		K: k, PrevRPrime: prevRPrime, PrevRRows: prevRRows,
 		AvgBasket: s.avgBasket, PackedOK: packedOK,
 		Budget: s.budget, Workers: s.maxWorkers, PoolFrames: s.cfg.PoolFrames,
+		Checkpoint: s.opts.Checkpoint != nil,
 	})
 	if p.Workers < 1 {
 		p.Workers = 1
@@ -393,6 +396,7 @@ func (s *execStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	s.dict = buildDict(s.d, s.ar)
 	mem := packSales(s.d, s.dict, s.ar)
 	salesRows := int64(len(mem))
+	s.salesTotal = salesRows
 
 	// C_1: counts per item require the key column sorted on item code.
 	// The rows are resident at this point either way (building R_1 needs
@@ -1142,4 +1146,128 @@ func (s *execStepper) release() {
 	if s.ar != nil {
 		s.releasePacked()
 	}
+}
+
+// writeCheckpoint persists the pipeline-built manifest plus the live
+// R_k. Once the wide-pattern fallback owns the iteration the packed
+// relation is gone, so there is nothing to checkpoint — (0, nil) tells
+// the pipeline to carry on without one (the last packed checkpoint
+// remains valid: resume re-mines the fallback iterations from it).
+func (s *execStepper) writeCheckpoint(cfg *CheckpointConfig, cp *Checkpoint) (int64, error) {
+	if s.fbFlat != nil || s.fbPaged != nil || s.dict == nil || s.rk == nil {
+		return 0, nil
+	}
+	cp.SalesRows = s.salesTotal
+	return saveCheckpoint(cfg, cp, s.pool, s.rk)
+}
+
+// resume rebuilds the executor as if iteration cp.K had just completed:
+// the deterministic state (dictionary, packed SALES, join side) is
+// recomputed from the dataset exactly as init would — C_1 taken from
+// the manifest instead of recounted — and R_K streams back from the
+// checkpoint's run file through a budget-bounded appender, so resuming
+// honors the *current* MemoryBudget even if the original run spilled
+// differently. Integrity failures wrap ErrCheckpoint; the pipeline's
+// fail path aborts the stepper, so nothing leaks.
+func (s *execStepper) resume(cp *Checkpoint) (iterSizes, error) {
+	total := 0
+	for _, tx := range s.d.Transactions {
+		total += len(tx.Items)
+	}
+	if n := len(s.d.Transactions); n > 0 {
+		s.avgBasket = float64(total) / float64(n)
+	}
+	plan := s.nextPlan(1, int64(total), int64(total))
+	if plan.Regime == RegimeSpilled {
+		s.ensurePool()
+	}
+
+	s.ar = newMineArena()
+	s.dict = buildDict(s.d, s.ar)
+	if cp.K > s.dict.maxPackedK() {
+		// Checkpoints are only written while the pattern fits a packed
+		// key; a manifest past that width cannot have come from this
+		// dataset. (cp.K == maxPackedK is fine: the next step hands the
+		// reloaded relation to the wide-pattern fallback as usual.)
+		return iterSizes{}, fmt.Errorf("%w: checkpoint k=%d but packed keys end at k=%d", ErrCheckpoint, cp.K, s.dict.maxPackedK())
+	}
+	mem := packSales(s.d, s.dict, s.ar)
+	s.salesTotal = int64(len(mem))
+	if cp.SalesRows != s.salesTotal {
+		return iterSizes{}, fmt.Errorf("%w: packed SALES has %d rows, manifest says %d", ErrCheckpoint, s.salesTotal, cp.SalesRows)
+	}
+
+	// Join side: init's construction with C_1 decoded from the manifest.
+	var sales *srel
+	var err error
+	if s.opts.PrefilterSales {
+		ck := encodeCounts(cp.Counts[0], s.dict)
+		if plan.Regime == RegimeSpilled {
+			sales, err = s.filterMemStreaming(mem, 1, ck, plan)
+			if err != nil {
+				return iterSizes{}, err
+			}
+		} else {
+			s.ar.joinBuf = packedFilter(mem, ck.keys, s.ar.joinBuf[:0])
+			sales = memSrel(s.ar.joinBuf)
+		}
+	} else {
+		sales = memSrel(mem)
+		if cap := s.capRows(1); plan.Regime == RegimeSpilled && cap > 0 && len(mem) > cap {
+			sales, err = s.spillMemParallel(mem, plan.Workers)
+			if err != nil {
+				return iterSizes{}, err
+			}
+			s.ar.salesBuf = nil
+		}
+	}
+	s.sales, s.join = sales, sales
+
+	// R_K streams from the checkpoint under the plan the next iteration
+	// would run: a spilled plan bounds the reload the same way an
+	// appender bounds a live iteration's output.
+	planK := s.nextPlan(cp.K+1, cp.RPrimeRows, cp.RRows)
+	capR := 0
+	if planK.Regime == RegimeSpilled {
+		s.ensurePool()
+		capR = s.capRows(1)
+	}
+	app := &spillAppender{pool: s.pool, capRows: capR, st: &s.st}
+	if err := readCheckpointRows(cp, func(rows []prow) error {
+		if cerr := s.cancelled(); cerr != nil {
+			return cerr
+		}
+		return app.add(rows)
+	}); err != nil {
+		app.abort(s.pool)
+		return iterSizes{}, err
+	}
+	rk, err := app.finish()
+	if err != nil {
+		return iterSizes{}, err
+	}
+	s.rk = rk
+	if rk.rows() != cp.RRows {
+		return iterSizes{}, fmt.Errorf("%w: reloaded %d rows, manifest says %d", ErrCheckpoint, rk.rows(), cp.RRows)
+	}
+	s.prevRPrime, s.prevRRows = cp.RPrimeRows, cp.RRows
+	return iterSizes{rPrime: cp.RPrimeRows, rRows: rk.rows(), plan: planK}, nil
+}
+
+// encodeCounts re-packs a decoded single-item count relation into the
+// sorted key form the filter kernels take. Code order equals item order
+// (the dictionary is order-preserving), so the lexicographic input
+// order carries over to the keys.
+func encodeCounts(ck []ItemsetCount, dict *packDict) pkCounts {
+	keys := make([]uint64, len(ck))
+	counts := make([]int64, len(ck))
+	for i, c := range ck {
+		var key uint64
+		for _, it := range c.Items {
+			key = key<<dict.bits | dict.code(it)
+		}
+		keys[i] = key
+		counts[i] = c.Count
+	}
+	return pkCounts{keys: keys, counts: counts}
 }

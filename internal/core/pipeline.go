@@ -68,6 +68,18 @@ func runPipeline(d *Dataset, opts Options, s stepper) (*Result, error) {
 // hook long-running callers (the setmd job status endpoint) stream
 // progress from.
 func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, onIter func(IterationStat)) (*Result, error) {
+	return runPipelineFrom(ctx, d, opts, s, onIter, nil)
+}
+
+// runPipelineFrom is runPipelineCtx with an optional resume point: a
+// non-nil checkpoint replays its recorded iterations into the result,
+// asks the stepper to rebuild its live state (the stepper must be a
+// checkpointer), and re-enters the loop at iteration cp.K+1. With
+// Options.Checkpoint set and a checkpointer stepper, each completed
+// iteration with surviving rows is persisted at the configured cadence;
+// a failed checkpoint write notifies CheckpointConfig.OnError and
+// disables further checkpoints without failing the mine.
+func runPipelineFrom(ctx context.Context, d *Dataset, opts Options, s stepper, onIter func(IterationStat), cp *Checkpoint) (*Result, error) {
 	if err := validate(d, opts); err != nil {
 		return nil, err
 	}
@@ -83,6 +95,8 @@ func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, on
 	start := time.Now()
 	minSup := opts.ResolveMinSupport(d.NumTransactions())
 	res := &Result{NumTransactions: d.NumTransactions(), MinSupport: minSup}
+	ckCfg := opts.Checkpoint
+	cw, canCkpt := s.(checkpointer)
 	record := func(k int, ck []ItemsetCount, sz iterSizes, iterStart time.Time) {
 		res.Counts = append(res.Counts, ck)
 		st := IterationStat{
@@ -99,19 +113,62 @@ func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, on
 			Duration:     time.Since(iterStart),
 		}
 		res.Stats = append(res.Stats, st)
+		// Persist the iteration boundary while there are rows to resume
+		// from; a final empty R_k has nothing a restart would continue.
+		if ckCfg != nil && canCkpt && sz.rRows > 0 && checkpointDue(k, ckCfg) {
+			n, err := cw.writeCheckpoint(ckCfg, &Checkpoint{
+				K: k, MinSup: minSup, NumTransactions: res.NumTransactions,
+				RPrimeRows: sz.rPrime, RRows: sz.rRows,
+				Counts: res.Counts, Stats: res.Stats,
+			})
+			if err != nil {
+				if ckCfg.OnError != nil {
+					ckCfg.OnError(err)
+				}
+				ckCfg = nil
+			} else if n > 0 {
+				res.Stats[len(res.Stats)-1].CheckpointBytes = n
+			}
+		}
 		if onIter != nil {
-			onIter(st)
+			onIter(res.Stats[len(res.Stats)-1])
 		}
 	}
 
+	var k int
+	var sz iterSizes
 	iterStart := time.Now()
-	c1, sz, err := s.init(minSup)
-	if err != nil {
-		return fail(err)
+	if cp != nil {
+		if !canCkpt {
+			return fail(fmt.Errorf("%w: this substrate cannot resume", ErrCheckpoint))
+		}
+		if cp.MinSup != minSup || cp.NumTransactions != res.NumTransactions ||
+			cp.K < 1 || len(cp.Counts) != cp.K {
+			return fail(fmt.Errorf("%w: manifest (k=%d, minsup=%d, %d transactions) does not match this run (minsup=%d, %d transactions)",
+				ErrCheckpoint, cp.K, cp.MinSup, cp.NumTransactions, minSup, res.NumTransactions))
+		}
+		var err error
+		sz, err = cw.resume(cp)
+		if err != nil {
+			return fail(err)
+		}
+		res.Counts = append(res.Counts, cp.Counts...)
+		res.Stats = append(res.Stats, cp.Stats...)
+		if onIter != nil {
+			for _, st := range cp.Stats {
+				onIter(st)
+			}
+		}
+		k = cp.K
+	} else {
+		c1, sz1, err := s.init(minSup)
+		if err != nil {
+			return fail(err)
+		}
+		record(1, c1, sz1, iterStart)
+		sz = sz1
+		k = 1
 	}
-	record(1, c1, sz, iterStart)
-
-	k := 1
 	for sz.rRows > 0 {
 		if opts.MaxPatternLen > 0 && k >= opts.MaxPatternLen {
 			break
@@ -122,6 +179,7 @@ func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, on
 		k++
 		iterStart = time.Now()
 		var ck []ItemsetCount
+		var err error
 		ck, sz, err = s.step(k, minSup)
 		if err != nil {
 			return fail(err)
@@ -138,6 +196,17 @@ func runPipelineCtx(ctx context.Context, d *Dataset, opts Options, s stepper, on
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// checkpointer is implemented by steppers that can persist and rebuild
+// their live state at an iteration boundary (today: the adaptive
+// executor's packed engine). writeCheckpoint persists cp plus the live
+// R_k, returning bytes written (0, nil when the substrate is in a state
+// it does not checkpoint, e.g. the wide-pattern fallback); resume
+// rebuilds the stepper as if iteration cp.K had just completed.
+type checkpointer interface {
+	writeCheckpoint(cfg *CheckpointConfig, cp *Checkpoint) (int64, error)
+	resume(cp *Checkpoint) (iterSizes, error)
 }
 
 // releaser is implemented by steppers that recycle scratch memory (the

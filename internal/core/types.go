@@ -109,6 +109,16 @@ type Options struct {
 	// MaxWorkers caps the adaptive executor's parallelism (MineAuto and
 	// StrategyAuto plans). Zero means GOMAXPROCS.
 	MaxWorkers int
+	// Checkpoint, when non-nil, makes the adaptive executor persist a
+	// resumable manifest (k, C_1..C_k, R_k as a packed run file) into
+	// CheckpointConfig.Dir at iteration boundaries. A crashed run then
+	// restarts from the last manifest via MineAutoResume instead of
+	// re-mining from scratch, with bit-identical results. Nil disables
+	// checkpointing (the default; it costs one sequential write of R_k
+	// per covered iteration, which the cost model charges to the plan).
+	// A pointer so Options stays comparable — cache keys and
+	// CanonicalOptions depend on that; CanonicalOptions zeroes it.
+	Checkpoint *CheckpointConfig
 }
 
 // Strategy selects between a driver's fixed execution plan and the
@@ -183,6 +193,11 @@ type IterationStat struct {
 	RunsSpilled int64
 	// SpillBytes is the payload written into those runs.
 	SpillBytes int64
+	// CheckpointBytes is the number of bytes this iteration's durable
+	// checkpoint (R_k run file plus manifest) wrote, zero when the
+	// iteration was not checkpointed (no Options.Checkpoint, an interval
+	// miss, or the wide-pattern fallback).
+	CheckpointBytes int64
 	// PageIO is the iteration's physical page accesses (reads + writes)
 	// through the buffer pool — the per-iteration slice of the quantity
 	// the Section 4.3 formula bounds. Zero for the in-memory drivers.

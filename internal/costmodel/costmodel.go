@@ -474,6 +474,11 @@ type PlanInput struct {
 	Budget     int64   // remaining MemoryBudget in bytes (<= 0: unbounded)
 	Workers    int     // available CPUs (caller caps by Options.MaxWorkers)
 	PoolFrames int     // buffer-pool frames available to a spilled regime
+	// Checkpoint is whether the iteration persists a durable checkpoint
+	// (Options.Checkpoint): one sequential write of R_k — plus, in the
+	// spilled regime, a sequential read-back of the spilled relation —
+	// charged to the plan as a serial (non-parallelizable) term.
+	Checkpoint bool
 }
 
 // PlanChoice is ChoosePlan's decision, in engine-neutral terms.
@@ -538,7 +543,17 @@ func ChoosePlan(in PlanInput) PlanChoice {
 		pages := PackedPages(c.EstRPrime, PackedRowBytes) + PackedPages(c.EstRPrime, PackedKeyBytes)
 		serial += 2 * SeqScanMs(p, pages)
 	}
-	c.EstMs = serial
+
+	// A durable checkpoint is one writer streaming R_k to one file: it
+	// never fans out, so it is charged outside the parallelizable term —
+	// which also means it dampens the modeled benefit of extra workers.
+	// A spilled iteration additionally re-reads the spilled R_k pages to
+	// copy them into the checkpoint.
+	var ckptMs float64
+	if in.Checkpoint {
+		ckptMs = CheckpointMs(c.EstRPrime, c.Spill)
+	}
+	c.EstMs = serial + ckptMs
 
 	maxW := in.Workers
 	if maxW < 1 {
@@ -557,7 +572,7 @@ func ChoosePlan(in PlanInput) PlanChoice {
 			if w > maxW {
 				w = maxW
 			}
-			if par := ParallelMs(serial, w); par < c.EstMs {
+			if par := ParallelMs(serial, w) + ckptMs; par < c.EstMs {
 				c.Workers = w
 				c.EstMs = par
 			}
@@ -567,6 +582,26 @@ func ChoosePlan(in PlanInput) PlanChoice {
 		}
 	}
 	return c
+}
+
+// CheckpointMs models the serial cost of persisting one iteration's
+// durable checkpoint: a sequential write of R_k's packed pages (the
+// manifest is noise next to it), plus — when the iteration ran spilled —
+// a sequential read-back of those pages, since the relation being
+// checkpointed then lives in runs rather than RAM. Rows are the
+// projected |R_k|; callers pass the |R'_k| estimate as the conservative
+// upper bound.
+func CheckpointMs(rows int64, spilled bool) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	p := PaperDBParams()
+	pages := PackedPages(rows, PackedRowBytes)
+	ms := SeqScanMs(p, pages)
+	if spilled {
+		ms *= 2
+	}
+	return ms
 }
 
 // String renders the nested-loop report in the paper's terms.

@@ -73,6 +73,19 @@ func (c *resultCache) put(key cacheKey, res *core.Result) {
 	}
 }
 
+// purgeVersion evicts every cached result of one dataset version
+// (dataset deletion: the inputs are gone, the answers must not linger).
+func (c *resultCache) purgeVersion(version string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.m {
+		if key.Version == version {
+			c.lru.Remove(el)
+			delete(c.m, key)
+		}
+	}
+}
+
 // len reports the number of cached results (metrics).
 func (c *resultCache) len() int {
 	c.mu.Lock()

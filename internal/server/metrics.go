@@ -17,6 +17,12 @@ type metrics struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
+
+	// Durability counters (non-zero only on a durable server).
+	jobsTimedOut    atomic.Int64 // failed specifically on a timeout_ms deadline
+	jobsResumed     atomic.Int64 // interrupted jobs re-enqueued at boot
+	walAppendErrors atomic.Int64 // journal appends that failed (durability degraded)
+	persistErrors   atomic.Int64 // result envelope / checkpoint writes that failed
 }
 
 // handleMetrics renders the counters in the flat "name value" text
@@ -52,6 +58,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put("jobs_done", s.met.jobsDone.Load())
 	put("jobs_failed", s.met.jobsFailed.Load())
 	put("jobs_cancelled", s.met.jobsCancelled.Load())
+	put("jobs_timed_out", s.met.jobsTimedOut.Load())
+	put("jobs_resumed", s.met.jobsResumed.Load())
+	put("wal_append_errors", s.met.walAppendErrors.Load())
+	put("persist_errors", s.met.persistErrors.Load())
+	if s.wal != nil {
+		put("wal_size_bytes", s.wal.Size())
+	}
 	put("jobs_running", int64(running))
 	put("jobs_total", int64(nJobs))
 	put("datasets", int64(nDatasets))

@@ -14,6 +14,7 @@
 //	POST   /datasets          upload SALES text; returns {version, ...}
 //	GET    /datasets          list registered datasets
 //	GET    /datasets/{id}     one dataset's metadata
+//	DELETE /datasets/{id}     unregister (409 while jobs reference it)
 //	POST   /jobs              submit a mining job (JSON body)
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status + per-iteration plan rows
@@ -32,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +43,7 @@ import (
 	"setm/internal/core"
 	"setm/internal/costmodel"
 	"setm/internal/storage"
+	"setm/internal/wal"
 )
 
 // Config tunes the service. The zero value picks sane defaults.
@@ -64,6 +68,20 @@ type Config struct {
 	// PoolFrames is each job's buffer-pool capacity in 4 KB frames
 	// (default 256, the paged driver's default).
 	PoolFrames int
+	// DataDir, when non-empty, makes the server durable: dataset
+	// registrations and job lifecycle transitions are journaled to a WAL
+	// here, completed results spilled to disk, and mining jobs
+	// checkpointed per iteration so a crashed server resumes them on
+	// restart. Durable servers must be built with Open (New ignores
+	// recovery and stays in-memory).
+	DataDir string
+	// CheckpointInterval checkpoints every N-th mining iteration of a
+	// durable job (default 1: every iteration). Raising it trades
+	// recovery re-work for less checkpoint I/O.
+	CheckpointInterval int
+	// NoSync skips fsyncs on the WAL, blobs, results, and checkpoints.
+	// Only for tests: a crash may lose acknowledged state.
+	NoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.PoolFrames <= 0 {
 		c.PoolFrames = 256
 	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 1
+	}
 	return c
 }
 
@@ -95,6 +116,7 @@ type Server struct {
 	cache *resultCache
 	adm   *admission
 	met   metrics
+	wal   *wal.Log // non-nil only on a durable server (Open + DataDir)
 
 	baseCtx    context.Context // parent of every job; Drain cancels it
 	baseCancel context.CancelFunc
@@ -163,6 +185,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /datasets", s.handleUploadDataset)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
+	mux.HandleFunc("DELETE /datasets/{id}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /jobs", s.handleListJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
@@ -223,8 +246,24 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		ds.AvgBasket = float64(ds.SalesRows) / float64(ds.Transactions)
 	}
 	s.mu.Lock()
+	prev, exists := s.datasets[ds.Version]
+	s.mu.Unlock()
+	if exists {
+		writeJSON(w, http.StatusOK, prev) // idempotent re-upload
+		return
+	}
+	// Durability before visibility: the blob lands atomically and the
+	// registration is journaled before the version is registered, so a
+	// replayed dataset record always finds its bytes. A concurrent
+	// duplicate upload repeats both harmlessly (same content, and
+	// replay treats duplicate records as idempotent).
+	if err := s.persistDataset(ds, norm.Bytes()); err != nil {
+		httpError(w, http.StatusInternalServerError, "persist dataset: %v", err)
+		return
+	}
+	s.mu.Lock()
 	if prev, ok := s.datasets[ds.Version]; ok {
-		ds = prev // idempotent re-upload
+		ds = prev
 	} else {
 		s.datasets[ds.Version] = ds
 	}
@@ -254,6 +293,47 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ds)
 }
 
+// handleDeleteDataset unregisters a dataset. While any queued or
+// running job references it the delete answers 409 — results being
+// mined must not lose their input mid-run. Terminal jobs keep their
+// ledger entries; only the dataset, its blob, its cached results, and
+// its spilled result envelopes go.
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ds, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown dataset %q", id)
+		return
+	}
+	for _, jid := range s.jobOrder {
+		j := s.jobs[jid]
+		j.mu.Lock()
+		busy := j.dataset == id && (j.state == stateQueued || j.state == stateRunning)
+		j.mu.Unlock()
+		if busy {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "dataset %s in use by job %s", id, jid)
+			return
+		}
+	}
+	delete(s.datasets, id)
+	s.mu.Unlock()
+
+	s.cache.purgeVersion(id)
+	if s.durable() {
+		_ = s.walAppend(walRecord{Type: recDatasetDel, Version: id})
+		os.Remove(s.datasetBlobPath(id))
+		if matches, err := filepath.Glob(filepath.Join(s.resultsDir(), id+"-*.json")); err == nil {
+			for _, m := range matches {
+				os.Remove(m)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": ds.Version})
+}
+
 // --- job endpoints --------------------------------------------------------
 
 // jobRequest is the POST /jobs body, mapping onto setm.Options.
@@ -264,6 +344,7 @@ type jobRequest struct {
 	MaxPatternLn int     `json:"maxlen"`
 	MemBudget    int64   `json:"membudget"`  // bytes; 0 = server default
 	MaxWorkers   int     `json:"maxworkers"` // 0 = all CPUs
+	TimeoutMs    int64   `json:"timeout_ms"` // wall-clock cap; 0 = none
 }
 
 // jobStatus is the wire form of a job.
@@ -349,14 +430,25 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		done: make(chan struct{}), state: stateQueued,
 	}
 	key := cacheKey{Version: ds.Version, Opts: core.CanonicalOptions(opts, ds.Transactions)}
+	jopts := &walOpts{
+		MinSupFrac: req.MinSupFrac, MinSupCount: req.MinSupCount,
+		MaxLen: req.MaxPatternLn, MemBudget: opts.MemoryBudget,
+		MaxWorkers: req.MaxWorkers, TimeoutMs: req.TimeoutMs,
+	}
 
-	// Cache hit: the job is born done; no admission, no mining.
+	// Cache hit: the job is born done; no admission, no mining. Both
+	// lifecycle records land in one WAL batch — a replayed cache-hit job
+	// is never seen half-submitted.
 	if res, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		j.mu.Lock()
 		j.state, j.cached, j.result, j.iters = stateDone, true, res, res.Stats
 		j.mu.Unlock()
 		close(j.done)
+		_ = s.walAppend(
+			walRecord{Type: recJob, JobID: j.id, Dataset: ds.Version, State: stateQueued, Opts: jopts},
+			walRecord{Type: recJob, JobID: j.id, State: stateDone, Cached: true},
+		)
 		s.registerJob(j)
 		writeJSON(w, http.StatusOK, j.status())
 		return
@@ -387,20 +479,34 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.met.jobsQueued.Add(1)
 	}
 
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	// The submit record is journaled only once admission accepted: a
+	// rejected submission was never acknowledged as work, so a restart
+	// must not resurrect it.
+	_ = s.walAppend(walRecord{
+		Type: recJob, JobID: j.id, Dataset: ds.Version, State: stateQueued,
+		Est: j.est, Opts: jopts,
+	})
+	ctx, cancel := s.jobContext(req.TimeoutMs)
 	j.cancel = cancel
 	s.registerJob(j)
 	s.wg.Add(1)
-	go s.runJob(ctx, j, ds, opts, key, grant)
+	go s.runJob(ctx, j, ds, opts, key, grant, false)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
 // runJob waits for admission (if queued), mines, fills the cache, and
-// releases the admission grant. It owns the job's terminal state.
-func (s *Server) runJob(ctx context.Context, j *job, ds *dataset, opts core.Options, key cacheKey, grant *grant) {
+// releases the admission grant. It owns the job's terminal state. On a
+// durable server the run checkpoints each iteration; with resume set
+// (boot recovery) it first tries to continue from the job's checkpoint,
+// falling back to a full re-mine when none verifies — either way the
+// result is bit-identical to an uninterrupted run.
+func (s *Server) runJob(ctx context.Context, j *job, ds *dataset, opts core.Options, key cacheKey, grant *grant, resume bool) {
 	defer s.wg.Done()
 	defer close(j.done)
 	defer grant.release()
+	if j.cancel != nil {
+		defer j.cancel() // detach from baseCtx; stops a timeout_ms timer
+	}
 
 	if err := grant.wait(ctx); err != nil {
 		s.finishJob(j, nil, err)
@@ -414,19 +520,46 @@ func (s *Server) runJob(ctx context.Context, j *job, ds *dataset, opts core.Opti
 	j.state = stateRunning
 	j.pool = pool
 	j.mu.Unlock()
+	s.journalJobState(j, stateRunning, 0)
 
-	res, err := core.MineAutoMonitored(ctx, ds.d, opts, pool, func(it core.IterationStat) {
+	var cp *core.Checkpoint
+	if s.durable() {
+		opts.Checkpoint = &core.CheckpointConfig{
+			Dir:      s.checkpointDir(j.id),
+			Interval: s.cfg.CheckpointInterval,
+			NoSync:   s.cfg.NoSync,
+			OnError:  func(error) { s.met.persistErrors.Add(1) },
+		}
+		if resume {
+			// A damaged or mismatched checkpoint is "mine from scratch",
+			// never a failed job.
+			cp, _ = core.LoadCheckpoint(s.checkpointDir(j.id))
+		}
+	}
+	onIter := func(it core.IterationStat) {
 		j.mu.Lock()
 		j.iters = append(j.iters, it)
 		j.mu.Unlock()
-	})
+		s.journalJobState(j, stateIter, it.K)
+	}
+	res, err := core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, cp)
+	if cp != nil && err != nil && errors.Is(err, core.ErrCheckpoint) {
+		// The checkpoint passed surface verification but was rejected at
+		// resume depth (e.g. dataset drift); discard it and re-mine.
+		j.mu.Lock()
+		j.iters = nil
+		j.mu.Unlock()
+		res, err = core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, nil)
+	}
 	if err == nil {
 		s.cache.put(key, res)
+		s.persistResult(key, res)
 	}
 	s.finishJob(j, res, err)
 }
 
-// finishJob records the terminal state and bumps the outcome counters.
+// finishJob records the terminal state, journals it, bumps the outcome
+// counters, and retires the job's checkpoint directory.
 func (s *Server) finishJob(j *job, res *core.Result, err error) {
 	j.mu.Lock()
 	j.pool = nil
@@ -434,6 +567,10 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 	case err == nil:
 		j.state, j.result, j.iters = stateDone, res, res.Stats
 		s.met.jobsDone.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state, j.errMsg = stateFailed, "wall-clock timeout exceeded: "+err.Error()
+		s.met.jobsFailed.Add(1)
+		s.met.jobsTimedOut.Add(1)
 	case errors.Is(err, context.Canceled):
 		j.state, j.errMsg = stateCancelled, err.Error()
 		s.met.jobsCancelled.Add(1)
@@ -441,7 +578,12 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 		j.state, j.errMsg = stateFailed, err.Error()
 		s.met.jobsFailed.Add(1)
 	}
+	state, errMsg, cached := j.state, j.errMsg, j.cached
 	j.mu.Unlock()
+	if s.durable() {
+		_ = s.walAppend(walRecord{Type: recJob, JobID: j.id, State: state, Error: errMsg, Cached: cached})
+		os.RemoveAll(s.checkpointDir(j.id))
+	}
 }
 
 func (s *Server) registerJob(j *job) {

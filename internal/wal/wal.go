@@ -1,0 +1,242 @@
+// Package wal implements the append-only write-ahead log that makes
+// setmd's control-plane state durable.
+//
+// The format is deliberately minimal: a log is a flat file of records,
+// each framed as
+//
+//	u32 LE payload length | u32 LE CRC-32C of payload | payload bytes
+//
+// with no file header. Records are opaque byte strings to this package;
+// callers layer their own encoding (setmd uses JSON) on top.
+//
+// Durability contract:
+//
+//   - Append writes all records passed in one call with a single write
+//     and a single fsync (fsync batching): callers amortise sync cost by
+//     handing related records to one Append call.
+//   - Open replays existing records in order and truncates any torn
+//     tail — a partial frame, a short payload, or a CRC mismatch — back
+//     to the last intact record. A torn tail is the expected residue of
+//     a crash mid-append and is removed silently; replay only fails on
+//     I/O errors or if the caller's apply function rejects a record.
+//   - After Open returns, the file ends exactly at the last intact
+//     record and new appends extend it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const headerSize = 8 // u32 length + u32 crc
+
+// MaxRecordSize bounds a single record's payload. It exists to keep a
+// corrupt length prefix from driving a huge allocation during replay;
+// control-plane records are tiny compared to this.
+const MaxRecordSize = 16 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordTooLarge is returned by Append for payloads over MaxRecordSize.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecordSize")
+
+// Log is an open write-ahead log positioned for appending. Methods are
+// safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	size   int64 // bytes of intact records on disk
+	nosync bool
+	buf    []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// NoSync disables the fsync after each Append batch. Only for
+	// tests and throwaway state: a crash can then lose acknowledged
+	// records (but never corrupt the log beyond a torn tail).
+	NoSync bool
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record through apply in append order, truncates any torn tail, and
+// returns the log ready for appending. apply may be nil to skip replay
+// delivery; if apply returns an error, Open fails with it. The byte
+// slice passed to apply is only valid during the call.
+func Open(path string, apply func(rec []byte) error, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := replay(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() > valid {
+		// Torn tail from a crash mid-append: drop it silently so the
+		// next append starts at a clean frame boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil && !opts.NoSync {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, size: valid, nosync: opts.NoSync}, nil
+}
+
+// replay scans r from the start, calling apply for each intact record,
+// and returns the byte offset just past the last intact record. Framing
+// damage (short header, short payload, oversized length, CRC mismatch)
+// ends the scan without error: everything from the first damaged frame
+// on is a torn tail.
+func replay(r io.ReadSeeker, apply func(rec []byte) error) (int64, error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var (
+		valid int64
+		hdr   [headerSize]byte
+		buf   []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return valid, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxRecordSize {
+			return valid, nil // corrupt length prefix: treat as torn tail
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil
+			}
+			return valid, err
+		}
+		if crc32.Checksum(buf, crcTable) != sum {
+			return valid, nil // payload damaged: torn tail
+		}
+		if apply != nil {
+			if err := apply(buf); err != nil {
+				return valid, err
+			}
+		}
+		valid += headerSize + int64(n)
+	}
+}
+
+// Append frames and writes all recs as one batch: one write followed by
+// one fsync (unless the log was opened with NoSync). Either every
+// record in the batch is durably appended or — on error — the log is
+// rolled back to its pre-batch size, so a failed batch never leaves a
+// partial frame for the next append to bury.
+func (l *Log) Append(recs ...[]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return os.ErrClosed
+	}
+	l.buf = l.buf[:0]
+	for _, rec := range recs {
+		if len(rec) > MaxRecordSize {
+			return ErrRecordTooLarge
+		}
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(rec, crcTable))
+		l.buf = append(l.buf, hdr[:]...)
+		l.buf = append(l.buf, rec...)
+	}
+	if _, err := l.f.WriteAt(l.buf, l.size); err != nil {
+		// Roll back so a partially written batch reads as a torn tail
+		// now, not as silent corruption under later appends.
+		l.f.Truncate(l.size)
+		return err
+	}
+	if !l.nosync {
+		if err := l.f.Sync(); err != nil {
+			l.f.Truncate(l.size)
+			return err
+		}
+	}
+	l.size += int64(len(l.buf))
+	return nil
+}
+
+// Sync forces an fsync of the log file. Useful only under NoSync.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return os.ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Size returns the number of intact record bytes on disk.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close syncs (unless NoSync) and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if !l.nosync {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Replay reads every intact record of the log at path without opening
+// it for writing and without truncating the tail. It reports the offset
+// just past the last intact record. A missing file replays as empty.
+func Replay(path string, apply func(rec []byte) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return replay(f, apply)
+}

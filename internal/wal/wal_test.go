@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, path string) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	l, err := Open(path, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	}, Options{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%d-%s", i, bytes.Repeat([]byte{byte(i)}, i%37)))
+		want = append(want, rec)
+	}
+	// Mix single appends and batches to cover the fsync-batching path.
+	if err := l.Append(want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[1:50]...); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range want[50:] {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collect(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyRecordAndEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if got := collect(t, path); len(got) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(got))
+	}
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got := collect(t, path)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty record round-trip: %v", got)
+	}
+}
+
+// TestTornTailTruncation cuts a valid log at every possible byte length
+// and verifies replay yields exactly the records whose frames survived,
+// then confirms Open truncated the debris and the log accepts appends.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	l, err := Open(full, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	var ends []int64 // offset just past record i
+	off := int64(0)
+	for i := 0; i < 6; i++ {
+		rec := bytes.Repeat([]byte{byte('a' + i)}, 5*i+1)
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		off += headerSize + int64(len(rec))
+		ends = append(ends, off)
+	}
+	l.Close()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.log", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		for wantN < len(ends) && ends[wantN] <= int64(cut) {
+			wantN++
+		}
+		got := collect(t, path)
+		if len(got) != wantN {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("cut=%d record %d mismatch", cut, i)
+			}
+		}
+		// Open must have truncated back to the last intact frame.
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSize := int64(0)
+		if wantN > 0 {
+			wantSize = ends[wantN-1]
+		}
+		if fi.Size() != wantSize {
+			t.Fatalf("cut=%d: size after Open = %d, want %d", cut, fi.Size(), wantSize)
+		}
+		// And appending after truncation must produce a readable log.
+		l2, err := Open(path, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Append([]byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+		l2.Close()
+		again := collect(t, path)
+		if len(again) != wantN+1 || string(again[wantN]) != "tail" {
+			t.Fatalf("cut=%d: append after truncation replayed %d records", cut, len(again))
+		}
+	}
+}
+
+// TestCorruptPayload flips a byte inside a committed record's payload:
+// replay must stop just before it, keeping earlier records.
+func TestCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Corrupt the middle record's payload (record 1 starts after record 0).
+	rec0 := headerSize + len("payload-0")
+	data[rec0+headerSize+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, path)
+	if len(got) != 1 || string(got[0]) != "payload-0" {
+		t.Fatalf("replay past corruption: %q", got)
+	}
+}
+
+// TestHugeLengthPrefix writes garbage that decodes as an enormous
+// length; replay must treat it as a torn tail, not allocate.
+func TestHugeLengthPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Close()
+	got := collect(t, path)
+	if len(got) != 1 || string(got[0]) != "ok" {
+		t.Fatalf("replay with huge length prefix: %q", got)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, nil, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecordSize+1)); err != ErrRecordTooLarge {
+		t.Fatalf("oversized append: %v", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReplayStandalone(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file replays as empty.
+	n, err := Replay(filepath.Join(dir, "absent.log"), nil)
+	if err != nil || n != 0 {
+		t.Fatalf("absent log: n=%d err=%v", n, err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("a"), []byte("bb"))
+	l.Close()
+	var got int
+	n, err = Replay(path, func(rec []byte) error { got++; return nil })
+	if err != nil || got != 2 {
+		t.Fatalf("Replay: n=%d got=%d err=%v", n, got, err)
+	}
+	// Replay must not truncate: append garbage, size stays.
+	os.WriteFile(path, append(readAll(t, path), 1, 2, 3), 0o644)
+	before := len(readAll(t, path))
+	if _, err := Replay(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(readAll(t, path)) != before {
+		t.Fatal("Replay truncated the file")
+	}
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

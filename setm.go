@@ -132,6 +132,41 @@ func MineAutoContext(ctx context.Context, d *Dataset, opts Options) (*Result, er
 	return core.MineAutoContext(ctx, d, opts)
 }
 
+// CheckpointConfig makes a mining run durable: with Options.Checkpoint
+// set, the executor persists a resumable manifest (C_1..C_k plus the
+// live R_k) into Dir at iteration boundaries, atomically — a crash
+// mid-write leaves the previous checkpoint intact. Checkpoint write
+// failures never fail the mine; OnError reports them and the run
+// continues with checkpointing disabled.
+type CheckpointConfig = core.CheckpointConfig
+
+// Checkpoint is a loaded, integrity-verified mining checkpoint.
+type Checkpoint = core.Checkpoint
+
+// ErrCheckpoint tags every checkpoint integrity failure — missing or
+// corrupt files, or a manifest that does not match the dataset and
+// options being resumed. Match with errors.Is and fall back to a full
+// re-mine; it never indicates a problem with the dataset itself.
+var ErrCheckpoint = core.ErrCheckpoint
+
+// LoadCheckpoint reads and fully verifies the checkpoint in dir
+// (manifest consistency, run-file row count and CRC). A directory
+// holding no checkpoint returns (nil, nil); damage returns an error
+// wrapping ErrCheckpoint.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	return core.LoadCheckpoint(dir)
+}
+
+// MineAutoResume continues a mining run from a checkpoint loaded by
+// LoadCheckpoint: the executor rebuilds its deterministic state from
+// the dataset, streams R_K back in under the current memory budget,
+// and re-enters the loop at iteration K+1. The result is bit-identical
+// to an uninterrupted MineAuto run with the same options. cp == nil
+// degrades to a plain (checkpointing, if configured) MineAutoContext.
+func MineAutoResume(ctx context.Context, d *Dataset, opts Options, cp *Checkpoint) (*Result, error) {
+	return core.MineAutoResume(ctx, d, opts, cp)
+}
+
 // CanonicalOptions reduces opts, for a dataset of n transactions, to
 // the fields that determine the mining result — the resolved absolute
 // support threshold and the pattern-length cap — zeroing every
