@@ -22,11 +22,20 @@
 // generic substrates) and writes machine-readable records — name,
 // params, ns/op, result rows, allocations — so the performance
 // trajectory can be tracked as BENCH_*.json files across PRs. It runs
-// with any -exp value, including one that selects no experiment.
+// with any -exp value, including one that selects no experiment. The
+// records include a delta ladder (0.1% / 1% / 10% retail appends,
+// incremental MineDelta vs cold re-mine, plus the setmd append→mine
+// round trip against a cold derived-version mine).
+//
+// -check-trajectory GLOB runs no benchmarks: it parses the committed
+// BENCH_pr*.json trajectory matched by the glob and fails if the newest
+// file's mine/packed (the retail mine) or setmd/cold record regressed
+// more than 2x against the previous one — the CI regression gate.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,7 +44,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,11 +77,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonPath := fs.String("json", "", "write machine-readable hot-path benchmark records (name, params, ns/op, rows, allocs, per-iteration plans) to this file, for tracking the perf trajectory as BENCH_*.json across PRs")
 	memBudget := fs.Int64("membudget", 0, "Options.MemoryBudget in bytes for the io experiment, the -strategy run, and an extra paged/packed JSON record (0 = driver default, -1 = unlimited)")
 	strategy := fs.String("strategy", "", "run one driver {auto,mine,parallel,partitioned,paged,sql} on the retail data set and print its per-iteration chosen plans (the EXPLAIN of mining); honours -membudget")
+	checkGlob := fs.String("check-trajectory", "", "parse the BENCH_pr*.json files matching this glob and fail if the newest regresses >2x vs the previous on the critical records (no benchmarks are run)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	if *checkGlob != "" {
+		return checkTrajectory(*checkGlob, stdout)
 	}
 
 	cfg := gen.DefaultRetail(*seed)
@@ -173,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonPath != "" {
-		if err := writeBenchJSON(*jsonPath, dataset(), *repeats, *memBudget, stdout); err != nil {
+		if err := writeBenchJSON(*jsonPath, dataset(), *seed, *repeats, *memBudget, stdout); err != nil {
 			return err
 		}
 	}
@@ -277,7 +295,7 @@ type iterRecord struct {
 // the constrained-memory trajectory is tracked alongside the in-RAM one.
 // Timing is best-of-repeats; allocation counts come from the run with
 // the best time.
-func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, stdout io.Writer) error {
+func writeBenchJSON(path string, d *core.Dataset, seed int64, repeats int, memBudget int64, stdout io.Writer) error {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -375,6 +393,11 @@ func writeBenchJSON(path string, d *core.Dataset, repeats int, memBudget int64, 
 		return fmt.Errorf("bench setmd: %w", err)
 	}
 	recs = append(recs, srecs...)
+	drecs, err := deltaBenchRecords(d, seed, repeats)
+	if err != nil {
+		return fmt.Errorf("bench delta: %w", err)
+	}
+	recs = append(recs, drecs...)
 	out, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return err
@@ -434,6 +457,240 @@ func serverBenchRecords(d *core.Dataset, repeats int, params string) ([]benchRec
 	return []benchRecord{cold, hit}, nil
 }
 
+// iterRecords converts a result's per-iteration stats into the JSON
+// record form.
+func iterRecords(res *core.Result) []iterRecord {
+	iters := make([]iterRecord, 0, len(res.Stats))
+	for _, st := range res.Stats {
+		iters = append(iters, iterRecord{
+			K: st.K, Plan: st.Plan.String(),
+			RPrimeRows: st.RPrimeRows, RRows: st.RRows, CCount: st.CCount,
+			RunsSpilled: st.RunsSpilled, PageIO: st.PageIO,
+		})
+	}
+	return iters
+}
+
+// deltaBenchRecords measures the incremental-refresh ladder: appends of
+// 0.1% / 1% / 10% of the retail set, each mined both incrementally
+// (MineDelta against the base's border snapshot) and cold (full MineAuto
+// over base+delta), plus the setmd service round trip at the 1% rung —
+// "setmd/delta-refresh" is append → mine with the parent's border warm
+// in the result cache (the invalidate-and-patch path), "setmd/delta-cold"
+// the same derived version mined with the parent never mined. The
+// generator's prefix stability supplies the deltas: a run grown by N
+// transactions reproduces the base exactly and then continues it.
+func deltaBenchRecords(d *core.Dataset, seed int64, repeats int) ([]benchRecord, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	baseN := d.NumTransactions()
+	maxDelta := int(float64(baseN)*0.10 + 0.5)
+	if maxDelta < 1 {
+		maxDelta = 1
+	}
+	cfg := gen.DefaultRetail(seed)
+	cfg.NumTransactions = baseN + maxDelta
+	grown := gen.Retail(cfg)
+
+	opts := core.Options{MinSupportFrac: 0.001}
+	ropts := opts
+	ropts.RetainBorder = true
+	baseRes, err := core.MineAuto(d, ropts)
+	if err != nil {
+		return nil, err
+	}
+	if baseRes.Border == nil {
+		return nil, fmt.Errorf("RetainBorder produced no snapshot")
+	}
+
+	var recs []benchRecord
+	ladder := []struct {
+		label string
+		frac  float64
+	}{{"0.1pct", 0.001}, {"1pct", 0.01}, {"10pct", 0.10}}
+	for _, rung := range ladder {
+		n := int(float64(baseN)*rung.frac + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		delta := &core.Dataset{Transactions: grown.Transactions[baseN : baseN+n]}
+		combined := &core.Dataset{Transactions: grown.Transactions[:baseN+n]}
+		params := fmt.Sprintf("txns=%d minsup=0.1%% delta=%d", baseN, n)
+		incr := benchRecord{Name: "delta/incr-" + rung.label, Params: params}
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			res, err := core.MineDelta(context.Background(), d, delta, baseRes.Border, opts)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", incr.Name, err)
+			}
+			if incr.NsPerOp == 0 || ns < incr.NsPerOp {
+				incr.NsPerOp, incr.Rows = ns, int64(res.TotalPatterns())
+				incr.Iterations = iterRecords(res)
+			}
+		}
+		cold := benchRecord{Name: "delta/cold-" + rung.label, Params: params}
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			res, err := core.MineAuto(combined, opts)
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cold.Name, err)
+			}
+			if cold.NsPerOp == 0 || ns < cold.NsPerOp {
+				cold.NsPerOp, cold.Rows = ns, int64(res.TotalPatterns())
+				cold.Iterations = iterRecords(res)
+			}
+		}
+		if incr.Rows != cold.Rows {
+			return nil, fmt.Errorf("delta %s: incremental found %d patterns, cold %d", rung.label, incr.Rows, cold.Rows)
+		}
+		recs = append(recs, incr, cold)
+	}
+
+	// Service round trip at the pinned 1% rung.
+	n := int(float64(baseN)*0.01 + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	var baseSales, deltaSales bytes.Buffer
+	if err := setm.WriteDataset(&baseSales, d); err != nil {
+		return nil, err
+	}
+	deltaDS := &core.Dataset{Transactions: grown.Transactions[baseN : baseN+n]}
+	if err := setm.WriteDataset(&deltaSales, deltaDS); err != nil {
+		return nil, err
+	}
+	params := fmt.Sprintf("txns=%d minsup=0.1%% delta=%d", baseN, n)
+	refresh := benchRecord{Name: "setmd/delta-refresh", Params: params}
+	for r := 0; r < repeats; r++ {
+		c, closeSrv, err := newBenchClient(baseSales.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		if _, _, _, err := c.mineOnce(); err != nil { // warm the parent's border
+			closeSrv()
+			return nil, err
+		}
+		start := time.Now()
+		derived, err := c.append(deltaSales.Bytes())
+		if err != nil {
+			closeSrv()
+			return nil, err
+		}
+		_, rows, iters, err := c.mineVersion(derived)
+		ns := time.Since(start).Nanoseconds()
+		closeSrv()
+		if err != nil {
+			return nil, err
+		}
+		if refresh.NsPerOp == 0 || ns < refresh.NsPerOp {
+			refresh.NsPerOp, refresh.Rows, refresh.Iterations = ns, rows, iters
+		}
+	}
+	coldSrv := benchRecord{Name: "setmd/delta-cold", Params: params}
+	for r := 0; r < repeats; r++ {
+		c, closeSrv, err := newBenchClient(baseSales.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		derived, err := c.append(deltaSales.Bytes()) // parent never mined: no border to patch
+		if err != nil {
+			closeSrv()
+			return nil, err
+		}
+		ns, rows, iters, err := c.mineVersion(derived)
+		closeSrv()
+		if err != nil {
+			return nil, err
+		}
+		if coldSrv.NsPerOp == 0 || ns < coldSrv.NsPerOp {
+			coldSrv.NsPerOp, coldSrv.Rows, coldSrv.Iterations = ns, rows, iters
+		}
+	}
+	return append(recs, refresh, coldSrv), nil
+}
+
+// checkTrajectory is the CI bench-regression gate: it compares the two
+// newest committed BENCH_pr*.json files on the critical records —
+// mine/packed (the retail in-memory mine) and setmd/cold (the service
+// request-to-result path) — and fails if the newer file regressed more
+// than 2x. Other records are informational; absolute times vary across
+// machines, so only the within-trajectory ratio is enforced.
+func checkTrajectory(glob string, stdout io.Writer) error {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return err
+	}
+	re := regexp.MustCompile(`BENCH_pr(\d+)\.json$`)
+	type entry struct {
+		pr   int
+		path string
+	}
+	var entries []entry
+	for _, f := range files {
+		m := re.FindStringSubmatch(f)
+		if m == nil {
+			continue
+		}
+		pr, _ := strconv.Atoi(m[1])
+		entries = append(entries, entry{pr, f})
+	}
+	if len(entries) < 2 {
+		fmt.Fprintf(stdout, "check-trajectory: %d BENCH_pr*.json files match %q; nothing to compare\n", len(entries), glob)
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pr < entries[j].pr })
+	prev, cur := entries[len(entries)-2], entries[len(entries)-1]
+	load := func(path string) (map[string]benchRecord, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var recs []benchRecord
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]benchRecord, len(recs))
+		for _, r := range recs {
+			m[r.Name] = r
+		}
+		return m, nil
+	}
+	baseline, err := load(prev.path)
+	if err != nil {
+		return err
+	}
+	current, err := load(cur.path)
+	if err != nil {
+		return err
+	}
+	const maxRatio = 2.0
+	critical := []string{"mine/packed", "setmd/cold"}
+	var failures []string
+	fmt.Fprintf(stdout, "bench trajectory: %s -> %s\n", prev.path, cur.path)
+	for _, name := range critical {
+		b, okB := baseline[name]
+		c, okC := current[name]
+		if !okB || !okC || b.NsPerOp <= 0 {
+			fmt.Fprintf(stdout, "  %-14s absent from one file; skipped\n", name)
+			continue
+		}
+		ratio := float64(c.NsPerOp) / float64(b.NsPerOp)
+		fmt.Fprintf(stdout, "  %-14s %12v -> %12v  (%.2fx)\n",
+			name, time.Duration(b.NsPerOp), time.Duration(c.NsPerOp), ratio)
+		if ratio > maxRatio {
+			failures = append(failures, fmt.Sprintf("%s regressed %.2fx (limit %.1fx)", name, ratio, maxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression: %s", strings.Join(failures, "; "))
+	}
+	fmt.Fprintln(stdout, "bench trajectory OK")
+	return nil
+}
+
 // benchClient drives one setmd instance over real HTTP.
 type benchClient struct {
 	base    string
@@ -459,11 +716,38 @@ func newBenchClient(sales []byte) (*benchClient, func(), error) {
 	return &benchClient{base: ts.URL, version: ds.Version}, ts.Close, nil
 }
 
-// mineOnce submits the benchmark query, waits for completion, fetches
-// the result, and returns (round-trip ns, pattern rows, the service's
-// per-iteration plan rows).
+// append POSTs a delta against the client's base dataset and returns
+// the derived version id.
+func (c *benchClient) append(delta []byte) (string, error) {
+	resp, err := http.Post(c.base+"/datasets/"+c.version+"/append", "text/plain", bytes.NewReader(delta))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("append: %s: %s", resp.Status, raw)
+	}
+	var ds struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		return "", err
+	}
+	return ds.Version, nil
+}
+
+// mineOnce submits the benchmark query against the uploaded base
+// version; mineVersion does the same for any registered version.
 func (c *benchClient) mineOnce() (int64, int64, []iterRecord, error) {
-	body := fmt.Sprintf(`{"dataset":%q,"minsup":0.001}`, c.version)
+	return c.mineVersion(c.version)
+}
+
+// mineVersion submits the benchmark query, waits for completion,
+// fetches the result, and returns (round-trip ns, pattern rows, the
+// service's per-iteration plan rows).
+func (c *benchClient) mineVersion(version string) (int64, int64, []iterRecord, error) {
+	body := fmt.Sprintf(`{"dataset":%q,"minsup":0.001}`, version)
 	start := time.Now()
 	resp, err := http.Post(c.base+"/jobs", "application/json", strings.NewReader(body))
 	if err != nil {

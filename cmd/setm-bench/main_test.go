@@ -89,7 +89,9 @@ func TestRunJSONWritesRecords(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"mine/packed", "mine/generic", "parallel/packed", "partitioned/packed",
-		"auto/unlimited", "auto/16MB", "auto/1MB"} {
+		"auto/unlimited", "auto/16MB", "auto/1MB",
+		"delta/incr-0.1pct", "delta/cold-0.1pct", "delta/incr-1pct", "delta/cold-1pct",
+		"delta/incr-10pct", "delta/cold-10pct", "setmd/delta-refresh", "setmd/delta-cold"} {
 		if !names[want] {
 			t.Errorf("missing record %q", want)
 		}
@@ -133,6 +135,54 @@ func TestRunStrategyPrintsPlans(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "none", "-strategy", "bogus"}, &stdout, &stderr); err == nil {
 		t.Error("bogus strategy accepted")
+	}
+}
+
+// TestCheckTrajectory: the regression gate compares the two newest
+// committed bench files and fails only on a >2x critical-record
+// regression.
+func TestCheckTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	glob := filepath.Join(dir, "BENCH_pr*.json")
+	write("BENCH_pr6.json", `[{"name":"mine/packed","ns_per_op":1000000},{"name":"setmd/cold","ns_per_op":20000000}]`)
+
+	// One file: nothing to compare, not an error.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-check-trajectory", glob}, &stdout, &stderr); err != nil {
+		t.Fatalf("single file: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "nothing to compare") {
+		t.Errorf("single file output: %q", stdout.String())
+	}
+
+	// Within 2x: OK.
+	write("BENCH_pr8.json", `[{"name":"mine/packed","ns_per_op":1800000},{"name":"setmd/cold","ns_per_op":30000000}]`)
+	stdout.Reset()
+	if err := run([]string{"-check-trajectory", glob}, &stdout, &stderr); err != nil {
+		t.Fatalf("within limit: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "bench trajectory OK") {
+		t.Errorf("output: %q", stdout.String())
+	}
+
+	// The gate compares pr6 -> pr8 by PR number even though pr10 sorts
+	// before pr6 lexically; a >2x regression fails.
+	write("BENCH_pr10.json", `[{"name":"mine/packed","ns_per_op":9000000},{"name":"setmd/cold","ns_per_op":30000000}]`)
+	stdout.Reset()
+	err := run([]string{"-check-trajectory", glob}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("4.5x regression passed:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "mine/packed") {
+		t.Errorf("error = %v, want mine/packed named", err)
+	}
+	if !strings.Contains(stdout.String(), "BENCH_pr8.json -> ") {
+		t.Errorf("baseline should be pr8, got:\n%s", stdout.String())
 	}
 }
 

@@ -11,6 +11,15 @@
 //
 //	setm-gen -profile retail -seed 1 -o retail.txt
 //	setm-gen -profile quest -scale 0.1 -o t10i4d10k.txt
+//	setm-gen -profile retail -seed 1 -append 500 -o delta.txt
+//
+// With -append N the command emits ONLY the next N transactions beyond
+// the profile's base size: the generators are prefix-stable (all
+// structural setup is drawn before the per-transaction loop), so a run
+// at size S+N reproduces the size-S data set exactly and then continues
+// it. The emitted delta has transaction ids S+1..S+N — disjoint from
+// and strictly beyond the base — ready for POST /datasets/{id}/append
+// against the base generated with the same profile, scale and seed.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"os"
 
 	"setm"
+	"setm/internal/gen"
 )
 
 func main() {
@@ -36,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	profile := fs.String("profile", "retail", "data profile: retail, uniform, or quest")
 	scale := fs.Float64("scale", 1.0, "size multiplier for uniform/quest profiles")
 	seed := fs.Int64("seed", 1, "random seed")
+	appendN := fs.Int("append", 0, "emit only the N transactions that continue the base data set (a disjoint delta)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -43,17 +54,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return err
 	}
+	if *appendN < 0 {
+		return fmt.Errorf("-append must be >= 0, got %d", *appendN)
+	}
 
+	// Grow the profile's transaction count by the delta size, then keep
+	// only the tail. Prefix stability of the generators guarantees the
+	// dropped prefix is byte-identical to the base data set.
 	var d *setm.Dataset
+	var base int
 	switch *profile {
 	case "retail":
-		d = setm.NewRetailDataset(*seed)
+		cfg := gen.DefaultRetail(*seed)
+		base = cfg.NumTransactions
+		cfg.NumTransactions += *appendN
+		d = gen.Retail(cfg)
 	case "uniform":
-		d = setm.NewUniformDataset(*scale, *seed)
+		cfg := gen.PaperUniform(*seed)
+		cfg.NumTransactions = int(float64(cfg.NumTransactions) * *scale)
+		if cfg.NumTransactions < 1 {
+			cfg.NumTransactions = 1
+		}
+		base = cfg.NumTransactions
+		cfg.NumTransactions += *appendN
+		d = gen.Uniform(cfg)
 	case "quest":
-		d = setm.NewQuestDataset(*scale, *seed)
+		cfg := gen.T10I4D100K(*scale, *seed)
+		base = cfg.NumTransactions
+		cfg.NumTransactions += *appendN
+		d = gen.Quest(cfg)
 	default:
 		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	if *appendN > 0 {
+		d = &setm.Dataset{Transactions: d.Transactions[base:]}
 	}
 
 	w := stdout

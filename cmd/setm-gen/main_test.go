@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"setm"
+	"setm/internal/gen"
 )
 
 func TestRunWritesLoadableDataset(t *testing.T) {
@@ -40,6 +42,72 @@ func TestRunWritesToStdout(t *testing.T) {
 	}
 	if d.NumTransactions() == 0 {
 		t.Error("no transactions on stdout")
+	}
+}
+
+// TestRunAppendEmitsDisjointContinuation: -append N emits exactly the
+// transactions a grown run would add after the base — same items, tids
+// continuing from the base maximum — for every profile.
+func TestRunAppendEmitsDisjointContinuation(t *testing.T) {
+	for _, profile := range []string{"retail", "uniform", "quest"} {
+		dir := t.TempDir()
+		baseOut := filepath.Join(dir, "base.txt")
+		deltaOut := filepath.Join(dir, "delta.txt")
+		args := []string{"-profile", profile, "-scale", "0.002", "-seed", "7"}
+		var stdout, stderr bytes.Buffer
+		if err := run(append(args, "-o", baseOut), &stdout, &stderr); err != nil {
+			t.Fatalf("%s base: %v", profile, err)
+		}
+		if err := run(append(args, "-append", "50", "-o", deltaOut), &stdout, &stderr); err != nil {
+			t.Fatalf("%s delta: %v", profile, err)
+		}
+		base, err := setm.LoadDatasetFile(baseOut)
+		if err != nil {
+			t.Fatalf("%s: load base: %v", profile, err)
+		}
+		delta, err := setm.LoadDatasetFile(deltaOut)
+		if err != nil {
+			t.Fatalf("%s: load delta: %v", profile, err)
+		}
+		if delta.NumTransactions() != 50 {
+			t.Fatalf("%s: delta has %d transactions, want 50", profile, delta.NumTransactions())
+		}
+		lastBase := base.Transactions[len(base.Transactions)-1].ID
+		if first := delta.Transactions[0].ID; first != lastBase+1 {
+			t.Errorf("%s: delta starts at tid %d, want %d", profile, first, lastBase+1)
+		}
+		// Determinism: the same invocation reproduces the same delta.
+		var again bytes.Buffer
+		if err := run(append(args, "-append", "50"), &again, &stderr); err != nil {
+			t.Fatalf("%s delta rerun: %v", profile, err)
+		}
+		redelta, err := setm.ReadDataset(&again)
+		if err != nil {
+			t.Fatalf("%s: reread delta: %v", profile, err)
+		}
+		if !reflect.DeepEqual(delta.Transactions, redelta.Transactions) {
+			t.Errorf("%s: -append is not deterministic", profile)
+		}
+	}
+}
+
+// TestRunAppendPrefixStability: the grown run reproduces the base data
+// set exactly before continuing it, so base ++ delta is what a direct
+// generation of the grown size yields.
+func TestRunAppendPrefixStability(t *testing.T) {
+	cfg := gen.T10I4D100K(0.002, 7)
+	base := gen.Quest(cfg)
+	cfg.NumTransactions += 50
+	grown := gen.Quest(cfg)
+	if !reflect.DeepEqual(grown.Transactions[:len(base.Transactions)], base.Transactions) {
+		t.Fatal("quest generator is not prefix-stable; -append deltas would not be disjoint continuations")
+	}
+}
+
+func TestRunRejectsNegativeAppend(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-profile", "retail", "-append", "-1"}, &stdout, &stderr); err == nil {
+		t.Error("negative -append accepted")
 	}
 }
 

@@ -293,6 +293,200 @@ func TestCrashRestartSweep(t *testing.T) {
 	}
 }
 
+// crashDelta continues crashDataset with disjoint transaction ids (the
+// append precondition) drawn from the same item universe, so the delta
+// shifts border sets without changing the dataset's character.
+func crashDelta() *core.Dataset {
+	rng := rand.New(rand.NewSource(1995))
+	d := &core.Dataset{}
+	id := int64(100000)
+	for i := 0; i < 400; i++ {
+		id += 1 + int64(rng.Intn(3))
+		n := 1 + rng.Intn(6)
+		items := make([]core.Item, n)
+		for j := range items {
+			items[j] = core.Item(1 + rng.Intn(9) + rng.Intn(7)*rng.Intn(3))
+		}
+		d.Transactions = append(d.Transactions, core.Transaction{ID: id, Items: items})
+	}
+	return d
+}
+
+// TestCrashMidDeltaSweep kills the server while an incremental refresh
+// is in flight: the parent is mined (priming its border snapshot in the
+// cache), a delta is appended, and the SIGKILL lands around the mine of
+// the derived version. The restart must replay the append from the WAL
+// (re-deriving the combined dataset from the parent plus the journaled
+// delta blob), finish the interrupted job, and produce counts
+// bit-identical to an uninterrupted cold mine of base+delta — whether
+// the resumed job takes the delta path or degrades to a full re-mine.
+func TestCrashMidDeltaSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness needs a built binary and real kills; skipped in -short")
+	}
+	bin := buildSetmd(t, t.TempDir())
+	base, delta := crashDataset(), crashDelta()
+	var baseSales, deltaSales bytes.Buffer
+	if err := setm.WriteDataset(&baseSales, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := setm.WriteDataset(&deltaSales, delta); err != nil {
+		t.Fatal(err)
+	}
+	combined := &core.Dataset{}
+	combined.Transactions = append(combined.Transactions, base.Transactions...)
+	combined.Transactions = append(combined.Transactions, delta.Transactions...)
+	want, err := core.MineMemory(combined, core.Options{MinSupportCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iters := crashIters()
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < iters; i++ {
+		// The refresh (append + delta mine) takes a few tens of ms at a
+		// squeezed budget: delays in [0, 100) ms land kills between the
+		// append and the mine, mid-mine, and after completion. Cycle 0
+		// kills immediately — guaranteed mid-flight.
+		i, delay := i, time.Duration(rng.Intn(100))*time.Millisecond
+		if i == 0 {
+			delay = 0
+		}
+		t.Run(fmt.Sprintf("cycle-%d-delay-%v", i, delay), func(t *testing.T) {
+			datadir := t.TempDir()
+			p := startSetmd(t, bin, datadir)
+
+			code, body := p.post(t, "/datasets", "text/plain", baseSales.String())
+			if code != http.StatusOK {
+				t.Fatalf("upload: %d %s", code, body)
+			}
+			var ds struct {
+				Version string `json:"version"`
+			}
+			if err := json.Unmarshal(body, &ds); err != nil || ds.Version == "" {
+				t.Fatalf("upload response %s: %v", body, err)
+			}
+			// Prime the parent: its cached result carries the border
+			// snapshot the incremental path patches against.
+			code, body = p.post(t, "/jobs", "application/json",
+				fmt.Sprintf(`{"dataset":%q,"minsup_count":4}`, ds.Version))
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Fatalf("prime submit: %d %s", code, body)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				var st struct {
+					State string `json:"state"`
+				}
+				_, body = p.get(t, "/jobs/job-1?wait=1")
+				if err := json.Unmarshal(body, &st); err != nil {
+					t.Fatalf("prime status %s: %v", body, err)
+				}
+				if st.State == "done" {
+					break
+				}
+				if st.State == "failed" || st.State == "cancelled" || time.Now().After(deadline) {
+					t.Fatalf("prime mine ended %q\nlogs:\n%s", st.State, p.logs)
+				}
+			}
+
+			code, body = p.post(t, "/datasets/"+ds.Version+"/append", "text/plain", deltaSales.String())
+			if code != http.StatusOK {
+				t.Fatalf("append: %d %s", code, body)
+			}
+			var der struct {
+				Version string `json:"version"`
+				Parent  string `json:"parent"`
+			}
+			if err := json.Unmarshal(body, &der); err != nil || der.Version == "" {
+				t.Fatalf("append response %s: %v", body, err)
+			}
+			if der.Parent != ds.Version {
+				t.Fatalf("derived parent = %q, want %q", der.Parent, ds.Version)
+			}
+			// The refresh under test: a squeezed budget slows any
+			// fallback re-mine so kills land mid-run on most cycles.
+			code, body = p.post(t, "/jobs", "application/json",
+				fmt.Sprintf(`{"dataset":%q,"minsup_count":4,"membudget":32768}`, der.Version))
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Fatalf("refresh submit: %d %s", code, body)
+			}
+
+			time.Sleep(delay)
+			p.kill() // the crash: no drain, no flush, SIGKILL mid-refresh
+
+			// Restart on the same directory: the append record and delta
+			// blob must replay, then the interrupted refresh must finish.
+			p2 := startSetmd(t, bin, datadir)
+			code, body = p2.get(t, "/datasets/"+der.Version)
+			if code != http.StatusOK {
+				t.Fatalf("derived version lost across crash: %d %s\nlogs:\n%s", code, body, p2.logs)
+			}
+			var der2 struct {
+				Parent    string `json:"parent"`
+				DeltaTxns int    `json:"delta_transactions"`
+			}
+			if err := json.Unmarshal(body, &der2); err != nil {
+				t.Fatal(err)
+			}
+			if der2.Parent != ds.Version || der2.DeltaTxns != delta.NumTransactions() {
+				t.Fatalf("replayed derived dataset: parent=%q delta_txns=%d, want parent=%q delta_txns=%d",
+					der2.Parent, der2.DeltaTxns, ds.Version, delta.NumTransactions())
+			}
+
+			var fin struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			deadline = time.Now().Add(30 * time.Second)
+			for {
+				_, body = p2.get(t, "/jobs/job-2?wait=1")
+				if err := json.Unmarshal(body, &fin); err != nil {
+					t.Fatalf("job status %s: %v", body, err)
+				}
+				if fin.State == "done" || fin.State == "failed" || fin.State == "cancelled" {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("refresh stuck in %q after restart", fin.State)
+				}
+			}
+			if fin.State != "done" {
+				t.Fatalf("refresh finished %q after restart: %s\nlogs:\n%s", fin.State, fin.Error, p2.logs)
+			}
+			code, body = p2.get(t, "/jobs/job-2/result")
+			if code != http.StatusOK {
+				t.Fatalf("result: %d %s", code, body)
+			}
+			var got core.Result
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Counts) != len(want.Counts) {
+				t.Fatalf("refresh result has %d iterations, want %d", len(got.Counts), len(want.Counts))
+			}
+			for k := range want.Counts {
+				if !countsEqual(want.Counts[k], got.Counts[k]) {
+					t.Fatalf("C_%d differs after mid-delta crash", k+1)
+				}
+			}
+
+			_, body = p2.get(t, "/metrics")
+			if !bytes.Contains(body, []byte("setmd_pool_pinned_frames 0")) {
+				t.Fatalf("pinned frames nonzero after mid-delta resume:\n%s", body)
+			}
+			t.Logf("kill after %v: refresh %s", delay, fin.State)
+			filepath.WalkDir(datadir, func(path string, e fs.DirEntry, err error) error {
+				if err == nil && !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+					t.Errorf("temp debris survived restart: %s", path)
+				}
+				return nil
+			})
+			p2.stop(t)
+		})
+	}
+}
+
 // countsEqual compares one count relation without reflect: the wire
 // form already normalized ordering (both sides come from the same
 // deterministic pipeline).

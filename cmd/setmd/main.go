@@ -94,9 +94,11 @@ func run(args []string, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Log before the goroutine starts: stderr is not synchronized, and a
+	// fast SIGTERM would otherwise race this line with the drain notice.
+	fmt.Fprintf(stderr, "setmd: listening on %s (global budget %d bytes)\n", *addr, *globalBudget)
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(stderr, "setmd: listening on %s (global budget %d bytes)\n", *addr, *globalBudget)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

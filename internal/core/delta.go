@@ -1,0 +1,599 @@
+package core
+
+// Incremental delta mining over a negative-border snapshot (border.go).
+//
+// The correctness argument rests on one property of SETM's candidate
+// counts: a pattern p of length k generates rows in R'_k exactly when
+// its (k-1)-prefix is frequent, and then it generates one row per
+// supporting transaction — so the recorded count of every candidate
+// (frequent or border) is p's TRUE support over the base dataset, not
+// an artifact of the execution plan. Appending transactions therefore
+// never changes a recorded count; it only adds the delta's own support:
+//
+//	support(p, base+delta) = snapshotCount(p) + support(p, delta)
+//
+// where snapshotCount is 0 for patterns absent from F_k ∪ border
+// (absent means p occurs in no base transaction, or some proper prefix
+// was infrequent). Per iteration, MineDelta runs the packed extension
+// and count kernels over the DELTA rows only, sum-merges the result
+// into the snapshot's counted candidates, and re-applies the (possibly
+// shifted) minsup: frequent sets falling below demote, border sets
+// crossing it promote. Demotions are exact — they only shrink the
+// candidate set. A promotion at level k >= 2 is the one event that
+// invalidates deeper levels: the promoted pattern's extensions over
+// BASE transactions were never counted. That is the border shift that
+// forces a fallback — re-materialize the combined R_k by replaying the
+// (filter-only, count-free, sort-free) extension chain under the now-
+// known F_2..F_k, seed the adaptive executor through the checkpoint
+// resume path, and mine on from iteration k+1. Level-1 promotions never
+// invalidate anything: the paper's R_1 is unfiltered (PrefilterSales
+// off), so every pair occurring anywhere is a counted level-2 candidate.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"setm/internal/costmodel"
+	"setm/internal/storage"
+	"setm/internal/xsort"
+)
+
+// MineDelta folds appended transactions into a retained border snapshot
+// and returns the mining result for base+delta, bit-identical in Counts
+// to MineAuto over the concatenated dataset. The snapshot must have
+// come from a run over base with the same MaxPatternLen; delta
+// transaction ids must be strictly greater than snap.MaxTid (a disjoint
+// append) and mutually distinct. Violations return an error wrapping
+// ErrBorder — the caller's cue to fall back to a full re-mine. Support
+// thresholds are re-resolved against base+delta, so a fractional minsup
+// shifts the floor and the promote/demote logic absorbs it.
+func MineDelta(ctx context.Context, base, delta *Dataset, snap *BorderSnapshot, opts Options) (*Result, error) {
+	return MineDeltaMonitored(ctx, base, delta, snap, opts, nil, nil)
+}
+
+// MineDeltaMonitored is MineDelta with the service hooks of
+// MineAutoMonitored: a caller-owned buffer pool and a per-iteration
+// observer. The pure delta path is resident and pool-free; the fallback
+// path inherits the executor's cancellation, spill, and zero-pinned-
+// frames guarantees. With Options.RetainBorder the returned Result
+// carries a refreshed snapshot for base+delta, so appends chain.
+func MineDeltaMonitored(ctx context.Context, base, delta *Dataset, snap *BorderSnapshot, opts Options, pool *storage.Pool, onIter func(IterationStat)) (*Result, error) {
+	start := time.Now()
+	if snap == nil || len(snap.Levels) == 0 {
+		return nil, fmt.Errorf("%w: no snapshot", ErrBorder)
+	}
+	if opts.DisablePackedKernels {
+		return nil, fmt.Errorf("%w: delta mining requires the packed executor", ErrBorder)
+	}
+	if opts.PrefilterSales {
+		return nil, fmt.Errorf("%w: delta mining does not support PrefilterSales", ErrBorder)
+	}
+	if opts.MaxPatternLen != snap.MaxPatternLen {
+		return nil, fmt.Errorf("%w: snapshot mined with MaxPatternLen=%d, requested %d",
+			ErrBorder, snap.MaxPatternLen, opts.MaxPatternLen)
+	}
+	if base.NumTransactions() != snap.NumTransactions {
+		return nil, fmt.Errorf("%w: snapshot covers %d transactions, base has %d",
+			ErrBorder, snap.NumTransactions, base.NumTransactions())
+	}
+	maxTid := snap.MaxTid
+	seen := make(map[int64]struct{}, len(delta.Transactions))
+	for _, tx := range delta.Transactions {
+		if tx.ID <= snap.MaxTid {
+			return nil, fmt.Errorf("%w: delta trans_id %d not beyond base max %d", ErrBorder, tx.ID, snap.MaxTid)
+		}
+		if _, dup := seen[tx.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate delta trans_id %d", ErrBorder, tx.ID)
+		}
+		seen[tx.ID] = struct{}{}
+		if tx.ID > maxTid {
+			maxTid = tx.ID
+		}
+	}
+
+	// Extend the dictionary for unseen delta items; when it grows, the
+	// snapshot's packed keys are re-coded under the merged dictionary
+	// (order-preserving per position, so ascending key order survives).
+	dict, codeMap, err := extendDict(snap, delta)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &deltaMiner{
+		ctx: ctx, base: base, delta: delta, snap: snap, opts: opts,
+		pool: pool, onIter: onIter, start: start,
+		dict: dict, codeMap: codeMap, oldBits: newPackDict(snap.Items).bits,
+		maxTid: maxTid,
+	}
+	return m.run()
+}
+
+// deltaMiner is the state of one incremental mine.
+type deltaMiner struct {
+	ctx    context.Context
+	base   *Dataset
+	delta  *Dataset
+	snap   *BorderSnapshot
+	opts   Options
+	pool   *storage.Pool
+	onIter func(IterationStat)
+	start  time.Time
+
+	dict    *packDict
+	codeMap []uint64 // old code -> new code; nil when the dictionary is unchanged
+	oldBits uint
+	maxTid  int64
+
+	deltaSales []prow
+	freqs      []pkCounts // F_k(combined) per level, ascending packed keys
+	borders    []pkCounts // negative border per level
+}
+
+func (m *deltaMiner) cancelled() error {
+	if m.ctx == nil {
+		return nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		return fmt.Errorf("setm: mining cancelled: %w", err)
+	}
+	return nil
+}
+
+func (m *deltaMiner) run() (*Result, error) {
+	nCombined := m.base.NumTransactions() + m.delta.NumTransactions()
+	minSup := m.opts.ResolveMinSupport(nCombined)
+	res := &Result{NumTransactions: nCombined, MinSupport: minSup}
+
+	m.deltaSales = packTxns(m.delta.Transactions, m.dict)
+	deltaR := m.deltaSales
+
+	var ext, rkBuf []prow
+	var keys, keysTmp []uint64
+	k := 0
+	for {
+		if err := m.cancelled(); err != nil {
+			return nil, err
+		}
+		k++
+		iterStart := time.Now()
+		var rPrimeRows int64
+		if k == 1 {
+			rPrimeRows = int64(len(m.deltaSales))
+			keys = growU64(keys, len(m.deltaSales))
+			for i, r := range m.deltaSales {
+				keys[i] = r.Key
+			}
+		} else {
+			ext = packedExtend(deltaR, m.deltaSales, m.dict.bits, ext[:0])
+			rPrimeRows = int64(len(ext))
+			keys = growU64(keys, len(ext))
+			for i, r := range ext {
+				keys[i] = r.Key
+			}
+		}
+		if !keysSorted(keys) {
+			keysTmp = growU64(keysTmp, len(keys))
+			xsort.RadixSortU64(keys, keysTmp)
+		}
+		dCounts := packedCountRuns(keys, 1, pkCounts{})
+
+		baseAll, baseFreq := m.baseLevel(k)
+		all := addPackedCounts(baseAll, dCounts)
+		freq, border := splitBorderCounts(all, minSup)
+		m.freqs = append(m.freqs, freq)
+		m.borders = append(m.borders, border)
+
+		// R_k on the delta side (R_1 stays unfiltered, per Figure 4).
+		if k > 1 {
+			rkBuf = packedFilter(ext, freq.keys, rkBuf[:0])
+			deltaR, rkBuf = rkBuf, deltaR[:0]
+			if k == 2 {
+				rkBuf = nil // was aliasing deltaSales
+			}
+		}
+
+		res.Counts = append(res.Counts, decodePatterns(freq, k, m.dict))
+		res.Stats = append(res.Stats, IterationStat{
+			K: k, RPrimeRows: rPrimeRows, RRows: int64(len(deltaR)),
+			RPaperBytes: int64(len(deltaR)) * paperTupleBytes(k),
+			CCount:      len(freq.keys), SortsSkipped: 1,
+			Plan:     IterPlan{Kernel: KernelDelta, Regime: RegimeResident, Workers: 1, Exchange: ExchangeNone},
+			Duration: time.Since(iterStart),
+		})
+
+		if len(freq.keys) == 0 {
+			break
+		}
+		if m.opts.MaxPatternLen > 0 && k >= m.opts.MaxPatternLen {
+			break
+		}
+		// The border shift test: a frequent set at level k that the base
+		// run did not have frequent (a promoted border set, or a pattern
+		// the delta alone pushed over minsup) means level k+1 candidates
+		// over BASE transactions were never counted — re-run the
+		// executor from here. Level 1 is exempt: R_1 is unfiltered, so
+		// the base border at level 2 counted every pair regardless.
+		if k >= 2 && hasNewKey(freq.keys, baseFreq) {
+			return m.fallback(res, k, minSup, nCombined)
+		}
+		// Without promotions F_k(combined) ⊆ F_k(base), so the loop can
+		// only run as deep as the snapshot; running off its end means
+		// the invariant broke (a mismatched snapshot) — re-mine safely.
+		if k+1 > len(m.snap.Levels) {
+			return m.fallback(res, k, minSup, nCombined)
+		}
+	}
+
+	trimEmptyTail(res)
+	if m.onIter != nil {
+		for _, st := range res.Stats {
+			m.onIter(st)
+		}
+	}
+	if m.opts.RetainBorder {
+		res.Border = m.assembleBorder(minSup, nCombined, len(m.freqs), nil, nil)
+	}
+	res.Elapsed = time.Since(m.start)
+	return res, nil
+}
+
+// baseLevel returns the snapshot's level-k candidates — frequent and
+// border merged into one ascending counted run, keys re-coded under the
+// extended dictionary — plus the frequent keys alone (the promotion
+// test's reference). Levels past the snapshot are empty.
+func (m *deltaMiner) baseLevel(k int) (all pkCounts, freqKeys []uint64) {
+	if k > len(m.snap.Levels) {
+		return pkCounts{}, nil
+	}
+	l := &m.snap.Levels[k-1]
+	fk := m.remapKeys(l.FreqKeys, k)
+	bk := m.remapKeys(l.BorderKeys, k)
+	all = mergeDisjointCounts(
+		pkCounts{keys: fk, counts: l.FreqCounts},
+		pkCounts{keys: bk, counts: l.BorderCounts},
+	)
+	return all, fk
+}
+
+// remapKeys re-codes packed keys from the snapshot dictionary to the
+// extended one. Each position's mapping is strictly monotone, so the
+// ascending order of the input is preserved. Returns the input when the
+// dictionary did not change.
+func (m *deltaMiner) remapKeys(in []uint64, k int) []uint64 {
+	if m.codeMap == nil {
+		return in
+	}
+	out := make([]uint64, len(in))
+	oldMask := uint64(1)<<m.oldBits - 1
+	for i, key := range in {
+		var nk uint64
+		for c := k - 1; c >= 0; c-- {
+			code := (key >> (uint(c) * m.oldBits)) & oldMask
+			nk = nk<<m.dict.bits | m.codeMap[code]
+		}
+		out[i] = nk
+	}
+	return out
+}
+
+// fallback re-runs the executor from iteration k+1: levels 1..k are
+// exact (just recorded in res), so the combined R_k is re-materialized
+// by replaying the extension chain under the known F_2..F_k — filters
+// only, no sorts (order is preserved throughout), no counting — and the
+// executor resumes from an in-memory checkpoint exactly as it would
+// from a crash.
+func (m *deltaMiner) fallback(res *Result, k int, minSup int64, nCombined int) (*Result, error) {
+	combined := m.combinedDataset()
+
+	// A budget-bounded job whose full working set does not fit would
+	// have the resident replay blow straight through the budget; the
+	// spilling executor handles that case better end to end.
+	salesEst := m.snap.SalesRows + int64(len(m.deltaSales))
+	if b := m.opts.MemoryBudget; b > 0 {
+		avg := float64(salesEst) / float64(nCombined)
+		if salesEst*costmodel.PackedRowBytes+costmodel.PackedIterFootprint(costmodel.EstRPrimeRows(salesEst, avg)) > b {
+			return m.remine(combined)
+		}
+	}
+
+	// A border shift in the first half of the run means most of the
+	// mining must be redone anyway; replaying the extension chain and
+	// then resuming would pay the dominant level-2 join twice (once in
+	// the replay, once in the resumed executor's R_1 repacking and
+	// planning) for little saved counting. Measured on the retail
+	// stand-in, a level-2 shift replays slower than the plain re-mine —
+	// so only late shifts, where the already-exact prefix dominates,
+	// take the seeded-resume path.
+	if 2*k >= len(m.snap.Levels) {
+		return m.remine(combined)
+	}
+
+	// The replay runs the same chunked parallel kernels the resident
+	// executor uses — a single-threaded extend chain here would cost
+	// more than the full re-mine it is meant to undercut.
+	rows := packTxns(combined.Transactions, m.dict)
+	salesTotal := int64(len(rows))
+	r := rows
+	rPrimeRows := salesTotal
+	workers := resolveWorkers(m.opts.MaxWorkers)
+	ar := newMineArena()
+	for l := 2; l <= k; l++ {
+		if err := m.cancelled(); err != nil {
+			ar.release()
+			return nil, err
+		}
+		// Extend reads r and writes ar.ext; the filter then reads
+		// ar.ext and overwrites ar.rkBuf (r's backing store from the
+		// previous round) — dead by that point, exactly as in the
+		// executor's resident step.
+		var ext []prow
+		if workers > 1 && len(r) >= parallelMinRows {
+			ext = extendParallelPacked(r, rows, m.dict.bits, workers, ar)
+		} else {
+			ext = packedExtend(r, rows, m.dict.bits, ar.ext[:0])
+		}
+		ar.ext = ext
+		rPrimeRows = int64(len(ext))
+		fk := m.freqs[l-1].keys
+		bm := buildKeyBitmap(fk, uint(l)*m.dict.bits, ar)
+		var out []prow
+		if workers > 1 && len(ext) >= parallelMinRows {
+			out = filterParallelPacked(ext, fk, bm, workers, ar)
+		} else if bm != nil && len(fk) > 0 {
+			out = packedFilterBitmap(ext, bm, ar.rkBuf[:0])
+		} else {
+			out = packedFilter(ext, fk, ar.rkBuf[:0])
+		}
+		ar.rkBuf = out
+		r = out
+	}
+	if len(r) > 0 && &r[0] != &rows[0] {
+		// r aliases the arena; copy it out so the checkpoint survives
+		// the arena's return to the pool.
+		r = append(make([]prow, 0, len(r)), r...)
+	}
+	ar.release()
+
+	cp := &Checkpoint{
+		K: k, MinSup: minSup, NumTransactions: nCombined,
+		SalesRows: salesTotal, RPrimeRows: rPrimeRows, RRows: int64(len(r)),
+		Counts: res.Counts, Stats: res.Stats,
+		memRows: r,
+	}
+	cfg := PagedConfig{}.withDefaults()
+	if m.pool != nil {
+		cfg.PoolFrames = m.pool.Capacity()
+	}
+	st := newExecStepper(combined, m.opts, cfg, nil, autoStrategy())
+	st.ctx = m.ctx
+	if m.pool != nil {
+		st.attachPool(m.pool)
+	}
+	out, err := runPipelineFrom(m.ctx, combined, m.opts, st, m.onIter, cp)
+	if err != nil {
+		return nil, err
+	}
+	if m.opts.RetainBorder && !st.borderLost {
+		out.Border = m.assembleBorder(minSup, nCombined, k, st.borders, out)
+	}
+	out.Elapsed = time.Since(m.start)
+	return out, nil
+}
+
+// remine runs a plain full MineAuto over the combined dataset — the
+// degradation path when even the fallback's resident replay would not
+// fit the budget. Still one call, still correct, just not incremental.
+func (m *deltaMiner) remine(combined *Dataset) (*Result, error) {
+	out, err := MineAutoMonitored(m.ctx, combined, m.opts, m.pool, m.onIter)
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = time.Since(m.start)
+	return out, nil
+}
+
+func (m *deltaMiner) combinedDataset() *Dataset {
+	txns := make([]Transaction, 0, len(m.base.Transactions)+len(m.delta.Transactions))
+	txns = append(txns, m.base.Transactions...)
+	txns = append(txns, m.delta.Transactions...)
+	return &Dataset{Transactions: txns}
+}
+
+// assembleBorder builds the refreshed snapshot: levels 1..exact from the
+// delta merge, later levels (a fallback's resumed iterations) from the
+// executor's captured borders with frequent keys re-encoded from the
+// result. res is nil on the pure delta path (no resumed levels).
+func (m *deltaMiner) assembleBorder(minSup int64, nCombined, exact int, resumed []pkCounts, res *Result) *BorderSnapshot {
+	b := &BorderSnapshot{
+		MinSup:          minSup,
+		NumTransactions: nCombined,
+		SalesRows:       m.snap.SalesRows + int64(len(m.deltaSales)),
+		MaxTid:          m.maxTid,
+		MaxPatternLen:   m.opts.MaxPatternLen,
+		Items:           m.dict.items,
+		Levels:          make([]BorderLevel, 0, exact+len(resumed)),
+	}
+	for i := 0; i < exact; i++ {
+		b.Levels = append(b.Levels, BorderLevel{
+			FreqKeys: m.freqs[i].keys, FreqCounts: m.freqs[i].counts,
+			BorderKeys: m.borders[i].keys, BorderCounts: m.borders[i].counts,
+		})
+	}
+	for i, border := range resumed {
+		var freq pkCounts
+		if lvl := exact + i; res != nil && lvl < len(res.Counts) {
+			freq = encodeCounts(res.Counts[lvl], m.dict)
+		}
+		b.Levels = append(b.Levels, BorderLevel{
+			FreqKeys: freq.keys, FreqCounts: freq.counts,
+			BorderKeys: border.keys, BorderCounts: border.counts,
+		})
+	}
+	return b
+}
+
+// extendDict merges the delta's distinct items into the snapshot
+// dictionary. Returns the merged dictionary and, when it differs from
+// the snapshot's, the old-code -> new-code map. Fails (wrapping
+// ErrBorder) if any snapshot level's patterns would no longer fit a
+// 64-bit key under the wider codes.
+func extendDict(snap *BorderSnapshot, delta *Dataset) (*packDict, []uint64, error) {
+	seen := make(map[int64]struct{})
+	var extra []int64
+	for _, tx := range delta.Transactions {
+		for _, it := range tx.Items {
+			if _, ok := seen[it]; ok {
+				continue
+			}
+			seen[it] = struct{}{}
+			if !containsItem(snap.Items, it) {
+				extra = append(extra, it)
+			}
+		}
+	}
+	if len(extra) == 0 {
+		return newPackDict(snap.Items), nil, nil
+	}
+	merged := make([]int64, 0, len(snap.Items)+len(extra))
+	merged = append(merged, snap.Items...)
+	merged = append(merged, extra...)
+	sortItems(merged)
+	dict := newPackDict(merged)
+	oldDict := newPackDict(snap.Items)
+	if dict.bits != oldDict.bits {
+		for k := range snap.Levels {
+			if uint(k+1)*dict.bits > 64 {
+				return nil, nil, fmt.Errorf("%w: level %d patterns exceed 64-bit keys under the extended dictionary", ErrBorder, k+1)
+			}
+		}
+	}
+	codeMap := make([]uint64, len(snap.Items))
+	for i, it := range snap.Items {
+		codeMap[i] = dict.code(it)
+	}
+	return dict, codeMap, nil
+}
+
+func containsItem(sorted []int64, it int64) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < it {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == it
+}
+
+func sortItems(items []int64) {
+	// Items are few; insertion into sorted order via the stdlib keeps
+	// this dependency-light.
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		j := i - 1
+		for j >= 0 && items[j] > v {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+}
+
+// packTxns is packSales without the arena: per-transaction dedup and
+// code sort, rows globally ordered by (tid, code). Every item must be
+// in the dictionary (the delta miner extends it first).
+func packTxns(txns []Transaction, dict *packDict) []prow {
+	total := 0
+	for _, tx := range txns {
+		total += len(tx.Items)
+	}
+	rows := make([]prow, 0, total)
+	var scratch []uint64
+	for _, tx := range txns {
+		scratch = scratch[:0]
+		for _, it := range tx.Items {
+			scratch = append(scratch, dict.code(it))
+		}
+		for i := 1; i < len(scratch); i++ {
+			v := scratch[i]
+			j := i - 1
+			for j >= 0 && scratch[j] > v {
+				scratch[j+1] = scratch[j]
+				j--
+			}
+			scratch[j+1] = v
+		}
+		utid := uint64(tx.ID) ^ tidFlip
+		var prev uint64
+		for i, c := range scratch {
+			if i > 0 && c == prev {
+				continue
+			}
+			prev = c
+			rows = append(rows, prow{Tid: utid, Key: c})
+		}
+	}
+	if !prowsSorted(rows) {
+		tmp := make([]prow, len(rows))
+		xsort.RadixSortRows(rows, tmp)
+	}
+	return rows
+}
+
+// addPackedCounts sum-merges two ascending counted key runs.
+func addPackedCounts(a, b pkCounts) pkCounts {
+	out := pkCounts{
+		keys:   make([]uint64, 0, len(a.keys)+len(b.keys)),
+		counts: make([]int64, 0, len(a.keys)+len(b.keys)),
+	}
+	i, j := 0, 0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			out.keys = append(out.keys, a.keys[i])
+			out.counts = append(out.counts, a.counts[i])
+			i++
+		case a.keys[i] > b.keys[j]:
+			out.keys = append(out.keys, b.keys[j])
+			out.counts = append(out.counts, b.counts[j])
+			j++
+		default:
+			out.keys = append(out.keys, a.keys[i])
+			out.counts = append(out.counts, a.counts[i]+b.counts[j])
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(a.keys); i++ {
+		out.keys = append(out.keys, a.keys[i])
+		out.counts = append(out.counts, a.counts[i])
+	}
+	for ; j < len(b.keys); j++ {
+		out.keys = append(out.keys, b.keys[j])
+		out.counts = append(out.counts, b.counts[j])
+	}
+	return out
+}
+
+// mergeDisjointCounts interleaves two ascending runs with no shared keys
+// (a level's frequent set and border).
+func mergeDisjointCounts(a, b pkCounts) pkCounts {
+	return addPackedCounts(a, b)
+}
+
+// hasNewKey reports whether ascending keys contains an entry absent
+// from the ascending reference — the promotion detector.
+func hasNewKey(keys, ref []uint64) bool {
+	j := 0
+	for _, k := range keys {
+		for j < len(ref) && ref[j] < k {
+			j++
+		}
+		if j >= len(ref) || ref[j] != k {
+			return true
+		}
+	}
+	return false
+}

@@ -64,7 +64,8 @@ type IterPlan struct {
 const (
 	KernelPacked    = "packed"
 	KernelGeneric   = "generic"
-	KernelSQL       = "sql" // the SQL driver's engine-executed statements
+	KernelSQL       = "sql"   // the SQL driver's engine-executed statements
+	KernelDelta     = "delta" // MineDelta's incremental count-merge pass
 	RegimeResident  = "resident"
 	RegimeSpilled   = "spilled"
 	ExchangeNone    = "none"
@@ -188,6 +189,7 @@ func newExecStepper(d *Dataset, opts Options, cfg PagedConfig, pres *PagedResult
 	return &execStepper{
 		d: d, opts: opts, cfg: cfg, pres: pres, strat: strat,
 		budget: budget, maxWorkers: resolveWorkers(opts.MaxWorkers),
+		retainBorder: opts.RetainBorder,
 	}
 }
 
@@ -228,6 +230,16 @@ type execStepper struct {
 	fbFlat  *flatStepper // wide-pattern fallback, fully resident runs
 	fbPaged *pagedStepper
 	convIO  int64 // page I/O of the fallback's relation decode
+
+	// Border retention (Options.RetainBorder): the count kernels run at
+	// threshold 1 and splitBorder keeps the sub-minsup runs — the
+	// negative border — per iteration. borderLost marks a run the
+	// wide-pattern fallback took over mid-way: the generic kernels count
+	// at minsup directly, so the border from there on is unknowable and
+	// no snapshot is produced.
+	retainBorder bool
+	borderLost   bool
+	borders      []pkCounts
 }
 
 // attachPool hands the executor a caller-owned buffer pool (MinePaged's,
@@ -357,6 +369,30 @@ func (s *execStepper) capKeys(w int) int {
 	return n
 }
 
+// countSup is the threshold the count kernels run at: minSup normally,
+// 1 under border retention so every candidate run survives for
+// splitBorder to partition.
+func (s *execStepper) countSup(minSup int64) int64 {
+	if s.retainBorder {
+		return 1
+	}
+	return minSup
+}
+
+// splitBorder applies the support threshold to a border-retaining count
+// list: the frequent entries are compacted in place (bit-identical to a
+// direct minSup count) and the negative border is copied aside into
+// this iteration's slot. A plain pass-through when retention is off.
+func (s *execStepper) splitBorder(ck pkCounts, minSup int64) pkCounts {
+	if !s.retainBorder {
+		return ck
+	}
+	freq, border := splitBorderCounts(ck, minSup)
+	s.borders = append(s.borders, border)
+	s.ck = freq
+	return freq
+}
+
 // startIteration begins the per-iteration accounting window.
 func (s *execStepper) startIteration() (ioStart int64, stStart spillStats) {
 	if s.pool != nil {
@@ -406,7 +442,7 @@ func (s *execStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	var ck pkCounts
 	var err error
 	if plan.Regime == RegimeSpilled {
-		ck, skips, err = s.countMemStreaming(mem, minSup, plan)
+		ck, skips, err = s.countMemStreaming(mem, s.countSup(minSup), plan)
 		if err != nil {
 			return nil, iterSizes{}, err
 		}
@@ -416,8 +452,9 @@ func (s *execStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 		for i, r := range mem {
 			keys[i] = r.Key
 		}
-		ck = s.countKeysResident(keys, minSup, plan.Workers, &skips)
+		ck = s.countKeysResident(keys, s.countSup(minSup), plan.Workers, &skips)
 	}
+	ck = s.splitBorder(ck, minSup)
 	c1 := decodePatterns(ck, 1, s.dict)
 
 	// The paper does not filter R_1 by C_1 (Section 6.1); PrefilterSales
@@ -525,7 +562,7 @@ func (s *execStepper) stepResident(k int, minSup int64, plan IterPlan) ([]Itemse
 	for i, r := range rPrime {
 		keys[i] = r.Key
 	}
-	ck := s.countKeysResident(keys, minSup, plan.Workers, &skips)
+	ck := s.splitBorder(s.countKeysResident(keys, s.countSup(minSup), plan.Workers, &skips), minSup)
 	cOut := decodePatterns(ck, k, s.dict)
 
 	// R_k := filter R'_k by C_k. Filtering preserves (trans_id, items)
@@ -669,9 +706,9 @@ func (s *execStepper) stepStreaming(k int, minSup int64, plan IterPlan) ([]Items
 	dst := pkCounts{keys: s.ck.keys[:0], counts: s.ck.counts[:0]}
 	var ck pkCounts
 	if W == 1 {
-		ck, err = kcs[0].finish(minSup, dst)
+		ck, err = kcs[0].finish(s.countSup(minSup), dst)
 	} else {
-		ck, err = finishCounters(s.pool, kcs, fanIn, s.mergeWorkers(W, fanIn), minSup, dst)
+		ck, err = finishCounters(s.pool, kcs, fanIn, s.mergeWorkers(W, fanIn), s.countSup(minSup), dst)
 	}
 	skips += s.mergeWorkerState(kcs, stats, W)
 	if err != nil {
@@ -679,6 +716,7 @@ func (s *execStepper) stepStreaming(k int, minSup int64, plan IterPlan) ([]Items
 		return nil, iterSizes{}, err
 	}
 	s.ck = ck
+	ck = s.splitBorder(ck, minSup)
 	cOut := decodePatterns(ck, k, s.dict)
 
 	// R_k := filter R'_k by C_k; filtering preserves (trans_id, items)
@@ -1048,6 +1086,7 @@ func (s *execStepper) spillMemParallel(mem []prow, workers int) (*srel, error) {
 // touching the pool decodes into heap files and continues on the generic
 // paged stepper, its decode I/O charged to the handoff iteration.
 func (s *execStepper) stepWideFallback(k int, minSup int64, plan IterPlan) ([]ItemsetCount, iterSizes, error) {
+	s.borderLost = true
 	if s.pool == nil && s.rk.resident() && s.join.resident() {
 		s.fbFlat = &flatStepper{
 			d: s.d, opts: s.opts, workers: plan.Workers,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"testing"
 
@@ -243,4 +244,79 @@ func fuzzSameCounts(t *testing.T, label string, want, got *Result) {
 			}
 		}
 	}
+}
+
+// FuzzMineDelta asserts on arbitrary base/delta splits that incremental
+// mining from a retained border snapshot is bit-identical to a cold
+// mine of the concatenated dataset — across both the pure O(delta)
+// path and the promotion-triggered executor fallback — and that a
+// refreshed snapshot chains to a second append with the same guarantee.
+func FuzzMineDelta(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 0, 4, 5}, []byte{4, 5, 0, 4, 5, 6}, uint8(2))
+	f.Add([]byte{7, 8, 0, 7, 8, 9}, []byte{10, 11, 12}, uint8(1))
+	f.Add([]byte{1, 1, 1, 0, 1}, []byte{}, uint8(3))
+	f.Add([]byte{20, 30, 0, 20, 30, 40, 0, 20}, []byte{20, 30, 40, 0, 20, 30, 40}, uint8(2))
+	f.Fuzz(func(t *testing.T, baseData, deltaData []byte, minSup uint8) {
+		base := fuzzDataset(baseData)
+		if base == nil {
+			return
+		}
+		delta := fuzzDataset(deltaData)
+		opts := Options{
+			MinSupportCount: int64(minSup%8) + 1,
+			MaxPatternLen:   5,
+			RetainBorder:    true,
+		}
+		baseRes, err := MineAuto(base, opts)
+		if err != nil {
+			t.Fatalf("base mine: %v", err)
+		}
+		if baseRes.Border == nil {
+			t.Fatal("no border snapshot from base mine")
+		}
+		if delta == nil {
+			delta = &Dataset{}
+		}
+		// Re-anchor delta tids beyond the base (fuzzDataset numbers both
+		// from 1) so the split is a valid disjoint append.
+		for i := range delta.Transactions {
+			delta.Transactions[i].ID += baseRes.Border.MaxTid
+		}
+		got, err := MineDelta(context.Background(), base, delta, baseRes.Border, opts)
+		if err != nil {
+			t.Fatalf("MineDelta: %v", err)
+		}
+		all := &Dataset{}
+		all.Transactions = append(all.Transactions, base.Transactions...)
+		all.Transactions = append(all.Transactions, delta.Transactions...)
+		want, err := MineAuto(all, opts)
+		if err != nil {
+			t.Fatalf("MineAuto(combined): %v", err)
+		}
+		fuzzSameCounts(t, "delta-vs-cold", want, got)
+
+		// Chain: append the base again (tids re-anchored) onto the
+		// refreshed snapshot.
+		if got.Border == nil {
+			t.Fatal("no refreshed snapshot")
+		}
+		delta2 := &Dataset{}
+		for _, tx := range base.Transactions {
+			delta2.Transactions = append(delta2.Transactions, Transaction{
+				ID: tx.ID + got.Border.MaxTid, Items: tx.Items,
+			})
+		}
+		got2, err := MineDelta(context.Background(), all, delta2, got.Border, opts)
+		if err != nil {
+			t.Fatalf("chained MineDelta: %v", err)
+		}
+		all2 := &Dataset{}
+		all2.Transactions = append(all2.Transactions, all.Transactions...)
+		all2.Transactions = append(all2.Transactions, delta2.Transactions...)
+		want2, err := MineAuto(all2, opts)
+		if err != nil {
+			t.Fatalf("MineAuto(combined2): %v", err)
+		}
+		fuzzSameCounts(t, "chained-delta-vs-cold", want2, got2)
+	})
 }

@@ -191,6 +191,15 @@ func runPipelineFrom(ctx context.Context, d *Dataset, opts Options, s stepper, o
 	}
 
 	trimEmptyTail(res)
+	// Border assembly must precede release (the dictionary is arena-
+	// backed). A resumed run skips it: iterations before the checkpoint
+	// were never re-counted, so their borders are unknown here — the
+	// delta miner, which owns both halves, assembles its own snapshot.
+	if opts.RetainBorder && cp == nil {
+		if b, ok := s.(borderer); ok {
+			res.Border = b.borderSnapshot(res)
+		}
+	}
 	if r, ok := s.(releaser); ok {
 		r.release()
 	}

@@ -119,6 +119,14 @@ type Options struct {
 	// A pointer so Options stays comparable — cache keys and
 	// CanonicalOptions depend on that; CanonicalOptions zeroes it.
 	Checkpoint *CheckpointConfig
+	// RetainBorder makes the adaptive executor keep the negative border
+	// (the candidate patterns counted below minsup) per iteration and
+	// attach a BorderSnapshot to the Result. The snapshot is what
+	// MineDelta folds transaction appends into; see border.go. Costs
+	// the memory of the sub-minsup count runs — bounded by the distinct
+	// candidates per iteration — and nothing on the counting itself.
+	// Does not affect Counts; CanonicalOptions zeroes it.
+	RetainBorder bool
 }
 
 // Strategy selects between a driver's fixed execution plan and the
@@ -227,6 +235,11 @@ type Result struct {
 	MinSupport int64
 	// Elapsed is the total mining time.
 	Elapsed time.Duration
+	// Border is the retained negative-border snapshot when the run was
+	// mined with Options.RetainBorder on a substrate that supports it
+	// (the packed adaptive executor); nil otherwise. Excluded from JSON:
+	// it is service-internal state, persisted separately via SaveBorder.
+	Border *BorderSnapshot `json:"-"`
 }
 
 // C returns the count relation C_k (1-based), or nil if the run ended

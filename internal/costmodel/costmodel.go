@@ -462,6 +462,49 @@ func MineFootprint(salesRows int64, avgBasket float64, memBudget int64) int64 {
 	return total
 }
 
+// DeltaFootprint estimates the peak resident bytes one incremental
+// (border-snapshot) refresh needs: the packed delta rows (resident for
+// every iteration's merge-scan), the dominant delta iteration's working
+// set projected from the delta's own first extension, and the candidate
+// sum-merge — the snapshot's counted (key, count) entries plus the
+// merged output, ~24 bytes per entry per side. A positive memBudget
+// caps the iteration term exactly as MineFootprint does: past the
+// budget the delta path falls back to the spilling executor, which
+// streams instead of growing. This is the admission-control charge for
+// a delta mine — strictly smaller than MineFootprint of the combined
+// dataset whenever the delta is small, which is the point.
+func DeltaFootprint(deltaRows int64, avgBasket float64, borderCandidates, memBudget int64) int64 {
+	if deltaRows < 0 {
+		deltaRows = 0
+	}
+	if deltaRows > maxModelRows {
+		deltaRows = maxModelRows
+	}
+	if borderCandidates < 0 {
+		borderCandidates = 0
+	}
+	if borderCandidates > maxModelRows {
+		borderCandidates = maxModelRows
+	}
+	rows := deltaRows * PackedRowBytes
+	iter := PackedIterFootprint(EstRPrimeRows(deltaRows, avgBasket))
+	if memBudget > 0 && iter > memBudget {
+		iter = memBudget
+	}
+	// Snapshot candidates live once as input and once in the merged
+	// output: (key, count) pairs both sides.
+	merge := borderCandidates * 2 * (PackedKeyBytes + PackedCountBytes)
+	total := rows + iter + merge
+	if total < packedPageBytes {
+		total = packedPageBytes
+	}
+	return total
+}
+
+// PackedCountBytes is the width of one support counter riding next to a
+// packed key in a counted run.
+const PackedCountBytes = 8
+
 // PlanInput is what the executor observed going into an iteration.
 type PlanInput struct {
 	K         int   // pattern length of the upcoming iteration

@@ -202,3 +202,47 @@ func TestMineFootprint(t *testing.T) {
 		t.Fatalf("adversarial footprint overflowed: %d", got)
 	}
 }
+
+// TestDeltaFootprint pins the incremental-refresh admission charge:
+// monotone in delta size and snapshot cardinality, budget-capped like
+// MineFootprint, floored at one page, saturating on adversarial inputs
+// — and, for small deltas, far below the cold-mine charge it replaces.
+func TestDeltaFootprint(t *testing.T) {
+	small := DeltaFootprint(100, 5, 5000, 0)
+	bigDelta := DeltaFootprint(100000, 5, 5000, 0)
+	bigBorder := DeltaFootprint(100, 5, 5000000, 0)
+	if small <= 0 || bigDelta <= small || bigBorder <= small {
+		t.Fatalf("not monotone: small=%d bigDelta=%d bigBorder=%d", small, bigDelta, bigBorder)
+	}
+	// The merge term is exactly two counted-entry arrays.
+	if want := int64(5000 * 2 * (PackedKeyBytes + PackedCountBytes)); small <= want {
+		t.Fatalf("footprint %d does not exceed merge term %d", small, want)
+	}
+
+	const budget = 64 << 10
+	bounded := DeltaFootprint(100000, 5, 5000, budget)
+	if maxWant := int64(100000*PackedRowBytes) + budget + int64(5000*2*(PackedKeyBytes+PackedCountBytes)); bounded > maxWant {
+		t.Fatalf("bounded footprint %d exceeds rows + budget + merge %d", bounded, maxWant)
+	}
+	if bounded >= bigDelta {
+		t.Fatalf("budget did not bite: bounded=%d unbounded=%d", bounded, bigDelta)
+	}
+
+	// The point of the whole exercise: a 1% delta admits far cheaper
+	// than a cold re-mine of the combined dataset.
+	cold := MineFootprint(101000, 5, 0)
+	incr := DeltaFootprint(1000, 5, 20000, 0)
+	if incr*5 > cold {
+		t.Fatalf("delta admission %d not ≥5x below cold %d", incr, cold)
+	}
+
+	if got := DeltaFootprint(0, 0, 0, 0); got <= 0 {
+		t.Fatalf("empty delta footprint = %d, want positive floor", got)
+	}
+	if got := DeltaFootprint(int64(1)<<62, 1e18, int64(1)<<62, 0); got <= 0 {
+		t.Fatalf("adversarial footprint overflowed: %d", got)
+	}
+	if got := DeltaFootprint(-5, 2, -7, 0); got <= 0 {
+		t.Fatalf("negative inputs not clamped: %d", got)
+	}
+}

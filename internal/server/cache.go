@@ -30,8 +30,9 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key cacheKey
-	res *core.Result
+	key    cacheKey
+	res    *core.Result
+	border *core.BorderSnapshot // non-nil when the mine retained one
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -55,22 +56,51 @@ func (c *resultCache) get(key cacheKey) (*core.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts (or refreshes) key -> res, evicting the LRU entry past
-// capacity.
-func (c *resultCache) put(key cacheKey, res *core.Result) {
+// getBorder returns the cached result AND its border snapshot (nil
+// when the mine did not retain one), refreshing recency. The incremental
+// path needs both: the parent's counts prove the cache entry exists,
+// the snapshot makes the delta mine possible.
+func (c *resultCache) getBorder(key cacheKey) (*core.Result, *core.BorderSnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.res, e.border, true
+}
+
+// put inserts (or refreshes) key -> (res, border), evicting the LRU
+// entry past capacity. border may be nil.
+func (c *resultCache) put(key cacheKey, res *core.Result, border *core.BorderSnapshot) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res, e.border = res, border
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res, border: border})
 	for c.lru.Len() > c.cap {
 		el := c.lru.Back()
 		c.lru.Remove(el)
 		delete(c.m, el.Value.(*cacheEntry).key)
 	}
+}
+
+// borderBytes sums the resident size of every cached border snapshot —
+// the setmd_border_bytes gauge.
+func (c *resultCache) borderBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*cacheEntry).border.Bytes()
+	}
+	return n
 }
 
 // purgeVersion evicts every cached result of one dataset version

@@ -64,6 +64,7 @@ const (
 // WAL record types.
 const (
 	recDataset    = "dataset"     // dataset registered (blob already on disk)
+	recDatasetApp = "dataset-app" // derived dataset appended (delta blob on disk)
 	recDatasetDel = "dataset-del" // dataset unregistered
 	recJob        = "job"         // job lifecycle transition (State field)
 )
@@ -77,11 +78,12 @@ const stateIter = "iter"
 type walRecord struct {
 	Type string `json:"type"`
 
-	// recDataset / recDatasetDel
+	// recDataset / recDatasetApp / recDatasetDel
 	Version      string  `json:"version,omitempty"`
 	Transactions int     `json:"transactions,omitempty"`
 	SalesRows    int64   `json:"sales_rows,omitempty"`
 	AvgBasket    float64 `json:"avg_basket,omitempty"`
+	Parent       string  `json:"parent,omitempty"` // recDatasetApp: the base version
 
 	// recJob
 	JobID   string   `json:"job_id,omitempty"`
@@ -157,6 +159,18 @@ func (s *Server) datasetBlobPath(version string) string {
 	return filepath.Join(s.datasetsDir(), version+".sales")
 }
 
+// deltaBlobPath names a derived version's journaled delta: only the
+// appended transactions, re-derived against the parent at boot.
+func (s *Server) deltaBlobPath(version string) string {
+	return filepath.Join(s.datasetsDir(), version+".delta")
+}
+
+// borderPath names the border-snapshot sidecar of a result envelope.
+func (s *Server) borderPath(key cacheKey) string {
+	name := fmt.Sprintf("%s-s%d-l%d.border", key.Version, key.Opts.MinSupportCount, key.Opts.MaxPatternLen)
+	return filepath.Join(s.resultsDir(), name)
+}
+
 func (s *Server) checkpointDir(jobID string) string {
 	return filepath.Join(s.checkpointsDir(), jobID)
 }
@@ -213,8 +227,27 @@ func (s *Server) persistDataset(ds *dataset, norm []byte) error {
 	})
 }
 
-// persistResult spills a completed result to its envelope, best-effort
-// (the in-memory cache still has it; only restart recall degrades).
+// persistAppend writes a derived version's delta blob atomically, then
+// journals the append record with its parent link. Same contract as
+// persistDataset: a replayed append record always finds its blob (and,
+// via the delete guard, its parent).
+func (s *Server) persistAppend(ds *dataset, deltaNorm []byte) error {
+	if !s.durable() {
+		return nil
+	}
+	if err := atomicWrite(s.deltaBlobPath(ds.Version), s.cfg.NoSync, deltaNorm); err != nil {
+		return err
+	}
+	return s.walAppend(walRecord{
+		Type: recDatasetApp, Version: ds.Version, Parent: ds.Parent,
+		Transactions: ds.Transactions, SalesRows: ds.SalesRows, AvgBasket: ds.AvgBasket,
+	})
+}
+
+// persistResult spills a completed result to its envelope — plus, when
+// the mine retained a border snapshot, the snapshot's binary sidecar —
+// best-effort (the in-memory cache still has both; only restart recall
+// degrades).
 func (s *Server) persistResult(key cacheKey, res *core.Result) {
 	if !s.durable() {
 		return
@@ -229,6 +262,11 @@ func (s *Server) persistResult(key cacheKey, res *core.Result) {
 	}
 	if err != nil {
 		s.met.persistErrors.Add(1)
+	}
+	if res.Border != nil {
+		if err := core.SaveBorder(s.borderPath(key), res.Border, s.cfg.NoSync); err != nil {
+			s.met.persistErrors.Add(1)
+		}
 	}
 }
 
@@ -270,6 +308,8 @@ func (s *Server) bootDurable() error {
 	// vouched for their bytes, so a bad record is version skew, and one
 	// unknown record must not take down recovery of everything else.
 	dsRecs := make(map[string]walRecord)
+	appRecs := make(map[string]walRecord)
+	var appOrder []string
 	jobs := make(map[string]*replayedJob)
 	var jobOrder []string
 	w, err := wal.Open(s.walPath(), func(rec []byte) error {
@@ -280,8 +320,14 @@ func (s *Server) bootDurable() error {
 		switch r.Type {
 		case recDataset:
 			dsRecs[r.Version] = r // duplicates are idempotent by construction
+		case recDatasetApp:
+			if _, ok := appRecs[r.Version]; !ok {
+				appOrder = append(appOrder, r.Version)
+			}
+			appRecs[r.Version] = r
 		case recDatasetDel:
 			delete(dsRecs, r.Version)
+			delete(appRecs, r.Version)
 		case recJob:
 			rj, ok := jobs[r.JobID]
 			if !ok {
@@ -327,6 +373,45 @@ func (s *Server) bootDurable() error {
 		s.datasets[v] = &dataset{
 			Version: v, Transactions: rec.Transactions,
 			SalesRows: rec.SalesRows, AvgBasket: rec.AvgBasket, d: d,
+			hc: &hashCache{},
+		}
+	}
+
+	// Re-derive appended versions: parent transactions plus the delta
+	// blob. Append records replay in journal order, so chains (appends
+	// to appends) resolve parent-before-child; a child whose parent or
+	// blob is gone is dropped, exactly like a base dataset without its
+	// bytes.
+	for _, v := range appOrder {
+		rec, ok := appRecs[v]
+		if !ok {
+			continue // deleted later in the journal
+		}
+		if _, dup := s.datasets[v]; dup {
+			continue
+		}
+		parent, ok := s.datasets[rec.Parent]
+		if !ok {
+			continue
+		}
+		f, err := os.Open(s.deltaBlobPath(v))
+		if err != nil {
+			continue
+		}
+		deltaD, err := setm.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		cd := &core.Dataset{}
+		cd.Transactions = append(cd.Transactions, parent.d.Transactions...)
+		cd.Transactions = append(cd.Transactions, deltaD.Transactions...)
+		s.datasets[v] = &dataset{
+			Version: v, Transactions: rec.Transactions,
+			SalesRows: rec.SalesRows, AvgBasket: rec.AvgBasket,
+			Parent: rec.Parent, DeltaTxns: deltaD.NumTransactions(),
+			d: cd, deltaD: deltaD,
+			hc: &hashCache{},
 		}
 	}
 
@@ -348,12 +433,16 @@ func (s *Server) bootDurable() error {
 			}
 			if _, ok := s.datasets[env.Version]; !ok {
 				os.Remove(path)
+				os.Remove(strings.TrimSuffix(path, ".json") + ".border")
 				continue
 			}
 			key := cacheKey{Version: env.Version, Opts: core.Options{
 				MinSupportCount: env.MinSupCount, MaxPatternLen: env.MaxLen,
 			}}
-			s.cache.put(key, env.Result)
+			// The border sidecar is optional: absent or damaged means the
+			// cached result cannot seed incremental mines, nothing more.
+			border, _ := core.LoadBorder(s.borderPath(key))
+			s.cache.put(key, env.Result, border)
 		}
 	}
 
@@ -448,6 +537,13 @@ func (s *Server) resumeJob(j *job, rj *replayedJob) {
 		return
 	}
 
+	// Re-detect the incremental opportunity: the parent's result and
+	// border were restored from their envelopes, so an interrupted
+	// delta mine stays a delta mine after restart. runJob ignores the
+	// plan when a verified checkpoint exists (the delta path's executor
+	// fallback checkpoints against the combined dataset).
+	j.delta = s.deltaPlanFor(ds, opts)
+
 	grant, err := s.adm.tryAdmit(j.est)
 	if err != nil {
 		fail(fmt.Sprintf("not readmitted after restart: %v", err))
@@ -468,6 +564,7 @@ func (s *Server) effectiveOptions(o *walOpts) core.Options {
 	if opts.MemoryBudget <= 0 {
 		opts.MemoryBudget = s.cfg.JobMemBudget
 	}
+	opts.RetainBorder = true
 	return opts
 }
 

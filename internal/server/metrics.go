@@ -11,6 +11,8 @@ import (
 type metrics struct {
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
+	cachePatched  atomic.Int64 // results produced by patching a cached parent (MineDelta)
+	deltaMines    atomic.Int64 // jobs that entered the incremental path
 	jobsAdmitted  atomic.Int64
 	jobsQueued    atomic.Int64
 	jobsRejected  atomic.Int64
@@ -51,7 +53,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	put := func(name string, v int64) { fmt.Fprintf(w, "setmd_%s %d\n", name, v) }
 	put("cache_hits", s.met.cacheHits.Load())
 	put("cache_misses", s.met.cacheMisses.Load())
+	put("cache_patched", s.met.cachePatched.Load())
 	put("cache_entries", int64(s.cache.len()))
+	put("delta_mines", s.met.deltaMines.Load())
+	put("border_bytes", s.cache.borderBytes())
 	put("jobs_admitted", s.met.jobsAdmitted.Load())
 	put("jobs_queued", s.met.jobsQueued.Load())
 	put("jobs_rejected", s.met.jobsRejected.Load())

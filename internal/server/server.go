@@ -12,26 +12,34 @@
 // Endpoints:
 //
 //	POST   /datasets          upload SALES text; returns {version, ...}
-//	GET    /datasets          list registered datasets
-//	GET    /datasets/{id}     one dataset's metadata
-//	DELETE /datasets/{id}     unregister (409 while jobs reference it)
-//	POST   /jobs              submit a mining job (JSON body)
-//	GET    /jobs              list jobs
-//	GET    /jobs/{id}         job status + per-iteration plan rows
-//	GET    /jobs/{id}/result  the mining result once done
-//	DELETE /jobs/{id}         cancel a queued or running job
-//	GET    /metrics           counters and gauges, text format
-//	GET    /healthz           liveness (503 once draining)
+//	POST   /datasets/{id}/append
+//	                          append SALES text to an existing version;
+//	                          returns the derived version with a parent
+//	                          link — mining it reuses the parent's
+//	                          cached result incrementally
+
+// GET    /datasets          list registered datasets
+// GET    /datasets/{id}     one dataset's metadata
+// DELETE /datasets/{id}     unregister (409 while jobs reference it)
+// POST   /jobs              submit a mining job (JSON body)
+// GET    /jobs              list jobs
+// GET    /jobs/{id}         job status + per-iteration plan rows
+// GET    /jobs/{id}/result  the mining result once done
+// DELETE /jobs/{id}         cancel a queued or running job
+// GET    /metrics           counters and gauges, text format
+// GET    /healthz           liveness (503 once draining)
 package server
 
 import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -130,14 +138,75 @@ type Server struct {
 	draining bool
 }
 
-// dataset is one registered, content-addressed dataset version.
+// dataset is one registered, content-addressed dataset version. A
+// derived version (created by POST /datasets/{id}/append) additionally
+// records its parent and the appended transactions — the link the
+// incremental mining path follows.
 type dataset struct {
 	Version      string  `json:"version"`
 	Transactions int     `json:"transactions"`
 	SalesRows    int64   `json:"sales_rows"`
 	AvgBasket    float64 `json:"avg_basket"`
+	Parent       string  `json:"parent,omitempty"`
+	DeltaTxns    int     `json:"delta_transactions,omitempty"`
 
-	d *core.Dataset
+	d      *core.Dataset // full (combined) dataset
+	deltaD *core.Dataset // the appended transactions only; nil on base versions
+
+	// hc caches the marshaled SHA-256 state of the canonical SALES
+	// serialization the version id was computed over (a pointer so the
+	// metadata struct stays freely copyable). Appending is then
+	// O(delta): the normalized relation sorts by (trans_id, item) and
+	// delta tids sit strictly beyond the parent's, so the child's
+	// canonical form is parent-norm ++ delta-norm — the child hasher
+	// resumes from the parent's state and absorbs only the delta
+	// bytes, yet finalizes to the exact version id a direct upload of
+	// the combined data would get. Boot-replayed datasets fill the
+	// cache lazily on their first append.
+	hc *hashCache
+}
+
+type hashCache struct {
+	once  sync.Once
+	state []byte
+}
+
+// normHasher returns a SHA-256 hasher positioned after the dataset's
+// canonical SALES serialization, rebuilding the state (one full
+// serialization pass) if this version was boot-replayed.
+func (ds *dataset) normHasher() (hash.Hash, error) {
+	var err error
+	ds.hc.once.Do(func() {
+		var buf bytes.Buffer
+		if err = setm.WriteDataset(&buf, ds.d); err != nil {
+			return
+		}
+		h := sha256.New()
+		h.Write(buf.Bytes())
+		ds.hc.state, err = h.(encoding.BinaryMarshaler).MarshalBinary()
+	})
+	if err == nil && ds.hc.state == nil {
+		err = fmt.Errorf("dataset %s has no canonical form", ds.Version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(ds.hc.state); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// setHashState seeds the hash-state cache at registration time, when
+// the canonical serialization was just hashed for content addressing.
+func (ds *dataset) setHashState(h hash.Hash) {
+	ds.hc.once.Do(func() {
+		state, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+		if err == nil {
+			ds.hc.state = state
+		}
+	})
 }
 
 // Job states.
@@ -149,12 +218,22 @@ const (
 	stateCancelled = "cancelled"
 )
 
+// deltaPlan is the incremental-mining opportunity captured at submit
+// time: the parent's datasets and border snapshot are pinned here so a
+// cache eviction between submit and run cannot pull the rug out.
+type deltaPlan struct {
+	base  *core.Dataset
+	delta *core.Dataset
+	snap  *core.BorderSnapshot
+}
+
 // job is one mining job's lifecycle record.
 type job struct {
 	id      string
 	dataset string
 	est     int64
 	created time.Time
+	delta   *deltaPlan // non-nil: mine incrementally from the parent
 
 	cancel context.CancelFunc
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -183,6 +262,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", s.handleUploadDataset)
+	mux.HandleFunc("POST /datasets/{id}/append", s.handleAppendDataset)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
 	mux.HandleFunc("DELETE /datasets/{id}", s.handleDeleteDataset)
@@ -235,13 +315,17 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encode dataset: %v", err)
 		return
 	}
-	sum := sha256.Sum256(norm.Bytes())
+	h := sha256.New()
+	h.Write(norm.Bytes())
+	sum := h.Sum(nil)
 	ds := &dataset{
 		Version:      "ds-" + hex.EncodeToString(sum[:8]),
 		Transactions: d.NumTransactions(),
 		SalesRows:    int64(bytes.Count(norm.Bytes(), []byte{'\n'})),
 		d:            d,
+		hc:           &hashCache{},
 	}
+	ds.setHashState(h)
 	if ds.Transactions > 0 {
 		ds.AvgBasket = float64(ds.SalesRows) / float64(ds.Transactions)
 	}
@@ -259,6 +343,112 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	// replay treats duplicate records as idempotent).
 	if err := s.persistDataset(ds, norm.Bytes()); err != nil {
 		httpError(w, http.StatusInternalServerError, "persist dataset: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if prev, ok := s.datasets[ds.Version]; ok {
+		ds = prev
+	} else {
+		s.datasets[ds.Version] = ds
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ds)
+}
+
+// handleAppendDataset creates a derived dataset version: the parent's
+// transactions plus the uploaded delta. The derived version is content-
+// addressed over the normalized COMBINED relation, so it is identical
+// to what a direct upload of the same data would produce — appends and
+// uploads converge on one version id and share cache entries. Delta
+// transaction ids must be strictly greater than every parent id (a
+// disjoint append, the precondition of incremental mining); violations
+// are a 400. Repeated tids within the delta body are not an error —
+// the SALES pair form folds them into one basket at parse time.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
+	parentID := r.PathValue("id")
+	s.mu.Lock()
+	parent, ok := s.datasets[parentID]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", parentID)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	deltaD, err := setm.ReadDataset(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse delta: %v", err)
+		return
+	}
+	if len(deltaD.Transactions) == 0 {
+		httpError(w, http.StatusBadRequest, "empty delta")
+		return
+	}
+	var maxTid int64
+	for _, tx := range parent.d.Transactions {
+		if tx.ID > maxTid {
+			maxTid = tx.ID
+		}
+	}
+	for _, tx := range deltaD.Transactions {
+		// ReadDataset already folded repeated tids into one basket, so
+		// disjointness from the parent is the only precondition left.
+		if tx.ID <= maxTid {
+			httpError(w, http.StatusBadRequest,
+				"delta trans_id %d not beyond parent max %d", tx.ID, maxTid)
+			return
+		}
+	}
+
+	combined := &core.Dataset{}
+	combined.Transactions = append(combined.Transactions, parent.d.Transactions...)
+	combined.Transactions = append(combined.Transactions, deltaD.Transactions...)
+	// The canonical combined form is the parent's canonical form plus
+	// the delta's: the normalized relation sorts by (trans_id, item)
+	// and every delta tid sits strictly beyond the parent's, so the
+	// concatenation is already sorted. The version hash resumes from
+	// the parent's checkpointed SHA-256 state and absorbs only the
+	// delta bytes — O(delta) work, yet the exact version id a direct
+	// upload of the combined data would produce.
+	h, err := parent.normHasher()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode parent: %v", err)
+		return
+	}
+	var deltaNorm bytes.Buffer
+	if err := setm.WriteDataset(&deltaNorm, deltaD); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode delta: %v", err)
+		return
+	}
+	h.Write(deltaNorm.Bytes())
+	sum := h.Sum(nil)
+	ds := &dataset{
+		Version:      "ds-" + hex.EncodeToString(sum[:8]),
+		Transactions: combined.NumTransactions(),
+		SalesRows:    parent.SalesRows + int64(bytes.Count(deltaNorm.Bytes(), []byte{'\n'})),
+		Parent:       parent.Version,
+		DeltaTxns:    deltaD.NumTransactions(),
+		d:            combined,
+		deltaD:       deltaD,
+		hc:           &hashCache{},
+	}
+	ds.setHashState(h)
+	if ds.Transactions > 0 {
+		ds.AvgBasket = float64(ds.SalesRows) / float64(ds.Transactions)
+	}
+	s.mu.Lock()
+	prev, exists := s.datasets[ds.Version]
+	s.mu.Unlock()
+	if exists {
+		writeJSON(w, http.StatusOK, prev) // idempotent re-append
+		return
+	}
+	// Durability before visibility, like uploads: the delta blob lands
+	// atomically, then the append record (with the parent link) is
+	// journaled. Replay re-derives the combined dataset from the parent
+	// plus the delta blob — which is why deleting a parent with live
+	// children is refused.
+	if err := s.persistAppend(ds, deltaNorm.Bytes()); err != nil {
+		httpError(w, http.StatusInternalServerError, "persist append: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -318,6 +508,16 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// A parent of a live derived version must stay: the child's durable
+	// form is (parent link + delta blob), so replay needs the parent to
+	// re-derive it — and the incremental path needs its transactions.
+	for _, child := range s.datasets {
+		if child.Parent == id {
+			s.mu.Unlock()
+			httpError(w, http.StatusConflict, "dataset %s is the parent of %s; delete the child first", id, child.Version)
+			return
+		}
+	}
 	delete(s.datasets, id)
 	s.mu.Unlock()
 
@@ -325,9 +525,12 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if s.durable() {
 		_ = s.walAppend(walRecord{Type: recDatasetDel, Version: id})
 		os.Remove(s.datasetBlobPath(id))
-		if matches, err := filepath.Glob(filepath.Join(s.resultsDir(), id+"-*.json")); err == nil {
-			for _, m := range matches {
-				os.Remove(m)
+		os.Remove(s.deltaBlobPath(id))
+		for _, pat := range []string{id + "-*.json", id + "-*.border"} {
+			if matches, err := filepath.Glob(filepath.Join(s.resultsDir(), pat)); err == nil {
+				for _, m := range matches {
+					os.Remove(m)
+				}
 			}
 		}
 	}
@@ -353,6 +556,7 @@ type jobStatus struct {
 	Dataset    string       `json:"dataset"`
 	State      string       `json:"state"`
 	Cached     bool         `json:"cached"`
+	Delta      bool         `json:"delta,omitempty"`
 	EstBytes   int64        `json:"est_bytes"`
 	Error      string       `json:"error,omitempty"`
 	Iterations []iterStatus `json:"iterations,omitempty"`
@@ -375,7 +579,7 @@ func (j *job) status() jobStatus {
 	defer j.mu.Unlock()
 	st := jobStatus{
 		ID: j.id, Dataset: j.dataset, State: j.state,
-		Cached: j.cached, EstBytes: j.est, Error: j.errMsg,
+		Cached: j.cached, Delta: j.delta != nil, EstBytes: j.est, Error: j.errMsg,
 	}
 	for _, it := range j.iters {
 		st.Iterations = append(st.Iterations, iterStatus{
@@ -420,6 +624,10 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if opts.MemoryBudget <= 0 {
 		opts.MemoryBudget = s.cfg.JobMemBudget
 	}
+	// Every mine retains its negative border so a later append to this
+	// dataset can refresh the result incrementally. Invisible in the
+	// counts and in cache keys (CanonicalOptions zeroes it).
+	opts.RetainBorder = true
 	if opts.MinSupportCount <= 0 && (opts.MinSupportFrac <= 0 || opts.MinSupportFrac > 1) {
 		httpError(w, http.StatusBadRequest, "need minsup in (0,1] or minsup_count >= 1")
 		return
@@ -455,9 +663,22 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Add(1)
 
+	// Invalidate-and-patch: a derived version whose parent has a cached
+	// result WITH a border snapshot under the same canonical options is
+	// mined incrementally — O(delta) instead of O(full re-mine) — and
+	// admitted at the (much smaller) delta footprint. The snapshot and
+	// datasets are pinned on the job now, immune to cache eviction
+	// between submit and run.
+	j.delta = s.deltaPlanFor(ds, opts)
+
 	// Cost-based admission: estimate the job's peak footprint and gate
 	// the sum of running estimates under the global budget.
-	j.est = costmodel.MineFootprint(ds.SalesRows, ds.AvgBasket, opts.MemoryBudget)
+	if j.delta != nil {
+		deltaRows := ds.SalesRows - j.delta.snap.SalesRows
+		j.est = costmodel.DeltaFootprint(deltaRows, ds.AvgBasket, j.delta.snap.Candidates(), opts.MemoryBudget)
+	} else {
+		j.est = costmodel.MineFootprint(ds.SalesRows, ds.AvgBasket, opts.MemoryBudget)
+	}
 	grant, err := s.adm.tryAdmit(j.est)
 	switch {
 	case errors.Is(err, errTooLarge):
@@ -492,6 +713,29 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	go s.runJob(ctx, j, ds, opts, key, grant, false)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// deltaPlanFor returns the incremental-mining plan for ds under opts,
+// or nil when the job must mine cold: ds is not derived, the parent's
+// result is not cached under the same canonical options, or the cached
+// entry carries no border snapshot (e.g. restored from a restart that
+// predates border persistence).
+func (s *Server) deltaPlanFor(ds *dataset, opts core.Options) *deltaPlan {
+	if ds.Parent == "" || ds.deltaD == nil {
+		return nil
+	}
+	s.mu.Lock()
+	parent, ok := s.datasets[ds.Parent]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	parentKey := cacheKey{Version: parent.Version, Opts: core.CanonicalOptions(opts, parent.Transactions)}
+	_, snap, ok := s.cache.getBorder(parentKey)
+	if !ok || snap == nil {
+		return nil
+	}
+	return &deltaPlan{base: parent.d, delta: ds.deltaD, snap: snap}
 }
 
 // runJob waits for admission (if queued), mines, fills the cache, and
@@ -542,17 +786,37 @@ func (s *Server) runJob(ctx context.Context, j *job, ds *dataset, opts core.Opti
 		j.mu.Unlock()
 		s.journalJobState(j, stateIter, it.K)
 	}
-	res, err := core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, cp)
-	if cp != nil && err != nil && errors.Is(err, core.ErrCheckpoint) {
-		// The checkpoint passed surface verification but was rejected at
-		// resume depth (e.g. dataset drift); discard it and re-mine.
-		j.mu.Lock()
-		j.iters = nil
-		j.mu.Unlock()
-		res, err = core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, nil)
+	var res *core.Result
+	var err error
+	if j.delta != nil && cp == nil {
+		// Incremental path: count the delta against the parent's retained
+		// border and patch the parent's result. A snapshot the delta
+		// cannot absorb (ErrBorder) demotes to a cold mine — never a
+		// failed job. A resumed job (cp != nil) mines cold: its
+		// checkpoint already identifies the combined dataset.
+		s.met.deltaMines.Add(1)
+		res, err = core.MineDeltaMonitored(ctx, j.delta.base, j.delta.delta, j.delta.snap, opts, pool, onIter)
+		if err != nil && errors.Is(err, core.ErrBorder) {
+			j.mu.Lock()
+			j.iters = nil
+			j.mu.Unlock()
+			res, err = core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, nil)
+		} else if err == nil {
+			s.met.cachePatched.Add(1)
+		}
+	} else {
+		res, err = core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, cp)
+		if cp != nil && err != nil && errors.Is(err, core.ErrCheckpoint) {
+			// The checkpoint passed surface verification but was rejected at
+			// resume depth (e.g. dataset drift); discard it and re-mine.
+			j.mu.Lock()
+			j.iters = nil
+			j.mu.Unlock()
+			res, err = core.MineAutoResumeMonitored(ctx, ds.d, opts, pool, onIter, nil)
+		}
 	}
 	if err == nil {
-		s.cache.put(key, res)
+		s.cache.put(key, res, res.Border)
 		s.persistResult(key, res)
 	}
 	s.finishJob(j, res, err)

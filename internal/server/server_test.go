@@ -449,10 +449,10 @@ func TestResultCacheLRU(t *testing.T) {
 		return cacheKey{Version: "v", Opts: core.Options{MinSupportCount: int64(i)}}
 	}
 	r := &core.Result{}
-	cch.put(k(1), r)
-	cch.put(k(2), r)
+	cch.put(k(1), r, nil)
+	cch.put(k(2), r, nil)
 	cch.get(k(1)) // refresh 1; 2 becomes LRU
-	cch.put(k(3), r)
+	cch.put(k(3), r, nil)
 	if _, ok := cch.get(k(2)); ok {
 		t.Fatal("LRU entry survived eviction")
 	}

@@ -167,6 +167,44 @@ func MineAutoResume(ctx context.Context, d *Dataset, opts Options, cp *Checkpoin
 	return core.MineAutoResume(ctx, d, opts, cp)
 }
 
+// BorderSnapshot is the retained state of a completed mining run that
+// makes incremental refreshes possible: the item dictionary, every
+// frequent set F_k with exact counts, and the negative border (counted
+// candidates that fell short of minsup) per iteration. Produced by
+// mining with Options.RetainBorder set; consumed by MineDelta.
+type BorderSnapshot = core.BorderSnapshot
+
+// ErrBorder tags every border-snapshot failure — corrupt or truncated
+// files, snapshots that do not match the presented base dataset or
+// options, and deltas the snapshot's packed-key geometry cannot absorb.
+var ErrBorder = core.ErrBorder
+
+// SaveBorder atomically persists a border snapshot (CRC-guarded binary,
+// same durability discipline as checkpoints: temp file, fsync, rename).
+func SaveBorder(path string, b *BorderSnapshot) error {
+	return core.SaveBorder(path, b, false)
+}
+
+// LoadBorder reads and fully verifies a snapshot written by SaveBorder.
+// Failures wrap ErrBorder.
+func LoadBorder(path string) (*BorderSnapshot, error) {
+	return core.LoadBorder(path)
+}
+
+// MineDelta mines base+delta incrementally from a border snapshot of
+// the base run: appended transactions are packed through the snapshot's
+// dictionary and counted against F_k and the negative border, so the
+// refresh costs O(|delta|) instead of O(full re-mine) as long as no
+// border pattern is promoted to frequent. When one is (its unseen
+// extensions were never counted), MineDelta falls back to re-running
+// the executor from the first shifted iteration, seeded through the
+// checkpoint-resume path. Either way the Result is bit-identical to
+// MineAuto(base+delta, opts). Delta transaction ids must all exceed
+// snapshot.MaxTid.
+func MineDelta(ctx context.Context, base, delta *Dataset, snapshot *BorderSnapshot, opts Options) (*Result, error) {
+	return core.MineDelta(ctx, base, delta, snapshot, opts)
+}
+
 // CanonicalOptions reduces opts, for a dataset of n transactions, to
 // the fields that determine the mining result — the resolved absolute
 // support threshold and the pattern-length cap — zeroing every
