@@ -1,0 +1,183 @@
+package costmodel
+
+import "math"
+
+// Planner estimation constants, System-R style defaults: without
+// histograms an equality conjunct is assumed to keep 1/10 of its input, a
+// range comparison about 1/3, anything else 1/4, and a GROUP BY to emit
+// one group per ten input rows. EXPLAIN ANALYZE runs observe the real
+// ratios and Fit replaces the defaults with fitted values.
+const (
+	DefaultSelEquality = 0.10
+	DefaultSelRange    = 0.30
+	DefaultSelDefault  = 0.25
+	DefaultGroupFrac   = 0.10
+)
+
+// Calibration holds the planner's tunable cardinality constants. The zero
+// value is not meaningful; start from DefaultCalibration.
+type Calibration struct {
+	SelEquality float64 // selectivity of one equality conjunct
+	SelRange    float64 // selectivity of one range conjunct
+	SelDefault  float64 // selectivity of any other conjunct
+	GroupFrac   float64 // expected groups per input row of a GROUP BY
+}
+
+// DefaultCalibration returns the built-in constants.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		SelEquality: DefaultSelEquality,
+		SelRange:    DefaultSelRange,
+		SelDefault:  DefaultSelDefault,
+		GroupFrac:   DefaultGroupFrac,
+	}
+}
+
+// Observation is one operator's actual cardinalities from an executed
+// plan: a filter with its conjunct-class counts, or a grouping (Group
+// true, Eq/Rng/Def zero). In and Out are the operator's actual input and
+// output rows.
+type Observation struct {
+	Eq, Rng, Def int // filter conjunct counts by class
+	Group        bool
+	In, Out      int64
+}
+
+// ridgeLambda weights the prior toward the default constants: with few
+// observations the fit stays near the defaults, with many the data wins.
+const ridgeLambda = 1.0
+
+// Fit fits Calibration constants from observations.
+//
+// A filter's predicted ratio is the product of its conjunct selectivities,
+// so in log space one observation is linear in the unknowns:
+//
+//	ln(out/in) = eq·ln(selEq) + rng·ln(selRange) + def·ln(selDefault)
+//
+// Fit solves the 3-unknown least-squares system with a ridge prior toward
+// the defaults (normal equations, 3×3 Gaussian elimination) and clamps the
+// result into (0, 1]. GroupFrac is the geometric mean of the group
+// observations' out/in ratios. With no observations of a kind the defaults
+// survive unchanged.
+func Fit(obs []Observation) Calibration {
+	def := DefaultCalibration()
+	x0 := [3]float64{math.Log(def.SelEquality), math.Log(def.SelRange), math.Log(def.SelDefault)}
+
+	// Normal equations with ridge prior: (AᵀA + λI)x = Aᵀy + λx0.
+	var ata [3][3]float64
+	var aty [3]float64
+	for _, o := range obs {
+		if o.Group || o.In <= 0 {
+			continue
+		}
+		n := [3]float64{float64(o.Eq), float64(o.Rng), float64(o.Def)}
+		if n[0]+n[1]+n[2] == 0 {
+			continue
+		}
+		y := math.Log(clampRatio(o.Out, o.In))
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				ata[i][j] += n[i] * n[j]
+			}
+			aty[i] += n[i] * y
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ata[i][i] += ridgeLambda
+		aty[i] += ridgeLambda * x0[i]
+	}
+	x := solve3(ata, aty)
+
+	cal := Calibration{
+		SelEquality: clampSel(math.Exp(x[0])),
+		SelRange:    clampSel(math.Exp(x[1])),
+		SelDefault:  clampSel(math.Exp(x[2])),
+		GroupFrac:   def.GroupFrac,
+	}
+
+	var logSum float64
+	var nGroup int
+	for _, o := range obs {
+		if !o.Group || o.In <= 0 {
+			continue
+		}
+		logSum += math.Log(clampRatio(o.Out, o.In))
+		nGroup++
+	}
+	if nGroup > 0 {
+		cal.GroupFrac = clampSel(math.Exp(logSum / float64(nGroup)))
+	}
+	return cal
+}
+
+// clampRatio bounds out/in away from 0 (a filter that kept nothing still
+// needs a finite log) and above by 1.
+func clampRatio(out, in int64) float64 {
+	r := float64(out) / float64(in)
+	if lo := 0.5 / float64(in); r < lo {
+		r = lo
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// clampSel keeps a fitted constant inside (0, 1].
+func clampSel(v float64) float64 {
+	if !(v > 1e-6) { // also catches NaN
+		return 1e-6
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting. The ridge term keeps the matrix well-conditioned.
+func solve3(a [3][3]float64, b [3]float64) [3]float64 {
+	for col := 0; col < 3; col++ {
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < 3; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x
+}
+
+// QError is the symmetric estimation-error factor max(est/act, act/est),
+// the standard cardinality-estimation quality metric; 1 is a perfect
+// estimate. Zero counts are smoothed to 1 row.
+func QError(est, act int64) float64 {
+	e, a := float64(est), float64(act)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}

@@ -1,0 +1,141 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"setm/internal/costmodel"
+	"setm/internal/engine"
+	"setm/internal/gen"
+	"setm/internal/tuple"
+)
+
+// retailDB loads the retail fixture's sales table into a fresh engine.
+func retailDB(t *testing.T) (*engine.DB, int64) {
+	t.Helper()
+	cfg := gen.DefaultRetail(7)
+	cfg.NumTransactions = 2000
+	d := gen.Retail(cfg)
+	rows := make([]tuple.Tuple, 0, len(d.SalesRows()))
+	for _, r := range d.SalesRows() {
+		rows = append(rows, tuple.Ints(r[0], r[1]))
+	}
+	db := engine.New()
+	if err := db.LoadTable("sales", tuple.IntSchema("trans_id", "item"), rows); err != nil {
+		t.Fatal(err)
+	}
+	return db, int64(len(rows))
+}
+
+// rootQError runs EXPLAIN ANALYZE and returns the q-error between the
+// summary line's actual and estimated root cardinalities.
+func rootQError(t *testing.T, db *engine.DB, q string, params map[string]int64) float64 {
+	t.Helper()
+	r, err := db.Exec("EXPLAIN ANALYZE "+q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := r.Rows[len(r.Rows)-1][0].Str
+	var actual, estimated int64
+	if _, err := fmt.Sscanf(summary, "actual: %d rows; estimated: %d rows", &actual, &estimated); err != nil {
+		t.Fatalf("unparseable EXPLAIN ANALYZE summary %q: %v", summary, err)
+	}
+	return costmodel.QError(estimated, actual)
+}
+
+// TestCalibrationOnRetailFixture pins the EXPLAIN ANALYZE → Fit loop on
+// the paper's workload shape: the C_1 count-generation query over the
+// retail fixture. The default constants (1/10 of input rows per GROUP BY,
+// System-R HAVING selectivity) are generic guesses; after calibrating on
+// observed runs the root estimate must land within a 2× q-error bound,
+// and must not be worse than before.
+func TestCalibrationOnRetailFixture(t *testing.T) {
+	db, salesRows := retailDB(t)
+	if salesRows == 0 {
+		t.Fatal("empty retail fixture")
+	}
+	const c1 = `SELECT s.item, COUNT(*) FROM sales s
+		GROUP BY s.item HAVING COUNT(*) >= :minsupport`
+	params := map[string]int64{"minsupport": 20}
+
+	before := rootQError(t, db, c1, params)
+	cal, err := db.Calibrate([]string{c1}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.GroupFrac == costmodel.DefaultGroupFrac {
+		t.Fatalf("GroupFrac %.4f unchanged: the group observation was not fitted", cal.GroupFrac)
+	}
+	after := rootQError(t, db, c1, params)
+	t.Logf("retail C_1 root q-error: %.2f (default constants) -> %.2f (calibrated)", before, after)
+	if after > before {
+		t.Fatalf("calibration made the estimate worse: q-error %.2f -> %.2f", before, after)
+	}
+	if after > 2.0 {
+		t.Fatalf("post-calibration q-error %.2f exceeds pinned bound 2.0", after)
+	}
+}
+
+// TestCalibrationObservationsOnRetail checks the raw observation stream:
+// the grouped query yields exactly one group observation (with the true
+// in/out rows) and one HAVING filter observation.
+func TestCalibrationObservationsOnRetail(t *testing.T) {
+	db, salesRows := retailDB(t)
+	const c1 = `SELECT s.item, COUNT(*) FROM sales s
+		GROUP BY s.item HAVING COUNT(*) >= :minsupport`
+	obs, err := db.Observe(c1, map[string]int64{"minsupport": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups, filters int
+	for _, o := range obs {
+		if o.Group {
+			groups++
+			if o.In != salesRows {
+				t.Errorf("group observation In = %d, want %d sales rows", o.In, salesRows)
+			}
+			if o.Out <= 0 || o.Out > o.In {
+				t.Errorf("group observation Out = %d outside (0, %d]", o.Out, o.In)
+			}
+		} else {
+			filters++
+			if o.Rng != 1 || o.Eq != 0 {
+				t.Errorf("HAVING observation classes = %+v, want one range conjunct", o)
+			}
+		}
+	}
+	if groups != 1 || filters != 1 {
+		t.Fatalf("got %d group + %d filter observations, want 1 + 1 (obs: %+v)", groups, filters, obs)
+	}
+}
+
+// TestCalibrationSurvivesInExplain checks the fitted constants actually
+// steer subsequent planning: after calibration the plain EXPLAIN estimate
+// of the grouped query changes.
+func TestCalibrationSurvivesInExplain(t *testing.T) {
+	db, _ := retailDB(t)
+	const c1 = `SELECT s.item, COUNT(*) FROM sales s
+		GROUP BY s.item HAVING COUNT(*) >= :minsupport`
+	params := map[string]int64{"minsupport": 20}
+	explain := func() string {
+		r, err := db.Exec("EXPLAIN "+c1, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, row := range r.Rows {
+			b.WriteString(row[0].Str)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	beforeText := explain()
+	if _, err := db.Calibrate([]string{c1}, params); err != nil {
+		t.Fatal(err)
+	}
+	afterText := explain()
+	if beforeText == afterText {
+		t.Fatalf("EXPLAIN unchanged after calibration:\n%s", afterText)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"setm/internal/catalog"
+	"setm/internal/costmodel"
 	"setm/internal/exec"
 	hp "setm/internal/heap"
 	"setm/internal/plan"
@@ -36,6 +37,13 @@ type DB struct {
 	// MemBudget bounds the planner's in-memory working set per sort or
 	// hash build (0 = plan.DefaultMemBudget); larger inputs spill.
 	MemBudget int64
+
+	// calib is the installed fitted estimation-constant set (nil =
+	// costmodel defaults); calibVer versions it for the plan-cache key.
+	calib    *costmodel.Calibration
+	calibVer uint64
+	// plans caches compiled plans per (text, params, epoch, calibVer).
+	plans planCache
 }
 
 // Option configures a DB.
@@ -91,13 +99,15 @@ type Result struct {
 }
 
 // Exec parses and runs a single SQL statement. params supplies values for
-// named parameters such as :minsupport.
+// named parameters such as :minsupport. Parsing goes through the shared
+// AST cache and SELECT / INSERT ... SELECT through the plan cache, so
+// repeated texts behave like prepared statements.
 func (db *DB) Exec(sql string, params map[string]int64) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(st, params)
+	return st.Exec(params)
 }
 
 // MustExec is Exec that panics on error; intended for tests and examples.
@@ -169,17 +179,39 @@ func (db *DB) ExecStmt(st sqlparse.Stmt, params map[string]int64) (*Result, erro
 		return &Result{Schema: op.Schema(), Rows: rows}, nil
 
 	case *sqlparse.Explain:
-		plan, err := db.compiler(p).CompilePlan(s.Select)
+		pl, err := db.compiler(p).CompilePlan(s.Select)
 		if err != nil {
 			return nil, err
 		}
+		rendered := pl.Explain()
+		var actual int64 = -1
+		if s.Analyze {
+			// Execute the plan to fill the per-operator actual-row counters,
+			// then render with actual-vs-estimated annotations.
+			bop, ok := pl.Root.(exec.BatchOperator)
+			if !ok {
+				return nil, fmt.Errorf("engine: compiled operator %T is not batchable", pl.Root)
+			}
+			batches, err := exec.DrainBatches(bop)
+			if err != nil {
+				return nil, err
+			}
+			actual = 0
+			for _, b := range batches {
+				actual += int64(b.Len())
+			}
+			rendered = pl.ExplainAnalyzed()
+		}
 		schema := tuple.NewSchema(tuple.Column{Name: "plan", Kind: tuple.KindString})
 		var rows []tuple.Tuple
-		for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
+		for _, line := range strings.Split(strings.TrimRight(rendered, "\n"), "\n") {
 			rows = append(rows, tuple.Tuple{tuple.S(line)})
 		}
-		rows = append(rows, tuple.Tuple{tuple.S(fmt.Sprintf(
-			"estimated: %d rows, cost≈%.2fms (model)", plan.Est.Rows, plan.Est.CostMs))})
+		summary := fmt.Sprintf("estimated: %d rows, cost≈%.2fms (model)", pl.Est.Rows, pl.Est.CostMs)
+		if s.Analyze {
+			summary = fmt.Sprintf("actual: %d rows; %s", actual, summary)
+		}
+		rows = append(rows, tuple.Tuple{tuple.S(summary)})
 		return &Result{Schema: schema, Rows: rows}, nil
 
 	default:
@@ -191,6 +223,7 @@ func (db *DB) compiler(p plan.Params) *plan.Compiler {
 	c := plan.NewCompiler(db.cat, db.pool, p)
 	c.SortMemLimit = db.SortMemLimit
 	c.MemBudget = db.MemBudget
+	c.Calib = db.calib
 	return c
 }
 
@@ -200,17 +233,8 @@ func (db *DB) execInsert(s *sqlparse.Insert, p plan.Params) (*Result, error) {
 		return nil, err
 	}
 	schema := tbl.File.Schema()
-	if len(s.Cols) > 0 {
-		// Explicit column lists must cover the whole schema in order; the
-		// engine does not support partial inserts (no NULLs in this model).
-		if len(s.Cols) != schema.Len() {
-			return nil, fmt.Errorf("engine: INSERT column list must cover all %d columns", schema.Len())
-		}
-		for i, c := range s.Cols {
-			if !strings.EqualFold(c, schema.Cols[i].Name) {
-				return nil, fmt.Errorf("engine: INSERT column %d is %q, table has %q", i, c, schema.Cols[i].Name)
-			}
-		}
+	if err := validateInsertCols(s, schema); err != nil {
+		return nil, err
 	}
 
 	if s.Select != nil {
@@ -218,48 +242,12 @@ func (db *DB) execInsert(s *sqlparse.Insert, p plan.Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := pl.Root
-		if op.Schema().Len() != schema.Len() {
-			return nil, fmt.Errorf("engine: INSERT SELECT arity %d does not match table %q arity %d",
-				op.Schema().Len(), s.Table, schema.Len())
-		}
-		wasEmpty := tbl.File.Rows() == 0
-		bop, ok := op.(exec.BatchOperator)
-		if !ok {
-			return nil, fmt.Errorf("engine: compiled operator %T is not batchable", op)
-		}
-		if err := bop.Open(); err != nil {
-			return nil, err
-		}
-		defer bop.Close()
-		var n int64
-		for {
-			b, err := bop.NextBatch()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			if err := tbl.File.AppendBatch(b); err != nil {
-				return nil, err
-			}
-			n += int64(b.Len())
-		}
-		// Record (or invalidate) the table's known ordering: a fresh fill
-		// from a stream with a known output ordering makes the table
-		// provably sorted, which later plans exploit to skip sorts; any
-		// append to existing rows destroys the guarantee.
-		if wasEmpty && len(pl.Ordering) > 0 {
-			tbl.OrderedBy = pl.Ordering
-		} else {
-			tbl.OrderedBy = nil
-		}
-		return &Result{RowsAffected: n}, nil
+		return db.execInsertSelect(s, pl)
 	}
 
 	var n int64
 	tbl.OrderedBy = nil
+	db.cat.Bump() // ordering knowledge changed: invalidate cached plans
 	for _, row := range s.Rows {
 		if len(row) != schema.Len() {
 			return nil, fmt.Errorf("engine: INSERT row arity %d does not match table %q arity %d",
@@ -278,6 +266,76 @@ func (db *DB) execInsert(s *sqlparse.Insert, p plan.Params) (*Result, error) {
 		}
 		n++
 	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// validateInsertCols checks an explicit INSERT column list: it must cover
+// the whole schema in order; the engine does not support partial inserts
+// (no NULLs in this model).
+func validateInsertCols(s *sqlparse.Insert, schema *tuple.Schema) error {
+	if len(s.Cols) == 0 {
+		return nil
+	}
+	if len(s.Cols) != schema.Len() {
+		return fmt.Errorf("engine: INSERT column list must cover all %d columns", schema.Len())
+	}
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c, schema.Cols[i].Name) {
+			return fmt.Errorf("engine: INSERT column %d is %q, table has %q", i, c, schema.Cols[i].Name)
+		}
+	}
+	return nil
+}
+
+// execInsertSelect appends the rows of a compiled SELECT plan to the
+// target table (the plan may come from the plan cache).
+func (db *DB) execInsertSelect(s *sqlparse.Insert, pl *plan.Plan) (*Result, error) {
+	tbl, err := db.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.File.Schema()
+	if err := validateInsertCols(s, schema); err != nil {
+		return nil, err
+	}
+	op := pl.Root
+	if op.Schema().Len() != schema.Len() {
+		return nil, fmt.Errorf("engine: INSERT SELECT arity %d does not match table %q arity %d",
+			op.Schema().Len(), s.Table, schema.Len())
+	}
+	wasEmpty := tbl.File.Rows() == 0
+	bop, ok := op.(exec.BatchOperator)
+	if !ok {
+		return nil, fmt.Errorf("engine: compiled operator %T is not batchable", op)
+	}
+	if err := bop.Open(); err != nil {
+		return nil, err
+	}
+	defer bop.Close()
+	var n int64
+	for {
+		b, err := bop.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.File.AppendBatch(b); err != nil {
+			return nil, err
+		}
+		n += int64(b.Len())
+	}
+	// Record (or invalidate) the table's known ordering: a fresh fill
+	// from a stream with a known output ordering makes the table
+	// provably sorted, which later plans exploit to skip sorts; any
+	// append to existing rows destroys the guarantee.
+	if wasEmpty && len(pl.Ordering) > 0 {
+		tbl.OrderedBy = pl.Ordering
+	} else {
+		tbl.OrderedBy = nil
+	}
+	db.cat.Bump() // ordering knowledge changed: invalidate cached plans
 	return &Result{RowsAffected: n}, nil
 }
 
@@ -356,35 +414,21 @@ func (db *DB) LoadTableBatch(name string, schema *tuple.Schema, b *tuple.Batch, 
 	db.cat.Replace(name, f)
 	if t, err := db.cat.Get(name); err == nil {
 		t.OrderedBy = append([]int{}, orderedBy...)
+		db.cat.Bump() // ordering knowledge changed: invalidate cached plans
 	}
 	return nil
 }
 
 // QueryBatches runs a SELECT and returns the result as dense column-major
 // batches, avoiding per-row tuple materialization. The batches are copies,
-// safe to keep.
+// safe to keep. It goes through the prepared-statement path (AST and plan
+// caches).
 func (db *DB) QueryBatches(sql string, params map[string]int64) (*tuple.Schema, []*tuple.Batch, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := db.Prepare(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	sel, ok := st.(*sqlparse.Select)
-	if !ok {
-		return nil, nil, fmt.Errorf("engine: QueryBatches requires a SELECT, got %T", st)
-	}
-	op, err := db.compiler(plan.IntParams(params)).CompileSelect(sel)
-	if err != nil {
-		return nil, nil, err
-	}
-	bop, ok := op.(exec.BatchOperator)
-	if !ok {
-		return nil, nil, fmt.Errorf("engine: compiled operator %T is not batchable", op)
-	}
-	batches, err := exec.DrainBatches(bop)
-	if err != nil {
-		return nil, nil, err
-	}
-	return op.Schema(), batches, nil
+	return st.QueryBatches(params)
 }
 
 // Table returns the heap file backing a table.

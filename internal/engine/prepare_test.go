@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"setm/internal/costmodel"
+	"setm/internal/tuple"
+)
+
+func TestPreparedExecMatchesExec(t *testing.T) {
+	db := setupSales(t)
+	const q = `SELECT r1.item, COUNT(*) FROM sales r1 GROUP BY r1.item HAVING COUNT(*) >= :minsupport ORDER BY r1.item`
+	want := db.MustExec(q, map[string]int64{"minsupport": 2})
+
+	st, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := st.Exec(map[string]int64{"minsupport": 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("run %d: %d rows, want %d", i, len(got.Rows), len(want.Rows))
+		}
+		for j := range got.Rows {
+			for c := range got.Rows[j] {
+				if got.Rows[j][c].Int != want.Rows[j][c].Int {
+					t.Fatalf("run %d row %d: %v != %v", i, j, got.Rows[j], want.Rows[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPreparedParamRebinding(t *testing.T) {
+	db := setupSales(t)
+	st, err := db.Prepare(`SELECT s.item FROM sales s WHERE s.item = :x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range map[int64]int{1: 6, 4: 6, 99: 0} {
+		r, err := st.Exec(map[string]int64{"x": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != want {
+			t.Errorf(":x=%d returned %d rows, want %d", x, len(r.Rows), want)
+		}
+	}
+}
+
+func TestPlanCacheReusesAndRespectsEpoch(t *testing.T) {
+	db := setupSales(t)
+	const q = `SELECT s.trans_id, s.item FROM sales s ORDER BY s.trans_id`
+	st, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(nil); err != nil {
+		t.Fatal(err)
+	}
+	db.plans.mu.Lock()
+	cached := len(db.plans.m)
+	db.plans.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("after first exec: %d cached plans, want 1", cached)
+	}
+	// Same epoch: the second execution must consume and restore the entry.
+	if _, err := st.Exec(nil); err != nil {
+		t.Fatal(err)
+	}
+	db.plans.mu.Lock()
+	var key string
+	for k := range db.plans.m {
+		key = k
+	}
+	db.plans.mu.Unlock()
+	if !strings.Contains(key, q) {
+		t.Fatalf("cache key %q does not embed the statement text", key)
+	}
+
+	// A schema change bumps the epoch: the old entry's key can never match
+	// again, and re-execution mints a fresh plan under the new epoch.
+	epoch := db.cat.Epoch()
+	db.MustExec("CREATE TABLE other (a INT)", nil)
+	if db.cat.Epoch() == epoch {
+		t.Fatal("CREATE TABLE did not bump the catalog epoch")
+	}
+	if _, err := st.Exec(nil); err != nil {
+		t.Fatal(err)
+	}
+	db.plans.mu.Lock()
+	cached = len(db.plans.m)
+	db.plans.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("after epoch bump: %d cached plans, want 2 (stale + fresh)", cached)
+	}
+}
+
+// TestPlanCacheOrderingInvalidation is the correctness case the epoch key
+// exists for: a cached plan that skipped a sort (input provably ordered)
+// must not be reused after an append destroys the ordering guarantee.
+func TestPlanCacheOrderingInvalidation(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	db.MustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)", nil)
+	db.MustExec("CREATE TABLE s (a INT, b INT)", nil)
+	// Ordered fresh fill: s is provably sorted by a, so the SELECT below
+	// plans without a sort.
+	db.MustExec("INSERT INTO s SELECT t.a, t.b FROM t ORDER BY t.a", nil)
+
+	const q = `SELECT s.a FROM s ORDER BY s.a`
+	st, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the ordering: append an out-of-order row.
+	db.MustExec("INSERT INTO s VALUES (0, 0)", nil)
+	r, err := st.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = math.MinInt64
+	for _, row := range r.Rows {
+		if row[0].Int < prev {
+			t.Fatalf("stale sort-free plan reused after append: out of order %v", r.Rows)
+		}
+		prev = row[0].Int
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(r.Rows))
+	}
+}
+
+func TestPreparedInsertSelect(t *testing.T) {
+	db := setupSales(t)
+	db.MustExec("CREATE TABLE c1 (item1 INT, cnt INT)", nil)
+	st, err := db.Prepare(`INSERT INTO c1
+		SELECT r1.item, COUNT(*) FROM sales r1
+		GROUP BY r1.item HAVING COUNT(*) >= :minsupport`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := st.Exec(map[string]int64{"minsupport": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsAffected != 5 {
+		t.Fatalf("RowsAffected = %d, want 5 (items 1..5 are frequent at support 4)", r.RowsAffected)
+	}
+}
+
+func TestStmtQueryBatches(t *testing.T) {
+	db := setupSales(t)
+	st, err := db.Prepare(`SELECT s.item, COUNT(*) FROM sales s GROUP BY s.item ORDER BY s.item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		schema, batches, err := st.QueryBatches(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if schema.Len() != 2 {
+			t.Fatalf("schema %v", schema)
+		}
+		total := 0
+		for _, b := range batches {
+			total += b.Len()
+		}
+		if total != 8 {
+			t.Fatalf("run %d: %d grouped rows, want 8 distinct items", run, total)
+		}
+	}
+}
+
+func TestExplainAnalyzeReportsActualVsEstimated(t *testing.T) {
+	db := setupSales(t)
+	r := db.MustExec(`EXPLAIN ANALYZE SELECT s.item, COUNT(*) FROM sales s
+		GROUP BY s.item HAVING COUNT(*) >= :minsupport`, map[string]int64{"minsupport": 4})
+	var text strings.Builder
+	for _, row := range r.Rows {
+		text.WriteString(row[0].Str)
+		text.WriteByte('\n')
+	}
+	out := text.String()
+	// Every executed operator reports actuals alongside the estimate.
+	if !strings.Contains(out, "actual ") || !strings.Contains(out, "(est ") {
+		t.Fatalf("EXPLAIN ANALYZE lacks actual-vs-estimated annotations:\n%s", out)
+	}
+	// The grouped scan sees 30 sales rows and emits 8 groups; HAVING keeps 5.
+	if !strings.Contains(out, "actual 8 rows") {
+		t.Errorf("expected the SortGroup to report actual 8 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "actual 5 rows") {
+		t.Errorf("expected the HAVING filter to report actual 5 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "actual: 5 rows;") {
+		t.Errorf("summary line should lead with the actual root cardinality:\n%s", out)
+	}
+}
+
+func TestExplainWithoutAnalyzeDoesNotExecute(t *testing.T) {
+	db := setupSales(t)
+	db.MustExec("CREATE TABLE sink (item INT)", nil)
+	r := db.MustExec("EXPLAIN SELECT s.item FROM sales s", nil)
+	for _, row := range r.Rows {
+		if strings.Contains(row[0].Str, "actual") {
+			t.Fatalf("plain EXPLAIN must not report actuals: %s", row[0].Str)
+		}
+	}
+}
+
+func TestCalibrateImprovesSelectivityEstimate(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)", nil)
+	// 1000 rows; a=1 on half of them — five times the default 0.10
+	// equality selectivity, so the default estimate is off by 5×.
+	rows := make([]tuple.Tuple, 1000)
+	for i := range rows {
+		rows[i] = tuple.Ints(int64(i%2), int64(i))
+	}
+	if err := db.LoadTable("t", tuple.IntSchema("a", "b"), rows); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT t.b FROM t WHERE t.a = :x`
+
+	qerrBefore := filterQError(t, db, q)
+	cal, err := db.Calibrate([]string{q}, map[string]int64{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.SelEquality <= costmodel.DefaultSelEquality {
+		t.Fatalf("fitted SelEquality %.3f did not move toward the observed 0.5", cal.SelEquality)
+	}
+	qerrAfter := filterQError(t, db, q)
+	if qerrAfter >= qerrBefore {
+		t.Fatalf("calibration did not improve the estimate: q-error %.2f -> %.2f", qerrBefore, qerrAfter)
+	}
+	// One observation fits against a ridge prior toward the default, so
+	// the fitted constant lands between 0.10 and 0.50 — and the remaining
+	// q-error stays within a loose pinned bound.
+	if qerrAfter > 3.0 {
+		t.Fatalf("post-calibration q-error %.2f exceeds pinned bound 3.0", qerrAfter)
+	}
+}
+
+// filterQError runs q and returns the q-error of the filter's estimate.
+func filterQError(t *testing.T, db *DB, q string) float64 {
+	t.Helper()
+	obs, err := db.Observe(q, map[string]int64{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("expected 1 observation, got %d", len(obs))
+	}
+	cal := db.Calibration()
+	est := int64(float64(obs[0].In) * cal.SelEquality)
+	return costmodel.QError(est, obs[0].Out)
+}
+
+func TestCalibrationVersionInvalidatesPlanCache(t *testing.T) {
+	db := setupSales(t)
+	st, err := db.Prepare(`SELECT s.item FROM sales s WHERE s.item = :x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(map[string]int64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	db.SetCalibration(costmodel.DefaultCalibration())
+	if _, err := st.Exec(map[string]int64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	db.plans.mu.Lock()
+	cached := len(db.plans.m)
+	db.plans.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("after calibration bump: %d cached plans, want 2 (stale + fresh)", cached)
+	}
+}

@@ -14,7 +14,8 @@ package exec
 import (
 	"fmt"
 	"io"
-	"sort"
+	"math/bits"
+	"slices"
 
 	hp "setm/internal/heap"
 	"setm/internal/storage"
@@ -93,6 +94,8 @@ type HeapScan struct {
 	sc   *hp.Scanner
 	buf  *tuple.Batch
 	rows rowCursor
+
+	stats OpStats
 }
 
 // NewHeapScan returns a scan over f.
@@ -101,6 +104,7 @@ func NewHeapScan(f *hp.File) *HeapScan { return &HeapScan{file: f} }
 func (s *HeapScan) Schema() *tuple.Schema { return s.file.Schema() }
 
 func (s *HeapScan) Open() error {
+	s.stats = OpStats{}
 	s.sc = s.file.Scan()
 	if s.buf == nil {
 		s.buf = tuple.NewBatch(s.file.Schema())
@@ -109,7 +113,7 @@ func (s *HeapScan) Open() error {
 	return nil
 }
 
-func (s *HeapScan) NextBatch() (*tuple.Batch, error) {
+func (s *HeapScan) nextBatch() (*tuple.Batch, error) {
 	if s.sc == nil {
 		return nil, io.EOF
 	}
@@ -136,6 +140,8 @@ type MemScan struct {
 	rows   []tuple.Tuple
 	pos    int
 	buf    *tuple.Batch
+
+	stats OpStats
 }
 
 // NewMemScan returns a scan over rows.
@@ -144,7 +150,7 @@ func NewMemScan(schema *tuple.Schema, rows []tuple.Tuple) *MemScan {
 }
 
 func (s *MemScan) Schema() *tuple.Schema { return s.schema }
-func (s *MemScan) Open() error           { s.pos = 0; return nil }
+func (s *MemScan) Open() error           { s.stats = OpStats{}; s.pos = 0; return nil }
 
 func (s *MemScan) Next() (tuple.Tuple, error) {
 	if s.pos >= len(s.rows) {
@@ -155,7 +161,7 @@ func (s *MemScan) Next() (tuple.Tuple, error) {
 	return t, nil
 }
 
-func (s *MemScan) NextBatch() (*tuple.Batch, error) {
+func (s *MemScan) nextBatch() (*tuple.Batch, error) {
 	if s.pos >= len(s.rows) {
 		return nil, io.EOF
 	}
@@ -182,6 +188,8 @@ type Rename struct {
 	schema *tuple.Schema
 	childB BatchOperator
 	rows   rowCursor
+
+	stats OpStats
 }
 
 // NewRename wraps child with the given schema (which must have the same
@@ -191,10 +199,10 @@ func NewRename(child Operator, schema *tuple.Schema) *Rename {
 }
 
 func (r *Rename) Schema() *tuple.Schema { return r.schema }
-func (r *Rename) Open() error           { r.rows.reset(); return r.child.Open() }
+func (r *Rename) Open() error           { r.stats = OpStats{}; r.rows.reset(); return r.child.Open() }
 func (r *Rename) Close() error          { return r.child.Close() }
 
-func (r *Rename) NextBatch() (*tuple.Batch, error) {
+func (r *Rename) nextBatch() (*tuple.Batch, error) {
 	b, err := r.childB.NextBatch()
 	if err != nil {
 		return nil, err
@@ -229,6 +237,8 @@ type Filter struct {
 	selBuf2 []int32
 	scratch tuple.Tuple
 	rows    rowCursor
+
+	stats OpStats
 }
 
 // NewFilter wraps child with row predicate pred.
@@ -243,14 +253,14 @@ func NewFilterVec(child Operator, vecs []VecPredicate, pred Predicate) *Filter {
 }
 
 func (f *Filter) Schema() *tuple.Schema { return f.child.Schema() }
-func (f *Filter) Open() error           { f.rows.reset(); return f.child.Open() }
+func (f *Filter) Open() error           { f.stats = OpStats{}; f.rows.reset(); return f.child.Open() }
 func (f *Filter) Close() error          { return f.child.Close() }
 
 // Vectorized reports how many of the filter's conjuncts run vectorized
 // (for EXPLAIN output).
 func (f *Filter) Vectorized() int { return len(f.vecs) }
 
-func (f *Filter) NextBatch() (*tuple.Batch, error) {
+func (f *Filter) nextBatch() (*tuple.Batch, error) {
 	if f.scratch == nil {
 		f.scratch = make(tuple.Tuple, f.child.Schema().Len())
 	}
@@ -348,6 +358,8 @@ type Project struct {
 	buf     *tuple.Batch
 	scratch tuple.Tuple
 	rows    rowCursor
+
+	stats OpStats
 }
 
 // NewProject builds a projection with the given output schema.
@@ -371,10 +383,10 @@ func NewProjectColumns(child Operator, idxs []int, schema *tuple.Schema) *Projec
 }
 
 func (p *Project) Schema() *tuple.Schema { return p.schema }
-func (p *Project) Open() error           { p.rows.reset(); return p.child.Open() }
+func (p *Project) Open() error           { p.stats = OpStats{}; p.rows.reset(); return p.child.Open() }
 func (p *Project) Close() error          { return p.child.Close() }
 
-func (p *Project) NextBatch() (*tuple.Batch, error) {
+func (p *Project) nextBatch() (*tuple.Batch, error) {
 	b, err := p.childB.NextBatch()
 	if err != nil {
 		return nil, err
@@ -411,6 +423,8 @@ type Limit struct {
 	seen   int64
 	childB BatchOperator
 	rows   rowCursor
+
+	stats OpStats
 }
 
 // NewLimit caps child at n tuples.
@@ -419,10 +433,10 @@ func NewLimit(child Operator, n int64) *Limit {
 }
 
 func (l *Limit) Schema() *tuple.Schema { return l.child.Schema() }
-func (l *Limit) Open() error           { l.seen = 0; l.rows.reset(); return l.child.Open() }
+func (l *Limit) Open() error           { l.stats = OpStats{}; l.seen = 0; l.rows.reset(); return l.child.Open() }
 func (l *Limit) Close() error          { return l.child.Close() }
 
-func (l *Limit) NextBatch() (*tuple.Batch, error) {
+func (l *Limit) nextBatch() (*tuple.Batch, error) {
 	if l.seen >= l.n {
 		return nil, io.EOF
 	}
@@ -448,6 +462,8 @@ type Distinct struct {
 	prev   tuple.Tuple // last row of the previous batch
 	selBuf []int32
 	rows   rowCursor
+
+	stats OpStats
 }
 
 // NewDistinct wraps a sorted child.
@@ -456,10 +472,15 @@ func NewDistinct(child Operator) *Distinct {
 }
 
 func (d *Distinct) Schema() *tuple.Schema { return d.child.Schema() }
-func (d *Distinct) Open() error           { d.prev = nil; d.rows.reset(); return d.child.Open() }
-func (d *Distinct) Close() error          { return d.child.Close() }
+func (d *Distinct) Open() error {
+	d.stats = OpStats{}
+	d.prev = nil
+	d.rows.reset()
+	return d.child.Open()
+}
+func (d *Distinct) Close() error { return d.child.Close() }
 
-func (d *Distinct) NextBatch() (*tuple.Batch, error) {
+func (d *Distinct) nextBatch() (*tuple.Batch, error) {
 	for {
 		b, err := d.childB.NextBatch()
 		if err != nil {
@@ -563,6 +584,8 @@ type Sort struct {
 	out  Operator // classic path output
 	outB BatchOperator
 	rows rowCursor
+
+	stats OpStats
 }
 
 // NewSort builds a comparator-driven sort (external when pool is non-nil).
@@ -602,6 +625,7 @@ func comparatorFromKeys(keys []SortKey) xsort.Comparator {
 }
 
 func (s *Sort) Open() error {
+	s.stats = OpStats{}
 	s.rows.reset()
 	s.store, s.perm, s.pos = nil, nil, 0
 	s.out, s.outB = nil, nil
@@ -643,6 +667,63 @@ func (s *Sort) Open() error {
 	return s.out.Open()
 }
 
+// sortPermRadix sorts perm by the ascending integer key columns of store
+// using the packed byte-wise radix kernel: each column is bias-encoded
+// against its minimum and the columns are packed left-to-right into one
+// word (first key most significant), so unsigned order equals
+// lexicographic key order. The row index rides in the pair's minor word,
+// which both carries the permutation through the sort and breaks ties by
+// input position — the same total order the comparison paths produce.
+// Returns false (perm untouched) when the combined key domain needs more
+// than 64 bits.
+func sortPermRadix(store *tuple.Batch, cols []int, perm []int32) bool {
+	n := len(perm)
+	if n < 2 {
+		return true
+	}
+	type colPack struct {
+		v    []int64
+		min  uint64
+		bits uint
+	}
+	packs := make([]colPack, len(cols))
+	var totalBits uint
+	for i, c := range cols {
+		v := store.Cols[c].I[:n]
+		mn, mx := v[0], v[0]
+		for _, x := range v[1:] {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		// Two's-complement subtraction yields the unsigned span for any
+		// signed range, so negative keys bias-encode correctly.
+		b := uint(bits.Len64(uint64(mx) - uint64(mn)))
+		packs[i] = colPack{v, uint64(mn), b}
+		totalBits += b
+	}
+	if totalBits > 64 {
+		return false
+	}
+	pairs := make([]storage.PackedRow, n)
+	for r := 0; r < n; r++ {
+		var key uint64
+		for _, p := range packs {
+			key = key<<p.bits | (uint64(p.v[r]) - p.min)
+		}
+		pairs[r] = storage.PackedRow{Tid: key, Key: uint64(uint32(r))}
+	}
+	tmp := make([]storage.PackedRow, n)
+	xsort.RadixSortRows(pairs, tmp)
+	for i := range pairs {
+		perm[i] = int32(uint32(pairs[i].Key))
+	}
+	return true
+}
+
 // openColumnar gathers the child into a columnar buffer and sorts an index
 // permutation over it.
 func (s *Sort) openColumnar() error {
@@ -678,38 +759,67 @@ func (s *Sort) openColumnar() error {
 			break
 		}
 	}
+	// slices.SortFunc (not sort.Slice) avoids the reflect-based swapper:
+	// the permutation swaps as concrete int32s. The index tie-break makes
+	// every ordering total, so the unstable pdqsort still yields the same
+	// (input-order-on-ties) permutation a stable sort would.
 	switch {
+	case intAsc && sortPermRadix(store, cols, perm):
+		// Sorted by the packed radix kernel: the combined key domain fit
+		// one word, so the rows moved in O(n) byte passes instead of
+		// n·log n indirect comparisons.
 	case intAsc && len(cols) == 1:
 		v := store.Cols[cols[0]].I
-		sort.Slice(perm, func(i, j int) bool {
-			a, b := v[perm[i]], v[perm[j]]
+		slices.SortFunc(perm, func(pi, pj int32) int {
+			a, b := v[pi], v[pj]
 			if a != b {
-				return a < b
+				if a < b {
+					return -1
+				}
+				return 1
 			}
-			return perm[i] < perm[j]
+			return int(pi) - int(pj)
+		})
+	case intAsc && len(cols) == 2:
+		// Two integer keys — the (trans_id, item) shape of every SETM
+		// intermediate sort — compare without the key-column loop.
+		k0, k1 := store.Cols[cols[0]].I, store.Cols[cols[1]].I
+		slices.SortFunc(perm, func(pi, pj int32) int {
+			a, b := k0[pi], k0[pj]
+			if a == b {
+				a, b = k1[pi], k1[pj]
+			}
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+			return int(pi) - int(pj)
 		})
 	case intAsc:
 		keyCols := make([][]int64, len(cols))
 		for i, c := range cols {
 			keyCols[i] = store.Cols[c].I
 		}
-		sort.Slice(perm, func(i, j int) bool {
-			pi, pj := perm[i], perm[j]
+		slices.SortFunc(perm, func(pi, pj int32) int {
 			for _, kc := range keyCols {
 				a, b := kc[pi], kc[pj]
 				if a != b {
-					return a < b
+					if a < b {
+						return -1
+					}
+					return 1
 				}
 			}
-			return pi < pj
+			return int(pi) - int(pj)
 		})
 	default:
-		sort.Slice(perm, func(i, j int) bool {
-			c := store.CompareRows(int(perm[i]), store, int(perm[j]), cols, cols, desc)
-			if c != 0 {
-				return c < 0
+		slices.SortFunc(perm, func(pi, pj int32) int {
+			if c := store.CompareRows(int(pi), store, int(pj), cols, cols, desc); c != 0 {
+				return c
 			}
-			return perm[i] < perm[j] // stability: preserve input order on ties
+			return int(pi) - int(pj) // stability: preserve input order on ties
 		})
 	}
 	s.store, s.perm, s.pos = store, perm, 0
@@ -724,7 +834,7 @@ type opIter struct{ op Operator }
 func (o opIter) Next() (tuple.Tuple, error) { return o.op.Next() }
 func (o opIter) Close()                     {}
 
-func (s *Sort) NextBatch() (*tuple.Batch, error) {
+func (s *Sort) nextBatch() (*tuple.Batch, error) {
 	if s.store != nil {
 		if s.pos >= len(s.perm) {
 			return nil, io.EOF
@@ -752,7 +862,11 @@ func (s *Sort) Next() (tuple.Tuple, error) {
 	if s.out == nil {
 		return nil, io.EOF
 	}
-	return s.out.Next()
+	t, err := s.out.Next()
+	if err == nil {
+		s.stats.Rows++ // classic path bypasses NextBatch; keep rows exact
+	}
+	return t, err
 }
 
 func (s *Sort) Close() error {

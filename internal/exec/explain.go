@@ -48,6 +48,38 @@ func (h *HashJoin) Left() Operator { return h.left }
 // Right returns the build-side join input.
 func (h *HashJoin) Right() Operator { return h.right }
 
+// Children returns op's direct inputs in plan order (left before right),
+// for generic tree walks: EXPLAIN ANALYZE rendering and calibration
+// observation collection. Leaf operators return nil.
+func Children(op Operator) []Operator {
+	switch v := op.(type) {
+	case *Rename:
+		return []Operator{v.child}
+	case *Filter:
+		return []Operator{v.child}
+	case *Project:
+		return []Operator{v.child}
+	case *Limit:
+		return []Operator{v.child}
+	case *Distinct:
+		return []Operator{v.child}
+	case *Sort:
+		return []Operator{v.child}
+	case *SortGroup:
+		return []Operator{v.child}
+	case *HashGroup:
+		return []Operator{v.child}
+	case *MergeJoin:
+		return []Operator{v.left, v.right}
+	case *HashJoin:
+		return []Operator{v.left, v.right}
+	case *NestedLoopJoin:
+		return []Operator{v.left, v.right}
+	default:
+		return nil
+	}
+}
+
 // Explain renders an operator tree as an indented plan, one operator per
 // line, in the style of EXPLAIN output:
 //

@@ -63,6 +63,8 @@ type SortGroup struct {
 	done    bool
 	out     *tuple.Batch
 	rows    rowCursor
+
+	stats OpStats
 }
 
 // NewSortGroup groups a sorted child on groupCols, computing aggs.
@@ -91,6 +93,7 @@ func NewSortGroup(child Operator, groupCols []int, aggs []AggSpec) *SortGroup {
 func (g *SortGroup) Schema() *tuple.Schema { return g.schema }
 
 func (g *SortGroup) Open() error {
+	g.stats = OpStats{}
 	g.lb, g.li = nil, 0
 	g.srcEOF = false
 	g.haveCur = false
@@ -195,7 +198,7 @@ func (g *SortGroup) flushGroup(out *tuple.Batch) {
 	g.haveCur = false
 }
 
-func (g *SortGroup) NextBatch() (*tuple.Batch, error) {
+func (g *SortGroup) nextBatch() (*tuple.Batch, error) {
 	if g.done {
 		return nil, io.EOF
 	}

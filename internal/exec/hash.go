@@ -26,8 +26,8 @@ type HashJoin struct {
 	store *tuple.Batch       // materialized right input
 	table map[string][]int32 // key bytes -> right row indexes
 
-	lcur   batchCursor
-	bucket []int32
+	lcur    batchCursor
+	bucket  []int32
 	bi      int
 	probing bool // bucket/bi are valid for the current left row
 
@@ -35,6 +35,8 @@ type HashJoin struct {
 	out                *tuple.Batch
 	lscratch, rscratch tuple.Tuple
 	rows               rowCursor
+
+	stats OpStats
 }
 
 // NewHashJoin joins left and right on equality of the key columns.
@@ -74,6 +76,7 @@ func appendKey(buf []byte, b *tuple.Batch, i int, cols []int) ([]byte, error) {
 }
 
 func (h *HashJoin) Open() error {
+	h.stats = OpStats{}
 	if err := h.left.Open(); err != nil {
 		return err
 	}
@@ -119,7 +122,7 @@ func (h *HashJoin) Close() error {
 	return err2
 }
 
-func (h *HashJoin) NextBatch() (*tuple.Batch, error) {
+func (h *HashJoin) nextBatch() (*tuple.Batch, error) {
 	if h.out == nil {
 		h.out = tuple.NewBatch(h.schema)
 	}
@@ -189,6 +192,8 @@ type HashGroup struct {
 	pos     int
 	buf     *tuple.Batch
 	scratch tuple.Tuple
+
+	stats OpStats
 }
 
 type hashGroupState struct {
@@ -228,6 +233,7 @@ func (g *HashGroup) Schema() *tuple.Schema { return g.schema }
 func (g *HashGroup) Child() Operator { return g.child }
 
 func (g *HashGroup) Open() error {
+	g.stats = OpStats{}
 	if err := g.child.Open(); err != nil {
 		return err
 	}
@@ -324,7 +330,7 @@ func (g *HashGroup) Next() (tuple.Tuple, error) {
 	return t, nil
 }
 
-func (g *HashGroup) NextBatch() (*tuple.Batch, error) {
+func (g *HashGroup) nextBatch() (*tuple.Batch, error) {
 	if g.pos >= len(g.out) {
 		return nil, io.EOF
 	}

@@ -48,6 +48,8 @@ type MergeJoin struct {
 	out                *tuple.Batch
 	lscratch, rscratch tuple.Tuple
 	rows               rowCursor
+
+	stats OpStats
 }
 
 // NewMergeJoin joins left and right on the given key columns.
@@ -76,6 +78,7 @@ func (m *MergeJoin) SetVecResidualGT(leftCol, rightCol int) {
 func (m *MergeJoin) Schema() *tuple.Schema { return m.schema }
 
 func (m *MergeJoin) Open() error {
+	m.stats = OpStats{}
 	if err := m.left.Open(); err != nil {
 		return err
 	}
@@ -234,7 +237,7 @@ func (m *MergeJoin) residualPass() (bool, error) {
 	return m.residual(m.lcur.b.RowInto(m.lscratch, m.lcur.i), m.group.RowInto(m.rscratch, m.gi))
 }
 
-func (m *MergeJoin) NextBatch() (*tuple.Batch, error) {
+func (m *MergeJoin) nextBatch() (*tuple.Batch, error) {
 	if m.out == nil {
 		m.out = tuple.NewBatch(m.schema)
 	}
@@ -301,6 +304,8 @@ type NestedLoopJoin struct {
 	out                *tuple.Batch
 	lscratch, rscratch tuple.Tuple
 	rows               rowCursor
+
+	stats OpStats
 }
 
 // NewNestedLoopJoin joins left and right with predicate pred (nil = cross
@@ -318,6 +323,7 @@ func NewNestedLoopJoin(left, right Operator, pred JoinPredicate) *NestedLoopJoin
 func (n *NestedLoopJoin) Schema() *tuple.Schema { return n.schema }
 
 func (n *NestedLoopJoin) Open() error {
+	n.stats = OpStats{}
 	if err := n.left.Open(); err != nil {
 		return err
 	}
@@ -351,7 +357,7 @@ func (n *NestedLoopJoin) Close() error {
 	return err2
 }
 
-func (n *NestedLoopJoin) NextBatch() (*tuple.Batch, error) {
+func (n *NestedLoopJoin) nextBatch() (*tuple.Batch, error) {
 	if n.out == nil {
 		n.out = tuple.NewBatch(n.schema)
 	}

@@ -1,0 +1,72 @@
+package exec
+
+import "setm/internal/tuple"
+
+// OpStats records an operator's actual output cardinality: how many rows
+// and batches it produced since Open. EXPLAIN ANALYZE reads these after a
+// plan has been drained to report actual-vs-estimated rows per operator,
+// and the calibration harness fits the planner's selectivity constants
+// from them.
+type OpStats struct {
+	Batches int64
+	Rows    int64
+}
+
+// StatsReporter is implemented by every operator in this package; it
+// exposes the operator's actual-output counters.
+type StatsReporter interface {
+	ExecStats() *OpStats
+}
+
+// tally counts one NextBatch result on its way out.
+func (st *OpStats) tally(b *tuple.Batch, err error) (*tuple.Batch, error) {
+	if err == nil {
+		st.Batches++
+		st.Rows += int64(b.Len())
+	}
+	return b, err
+}
+
+// Counted NextBatch fronts for each operator: the real work happens in the
+// operators' nextBatch methods; these wrappers keep the row/batch counters
+// exact on both the batch path and the row path (rowCursor pulls through
+// NextBatch).
+
+func (s *HeapScan) NextBatch() (*tuple.Batch, error) { return s.stats.tally(s.nextBatch()) }
+func (s *HeapScan) ExecStats() *OpStats              { return &s.stats }
+
+func (s *MemScan) NextBatch() (*tuple.Batch, error) { return s.stats.tally(s.nextBatch()) }
+func (s *MemScan) ExecStats() *OpStats              { return &s.stats }
+
+func (r *Rename) NextBatch() (*tuple.Batch, error) { return r.stats.tally(r.nextBatch()) }
+func (r *Rename) ExecStats() *OpStats              { return &r.stats }
+
+func (f *Filter) NextBatch() (*tuple.Batch, error) { return f.stats.tally(f.nextBatch()) }
+func (f *Filter) ExecStats() *OpStats              { return &f.stats }
+
+func (p *Project) NextBatch() (*tuple.Batch, error) { return p.stats.tally(p.nextBatch()) }
+func (p *Project) ExecStats() *OpStats              { return &p.stats }
+
+func (l *Limit) NextBatch() (*tuple.Batch, error) { return l.stats.tally(l.nextBatch()) }
+func (l *Limit) ExecStats() *OpStats              { return &l.stats }
+
+func (d *Distinct) NextBatch() (*tuple.Batch, error) { return d.stats.tally(d.nextBatch()) }
+func (d *Distinct) ExecStats() *OpStats              { return &d.stats }
+
+func (s *Sort) NextBatch() (*tuple.Batch, error) { return s.stats.tally(s.nextBatch()) }
+func (s *Sort) ExecStats() *OpStats              { return &s.stats }
+
+func (g *SortGroup) NextBatch() (*tuple.Batch, error) { return g.stats.tally(g.nextBatch()) }
+func (g *SortGroup) ExecStats() *OpStats              { return &g.stats }
+
+func (g *HashGroup) NextBatch() (*tuple.Batch, error) { return g.stats.tally(g.nextBatch()) }
+func (g *HashGroup) ExecStats() *OpStats              { return &g.stats }
+
+func (m *MergeJoin) NextBatch() (*tuple.Batch, error) { return m.stats.tally(m.nextBatch()) }
+func (m *MergeJoin) ExecStats() *OpStats              { return &m.stats }
+
+func (h *HashJoin) NextBatch() (*tuple.Batch, error) { return h.stats.tally(h.nextBatch()) }
+func (h *HashJoin) ExecStats() *OpStats              { return &h.stats }
+
+func (n *NestedLoopJoin) NextBatch() (*tuple.Batch, error) { return n.stats.tally(n.nextBatch()) }
+func (n *NestedLoopJoin) ExecStats() *OpStats              { return &n.stats }

@@ -20,14 +20,14 @@ import (
 // build side).
 const DefaultMemBudget = 256 << 20
 
-// Planner selectivity defaults, System-R style: without histograms an
-// equality conjunct is assumed to keep 1/10 of its input, a range
-// comparison about 1/3, anything else 1/4.
-const (
-	selEquality = 0.10
-	selRange    = 0.30
-	selDefault  = 0.25
-)
+// opClasses records, per operator, what the calibration harness needs to
+// re-derive its estimate: filter conjunct counts by class, or that the
+// operator is a grouping. Paired with actual input/output rows after a run
+// it becomes a costmodel.Observation.
+type opClasses struct {
+	eq, rng, def int
+	group        bool
+}
 
 // Estimate is the planner's guess for one operator's output.
 type Estimate struct {
@@ -61,6 +61,12 @@ type Plan struct {
 	Est Estimate
 	// notes maps operators to EXPLAIN annotations.
 	notes map[exec.Operator]string
+	// ests maps operators to their estimated output rows, for EXPLAIN
+	// ANALYZE's actual-vs-estimated report.
+	ests map[exec.Operator]int64
+	// classes maps calibratable operators (filters, groupings) to their
+	// conjunct classes, for Observations.
+	classes map[exec.Operator]opClasses
 }
 
 // Note returns the planner's annotation for op (empty when none), in the
@@ -69,6 +75,14 @@ func (p *Plan) Note(op exec.Operator) string { return p.notes[op] }
 
 // Explain renders the plan with cost annotations.
 func (p *Plan) Explain() string { return exec.ExplainAnnotated(p.Root, p.Note) }
+
+// EstRows returns the planner's estimated output rows for op; ok is false
+// for operators the planner did not estimate individually (e.g. the bare
+// HeapScan under a Rename, whose live row count EXPLAIN prints anyway).
+func (p *Plan) EstRows(op exec.Operator) (int64, bool) {
+	r, ok := p.ests[op]
+	return r, ok
+}
 
 // note records an EXPLAIN annotation for op.
 func (c *Compiler) note(op exec.Operator, format string, args ...interface{}) {
@@ -94,6 +108,31 @@ func (c *Compiler) memBudget() int64 {
 		return c.MemBudget
 	}
 	return DefaultMemBudget
+}
+
+// calibration returns the active estimation constants: the installed
+// fitted set, or the built-in defaults.
+func (c *Compiler) calibration() costmodel.Calibration {
+	if c.Calib != nil {
+		return *c.Calib
+	}
+	return costmodel.DefaultCalibration()
+}
+
+// setEst records op's estimated output rows for EXPLAIN ANALYZE.
+func (c *Compiler) setEst(op exec.Operator, rows int64) {
+	if c.ests == nil {
+		c.ests = make(map[exec.Operator]int64)
+	}
+	c.ests[op] = rows
+}
+
+// setClasses records op's calibration classes for Observations.
+func (c *Compiler) setClasses(op exec.Operator, cls opClasses) {
+	if c.classes == nil {
+		c.classes = make(map[exec.Operator]opClasses)
+	}
+	c.classes[op] = cls
 }
 
 // schemaRowBytes estimates the encoded bytes of one row of s: 8 per
@@ -192,6 +231,7 @@ func (c *Compiler) sortNode(n node, keys []exec.SortKey, why string) node {
 		kind = fmt.Sprintf("external (est %d bytes > budget %d)", sortBytes, c.memBudget())
 	}
 	c.note(op, "%s sort for %s, est %d rows, cost≈%.2fms", kind, why, est.Rows, est.CostMs)
+	c.setEst(op, est.Rows)
 	// The ordering claim is ascending-only (catalog.Table.OrderedBy
 	// semantics): claim the keys up to the first descending one — a
 	// stream sorted by (a ASC, b DESC) is still non-decreasing on a, but
@@ -257,6 +297,7 @@ func (c *Compiler) joinChoice(left, right node, leftKeys, rightKeys []int) node 
 		est.CostMs = l.est.CostMs + r.est.CostMs + costmodel.MergePassMs(left.est.Rows, right.est.Rows)
 		c.note(op, "cost-based: merge-scan %.2fms ≤ hash %.2fms (nested-loop %.2fms); est %d rows",
 			mergeMs, hashMs, nlMs, est.Rows)
+		c.setEst(op, est.Rows)
 		// Merge join emits left rows in order, each with its right group in
 		// right order: the output stays ordered by the left stream's
 		// ordering — and by left columns ONLY. Extending the claim with
@@ -273,6 +314,7 @@ func (c *Compiler) joinChoice(left, right node, leftKeys, rightKeys []int) node 
 	est.CostMs += hashMs
 	c.note(op, "cost-based: hash %.2fms < merge-scan %.2fms (nested-loop %.2fms); build %d rows, est %d rows",
 		hashMs, mergeMs, nlMs, right.est.Rows, est.Rows)
+	c.setEst(op, est.Rows)
 	// Probing emits each left row's matches contiguously, so any ordering
 	// on left columns survives.
 	return node{op: op, est: est, ordering: append([]int{}, left.ordering...)}

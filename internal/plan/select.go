@@ -22,8 +22,13 @@ type Compiler struct {
 	// MemBudget bounds the in-memory working set of a sort or hash build
 	// (0 = DefaultMemBudget); the cost model spills or rejects above it.
 	MemBudget int64
+	// Calib overrides the built-in estimation constants with a fitted set
+	// (nil = costmodel.DefaultCalibration).
+	Calib *costmodel.Calibration
 
-	notes map[exec.Operator]string
+	notes   map[exec.Operator]string
+	ests    map[exec.Operator]int64
+	classes map[exec.Operator]opClasses
 }
 
 // NewCompiler builds a compiler. pool may be nil to keep sorts in memory.
@@ -49,6 +54,8 @@ func (c *Compiler) CompileSelect(sel *sqlparse.Select) (exec.Operator, error) {
 // skipped.
 func (c *Compiler) CompilePlan(sel *sqlparse.Select) (*Plan, error) {
 	c.notes = make(map[exec.Operator]string)
+	c.ests = make(map[exec.Operator]int64)
+	c.classes = make(map[exec.Operator]opClasses)
 	n, err := c.compileFromWhere(sel)
 	if err != nil {
 		return nil, err
@@ -86,6 +93,7 @@ func (c *Compiler) CompilePlan(sel *sqlparse.Select) (*Plan, error) {
 		op := exec.NewDistinct(n.op)
 		est := n.est
 		est.Rows = max64(1, est.Rows/2)
+		c.setEst(op, est.Rows)
 		n = node{op: op, est: est, ordering: n.ordering}
 	}
 
@@ -100,9 +108,11 @@ func (c *Compiler) CompilePlan(sel *sqlparse.Select) (*Plan, error) {
 		if est.Rows > sel.Limit {
 			est.Rows = sel.Limit
 		}
+		c.setEst(op, est.Rows)
 		n = node{op: op, est: est, ordering: n.ordering}
 	}
-	return &Plan{Root: n.op, Ordering: n.ordering, Est: n.est, notes: c.notes}, nil
+	return &Plan{Root: n.op, Ordering: n.ordering, Est: n.est,
+		notes: c.notes, ests: c.ests, classes: c.classes}, nil
 }
 
 // scanRef builds a qualified scan of one FROM table: every column is
@@ -127,6 +137,7 @@ func (c *Compiler) scanRef(ref sqlparse.TableRef) (node, error) {
 		RowBytes: schemaRowBytes(base),
 		CostMs:   costmodel.SeqScanMs(p, int64(tbl.File.Pages())),
 	}
+	c.setEst(op, est.Rows)
 	return node{op: op, est: est, ordering: append([]int{}, tbl.OrderedBy...)}, nil
 }
 
@@ -136,17 +147,22 @@ type conjunct struct {
 	used bool
 }
 
-// selectivityOf is the System-R style default selectivity of a conjunct.
-func selectivityOf(e sqlparse.Expr) float64 {
+// conjSelectivity returns the calibrated selectivity of one conjunct and
+// tallies its class (equality / range / default) into cls so the operator
+// can later be paired with its actual cardinalities for re-fitting.
+func conjSelectivity(e sqlparse.Expr, cal costmodel.Calibration, cls *opClasses) float64 {
 	if be, ok := e.(*sqlparse.BinaryExpr); ok {
 		switch be.Op {
 		case sqlparse.OpEq:
-			return selEquality
+			cls.eq++
+			return cal.SelEquality
 		case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
-			return selRange
+			cls.rng++
+			return cal.SelRange
 		}
 	}
-	return selDefault
+	cls.def++
+	return cal.SelDefault
 }
 
 // fullFromSchema concatenates the qualified schemas of every FROM table,
@@ -172,6 +188,8 @@ func (c *Compiler) attachFilters(n node, conjs []*conjunct, scope map[string]boo
 	var vecs []exec.VecPredicate
 	var preds []exec.Predicate
 	sel := 1.0
+	cal := c.calibration()
+	var cls opClasses
 	for _, cj := range conjs {
 		if cj.used {
 			continue
@@ -194,7 +212,7 @@ func (c *Compiler) attachFilters(n node, conjs []*conjunct, scope map[string]boo
 			}
 			preds = append(preds, p)
 		}
-		sel *= selectivityOf(cj.expr)
+		sel *= conjSelectivity(cj.expr, cal, &cls)
 		cj.used = true
 	}
 	if len(vecs) == 0 && len(preds) == 0 {
@@ -210,6 +228,8 @@ func (c *Compiler) attachFilters(n node, conjs []*conjunct, scope map[string]boo
 	est.Rows = max64(1, int64(float64(est.Rows)*sel))
 	c.note(op, "selectivity≈%.2f, est %d rows (%d/%d conjuncts vectorized)",
 		sel, est.Rows, len(vecs), len(vecs)+len(preds))
+	c.setEst(op, est.Rows)
+	c.setClasses(op, cls)
 	return node{op: op, est: est, ordering: n.ordering}, nil
 }
 
@@ -309,6 +329,7 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (node, error) {
 					costmodel.NestedLoopMs(current.est.Rows, right.est.Rows),
 			}
 			c.note(op, "no equi-join key; est %d rows, cost≈%.2fms", est.Rows, est.CostMs)
+			c.setEst(op, est.Rows)
 			current = node{op: op, est: est, ordering: append([]int{}, current.ordering...)}
 		}
 		scope[rbind] = true
@@ -410,8 +431,9 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 	if len(groupIdxs) == 0 {
 		grp.Global = true
 	}
+	cal := c.calibration()
 	est := Estimate{
-		Rows:     max64(1, child.est.Rows/10),
+		Rows:     max64(1, int64(float64(child.est.Rows)*cal.GroupFrac)),
 		RowBytes: schemaRowBytes(grp.Schema()),
 		CostMs:   child.est.CostMs + costmodel.CPUTupleMs*float64(child.est.Rows),
 	}
@@ -422,12 +444,15 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 		ordering[i] = i
 	}
 	c.note(grp, "est %d groups from %d rows", est.Rows, child.est.Rows)
+	c.setEst(grp, est.Rows)
+	c.setClasses(grp, opClasses{group: true})
 	n := node{op: grp, est: est, ordering: ordering}
 
 	if sel.Having != nil {
 		rewritten := rewriteAggs(sel.Having, aggCols)
+		var cls opClasses
 		est := n.est
-		est.Rows = max64(1, int64(float64(est.Rows)*selectivityOf(rewritten)))
+		est.Rows = max64(1, int64(float64(est.Rows)*conjSelectivity(rewritten, cal, &cls)))
 		var op *exec.Filter
 		if vp := compileVecPredicate(rewritten, grp.Schema(), c.params); vp != nil {
 			op = exec.NewFilterVec(n.op, []exec.VecPredicate{vp}, nil)
@@ -446,6 +471,8 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 			})
 			c.note(op, "HAVING, est %d rows", est.Rows)
 		}
+		c.setEst(op, est.Rows)
+		c.setClasses(op, cls)
 		n = node{op: op, est: est, ordering: n.ordering}
 	}
 	return n, aggCols, nil
@@ -550,10 +577,13 @@ func (c *Compiler) compileProjection(sel *sqlparse.Select, in node, aggCols map[
 	est.RowBytes = schemaRowBytes(schema)
 	if pureCols {
 		op := exec.NewProjectColumns(in.op, colIdxs, schema)
+		c.setEst(op, est.Rows)
 		return node{op: op, est: est, ordering: remapOrdering(in.ordering, colIdxs)}, nil
 	}
 	est.CostMs += costmodel.CPUTupleMs * float64(est.Rows)
-	return node{op: exec.NewProject(in.op, schema, projs), est: est}, nil
+	op := exec.NewProject(in.op, schema, projs)
+	c.setEst(op, est.Rows)
+	return node{op: op, est: est}, nil
 }
 
 // compileOrderBy sorts the projected output, unless the planner can prove

@@ -87,7 +87,13 @@ func GenerateSQL(res *core.Result, minConfidence float64) ([]Rule, error) {
 				strings.Join(sel, ", "), k, k-1,
 				strings.Join(eqs, " AND "),
 				strings.Join(sel[:k], ", "))
-			r, err := db.Exec(q, map[string]int64{"pct": pct})
+			// One prepared statement per (k, dropped-position) shape; the
+			// confidence threshold binds as :pct at execution time.
+			st, err := db.Prepare(q)
+			if err != nil {
+				return nil, err
+			}
+			r, err := st.Exec(map[string]int64{"pct": pct})
 			if err != nil {
 				return nil, err
 			}

@@ -77,9 +77,12 @@ type OrderItem struct {
 	Desc bool
 }
 
-// Explain is EXPLAIN SELECT ...: return the plan instead of executing.
+// Explain is EXPLAIN [ANALYZE] SELECT ...: return the plan instead of the
+// query results. With Analyze set the statement is also executed and each
+// plan operator reports actual vs estimated rows.
 type Explain struct {
-	Select *Select
+	Select  *Select
+	Analyze bool
 }
 
 func (*CreateTable) stmt() {}

@@ -1,0 +1,122 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// BenchmarkParse parses the paper's Figure-4 statement set per op. The
+// "arena" variant reuses one parser (the pooled steady state the engine
+// runs in — 0 allocs/op); "fresh" dedicates a parser per statement as the
+// package-level Parse does; "legacy" is the pre-rewrite recursive-descent
+// parser kept in legacy_test.go.
+func BenchmarkParse(b *testing.B) {
+	for _, seed := range figure4Seeds {
+		if _, err := Parse(seed); err != nil {
+			b.Fatalf("corpus statement does not parse: %v", err)
+		}
+	}
+	b.Run("arena", func(b *testing.B) {
+		p := NewParser()
+		for _, src := range figure4Seeds { // warm the arena
+			p.Reset(src)
+			if _, err := p.ParseStatement(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, src := range figure4Seeds {
+				p.Reset(src)
+				if _, err := p.ParseStatement(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, src := range figure4Seeds {
+				if _, err := Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, src := range figure4Seeds {
+				if _, err := legacyParse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkTokenizeOnly isolates the scanner.
+func BenchmarkTokenizeOnly(b *testing.B) {
+	var sc scanner
+	var t token
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, src := range figure4Seeds {
+			sc.init(src)
+			for {
+				if err := sc.next(&t); err != nil {
+					b.Fatal(err)
+				}
+				if t.kind == TokEOF {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestParseSteadyStateZeroAllocs is the acceptance gate for the rewrite: a
+// reused parser parses the whole Figure-4 statement set without allocating.
+func TestParseSteadyStateZeroAllocs(t *testing.T) {
+	p := NewParser()
+	parseAll := func() {
+		for _, src := range figure4Seeds {
+			p.Reset(src)
+			if _, err := p.ParseStatement(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	parseAll() // warm the arena to capacity
+	if allocs := testing.AllocsPerRun(100, parseAll); allocs != 0 {
+		t.Errorf("steady-state parse of Figure-4 set = %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestPooledParserReuse exercises the Acquire/Release cycle across
+// goroutines under the race detector.
+func TestPooledParserReuse(t *testing.T) {
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				p := AcquireParser()
+				for _, src := range figure4Seeds {
+					p.Reset(src)
+					if _, err := p.ParseStatement(); err != nil {
+						done <- err
+						return
+					}
+				}
+				ReleaseParser(p)
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

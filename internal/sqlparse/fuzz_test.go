@@ -5,12 +5,34 @@ import (
 	"testing"
 )
 
-// FuzzParse asserts two properties on arbitrary input:
-//
-//  1. the parser never panics — it either returns an AST or an error;
-//  2. accepted statements round-trip: Print renders an AST back to SQL
-//     that re-parses to an equal AST.
-func FuzzParse(f *testing.F) {
+// figure4Seeds is the paper's Figure-4 statement set as MineSQL issues it
+// (k=2 shown): the C_1 count query, the R'_k extension join, the C_k
+// count+filter, and the R_k materialization, plus the surrounding DDL.
+var figure4Seeds = []string{
+	`SELECT s.item, COUNT(*) FROM sales s GROUP BY s.item HAVING COUNT(*) >= :minsupport`,
+	`CREATE TABLE rp2 (trans_id INT, item1 INT, item2 INT)`,
+	`INSERT INTO rp2
+	 SELECT p.trans_id, p.item1, q.item
+	 FROM r1 p, sales q
+	 WHERE q.trans_id = p.trans_id AND q.item > p.item1
+	 ORDER BY p.trans_id, p.item1, q.item`,
+	`CREATE TABLE c2 (item1 INT, item2 INT, cnt INT)`,
+	`INSERT INTO c2
+	 SELECT p.item1, p.item2, COUNT(*)
+	 FROM rp2 p
+	 GROUP BY p.item1, p.item2
+	 HAVING COUNT(*) >= :minsupport`,
+	`CREATE TABLE r2 (trans_id INT, item1 INT, item2 INT)`,
+	`INSERT INTO r2
+	 SELECT p.trans_id, p.item1, p.item2
+	 FROM rp2 p, c2 c
+	 WHERE p.item1 = c.item1 AND p.item2 = c.item2
+	 ORDER BY p.trans_id, p.item1, p.item2`,
+	`SELECT item1, item2, cnt FROM c2 ORDER BY item1, item2`,
+	`DROP TABLE IF EXISTS rp2`,
+}
+
+func addSharedSeeds(f *testing.F) {
 	for _, seed := range []string{
 		"SELECT * FROM sales",
 		"SELECT s.item, COUNT(*) FROM sales s GROUP BY s.item HAVING COUNT(*) >= :minsupport",
@@ -22,11 +44,27 @@ func FuzzParse(f *testing.F) {
 		"DROP TABLE IF EXISTS r2",
 		"DELETE FROM r2",
 		"EXPLAIN SELECT a FROM t ORDER BY a DESC, b LIMIT 3",
+		"EXPLAIN ANALYZE SELECT a, COUNT(*) FROM t GROUP BY a",
 		"SELECT DISTINCT a AS x, 1 + 2 * 3 FROM t WHERE NOT a < -5 OR b <> 0;",
 		"SELECT MIN(a), MAX(b), SUM(a + b) FROM t -- comment",
+		"SELECT a -- trailing comment\nFROM t -- another\nWHERE a > 1",
+		"-- leading comment\n-- more\nSELECT a FROM t",
+		"SELECT a\nFROM t\nWHERE a = 'multi\nline string'",
 	} {
 		f.Add(seed)
 	}
+	for _, seed := range figure4Seeds {
+		f.Add(seed)
+	}
+}
+
+// FuzzParse asserts two properties on arbitrary input:
+//
+//  1. the parser never panics — it either returns an AST or an error;
+//  2. accepted statements round-trip: Print renders an AST back to SQL
+//     that re-parses to an equal AST.
+func FuzzParse(f *testing.F) {
+	addSharedSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		st, err := Parse(src)
 		if err != nil {
@@ -43,12 +81,51 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzParseDiff pins the zero-allocation parser bit-identical to the
+// pre-rewrite recursive-descent parser (legacy_test.go): on every input the
+// two either both fail or both succeed with DeepEqual ASTs and identical
+// canonical renderings. Error positions are pinned too, since both parsers
+// format them into the message.
+func FuzzParseDiff(f *testing.F) {
+	addSharedSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		stNew, errNew := Parse(src)
+		stOld, errOld := legacyParse(src)
+		if (errNew == nil) != (errOld == nil) {
+			t.Fatalf("accept/reject mismatch on %q\nnew: %v\nold: %v", src, errNew, errOld)
+		}
+		if errNew != nil {
+			if errNew.Error() != errOld.Error() {
+				t.Fatalf("error mismatch on %q\nnew: %v\nold: %v", src, errNew, errOld)
+			}
+			return
+		}
+		if !reflect.DeepEqual(stNew, stOld) {
+			t.Fatalf("AST mismatch on %q\nnew: %#v\nold: %#v", src, stNew, stOld)
+		}
+		if pn, po := Print(stNew), Print(stOld); pn != po {
+			t.Fatalf("print mismatch on %q\nnew: %q\nold: %q", src, pn, po)
+		}
+
+		// Scripts must agree too (a single statement is also a script).
+		ssNew, serrNew := ParseScript(src)
+		ssOld, serrOld := legacyParseScript(src)
+		if (serrNew == nil) != (serrOld == nil) {
+			t.Fatalf("script accept/reject mismatch on %q\nnew: %v\nold: %v", src, serrNew, serrOld)
+		}
+		if serrNew == nil && !reflect.DeepEqual(ssNew, ssOld) {
+			t.Fatalf("script AST mismatch on %q\nnew: %#v\nold: %#v", src, ssNew, ssOld)
+		}
+	})
+}
+
 // FuzzParseScript asserts the script splitter never panics and accepts
 // every statement sequence the single-statement parser accepts.
 func FuzzParseScript(f *testing.F) {
 	f.Add("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
 	f.Add(";;;")
 	f.Add("SELECT 1 FROM t")
+	f.Add("-- setup\nCREATE TABLE t (a INT);\n-- load\nINSERT INTO t VALUES (1);\nSELECT a FROM t;")
 	f.Fuzz(func(t *testing.T, src string) {
 		stmts, err := ParseScript(src)
 		if err != nil {

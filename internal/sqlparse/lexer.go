@@ -1,12 +1,19 @@
-// Package sqlparse implements the lexer, AST, and recursive-descent parser
-// for the SQL subset the paper's queries use: CREATE/DROP TABLE, INSERT
-// (VALUES and INSERT ... SELECT), DELETE, and SELECT with joins, WHERE,
-// GROUP BY, HAVING, ORDER BY, COUNT(*), and named parameters (:minsupport).
+// Package sqlparse implements the lexer, AST, and parser for the SQL subset
+// the paper's queries use: CREATE/DROP TABLE, INSERT (VALUES and INSERT ...
+// SELECT), DELETE, and SELECT with joins, WHERE, GROUP BY, HAVING, ORDER BY,
+// COUNT(*), named parameters (:minsupport), and EXPLAIN [ANALYZE].
+//
+// The front end is allocation-free on the hot path: the scanner walks the
+// source string byte by byte, token text is a substring sharing the source's
+// backing array, keywords are matched case-insensitively against a
+// length-bucketed table (no ToUpper, no map), and the parser allocates AST
+// nodes from a per-parser arena that Reset recycles. Steady-state parsing of
+// the paper's Figure-4 statement set runs at 0 allocs/op.
 package sqlparse
 
 import (
 	"fmt"
-	"strings"
+	"math"
 	"unicode"
 )
 
@@ -43,174 +50,425 @@ func (t Token) String() string {
 	}
 }
 
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "AND": true,
-	"OR": true, "NOT": true, "INSERT": true, "INTO": true, "VALUES": true,
-	"CREATE": true, "TABLE": true, "DROP": true, "DELETE": true, "AS": true,
-	"INT": true, "INTEGER": true, "STRING": true, "VARCHAR": true,
-	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "DISTINCT": true,
-	"LIMIT": true, "IF": true, "EXISTS": true, "EXPLAIN": true,
+// kwID identifies a keyword. Matching a word yields an ID so the parser
+// compares small integers instead of strings.
+type kwID uint8
+
+const (
+	kwNone kwID = iota
+	kwSelect
+	kwFrom
+	kwWhere
+	kwGroup
+	kwBy
+	kwHaving
+	kwOrder
+	kwAsc
+	kwDesc
+	kwAnd
+	kwOr
+	kwNot
+	kwInsert
+	kwInto
+	kwValues
+	kwCreate
+	kwTable
+	kwDrop
+	kwDelete
+	kwAs
+	kwInt
+	kwInteger
+	kwStringT
+	kwVarchar
+	kwCount
+	kwSum
+	kwMin
+	kwMax
+	kwDistinct
+	kwLimit
+	kwIf
+	kwExists
+	kwExplain
+	numKeywords
+)
+
+// kwNames holds each keyword's canonical upper-case spelling; token text for
+// keywords aliases these constants, so no per-token string is built.
+var kwNames = [numKeywords]string{
+	kwSelect: "SELECT", kwFrom: "FROM", kwWhere: "WHERE", kwGroup: "GROUP",
+	kwBy: "BY", kwHaving: "HAVING", kwOrder: "ORDER", kwAsc: "ASC",
+	kwDesc: "DESC", kwAnd: "AND", kwOr: "OR", kwNot: "NOT",
+	kwInsert: "INSERT", kwInto: "INTO", kwValues: "VALUES",
+	kwCreate: "CREATE", kwTable: "TABLE", kwDrop: "DROP", kwDelete: "DELETE",
+	kwAs: "AS", kwInt: "INT", kwInteger: "INTEGER", kwStringT: "STRING",
+	kwVarchar: "VARCHAR", kwCount: "COUNT", kwSum: "SUM", kwMin: "MIN",
+	kwMax: "MAX", kwDistinct: "DISTINCT", kwLimit: "LIMIT", kwIf: "IF",
+	kwExists: "EXISTS", kwExplain: "EXPLAIN",
 }
 
-// Lexer splits SQL text into tokens.
+// maxKeywordLen bounds the length buckets below.
+const maxKeywordLen = 8
+
+// kwIndex buckets keyword IDs by (spelling length, first letter) so a
+// candidate word is compared against at most two same-shape keywords, and
+// kwPacked holds each keyword's bytes packed into a uint64 (all keywords are
+// at most 8 bytes) so that comparison is a single integer equality.
+var (
+	kwIndex  [maxKeywordLen + 1][26][]kwID
+	kwPacked [numKeywords]uint64
+	// kwMask[n] has bit (c0-'A') set iff some keyword of length n starts
+	// with letter c0 — a one-load rejection test for most identifiers.
+	kwMask [maxKeywordLen + 1]uint32
+)
+
+// Byte classification tables. They reproduce the previous lexer's semantics
+// exactly: a byte is an identifier character iff unicode.IsLetter /
+// unicode.IsDigit said so for the byte interpreted as a rune (which admits
+// Latin-1 letters), precomputed so the scan is a table lookup per byte.
+// classTab dispatches the first byte of a token to its scan routine in one
+// load.
+const (
+	clsBad   = iota // no token starts with this byte
+	clsIdent        // identifier or keyword start
+	clsDigit        // integer literal
+	clsQuote        // ' string literal
+	clsColon        // :parameter
+	clsSym2         // < > ! — may start a two-character operator
+	clsSym1         // single-character symbol
+)
+
+var (
+	identStartTab [256]bool
+	identPartTab  [256]bool
+	digitTab      [256]bool
+	classTab      [256]uint8
+)
+
+func init() {
+	for i := 1; i < len(kwNames); i++ {
+		n := len(kwNames[i])
+		c0 := kwNames[i][0] - 'A'
+		kwIndex[n][c0] = append(kwIndex[n][c0], kwID(i))
+		kwMask[n] |= 1 << c0
+		var v uint64
+		for j := 0; j < n; j++ {
+			v = v<<8 | uint64(kwNames[i][j])
+		}
+		kwPacked[i] = v
+	}
+	for i := 0; i < 256; i++ {
+		r := rune(i)
+		identStartTab[i] = i == '_' || unicode.IsLetter(r)
+		identPartTab[i] = i == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+		digitTab[i] = unicode.IsDigit(r)
+		switch {
+		case identStartTab[i]:
+			classTab[i] = clsIdent
+		case digitTab[i]:
+			classTab[i] = clsDigit
+		case i == '\'':
+			classTab[i] = clsQuote
+		case i == ':':
+			classTab[i] = clsColon
+		case i == '<' || i == '>' || i == '!':
+			classTab[i] = clsSym2
+		default:
+			classTab[i] = clsBad
+		}
+	}
+	for _, c := range "(),;*=.+-/" {
+		classTab[c] = clsSym1
+	}
+}
+
+// lookupKeyword matches word case-insensitively against the keyword table,
+// returning kwNone for non-keywords. No allocation, no map access. Keywords
+// are pure A-Z, so folding a candidate byte with &^0x20 matches exactly the
+// two case variants of each keyword letter and nothing else.
+func lookupKeyword(word string) kwID {
+	n := len(word)
+	if n < 2 || n > maxKeywordLen {
+		return kwNone
+	}
+	c0 := word[0] &^ 0x20
+	if c0 < 'A' || c0 > 'Z' || kwMask[n]>>(c0-'A')&1 == 0 {
+		return kwNone
+	}
+	bucket := kwIndex[n][c0-'A']
+	v := uint64(c0)
+	for i := 1; i < n; i++ {
+		v = v<<8 | uint64(word[i]&^0x20)
+	}
+	for _, id := range bucket {
+		if kwPacked[id] == v {
+			return id
+		}
+	}
+	return kwNone
+}
+
+// tokErr is an internal sentinel kind: the parser prescans the whole input
+// into a token slab, and a scan failure is recorded as a tokErr token at the
+// point of failure so the error surfaces only if parsing actually reaches
+// it — identical semantics to lexing lazily.
+const tokErr TokenKind = -1
+
+// Two-character operators get synthetic symbol codes outside the ASCII
+// range; single-character symbols use the character itself.
+const (
+	symLE byte = 0x80 // <=
+	symGE byte = 0x81 // >=
+	symNE byte = 0x82 // <> (and !=, normalized)
+)
+
+// token is the scanner's internal token: text borrows the source (or a
+// canonical keyword constant), so producing one never allocates. String
+// literals containing doubled-quote escapes are the one exception. Fields
+// beyond kind, line, and col are only meaningful for the kinds that set
+// them: symbol
+// tokens carry sym (their text is derived on demand), int tokens carry
+// ival/intBad, and so on.
+type token struct {
+	kind   TokenKind
+	kw     kwID   // valid when kind == TokKeyword
+	sym    byte   // valid when kind == TokSymbol
+	intBad bool   // TokInt: literal does not fit in int64
+	ival   int64  // valid when kind == TokInt
+	text   string // valid for ident/keyword/int/string/param
+	line   int
+	col    int
+}
+
+// describe renders the token for error messages, mirroring Token.String.
+func (t *token) describe() string {
+	switch t.kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return "'" + t.text + "'"
+	case TokSymbol:
+		return symString(t.sym)
+	default:
+		return t.text
+	}
+}
+
+// scanner is the zero-allocation lexer core.
+type scanner struct {
+	src       string
+	pos       int
+	line      int    // 1-based
+	lineStart int    // byte offset where the current line begins
+	buf       []byte // scratch for unescaping string literals
+}
+
+func (s *scanner) init(src string) {
+	s.src = src
+	s.pos = 0
+	s.line = 1
+	s.lineStart = 0
+}
+
+// next scans one token into t. After the input is exhausted it yields TokEOF
+// forever. Position state lives in locals through the whitespace/comment
+// skip so the byte loops are register-resident.
+func (s *scanner) next(t *token) error {
+	src := s.src
+	pos := s.pos
+	line := s.line
+	lineStart := s.lineStart
+skip:
+	for pos < len(src) {
+		switch src[pos] {
+		case ' ', '\t', '\r':
+			pos++
+		case '\n':
+			pos++
+			line++
+			lineStart = pos
+		case '-':
+			if pos+1 < len(src) && src[pos+1] == '-' {
+				for pos < len(src) && src[pos] != '\n' {
+					pos++
+				}
+				continue
+			}
+			break skip
+		default:
+			break skip
+		}
+	}
+	s.pos = pos
+	s.line = line
+	s.lineStart = lineStart
+	t.line = line
+	t.col = pos - lineStart + 1
+	if pos >= len(src) {
+		t.kind = TokEOF
+		return nil
+	}
+	c := src[pos]
+	switch classTab[c] {
+	case clsIdent:
+		start := pos
+		pos++
+		for pos < len(src) && identPartTab[src[pos]] {
+			pos++
+		}
+		s.pos = pos
+		word := src[start:pos]
+		if id := lookupKeyword(word); id != kwNone {
+			t.kind = TokKeyword
+			t.kw = id
+			t.text = kwNames[id]
+		} else {
+			t.kind = TokIdent
+			t.text = word
+		}
+		return nil
+
+	case clsDigit:
+		start := pos
+		var v int64
+		bad := false
+		for pos < len(src) && digitTab[src[pos]] {
+			d := int64(src[pos] - '0')
+			if v > (math.MaxInt64-d)/10 {
+				bad = true // keep consuming; the parser reports the error
+			} else {
+				v = v*10 + d
+			}
+			pos++
+		}
+		s.pos = pos
+		t.kind = TokInt
+		t.text = src[start:pos]
+		t.ival = v
+		t.intBad = bad
+		return nil
+
+	case clsQuote:
+		start := pos + 1
+		i := start
+		escaped := false
+		for {
+			if i >= len(src) {
+				return fmt.Errorf("sql:%d:%d: unterminated string literal", t.line, t.col)
+			}
+			ch := src[i]
+			if ch == '\'' {
+				if i+1 < len(src) && src[i+1] == '\'' {
+					escaped = true
+					i += 2
+					continue
+				}
+				break
+			}
+			if ch == '\n' {
+				s.line++
+				s.lineStart = i + 1
+			}
+			i++
+		}
+		t.kind = TokString
+		if !escaped {
+			t.text = src[start:i]
+		} else {
+			buf := s.buf[:0]
+			for j := start; j < i; j++ {
+				ch := src[j]
+				buf = append(buf, ch)
+				if ch == '\'' {
+					j++ // skip the doubled quote
+				}
+			}
+			s.buf = buf
+			t.text = string(buf)
+		}
+		s.pos = i + 1
+		return nil
+
+	case clsColon:
+		pos++
+		if pos >= len(src) || !identStartTab[src[pos]] {
+			return fmt.Errorf("sql:%d:%d: expected parameter name after ':'", t.line, t.col)
+		}
+		start := pos
+		for pos < len(src) && identPartTab[src[pos]] {
+			pos++
+		}
+		s.pos = pos
+		t.kind = TokParam
+		t.text = src[start:pos]
+		return nil
+
+	case clsSym2:
+		if pos+1 < len(src) {
+			c2 := src[pos+1]
+			var sym byte
+			switch {
+			case c == '<' && c2 == '>':
+				sym = symNE
+			case c == '!' && c2 == '=':
+				sym = symNE // normalized to <>
+			case c == '<' && c2 == '=':
+				sym = symLE
+			case c == '>' && c2 == '=':
+				sym = symGE
+			}
+			if sym != 0 {
+				s.pos = pos + 2
+				t.kind = TokSymbol
+				t.sym = sym
+				return nil
+			}
+		}
+		if c == '!' { // bare ! is not a symbol
+			return fmt.Errorf("sql:%d:%d: unexpected character %q", t.line, t.col, c)
+		}
+		t.kind = TokSymbol
+		t.sym = c
+		s.pos = pos + 1
+		return nil
+
+	case clsSym1:
+		t.kind = TokSymbol
+		t.sym = c
+		s.pos = pos + 1
+		return nil
+
+	default:
+		return fmt.Errorf("sql:%d:%d: unexpected character %q", t.line, t.col, c)
+	}
+}
+
+// Lexer is the public token-stream view over the scanner, kept for tests and
+// diagnostics.
 type Lexer struct {
-	src  string
-	pos  int
-	line int
-	col  int
+	s scanner
+	t token
 }
 
 // NewLexer returns a lexer over src.
-func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
-
-func (l *Lexer) peek() byte {
-	if l.pos >= len(l.src) {
-		return 0
-	}
-	return l.src[l.pos]
-}
-
-func (l *Lexer) peek2() byte {
-	if l.pos+1 >= len(l.src) {
-		return 0
-	}
-	return l.src[l.pos+1]
-}
-
-func (l *Lexer) advance() byte {
-	c := l.src[l.pos]
-	l.pos++
-	if c == '\n' {
-		l.line++
-		l.col = 1
-	} else {
-		l.col++
-	}
-	return c
-}
-
-func (l *Lexer) skipSpaceAndComments() {
-	for l.pos < len(l.src) {
-		c := l.peek()
-		switch {
-		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
-			l.advance()
-		case c == '-' && l.peek2() == '-':
-			for l.pos < len(l.src) && l.peek() != '\n' {
-				l.advance()
-			}
-		default:
-			return
-		}
-	}
-}
-
-func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
-}
-
-func isIdentPart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+func NewLexer(src string) *Lexer {
+	l := &Lexer{}
+	l.s.init(src)
+	return l
 }
 
 // Next returns the next token. After the input is exhausted it returns
 // TokEOF forever.
 func (l *Lexer) Next() (Token, error) {
-	l.skipSpaceAndComments()
-	tok := Token{Line: l.line, Col: l.col}
-	if l.pos >= len(l.src) {
-		tok.Kind = TokEOF
-		return tok, nil
+	if err := l.s.next(&l.t); err != nil {
+		return Token{Line: l.t.line, Col: l.t.col}, err
 	}
-	c := l.peek()
-	switch {
-	case isIdentStart(c):
-		start := l.pos
-		for l.pos < len(l.src) && isIdentPart(l.peek()) {
-			l.advance()
-		}
-		word := l.src[start:l.pos]
-		up := strings.ToUpper(word)
-		if keywords[up] {
-			tok.Kind = TokKeyword
-			tok.Text = up
-		} else {
-			tok.Kind = TokIdent
-			tok.Text = word
-		}
-		return tok, nil
-
-	case unicode.IsDigit(rune(c)):
-		start := l.pos
-		for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
-			l.advance()
-		}
-		tok.Kind = TokInt
-		tok.Text = l.src[start:l.pos]
-		return tok, nil
-
-	case c == '\'':
-		l.advance()
-		var sb strings.Builder
-		for {
-			if l.pos >= len(l.src) {
-				return tok, fmt.Errorf("sql:%d:%d: unterminated string literal", tok.Line, tok.Col)
-			}
-			ch := l.advance()
-			if ch == '\'' {
-				if l.peek() == '\'' { // escaped quote
-					l.advance()
-					sb.WriteByte('\'')
-					continue
-				}
-				break
-			}
-			sb.WriteByte(ch)
-		}
-		tok.Kind = TokString
-		tok.Text = sb.String()
-		return tok, nil
-
-	case c == ':':
-		l.advance()
-		if !isIdentStart(l.peek()) {
-			return tok, fmt.Errorf("sql:%d:%d: expected parameter name after ':'", tok.Line, tok.Col)
-		}
-		start := l.pos
-		for l.pos < len(l.src) && isIdentPart(l.peek()) {
-			l.advance()
-		}
-		tok.Kind = TokParam
-		tok.Text = l.src[start:l.pos]
-		return tok, nil
-
-	default:
-		// Multi-char operators first.
-		two := ""
-		if l.pos+1 < len(l.src) {
-			two = l.src[l.pos : l.pos+2]
-		}
-		switch two {
-		case "<>", "<=", ">=", "!=":
-			l.advance()
-			l.advance()
-			tok.Kind = TokSymbol
-			if two == "!=" {
-				two = "<>"
-			}
-			tok.Text = two
-			return tok, nil
-		}
-		switch c {
-		case '(', ')', ',', ';', '*', '=', '<', '>', '.', '+', '-', '/':
-			l.advance()
-			tok.Kind = TokSymbol
-			tok.Text = string(c)
-			return tok, nil
-		}
-		return tok, fmt.Errorf("sql:%d:%d: unexpected character %q", tok.Line, tok.Col, c)
+	text := l.t.text
+	if l.t.kind == TokSymbol {
+		text = symString(l.t.sym)
+	} else if l.t.kind == TokEOF {
+		text = ""
 	}
+	return Token{Kind: l.t.kind, Text: text, Line: l.t.line, Col: l.t.col}, nil
 }
 
 // Tokenize lexes the whole input (for tests and diagnostics).

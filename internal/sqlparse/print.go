@@ -143,6 +143,9 @@ func printStmt(sb *strings.Builder, st Stmt) {
 
 	case *Explain:
 		sb.WriteString("EXPLAIN ")
+		if s.Analyze {
+			sb.WriteString("ANALYZE ")
+		}
 		printStmt(sb, s.Select)
 	}
 }
