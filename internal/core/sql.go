@@ -55,7 +55,13 @@ func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
 			engine.WithMemBudget(opts.MemoryBudget),
 			engine.WithSortMemory(int(opts.MemoryBudget)))
 	}
-	s := &sqlStepper{d: d, opts: opts, cfg: cfg, db: engine.New(dbOpts...)}
+	// The adaptive executor's worker knob carries through to the engine's
+	// planner, which decides per query whether exchange operators pay.
+	workers := resolveWorkers(opts.MaxWorkers)
+	if workers > 1 {
+		dbOpts = append(dbOpts, engine.WithMaxWorkers(workers))
+	}
+	s := &sqlStepper{d: d, opts: opts, cfg: cfg, db: engine.New(dbOpts...), workers: workers}
 	// Bulk-load SALES before the pipeline starts timing iteration 1, so
 	// Stats[0].Duration covers the C_1 SQL alone — matching what the other
 	// drivers charge to their first iteration. The load moves columns end
@@ -67,6 +73,7 @@ func MineSQL(d *Dataset, opts Options, cfg SQLConfig) (*Result, error) {
 	}
 	salesSchema := tuple.IntSchema("trans_id", "item")
 	batch := tuple.NewBatch(salesSchema)
+	batch.Grow(len(d.SalesRows()))
 	for _, r := range d.SalesRows() {
 		batch.Cols[0].I = append(batch.Cols[0].I, r[0])
 		batch.Cols[1].I = append(batch.Cols[1].I, r[1])
@@ -90,12 +97,21 @@ type sqlStepper struct {
 	salesRows int64  // |SALES|, loaded before the pipeline starts
 	prevR     string // table name of R_{k-1} ("sales" for k=2 without prefilter)
 	stmts     map[string]*engine.Stmt
+	workers   int // planner worker cap handed to the engine
 }
 
-// sqlPlan is the SQL driver's fixed strategy IR: the paper's statements
-// executed by the (single-threaded, budget-aware) relational engine.
-func sqlPlan() IterPlan {
-	return IterPlan{Kernel: KernelSQL, Regime: RegimeSpilled, Workers: 1, Exchange: ExchangeNone}
+// sqlPlan is the SQL driver's strategy IR: the paper's statements
+// executed by the budget-aware relational engine, with up to `workers`
+// intra-query parallelism via exchange operators.
+func sqlPlan(workers int) IterPlan {
+	if workers < 1 {
+		workers = 1
+	}
+	ex := ExchangeNone
+	if workers > 1 {
+		ex = ExchangeSharded
+	}
+	return IterPlan{Kernel: KernelSQL, Regime: RegimeSpilled, Workers: workers, Exchange: ex}
 }
 
 // run executes one statement with the :minsupport parameter bound,
@@ -173,7 +189,7 @@ func (s *sqlStepper) init(minSup int64) ([]ItemsetCount, iterSizes, error) {
 	if _, err := s.run("DROP TABLE c1", minSup); err != nil {
 		return nil, iterSizes{}, err
 	}
-	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows, plan: sqlPlan()}, nil
+	return c1, iterSizes{rPrime: s.salesRows, rRows: r1Rows, plan: sqlPlan(s.workers)}, nil
 }
 
 func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error) {
@@ -289,7 +305,7 @@ func (s *sqlStepper) step(k int, minSup int64) ([]ItemsetCount, iterSizes, error
 	}
 
 	s.prevR = rk
-	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected, plan: sqlPlan()}, nil
+	return counts, iterSizes{rPrime: rpRes.RowsAffected, rRows: rkRes.RowsAffected, plan: sqlPlan(s.workers)}, nil
 }
 
 // readCounts loads C_k from the engine into the canonical sorted form,

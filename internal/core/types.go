@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -34,6 +35,9 @@ type Transaction struct {
 // Dataset is an ordered collection of transactions.
 type Dataset struct {
 	Transactions []Transaction
+
+	salesOnce sync.Once
+	salesRows [][2]int64
 }
 
 // NumTransactions returns the number of customer transactions, the
@@ -43,7 +47,14 @@ func (d *Dataset) NumTransactions() int { return len(d.Transactions) }
 // SalesRows converts the dataset to the SALES(trans_id, item) tuple format,
 // deduplicating items within a transaction and sorting rows by
 // (trans_id, item) — the normalized relation the paper stores.
+// The result is computed once and cached; callers must not mutate it (or
+// d.Transactions afterwards).
 func (d *Dataset) SalesRows() [][2]int64 {
+	d.salesOnce.Do(func() { d.salesRows = d.buildSalesRows() })
+	return d.salesRows
+}
+
+func (d *Dataset) buildSalesRows() [][2]int64 {
 	var rows [][2]int64
 	for _, tx := range d.Transactions {
 		seen := make(map[Item]bool, len(tx.Items))

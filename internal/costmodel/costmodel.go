@@ -392,6 +392,47 @@ func ParallelMs(serialMs float64, workers int) float64 {
 	return serialMs/float64(workers) + ParallelFanoutMs*float64(workers)
 }
 
+// ParallelScanMs models a heap scan split into page-range morsels over
+// workers: the serial scan cost divides across the workers, plus the
+// fan-out overhead — the same saturating shape as ParallelMs.
+func ParallelScanMs(p DBParams, pages int64, workers int) float64 {
+	return ParallelMs(SeqScanMs(p, pages), workers)
+}
+
+// ExchangeMs models moving rows through an exchange operator (Gather or
+// Repartition): each row is copied once across the worker boundary (half
+// a CPUTupleMs — a column copy, no decode), plus the per-worker channel
+// and buffer setup. Workers <= 1 means no exchange and costs nothing.
+func ExchangeMs(rows int64, workers int) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	if rows > maxModelRows {
+		rows = maxModelRows
+	}
+	return CPUTupleMs*float64(rows)/2 + ParallelFanoutMs*float64(workers)
+}
+
+// HashGroupMs models hash aggregation of rows into groups distinct
+// groups with sorted emission: one table probe per row (two tuple
+// touches — hash and compare) plus the comparison sort of the distinct
+// groups. The planner weighs it against SortMs(rows)+CPUTupleMs·rows for
+// the sort-based alternative.
+func HashGroupMs(rows, groups int64) float64 {
+	if rows > maxModelRows {
+		rows = maxModelRows
+	}
+	if groups > rows {
+		groups = rows
+	}
+	if groups < 2 {
+		groups = 2
+	}
+	probe := CPUTupleMs * 2 * float64(rows)
+	emit := CPUTupleMs * float64(groups) * math.Log2(float64(groups))
+	return probe + emit
+}
+
 // EstRPrimeRows projects |R'_k| from the observed |R_{k-1}| and the mean
 // basket size |R_1|/|transactions|: a surviving length-(k-1) pattern is
 // extended by the basket items greater than its last item — on average

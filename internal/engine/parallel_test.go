@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"setm/internal/tuple"
+)
+
+// loadPairs creates table name with n (trans_id, item) rows, trans_id
+// ascending — the physical shape MineSQL loads, large enough to clear the
+// planner's ParallelMinRows threshold so parallel operators actually run.
+func loadPairs(t testing.TB, db *DB, name string, n int, seed int64) []tuple.Tuple {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tuple.Tuple, 0, n)
+	tid := int64(0)
+	for len(rows) < n {
+		tid += 1 + rng.Int63n(3)
+		run := 1 + rng.Intn(5)
+		for j := 0; j < run && len(rows) < n; j++ {
+			rows = append(rows, tuple.Ints(tid, rng.Int63n(40)))
+		}
+	}
+	if err := db.LoadTable(name, tuple.IntSchema("trans_id", "item"), rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func flattenBatches(s *tuple.Schema, batches []*tuple.Batch) []tuple.Tuple {
+	var rows []tuple.Tuple
+	for _, b := range batches {
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+	return rows
+}
+
+// TestQueryBatchesConcurrent runs a prepared statement from two goroutines
+// under -race. Each execution checks a plan instance out of the cache (or
+// compiles a fresh one), so concurrent runs never share operator state;
+// the atomic OpStats counters make the shared stats race-clean. Results
+// must match the serial answer exactly.
+func TestQueryBatchesConcurrent(t *testing.T) {
+	db := New(WithMaxWorkers(4))
+	loadPairs(t, db, "sales", 8000, 42)
+	queries := []string{
+		`SELECT s.item, COUNT(*) FROM sales s GROUP BY s.item HAVING COUNT(*) >= :minsupport ORDER BY s.item`,
+		`SELECT s.trans_id, s.item FROM sales s WHERE s.item < :minsupport ORDER BY s.trans_id, s.item`,
+	}
+	for _, q := range queries {
+		st, err := db.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := map[string]int64{"minsupport": 5}
+		wantSchema, wantBatches, err := st.QueryBatches(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := flattenBatches(wantSchema, wantBatches)
+
+		const goroutines, iters = 2, 4
+		var wg sync.WaitGroup
+		errc := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					schema, batches, err := st.QueryBatches(params)
+					if err != nil {
+						errc <- err
+						return
+					}
+					got := flattenBatches(schema, batches)
+					if len(got) != len(want) {
+						errc <- fmt.Errorf("%d rows, want %d", len(got), len(want))
+						return
+					}
+					for j := range got {
+						if fmt.Sprint(got[j]) != fmt.Sprint(want[j]) {
+							errc <- fmt.Errorf("row %d = %v, want %v", j, got[j], want[j])
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+}
+
+// TestParallelMatchesSerialProperty pins parallel execution to the serial
+// answer: the same queries over the same randomized data, compiled once
+// with MaxWorkers=1 and once with MaxWorkers=4, must produce identical
+// rows in identical order.
+func TestParallelMatchesSerialProperty(t *testing.T) {
+	shapes := []string{
+		`SELECT s.item, COUNT(*) FROM t%d s GROUP BY s.item ORDER BY s.item`,
+		`SELECT s.item, COUNT(*), MIN(s.trans_id), MAX(s.trans_id) FROM t%d s GROUP BY s.item HAVING COUNT(*) >= 3 ORDER BY s.item`,
+		`SELECT s.trans_id, s.item FROM t%d s ORDER BY s.item, s.trans_id`,
+		`SELECT s.trans_id, s.item FROM t%d s WHERE s.item < 20 ORDER BY s.trans_id, s.item`,
+		`SELECT DISTINCT s.item FROM t%d s ORDER BY s.item`,
+		`SELECT p.trans_id, p.item, q.item FROM t%d p, u%d q WHERE q.trans_id = p.trans_id AND q.item > p.item`,
+		`SELECT p.trans_id, COUNT(*) FROM t%d p, u%d q WHERE q.trans_id = p.trans_id GROUP BY p.trans_id ORDER BY p.trans_id`,
+	}
+	for trial := 0; trial < 3; trial++ {
+		serial := New(WithMaxWorkers(1))
+		par := New(WithMaxWorkers(4))
+		n := 3000 + trial*2000
+		for _, name := range []string{"t", "u"} {
+			seed := int64(trial*10 + 1)
+			if name == "u" {
+				seed += 5
+			}
+			rng := rand.New(rand.NewSource(seed))
+			rows := make([]tuple.Tuple, 0, n)
+			tid := int64(0)
+			for len(rows) < n {
+				tid += 1 + rng.Int63n(2)
+				run := 1 + rng.Intn(4)
+				for j := 0; j < run && len(rows) < n; j++ {
+					rows = append(rows, tuple.Ints(tid, rng.Int63n(60)))
+				}
+			}
+			table := fmt.Sprintf("%s%d", name, trial)
+			schema := tuple.IntSchema("trans_id", "item")
+			if err := serial.LoadTable(table, schema, rows); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.LoadTable(table, schema, rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, shape := range shapes {
+			var q string
+			switch countVerbs(shape) {
+			case 2:
+				q = fmt.Sprintf(shape, trial, trial)
+			default:
+				q = fmt.Sprintf(shape, trial)
+			}
+			want, err := serial.Exec(q, nil)
+			if err != nil {
+				t.Fatalf("serial %q: %v", q, err)
+			}
+			got, err := par.Exec(q, nil)
+			if err != nil {
+				t.Fatalf("parallel %q: %v", q, err)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%q: parallel %d rows, serial %d", q, len(got.Rows), len(want.Rows))
+			}
+			for i := range got.Rows {
+				if fmt.Sprint(got.Rows[i]) != fmt.Sprint(want.Rows[i]) {
+					t.Fatalf("%q row %d: parallel %v, serial %v", q, i, got.Rows[i], want.Rows[i])
+				}
+			}
+		}
+	}
+}
+
+func countVerbs(s string) int {
+	n := 0
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '%' && s[i+1] == 'd' {
+			n++
+		}
+	}
+	return n
+}

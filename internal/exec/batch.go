@@ -159,6 +159,38 @@ func appendJoinRow(out, left *tuple.Batch, li int, right *tuple.Batch, ri int) {
 	out.BumpRow()
 }
 
+// appendJoinRows bulk-appends n join rows pairing left's logical row li
+// with right's physical rows [ri, ri+n): the left values repeat, the
+// right columns append as slices. right must be dense (no selection) —
+// the join's buffered group always is.
+func appendJoinRows(out, left *tuple.Batch, li int, right *tuple.Batch, ri, n int) {
+	lp := left.RowIdx(li)
+	nl := len(left.Cols)
+	for c := range left.Cols {
+		dst, src := &out.Cols[c], &left.Cols[c]
+		if src.Kind == tuple.KindInt {
+			v := src.I[lp]
+			for k := 0; k < n; k++ {
+				dst.I = append(dst.I, v)
+			}
+		} else {
+			v := src.S[lp]
+			for k := 0; k < n; k++ {
+				dst.S = append(dst.S, v)
+			}
+		}
+	}
+	for c := range right.Cols {
+		dst, src := &out.Cols[nl+c], &right.Cols[c]
+		if src.Kind == tuple.KindInt {
+			dst.I = append(dst.I, src.I[ri:ri+n]...)
+		} else {
+			dst.S = append(dst.S, src.S[ri:ri+n]...)
+		}
+	}
+	out.BumpRows(n)
+}
+
 func appendColValue(dst, src *tuple.ColVec, phys int) {
 	if src.Kind == tuple.KindInt {
 		dst.I = append(dst.I, src.I[phys])

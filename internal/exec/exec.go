@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/bits"
 	"slices"
+	"sync"
 
 	hp "setm/internal/heap"
 	"setm/internal/storage"
@@ -90,10 +91,11 @@ func Materialize(pool *storage.Pool, op Operator) (*hp.File, error) {
 // HeapScan reads a heap file front to back, decoding records directly into
 // column vectors.
 type HeapScan struct {
-	file *hp.File
-	sc   *hp.Scanner
-	buf  *tuple.Batch
-	rows rowCursor
+	file       *hp.File
+	start, end int // page range; end == 0 means the whole file
+	sc         *hp.Scanner
+	buf        *tuple.Batch
+	rows       rowCursor
 
 	stats OpStats
 }
@@ -101,11 +103,27 @@ type HeapScan struct {
 // NewHeapScan returns a scan over f.
 func NewHeapScan(f *hp.File) *HeapScan { return &HeapScan{file: f} }
 
+// NewHeapScanRange returns a scan over pages [start, end) of f — one
+// morsel of a parallel fragment.
+func NewHeapScanRange(f *hp.File, start, end int) *HeapScan {
+	return &HeapScan{file: f, start: start, end: end}
+}
+
+// PageRange reports the scan's page range for EXPLAIN; full == true means
+// the whole file.
+func (s *HeapScan) PageRange() (start, end int, full bool) {
+	return s.start, s.end, s.end == 0
+}
+
 func (s *HeapScan) Schema() *tuple.Schema { return s.file.Schema() }
 
 func (s *HeapScan) Open() error {
-	s.stats = OpStats{}
-	s.sc = s.file.Scan()
+	s.stats.Reset()
+	if s.end > 0 {
+		s.sc = s.file.ScanRange(s.start, s.end)
+	} else {
+		s.sc = s.file.Scan()
+	}
 	if s.buf == nil {
 		s.buf = tuple.NewBatch(s.file.Schema())
 	}
@@ -150,7 +168,7 @@ func NewMemScan(schema *tuple.Schema, rows []tuple.Tuple) *MemScan {
 }
 
 func (s *MemScan) Schema() *tuple.Schema { return s.schema }
-func (s *MemScan) Open() error           { s.stats = OpStats{}; s.pos = 0; return nil }
+func (s *MemScan) Open() error           { s.stats.Reset(); s.pos = 0; return nil }
 
 func (s *MemScan) Next() (tuple.Tuple, error) {
 	if s.pos >= len(s.rows) {
@@ -199,7 +217,7 @@ func NewRename(child Operator, schema *tuple.Schema) *Rename {
 }
 
 func (r *Rename) Schema() *tuple.Schema { return r.schema }
-func (r *Rename) Open() error           { r.stats = OpStats{}; r.rows.reset(); return r.child.Open() }
+func (r *Rename) Open() error           { r.stats.Reset(); r.rows.reset(); return r.child.Open() }
 func (r *Rename) Close() error          { return r.child.Close() }
 
 func (r *Rename) nextBatch() (*tuple.Batch, error) {
@@ -253,7 +271,7 @@ func NewFilterVec(child Operator, vecs []VecPredicate, pred Predicate) *Filter {
 }
 
 func (f *Filter) Schema() *tuple.Schema { return f.child.Schema() }
-func (f *Filter) Open() error           { f.stats = OpStats{}; f.rows.reset(); return f.child.Open() }
+func (f *Filter) Open() error           { f.stats.Reset(); f.rows.reset(); return f.child.Open() }
 func (f *Filter) Close() error          { return f.child.Close() }
 
 // Vectorized reports how many of the filter's conjuncts run vectorized
@@ -383,7 +401,7 @@ func NewProjectColumns(child Operator, idxs []int, schema *tuple.Schema) *Projec
 }
 
 func (p *Project) Schema() *tuple.Schema { return p.schema }
-func (p *Project) Open() error           { p.stats = OpStats{}; p.rows.reset(); return p.child.Open() }
+func (p *Project) Open() error           { p.stats.Reset(); p.rows.reset(); return p.child.Open() }
 func (p *Project) Close() error          { return p.child.Close() }
 
 func (p *Project) nextBatch() (*tuple.Batch, error) {
@@ -433,7 +451,7 @@ func NewLimit(child Operator, n int64) *Limit {
 }
 
 func (l *Limit) Schema() *tuple.Schema { return l.child.Schema() }
-func (l *Limit) Open() error           { l.stats = OpStats{}; l.seen = 0; l.rows.reset(); return l.child.Open() }
+func (l *Limit) Open() error           { l.stats.Reset(); l.seen = 0; l.rows.reset(); return l.child.Open() }
 func (l *Limit) Close() error          { return l.child.Close() }
 
 func (l *Limit) nextBatch() (*tuple.Batch, error) {
@@ -473,7 +491,7 @@ func NewDistinct(child Operator) *Distinct {
 
 func (d *Distinct) Schema() *tuple.Schema { return d.child.Schema() }
 func (d *Distinct) Open() error {
-	d.stats = OpStats{}
+	d.stats.Reset()
 	d.prev = nil
 	d.rows.reset()
 	return d.child.Open()
@@ -575,6 +593,9 @@ type Sort struct {
 	pool     *storage.Pool
 	memLimit int
 
+	parallel int // sort-worker count for the columnar path (0/1 = serial)
+	sizeHint int // expected input rows, pre-sizes the columnar buffer
+
 	// columnar path state
 	store *tuple.Batch
 	perm  []int32
@@ -607,6 +628,18 @@ func (s *Sort) Keys() []SortKey { return s.keys }
 // External reports whether the sort spills runs through a pool.
 func (s *Sort) External() bool { return s.pool != nil }
 
+// SetParallel runs the columnar radix sort as w per-worker runs merged by
+// an in-memory cascade. The merged permutation is identical to the serial
+// one: the radix pairs carry the global row index as tie-break, so the
+// run merge reproduces the serial total order exactly.
+func (s *Sort) SetParallel(w int) { s.parallel = w }
+
+// Parallel returns the sort-worker count (for EXPLAIN).
+func (s *Sort) Parallel() int { return s.parallel }
+
+// SetSizeHint pre-sizes the columnar gather buffer for n input rows.
+func (s *Sort) SetSizeHint(n int) { s.sizeHint = n }
+
 // comparatorFromKeys lowers sort keys to an xsort comparator for the
 // external path.
 func comparatorFromKeys(keys []SortKey) xsort.Comparator {
@@ -625,7 +658,7 @@ func comparatorFromKeys(keys []SortKey) xsort.Comparator {
 }
 
 func (s *Sort) Open() error {
-	s.stats = OpStats{}
+	s.stats.Reset()
 	s.rows.reset()
 	s.store, s.perm, s.pos = nil, nil, 0
 	s.out, s.outB = nil, nil
@@ -676,7 +709,12 @@ func (s *Sort) Open() error {
 // input position — the same total order the comparison paths produce.
 // Returns false (perm untouched) when the combined key domain needs more
 // than 64 bits.
-func sortPermRadix(store *tuple.Batch, cols []int, perm []int32) bool {
+//
+// With workers > 1 the rows are cut into contiguous chunks, each packed
+// and radix-sorted on its own goroutine, and the sorted runs are merged
+// in memory. The pair's minor word is the global row index, a unique
+// tie-break, so the merged permutation is exactly the serial one.
+func sortPermRadix(store *tuple.Batch, cols []int, perm []int32, workers int) bool {
 	n := len(perm)
 	if n < 2 {
 		return true
@@ -708,18 +746,66 @@ func sortPermRadix(store *tuple.Batch, cols []int, perm []int32) bool {
 	if totalBits > 64 {
 		return false
 	}
-	pairs := make([]storage.PackedRow, n)
-	for r := 0; r < n; r++ {
-		var key uint64
-		for _, p := range packs {
-			key = key<<p.bits | (uint64(p.v[r]) - p.min)
+	pack := func(pairs []storage.PackedRow, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var key uint64
+			for _, p := range packs {
+				key = key<<p.bits | (uint64(p.v[r]) - p.min)
+			}
+			pairs[r-lo] = storage.PackedRow{Tid: key, Key: uint64(uint32(r))}
 		}
-		pairs[r] = storage.PackedRow{Tid: key, Key: uint64(uint32(r))}
 	}
-	tmp := make([]storage.PackedRow, n)
-	xsort.RadixSortRows(pairs, tmp)
-	for i := range pairs {
-		perm[i] = int32(uint32(pairs[i].Key))
+	var sorted []storage.PackedRow
+	if workers > 1 && n >= 2*tuple.BatchSize {
+		if workers > n/tuple.BatchSize {
+			workers = n / tuple.BatchSize
+		}
+		runs := make([][]storage.PackedRow, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*n/workers, (w+1)*n/workers
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				run := make([]storage.PackedRow, hi-lo)
+				pack(run, lo, hi)
+				tmp := make([]storage.PackedRow, hi-lo)
+				xsort.RadixSortRows(run, tmp)
+				runs[w] = run
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		sorted = xsort.MergeRowSlices(runs, make([]storage.PackedRow, 0, n))
+	} else {
+		sorted = make([]storage.PackedRow, n)
+		pack(sorted, 0, n)
+		tmp := make([]storage.PackedRow, n)
+		xsort.RadixSortRows(sorted, tmp)
+	}
+	for i := range sorted {
+		perm[i] = int32(uint32(sorted[i].Key))
+	}
+	return true
+}
+
+// storeSortedAsc reports whether store is already lexicographically sorted
+// ascending on the given integer key columns. One linear pass over the raw
+// column slices; the common case (first key decides) touches one slice.
+func storeSortedAsc(store *tuple.Batch, cols []int) bool {
+	n := store.Len()
+	keys := make([][]int64, len(cols))
+	for i, c := range cols {
+		keys[i] = store.Cols[c].I[:n]
+	}
+	for r := 1; r < n; r++ {
+		for _, v := range keys {
+			if v[r-1] < v[r] {
+				break
+			}
+			if v[r-1] > v[r] {
+				return false
+			}
+		}
 	}
 	return true
 }
@@ -728,6 +814,9 @@ func sortPermRadix(store *tuple.Batch, cols []int, perm []int32) bool {
 // permutation over it.
 func (s *Sort) openColumnar() error {
 	store := tuple.NewBatch(s.child.Schema())
+	if s.sizeHint > 0 {
+		store.Grow(s.sizeHint)
+	}
 	childB := asBatchOp(s.child)
 	for {
 		b, err := childB.NextBatch()
@@ -764,7 +853,13 @@ func (s *Sort) openColumnar() error {
 	// every ordering total, so the unstable pdqsort still yields the same
 	// (input-order-on-ties) permutation a stable sort would.
 	switch {
-	case intAsc && sortPermRadix(store, cols, perm):
+	case intAsc && storeSortedAsc(store, cols):
+		// Input already sorted on the keys — common when a join preserves
+		// the physical order the ORDER BY asks for but the planner's
+		// conservative ordering claim cannot prove it (e.g. SETM's R'_k).
+		// The permutation stays the identity, which a stable sort of a
+		// sorted store would produce anyway, so output is unchanged.
+	case intAsc && sortPermRadix(store, cols, perm, s.parallel):
 		// Sorted by the packed radix kernel: the combined key domain fit
 		// one word, so the rows moved in O(n) byte passes instead of
 		// n·log n indirect comparisons.
@@ -864,7 +959,7 @@ func (s *Sort) Next() (tuple.Tuple, error) {
 	}
 	t, err := s.out.Next()
 	if err == nil {
-		s.stats.Rows++ // classic path bypasses NextBatch; keep rows exact
+		s.stats.AddRows(1) // classic path bypasses NextBatch; keep rows exact
 	}
 	return t, err
 }

@@ -93,7 +93,7 @@ func NewSortGroup(child Operator, groupCols []int, aggs []AggSpec) *SortGroup {
 func (g *SortGroup) Schema() *tuple.Schema { return g.schema }
 
 func (g *SortGroup) Open() error {
-	g.stats = OpStats{}
+	g.stats.Reset()
 	g.lb, g.li = nil, 0
 	g.srcEOF = false
 	g.haveCur = false

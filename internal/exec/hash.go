@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"setm/internal/tuple"
 )
@@ -22,9 +23,12 @@ type HashJoin struct {
 	residual    JoinPredicate
 	schema      *tuple.Schema
 
-	leftB BatchOperator
-	store *tuple.Batch       // materialized right input
-	table map[string][]int32 // key bytes -> right row indexes
+	buildWorkers int // >1: partitioned parallel build
+	buildHint    int // expected build rows, pre-sizes store and table
+
+	leftB  BatchOperator
+	store  *tuple.Batch         // materialized right input
+	tables []map[string][]int32 // partition -> key bytes -> right row indexes
 
 	lcur    batchCursor
 	bucket  []int32
@@ -54,6 +58,31 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual JoinP
 
 func (h *HashJoin) Schema() *tuple.Schema { return h.schema }
 
+// SetBuildSizeHint pre-sizes the build-side store and hash table for n
+// rows.
+func (h *HashJoin) SetBuildSizeHint(n int) { h.buildHint = n }
+
+// SetBuildWorkers partitions the hash-table build over w goroutines: the
+// build input is materialized once (serially, keeping row order), then
+// each worker builds the table partition owning hash(key) mod w. Bucket
+// lists are identical to a serial build — every key lives in exactly one
+// partition and each partition inserts in store order — so probe output
+// is unchanged for any w.
+func (h *HashJoin) SetBuildWorkers(w int) { h.buildWorkers = w }
+
+// BuildWorkers returns the partitioned-build worker count (for EXPLAIN).
+func (h *HashJoin) BuildWorkers() int { return h.buildWorkers }
+
+// keyPartition maps a serialized key to a table partition.
+func keyPartition(key []byte, parts int) int {
+	var fnv uint64 = 1469598103934665603
+	for _, c := range key {
+		fnv ^= uint64(c)
+		fnv *= 1099511628211
+	}
+	return int(fnv % uint64(parts))
+}
+
 // appendKey serializes the key columns of b's logical row i into buf.
 func appendKey(buf []byte, b *tuple.Batch, i int, cols []int) ([]byte, error) {
 	phys := b.RowIdx(i)
@@ -76,7 +105,7 @@ func appendKey(buf []byte, b *tuple.Batch, i int, cols []int) ([]byte, error) {
 }
 
 func (h *HashJoin) Open() error {
-	h.stats = OpStats{}
+	h.stats.Reset()
 	if err := h.left.Open(); err != nil {
 		return err
 	}
@@ -84,7 +113,9 @@ func (h *HashJoin) Open() error {
 		return err
 	}
 	h.store = tuple.NewBatch(h.right.Schema())
-	h.table = make(map[string][]int32)
+	if h.buildHint > 0 {
+		h.store.Grow(h.buildHint)
+	}
 	rightB := asBatchOp(h.right)
 	for {
 		b, err := rightB.NextBatch()
@@ -94,16 +125,54 @@ func (h *HashJoin) Open() error {
 		if err != nil {
 			return err
 		}
-		n := b.Len()
-		base := h.store.Len()
-		for i := 0; i < n; i++ {
-			h.keyBuf, err = appendKey(h.keyBuf[:0], b, i, h.rightKeys)
+		h.store.Append(b)
+	}
+	parts := h.buildWorkers
+	if parts < 1 {
+		parts = 1
+	}
+	h.tables = make([]map[string][]int32, parts)
+	rows := h.store.Len()
+	if parts == 1 {
+		t := make(map[string][]int32, h.buildHint)
+		var err error
+		for i := 0; i < rows; i++ {
+			h.keyBuf, err = appendKey(h.keyBuf[:0], h.store, i, h.rightKeys)
 			if err != nil {
 				return err
 			}
-			h.table[string(h.keyBuf)] = append(h.table[string(h.keyBuf)], int32(base+i))
+			t[string(h.keyBuf)] = append(t[string(h.keyBuf)], int32(i))
 		}
-		h.store.Append(b)
+		h.tables[0] = t
+	} else {
+		errs := make([]error, parts)
+		var wg sync.WaitGroup
+		wg.Add(parts)
+		for w := 0; w < parts; w++ {
+			go func(w int) {
+				defer wg.Done()
+				t := make(map[string][]int32, h.buildHint/parts)
+				var buf []byte
+				for i := 0; i < rows; i++ {
+					var err error
+					buf, err = appendKey(buf[:0], h.store, i, h.rightKeys)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if keyPartition(buf, parts) == w {
+						t[string(buf)] = append(t[string(buf)], int32(i))
+					}
+				}
+				h.tables[w] = t
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	h.lcur.reset(h.leftB)
 	h.probing = false
@@ -114,7 +183,7 @@ func (h *HashJoin) Open() error {
 func (h *HashJoin) Close() error {
 	err1 := h.left.Close()
 	err2 := h.right.Close()
-	h.table = nil
+	h.tables = nil
 	h.store = nil
 	if err1 != nil {
 		return err1
@@ -140,7 +209,11 @@ func (h *HashJoin) nextBatch() (*tuple.Batch, error) {
 			if err != nil {
 				return nil, err
 			}
-			h.bucket = h.table[string(h.keyBuf)]
+			t := h.tables[0]
+			if len(h.tables) > 1 {
+				t = h.tables[keyPartition(h.keyBuf, len(h.tables))]
+			}
+			h.bucket = t[string(h.keyBuf)]
 			h.bi = 0
 			h.probing = true
 		}
@@ -233,7 +306,7 @@ func (g *HashGroup) Schema() *tuple.Schema { return g.schema }
 func (g *HashGroup) Child() Operator { return g.child }
 
 func (g *HashGroup) Open() error {
-	g.stats = OpStats{}
+	g.stats.Reset()
 	if err := g.child.Open(); err != nil {
 		return err
 	}

@@ -36,11 +36,12 @@ type MergeJoin struct {
 	leftB, rightB BatchOperator
 	lcur, rcur    batchCursor
 
-	group   *tuple.Batch  // buffered right group for curKey
-	curKey  []tuple.Value // key of the buffered group
-	haveKey bool
-	matched bool // current left row is paired with the group
-	gi      int
+	group    *tuple.Batch  // buffered right group for curKey
+	curKey   []tuple.Value // key of the buffered group
+	haveKey  bool
+	matched  bool // current left row is paired with the group
+	gi       int
+	gtSorted bool // group is ascending on gtRight: residual selects a suffix
 
 	intKeys    bool // every join key column is an integer on both sides
 	curKeyInts []int64
@@ -78,7 +79,7 @@ func (m *MergeJoin) SetVecResidualGT(leftCol, rightCol int) {
 func (m *MergeJoin) Schema() *tuple.Schema { return m.schema }
 
 func (m *MergeJoin) Open() error {
-	m.stats = OpStats{}
+	m.stats.Reset()
 	if err := m.left.Open(); err != nil {
 		return err
 	}
@@ -211,14 +212,30 @@ func (m *MergeJoin) loadGroup() error {
 			return err
 		}
 		if !ok {
-			return nil
+			break
 		}
 		if m.rightCmpLeft() != 0 {
-			return nil
+			break
 		}
 		m.group.AppendRow(m.rcur.b, m.rcur.b.RowIdx(m.rcur.i))
 		m.rcur.i++
 	}
+	// A group ascending on the residual column lets nextBatch binary-search
+	// the first passing row and bulk-append the suffix instead of testing
+	// the residual per (left row, group row) pair. SETM's right side is one
+	// transaction's items in file order — always ascending — so the fast
+	// path is the common case; the scan keeps correctness when it is not.
+	if m.hasVecGT {
+		m.gtSorted = true
+		v := m.group.Cols[m.gtRight].I
+		for i := 1; i < len(v); i++ {
+			if v[i] < v[i-1] {
+				m.gtSorted = false
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // residualPass evaluates the residual for (current left row, group row gi).
@@ -261,17 +278,46 @@ func (m *MergeJoin) nextBatch() (*tuple.Batch, error) {
 				continue
 			}
 			m.gi = 0
+			if m.hasVecGT && m.gtSorted {
+				// Skip straight to the first group row that passes the
+				// residual: the passing rows are the suffix whose gtRight
+				// value exceeds the left row's gtLeft value.
+				x := m.lcur.b.Cols[m.gtLeft].I[m.lcur.b.RowIdx(m.lcur.i)]
+				v := m.group.Cols[m.gtRight].I
+				lo, hi := 0, len(v)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if v[mid] <= x {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				m.gi = lo
+			}
 			m.matched = true
 		}
-		for m.gi < m.group.Len() && m.out.Len() < tuple.BatchSize {
-			pass, err := m.residualPass()
-			if err != nil {
-				return nil, err
+		if m.hasVecGT && m.gtSorted {
+			// Every remaining group row passes; emit them in bulk.
+			take := m.group.Len() - m.gi
+			if room := tuple.BatchSize - m.out.Len(); take > room {
+				take = room
 			}
-			if pass {
-				appendJoinRow(m.out, m.lcur.b, m.lcur.i, m.group, m.gi)
+			if take > 0 {
+				appendJoinRows(m.out, m.lcur.b, m.lcur.i, m.group, m.gi, take)
+				m.gi += take
 			}
-			m.gi++
+		} else {
+			for m.gi < m.group.Len() && m.out.Len() < tuple.BatchSize {
+				pass, err := m.residualPass()
+				if err != nil {
+					return nil, err
+				}
+				if pass {
+					appendJoinRow(m.out, m.lcur.b, m.lcur.i, m.group, m.gi)
+				}
+				m.gi++
+			}
 		}
 		if m.gi >= m.group.Len() {
 			m.lcur.i++
@@ -323,7 +369,7 @@ func NewNestedLoopJoin(left, right Operator, pred JoinPredicate) *NestedLoopJoin
 func (n *NestedLoopJoin) Schema() *tuple.Schema { return n.schema }
 
 func (n *NestedLoopJoin) Open() error {
-	n.stats = OpStats{}
+	n.stats.Reset()
 	if err := n.left.Open(); err != nil {
 		return err
 	}

@@ -1,0 +1,407 @@
+// ParallelGroup: hash aggregation with sorted output. Where SortGroup
+// needs its input pre-sorted on the group columns (and the planner pays a
+// full materializing sort for it), ParallelGroup aggregates unsorted
+// input into a hash table keyed by the group columns and sorts only the
+// distinct groups for emission. Output is identical to sort+SortGroup —
+// groups ascending on the group columns, same aggregate values — at
+// O(rows + groups·log groups) instead of O(rows·log rows).
+//
+// With several fragment children the table build is partitioned: each
+// worker aggregates its claimed fragments into a private table (morsel
+// stealing, as in Gather), and a merge step combines the per-worker
+// tables by sorting their slots together and folding equal keys — the
+// same combine the emission sort needs anyway, so the merge is free.
+package exec
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"setm/internal/tuple"
+)
+
+// groupTable is an open-addressing hash table from an all-integer group
+// key to a slot of aggregate state. Keys and states are stored columnar;
+// buckets hold slot indexes.
+type groupTable struct {
+	nkeys int
+	naggs int
+
+	keys   [][]int64 // nkeys slices, slot-indexed
+	counts []int64
+	sums   [][]int64 // naggs slices
+	mins   [][]int64
+	maxs   [][]int64
+
+	buckets []int32 // power of two; -1 = empty
+	mask    uint64
+}
+
+func newGroupTable(nkeys, naggs int) *groupTable {
+	t := &groupTable{nkeys: nkeys, naggs: naggs}
+	t.keys = make([][]int64, nkeys)
+	t.sums = make([][]int64, naggs)
+	t.mins = make([][]int64, naggs)
+	t.maxs = make([][]int64, naggs)
+	t.rehash(1 << 10)
+	return t
+}
+
+func (t *groupTable) slots() int { return len(t.counts) }
+
+func (t *groupTable) rehash(n int) {
+	t.buckets = make([]int32, n)
+	for i := range t.buckets {
+		t.buckets[i] = -1
+	}
+	t.mask = uint64(n - 1)
+	for s := 0; s < t.slots(); s++ {
+		h := t.hashSlot(s) & t.mask
+		for t.buckets[h] != -1 {
+			h = (h + 1) & t.mask
+		}
+		t.buckets[h] = int32(s)
+	}
+}
+
+func (t *groupTable) hashSlot(s int) uint64 {
+	var h uint64 = 1469598103934665603
+	for k := 0; k < t.nkeys; k++ {
+		h ^= uint64(t.keys[k][s])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func hashKey(key []int64) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range key {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// lookup finds or creates the slot for key (scratch holds the key words).
+func (t *groupTable) lookup(key []int64) int {
+	h := hashKey(key) & t.mask
+	for {
+		s := t.buckets[h]
+		if s == -1 {
+			break
+		}
+		match := true
+		for k := 0; k < t.nkeys; k++ {
+			if t.keys[k][s] != key[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return int(s)
+		}
+		h = (h + 1) & t.mask
+	}
+	// Insert a fresh slot.
+	s := t.slots()
+	for k := 0; k < t.nkeys; k++ {
+		t.keys[k] = append(t.keys[k], key[k])
+	}
+	t.counts = append(t.counts, 0)
+	for a := 0; a < t.naggs; a++ {
+		t.sums[a] = append(t.sums[a], 0)
+		t.mins[a] = append(t.mins[a], 0)
+		t.maxs[a] = append(t.maxs[a], 0)
+	}
+	t.buckets[h] = int32(s)
+	if uint64(t.slots())*4 > uint64(len(t.buckets))*3 {
+		t.rehash(len(t.buckets) * 2)
+	}
+	return s
+}
+
+// ParallelGroup aggregates its children (fragments of one logical input)
+// on integer group columns, emitting groups ascending on the group
+// columns — the order a sort+SortGroup plan produces. Aggregates are
+// COUNT/SUM/MIN/MAX over integer columns.
+type ParallelGroup struct {
+	fragments []Operator
+	groupCols []int
+	aggs      []AggSpec
+	schema    *tuple.Schema
+	workers   int
+
+	perRows []int64
+	merged  *groupTable
+	perm    []int32
+	pos     int
+	out     *tuple.Batch
+	rows    rowCursor
+
+	stats OpStats
+}
+
+// NewParallelGroup groups the union of the fragments' rows on groupCols
+// (all integer), computing aggs, with the table build spread over up to
+// workers goroutines. The fragments' schemas must match; their
+// concatenation must be the logical input relation.
+func NewParallelGroup(fragments []Operator, groupCols []int, aggs []AggSpec, workers int) *ParallelGroup {
+	in := fragments[0].Schema()
+	cols := make([]tuple.Column, 0, len(groupCols)+len(aggs))
+	for _, gc := range groupCols {
+		cols = append(cols, in.Cols[gc])
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = "agg"
+		}
+		cols = append(cols, tuple.Column{Name: name, Kind: tuple.KindInt})
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(fragments) {
+		workers = len(fragments)
+	}
+	return &ParallelGroup{
+		fragments: fragments,
+		groupCols: groupCols,
+		aggs:      aggs,
+		schema:    tuple.NewSchema(cols...),
+		workers:   workers,
+	}
+}
+
+func (g *ParallelGroup) Schema() *tuple.Schema { return g.schema }
+
+// Workers returns the worker count (for EXPLAIN).
+func (g *ParallelGroup) Workers() int { return g.workers }
+
+// Fragments returns the fragment count (for EXPLAIN).
+func (g *ParallelGroup) Fragments() int { return len(g.fragments) }
+
+// Fragment returns fragment i's pipeline (EXPLAIN renders fragment 0).
+func (g *ParallelGroup) Fragment(i int) Operator { return g.fragments[i] }
+
+// WorkerRows reports input rows aggregated per fragment.
+func (g *ParallelGroup) WorkerRows() []int64 { return g.perRows }
+
+// buildFragment aggregates fragment f into t.
+func (g *ParallelGroup) buildFragment(f int, t *groupTable, key []int64) (int64, error) {
+	op := g.fragments[f]
+	bop := asBatchOp(op)
+	if err := bop.Open(); err != nil {
+		op.Close()
+		return 0, err
+	}
+	var rows int64
+	for {
+		b, err := bop.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			op.Close()
+			return rows, err
+		}
+		for _, gc := range g.groupCols {
+			if b.Cols[gc].Kind != tuple.KindInt {
+				op.Close()
+				return rows, fmt.Errorf("exec: parallel group over non-integer column %d", gc)
+			}
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			phys := b.RowIdx(i)
+			for k, gc := range g.groupCols {
+				key[k] = b.Cols[gc].I[phys]
+			}
+			s := t.lookup(key)
+			first := t.counts[s] == 0
+			t.counts[s]++
+			for ai, a := range g.aggs {
+				switch a.Kind {
+				case AggCount:
+					// count handled globally
+				case AggSum, AggMin, AggMax:
+					col := &b.Cols[a.Col]
+					if col.Kind != tuple.KindInt {
+						op.Close()
+						return rows, fmt.Errorf("exec: aggregate over non-integer column %d", a.Col)
+					}
+					v := col.I[phys]
+					if first {
+						t.sums[ai][s], t.mins[ai][s], t.maxs[ai][s] = v, v, v
+					} else {
+						t.sums[ai][s] += v
+						if v < t.mins[ai][s] {
+							t.mins[ai][s] = v
+						}
+						if v > t.maxs[ai][s] {
+							t.maxs[ai][s] = v
+						}
+					}
+				}
+			}
+		}
+		rows += int64(n)
+	}
+	return rows, op.Close()
+}
+
+func (g *ParallelGroup) Open() error {
+	g.stats.Reset()
+	g.rows.reset()
+	g.merged, g.perm, g.pos = nil, nil, 0
+	n := len(g.fragments)
+	g.perRows = make([]int64, n)
+	tables := make([]*groupTable, g.workers)
+	errs := make([]error, g.workers)
+	var claim atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(g.workers)
+	for w := 0; w < g.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			t := newGroupTable(len(g.groupCols), len(g.aggs))
+			tables[w] = t
+			key := make([]int64, len(g.groupCols))
+			for {
+				f := int(claim.Add(1)) - 1
+				if f >= n {
+					return
+				}
+				rows, err := g.buildFragment(f, t, key)
+				g.perRows[f] = rows
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	g.merged = g.mergeTables(tables)
+	// Emission order: groups ascending on the group columns, which is what
+	// the equivalent sort+SortGroup plan emits. The merge step has already
+	// folded duplicate keys, so a plain permutation sort finishes the job.
+	t := g.merged
+	g.perm = make([]int32, t.slots())
+	for i := range g.perm {
+		g.perm[i] = int32(i)
+	}
+	slices.SortFunc(g.perm, func(a, b int32) int {
+		for k := 0; k < t.nkeys; k++ {
+			av, bv := t.keys[k][a], t.keys[k][b]
+			if av != bv {
+				if av < bv {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	})
+	if g.out == nil {
+		g.out = tuple.NewBatch(g.schema)
+	}
+	return nil
+}
+
+// mergeTables folds the per-worker partial tables into one. Worker 0's
+// table (the largest, as worker 0 claims first) is kept; the other
+// workers' slots are folded in by table lookup.
+func (g *ParallelGroup) mergeTables(tables []*groupTable) *groupTable {
+	base := tables[0]
+	key := make([]int64, base.nkeys)
+	for _, t := range tables[1:] {
+		for s := 0; s < t.slots(); s++ {
+			if t.counts[s] == 0 {
+				continue
+			}
+			for k := 0; k < t.nkeys; k++ {
+				key[k] = t.keys[k][s]
+			}
+			d := base.lookup(key)
+			first := base.counts[d] == 0
+			base.counts[d] += t.counts[s]
+			for a := 0; a < t.naggs; a++ {
+				if first {
+					base.sums[a][d] = t.sums[a][s]
+					base.mins[a][d] = t.mins[a][s]
+					base.maxs[a][d] = t.maxs[a][s]
+				} else {
+					base.sums[a][d] += t.sums[a][s]
+					if t.mins[a][s] < base.mins[a][d] {
+						base.mins[a][d] = t.mins[a][s]
+					}
+					if t.maxs[a][s] > base.maxs[a][d] {
+						base.maxs[a][d] = t.maxs[a][s]
+					}
+				}
+			}
+		}
+	}
+	return base
+}
+
+func (g *ParallelGroup) nextBatch() (*tuple.Batch, error) {
+	if g.merged == nil || g.pos >= len(g.perm) {
+		return nil, io.EOF
+	}
+	t := g.merged
+	g.out.Reset()
+	end := g.pos + tuple.BatchSize
+	if end > len(g.perm) {
+		end = len(g.perm)
+	}
+	g.out.Grow(end - g.pos)
+	for ; g.pos < end; g.pos++ {
+		s := int(g.perm[g.pos])
+		for k := 0; k < t.nkeys; k++ {
+			g.out.Cols[k].I = append(g.out.Cols[k].I, t.keys[k][s])
+		}
+		base := t.nkeys
+		for ai, a := range g.aggs {
+			var v int64
+			switch a.Kind {
+			case AggCount:
+				v = t.counts[s]
+			case AggSum:
+				v = t.sums[ai][s]
+			case AggMin:
+				v = t.mins[ai][s]
+			case AggMax:
+				v = t.maxs[ai][s]
+			}
+			g.out.Cols[base+ai].I = append(g.out.Cols[base+ai].I, v)
+		}
+		g.out.BumpRow()
+	}
+	if g.out.Len() == 0 {
+		return nil, io.EOF
+	}
+	return g.out, nil
+}
+
+func (g *ParallelGroup) Next() (tuple.Tuple, error) { return g.rows.next(g.NextBatch) }
+
+func (g *ParallelGroup) Close() error {
+	g.merged, g.perm = nil, nil
+	return nil
+}

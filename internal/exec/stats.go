@@ -1,16 +1,39 @@
 package exec
 
-import "setm/internal/tuple"
+import (
+	"sync/atomic"
+
+	"setm/internal/tuple"
+)
 
 // OpStats records an operator's actual output cardinality: how many rows
 // and batches it produced since Open. EXPLAIN ANALYZE reads these after a
 // plan has been drained to report actual-vs-estimated rows per operator,
 // and the calibration harness fits the planner's selectivity constants
-// from them.
+// from them. The counters are atomic: parallel operators tally from
+// worker goroutines while EXPLAIN ANALYZE (or a concurrent plan walk) may
+// read them, and the race detector must stay quiet.
 type OpStats struct {
-	Batches int64
-	Rows    int64
+	batches atomic.Int64
+	rows    atomic.Int64
 }
+
+// Batches returns the number of batches produced since Open.
+func (st *OpStats) Batches() int64 { return st.batches.Load() }
+
+// Rows returns the number of rows produced since Open.
+func (st *OpStats) Rows() int64 { return st.rows.Load() }
+
+// Reset zeroes the counters (operators call this from Open; OpStats
+// contains atomics and must not be reset by struct assignment).
+func (st *OpStats) Reset() {
+	st.batches.Store(0)
+	st.rows.Store(0)
+}
+
+// AddRows counts rows produced outside the batch path (e.g. the classic
+// sort path's row cursor).
+func (st *OpStats) AddRows(n int64) { st.rows.Add(n) }
 
 // StatsReporter is implemented by every operator in this package; it
 // exposes the operator's actual-output counters.
@@ -18,11 +41,17 @@ type StatsReporter interface {
 	ExecStats() *OpStats
 }
 
+// WorkerReporter is implemented by parallel operators; it exposes the
+// per-worker (per-fragment) actual input row counts for EXPLAIN ANALYZE.
+type WorkerReporter interface {
+	WorkerRows() []int64
+}
+
 // tally counts one NextBatch result on its way out.
 func (st *OpStats) tally(b *tuple.Batch, err error) (*tuple.Batch, error) {
 	if err == nil {
-		st.Batches++
-		st.Rows += int64(b.Len())
+		st.batches.Add(1)
+		st.rows.Add(int64(b.Len()))
 	}
 	return b, err
 }
@@ -70,3 +99,15 @@ func (h *HashJoin) ExecStats() *OpStats              { return &h.stats }
 
 func (n *NestedLoopJoin) NextBatch() (*tuple.Batch, error) { return n.stats.tally(n.nextBatch()) }
 func (n *NestedLoopJoin) ExecStats() *OpStats              { return &n.stats }
+
+func (g *Gather) NextBatch() (*tuple.Batch, error) { return g.stats.tally(g.nextBatch()) }
+func (g *Gather) ExecStats() *OpStats              { return &g.stats }
+
+func (w *Window) NextBatch() (*tuple.Batch, error) { return w.stats.tally(w.nextBatch()) }
+func (w *Window) ExecStats() *OpStats              { return &w.stats }
+
+func (r *Repartition) NextBatch() (*tuple.Batch, error) { return r.stats.tally(r.nextBatch()) }
+func (r *Repartition) ExecStats() *OpStats              { return &r.stats }
+
+func (g *ParallelGroup) NextBatch() (*tuple.Batch, error) { return g.stats.tally(g.nextBatch()) }
+func (g *ParallelGroup) ExecStats() *OpStats              { return &g.stats }

@@ -189,18 +189,92 @@ func (f *File) Free() {
 	f.rows = 0
 }
 
-// Scanner iterates a heap file front to back. Next returns io.EOF after the
-// final tuple.
+// Scanner iterates a heap file front to back — the whole chain, or a
+// contiguous page range (a morsel of the parallel executor). Next returns
+// io.EOF after the final tuple of the range.
 type Scanner struct {
 	file *File
 	pg   *storage.Page
 	idx  int
 	off  int
 	done bool
+
+	pageIdx int // index into file.pageIDs of the current page
+	endIdx  int // exclusive page-range bound
 }
 
 // Scan returns a scanner positioned before the first tuple.
-func (f *File) Scan() *Scanner { return &Scanner{file: f} }
+func (f *File) Scan() *Scanner { return f.ScanRange(0, len(f.pageIDs)) }
+
+// ScanRange returns a scanner over the pages [start, end) of the file (by
+// page position, not page ID) — the morsel granularity of the parallel
+// executor: disjoint ranges partition the file's rows in order. Bounds are
+// clamped to the file.
+func (f *File) ScanRange(start, end int) *Scanner {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(f.pageIDs) {
+		end = len(f.pageIDs)
+	}
+	s := &Scanner{file: f, pageIdx: start, endIdx: end}
+	if start >= end {
+		s.done = true
+	}
+	return s
+}
+
+// FirstKey decodes the first record of page pageIdx (by position) and
+// returns its integer column col. ok is false when the page holds no
+// records (only the tail page of a file can be empty) or the column is not
+// an integer. The parallel planner uses it to pick key-aligned morsel
+// boundaries without scanning.
+func (f *File) FirstKey(pageIdx, col int) (v int64, ok bool, err error) {
+	if pageIdx < 0 || pageIdx >= len(f.pageIDs) {
+		return 0, false, fmt.Errorf("heap: page index %d out of range (%d pages)", pageIdx, len(f.pageIDs))
+	}
+	pg, err := f.pool.Fetch(f.pageIDs[pageIdx])
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.pool.Unpin(pg)
+	if pg.U16(hdrCount) == 0 {
+		return 0, false, nil
+	}
+	n := int(pg.U16(hdrSize))
+	rec := pg.Data[hdrSize+2 : hdrSize+2+n]
+	t, _, err := tuple.Decode(rec, f.schema)
+	if err != nil {
+		return 0, false, err
+	}
+	if col < 0 || col >= len(t) || t[col].Kind != tuple.KindInt {
+		return 0, false, nil
+	}
+	return t[col].Int, true, nil
+}
+
+// advance pins the next page of the range, releasing the current one.
+// Returns false when the range is exhausted (done is set).
+func (s *Scanner) advance() (bool, error) {
+	if s.pg != nil {
+		s.file.pool.Unpin(s.pg)
+		s.pg = nil
+		s.pageIdx++
+	}
+	if s.pageIdx >= s.endIdx {
+		s.done = true
+		return false, nil
+	}
+	pg, err := s.file.pool.Fetch(s.file.pageIDs[s.pageIdx])
+	if err != nil {
+		s.done = true
+		return false, err
+	}
+	s.pg = pg
+	s.idx = 0
+	s.off = hdrSize
+	return true, nil
+}
 
 // Next returns the next tuple, or io.EOF when exhausted.
 func (s *Scanner) Next() (tuple.Tuple, error) {
@@ -209,13 +283,13 @@ func (s *Scanner) Next() (tuple.Tuple, error) {
 	}
 	for {
 		if s.pg == nil {
-			pg, err := s.file.pool.Fetch(s.file.first)
+			ok, err := s.advance()
 			if err != nil {
 				return nil, err
 			}
-			s.pg = pg
-			s.idx = 0
-			s.off = hdrSize
+			if !ok {
+				return nil, io.EOF
+			}
 		}
 		if s.idx < int(s.pg.U16(hdrCount)) {
 			n := int(s.pg.U16(s.off))
@@ -228,20 +302,11 @@ func (s *Scanner) Next() (tuple.Tuple, error) {
 			s.idx++
 			return t, nil
 		}
-		next := storage.PageID(s.pg.U32(hdrNext))
-		s.file.pool.Unpin(s.pg)
-		if next == storage.InvalidPage {
-			s.pg = nil
-			s.done = true
+		if ok, err := s.advance(); err != nil {
+			return nil, err
+		} else if !ok {
 			return nil, io.EOF
 		}
-		pg, err := s.file.pool.Fetch(next)
-		if err != nil {
-			return nil, err
-		}
-		s.pg = pg
-		s.idx = 0
-		s.off = hdrSize
 	}
 }
 
@@ -256,13 +321,16 @@ func (s *Scanner) NextBatch(b *tuple.Batch, max int) (int, error) {
 	added := 0
 	for added < max {
 		if s.pg == nil {
-			pg, err := s.file.pool.Fetch(s.file.first)
+			ok, err := s.advance()
 			if err != nil {
 				return added, err
 			}
-			s.pg = pg
-			s.idx = 0
-			s.off = hdrSize
+			if !ok {
+				if added == 0 {
+					return 0, io.EOF
+				}
+				return added, nil
+			}
 		}
 		count := int(s.pg.U16(hdrCount))
 		for s.idx < count && added < max {
@@ -278,24 +346,14 @@ func (s *Scanner) NextBatch(b *tuple.Batch, max int) (int, error) {
 		if s.idx < count {
 			return added, nil // batch full mid-page
 		}
-		next := storage.PageID(s.pg.U32(hdrNext))
-		s.file.pool.Unpin(s.pg)
-		if next == storage.InvalidPage {
-			s.pg = nil
-			s.done = true
+		if ok, err := s.advance(); err != nil {
+			return added, err
+		} else if !ok {
 			if added == 0 {
 				return 0, io.EOF
 			}
 			return added, nil
 		}
-		pg, err := s.file.pool.Fetch(next)
-		if err != nil {
-			s.pg = nil
-			return added, err
-		}
-		s.pg = pg
-		s.idx = 0
-		s.off = hdrSize
 	}
 	return added, nil
 }

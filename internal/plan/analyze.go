@@ -28,12 +28,17 @@ func (p *Plan) ExplainAnalyzed() string {
 		st := sr.ExecStats()
 		var act string
 		switch {
-		case st.Batches == 0:
+		case st.Batches() == 0:
 			act = "never executed"
 		default:
-			act = fmt.Sprintf("actual %d rows in %d batches", st.Rows, st.Batches)
+			act = fmt.Sprintf("actual %d rows in %d batches", st.Rows(), st.Batches())
 			if est, ok := p.ests[op]; ok {
 				act += fmt.Sprintf(" (est %d)", est)
+			}
+			if wr, ok := op.(exec.WorkerReporter); ok {
+				if per := wr.WorkerRows(); len(per) > 1 {
+					act += fmt.Sprintf("; per-worker rows %v", per)
+				}
 			}
 		}
 		if note != "" {
@@ -65,12 +70,12 @@ func (p *Plan) Observations() []costmodel.Observation {
 			return
 		}
 		ist, ost := in.ExecStats(), out.ExecStats()
-		if ist.Batches == 0 {
+		if ist.Batches() == 0 {
 			return
 		}
 		obs = append(obs, costmodel.Observation{
 			Eq: cls.eq, Rng: cls.rng, Def: cls.def, Group: cls.group,
-			In: ist.Rows, Out: ost.Rows,
+			In: ist.Rows(), Out: ost.Rows(),
 		})
 	}
 	walk(p.Root)

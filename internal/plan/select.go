@@ -25,6 +25,9 @@ type Compiler struct {
 	// Calib overrides the built-in estimation constants with a fitted set
 	// (nil = costmodel.DefaultCalibration).
 	Calib *costmodel.Calibration
+	// MaxWorkers caps the degree of parallelism of a single query's
+	// exchange operators (0 or 1 = serial plans only).
+	MaxWorkers int
 
 	notes   map[exec.Operator]string
 	ests    map[exec.Operator]int64
@@ -110,6 +113,18 @@ func (c *Compiler) CompilePlan(sel *sqlparse.Select) (*Plan, error) {
 		}
 		c.setEst(op, est.Rows)
 		n = node{op: op, est: est, ordering: n.ordering}
+	}
+	// A plan that is still a pure scan pipeline — no grouping, join, or
+	// sort absorbed the parallelism — can run its page-range fragments
+	// under a Gather. Fragment order is page order, so the output rows
+	// and the ordering claim are unchanged.
+	if dop := c.dop(n.est.Rows, n.est.CostMs); dop > 1 {
+		if frags := exec.FragmentScans(n.op, dop); frags != nil {
+			g := exec.NewGather(frags, dop)
+			c.note(g, "parallel scan (dop=%d, %d fragments)", dop, len(frags))
+			c.setEst(g, n.est.Rows)
+			n.op = g
+		}
 	}
 	return &Plan{Root: n.op, Ordering: n.ordering, Est: n.est,
 		notes: c.notes, ests: c.ests, classes: c.classes}, nil
@@ -318,8 +333,52 @@ func (c *Compiler) compileFromWhere(sel *sqlparse.Select) (node, error) {
 			cj.used = true
 		}
 
+		// A remaining conjunct of the form right.col > left.col (or the
+		// mirrored <) is a pushdown candidate: a merge join evaluates it
+		// as a vectorized suffix selection on each sorted right group. To
+		// preserve the joined-schema resolution semantics, each side must
+		// resolve in exactly one input.
+		var gt *gtConjunct
+		for _, cj := range conjs {
+			if len(leftKeys) == 0 || gt != nil {
+				break
+			}
+			if cj.used {
+				continue
+			}
+			be, ok := cj.expr.(*sqlparse.BinaryExpr)
+			if !ok || (be.Op != sqlparse.OpGt && be.Op != sqlparse.OpLt) {
+				continue
+			}
+			lcol, lok := be.L.(*sqlparse.ColumnRef)
+			rcol, rok := be.R.(*sqlparse.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			big, small := lcol, rcol // the conjunct states big > small
+			if be.Op == sqlparse.OpLt {
+				big, small = rcol, lcol
+			}
+			ri, rerr := resolveColumn(right.op.Schema(), big)
+			li, lerr := resolveColumn(current.op.Schema(), small)
+			if lerr != nil || rerr != nil {
+				continue
+			}
+			if _, err := resolveColumn(current.op.Schema(), big); err == nil {
+				continue // ambiguous across inputs
+			}
+			if _, err := resolveColumn(right.op.Schema(), small); err == nil {
+				continue
+			}
+			if current.op.Schema().Cols[li].Kind != tuple.KindInt ||
+				right.op.Schema().Cols[ri].Kind != tuple.KindInt {
+				continue
+			}
+			gt = &gtConjunct{cj: cj, li: li, ri: ri}
+		}
+
 		if len(leftKeys) > 0 {
-			current = c.joinChoice(current, right, leftKeys, rightKeys)
+			current = c.joinChoice(current, right, leftKeys, rightKeys, gt)
 		} else {
 			op := exec.NewNestedLoopJoin(current.op, right.op, nil)
 			est := Estimate{
@@ -423,30 +482,39 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 		aggCols[ae.String()] = len(groupIdxs) + i
 	}
 
-	child := in
-	if len(groupIdxs) > 0 {
-		child = c.sortNode(in, sortKeysFor(groupIdxs), "GROUP BY")
-	}
-	grp := exec.NewSortGroup(child.op, groupIdxs, specs)
-	if len(groupIdxs) == 0 {
-		grp.Global = true
-	}
 	cal := c.calibration()
-	est := Estimate{
-		Rows:     max64(1, int64(float64(child.est.Rows)*cal.GroupFrac)),
-		RowBytes: schemaRowBytes(grp.Schema()),
-		CostMs:   child.est.CostMs + costmodel.CPUTupleMs*float64(child.est.Rows),
+	estGroups := max64(1, int64(float64(in.est.Rows)*cal.GroupFrac))
+	child := in
+	var gop exec.Operator
+	var groupCost float64
+	if gop, groupCost = c.hashGroupChoice(in, groupIdxs, specs, estGroups); gop == nil {
+		if len(groupIdxs) > 0 {
+			child = c.sortNode(in, sortKeysFor(groupIdxs), "GROUP BY")
+		}
+		grp := exec.NewSortGroup(child.op, groupIdxs, specs)
+		if len(groupIdxs) == 0 {
+			grp.Global = true
+		}
+		gop = grp
+		groupCost = costmodel.CPUTupleMs * float64(child.est.Rows)
+		c.note(grp, "est %d groups from %d rows", estGroups, child.est.Rows)
 	}
-	// SortGroup preserves its (sorted) input's group order, so the output
-	// is ordered by the group columns' output positions.
+	est := Estimate{
+		Rows:     estGroups,
+		RowBytes: schemaRowBytes(gop.Schema()),
+		CostMs:   child.est.CostMs + groupCost,
+	}
+	// Both grouping operators emit groups in ascending group-column order
+	// (SortGroup streams its sorted input; ParallelGroup sorts its merged
+	// table before emitting), so the output is ordered by the group
+	// columns' output positions.
 	ordering := make([]int, len(groupIdxs))
 	for i := range groupIdxs {
 		ordering[i] = i
 	}
-	c.note(grp, "est %d groups from %d rows", est.Rows, child.est.Rows)
-	c.setEst(grp, est.Rows)
-	c.setClasses(grp, opClasses{group: true})
-	n := node{op: grp, est: est, ordering: ordering}
+	c.setEst(gop, est.Rows)
+	c.setClasses(gop, opClasses{group: true})
+	n := node{op: gop, est: est, ordering: ordering}
 
 	if sel.Having != nil {
 		rewritten := rewriteAggs(sel.Having, aggCols)
@@ -454,11 +522,11 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 		est := n.est
 		est.Rows = max64(1, int64(float64(est.Rows)*conjSelectivity(rewritten, cal, &cls)))
 		var op *exec.Filter
-		if vp := compileVecPredicate(rewritten, grp.Schema(), c.params); vp != nil {
+		if vp := compileVecPredicate(rewritten, gop.Schema(), c.params); vp != nil {
 			op = exec.NewFilterVec(n.op, []exec.VecPredicate{vp}, nil)
 			c.note(op, "HAVING (vectorized), est %d rows", est.Rows)
 		} else {
-			pred, err := c.compileWithAggs(sel.Having, grp.Schema(), aggCols)
+			pred, err := c.compileWithAggs(sel.Having, gop.Schema(), aggCols)
 			if err != nil {
 				return node{}, nil, err
 			}
@@ -476,6 +544,64 @@ func (c *Compiler) compileGroup(sel *sqlparse.Select, in node) (node, map[string
 		n = node{op: op, est: est, ordering: n.ordering}
 	}
 	return n, aggCols, nil
+}
+
+// hashGroupChoice prices hash aggregation (ParallelGroup) against the
+// sort-then-scan pipeline for GROUP BY and builds it when cheaper. It
+// requires integer group and aggregate columns (the hash table is
+// columnar int64 storage) and an input not already ordered on the group
+// columns — a free SortGroup beats any hash table. At DOP > 1 the input
+// is split into page-range scan fragments aggregated by parallel workers
+// and merged; groups are emitted in ascending group-column order either
+// way, so the output is bit-identical to the sort path. Returns (nil, 0)
+// when the sort path wins or the shapes don't allow hashing.
+func (c *Compiler) hashGroupChoice(in node, groupIdxs []int, specs []exec.AggSpec, estGroups int64) (exec.Operator, float64) {
+	if len(groupIdxs) == 0 {
+		return nil, 0
+	}
+	if orderingHasPrefix(in.ordering, groupIdxs) {
+		return nil, 0 // SortGroup streams the ordered input for free
+	}
+	s := in.op.Schema()
+	for _, g := range groupIdxs {
+		if s.Cols[g].Kind != tuple.KindInt {
+			return nil, 0
+		}
+	}
+	for _, sp := range specs {
+		if sp.Kind != exec.AggCount && s.Cols[sp.Col].Kind != tuple.KindInt {
+			return nil, 0
+		}
+	}
+	rows := in.est.Rows
+	rowBytes := sortedRowBytes(s, in.est.RowBytes)
+	if estGroups*rowBytes > c.memBudget() {
+		return nil, 0 // group table would not fit; external sort handles it
+	}
+	p := costmodel.PaperDBParams()
+	external := c.pool != nil && rows*rowBytes > c.memBudget()
+	sortMs := costmodel.SortMs(p, rows, rowBytes, external) + costmodel.CPUTupleMs*float64(rows)
+	hashMs := costmodel.HashGroupMs(rows, estGroups)
+	if hashMs >= sortMs {
+		return nil, 0
+	}
+	dop := c.dop(rows, hashMs)
+	frags := []exec.Operator{in.op}
+	if dop > 1 {
+		if split := exec.FragmentScans(in.op, dop); split != nil {
+			frags = split
+		} else {
+			dop = 1
+		}
+	}
+	grp := exec.NewParallelGroup(frags, groupIdxs, specs, dop)
+	cost := hashMs
+	if dop > 1 {
+		cost = costmodel.ParallelMs(hashMs, dop) + costmodel.ExchangeMs(rows, dop)
+	}
+	c.note(grp, "cost-based: hash aggregate %.2fms < sort+scan %.2fms (dop=%d); est %d groups from %d rows",
+		cost, sortMs, dop, estGroups, rows)
+	return grp, cost
 }
 
 // compileWithAggs compiles an expression in which aggregate calls refer to

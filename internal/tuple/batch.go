@@ -112,6 +112,31 @@ func (b *Batch) Reset() {
 	b.sel = nil
 }
 
+// Grow pre-sizes every column vector so at least n further rows can be
+// appended without reallocation. Operators that know their output
+// cardinality (gathers, hash-join builds, sort materialization) call this
+// once instead of paying growslice+memmove on every doubling.
+func (b *Batch) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	for c := range b.Cols {
+		if b.Cols[c].Kind == KindInt {
+			if cap(b.Cols[c].I)-len(b.Cols[c].I) < n {
+				grown := make([]int64, len(b.Cols[c].I), len(b.Cols[c].I)+n)
+				copy(grown, b.Cols[c].I)
+				b.Cols[c].I = grown
+			}
+		} else {
+			if cap(b.Cols[c].S)-len(b.Cols[c].S) < n {
+				grown := make([]string, len(b.Cols[c].S), len(b.Cols[c].S)+n)
+				copy(grown, b.Cols[c].S)
+				b.Cols[c].S = grown
+			}
+		}
+	}
+}
+
 // AppendTuple appends one row given as a tuple. Values are stored by the
 // schema's column kinds.
 func (b *Batch) AppendTuple(t Tuple) error {
@@ -143,6 +168,10 @@ func (b *Batch) AppendRow(src *Batch, phys int) {
 // by an external writer (used by operators that build rows column by
 // column, e.g. join output assembly).
 func (b *Batch) BumpRow() { b.n++ }
+
+// BumpRows records that n physical rows have been appended to every
+// column vector (the bulk twin of BumpRow).
+func (b *Batch) BumpRows(n int) { b.n += n }
 
 // Append copies every logical row of src onto the end of b (same column
 // layout). Dense sources append whole column slices — a few memmoves per
